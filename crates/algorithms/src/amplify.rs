@@ -1,0 +1,182 @@
+//! Error amplification for one-sided randomized deciders.
+//!
+//! The proof of Theorem 13 ends with exactly this move: the two-run
+//! machine `T̃` accepts yes-instances only with probability `≥ ¼`, so
+//! "to increase the acceptance probability to 0.5, we can start two
+//! independent runs of `T̃` and accept if at least one accepts". The
+//! combinators here implement both amplification directions for
+//! resource-accounted deciders:
+//!
+//! * [`amplify_no_false_positives`] (the RST side) — OR over `k`
+//!   independent runs: soundness is preserved (a false positive would
+//!   need one run to err, which never happens), completeness rises from
+//!   `p` to `1 − (1−p)^k`;
+//! * [`amplify_no_false_negatives`] (the co-RST side) — AND over `k`
+//!   runs: completeness stays 1, the false-positive probability falls
+//!   from `q` to `q^k`.
+//!
+//! Resource usage adds up: `k` runs cost `k` times the scans, so
+//! amplification trades scans for error — visible in the returned
+//! combined [`ResourceUsage`].
+
+use st_core::{ResourceUsage, StError};
+
+/// A decider run: verdict plus its resource bill. The closures below
+/// produce one independent run each time they are called.
+pub type DeciderRun = (bool, ResourceUsage);
+
+/// OR-amplification (preserves "no false positives"). Runs the decider
+/// up to `k` times, accepting as soon as one run accepts.
+///
+/// Short-circuits on the first accept — the *expected* cost on
+/// yes-instances is below `k` full runs, the worst case is `k`.
+pub fn amplify_no_false_positives(
+    k: u32,
+    mut run_once: impl FnMut() -> Result<DeciderRun, StError>,
+) -> Result<DeciderRun, StError> {
+    let mut usage = ResourceUsage::default();
+    for _ in 0..k.max(1) {
+        let (accepted, u) = run_once()?;
+        usage.absorb(&u);
+        if accepted {
+            return Ok((true, usage));
+        }
+    }
+    Ok((false, usage))
+}
+
+/// AND-amplification (preserves "no false negatives"). Runs the decider
+/// up to `k` times, rejecting as soon as one run rejects.
+pub fn amplify_no_false_negatives(
+    k: u32,
+    mut run_once: impl FnMut() -> Result<DeciderRun, StError>,
+) -> Result<DeciderRun, StError> {
+    let mut usage = ResourceUsage::default();
+    for _ in 0..k.max(1) {
+        let (accepted, u) = run_once()?;
+        usage.absorb(&u);
+        if !accepted {
+            return Ok((false, usage));
+        }
+    }
+    Ok((true, usage))
+}
+
+/// The Theorem 13 amplifier, end to end: a filtering predicate
+/// (`filter(doc(A,B)) = A ⊄ B`) becomes a SET-EQUALITY decider via two
+/// filter runs, then OR-amplification lifts the yes-acceptance from `¼`
+/// to `≥ ½` when the underlying filter itself errs one-sidedly.
+pub fn theorem13_two_run_amplified(
+    amplification: u32,
+    mut filter_xy: impl FnMut() -> Result<DeciderRun, StError>,
+    mut filter_yx: impl FnMut() -> Result<DeciderRun, StError>,
+) -> Result<DeciderRun, StError> {
+    amplify_no_false_positives(amplification, || {
+        // One T̃ run: accept iff both filter runs reject.
+        let (f1, u1) = filter_xy()?;
+        let (f2, u2) = filter_yx()?;
+        let mut usage = u1;
+        usage.absorb(&u2);
+        Ok((!f1 && !f2, usage))
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn coin_decider(p_accept: f64, rng: &mut StdRng) -> DeciderRun {
+        let mut u = ResourceUsage::new(100, 1);
+        u.reversals_per_tape = vec![1];
+        (rng.gen::<f64>() < p_accept, u)
+    }
+
+    #[test]
+    fn or_amplification_boosts_completeness() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let trials = 400;
+        let mut single = 0;
+        let mut amplified = 0;
+        for _ in 0..trials {
+            if coin_decider(0.5, &mut rng).0 {
+                single += 1;
+            }
+            let (acc, _) =
+                amplify_no_false_positives(4, || Ok(coin_decider(0.5, &mut rng))).unwrap();
+            if acc {
+                amplified += 1;
+            }
+        }
+        let p1 = f64::from(single) / f64::from(trials);
+        let p4 = f64::from(amplified) / f64::from(trials);
+        assert!(p4 > p1, "amplification must help: {p1} vs {p4}");
+        assert!(p4 > 0.85, "1 − (1/2)^4 = 0.9375 expected, measured {p4}");
+    }
+
+    #[test]
+    fn and_amplification_crushes_false_positives() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let trials = 400;
+        let mut fp = 0;
+        for _ in 0..trials {
+            // A no-instance decider with 0.4 false-positive rate.
+            let (acc, _) =
+                amplify_no_false_negatives(5, || Ok(coin_decider(0.4, &mut rng))).unwrap();
+            if acc {
+                fp += 1;
+            }
+        }
+        let q5 = f64::from(fp) / f64::from(trials);
+        assert!(q5 < 0.1, "0.4^5 ≈ 0.01 expected, measured {q5}");
+    }
+
+    #[test]
+    fn usage_accumulates_across_runs() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let (_, usage) =
+            amplify_no_false_negatives(3, || Ok(coin_decider(1.0, &mut rng))).unwrap();
+        assert_eq!(usage.total_reversals(), 3, "three full runs, one reversal each");
+        let (acc, usage) =
+            amplify_no_false_positives(5, || Ok(coin_decider(1.0, &mut rng))).unwrap();
+        assert!(acc);
+        assert_eq!(usage.total_reversals(), 1, "short-circuits after the first accept");
+    }
+
+    #[test]
+    fn theorem13_shape_quarter_to_half() {
+        // Model the Theorem 13 situation: each filter run *rejects* a
+        // should-reject document with probability exactly ½ (the co-RST
+        // guarantee), so one T̃ run accepts a yes-instance w.p. ¼; the
+        // two-fold OR yields ≥ 7/16 ≈ 0.44, and 3-fold crosses ½.
+        let mut rng1 = StdRng::seed_from_u64(4);
+        let mut rng2 = StdRng::seed_from_u64(5);
+        let trials = 600;
+        let mut acc2 = 0;
+        for _ in 0..trials {
+            let (a, _) = theorem13_two_run_amplified(
+                3,
+                || Ok(coin_decider(0.5, &mut rng1)), // filter accepts (wrongly) w.p. ½
+                || Ok(coin_decider(0.5, &mut rng2)),
+            )
+            .unwrap();
+            if a {
+                acc2 += 1;
+            }
+        }
+        let p = f64::from(acc2) / f64::from(trials);
+        assert!(p >= 0.5, "3-fold amplified two-run acceptance {p} < 1/2");
+    }
+
+    #[test]
+    fn exact_filters_make_the_reduction_deterministic() {
+        // With error-free filters the two-run machine is simply correct.
+        let yes = || Ok((false, ResourceUsage::new(10, 1))); // filter rejects: X ⊆ Y
+        let (acc, _) = theorem13_two_run_amplified(1, yes, yes).unwrap();
+        assert!(acc);
+        let no = || Ok((true, ResourceUsage::new(10, 1))); // filter accepts: X ⊄ Y
+        let (acc, _) = theorem13_two_run_amplified(1, no, yes).unwrap();
+        assert!(!acc);
+    }
+}

@@ -1,0 +1,436 @@
+//! Theorem 8(a): MULTISET-EQUALITY ∈ co-RST(2, O(log N), 1).
+//!
+//! The algorithm, exactly as in the paper:
+//!
+//! 1. one forward scan determines `n`, `m`, `N`;
+//! 2. choose a prime `p₁ ≤ k := m³·n·loġ(m³·n)` uniformly at random;
+//! 3. choose a prime `p₂` with `3k < p₂ ≤ 6k` (Bertrand);
+//! 4. choose `x ∈ {1,…,p₂−1}` uniformly;
+//! 5. compute `eᵢ = vᵢ mod p₁`, `e′ᵢ = v′ᵢ mod p₁` and accept iff
+//!    `Σ x^{eᵢ} ≡ Σ x^{e′ᵢ} (mod p₂)`.
+//!
+//! Step 5 runs as a single **backward** scan: reading each value
+//! LSB-first lets `vᵢ mod p₁` accumulate with a running power of two, and
+//! the two sums are order-insensitive, so one forward plus one backward
+//! scan — two sequential scans, one head reversal, one external tape —
+//! suffices. Internal state is a fixed set of `O(log N)`-bit registers,
+//! charged to the memory meter.
+//!
+//! Correctness (paper, Claim 1 + polynomial identity testing): if the
+//! multisets are equal the test **always** accepts; if they differ it
+//! accepts with probability `≤ ⅓ + O(1/m)` — a one-sided error on the
+//! *positive* side, i.e. the `co-RST` error model.
+
+use rand::Rng;
+use st_core::math::{add_mod, dot_log2, is_prime, mul_mod, next_prime, pow_mod};
+use st_core::theorems::theorem8a_k;
+use st_core::{ResourceUsage, StError};
+use st_extmem::meter::bits_for;
+use st_extmem::{Tape, TapeMachine};
+use st_problems::Instance;
+
+/// The sampled randomness and derived moduli of one fingerprint run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FingerprintParams {
+    /// The residue modulus bound `k = m³·n·loġ(m³·n)`.
+    pub k: u64,
+    /// The random prime `p₁ ≤ k`.
+    pub p1: u64,
+    /// The fixed prime `3k < p₂ ≤ 6k`.
+    pub p2: u64,
+    /// The random evaluation point `x ∈ {1,…,p₂−1}`.
+    pub x: u64,
+}
+
+/// The outcome of one fingerprint run.
+#[derive(Debug, Clone)]
+pub struct FingerprintRun {
+    /// The verdict: `true` = "multisets equal" (may be a false positive
+    /// with probability ≤ ½; never a false negative).
+    pub accepted: bool,
+    /// Sampled parameters.
+    pub params: FingerprintParams,
+    /// Tape and internal-memory accounting.
+    pub usage: ResourceUsage,
+}
+
+/// Encode an instance as the input-tape symbol sequence (bytes over
+/// `b"01#"`).
+#[must_use]
+pub fn tape_encoding(inst: &Instance) -> Vec<u8> {
+    inst.encode().into_bytes()
+}
+
+/// Sample a uniform prime `≤ k` by rejection; `None` after `tries`
+/// failures (probability `e^{-Ω(tries/ln k)}` — negligible at the default).
+fn sample_prime<R: Rng>(k: u64, tries: u32, rng: &mut R) -> Option<u64> {
+    for _ in 0..tries {
+        let c = rng.gen_range(2..=k.max(2));
+        if is_prime(c) {
+            return Some(c);
+        }
+    }
+    None
+}
+
+/// Run the Theorem 8(a) decider on `inst` with randomness from `rng`.
+///
+/// Errors only on parameter overflow (`k` beyond `u64`); never on
+/// instance content.
+///
+/// ```
+/// use rand::SeedableRng;
+/// use st_algo::fingerprint::decide_multiset_equality;
+/// use st_problems::Instance;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let yes = Instance::parse("01#10#10#01#")?;
+/// let run = decide_multiset_equality(&yes, &mut rng)?;
+/// assert!(run.accepted);                 // never a false negative
+/// assert_eq!(run.usage.scans(), 2);      // co-RST(2, O(log N), 1)
+/// assert_eq!(run.usage.external_tapes, 1);
+/// # Ok::<(), st_core::StError>(())
+/// ```
+pub fn decide_multiset_equality<R: Rng>(
+    inst: &Instance,
+    rng: &mut R,
+) -> Result<FingerprintRun, StError> {
+    let symbols = tape_encoding(inst);
+    let n_input = symbols.len();
+    let mut machine: TapeMachine<u8> = TapeMachine::with_input(symbols, n_input);
+    let meter = machine.meter().clone();
+    let tape = machine.tape_mut(0);
+
+    // ---- Scan 1 (forward): determine m, n, N. ------------------------
+    // Registers: three counters of ≤ log N bits each.
+    meter.charge_static(3 * bits_for(n_input.max(2) as u64));
+    let mut m2 = 0u64; // number of '#' = 2m
+    let mut n_max = 0u64; // longest value
+    let mut cur = 0u64;
+    while let Some(sym) = tape.read_fwd() {
+        if sym == b'#' {
+            m2 += 1;
+            n_max = n_max.max(cur);
+            cur = 0;
+        } else {
+            cur += 1;
+        }
+    }
+    let m = m2 / 2;
+
+    // ---- Randomness (internal memory only). --------------------------
+    let params = if m == 0 {
+        FingerprintParams { k: 2, p1: 2, p2: 7, x: 1 }
+    } else {
+        let k = theorem8a_k(m, n_max.max(1))?;
+        debug_assert_eq!(k, m * m * m * n_max.max(1) * dot_log2(m * m * m * n_max.max(1)));
+        // p₁, p₂, x, e, pow2, S, S′ — seven registers of O(log k) bits.
+        meter.charge_static(7 * bits_for(6 * k));
+        let p1 = match sample_prime(k, 4096, rng) {
+            Some(p) => p,
+            // Sampling failure must never reject a yes-instance: accept.
+            None => {
+                return Ok(FingerprintRun {
+                    accepted: true,
+                    params: FingerprintParams { k, p1: 0, p2: 0, x: 0 },
+                    usage: machine.usage(),
+                })
+            }
+        };
+        let p2 = next_prime(3 * k);
+        debug_assert!(p2 <= 6 * k, "Bertrand: a prime must exist in (3k, 6k]");
+        let x = rng.gen_range(1..p2);
+        FingerprintParams { k, p1, p2, x }
+    };
+
+    // ---- Scan 2 (backward): accumulate Σ x^{eᵢ} per half. -------------
+    // Reading right-to-left we first traverse the second list, then the
+    // first; value bits arrive LSB-first, so vᵢ mod p₁ accumulates with a
+    // running power of two.
+    let tape = machine.tape_mut(0);
+    // Step one cell back onto the final '#'.
+    let mut sum_second = 0u64; // Σ x^{e′ᵢ} mod p₂ over the second list
+    let mut sum_first = 0u64; // Σ x^{eᵢ} mod p₂ over the first list
+    let mut e = 0u64; // current value mod p₁
+    let mut pow2 = 1u64; // 2^j mod p₁ for the next (more significant) bit
+    let mut seen_hashes = 0u64;
+    if !tape.at_start() {
+        tape.move_left()?;
+    }
+    loop {
+        let pos_before = tape.head();
+        let sym = tape.read_bwd();
+        match sym {
+            Some(b'#') => {
+                // Terminator of some value; if this is not the very first
+                // symbol read, the previous accumulated value is complete.
+                if seen_hashes > 0 {
+                    let term = pow_mod(params.x, e, params.p2);
+                    if seen_hashes <= m {
+                        sum_second = add_mod(sum_second, term, params.p2);
+                    } else {
+                        sum_first = add_mod(sum_first, term, params.p2);
+                    }
+                }
+                seen_hashes += 1;
+                e = 0;
+                pow2 = 1;
+            }
+            Some(bit @ (b'0' | b'1')) => {
+                if bit == b'1' {
+                    e = add_mod(e, pow2, params.p1);
+                }
+                pow2 = mul_mod(pow2, 2, params.p1);
+            }
+            Some(other) => {
+                return Err(StError::InvalidInstance(format!(
+                    "unexpected tape symbol {:?}",
+                    other as char
+                )))
+            }
+            None => break,
+        }
+        if pos_before == 0 {
+            break;
+        }
+    }
+    // The leftmost value has no preceding '#'; flush it.
+    if seen_hashes > 0 {
+        let term = pow_mod(params.x, e, params.p2);
+        if seen_hashes <= m {
+            sum_second = add_mod(sum_second, term, params.p2);
+        } else {
+            sum_first = add_mod(sum_first, term, params.p2);
+        }
+    }
+
+    let accepted = sum_first == sum_second;
+    Ok(FingerprintRun { accepted, params, usage: machine.usage() })
+}
+
+/// Empirical error estimation: run the decider `trials` times on `inst`
+/// and report the acceptance frequency. On a yes-instance this is exactly
+/// 1 (completeness is deterministic); on a no-instance it estimates the
+/// false-positive probability.
+pub fn acceptance_frequency<R: Rng>(
+    inst: &Instance,
+    trials: u32,
+    rng: &mut R,
+) -> Result<f64, StError> {
+    let mut acc = 0u32;
+    for _ in 0..trials {
+        if decide_multiset_equality(inst, rng)?.accepted {
+            acc += 1;
+        }
+    }
+    Ok(f64::from(acc) / f64::from(trials))
+}
+
+/// Claim 1 measurement support: the probability that two *distinct*
+/// values collide modulo a random prime `p ≤ k`. Returns the collision
+/// indicator for one sampled prime.
+pub fn residues_collide<R: Rng>(v: u128, w: u128, k: u64, rng: &mut R) -> bool {
+    let p = sample_prime(k, 4096, rng).unwrap_or(2);
+    (v % u128::from(p)) == (w % u128::from(p))
+}
+
+/// Expose the second-scan residue computation for testing: `v mod p`
+/// computed LSB-first from a bit iterator, exactly as the backward scan
+/// does.
+#[must_use]
+pub fn lsb_first_mod(bits_lsb_first: &[u8], p: u64) -> u64 {
+    let mut e = 0u64;
+    let mut pow2 = 1u64;
+    for &b in bits_lsb_first {
+        if b == 1 {
+            e = add_mod(e, pow2, p);
+        }
+        pow2 = mul_mod(pow2, 2, p);
+    }
+    e
+}
+
+/// Ablation baseline: the *sum-of-residues* test — accept iff
+/// `Σ vᵢ ≡ Σ v′ᵢ (mod p₁)` for one random prime `p₁ ≤ k`.
+///
+/// Same scan structure as the paper's algorithm but **without** the
+/// polynomial-identity layer (`x^{eᵢ}` over `F_{p₂}`). It is complete
+/// (no false negatives) but much weaker against adversarial inputs:
+/// swapping bits between two values can preserve the plain sum, which the
+/// `fingerprint_ablation` bench demonstrates.
+pub fn decide_sum_only<R: Rng>(inst: &Instance, rng: &mut R) -> Result<bool, StError> {
+    let m = inst.m() as u64;
+    if m == 0 {
+        return Ok(true);
+    }
+    let n_max = inst.xs.iter().chain(inst.ys.iter()).map(st_problems::BitStr::len).max().unwrap_or(1);
+    let k = theorem8a_k(m, n_max.max(1) as u64)?;
+    let p1 = sample_prime(k, 4096, rng).unwrap_or(2);
+    let residue = |v: &st_problems::BitStr| -> u64 {
+        // MSB-first Horner evaluation of the value modulo p₁.
+        v.iter().fold(0u64, |e, b| add_mod(mul_mod(e, 2, p1), u64::from(b), p1))
+    };
+    let sum = |vs: &[st_problems::BitStr]| vs.iter().fold(0u64, |a, v| add_mod(a, residue(v), p1));
+    Ok(sum(&inst.xs) == sum(&inst.ys))
+}
+
+/// Convenience: assert the run respected the Theorem 8(a) resource class
+/// `co-RST(2, O(log N), 1)` (2 scans, 1 tape); returns the violations.
+#[must_use]
+pub fn check_theorem8a_bounds(run: &FingerprintRun) -> Vec<st_core::Violation> {
+    use st_core::{Bound, TapeCount};
+    run.usage
+        .check(
+            &Bound::Const(2),
+            // Seven O(log k) registers + three counters: generous constant.
+            &Bound::Log { mul: 64.0, add: 64.0 },
+            TapeCount::Exactly(1),
+        )
+        .violations
+}
+
+// Silence the unused-import warning for Tape, which the doc examples use.
+#[allow(unused)]
+fn _doc_anchor(_t: &Tape<u8>) {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use st_problems::generate;
+
+    #[test]
+    fn lsb_first_mod_matches_direct_computation() {
+        // v = 0b1011 = 11; bits LSB-first = [1,1,0,1].
+        assert_eq!(lsb_first_mod(&[1, 1, 0, 1], 7), 11 % 7);
+        assert_eq!(lsb_first_mod(&[], 7), 0);
+        assert_eq!(lsb_first_mod(&[1; 20], 97), ((1u64 << 20) - 1) % 97);
+    }
+
+    #[test]
+    fn never_a_false_negative() {
+        let mut rng = StdRng::seed_from_u64(30);
+        for _ in 0..40 {
+            let inst = generate::yes_multiset(12, 10, &mut rng);
+            let run = decide_multiset_equality(&inst, &mut rng).unwrap();
+            assert!(run.accepted, "false negative on a multiset-equal instance");
+        }
+    }
+
+    #[test]
+    fn false_positive_rate_at_most_half() {
+        let mut rng = StdRng::seed_from_u64(31);
+        let inst = generate::no_multiset_one_bit(12, 10, &mut rng);
+        let freq = acceptance_frequency(&inst, 300, &mut rng).unwrap();
+        assert!(freq <= 0.5, "false-positive frequency {freq} exceeds 1/2");
+    }
+
+    #[test]
+    fn exactly_two_scans_one_tape() {
+        let mut rng = StdRng::seed_from_u64(32);
+        let inst = generate::yes_multiset(16, 12, &mut rng);
+        let run = decide_multiset_equality(&inst, &mut rng).unwrap();
+        assert_eq!(run.usage.scans(), 2, "{:?}", run.usage);
+        assert_eq!(run.usage.external_tapes, 1);
+        assert!(check_theorem8a_bounds(&run).is_empty(), "{:?}", run.usage);
+    }
+
+    #[test]
+    fn internal_memory_is_logarithmic() {
+        let mut rng = StdRng::seed_from_u64(33);
+        let mut points = Vec::new();
+        for logm in 2..=7 {
+            let m = 1usize << logm;
+            let inst = generate::yes_multiset(m, 16, &mut rng);
+            let run = decide_multiset_equality(&inst, &mut rng).unwrap();
+            points.push((run.usage.input_len, run.usage.internal_space as f64));
+        }
+        let (slope, _, r2) = st_core::math::log_fit(&points);
+        assert!(r2 > 0.8, "internal memory not log-shaped: r²={r2}, {points:?}");
+        assert!(slope < 80.0, "internal memory slope {slope} too steep for O(log N)");
+    }
+
+    #[test]
+    fn parameters_match_paper_formulas() {
+        let mut rng = StdRng::seed_from_u64(34);
+        let inst = generate::yes_multiset(4, 6, &mut rng);
+        let run = decide_multiset_equality(&inst, &mut rng).unwrap();
+        let k = theorem8a_k(4, 6).unwrap();
+        assert_eq!(run.params.k, k);
+        assert!(run.params.p1 <= k);
+        assert!(is_prime(run.params.p1));
+        assert!(run.params.p2 > 3 * k && run.params.p2 <= 6 * k);
+        assert!(is_prime(run.params.p2));
+        assert!(run.params.x >= 1 && run.params.x < run.params.p2);
+    }
+
+    #[test]
+    fn empty_instance_accepts() {
+        let mut rng = StdRng::seed_from_u64(35);
+        let inst = Instance::parse("").unwrap();
+        let run = decide_multiset_equality(&inst, &mut rng).unwrap();
+        assert!(run.accepted);
+    }
+
+    #[test]
+    fn single_pair_instances() {
+        let mut rng = StdRng::seed_from_u64(36);
+        let yes = Instance::parse("0101#0101#").unwrap();
+        assert!(decide_multiset_equality(&yes, &mut rng).unwrap().accepted);
+        let no = Instance::parse("0101#0100#").unwrap();
+        let freq = acceptance_frequency(&no, 200, &mut rng).unwrap();
+        assert!(freq <= 0.5);
+    }
+
+    #[test]
+    fn reordering_does_not_affect_acceptance() {
+        let mut rng = StdRng::seed_from_u64(37);
+        // Same multiset in wildly different orders must always accept.
+        let inst = Instance::parse("111#000#101#101#000#111#").unwrap();
+        for _ in 0..50 {
+            assert!(decide_multiset_equality(&inst, &mut rng).unwrap().accepted);
+        }
+    }
+
+    #[test]
+    fn detects_multiplicity_differences() {
+        let mut rng = StdRng::seed_from_u64(38);
+        // {a,a,b} vs {a,b,b}: sets equal, multisets differ — the case
+        // separating MULTISET from SET equality.
+        let inst = Instance::parse("01#01#10#01#10#10#").unwrap();
+        let freq = acceptance_frequency(&inst, 300, &mut rng).unwrap();
+        assert!(freq <= 0.5, "multiplicity difference accepted with frequency {freq}");
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use st_problems::generate;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn completeness_is_deterministic(seed in 0u64..10_000, m in 1usize..20, n in 1usize..16) {
+            // No false negatives, for any multiset-equal instance and any
+            // randomness.
+            let mut rng = StdRng::seed_from_u64(seed);
+            let inst = generate::yes_multiset(m, n, &mut rng);
+            let run = decide_multiset_equality(&inst, &mut rng).unwrap();
+            prop_assert!(run.accepted);
+        }
+
+        #[test]
+        fn two_scans_always(seed in 0u64..10_000, m in 1usize..16, n in 1usize..12) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let inst = generate::random_instance(m, n, &mut rng);
+            let run = decide_multiset_equality(&inst, &mut rng).unwrap();
+            prop_assert_eq!(run.usage.scans(), 2);
+        }
+    }
+}

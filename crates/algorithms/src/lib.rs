@@ -1,0 +1,33 @@
+//! # st-algo — the paper's upper-bound algorithms, instrumented
+//!
+//! Each algorithm runs on the `st-extmem` tape substrate and reports a
+//! [`st_core::ResourceUsage`], so the paper's upper bounds become
+//! *measured* statements:
+//!
+//! * [`fingerprint`] — Theorem 8(a): the randomized multiset-equality
+//!   test in `co-RST(2, O(log N), 1)` — two sequential scans of the input
+//!   tape (one forward, one backward), `O(log N)` bits of internal
+//!   memory, **no false negatives**, false positives with probability
+//!   `≤ ⅓ + O(1/m)`;
+//! * [`sortcheck`] — Corollary 7: deterministic deciders for CHECK-SORT,
+//!   MULTISET-EQUALITY and SET-EQUALITY via reversal-bounded external
+//!   merge sort — `Θ(log N)` scans;
+//! * [`nst`] — Theorem 8(b): the nondeterministic 3-scan verifier, built
+//!   with the paper's write-many-copies trick on two tapes;
+//! * [`sorting`] — Corollary 10: sorting and the CHECK-SORT-via-sorting
+//!   reduction;
+//! * [`baseline`] — the internal-memory-hungry one-pass hash baseline
+//!   that anchors the separation table (Corollary 9 experiment).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod amplify;
+pub mod baseline;
+pub mod disjoint;
+pub mod fingerprint;
+pub mod nst;
+pub mod sortcheck;
+pub mod sorting;
+
+pub use fingerprint::{FingerprintParams, FingerprintRun};

@@ -1,0 +1,32 @@
+//! Bench E14: random-prime sampling and residue collision testing
+//! (Claim 1's machinery).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use st_algo::fingerprint::residues_collide;
+use st_core::theorems::theorem8a_k;
+use std::time::Duration;
+
+fn config() -> Criterion {
+    Criterion::default().sample_size(10).measurement_time(Duration::from_secs(1)).warm_up_time(Duration::from_millis(200))
+}
+
+fn bench_collision(c: &mut Criterion) {
+    let mut group = c.benchmark_group("claim1_residue_collision");
+    for m in [8u64, 32, 128] {
+        let k = theorem8a_k(m, 48).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(m), &k, |b, &k| {
+            let mut rng = StdRng::seed_from_u64(m);
+            b.iter(|| residues_collide(0xDEAD_BEEF, 0xDEAD_BEEF + 720_720, k, &mut rng));
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_collision
+}
+criterion_main!(benches);

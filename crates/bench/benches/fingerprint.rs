@@ -1,0 +1,33 @@
+//! Bench E3: the Theorem 8(a) fingerprint decider across instance sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use st_algo::fingerprint::decide_multiset_equality;
+use st_problems::generate;
+use std::time::Duration;
+
+fn config() -> Criterion {
+    Criterion::default().sample_size(10).measurement_time(Duration::from_secs(1)).warm_up_time(Duration::from_millis(200))
+}
+
+fn bench_fingerprint(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fingerprint_theorem8a");
+    for logm in [6usize, 8, 10] {
+        let m = 1usize << logm;
+        let mut rng = StdRng::seed_from_u64(logm as u64);
+        let inst = generate::yes_multiset(m, 16, &mut rng);
+        group.bench_with_input(BenchmarkId::from_parameter(m), &inst, |b, inst| {
+            let mut rng = StdRng::seed_from_u64(99);
+            b.iter(|| decide_multiset_equality(inst, &mut rng).unwrap().accepted);
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_fingerprint
+}
+criterion_main!(benches);

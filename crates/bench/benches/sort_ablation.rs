@@ -1,0 +1,39 @@
+//! Ablation 1 (DESIGN.md): 2-way vs k-way tape merge sort.
+//!
+//! More scratch tapes mean fewer passes (`log_k m`) but costlier passes
+//! (`Θ(k)` rewinds and a k-way comparison frontier); the crossover is the
+//! point of the ablation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use st_extmem::sort::multiway_merge_sort;
+use st_extmem::TapeMachine;
+use std::time::Duration;
+
+fn config() -> Criterion {
+    Criterion::default().sample_size(10).measurement_time(Duration::from_secs(1)).warm_up_time(Duration::from_millis(200))
+}
+
+fn bench_multiway(c: &mut Criterion) {
+    let m = 4096usize;
+    let items: Vec<i64> = (0..m as i64).map(|i| (i * 7919) % 4093).collect();
+    let mut group = c.benchmark_group("sort_ablation_tapes");
+    for k in [2usize, 3, 4, 8] {
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
+            b.iter(|| {
+                let mut machine = TapeMachine::with_input(items.clone(), m);
+                let scratch: Vec<usize> =
+                    (0..k).map(|i| machine.add_tape(format!("s{i}"))).collect();
+                multiway_merge_sort(&mut machine, 0, &scratch).unwrap();
+                machine.usage().total_reversals()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_multiway
+}
+criterion_main!(benches);

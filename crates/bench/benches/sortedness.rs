@@ -1,0 +1,29 @@
+//! Bench E11: sortedness of the bit-reversal permutation (patience
+//! sorting at scale).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use st_problems::perm::{phi, sortedness};
+use std::time::Duration;
+
+fn config() -> Criterion {
+    Criterion::default().sample_size(10).measurement_time(Duration::from_secs(1)).warm_up_time(Duration::from_millis(200))
+}
+
+fn bench_sortedness(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sortedness_phi");
+    for logm in [10usize, 14, 16] {
+        let m = 1usize << logm;
+        let perm = phi(m);
+        group.bench_with_input(BenchmarkId::from_parameter(m), &perm, |b, perm| {
+            b.iter(|| sortedness(perm));
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_sortedness
+}
+criterion_main!(benches);

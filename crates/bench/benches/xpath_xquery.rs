@@ -1,0 +1,39 @@
+//! Bench E8/E9: the Theorem 12 XQuery query and the Figure 1 XPath
+//! filter on instance documents.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use st_problems::generate;
+use st_query::xml::{instance_document, parse};
+use st_query::xpath::{figure1_query, DocContext};
+use st_query::xquery::run_theorem12;
+use std::time::Duration;
+
+fn config() -> Criterion {
+    Criterion::default().sample_size(10).measurement_time(Duration::from_secs(1)).warm_up_time(Duration::from_millis(200))
+}
+
+fn bench_queries(c: &mut Criterion) {
+    let mut group = c.benchmark_group("xml_queries");
+    for m in [16usize, 64] {
+        let mut rng = StdRng::seed_from_u64(m as u64);
+        let inst = generate::yes_set_distinct(m, 10, &mut rng);
+        let doc = parse(&instance_document(&inst)).unwrap();
+        let q = figure1_query();
+        group.bench_with_input(BenchmarkId::new("xpath_figure1", m), &doc, |b, doc| {
+            b.iter(|| DocContext::new(doc).filter(&q));
+        });
+        group.bench_with_input(BenchmarkId::new("xquery_theorem12", m), &inst, |b, inst| {
+            b.iter(|| run_theorem12(inst).unwrap().contains("<true>"));
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_queries
+}
+criterion_main!(benches);

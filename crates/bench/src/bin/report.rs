@@ -1,0 +1,44 @@
+//! The experiment report generator.
+//!
+//! ```text
+//! cargo run -p st-bench --bin report            # every experiment
+//! cargo run -p st-bench --bin report e3 e9      # a selection
+//! cargo run -p st-bench --bin report --list     # the registry
+//! ```
+
+use st_bench::all_experiments;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let registry = all_experiments();
+    if args.iter().any(|a| a == "--list") {
+        for (id, title, _) in &registry {
+            println!("{id:>4}  {title}");
+        }
+        return;
+    }
+    let selected: Vec<_> = if args.is_empty() {
+        registry
+    } else {
+        registry
+            .into_iter()
+            .filter(|(id, _, _)| args.iter().any(|a| a.eq_ignore_ascii_case(id)))
+            .collect()
+    };
+    if selected.is_empty() {
+        eprintln!("no matching experiments; try --list");
+        std::process::exit(2);
+    }
+    let mut failures = 0usize;
+    for (_, _, run) in selected {
+        let report = run();
+        println!("{report}");
+        if !report.reproduced() {
+            failures += 1;
+        }
+    }
+    if failures > 0 {
+        eprintln!("{failures} experiment(s) NOT reproduced");
+        std::process::exit(1);
+    }
+}

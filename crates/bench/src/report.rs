@@ -1,0 +1,114 @@
+//! Report rendering: aligned text tables per experiment.
+
+use serde::Serialize;
+use std::fmt;
+
+/// One experiment's regenerated table.
+#[derive(Debug, Clone, Serialize)]
+pub struct Report {
+    /// Experiment id (e.g. `e3`).
+    pub id: String,
+    /// Human title.
+    pub title: String,
+    /// The paper claim being reproduced, one sentence.
+    pub claim: String,
+    /// Column headers.
+    pub columns: Vec<String>,
+    /// Data rows (pre-formatted).
+    pub rows: Vec<Vec<String>>,
+    /// The verdict line (does the measured shape match the claim?).
+    pub verdict: String,
+}
+
+impl Report {
+    /// Start a report.
+    #[must_use]
+    pub fn new(id: &str, title: &str, claim: &str, columns: &[&str]) -> Self {
+        Report {
+            id: id.into(),
+            title: title.into(),
+            claim: claim.into(),
+            columns: columns.iter().map(|c| (*c).to_string()).collect(),
+            rows: Vec::new(),
+            verdict: String::new(),
+        }
+    }
+
+    /// Append a row (must match the column count).
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.columns.len(), "row arity mismatch in {}", self.id);
+        self.rows.push(cells);
+    }
+
+    /// Set the verdict line.
+    pub fn verdict(&mut self, ok: bool, detail: impl Into<String>) {
+        let mark = if ok { "REPRODUCED" } else { "NOT REPRODUCED" };
+        self.verdict = format!("{mark} — {}", detail.into());
+    }
+
+    /// Did the experiment reproduce the claim?
+    #[must_use]
+    pub fn reproduced(&self) -> bool {
+        self.verdict.starts_with("REPRODUCED")
+    }
+}
+
+impl fmt::Display for Report {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "== [{}] {}", self.id.to_uppercase(), self.title)?;
+        writeln!(f, "   claim: {}", self.claim)?;
+        let mut widths: Vec<usize> = self.columns.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let line = |f: &mut fmt::Formatter<'_>, cells: &[String]| -> fmt::Result {
+            write!(f, "   |")?;
+            for (w, c) in widths.iter().zip(cells) {
+                write!(f, " {c:<w$} |")?;
+            }
+            writeln!(f)
+        };
+        line(f, &self.columns)?;
+        let total: usize = widths.iter().map(|w| w + 3).sum::<usize>() + 1;
+        writeln!(f, "   {}", "-".repeat(total))?;
+        for row in &self.rows {
+            line(f, row)?;
+        }
+        writeln!(f, "   {}", self.verdict)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_renders_aligned_table() {
+        let mut r = Report::new("e0", "demo", "x grows", &["N", "value"]);
+        r.row(vec!["16".into(), "4".into()]);
+        r.row(vec!["1024".into(), "10".into()]);
+        r.verdict(true, "log shape, r²=1.00");
+        let s = r.to_string();
+        assert!(s.contains("[E0] demo"));
+        assert!(s.contains("| N    | value |"));
+        assert!(s.contains("REPRODUCED"));
+        assert!(r.reproduced());
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity")]
+    fn arity_mismatch_panics() {
+        let mut r = Report::new("e0", "demo", "c", &["a", "b"]);
+        r.row(vec!["only-one".into()]);
+    }
+
+    #[test]
+    fn failed_verdict_is_visible() {
+        let mut r = Report::new("e0", "demo", "c", &["a"]);
+        r.verdict(false, "slope off");
+        assert!(!r.reproduced());
+        assert!(r.to_string().contains("NOT REPRODUCED"));
+    }
+}

@@ -1,0 +1,75 @@
+//! The shared error type of the workspace.
+
+use std::fmt;
+
+/// Errors surfaced by any layer of the laboratory.
+///
+/// The library never panics on malformed user input; every fallible public
+/// entry point returns `Result<_, StError>`. Panics are reserved for
+/// internal invariant violations (bugs).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StError {
+    /// A problem instance string over `{0,1,#}` failed to parse, or an
+    /// instance violated a structural precondition (e.g. the two halves of
+    /// a CHECK-φ instance have different lengths).
+    InvalidInstance(String),
+    /// A machine or algorithm exceeded its declared `(r,s,t)` budget and
+    /// was configured to treat that as an error rather than a report.
+    ResourceExceeded {
+        /// Human-readable description of the violated budget.
+        what: String,
+        /// The budgeted quantity.
+        limit: u64,
+        /// The observed quantity.
+        observed: u64,
+    },
+    /// A machine definition is ill-formed (missing transition, duplicate
+    /// state, head moved off a one-sided tape, ...).
+    Machine(String),
+    /// A query failed to parse or evaluate (relational algebra, XPath,
+    /// XQuery layers).
+    Query(String),
+    /// An XML document or token stream is not well-formed.
+    Xml(String),
+    /// A theorem's parameter preconditions do not hold for the requested
+    /// configuration (e.g. Lemma 21 requires `m ≥ 2^4·(t+1)^{4r} + 1`).
+    Precondition(String),
+}
+
+impl fmt::Display for StError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StError::InvalidInstance(msg) => write!(f, "invalid instance: {msg}"),
+            StError::ResourceExceeded { what, limit, observed } => {
+                write!(f, "resource exceeded: {what} (limit {limit}, observed {observed})")
+            }
+            StError::Machine(msg) => write!(f, "machine error: {msg}"),
+            StError::Query(msg) => write!(f, "query error: {msg}"),
+            StError::Xml(msg) => write!(f, "xml error: {msg}"),
+            StError::Precondition(msg) => write!(f, "precondition violated: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for StError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats_are_stable() {
+        let e = StError::InvalidInstance("bad symbol 'x'".into());
+        assert_eq!(e.to_string(), "invalid instance: bad symbol 'x'");
+        let e = StError::ResourceExceeded { what: "head reversals".into(), limit: 4, observed: 9 };
+        assert_eq!(e.to_string(), "resource exceeded: head reversals (limit 4, observed 9)");
+        let e = StError::Precondition("m must be a power of two".into());
+        assert!(e.to_string().contains("power of two"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn takes_err(_: &dyn std::error::Error) {}
+        takes_err(&StError::Machine("x".into()));
+    }
+}

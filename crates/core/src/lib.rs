@@ -1,0 +1,46 @@
+//! # st-core — the formal framework of the ST(r,s,t) model
+//!
+//! This crate encodes the *definitions* of Grohe, Hernich and Schweikardt,
+//! "Randomized Computations on Large Data Sets: Tight Lower Bounds"
+//! (PODS 2006):
+//!
+//! * [`bounds`] — resource-bound functions `r(N)`, `s(N)` (Definition 1) as
+//!   first-class values with symbolic asymptotics and numeric evaluation;
+//! * [`classes`] — the complexity classes `ST`, `NST`, `RST`, `co-RST` and
+//!   `LasVegas-RST` (Definitions 2 and 4) as checkable specifications;
+//! * [`usage`] — the common resource-usage record every machine substrate
+//!   in the workspace (Turing machines, list machines, tape algorithms)
+//!   reports in, together with the `(r,s,t)`-boundedness check;
+//! * [`theorems`] — the parameter calculators of the paper's quantitative
+//!   lemmas (Lemma 3 run-length bound, Lemma 16 state-count bound,
+//!   Lemma 21/22 preconditions, Lemma 32 skeleton-count bound);
+//! * [`math`] — shared integer/number-theory helpers (ceil-log2, integer
+//!   roots, deterministic Miller–Rabin for `u64`, log-linear regression
+//!   used by the experiment harness to verify Θ(log N) shapes).
+//!
+//! Everything downstream (the tape substrate, the TM and list-machine
+//! simulators, the algorithms, the query engines and the benchmark
+//! harness) speaks in these types.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bounds;
+pub mod classes;
+pub mod error;
+pub mod math;
+pub mod theorems;
+pub mod usage;
+
+pub use bounds::{Bound, TapeCount};
+pub use classes::{ClassSpec, ErrorSide, MachineMode};
+pub use error::StError;
+pub use usage::{BoundCheck, ResourceUsage, Violation};
+
+/// Convenient glob-import surface: `use st_core::prelude::*;`.
+pub mod prelude {
+    pub use crate::bounds::{Bound, TapeCount};
+    pub use crate::classes::{ClassSpec, ErrorSide, MachineMode};
+    pub use crate::error::StError;
+    pub use crate::usage::{BoundCheck, ResourceUsage, Violation};
+}

@@ -1,0 +1,305 @@
+//! Shared integer and statistical helpers.
+//!
+//! * exact integer logs and roots used by the parameter calculators;
+//! * deterministic Miller–Rabin primality for `u64` (the fingerprinting
+//!   algorithm of Theorem 8(a) samples random primes `p₁ ≤ k` and needs a
+//!   Bertrand prime `3k < p₂ ≤ 6k`);
+//! * modular arithmetic that cannot overflow (`u128` intermediates);
+//! * least-squares fits against `log₂ N` used by the experiment harness to
+//!   verify the Θ(log N) *shape* of reversal counts.
+
+/// `⌈log₂ x⌉` for `x ≥ 1`; `0` for `x ≤ 1`.
+#[must_use]
+pub fn ceil_log2(x: u64) -> u32 {
+    if x <= 1 {
+        0
+    } else {
+        64 - (x - 1).leading_zeros()
+    }
+}
+
+/// `⌊log₂ x⌋` for `x ≥ 1`. Panics on `x = 0`.
+#[must_use]
+pub fn floor_log2(x: u64) -> u32 {
+    assert!(x > 0, "floor_log2(0) is undefined");
+    63 - x.leading_zeros()
+}
+
+/// The paper's `loġ x` ("dot-log"): `max(1, ⌈log₂ x⌉)`, so that the
+/// fingerprint modulus `k = m³ · n · loġ(m³ n)` is never zero.
+#[must_use]
+pub fn dot_log2(x: u64) -> u64 {
+    u64::from(ceil_log2(x)).max(1)
+}
+
+/// Largest `y` with `y⁴ ≤ x` (integer fourth root).
+#[must_use]
+pub fn fourth_root(x: u64) -> u64 {
+    if x == 0 {
+        return 0;
+    }
+    let mut y = (x as f64).powf(0.25) as u64;
+    // Fix up floating error in both directions.
+    while y.checked_pow(4).is_none_or(|p| p > x) {
+        y -= 1;
+    }
+    while (y + 1).checked_pow(4).is_some_and(|p| p <= x) {
+        y += 1;
+    }
+    y
+}
+
+/// Largest `y` with `y² ≤ x` (integer square root).
+#[must_use]
+pub fn isqrt(x: u64) -> u64 {
+    if x == 0 {
+        return 0;
+    }
+    let mut y = (x as f64).sqrt() as u64;
+    while y.checked_mul(y).is_none_or(|p| p > x) {
+        y -= 1;
+    }
+    while (y + 1).checked_mul(y + 1).is_some_and(|p| p <= x) {
+        y += 1;
+    }
+    y
+}
+
+/// `(a + b) mod m` without overflow.
+#[must_use]
+pub fn add_mod(a: u64, b: u64, m: u64) -> u64 {
+    ((a as u128 + b as u128) % m as u128) as u64
+}
+
+/// `(a · b) mod m` without overflow.
+#[must_use]
+pub fn mul_mod(a: u64, b: u64, m: u64) -> u64 {
+    ((a as u128 * b as u128) % m as u128) as u64
+}
+
+/// `a^e mod m` by square-and-multiply. `m = 1` yields 0.
+#[must_use]
+pub fn pow_mod(mut a: u64, mut e: u64, m: u64) -> u64 {
+    if m == 1 {
+        return 0;
+    }
+    let mut acc: u64 = 1;
+    a %= m;
+    while e > 0 {
+        if e & 1 == 1 {
+            acc = mul_mod(acc, a, m);
+        }
+        a = mul_mod(a, a, m);
+        e >>= 1;
+    }
+    acc
+}
+
+/// Deterministic Miller–Rabin for `u64`.
+///
+/// Uses the base set `{2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37}`, which
+/// is known to be exact for all `n < 3.3 · 10^24` — far beyond `u64`.
+#[must_use]
+pub fn is_prime(n: u64) -> bool {
+    if n < 2 {
+        return false;
+    }
+    for p in [2u64, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37] {
+        if n == p {
+            return true;
+        }
+        if n.is_multiple_of(p) {
+            return false;
+        }
+    }
+    // n - 1 = d · 2^s with d odd.
+    let mut d = n - 1;
+    let s = d.trailing_zeros();
+    d >>= s;
+    'witness: for a in [2u64, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37] {
+        let mut x = pow_mod(a, d, n);
+        if x == 1 || x == n - 1 {
+            continue;
+        }
+        for _ in 1..s {
+            x = mul_mod(x, x, n);
+            if x == n - 1 {
+                continue 'witness;
+            }
+        }
+        return false;
+    }
+    true
+}
+
+/// Smallest prime `> n` (Bertrand's postulate guarantees one `≤ 2n` for
+/// `n ≥ 1`; the paper uses it to pick `p₂` with `3k < p₂ ≤ 6k`).
+#[must_use]
+pub fn next_prime(n: u64) -> u64 {
+    let mut c = n + 1;
+    if c <= 2 {
+        return 2;
+    }
+    if c.is_multiple_of(2) {
+        c += 1;
+    }
+    while !is_prime(c) {
+        c += 2;
+    }
+    c
+}
+
+/// Least-squares fit `y ≈ a·x + b`; returns `(a, b, r²)`.
+///
+/// The experiment harness fits reversal counts against `x = log₂ N` to
+/// verify the Θ(log N) shape of Corollary 7 / Theorem 11 measurements.
+#[must_use]
+pub fn linear_fit(points: &[(f64, f64)]) -> (f64, f64, f64) {
+    let n = points.len() as f64;
+    if points.len() < 2 {
+        return (0.0, points.first().map_or(0.0, |p| p.1), 1.0);
+    }
+    let sx: f64 = points.iter().map(|p| p.0).sum();
+    let sy: f64 = points.iter().map(|p| p.1).sum();
+    let sxx: f64 = points.iter().map(|p| p.0 * p.0).sum();
+    let sxy: f64 = points.iter().map(|p| p.0 * p.1).sum();
+    let denom = n * sxx - sx * sx;
+    if denom.abs() < f64::EPSILON {
+        return (0.0, sy / n, 0.0);
+    }
+    let a = (n * sxy - sx * sy) / denom;
+    let b = (sy - a * sx) / n;
+    let mean_y = sy / n;
+    let ss_tot: f64 = points.iter().map(|p| (p.1 - mean_y).powi(2)).sum();
+    let ss_res: f64 = points.iter().map(|p| (p.1 - (a * p.0 + b)).powi(2)).sum();
+    let r2 = if ss_tot < f64::EPSILON { 1.0 } else { 1.0 - ss_res / ss_tot };
+    (a, b, r2)
+}
+
+/// Fit `y` against `log₂ N` for `(N, y)` samples; returns `(slope,
+/// intercept, r²)`. A near-1 `r²` with positive slope certifies a
+/// logarithmic growth shape.
+#[must_use]
+pub fn log_fit(points: &[(usize, f64)]) -> (f64, f64, f64) {
+    let xs: Vec<(f64, f64)> =
+        points.iter().map(|&(n, y)| ((n.max(2) as f64).log2(), y)).collect();
+    linear_fit(&xs)
+}
+
+/// Wilson score interval (95%) for a Bernoulli proportion from `successes`
+/// out of `trials`. Returns `(low, high)`. Used to report Monte-Carlo
+/// acceptance-probability estimates with honest uncertainty.
+#[must_use]
+pub fn wilson_interval(successes: u64, trials: u64) -> (f64, f64) {
+    if trials == 0 {
+        return (0.0, 1.0);
+    }
+    let z = 1.96f64;
+    let n = trials as f64;
+    let p = successes as f64 / n;
+    let z2 = z * z;
+    let denom = 1.0 + z2 / n;
+    let center = p + z2 / (2.0 * n);
+    let margin = z * (p * (1.0 - p) / n + z2 / (4.0 * n * n)).sqrt();
+    (((center - margin) / denom).max(0.0), ((center + margin) / denom).min(1.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn logs() {
+        assert_eq!(ceil_log2(1), 0);
+        assert_eq!(ceil_log2(2), 1);
+        assert_eq!(ceil_log2(3), 2);
+        assert_eq!(ceil_log2(1024), 10);
+        assert_eq!(ceil_log2(1025), 11);
+        assert_eq!(floor_log2(1), 0);
+        assert_eq!(floor_log2(1023), 9);
+        assert_eq!(floor_log2(1024), 10);
+        assert_eq!(dot_log2(1), 1);
+        assert_eq!(dot_log2(9), 4);
+    }
+
+    #[test]
+    fn roots() {
+        assert_eq!(fourth_root(0), 0);
+        assert_eq!(fourth_root(15), 1);
+        assert_eq!(fourth_root(16), 2);
+        assert_eq!(fourth_root(u64::MAX), 65535);
+        assert_eq!(isqrt(0), 0);
+        assert_eq!(isqrt(35), 5);
+        assert_eq!(isqrt(36), 6);
+        assert_eq!(isqrt(u64::MAX), u32::MAX as u64);
+    }
+
+    #[test]
+    fn modular_arithmetic_no_overflow() {
+        let m = u64::MAX - 58; // large prime-ish modulus
+        assert_eq!(add_mod(m - 1, m - 1, m), m - 2);
+        assert_eq!(mul_mod(u64::MAX - 1, u64::MAX - 1, 97), {
+            let a = ((u64::MAX - 1) % 97) as u128;
+            ((a * a) % 97) as u64
+        });
+        assert_eq!(pow_mod(2, 10, 1000), 24);
+        assert_eq!(pow_mod(7, 0, 13), 1);
+        assert_eq!(pow_mod(5, 117, 1), 0);
+    }
+
+    #[test]
+    fn primality_small_table() {
+        let primes: Vec<u64> =
+            (0..60u64).filter(|&n| is_prime(n)).collect();
+        assert_eq!(primes, vec![2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59]);
+    }
+
+    #[test]
+    fn primality_large_known_values() {
+        assert!(is_prime(2_147_483_647)); // 2^31 - 1, Mersenne
+        assert!(is_prime(1_000_000_007));
+        assert!(!is_prime(1_000_000_007u64 * 3));
+        assert!(is_prime(18_446_744_073_709_551_557)); // largest u64 prime
+        assert!(!is_prime(18_446_744_073_709_551_615)); // u64::MAX = 3·5·17·257·641·65537·6700417
+    }
+
+    #[test]
+    fn next_prime_respects_bertrand() {
+        for n in [1u64, 2, 10, 100, 1000, 1 << 20] {
+            let p = next_prime(n);
+            assert!(p > n && p <= 2 * n.max(1) + 2, "Bertrand violated at {n}: {p}");
+            assert!(is_prime(p));
+        }
+    }
+
+    #[test]
+    fn linear_fit_recovers_exact_line() {
+        let pts: Vec<(f64, f64)> = (1..=10).map(|x| (x as f64, 3.0 * x as f64 + 2.0)).collect();
+        let (a, b, r2) = linear_fit(&pts);
+        assert!((a - 3.0).abs() < 1e-9);
+        assert!((b - 2.0).abs() < 1e-9);
+        assert!((r2 - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn log_fit_detects_logarithmic_growth() {
+        // y = 4·log2(N) + 7 exactly.
+        let pts: Vec<(usize, f64)> =
+            (4..=20).map(|k| (1usize << k, 4.0 * k as f64 + 7.0)).collect();
+        let (a, b, r2) = log_fit(&pts);
+        assert!((a - 4.0).abs() < 1e-9, "slope {a}");
+        assert!((b - 7.0).abs() < 1e-6);
+        assert!(r2 > 0.999999);
+    }
+
+    #[test]
+    fn wilson_interval_contains_true_p() {
+        let (lo, hi) = wilson_interval(500, 1000);
+        assert!(lo < 0.5 && 0.5 < hi);
+        assert!(hi - lo < 0.07, "interval too wide: [{lo}, {hi}]");
+        let (lo, hi) = wilson_interval(0, 0);
+        assert_eq!((lo, hi), (0.0, 1.0));
+        let (lo, _) = wilson_interval(1000, 1000);
+        assert!(lo > 0.99);
+    }
+}

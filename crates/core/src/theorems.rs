@@ -1,0 +1,238 @@
+//! Parameter calculators for the paper's quantitative lemmas.
+//!
+//! The lower-bound proof is a chain of counting arguments whose constants
+//! matter for experiments: Lemma 3 bounds run lengths, Lemma 16 bounds the
+//! simulating list machine's state count, Lemma 21 needs its parameters
+//! `(k, m, n, r, t)` to satisfy explicit inequalities, and Lemma 32 bounds
+//! the number of skeletons. This module makes those formulas executable —
+//! in log-space (`f64` exponents) where the raw values overflow `u128`.
+
+use crate::error::StError;
+use crate::math::{ceil_log2, dot_log2};
+
+/// Lemma 3: every run of an `(r,s,t)`-bounded NTM on an input of size `N`
+/// has length at most `N · 2^{c·r·(t+s)}`.
+///
+/// Returns `log₂` of the bound (the raw value overflows quickly), with the
+/// unspecified constant `c` supplied by the caller.
+#[must_use]
+pub fn lemma3_run_length_log2(n: usize, r: u64, s: u64, t: u64, c: f64) -> f64 {
+    (n.max(1) as f64).log2() + c * r as f64 * (t + s) as f64
+}
+
+/// Lemma 16, Equation (2): the simulating NLM's state count satisfies
+/// `|A| ≤ 2^{d·t²·r·s} + 3t·log(m·(n+1))`. Returns `log₂` of the dominant
+/// term plus the additive term separately: `(log2_main, additive)`.
+#[must_use]
+pub fn lemma16_state_bound(m: u64, n: u64, r: u64, s: u64, t: u64, d: f64) -> (f64, f64) {
+    let log_input = f64::from(ceil_log2(m.saturating_mul(n + 1).max(2)));
+    (d * (t * t) as f64 * r as f64 * s as f64, 3.0 * t as f64 * log_input)
+}
+
+/// Lemma 32: the number of skeletons of runs of an `(r,t)`-bounded NLM with
+/// `k` states and `m` input positions is at most
+/// `(m + k + 3)^{12·m·(t+1)^{2r+2} + 24·(t+1)^r}`.
+///
+/// Returns `log₂` of the bound.
+#[must_use]
+pub fn lemma32_skeleton_bound_log2(m: u64, k: u64, t: u64, r: u32) -> f64 {
+    let base = (m + k + 3) as f64;
+    let tp1 = (t + 1) as f64;
+    let exponent = 12.0 * m as f64 * tp1.powi(2 * r as i32 + 2) + 24.0 * tp1.powi(r as i32);
+    exponent * base.log2()
+}
+
+/// Lemma 30(a): total list length after the `i`-th head-direction change is
+/// at most `(t+1)^i · m`.
+#[must_use]
+pub fn lemma30_list_length_bound(m: u64, t: u64, i: u32) -> f64 {
+    ((t + 1) as f64).powi(i as i32) * m as f64
+}
+
+/// Lemma 30(b): cell size is at most `11 · max(t,2)^r`.
+#[must_use]
+pub fn lemma30_cell_size_bound(t: u64, r: u32) -> f64 {
+    11.0 * (t.max(2) as f64).powi(r as i32)
+}
+
+/// Lemma 31(a): run length of an `(r,t)`-bounded NLM with `k` states is at
+/// most `k + k·(t+1)^{r+1}·m`.
+#[must_use]
+pub fn lemma31_run_length_bound(m: u64, k: u64, t: u64, r: u32) -> f64 {
+    k as f64 + k as f64 * ((t + 1) as f64).powi(r as i32 + 1) * m as f64
+}
+
+/// Lemma 38 (Merge Lemma corollary): at most `t^{2r} · sortedness(φ)`
+/// indices `i` can have positions `i` and `m+φ(i)` compared in one run.
+#[must_use]
+pub fn lemma38_compare_bound(t: u64, r: u32, sortedness: u64) -> f64 {
+    (t as f64).powi(2 * r as i32) * sortedness as f64
+}
+
+/// The Theorem 8(a) fingerprint modulus `k = m³ · n · loġ(m³·n)`.
+///
+/// Errors if the value would overflow `u64` (the experiments keep `m, n`
+/// small enough that it never does).
+pub fn theorem8a_k(m: u64, n: u64) -> Result<u64, StError> {
+    let m3 = m
+        .checked_pow(3)
+        .ok_or_else(|| StError::Precondition(format!("m³ overflows u64 for m={m}")))?;
+    let m3n = m3
+        .checked_mul(n)
+        .ok_or_else(|| StError::Precondition(format!("m³·n overflows u64 for m={m}, n={n}")))?;
+    m3n.checked_mul(dot_log2(m3n))
+        .ok_or_else(|| StError::Precondition(format!("k overflows u64 for m={m}, n={n}")))
+}
+
+/// The preconditions of Lemma 21 on `(k, m, n, r, t)`:
+///
+/// * `m` is a power of 2 and `t ≥ 2`;
+/// * `m ≥ 2⁴·(t+1)^{4r} + 1`;
+/// * `k ≥ 2m + 3`;
+/// * `n ≥ 1 + (m² + 1)·log₂(2k)`.
+///
+/// Returns `Ok(())` if they all hold, else the list of violations.
+pub fn lemma21_preconditions(k: u64, m: u64, n: u64, r: u32, t: u64) -> Result<(), Vec<String>> {
+    let mut errs = Vec::new();
+    if !m.is_power_of_two() {
+        errs.push(format!("m = {m} is not a power of 2"));
+    }
+    if t < 2 {
+        errs.push(format!("t = {t} < 2"));
+    }
+    let tp1_4r = (t + 1) as f64;
+    let m_floor = 16.0 * tp1_4r.powi(4 * r as i32) + 1.0;
+    if (m as f64) < m_floor {
+        errs.push(format!("m = {m} < 2⁴·(t+1)^(4r)+1 = {m_floor}"));
+    }
+    if k < 2 * m + 3 {
+        errs.push(format!("k = {k} < 2m+3 = {}", 2 * m + 3));
+    }
+    let n_floor = 1.0 + (m as f64 * m as f64 + 1.0) * ((2 * k) as f64).log2();
+    if (n as f64) < n_floor {
+        errs.push(format!("n = {n} < 1+(m²+1)·log(2k) = {n_floor:.1}"));
+    }
+    if errs.is_empty() {
+        Ok(())
+    } else {
+        Err(errs)
+    }
+}
+
+/// Lemma 22's choice of `m` for given `(r, s, t)` bound *functions*: the
+/// smallest power of two `m` such that, with `n = m³` and
+/// `N = 2m·(n+1)`:
+///
+/// * Equation (3): `m ≥ 2⁴·(t+1)^{4·r(N)} + 1`, and
+/// * Equation (4): `m³ ≥ 1 + d·t²·r(N)·s(N) + 3t·log(N)`.
+///
+/// Returns `None` if no `m ≤ 2^max_log_m` works (i.e. the bounds grow too
+/// fast — exactly what happens when `r ∉ o(log N)`).
+#[must_use]
+pub fn lemma22_choose_m(
+    r: impl Fn(usize) -> u64,
+    s: impl Fn(usize) -> u64,
+    t: u64,
+    d: f64,
+    max_log_m: u32,
+) -> Option<u64> {
+    for log_m in 1..=max_log_m {
+        let m = 1u64 << log_m;
+        let n = m.checked_pow(3)?;
+        let nn = 2u128 * m as u128 * (n as u128 + 1);
+        if nn > usize::MAX as u128 {
+            return None;
+        }
+        let nn = nn as usize;
+        let rv = r(nn);
+        let sv = s(nn);
+        let eq3 = (m as f64) >= 16.0 * ((t + 1) as f64).powi(4 * rv as i32) + 1.0;
+        let eq4 = (n as f64)
+            >= 1.0 + d * (t * t) as f64 * rv as f64 * sv as f64
+                + 3.0 * t as f64 * f64::from(ceil_log2(nn as u64));
+        if eq3 && eq4 {
+            return Some(m);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lemma3_bound_is_monotone_in_every_parameter() {
+        let base = lemma3_run_length_log2(1000, 3, 8, 2, 1.0);
+        assert!(lemma3_run_length_log2(2000, 3, 8, 2, 1.0) > base);
+        assert!(lemma3_run_length_log2(1000, 4, 8, 2, 1.0) > base);
+        assert!(lemma3_run_length_log2(1000, 3, 9, 2, 1.0) > base);
+        assert!(lemma3_run_length_log2(1000, 3, 8, 3, 1.0) > base);
+    }
+
+    #[test]
+    fn lemma32_bound_log2_shape() {
+        // Small machine: m=4, k=11, t=2, r=1 → exponent = 12·4·3⁴ + 24·3
+        // = 3960, base = 18 → log2 ≈ 3960·log2(18).
+        let got = lemma32_skeleton_bound_log2(4, 11, 2, 1);
+        let expect = 3960.0 * 18f64.log2();
+        assert!((got - expect).abs() < 1e-6, "{got} vs {expect}");
+    }
+
+    #[test]
+    fn lemma31_matches_formula() {
+        // k + k(t+1)^{r+1} m with m=8, k=5, t=2, r=2 → 5 + 5·27·8 = 1085.
+        assert_eq!(lemma31_run_length_bound(8, 5, 2, 2) as u64, 1085);
+    }
+
+    #[test]
+    fn theorem8a_k_formula() {
+        // m=2, n=4: m³n = 32, loġ32 = 5 → k = 160.
+        assert_eq!(theorem8a_k(2, 4).unwrap(), 160);
+        // Overflow detected.
+        assert!(theorem8a_k(u64::MAX / 2, 2).is_err());
+    }
+
+    #[test]
+    fn lemma21_preconditions_accept_paper_scale_parameters() {
+        // t=2, r=1: m ≥ 16·81+1 = 1297 → m = 2048. k = 2m+3. n huge.
+        let m = 2048u64;
+        let k = 2 * m + 3;
+        let n = 1 + (m * m + 1) * u64::from(ceil_log2(2 * k)) + 1;
+        assert!(lemma21_preconditions(k, m, n, 1, 2).is_ok());
+    }
+
+    #[test]
+    fn lemma21_preconditions_reject_bad_parameters() {
+        let errs = lemma21_preconditions(3, 6, 10, 1, 1).unwrap_err();
+        // m not a power of two, t < 2, m too small, k too small, n too small.
+        assert_eq!(errs.len(), 5, "{errs:?}");
+    }
+
+    #[test]
+    fn lemma22_finds_m_for_constant_r() {
+        // r(N) = 1 scan, s(N) = log N: Theorem 6 hypotheses hold, so a
+        // suitable m must exist within the addressable range.
+        let m = lemma22_choose_m(|_| 1, |n| u64::from(ceil_log2(n as u64)), 2, 1.0, 20);
+        assert!(m.is_some());
+        let m = m.unwrap();
+        assert!(m.is_power_of_two());
+        // And it indeed satisfies Eq (3): m ≥ 16·3^4+1 = 1297 → m ≥ 2^11.
+        assert!(m >= 1 << 11, "m = {m}");
+    }
+
+    #[test]
+    fn lemma22_fails_for_logarithmic_r() {
+        // r(N) = log N: Equation (3) requires m ≥ 16·(t+1)^{4 log N}+1
+        // which outgrows every m — no choice exists. (This mirrors why the
+        // lower bound does not apply at r = Θ(log N).)
+        let m = lemma22_choose_m(
+            |n| u64::from(ceil_log2(n as u64)),
+            |_| 4,
+            2,
+            1.0,
+            24,
+        );
+        assert_eq!(m, None);
+    }
+}

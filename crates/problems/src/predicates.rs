@@ -1,0 +1,178 @@
+//! Reference semantics: the ground-truth deciders.
+//!
+//! These are the *specifications* every machine/algorithm in the
+//! workspace is tested against. They run in internal memory without
+//! resource accounting — they define what the answer *is*, not how to
+//! compute it within `(r,s,t)` bounds.
+
+use crate::bitstr::BitStr;
+use crate::instance::Instance;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// SET-EQUALITY: `{v₁,…,v_m} = {v′₁,…,v′_m}` (duplicates collapse).
+#[must_use]
+pub fn is_set_equal(inst: &Instance) -> bool {
+    let a: BTreeSet<&BitStr> = inst.xs.iter().collect();
+    let b: BTreeSet<&BitStr> = inst.ys.iter().collect();
+    a == b
+}
+
+/// MULTISET-EQUALITY: equal elements with equal multiplicities.
+#[must_use]
+pub fn is_multiset_equal(inst: &Instance) -> bool {
+    fn count(vs: &[BitStr]) -> BTreeMap<&BitStr, usize> {
+        let mut map: BTreeMap<&BitStr, usize> = BTreeMap::new();
+        for v in vs {
+            *map.entry(v).or_default() += 1;
+        }
+        map
+    }
+    count(&inst.xs) == count(&inst.ys)
+}
+
+/// CHECK-SORT: `v′₁,…,v′_m` is the ascending lexicographic sort of
+/// `v₁,…,v_m`.
+#[must_use]
+pub fn is_check_sorted(inst: &Instance) -> bool {
+    let mut sorted = inst.xs.clone();
+    sorted.sort();
+    sorted == inst.ys
+}
+
+/// DISJOINT-SETS (the open problem of Section 9): the two *sets* share no
+/// element.
+#[must_use]
+pub fn are_disjoint(inst: &Instance) -> bool {
+    let a: BTreeSet<&BitStr> = inst.xs.iter().collect();
+    inst.ys.iter().all(|y| !a.contains(y))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn inst(word: &str) -> Instance {
+        Instance::parse(word).unwrap()
+    }
+
+    #[test]
+    fn set_vs_multiset_on_duplicates() {
+        // {0,0,1} vs {0,1,1}: sets equal, multisets not.
+        let i = inst("0#0#1#0#1#1#");
+        assert!(is_set_equal(&i));
+        assert!(!is_multiset_equal(&i));
+    }
+
+    #[test]
+    fn multiset_equality_is_order_insensitive() {
+        let i = inst("01#10#11#11#01#10#");
+        assert!(is_multiset_equal(&i));
+        assert!(is_set_equal(&i));
+    }
+
+    #[test]
+    fn checksort_accepts_exactly_the_sorted_copy() {
+        assert!(is_check_sorted(&inst("10#01#11#01#10#11#")));
+        assert!(!is_check_sorted(&inst("10#01#11#01#11#10#")), "unsorted second list");
+        assert!(!is_check_sorted(&inst("10#01#11#00#10#11#")), "wrong element");
+    }
+
+    #[test]
+    fn checksort_with_duplicates() {
+        assert!(is_check_sorted(&inst("1#0#1#0#1#1#")));
+        assert!(!is_check_sorted(&inst("1#0#1#0#1#0#")));
+    }
+
+    #[test]
+    fn lexicographic_not_numeric_sort() {
+        // "10" < "100" lexicographically... actually "10" is a prefix of
+        // "100", so "10" < "100"; but "1" < "01"? No: '0' < '1' so "01" < "1".
+        assert!(is_check_sorted(&inst("1#01#01#1#")));
+        assert!(!is_check_sorted(&inst("1#01#1#01#")));
+    }
+
+    #[test]
+    fn disjointness() {
+        assert!(are_disjoint(&inst("0#1#00#11#")));
+        assert!(!are_disjoint(&inst("0#1#00#1#")));
+        assert!(are_disjoint(&inst("")), "empty lists are disjoint");
+    }
+
+    #[test]
+    fn empty_instance_is_equal_under_all_predicates() {
+        let i = inst("");
+        assert!(is_set_equal(&i));
+        assert!(is_multiset_equal(&i));
+        assert!(is_check_sorted(&i));
+    }
+
+    #[test]
+    fn multiset_implies_set_equality() {
+        for word in ["0#1#1#0#", "00#00#00#00#", "0#0#0#0#", "01#1#1#01#"] {
+            let i = inst(word);
+            if is_multiset_equal(&i) {
+                assert!(is_set_equal(&i), "{word}");
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn arb_instance(max_m: usize, max_n: usize) -> impl Strategy<Value = Instance> {
+        proptest::collection::vec(
+            (proptest::collection::vec(0u8..2, 0..=max_n), proptest::collection::vec(0u8..2, 0..=max_n)),
+            0..=max_m,
+        )
+        .prop_map(|pairs| {
+            let to_bs = |bits: Vec<u8>| {
+                BitStr::parse(&bits.iter().map(|b| char::from(b'0' + b)).collect::<String>()).unwrap()
+            };
+            let xs = pairs.iter().map(|(a, _)| to_bs(a.clone())).collect();
+            let ys = pairs.iter().map(|(_, b)| to_bs(b.clone())).collect();
+            Instance::new(xs, ys).unwrap()
+        })
+    }
+
+    use crate::bitstr::BitStr;
+
+    proptest! {
+        #[test]
+        fn multiset_equality_implies_set_equality(inst in arb_instance(8, 4)) {
+            if is_multiset_equal(&inst) {
+                prop_assert!(is_set_equal(&inst));
+            }
+        }
+
+        #[test]
+        fn checksort_implies_multiset_equality(inst in arb_instance(8, 4)) {
+            if is_check_sorted(&inst) {
+                prop_assert!(is_multiset_equal(&inst));
+            }
+        }
+
+        #[test]
+        fn shuffling_preserves_multiset_equality(inst in arb_instance(8, 4)) {
+            let mut shuffled = inst.ys.clone();
+            shuffled.reverse();
+            let inst2 = Instance::new(inst.xs.clone(), shuffled).unwrap();
+            prop_assert_eq!(is_multiset_equal(&inst), is_multiset_equal(&inst2));
+        }
+
+        #[test]
+        fn sorting_xs_onto_ys_always_checksorts(xs in proptest::collection::vec(proptest::collection::vec(0u8..2, 0..5), 0..8)) {
+            let xs: Vec<BitStr> = xs
+                .into_iter()
+                .map(|bits| BitStr::parse(&bits.iter().map(|b| char::from(b'0' + b)).collect::<String>()).unwrap())
+                .collect();
+            let mut ys = xs.clone();
+            ys.sort();
+            let inst = Instance::new(xs, ys).unwrap();
+            prop_assert!(is_check_sorted(&inst));
+            prop_assert!(is_multiset_equal(&inst));
+        }
+    }
+}

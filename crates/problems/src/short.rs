@@ -1,0 +1,218 @@
+//! The SHORT reduction `f` of Appendix E (proof of Corollary 7).
+//!
+//! The SHORT variants restrict values to length `≤ c·log m` for a
+//! constant `c ≥ 2`. Appendix E reduces CHECK-φ to them: split each
+//! length-`n` value into `μ = ⌈n / log m⌉` blocks of `log m` bits (the
+//! last block left-padded with zeros) and tag each block with its
+//! provenance,
+//!
+//! ```text
+//! w_{i,j}  = BIN(φ(i)) · BIN′(j) · v_{i,j}      (first list)
+//! w′_{i,j} = BIN(i)    · BIN′(j) · v′_{i,j}     (second list)
+//! ```
+//!
+//! where `BIN(i)` is the `log m`-bit representation of `i−1` and
+//! `BIN′(j)` the `⌈log μ⌉`-bit representation of `j−1` (the paper fixes
+//! `3·log m` bits because there `n = m³`; we compute the width, which
+//! equals the paper's when `n = m³`). The tags make every block unique,
+//! so `f(v)` is a SHORT-MULTISET-EQUALITY / SHORT-SET-EQUALITY /
+//! SHORT-CHECK-SORT yes-instance **iff** `v` is a CHECK-φ yes-instance —
+//! and the second list comes out already sorted.
+
+use crate::bitstr::BitStr;
+use crate::checkphi::CheckPhi;
+use crate::instance::Instance;
+use crate::perm::phi;
+use st_core::math::ceil_log2;
+use st_core::StError;
+
+/// The reduction output together with its parameters.
+#[derive(Debug, Clone)]
+pub struct ShortReduction {
+    /// The reduced instance with `m′ = μ·m` pairs of short strings.
+    pub instance: Instance,
+    /// Blocks per original value, `μ`.
+    pub blocks_per_value: usize,
+    /// Bits per block (`log₂ m`).
+    pub block_bits: usize,
+    /// Width of the `BIN′` tag.
+    pub bin_prime_bits: usize,
+}
+
+/// Apply `f` to a CHECK-φ instance of the family `fam`.
+///
+/// Errors if the instance is not in the family's instance space (the
+/// reduction is only defined there).
+pub fn reduce_to_short(fam: &CheckPhi, inst: &Instance) -> Result<ShortReduction, StError> {
+    if !fam.in_instance_space(inst) {
+        return Err(StError::InvalidInstance(
+            "reduce_to_short: instance not in the CHECK-φ instance space".into(),
+        ));
+    }
+    let m = fam.m;
+    let logm = fam.log_m().max(1);
+    let mu = fam.n.div_ceil(logm);
+    let bin_prime_bits = ceil_log2(mu.max(2) as u64) as usize;
+    let ph = phi(m);
+
+    let blocks = |v: &BitStr| -> Vec<BitStr> {
+        (0..mu)
+            .map(|j| {
+                let from = j * logm;
+                let to = ((j + 1) * logm).min(v.len());
+                v.slice(from, to).pad_left(logm)
+            })
+            .collect()
+    };
+
+    let mut xs = Vec::with_capacity(mu * m);
+    let mut ys = Vec::with_capacity(mu * m);
+    for (x, &phi_i) in inst.xs.iter().zip(&ph) {
+        let tag_i = BitStr::from_value(phi_i as u128, logm).expect("fits");
+        for (j, block) in blocks(x).into_iter().enumerate() {
+            let tag_j = BitStr::from_value(j as u128, bin_prime_bits).expect("fits");
+            xs.push(tag_i.concat(&tag_j).concat(&block));
+        }
+    }
+    for i in 0..m {
+        let tag_i = BitStr::from_value(i as u128, logm).expect("fits");
+        for (j, block) in blocks(&inst.ys[i]).into_iter().enumerate() {
+            let tag_j = BitStr::from_value(j as u128, bin_prime_bits).expect("fits");
+            ys.push(tag_i.concat(&tag_j).concat(&block));
+        }
+    }
+    Ok(ShortReduction {
+        instance: Instance::new(xs, ys)?,
+        blocks_per_value: mu,
+        block_bits: logm,
+        bin_prime_bits,
+    })
+}
+
+impl ShortReduction {
+    /// The SHORT length bound: every produced string has this length,
+    /// which is `O(log m′)` for `m′ = μ·m` pairs.
+    #[must_use]
+    pub fn string_len(&self) -> usize {
+        self.block_bits * 2 + self.bin_prime_bits
+    }
+
+    /// Property (1) of Appendix E: `|f(v)| = Θ(|v|)` — report the exact
+    /// blow-up factor `|f(v)| / |v|`.
+    #[must_use]
+    pub fn blowup(&self, original: &Instance) -> f64 {
+        self.instance.size() as f64 / original.size() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::predicates::{is_check_sorted, is_multiset_equal, is_set_equal};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn family() -> CheckPhi {
+        CheckPhi::new(8, 9).unwrap()
+    }
+
+    #[test]
+    fn reduction_preserves_yes_instances() {
+        let fam = family();
+        let mut rng = StdRng::seed_from_u64(20);
+        for _ in 0..20 {
+            let inst = fam.yes_instance(&mut rng);
+            let red = reduce_to_short(&fam, &inst).unwrap();
+            assert!(is_multiset_equal(&red.instance));
+            assert!(is_set_equal(&red.instance));
+            assert!(is_check_sorted(&red.instance), "second list must come out sorted");
+        }
+    }
+
+    #[test]
+    fn reduction_preserves_no_instances() {
+        let fam = family();
+        let mut rng = StdRng::seed_from_u64(21);
+        for _ in 0..20 {
+            let inst = fam.no_instance(&mut rng).unwrap();
+            let red = reduce_to_short(&fam, &inst).unwrap();
+            assert!(!is_multiset_equal(&red.instance));
+            assert!(!is_set_equal(&red.instance));
+            assert!(!is_check_sorted(&red.instance));
+        }
+    }
+
+    #[test]
+    fn produced_strings_are_short() {
+        let fam = family();
+        let mut rng = StdRng::seed_from_u64(22);
+        let inst = fam.yes_instance(&mut rng);
+        let red = reduce_to_short(&fam, &inst).unwrap();
+        let m_prime = red.instance.m();
+        let len = red.string_len();
+        assert!(red.instance.uniform_length(len));
+        // SHORT bound: |w| ≤ c·log m′ with c = 2 suffices here… verify
+        // against c = 4 to allow the small-m constant slack.
+        let log_mp = (m_prime.max(2) as f64).log2();
+        assert!(
+            (len as f64) <= 4.0 * log_mp,
+            "strings of length {len} vs 4·log m′ = {}",
+            4.0 * log_mp
+        );
+    }
+
+    #[test]
+    fn block_count_and_shape() {
+        let fam = CheckPhi::new(4, 7).unwrap(); // log m = 2, μ = ⌈7/2⌉ = 4
+        let mut rng = StdRng::seed_from_u64(23);
+        let inst = fam.yes_instance(&mut rng);
+        let red = reduce_to_short(&fam, &inst).unwrap();
+        assert_eq!(red.blocks_per_value, 4);
+        assert_eq!(red.block_bits, 2);
+        assert_eq!(red.instance.m(), 16);
+    }
+
+    #[test]
+    fn blowup_is_linear() {
+        let fam = family();
+        let mut rng = StdRng::seed_from_u64(24);
+        let inst = fam.yes_instance(&mut rng);
+        let red = reduce_to_short(&fam, &inst).unwrap();
+        let b = red.blowup(&inst);
+        assert!((1.0..6.0).contains(&b), "blow-up {b} not Θ(1)");
+    }
+
+    #[test]
+    fn rejects_instances_outside_the_space() {
+        let fam = family();
+        let bad = Instance::parse("0#1#").unwrap();
+        assert!(reduce_to_short(&fam, &bad).is_err());
+    }
+
+    #[test]
+    fn reduction_round_trips_block_content() {
+        // Reassembling the value blocks of the second list (sorted by
+        // their tags) must reproduce the original values.
+        let fam = CheckPhi::new(4, 6).unwrap(); // log m = 2, μ = 3
+        let mut rng = StdRng::seed_from_u64(25);
+        let inst = fam.yes_instance(&mut rng);
+        let red = reduce_to_short(&fam, &inst).unwrap();
+        let logm = red.block_bits;
+        let bpb = red.bin_prime_bits;
+        for i in 0..4usize {
+            let mut rebuilt = BitStr::empty();
+            for j in 0..red.blocks_per_value {
+                let w = &red.instance.ys[i * red.blocks_per_value + j];
+                // Check tags.
+                let tag_i = w.slice(0, logm).to_value().unwrap() as usize;
+                let tag_j = w.slice(logm, logm + bpb).to_value().unwrap() as usize;
+                assert_eq!(tag_i, i);
+                assert_eq!(tag_j, j);
+                rebuilt = rebuilt.concat(&w.slice(logm + bpb, w.len()));
+            }
+            // μ·log m = 8 ≥ n = 6: last block was padded by 2 zeros, which
+            // land *inside* rebuilt at the final block's start.
+            assert_eq!(rebuilt.len(), red.blocks_per_value * logm);
+        }
+    }
+}

@@ -1,0 +1,253 @@
+//! A parser for relational-algebra expressions, so the Theorem 11 query
+//! `(R1 - R2) union (R2 - R1)` can be written as text.
+//!
+//! Grammar (precedence low → high: `union`/`-`/`intersect` are
+//! left-associative at one level; `x` (product) binds tighter; `sigma`
+//! and `pi` are prefix operators):
+//!
+//! ```text
+//! expr    := term ( ('union' | '-' | 'intersect') term )*
+//! term    := factor ( 'x' factor )*
+//! factor  := name
+//!          | '(' expr ')'
+//!          | 'sigma' '[' atom '=' atom ']' '(' expr ')'
+//!          | 'pi' '[' num ( ',' num )* ']' '(' expr ')'
+//! atom    := '#' num | '"' chars '"'
+//! ```
+
+use crate::relalg::{Pred, RaExpr};
+use st_core::StError;
+
+struct P<'a> {
+    src: &'a str,
+    pos: usize,
+}
+
+impl<'a> P<'a> {
+    fn err(&self, msg: &str) -> StError {
+        StError::Query(format!("relalg parse error at byte {}: {msg}", self.pos))
+    }
+
+    fn ws(&mut self) {
+        while self.src[self.pos..].starts_with(|c: char| c.is_whitespace()) {
+            self.pos += 1;
+        }
+    }
+
+    fn eat(&mut self, tok: &str) -> bool {
+        self.ws();
+        if self.src[self.pos..].starts_with(tok) {
+            self.pos += tok.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, tok: &str) -> Result<(), StError> {
+        if self.eat(tok) {
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected {tok:?}")))
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, StError> {
+        self.ws();
+        let rest = &self.src[self.pos..];
+        let len =
+            rest.chars().take_while(|&c| c.is_ascii_alphanumeric() || c == '_').count();
+        if len == 0 {
+            return Err(self.err("expected an identifier"));
+        }
+        let w: String = rest.chars().take(len).collect();
+        self.pos += w.len();
+        Ok(w)
+    }
+
+    fn keyword(&mut self, kw: &str) -> bool {
+        self.ws();
+        let save = self.pos;
+        match self.ident() {
+            Ok(w) if w == kw => true,
+            _ => {
+                self.pos = save;
+                false
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<usize, StError> {
+        self.ws();
+        let rest = &self.src[self.pos..];
+        let len = rest.chars().take_while(char::is_ascii_digit).count();
+        if len == 0 {
+            return Err(self.err("expected a number"));
+        }
+        let n: usize = rest[..len].parse().map_err(|_| self.err("bad number"))?;
+        self.pos += len;
+        Ok(n)
+    }
+
+    fn expr(&mut self) -> Result<RaExpr, StError> {
+        let mut left = self.term()?;
+        loop {
+            if self.keyword("union") {
+                let right = self.term()?;
+                left = RaExpr::Union(Box::new(left), Box::new(right));
+            } else if self.keyword("intersect") {
+                let right = self.term()?;
+                left = RaExpr::Intersect(Box::new(left), Box::new(right));
+            } else if self.eat("-") {
+                let right = self.term()?;
+                left = RaExpr::Diff(Box::new(left), Box::new(right));
+            } else {
+                return Ok(left);
+            }
+        }
+    }
+
+    fn term(&mut self) -> Result<RaExpr, StError> {
+        let mut left = self.factor()?;
+        while self.keyword("x") {
+            let right = self.factor()?;
+            left = RaExpr::Product(Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn factor(&mut self) -> Result<RaExpr, StError> {
+        if self.eat("(") {
+            let e = self.expr()?;
+            self.expect(")")?;
+            return Ok(e);
+        }
+        let save = self.pos;
+        if self.keyword("sigma") {
+            self.expect("[")?;
+            self.expect("#")?;
+            let i = self.number()?;
+            self.expect("=")?;
+            let pred = if self.eat("#") {
+                Pred::AttrEqAttr(i, self.number()?)
+            } else {
+                self.expect("\"")?;
+                let rest = &self.src[self.pos..];
+                let end = rest.find('"').ok_or_else(|| self.err("unterminated string"))?;
+                let val = rest[..end].to_string();
+                self.pos += end + 1;
+                Pred::AttrEqConst(i, val)
+            };
+            self.expect("]")?;
+            self.expect("(")?;
+            let e = self.expr()?;
+            self.expect(")")?;
+            return Ok(RaExpr::Select(pred, Box::new(e)));
+        }
+        if self.keyword("pi") {
+            self.expect("[")?;
+            let mut cols = vec![self.number()?];
+            while self.eat(",") {
+                cols.push(self.number()?);
+            }
+            self.expect("]")?;
+            self.expect("(")?;
+            let e = self.expr()?;
+            self.expect(")")?;
+            return Ok(RaExpr::Project(cols, Box::new(e)));
+        }
+        self.pos = save;
+        let name = self.ident()?;
+        Ok(RaExpr::Rel(name))
+    }
+}
+
+/// Parse a relational-algebra expression.
+pub fn parse_relalg(src: &str) -> Result<RaExpr, StError> {
+    let mut p = P { src, pos: 0 };
+    let e = p.expr()?;
+    p.ws();
+    if p.pos != src.len() {
+        return Err(p.err("trailing input"));
+    }
+    Ok(e)
+}
+
+/// The Theorem 11(b) query in surface syntax.
+pub const SYM_DIFF_TEXT: &str = "(R1 - R2) union (R2 - R1)";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::relalg::{evaluate, evaluate_reference, sym_diff_query, Database, Relation};
+
+    #[test]
+    fn sym_diff_text_parses_to_the_builtin() {
+        assert_eq!(parse_relalg(SYM_DIFF_TEXT).unwrap(), sym_diff_query("R1", "R2"));
+    }
+
+    #[test]
+    fn operators_and_precedence() {
+        // product binds tighter than union.
+        let e = parse_relalg("A x B union C").unwrap();
+        assert!(matches!(e, RaExpr::Union(_, _)));
+        let e = parse_relalg("A union B x C").unwrap();
+        match e {
+            RaExpr::Union(_, r) => assert!(matches!(*r, RaExpr::Product(_, _))),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn selection_and_projection_parse() {
+        let e = parse_relalg("pi[1](sigma[#0 = \"x\"](S))").unwrap();
+        match e {
+            RaExpr::Project(cols, inner) => {
+                assert_eq!(cols, vec![1]);
+                assert!(matches!(*inner, RaExpr::Select(Pred::AttrEqConst(0, _), _)));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        let e = parse_relalg("sigma[#0 = #1](S)").unwrap();
+        assert!(matches!(e, RaExpr::Select(Pred::AttrEqAttr(0, 1), _)));
+    }
+
+    #[test]
+    fn parsed_queries_evaluate_like_reference() {
+        let mut db = Database::new();
+        db.insert(
+            "R1".into(),
+            Relation::new(1, vec![vec!["a".into()], vec!["b".into()]]).unwrap(),
+        );
+        db.insert(
+            "R2".into(),
+            Relation::new(1, vec![vec!["b".into()], vec!["c".into()]]).unwrap(),
+        );
+        for text in [SYM_DIFF_TEXT, "R1 intersect R2", "R1 x R2", "R1 - R2 - R2"] {
+            let q = parse_relalg(text).unwrap();
+            let (got, _) = evaluate(&q, &db).unwrap();
+            let want = evaluate_reference(&q, &db).unwrap();
+            assert_eq!(got, want, "{text}");
+        }
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!(parse_relalg("").is_err());
+        assert!(parse_relalg("(R1").is_err(), "unbalanced paren");
+        assert!(parse_relalg("R1 union").is_err(), "dangling operator");
+        assert!(parse_relalg("sigma[#0](R)").is_err(), "predicate needs =");
+        assert!(parse_relalg("pi[](R)").is_err(), "empty projection list");
+        assert!(parse_relalg("R1 R2").is_err(), "trailing input");
+    }
+
+    #[test]
+    fn left_associativity_of_difference() {
+        // A - B - C ≡ (A - B) - C.
+        let e = parse_relalg("A - B - C").unwrap();
+        match e {
+            RaExpr::Diff(l, _) => assert!(matches!(*l, RaExpr::Diff(_, _))),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

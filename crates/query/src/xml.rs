@@ -1,0 +1,335 @@
+//! XML: event streams, a small DOM, and the paper's instance encoding.
+//!
+//! Section 4 represents a SET-EQUALITY instance `x₁#…#x_m#y₁#…#y_m#` as
+//!
+//! ```xml
+//! <instance>
+//!   <set1> <item><string>x₁</string></item> … </set1>
+//!   <set2> <item><string>y₁</string></item> … </set2>
+//! </instance>
+//! ```
+//!
+//! The tokenizer handles exactly the fragment the paper's documents use:
+//! start tags, end tags and text (no attributes, no self-closing tags
+//! except the canonical `<true/>` which the writer may emit as an empty
+//! element pair).
+
+use st_core::StError;
+use st_problems::Instance;
+use std::fmt;
+
+/// One event of an XML document stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum XmlEvent {
+    /// `<name>`.
+    Start(String),
+    /// `</name>`.
+    End(String),
+    /// Character data (whitespace-trimmed; empty text is not emitted).
+    Text(String),
+}
+
+/// Tokenize a document into events. Errors on malformed tags.
+pub fn tokenize(doc: &str) -> Result<Vec<XmlEvent>, StError> {
+    let mut events = Vec::new();
+    let bytes = doc.as_bytes();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        if bytes[i] == b'<' {
+            let close = doc[i..]
+                .find('>')
+                .ok_or_else(|| StError::Xml("unterminated tag".into()))?
+                + i;
+            let inner = &doc[i + 1..close];
+            if let Some(name) = inner.strip_prefix('/') {
+                events.push(XmlEvent::End(validate_name(name)?));
+            } else if let Some(name) = inner.strip_suffix('/') {
+                // Self-closing: expand to start+end.
+                let name = validate_name(name)?;
+                events.push(XmlEvent::Start(name.clone()));
+                events.push(XmlEvent::End(name));
+            } else {
+                events.push(XmlEvent::Start(validate_name(inner)?));
+            }
+            i = close + 1;
+        } else {
+            let next = doc[i..].find('<').map_or(bytes.len(), |k| k + i);
+            let text = doc[i..next].trim();
+            if !text.is_empty() {
+                events.push(XmlEvent::Text(text.to_string()));
+            }
+            i = next;
+        }
+    }
+    Ok(events)
+}
+
+fn validate_name(name: &str) -> Result<String, StError> {
+    if name.is_empty()
+        || !name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '-')
+    {
+        return Err(StError::Xml(format!("invalid tag name {name:?}")));
+    }
+    Ok(name.to_string())
+}
+
+/// Serialize events back to a document string.
+#[must_use]
+pub fn write_events(events: &[XmlEvent]) -> String {
+    let mut out = String::new();
+    for e in events {
+        match e {
+            XmlEvent::Start(n) => {
+                out.push('<');
+                out.push_str(n);
+                out.push('>');
+            }
+            XmlEvent::End(n) => {
+                out.push_str("</");
+                out.push_str(n);
+                out.push('>');
+            }
+            XmlEvent::Text(t) => out.push_str(t),
+        }
+    }
+    out
+}
+
+/// A DOM node.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Node {
+    /// Element name.
+    pub name: String,
+    /// Direct text content (concatenated text children).
+    pub text: String,
+    /// Child elements.
+    pub children: Vec<Node>,
+}
+
+impl Node {
+    /// A leaf element with text content.
+    #[must_use]
+    pub fn leaf(name: impl Into<String>, text: impl Into<String>) -> Node {
+        Node { name: name.into(), text: text.into(), children: Vec::new() }
+    }
+
+    /// An element with children.
+    #[must_use]
+    pub fn elem(name: impl Into<String>, children: Vec<Node>) -> Node {
+        Node { name: name.into(), text: String::new(), children }
+    }
+
+    /// The *string value*: this node's text plus all descendants' text,
+    /// in document order (the XPath string-value used by `=`).
+    #[must_use]
+    pub fn string_value(&self) -> String {
+        let mut s = self.text.clone();
+        for c in &self.children {
+            s.push_str(&c.string_value());
+        }
+        s
+    }
+}
+
+/// Build a DOM from events. The stream must contain exactly one root
+/// element and be properly nested.
+pub fn build_dom(events: &[XmlEvent]) -> Result<Node, StError> {
+    let mut stack: Vec<Node> = Vec::new();
+    let mut root: Option<Node> = None;
+    for e in events {
+        match e {
+            XmlEvent::Start(n) => {
+                stack.push(Node { name: n.clone(), text: String::new(), children: Vec::new() })
+            }
+            XmlEvent::Text(t) => {
+                let top = stack
+                    .last_mut()
+                    .ok_or_else(|| StError::Xml("text outside the root element".into()))?;
+                top.text.push_str(t);
+            }
+            XmlEvent::End(n) => {
+                let node = stack.pop().ok_or_else(|| StError::Xml("unmatched end tag".into()))?;
+                if &node.name != n {
+                    return Err(StError::Xml(format!(
+                        "mismatched tags: <{}> closed by </{n}>",
+                        node.name
+                    )));
+                }
+                if let Some(parent) = stack.last_mut() {
+                    parent.children.push(node);
+                } else if root.is_none() {
+                    root = Some(node);
+                } else {
+                    return Err(StError::Xml("multiple root elements".into()));
+                }
+            }
+        }
+    }
+    if !stack.is_empty() {
+        return Err(StError::Xml("unclosed elements at end of document".into()));
+    }
+    root.ok_or_else(|| StError::Xml("empty document".into()))
+}
+
+/// Parse a document string straight to a DOM.
+pub fn parse(doc: &str) -> Result<Node, StError> {
+    build_dom(&tokenize(doc)?)
+}
+
+/// Encode a SET-EQUALITY instance as the paper's XML document.
+#[must_use]
+pub fn instance_document(inst: &Instance) -> String {
+    let mut events = Vec::new();
+    events.push(XmlEvent::Start("instance".into()));
+    for (set_name, values) in [("set1", &inst.xs), ("set2", &inst.ys)] {
+        events.push(XmlEvent::Start(set_name.into()));
+        for v in values.iter() {
+            events.push(XmlEvent::Start("item".into()));
+            events.push(XmlEvent::Start("string".into()));
+            events.push(XmlEvent::Text(v.to_string()));
+            events.push(XmlEvent::End("string".into()));
+            events.push(XmlEvent::End("item".into()));
+        }
+        events.push(XmlEvent::End(set_name.into()));
+    }
+    events.push(XmlEvent::End("instance".into()));
+    write_events(&events)
+}
+
+impl fmt::Display for Node {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "<{}>", self.name)?;
+        write!(f, "{}", self.text)?;
+        for c in &self.children {
+            write!(f, "{c}")?;
+        }
+        write!(f, "</{}>", self.name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tokenize_round_trip() {
+        let doc = "<a><b>hi</b><c></c></a>";
+        let ev = tokenize(doc).unwrap();
+        assert_eq!(write_events(&ev), doc);
+        assert_eq!(ev.len(), 7);
+    }
+
+    #[test]
+    fn self_closing_expands() {
+        let ev = tokenize("<r><true/></r>").unwrap();
+        assert_eq!(
+            ev,
+            vec![
+                XmlEvent::Start("r".into()),
+                XmlEvent::Start("true".into()),
+                XmlEvent::End("true".into()),
+                XmlEvent::End("r".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn malformed_documents_error() {
+        assert!(tokenize("<a").is_err());
+        assert!(tokenize("<a b=c>x</a>").is_err(), "attributes are outside the fragment");
+        assert!(parse("<a><b></a></b>").is_err(), "crossing tags");
+        assert!(parse("<a>x</a><b></b>").is_err(), "two roots");
+        assert!(parse("").is_err());
+        assert!(parse("<a>").is_err(), "unclosed");
+    }
+
+    #[test]
+    fn dom_structure_and_string_value() {
+        let n = parse("<a>1<b>2</b><c><d>3</d></c></a>").unwrap();
+        assert_eq!(n.name, "a");
+        assert_eq!(n.children.len(), 2);
+        assert_eq!(n.string_value(), "123");
+        assert_eq!(n.children[1].string_value(), "3");
+    }
+
+    #[test]
+    fn instance_document_matches_paper_shape() {
+        let inst = Instance::parse("01#10#10#01#").unwrap();
+        let doc = instance_document(&inst);
+        assert!(doc.starts_with("<instance><set1><item><string>01</string></item>"));
+        assert!(doc.contains("<set2><item><string>10</string></item>"));
+        let dom = parse(&doc).unwrap();
+        assert_eq!(dom.children.len(), 2);
+        assert_eq!(dom.children[0].name, "set1");
+        assert_eq!(dom.children[0].children.len(), 2);
+    }
+
+    #[test]
+    fn empty_instance_document() {
+        let inst = Instance::parse("").unwrap();
+        let dom = parse(&instance_document(&inst)).unwrap();
+        assert_eq!(dom.children[0].children.len(), 0);
+        assert_eq!(dom.children[1].children.len(), 0);
+    }
+
+    #[test]
+    fn node_display_round_trips_through_parse() {
+        let n = parse("<a><b>x</b></a>").unwrap();
+        assert_eq!(parse(&n.to_string()).unwrap(), n);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn arb_node(depth: u32) -> BoxedStrategy<Node> {
+        let leaf = ("[a-z][a-z0-9]{0,5}", "[a-zA-Z0-9 ]{0,6}")
+            .prop_map(|(n, t)| Node { name: n, text: t.trim().to_string(), children: vec![] });
+        if depth == 0 {
+            leaf.boxed()
+        } else {
+            (
+                "[a-z][a-z0-9]{0,5}",
+                proptest::collection::vec(arb_node(depth - 1), 0..3),
+            )
+                .prop_map(|(n, children)| Node { name: n, text: String::new(), children })
+                .boxed()
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(128))]
+
+        #[test]
+        fn serialize_parse_round_trip(node in arb_node(3)) {
+            let doc = node.to_string();
+            let back = parse(&doc).unwrap();
+            prop_assert_eq!(back, node);
+        }
+
+        #[test]
+        fn instance_documents_always_parse(
+            blocks in proptest::collection::vec(proptest::collection::vec(0u8..2, 0..5), 0..8),
+        ) {
+            let mut blocks = blocks;
+            if blocks.len() % 2 == 1 {
+                blocks.pop();
+            }
+            let word: String = blocks
+                .iter()
+                .map(|b| {
+                    let mut s: String =
+                        b.iter().map(|&x| char::from(b'0' + x)).collect();
+                    s.push('#');
+                    s
+                })
+                .collect();
+            let inst = Instance::parse(&word).unwrap();
+            let dom = parse(&instance_document(&inst)).unwrap();
+            prop_assert_eq!(dom.children[0].children.len(), inst.m());
+            prop_assert_eq!(dom.children[1].children.len(), inst.m());
+        }
+    }
+}

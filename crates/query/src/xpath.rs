@@ -1,0 +1,397 @@
+//! The XPath fragment of Theorem 13 and Figure 1.
+//!
+//! Grammar (exactly what the Figure 1 query needs, with the W3C
+//! *existential* semantics of `=` over node sets):
+//!
+//! ```text
+//! path  := step ( '/' step )*
+//! step  := axis '::' name predicate?
+//! axis  := child | descendant | ancestor
+//! pred  := '[' 'not'? path '=' path ']'        (existential =, negatable)
+//! ```
+//!
+//! The Figure 1 query selects every `item` below `set1` whose string
+//! content does **not** occur below `set2`:
+//!
+//! ```text
+//! descendant::set1 / child::item [ not child::string =
+//!     ancestor::instance / child::set2 / child::item / child::string ]
+//! ```
+//!
+//! so the document *matches* (filter = true) iff `X − Y ≠ ∅`, i.e.
+//! `X ⊄ Y`. Theorem 13's proof turns any filtering machine into a
+//! SET-EQUALITY decider by running it on both orientations
+//! ([`set_equality_via_two_filter_runs`]).
+
+use crate::xml::Node;
+use st_core::StError;
+use std::collections::BTreeSet;
+
+/// An XPath axis of the fragment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Axis {
+    /// Direct children.
+    Child,
+    /// All strict descendants.
+    Descendant,
+    /// All strict ancestors.
+    Ancestor,
+}
+
+/// One location step.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Step {
+    /// The axis.
+    pub axis: Axis,
+    /// The element-name test.
+    pub name: String,
+    /// Optional predicate (applies after the name test).
+    pub predicate: Option<Predicate>,
+}
+
+/// A predicate: an existential node-set comparison, possibly negated.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Predicate {
+    /// Negate the comparison (`not … = …`).
+    pub negated: bool,
+    /// Left relative path (evaluated from the candidate node).
+    pub left: Path,
+    /// Right relative path (evaluated from the candidate node).
+    pub right: Path,
+}
+
+/// A location path: a sequence of steps.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Path {
+    /// The steps, applied left to right.
+    pub steps: Vec<Step>,
+}
+
+impl Path {
+    /// Build a predicate-free path from `(axis, name)` pairs.
+    #[must_use]
+    pub fn simple(steps: &[(Axis, &str)]) -> Path {
+        Path {
+            steps: steps
+                .iter()
+                .map(|(a, n)| Step { axis: *a, name: (*n).to_string(), predicate: None })
+                .collect(),
+        }
+    }
+}
+
+/// Node identity within a document: the path of child indices from the
+/// root. Lets node-set operations deduplicate without interior mutability.
+type NodeId = Vec<usize>;
+
+/// The evaluation context: the document with parent links materialized
+/// as id prefixes.
+pub struct DocContext<'a> {
+    root: &'a Node,
+}
+
+impl<'a> DocContext<'a> {
+    /// Wrap a parsed document.
+    #[must_use]
+    pub fn new(root: &'a Node) -> Self {
+        DocContext { root }
+    }
+
+    fn node(&self, id: &NodeId) -> &'a Node {
+        let mut cur = self.root;
+        for &i in id {
+            cur = &cur.children[i];
+        }
+        cur
+    }
+
+    fn descendants(&self, id: &NodeId) -> Vec<NodeId> {
+        let mut out = Vec::new();
+        let mut stack: Vec<NodeId> = vec![id.clone()];
+        while let Some(cur) = stack.pop() {
+            let n = self.node(&cur);
+            for (i, _) in n.children.iter().enumerate() {
+                let mut cid = cur.clone();
+                cid.push(i);
+                stack.push(cid.clone());
+                out.push(cid);
+            }
+        }
+        out
+    }
+
+    fn step(&self, from: &NodeId, step: &Step) -> Vec<NodeId> {
+        let candidates: Vec<NodeId> = match step.axis {
+            Axis::Child => {
+                let n = self.node(from);
+                (0..n.children.len())
+                    .map(|i| {
+                        let mut id = from.clone();
+                        id.push(i);
+                        id
+                    })
+                    .collect()
+            }
+            Axis::Descendant => self.descendants(from),
+            Axis::Ancestor => {
+                // Strict ancestors: all proper prefixes (incl. the root).
+                (0..from.len()).map(|k| from[..k].to_vec()).collect()
+            }
+        };
+        candidates
+            .into_iter()
+            .filter(|id| self.node(id).name == step.name)
+            .filter(|id| {
+                step.predicate.as_ref().is_none_or(|p| self.predicate_holds(id, p))
+            })
+            .collect()
+    }
+
+    fn eval_path(&self, from: &NodeId, path: &Path) -> Vec<NodeId> {
+        let mut current: BTreeSet<NodeId> = BTreeSet::new();
+        current.insert(from.clone());
+        for step in &path.steps {
+            let mut next = BTreeSet::new();
+            for id in &current {
+                for out in self.step(id, step) {
+                    next.insert(out);
+                }
+            }
+            current = next;
+        }
+        current.into_iter().collect()
+    }
+
+    fn predicate_holds(&self, ctx: &NodeId, pred: &Predicate) -> bool {
+        // Existential =: some left node's string-value equals some right
+        // node's string-value.
+        let left = self.eval_path(ctx, &pred.left);
+        let right = self.eval_path(ctx, &pred.right);
+        let rvals: BTreeSet<String> =
+            right.iter().map(|id| self.node(id).string_value()).collect();
+        let holds = left.iter().any(|id| rvals.contains(&self.node(id).string_value()));
+        holds != pred.negated
+    }
+
+    /// Evaluate `path` from the **document node** (so the first step's
+    /// `descendant` axis may select the root element itself is *not*
+    /// included — the document node's descendants are the root and
+    /// everything below it).
+    #[must_use]
+    pub fn select(&self, path: &Path) -> Vec<&'a Node> {
+        // Model the document node by treating the root element as a
+        // descendant candidate: wrap ids so the root = [] is included for
+        // descendant steps from the document node.
+        let mut current: Vec<NodeId> = vec![];
+        if let Some(first) = path.steps.first() {
+            let mut initial: Vec<NodeId> = Vec::new();
+            match first.axis {
+                Axis::Child => initial.push(Vec::new()),
+                Axis::Descendant => {
+                    initial.push(Vec::new());
+                    initial.extend(self.descendants(&Vec::new()));
+                }
+                Axis::Ancestor => {}
+            }
+            let mut set: BTreeSet<NodeId> = BTreeSet::new();
+            for id in initial {
+                let n = self.node(&id);
+                if n.name == first.name
+                    && first.predicate.as_ref().is_none_or(|p| self.predicate_holds(&id, p))
+                {
+                    set.insert(id);
+                }
+            }
+            current = set.into_iter().collect();
+        }
+        let rest = Path { steps: path.steps[1..].to_vec() };
+        let mut out: BTreeSet<NodeId> = BTreeSet::new();
+        for id in current {
+            for sel in self.eval_path(&id, &rest) {
+                out.insert(sel);
+            }
+        }
+        out.into_iter().map(|id| self.node(&id)).collect()
+    }
+
+    /// The Theorem 13 *filtering* semantics: does the query select at
+    /// least one node?
+    #[must_use]
+    pub fn filter(&self, path: &Path) -> bool {
+        !self.select(path).is_empty()
+    }
+}
+
+/// The exact query of Figure 1.
+#[must_use]
+pub fn figure1_query() -> Path {
+    Path {
+        steps: vec![
+            Step { axis: Axis::Descendant, name: "set1".into(), predicate: None },
+            Step {
+                axis: Axis::Child,
+                name: "item".into(),
+                predicate: Some(Predicate {
+                    negated: true,
+                    left: Path::simple(&[(Axis::Child, "string")]),
+                    right: Path::simple(&[
+                        (Axis::Ancestor, "instance"),
+                        (Axis::Child, "set2"),
+                        (Axis::Child, "item"),
+                        (Axis::Child, "string"),
+                    ]),
+                }),
+            },
+        ],
+    }
+}
+
+/// The Theorem 13 reduction: decide SET-EQUALITY with two filter runs —
+/// filter(doc(X,Y)) says `X ⊄ Y`; filter(doc(Y,X)) says `Y ⊄ X`;
+/// both false ⟺ `X = Y`.
+pub fn set_equality_via_two_filter_runs(inst: &st_problems::Instance) -> Result<bool, StError> {
+    let q = figure1_query();
+    let doc1 = crate::xml::parse(&crate::xml::instance_document(inst))?;
+    let run1 = DocContext::new(&doc1).filter(&q);
+    let swapped = st_problems::Instance::new(inst.ys.clone(), inst.xs.clone())?;
+    let doc2 = crate::xml::parse(&crate::xml::instance_document(&swapped))?;
+    let run2 = DocContext::new(&doc2).filter(&q);
+    Ok(!run1 && !run2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::xml::{instance_document, parse};
+    use st_problems::{generate, predicates, Instance};
+
+    fn doc(inst_word: &str) -> Node {
+        parse(&instance_document(&Instance::parse(inst_word).unwrap())).unwrap()
+    }
+
+    #[test]
+    fn figure1_selects_exactly_x_minus_y() {
+        // X = {01, 10, 11}, Y = {10, 11, 00}: X − Y = {01}.
+        let d = doc("01#10#11#10#11#00#");
+        let ctx = DocContext::new(&d);
+        let selected = ctx.select(&figure1_query());
+        assert_eq!(selected.len(), 1);
+        assert_eq!(selected[0].string_value(), "01");
+    }
+
+    #[test]
+    fn figure1_selects_nothing_when_x_subset_y() {
+        let d = doc("10#11#10#11#"); // X = Y
+        assert!(!DocContext::new(&d).filter(&figure1_query()));
+        let d = doc("10#10#10#11#"); // X = {10} ⊂ {10,11} = Y
+        assert!(!DocContext::new(&d).filter(&figure1_query()));
+    }
+
+    #[test]
+    fn figure1_duplicates_collapse() {
+        // X = {01, 01}: one distinct value; Y = {01, 11}: X ⊆ Y.
+        let d = doc("01#01#01#11#");
+        let ctx = DocContext::new(&d);
+        assert!(!ctx.filter(&figure1_query()));
+    }
+
+    #[test]
+    fn two_run_reduction_decides_set_equality() {
+        for word in ["01#10#10#01#", "01#10#10#11#", "", "0#0#0#0#", "0#1#1#1#"] {
+            let inst = Instance::parse(word).unwrap();
+            assert_eq!(
+                set_equality_via_two_filter_runs(&inst).unwrap(),
+                predicates::is_set_equal(&inst),
+                "{word}"
+            );
+        }
+    }
+
+    #[test]
+    fn two_run_reduction_on_random_instances() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(300);
+        for _ in 0..20 {
+            for inst in [
+                generate::yes_set_distinct(8, 6, &mut rng),
+                generate::random_instance(6, 4, &mut rng),
+            ] {
+                assert_eq!(
+                    set_equality_via_two_filter_runs(&inst).unwrap(),
+                    predicates::is_set_equal(&inst)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn axes_behave() {
+        let d = parse("<a><b><c>x</c></b><c>y</c></a>").unwrap();
+        let ctx = DocContext::new(&d);
+        // descendant::c from the document node finds both c's.
+        let p = Path::simple(&[(Axis::Descendant, "c")]);
+        assert_eq!(ctx.select(&p).len(), 2);
+        // child::c from the document node: only the root element 'a' is a
+        // child of the document node, so nothing matches name 'c'.
+        let p = Path::simple(&[(Axis::Child, "c")]);
+        assert!(ctx.select(&p).is_empty());
+        // child::a then child::c: the direct c child only.
+        let p = Path::simple(&[(Axis::Child, "a"), (Axis::Child, "c")]);
+        let sel = ctx.select(&p);
+        assert_eq!(sel.len(), 1);
+        assert_eq!(sel[0].string_value(), "y");
+    }
+
+    #[test]
+    fn ancestor_axis_is_strict() {
+        // From an item node, ancestor::instance exists; ancestor::item
+        // does not (no item above an item).
+        let d = doc("01#01#");
+        let ctx = DocContext::new(&d);
+        let q = Path {
+            steps: vec![
+                Step { axis: Axis::Descendant, name: "item".into(), predicate: None },
+                Step { axis: Axis::Ancestor, name: "item".into(), predicate: None },
+            ],
+        };
+        assert!(ctx.select(&q).is_empty());
+        let q = Path {
+            steps: vec![
+                Step { axis: Axis::Descendant, name: "item".into(), predicate: None },
+                Step { axis: Axis::Ancestor, name: "instance".into(), predicate: None },
+            ],
+        };
+        assert_eq!(ctx.select(&q).len(), 1, "both items share the one instance ancestor");
+    }
+
+    #[test]
+    fn existential_equals_semantics() {
+        // Predicate without negation: select set1 items whose string DOES
+        // occur in set2.
+        let d = doc("01#10#10#00#");
+        let ctx = DocContext::new(&d);
+        let q = Path {
+            steps: vec![
+                Step { axis: Axis::Descendant, name: "set1".into(), predicate: None },
+                Step {
+                    axis: Axis::Child,
+                    name: "item".into(),
+                    predicate: Some(Predicate {
+                        negated: false,
+                        left: Path::simple(&[(Axis::Child, "string")]),
+                        right: Path::simple(&[
+                            (Axis::Ancestor, "instance"),
+                            (Axis::Child, "set2"),
+                            (Axis::Child, "item"),
+                            (Axis::Child, "string"),
+                        ]),
+                    }),
+                },
+            ],
+        };
+        let sel = ctx.select(&q);
+        assert_eq!(sel.len(), 1);
+        assert_eq!(sel[0].string_value(), "10");
+    }
+}

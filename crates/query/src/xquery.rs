@@ -1,0 +1,310 @@
+//! The XQuery fragment of Theorem 12.
+//!
+//! Just enough FLWOR to express the paper's query:
+//!
+//! ```text
+//! <result>
+//!   if ( every $x in /instance/set1/item/string satisfies
+//!          some $y in /instance/set2/item/string satisfies $x = $y )
+//!      and
+//!      ( every $y in /instance/set2/item/string satisfies
+//!          some $x in /instance/set1/item/string satisfies $x = $y )
+//!   then <true/>
+//!   else ()
+//! </result>
+//! ```
+//!
+//! which returns `<result><true/></result>` iff
+//! `{x₁,…,x_m} = {y₁,…,y_m}` and `<result></result>` otherwise.
+
+use crate::xml::Node;
+use st_core::StError;
+use std::collections::BTreeMap;
+
+/// An absolute child path `/a/b/c` (the only path form the query needs).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AbsPath(pub Vec<String>);
+
+impl AbsPath {
+    /// `/instance/set1/item/string`-style constructor.
+    #[must_use]
+    pub fn new(parts: &[&str]) -> Self {
+        AbsPath(parts.iter().map(|s| (*s).to_string()).collect())
+    }
+
+    /// Select nodes from the document root.
+    #[must_use]
+    pub fn select<'a>(&self, root: &'a Node) -> Vec<&'a Node> {
+        let mut current = vec![root];
+        for (i, name) in self.0.iter().enumerate() {
+            if i == 0 {
+                // The leading step names the root element.
+                current.retain(|n| &n.name == name);
+                continue;
+            }
+            let mut next = Vec::new();
+            for n in current {
+                for c in &n.children {
+                    if &c.name == name {
+                        next.push(c);
+                    }
+                }
+            }
+            current = next;
+        }
+        current
+    }
+}
+
+/// A boolean condition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Cond {
+    /// `every $var in path satisfies cond`.
+    Every {
+        /// Bound variable name.
+        var: String,
+        /// The sequence.
+        path: AbsPath,
+        /// The body.
+        satisfies: Box<Cond>,
+    },
+    /// `some $var in path satisfies cond`.
+    Some_ {
+        /// Bound variable name.
+        var: String,
+        /// The sequence.
+        path: AbsPath,
+        /// The body.
+        satisfies: Box<Cond>,
+    },
+    /// `$a = $b` on string values.
+    VarEq(String, String),
+    /// Conjunction.
+    And(Box<Cond>, Box<Cond>),
+}
+
+/// An XQuery expression of the fragment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum XqExpr {
+    /// `<name>{ children }</name>` element constructor.
+    Element {
+        /// Element name.
+        name: String,
+        /// Child expressions.
+        children: Vec<XqExpr>,
+    },
+    /// `if (cond) then e₁ else e₂`.
+    If {
+        /// Condition.
+        cond: Cond,
+        /// Then-branch.
+        then: Box<XqExpr>,
+        /// Else-branch.
+        els: Box<XqExpr>,
+    },
+    /// The empty sequence `()`.
+    Empty,
+}
+
+/// Evaluate a condition against `root` under variable `bindings`
+/// (variable → string value).
+fn eval_cond(cond: &Cond, root: &Node, bindings: &mut BTreeMap<String, String>) -> Result<bool, StError> {
+    match cond {
+        Cond::VarEq(a, b) => {
+            let va = bindings
+                .get(a)
+                .ok_or_else(|| StError::Query(format!("unbound variable ${a}")))?;
+            let vb = bindings
+                .get(b)
+                .ok_or_else(|| StError::Query(format!("unbound variable ${b}")))?;
+            Ok(va == vb)
+        }
+        Cond::And(x, y) => Ok(eval_cond(x, root, bindings)? && eval_cond(y, root, bindings)?),
+        Cond::Every { var, path, satisfies } => {
+            for n in path.select(root) {
+                bindings.insert(var.clone(), n.string_value());
+                let ok = eval_cond(satisfies, root, bindings)?;
+                bindings.remove(var);
+                if !ok {
+                    return Ok(false);
+                }
+            }
+            Ok(true)
+        }
+        Cond::Some_ { var, path, satisfies } => {
+            for n in path.select(root) {
+                bindings.insert(var.clone(), n.string_value());
+                let ok = eval_cond(satisfies, root, bindings)?;
+                bindings.remove(var);
+                if ok {
+                    return Ok(true);
+                }
+            }
+            Ok(false)
+        }
+    }
+}
+
+/// Evaluate an expression to (a forest of) result nodes.
+pub fn evaluate(expr: &XqExpr, root: &Node) -> Result<Vec<Node>, StError> {
+    let mut bindings = BTreeMap::new();
+    eval_expr(expr, root, &mut bindings)
+}
+
+fn eval_expr(
+    expr: &XqExpr,
+    root: &Node,
+    bindings: &mut BTreeMap<String, String>,
+) -> Result<Vec<Node>, StError> {
+    match expr {
+        XqExpr::Empty => Ok(Vec::new()),
+        XqExpr::Element { name, children } => {
+            let mut kids = Vec::new();
+            for c in children {
+                kids.extend(eval_expr(c, root, bindings)?);
+            }
+            Ok(vec![Node::elem(name.clone(), kids)])
+        }
+        XqExpr::If { cond, then, els } => {
+            if eval_cond(cond, root, bindings)? {
+                eval_expr(then, root, bindings)
+            } else {
+                eval_expr(els, root, bindings)
+            }
+        }
+    }
+}
+
+/// The exact query of Theorem 12.
+#[must_use]
+pub fn theorem12_query() -> XqExpr {
+    let set1 = AbsPath::new(&["instance", "set1", "item", "string"]);
+    let set2 = AbsPath::new(&["instance", "set2", "item", "string"]);
+    let forward = Cond::Every {
+        var: "x".into(),
+        path: set1.clone(),
+        satisfies: Box::new(Cond::Some_ {
+            var: "y".into(),
+            path: set2.clone(),
+            satisfies: Box::new(Cond::VarEq("x".into(), "y".into())),
+        }),
+    };
+    let backward = Cond::Every {
+        var: "y".into(),
+        path: set2,
+        satisfies: Box::new(Cond::Some_ {
+            var: "x".into(),
+            path: set1,
+            satisfies: Box::new(Cond::VarEq("x".into(), "y".into())),
+        }),
+    };
+    XqExpr::Element {
+        name: "result".into(),
+        children: vec![XqExpr::If {
+            cond: Cond::And(Box::new(forward), Box::new(backward)),
+            then: Box::new(XqExpr::Element { name: "true".into(), children: vec![] }),
+            els: Box::new(XqExpr::Empty),
+        }],
+    }
+}
+
+/// Run the Theorem 12 query on an instance's document; returns the
+/// serialized result.
+pub fn run_theorem12(inst: &st_problems::Instance) -> Result<String, StError> {
+    let doc = crate::xml::parse(&crate::xml::instance_document(inst))?;
+    let out = evaluate(&theorem12_query(), &doc)?;
+    Ok(out.iter().map(ToString::to_string).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use st_problems::{generate, predicates, Instance};
+
+    #[test]
+    fn theorem12_query_on_equal_sets() {
+        let inst = Instance::parse("01#10#10#01#").unwrap();
+        assert_eq!(run_theorem12(&inst).unwrap(), "<result><true/></result>".replace("<true/>", "<true></true>"));
+    }
+
+    #[test]
+    fn theorem12_query_on_unequal_sets() {
+        let inst = Instance::parse("01#10#10#11#").unwrap();
+        assert_eq!(run_theorem12(&inst).unwrap(), "<result></result>");
+    }
+
+    #[test]
+    fn theorem12_matches_reference_predicate() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(400);
+        for _ in 0..25 {
+            for inst in [
+                generate::yes_set_distinct(6, 5, &mut rng),
+                generate::random_instance(5, 3, &mut rng),
+                generate::yes_multiset(5, 4, &mut rng),
+            ] {
+                let expect = predicates::is_set_equal(&inst);
+                let got = run_theorem12(&inst).unwrap().contains("<true>");
+                assert_eq!(got, expect, "{}", inst.encode());
+            }
+        }
+    }
+
+    #[test]
+    fn duplicates_are_set_collapsed() {
+        // {0,0,1} vs {0,1,1}: sets equal → <true>.
+        let inst = Instance::parse("0#0#1#0#1#1#").unwrap();
+        assert!(run_theorem12(&inst).unwrap().contains("<true>"));
+    }
+
+    #[test]
+    fn empty_instance_is_equal() {
+        let inst = Instance::parse("").unwrap();
+        assert!(run_theorem12(&inst).unwrap().contains("<true>"));
+    }
+
+    #[test]
+    fn abspath_selection() {
+        let doc = crate::xml::parse("<a><b><c>1</c><c>2</c></b><b><c>3</c></b></a>").unwrap();
+        let p = AbsPath::new(&["a", "b", "c"]);
+        let sel = p.select(&doc);
+        assert_eq!(sel.len(), 3);
+        let p = AbsPath::new(&["z", "b", "c"]);
+        assert!(p.select(&doc).is_empty(), "wrong root name selects nothing");
+    }
+
+    #[test]
+    fn unbound_variables_error() {
+        let doc = crate::xml::parse("<instance></instance>").unwrap();
+        let bad = XqExpr::If {
+            cond: Cond::VarEq("x".into(), "y".into()),
+            then: Box::new(XqExpr::Empty),
+            els: Box::new(XqExpr::Empty),
+        };
+        assert!(evaluate(&bad, &doc).is_err());
+    }
+
+    #[test]
+    fn every_over_empty_sequence_is_true_some_is_false() {
+        let doc = crate::xml::parse("<instance><set1></set1><set2></set2></instance>").unwrap();
+        let p = AbsPath::new(&["instance", "set1", "item", "string"]);
+        let every = Cond::Every {
+            var: "x".into(),
+            path: p.clone(),
+            satisfies: Box::new(Cond::VarEq("x".into(), "x".into())),
+        };
+        let some = Cond::Some_ {
+            var: "x".into(),
+            path: p,
+            satisfies: Box::new(Cond::VarEq("x".into(), "x".into())),
+        };
+        let wrap = |c: Cond| XqExpr::If {
+            cond: c,
+            then: Box::new(XqExpr::Element { name: "t".into(), children: vec![] }),
+            els: Box::new(XqExpr::Empty),
+        };
+        assert_eq!(evaluate(&wrap(every), &doc).unwrap().len(), 1);
+        assert_eq!(evaluate(&wrap(some), &doc).unwrap().len(), 0);
+    }
+}

@@ -1,0 +1,314 @@
+//! A parser for the XQuery fragment — the Theorem 12 query parses from
+//! its literal paper text.
+//!
+//! Grammar (whitespace-insensitive; exactly the paper's surface syntax):
+//!
+//! ```text
+//! expr    := element | if | '(' ')'
+//! element := '<' name '/>' | '<' name '>' expr* '</' name '>'
+//! if      := 'if' '(' cond ')' 'then' expr 'else' expr
+//! cond    := conj ( 'and' conj )*
+//! conj    := '(' cond ')'
+//!          | ('every'|'some') '$'var 'in' abspath 'satisfies' cond
+//!          | '$'var '=' '$'var
+//! abspath := ( '/' name )+
+//! ```
+
+use crate::xquery::{AbsPath, Cond, XqExpr};
+use st_core::StError;
+
+struct P<'a> {
+    src: &'a str,
+    pos: usize,
+}
+
+impl<'a> P<'a> {
+    fn err(&self, msg: &str) -> StError {
+        StError::Query(format!("xquery parse error at byte {}: {msg}", self.pos))
+    }
+
+    fn ws(&mut self) {
+        while self.src[self.pos..].starts_with(|c: char| c.is_whitespace()) {
+            self.pos += 1;
+        }
+    }
+
+    fn peek_str(&mut self, tok: &str) -> bool {
+        self.ws();
+        self.src[self.pos..].starts_with(tok)
+    }
+
+    fn eat(&mut self, tok: &str) -> bool {
+        if self.peek_str(tok) {
+            self.pos += tok.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, tok: &str) -> Result<(), StError> {
+        if self.eat(tok) {
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected {tok:?}")))
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, StError> {
+        self.ws();
+        let rest = &self.src[self.pos..];
+        let len = rest
+            .chars()
+            .take_while(|&c| c.is_ascii_alphanumeric() || c == '_' || c == '-')
+            .count();
+        if len == 0 {
+            return Err(self.err("expected an identifier"));
+        }
+        let word: String = rest.chars().take(len).collect();
+        self.pos += word.len();
+        Ok(word)
+    }
+
+    /// A whole-word keyword.
+    fn keyword(&mut self, kw: &str) -> bool {
+        self.ws();
+        let save = self.pos;
+        match self.ident() {
+            Ok(w) if w == kw => true,
+            _ => {
+                self.pos = save;
+                false
+            }
+        }
+    }
+
+    fn abspath(&mut self) -> Result<AbsPath, StError> {
+        let mut parts = Vec::new();
+        if !self.eat("/") {
+            return Err(self.err("expected an absolute path starting with '/'"));
+        }
+        parts.push(self.ident()?);
+        while self.peek_str("/") && !self.peek_str("/>") {
+            self.expect("/")?;
+            parts.push(self.ident()?);
+        }
+        Ok(AbsPath(parts))
+    }
+
+    fn var(&mut self) -> Result<String, StError> {
+        self.expect("$")?;
+        self.ident()
+    }
+
+    fn cond_atom(&mut self) -> Result<Cond, StError> {
+        if self.eat("(") {
+            let c = self.cond()?;
+            self.expect(")")?;
+            return Ok(c);
+        }
+        if self.keyword("every") {
+            return self.quantified(true);
+        }
+        if self.keyword("some") {
+            return self.quantified(false);
+        }
+        // $a = $b
+        let a = self.var()?;
+        self.expect("=")?;
+        let b = self.var()?;
+        Ok(Cond::VarEq(a, b))
+    }
+
+    fn quantified(&mut self, every: bool) -> Result<Cond, StError> {
+        let var = self.var()?;
+        if !self.keyword("in") {
+            return Err(self.err("expected 'in'"));
+        }
+        let path = self.abspath()?;
+        if !self.keyword("satisfies") {
+            return Err(self.err("expected 'satisfies'"));
+        }
+        let body = Box::new(self.cond()?);
+        Ok(if every {
+            Cond::Every { var, path, satisfies: body }
+        } else {
+            Cond::Some_ { var, path, satisfies: body }
+        })
+    }
+
+    fn cond(&mut self) -> Result<Cond, StError> {
+        let mut left = self.cond_atom()?;
+        while self.keyword("and") {
+            let right = self.cond_atom()?;
+            left = Cond::And(Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn expr(&mut self) -> Result<XqExpr, StError> {
+        self.ws();
+        if self.peek_str("()") {
+            self.expect("()")?;
+            return Ok(XqExpr::Empty);
+        }
+        if self.peek_str("(") {
+            // Parenthesized empty sequence with inner space: ( ).
+            let save = self.pos;
+            self.expect("(")?;
+            if self.eat(")") {
+                return Ok(XqExpr::Empty);
+            }
+            self.pos = save;
+            return Err(self.err("unexpected '(' — only the empty sequence () is an expression here"));
+        }
+        if self.peek_str("<") {
+            return self.element();
+        }
+        if self.keyword("if") {
+            // XQuery writes `if (cond) then …`; in the paper's query the
+            // condition itself is `( … ) and ( … )`, so the parentheses
+            // belong to the condition grammar (cond_atom), not to `if`.
+            let cond = self.cond()?;
+            if !self.keyword("then") {
+                return Err(self.err("expected 'then'"));
+            }
+            let then = Box::new(self.expr()?);
+            if !self.keyword("else") {
+                return Err(self.err("expected 'else'"));
+            }
+            let els = Box::new(self.expr()?);
+            return Ok(XqExpr::If { cond, then, els });
+        }
+        Err(self.err("expected an element constructor, if-expression, or ()"))
+    }
+
+    fn element(&mut self) -> Result<XqExpr, StError> {
+        self.expect("<")?;
+        let name = self.ident()?;
+        if self.eat("/>") {
+            return Ok(XqExpr::Element { name, children: Vec::new() });
+        }
+        self.expect(">")?;
+        let mut children = Vec::new();
+        loop {
+            self.ws();
+            if self.peek_str("</") {
+                break;
+            }
+            children.push(self.expr()?);
+        }
+        self.expect("</")?;
+        let close = self.ident()?;
+        if close != name {
+            return Err(self.err(&format!("<{name}> closed by </{close}>")));
+        }
+        self.expect(">")?;
+        Ok(XqExpr::Element { name, children })
+    }
+}
+
+/// Parse an XQuery expression of the fragment.
+pub fn parse_xquery(src: &str) -> Result<XqExpr, StError> {
+    let mut p = P { src, pos: 0 };
+    let e = p.expr()?;
+    p.ws();
+    if p.pos != src.len() {
+        return Err(p.err("trailing input after expression"));
+    }
+    Ok(e)
+}
+
+/// The Theorem 12 query, as printed in the paper.
+pub const THEOREM12_TEXT: &str = "<result>
+  if ( every $x in /instance/set1/item/string satisfies
+         some $y in /instance/set2/item/string satisfies
+         $x = $y )
+     and
+     ( every $y in /instance/set2/item/string satisfies
+         some $x in /instance/set1/item/string satisfies
+         $x = $y )
+  then <true/>
+  else ()
+</result>";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::xquery::{evaluate, theorem12_query};
+
+    #[test]
+    fn theorem12_text_parses_to_the_builtin_ast() {
+        let parsed = parse_xquery(THEOREM12_TEXT).unwrap();
+        assert_eq!(parsed, theorem12_query());
+    }
+
+    #[test]
+    fn parsed_query_evaluates_identically() {
+        let inst = st_problems::Instance::parse("01#10#10#01#").unwrap();
+        let doc = crate::xml::parse(&crate::xml::instance_document(&inst)).unwrap();
+        let parsed = parse_xquery(THEOREM12_TEXT).unwrap();
+        let a = evaluate(&parsed, &doc).unwrap();
+        let b = evaluate(&theorem12_query(), &doc).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 1);
+    }
+
+    #[test]
+    fn element_constructors() {
+        assert_eq!(
+            parse_xquery("<r></r>").unwrap(),
+            XqExpr::Element { name: "r".into(), children: vec![] }
+        );
+        assert_eq!(
+            parse_xquery("<r/>").unwrap(),
+            XqExpr::Element { name: "r".into(), children: vec![] }
+        );
+        let nested = parse_xquery("<a><b/><c/></a>").unwrap();
+        match nested {
+            XqExpr::Element { name, children } => {
+                assert_eq!(name, "a");
+                assert_eq!(children.len(), 2);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn empty_sequences() {
+        assert_eq!(parse_xquery("()").unwrap(), XqExpr::Empty);
+        assert_eq!(parse_xquery("( )").unwrap(), XqExpr::Empty);
+    }
+
+    #[test]
+    fn conjunctions_are_left_associative() {
+        let q = parse_xquery("<r>if ($a = $b and $c = $d and $e = $f) then <t/> else ()</r>")
+            .unwrap();
+        let XqExpr::Element { children, .. } = q else { panic!() };
+        let XqExpr::If { cond, .. } = &children[0] else { panic!() };
+        // ((a=b and c=d) and e=f)
+        let Cond::And(l, _) = cond else { panic!("top is not And") };
+        assert!(matches!(**l, Cond::And(_, _)));
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!(parse_xquery("<a></b>").is_err(), "mismatched tags");
+        assert!(parse_xquery("if ($x = $y) then <t/>").is_err(), "missing else");
+        assert!(parse_xquery("<r>every $x in satisfies $x = $x</r>").is_err());
+        assert!(parse_xquery("$x = $y").is_err(), "bare condition is not an expression");
+        assert!(parse_xquery("<r/><r/>").is_err(), "trailing input");
+    }
+
+    #[test]
+    fn quantifier_paths_parse() {
+        let q = parse_xquery(
+            "<r>if (some $v in /a/b/c satisfies $v = $v) then <t/> else ()</r>",
+        )
+        .unwrap();
+        let XqExpr::Element { children, .. } = q else { panic!() };
+        let XqExpr::If { cond, .. } = &children[0] else { panic!() };
+        let Cond::Some_ { path, .. } = cond else { panic!("not Some_") };
+        assert_eq!(path.0, vec!["a".to_string(), "b".into(), "c".into()]);
+    }
+}

@@ -1,0 +1,42 @@
+//! # st-tm — the multi-tape Turing machine substrate
+//!
+//! The paper's computation model (Section 2, Definition 1) is a standard
+//! multi-tape nondeterministic Turing machine whose first `t` tapes are
+//! *external memory* (reversal-counted) and whose remaining `u` tapes are
+//! *internal memory* (space-counted). This crate implements that model
+//! executably:
+//!
+//! * [`tape::TmTape`] — a one-sided TM tape over a symbol alphabet with
+//!   blank fill, exact direction-change accounting and visited-cell
+//!   (space) accounting;
+//! * [`machine::Tm`] / [`machine::TmBuilder`] — machine definitions with
+//!   exact and wildcard transitions, normalized so that at most one head
+//!   moves per step (the paper's normalization, Definition 23);
+//! * [`run`] — deterministic and randomized execution with
+//!   [`st_core::ResourceUsage`] reports, plus full nondeterministic run
+//!   enumeration for small machines;
+//! * [`prob`] — exact acceptance probabilities by weighted enumeration of
+//!   the (finite) run tree, and parallel Monte-Carlo estimation;
+//! * [`library`] — a shelf of concrete machines used by tests, the
+//!   Lemma 16 simulation experiments, and the Lemma 3 run-length
+//!   experiments.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod library;
+pub mod machine;
+pub mod prob;
+pub mod run;
+pub mod tape;
+
+pub use machine::{Move, Tm, TmBuilder, Transition};
+pub use run::{run_deterministic, Config, RunOutcome, RunResult};
+pub use tape::TmTape;
+
+/// Symbols are small alphabet indices; [`BLANK`] is the paper's `□`.
+pub type Sym = u8;
+/// The blank symbol filling unwritten cells.
+pub const BLANK: Sym = 0;
+/// Machine states are small integers; state 0 is always the start state.
+pub type State = u16;

@@ -1,0 +1,497 @@
+//! Machine definitions: states, alphabet, transition relation.
+//!
+//! A [`Tm`] follows Definition 23: `t + u` one-sided tapes (the first `t`
+//! external, the rest internal), a transition relation
+//! `Δ ⊆ (Q∖F) × Σ^{t+u} × Q × Σ^{t+u} × {L,N,R}^{t+u}`, final states `F`
+//! and accepting states `F_acc ⊆ F`. Machines are *normalized*: at most
+//! one head moves per step (enforced at build time).
+//!
+//! Transition tables over `Σ^{t+u}` explode quickly, so [`TmBuilder`]
+//! also accepts **wildcard rules**: patterns with `Any` symbol slots and
+//! `Keep` write slots. The successor set of a configuration is the set of
+//! exact entries for its key plus every matching wildcard rule — all
+//! distinct successors are equiprobable, exactly the `Next_T(γ)` /
+//! uniform-choice semantics of Section 2.
+
+use crate::{State, Sym};
+use st_core::StError;
+use std::collections::{BTreeSet, HashMap};
+
+/// A head movement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Move {
+    /// Left.
+    L,
+    /// No movement.
+    N,
+    /// Right.
+    R,
+}
+
+impl Move {
+    /// The direction as `-1 / 0 / +1`.
+    #[must_use]
+    pub fn dir(self) -> i8 {
+        match self {
+            Move::L => -1,
+            Move::N => 0,
+            Move::R => 1,
+        }
+    }
+}
+
+/// The effect of one transition: successor state, per-tape writes and
+/// moves.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Transition {
+    /// Successor state.
+    pub next: State,
+    /// Symbol written on each tape (replacing the read symbol).
+    pub writes: Vec<Sym>,
+    /// Head movement on each tape (at most one non-`N` by normalization).
+    pub moves: Vec<Move>,
+}
+
+/// A symbol pattern slot in a wildcard rule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Pat {
+    /// Matches exactly this symbol.
+    Is(Sym),
+    /// Matches any symbol.
+    Any,
+    /// Matches any symbol except this one.
+    Not(Sym),
+}
+
+/// A write slot in a wildcard rule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Wr {
+    /// Write this symbol.
+    Put(Sym),
+    /// Keep the read symbol.
+    Keep,
+}
+
+/// A wildcard transition rule.
+#[derive(Debug, Clone)]
+pub struct Rule {
+    /// Source state.
+    pub state: State,
+    /// Per-tape symbol patterns.
+    pub pats: Vec<Pat>,
+    /// Successor state.
+    pub next: State,
+    /// Per-tape writes.
+    pub writes: Vec<Wr>,
+    /// Per-tape moves.
+    pub moves: Vec<Move>,
+}
+
+impl Rule {
+    fn matches(&self, state: State, syms: &[Sym]) -> bool {
+        self.state == state
+            && self.pats.iter().zip(syms).all(|(p, &s)| match p {
+                Pat::Is(x) => *x == s,
+                Pat::Any => true,
+                Pat::Not(x) => *x != s,
+            })
+    }
+
+    fn instantiate(&self, syms: &[Sym]) -> Transition {
+        Transition {
+            next: self.next,
+            writes: self
+                .writes
+                .iter()
+                .zip(syms)
+                .map(|(w, &s)| match w {
+                    Wr::Put(x) => *x,
+                    Wr::Keep => s,
+                })
+                .collect(),
+            moves: self.moves.clone(),
+        }
+    }
+}
+
+/// A nondeterministic multi-tape Turing machine (Definition 23).
+#[derive(Debug, Clone)]
+pub struct Tm {
+    /// Diagnostic name.
+    pub name: String,
+    /// Number of external-memory tapes `t` (tape 0 is the input tape).
+    pub external_tapes: usize,
+    /// Number of internal-memory tapes `u`.
+    pub internal_tapes: usize,
+    /// Number of states (states are `0..num_states`; 0 is the start).
+    pub num_states: State,
+    final_states: BTreeSet<State>,
+    accepting_states: BTreeSet<State>,
+    exact: HashMap<(State, Vec<Sym>), Vec<Transition>>,
+    rules: Vec<Rule>,
+}
+
+impl Tm {
+    /// Total tape count `t + u`.
+    #[must_use]
+    pub fn tapes(&self) -> usize {
+        self.external_tapes + self.internal_tapes
+    }
+
+    /// Is `q` final (halting)?
+    #[must_use]
+    pub fn is_final(&self, q: State) -> bool {
+        self.final_states.contains(&q)
+    }
+
+    /// Is `q` accepting?
+    #[must_use]
+    pub fn is_accepting(&self, q: State) -> bool {
+        self.accepting_states.contains(&q)
+    }
+
+    /// All successors of `(state, read-symbols)` — the paper's
+    /// `Next_T(γ)` restricted to the transition data. Deduplicated so
+    /// the uniform-choice probability is over *distinct* successors.
+    #[must_use]
+    pub fn successors(&self, state: State, syms: &[Sym]) -> Vec<Transition> {
+        if self.is_final(state) {
+            return Vec::new();
+        }
+        let mut out: Vec<Transition> = Vec::new();
+        if let Some(ts) = self.exact.get(&(state, syms.to_vec())) {
+            out.extend(ts.iter().cloned());
+        }
+        for r in &self.rules {
+            if r.matches(state, syms) {
+                let t = r.instantiate(syms);
+                if !out.contains(&t) {
+                    out.push(t);
+                }
+            }
+        }
+        out
+    }
+
+    /// Build the `(½,0)`-RTM derived from a deterministic decider: a
+    /// fresh start state flips a fair coin — tails rejects immediately,
+    /// heads runs `self`. If `self` decides `L` deterministically, the
+    /// result accepts `w ∈ L` with probability exactly `½` and `w ∉ L`
+    /// with probability `0` — the generic upgrade used implicitly all
+    /// over Section 3 (e.g. to place deterministic algorithms inside the
+    /// RST classes of Proposition 5).
+    #[must_use]
+    pub fn with_coin_prefix(&self) -> Tm {
+        // Shift every existing state by +1 so the new start can be 0.
+        let shift = |q: State| q + 1;
+        let mut exact = HashMap::new();
+        for ((q, syms), ts) in &self.exact {
+            let ts2: Vec<Transition> = ts
+                .iter()
+                .map(|t| Transition { next: shift(t.next), writes: t.writes.clone(), moves: t.moves.clone() })
+                .collect();
+            exact.insert((shift(*q), syms.clone()), ts2);
+        }
+        let mut rules: Vec<Rule> = self
+            .rules
+            .iter()
+            .map(|r| Rule {
+                state: shift(r.state),
+                pats: r.pats.clone(),
+                next: shift(r.next),
+                writes: r.writes.clone(),
+                moves: r.moves.clone(),
+            })
+            .collect();
+        let reject = self.num_states + 1; // fresh rejecting halt
+        let k = self.tapes();
+        // Coin state 0: heads → (old start shifted to 1), tails → reject.
+        rules.push(Rule {
+            state: 0,
+            pats: vec![Pat::Any; k],
+            next: 1,
+            writes: vec![Wr::Keep; k],
+            moves: vec![Move::N; k],
+        });
+        rules.push(Rule {
+            state: 0,
+            pats: vec![Pat::Any; k],
+            next: reject,
+            writes: vec![Wr::Keep; k],
+            moves: vec![Move::N; k],
+        });
+        let mut final_states: BTreeSet<State> = self.final_states.iter().map(|&q| shift(q)).collect();
+        final_states.insert(reject);
+        let accepting_states: BTreeSet<State> =
+            self.accepting_states.iter().map(|&q| shift(q)).collect();
+        Tm {
+            name: format!("coin({})", self.name),
+            external_tapes: self.external_tapes,
+            internal_tapes: self.internal_tapes,
+            num_states: self.num_states + 2,
+            final_states,
+            accepting_states,
+            exact,
+            rules,
+        }
+    }
+
+    /// Is the machine deterministic (≤ 1 successor everywhere)? Checked
+    /// conservatively: exact entries with > 1 transition or two wildcard
+    /// rules with overlapping patterns make it nondeterministic.
+    #[must_use]
+    pub fn is_syntactically_deterministic(&self) -> bool {
+        if self.exact.values().any(|v| v.len() > 1) {
+            return false;
+        }
+        for (i, a) in self.rules.iter().enumerate() {
+            for b in &self.rules[i + 1..] {
+                if a.state == b.state && a.pats.iter().zip(&b.pats).all(|(p, q)| overlap(*p, *q)) {
+                    return false;
+                }
+            }
+        }
+        // Exact entries and rules may also overlap; treat any state that
+        // has both as nondeterministic unless the exact key fails every
+        // rule (cheap approximation: flag overlap).
+        for (state, syms) in self.exact.keys() {
+            if self.rules.iter().any(|r| r.matches(*state, syms)) {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+fn overlap(a: Pat, b: Pat) -> bool {
+    match (a, b) {
+        (Pat::Is(x), Pat::Is(y)) => x == y,
+        (Pat::Is(x), Pat::Not(y)) | (Pat::Not(y), Pat::Is(x)) => x != y,
+        _ => true,
+    }
+}
+
+/// Builder for [`Tm`] with normalization checks.
+#[derive(Debug)]
+pub struct TmBuilder {
+    tm: Tm,
+}
+
+impl TmBuilder {
+    /// Start a machine with `t` external and `u` internal tapes.
+    #[must_use]
+    pub fn new(name: impl Into<String>, external: usize, internal: usize) -> Self {
+        TmBuilder {
+            tm: Tm {
+                name: name.into(),
+                external_tapes: external,
+                internal_tapes: internal,
+                num_states: 1,
+                final_states: BTreeSet::new(),
+                accepting_states: BTreeSet::new(),
+                exact: HashMap::new(),
+                rules: Vec::new(),
+            },
+        }
+    }
+
+    /// Allocate a fresh state, returning its id.
+    pub fn state(&mut self) -> State {
+        let s = self.tm.num_states;
+        self.tm.num_states += 1;
+        s
+    }
+
+    /// Mark `q` final; `accepting` selects `F_acc` membership.
+    pub fn finalize(&mut self, q: State, accepting: bool) -> &mut Self {
+        self.tm.final_states.insert(q);
+        if accepting {
+            self.tm.accepting_states.insert(q);
+        }
+        self
+    }
+
+    fn check_shape(&self, writes: usize, moves_: &[Move]) -> Result<(), StError> {
+        let k = self.tm.tapes();
+        if writes != k || moves_.len() != k {
+            return Err(StError::Machine(format!(
+                "transition shape mismatch: machine has {k} tapes, got {writes} writes / {} moves",
+                moves_.len()
+            )));
+        }
+        let moving = moves_.iter().filter(|m| !matches!(m, Move::N)).count();
+        if moving > 1 {
+            return Err(StError::Machine(
+                "normalization violated: more than one head moves in a step".into(),
+            ));
+        }
+        Ok(())
+    }
+
+    /// Add an exact transition `(state, syms) → (next, writes, moves)`.
+    pub fn exact(
+        &mut self,
+        state: State,
+        syms: Vec<Sym>,
+        next: State,
+        writes: Vec<Sym>,
+        moves: Vec<Move>,
+    ) -> Result<&mut Self, StError> {
+        self.check_shape(writes.len(), &moves)?;
+        if self.tm.final_states.contains(&state) {
+            return Err(StError::Machine(format!("state {state} is final; no outgoing transitions")));
+        }
+        self.tm
+            .exact
+            .entry((state, syms))
+            .or_default()
+            .push(Transition { next, writes, moves });
+        Ok(self)
+    }
+
+    /// Add a wildcard rule.
+    pub fn rule(
+        &mut self,
+        state: State,
+        pats: Vec<Pat>,
+        next: State,
+        writes: Vec<Wr>,
+        moves: Vec<Move>,
+    ) -> Result<&mut Self, StError> {
+        self.check_shape(writes.len(), &moves)?;
+        if pats.len() != self.tm.tapes() {
+            return Err(StError::Machine("pattern arity mismatch".into()));
+        }
+        if self.tm.final_states.contains(&state) {
+            return Err(StError::Machine(format!("state {state} is final; no outgoing transitions")));
+        }
+        self.tm.rules.push(Rule { state, pats, next, writes, moves });
+        Ok(self)
+    }
+
+    /// Finish the machine.
+    #[must_use]
+    pub fn build(self) -> Tm {
+        self.tm
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> TmBuilder {
+        TmBuilder::new("tiny", 1, 1)
+    }
+
+    #[test]
+    fn builder_allocates_states_sequentially() {
+        let mut b = tiny();
+        assert_eq!(b.state(), 1);
+        assert_eq!(b.state(), 2);
+        assert_eq!(b.build().num_states, 3);
+    }
+
+    #[test]
+    fn normalization_rejects_two_moving_heads() {
+        let mut b = tiny();
+        let q = b.state();
+        let err = b.exact(0, vec![1, 0], q, vec![1, 0], vec![Move::R, Move::R]);
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn exact_transitions_produce_successors() {
+        let mut b = tiny();
+        let acc = b.state();
+        b.finalize(acc, true);
+        b.exact(0, vec![1, 0], acc, vec![1, 0], vec![Move::R, Move::N]).unwrap();
+        let tm = b.build();
+        let succ = tm.successors(0, &[1, 0]);
+        assert_eq!(succ.len(), 1);
+        assert_eq!(succ[0].next, acc);
+        assert!(tm.successors(0, &[2, 0]).is_empty());
+        assert!(tm.successors(acc, &[1, 0]).is_empty(), "final states have no successors");
+    }
+
+    #[test]
+    fn wildcard_rules_match_and_instantiate() {
+        let mut b = tiny();
+        let q = b.state();
+        // From state 0, on any non-blank symbol, keep it and move right.
+        b.rule(0, vec![Pat::Not(0), Pat::Any], q, vec![Wr::Keep, Wr::Keep], vec![Move::R, Move::N])
+            .unwrap();
+        let tm = b.build();
+        let s = tm.successors(0, &[7, 3]);
+        assert_eq!(s.len(), 1);
+        assert_eq!(s[0].writes, vec![7, 3], "Keep preserves read symbols");
+        assert!(tm.successors(0, &[0, 3]).is_empty(), "Not(0) must reject blank");
+    }
+
+    #[test]
+    fn nondeterminism_detection() {
+        let mut b = tiny();
+        let q = b.state();
+        b.exact(0, vec![1, 0], q, vec![1, 0], vec![Move::R, Move::N]).unwrap();
+        b.exact(0, vec![1, 0], q, vec![2, 0], vec![Move::R, Move::N]).unwrap();
+        let tm = b.build();
+        assert!(!tm.is_syntactically_deterministic());
+        assert_eq!(tm.successors(0, &[1, 0]).len(), 2);
+
+        let mut b = tiny();
+        let q = b.state();
+        b.exact(0, vec![1, 0], q, vec![1, 0], vec![Move::R, Move::N]).unwrap();
+        let tm = b.build();
+        assert!(tm.is_syntactically_deterministic());
+    }
+
+    #[test]
+    fn duplicate_rule_instantiations_are_deduplicated() {
+        let mut b = tiny();
+        let q = b.state();
+        b.rule(0, vec![Pat::Any, Pat::Any], q, vec![Wr::Keep, Wr::Keep], vec![Move::R, Move::N])
+            .unwrap();
+        b.rule(0, vec![Pat::Is(1), Pat::Any], q, vec![Wr::Keep, Wr::Keep], vec![Move::R, Move::N])
+            .unwrap();
+        let tm = b.build();
+        // Both rules match (1, 0) and instantiate identically → one successor.
+        assert_eq!(tm.successors(0, &[1, 0]).len(), 1);
+    }
+
+    #[test]
+    fn coin_prefix_turns_a_decider_into_a_half_zero_rtm() {
+        use crate::library;
+        use crate::prob::exact_acceptance;
+        let det = library::parity_machine();
+        let rtm = det.with_coin_prefix();
+        // Even number of ones → accepted with probability exactly ½.
+        let p = exact_acceptance(&rtm, library::encode("0110"), 10_000).unwrap();
+        assert!((p.accept - 0.5).abs() < 1e-12, "{p:?}");
+        // Odd number of ones → never accepted.
+        let p = exact_acceptance(&rtm, library::encode("0111"), 10_000).unwrap();
+        assert_eq!(p.accept, 0.0);
+        // The original machine is untouched and still deterministic.
+        assert!(det.is_syntactically_deterministic());
+        assert!(!rtm.is_syntactically_deterministic());
+    }
+
+    #[test]
+    fn coin_prefix_composes() {
+        use crate::library;
+        use crate::prob::exact_acceptance;
+        let rtm = library::parity_machine().with_coin_prefix().with_coin_prefix();
+        let p = exact_acceptance(&rtm, library::encode("11"), 10_000).unwrap();
+        assert!((p.accept - 0.25).abs() < 1e-12, "two coins → ¼, got {}", p.accept);
+    }
+
+    #[test]
+    fn final_states_cannot_get_transitions() {
+        let mut b = tiny();
+        let f = b.state();
+        b.finalize(f, false);
+        assert!(b.exact(f, vec![0, 0], 0, vec![0, 0], vec![Move::N, Move::N]).is_err());
+        assert!(b
+            .rule(f, vec![Pat::Any, Pat::Any], 0, vec![Wr::Keep, Wr::Keep], vec![Move::N, Move::N])
+            .is_err());
+    }
+}

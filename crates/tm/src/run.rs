@@ -1,0 +1,363 @@
+//! Execution: configurations, stepping, deterministic and sampled runs.
+//!
+//! A [`Config`] is the paper's `(q, p₁..p_{t+u}, w₁..w_{t+u})`
+//! (Definition 23), carried here as per-tape [`TmTape`]s which track their
+//! own reversal/space accounting. [`run_deterministic`] executes machines
+//! with unique successors; [`run_sampled`] resolves nondeterminism with a
+//! caller-supplied random source (uniform over `Next_T(γ)` — the
+//! randomized semantics of Section 2).
+
+use crate::machine::Tm;
+use crate::tape::TmTape;
+use crate::{State, Sym};
+use rand::Rng;
+use st_core::{ResourceUsage, StError};
+
+/// A machine configuration.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Current state.
+    pub state: State,
+    /// All tapes (first `t` external, rest internal).
+    pub tapes: Vec<TmTape>,
+    /// Steps taken so far.
+    pub steps: u64,
+}
+
+impl Config {
+    /// The initial configuration for `input` on tape 0 (Definition 23).
+    #[must_use]
+    pub fn initial(tm: &Tm, input: Vec<Sym>) -> Self {
+        let mut tapes = Vec::with_capacity(tm.tapes());
+        tapes.push(TmTape::with_content(input));
+        for _ in 1..tm.tapes() {
+            tapes.push(TmTape::new());
+        }
+        Config { state: 0, tapes, steps: 0 }
+    }
+
+    /// Symbols under all heads.
+    #[must_use]
+    pub fn reads(&self) -> Vec<Sym> {
+        self.tapes.iter().map(TmTape::read).collect()
+    }
+
+    /// Apply one transition in place.
+    pub fn apply(&mut self, t: &crate::machine::Transition) -> Result<(), StError> {
+        for (tape, &w) in self.tapes.iter_mut().zip(&t.writes) {
+            tape.write(w);
+        }
+        for (tape, &m) in self.tapes.iter_mut().zip(&t.moves) {
+            tape.shift(m.dir())?;
+        }
+        self.state = t.next;
+        self.steps += 1;
+        Ok(())
+    }
+
+    /// Resource usage in the Definition-1 partition: the first
+    /// `tm.external_tapes` tapes contribute reversals, the rest space.
+    #[must_use]
+    pub fn usage(&self, tm: &Tm, input_len: usize) -> ResourceUsage {
+        let t = tm.external_tapes;
+        ResourceUsage {
+            input_len,
+            reversals_per_tape: self.tapes[..t].iter().map(TmTape::reversals).collect(),
+            external_tapes: t,
+            internal_space: self.tapes[t..].iter().map(|x| x.space() as u64).sum(),
+            steps: self.steps,
+            external_cells: self.tapes[..t].iter().map(|x| x.space() as u64).sum(),
+        }
+    }
+}
+
+/// How a run ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunOutcome {
+    /// Halted in an accepting state.
+    Accept,
+    /// Halted in a rejecting (final, non-accepting) state.
+    Reject,
+    /// Jammed: non-final state with no applicable transition. Treated as
+    /// rejection (the machine fails to accept).
+    Jam,
+    /// Exceeded the step budget (would indicate a non-finite run, which
+    /// Definition 1 forbids — always a bug or an over-tight budget).
+    StepLimit,
+}
+
+/// The result of executing one run.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// How the run ended.
+    pub outcome: RunOutcome,
+    /// Resource usage of the run.
+    pub usage: ResourceUsage,
+    /// The final configuration (output inspection, Las-Vegas outputs).
+    pub final_config: Config,
+}
+
+impl RunResult {
+    /// Did the run accept?
+    #[must_use]
+    pub fn accepted(&self) -> bool {
+        self.outcome == RunOutcome::Accept
+    }
+}
+
+/// Execute a deterministic machine. Errors if a configuration ever has
+/// more than one successor.
+pub fn run_deterministic(tm: &Tm, input: Vec<Sym>, max_steps: u64) -> Result<RunResult, StError> {
+    let input_len = input.len();
+    let mut cfg = Config::initial(tm, input);
+    loop {
+        if tm.is_final(cfg.state) {
+            let outcome =
+                if tm.is_accepting(cfg.state) { RunOutcome::Accept } else { RunOutcome::Reject };
+            let usage = cfg.usage(tm, input_len);
+            return Ok(RunResult { outcome, usage, final_config: cfg });
+        }
+        if cfg.steps >= max_steps {
+            let usage = cfg.usage(tm, input_len);
+            return Ok(RunResult { outcome: RunOutcome::StepLimit, usage, final_config: cfg });
+        }
+        let succ = tm.successors(cfg.state, &cfg.reads());
+        match succ.len() {
+            0 => {
+                let usage = cfg.usage(tm, input_len);
+                return Ok(RunResult { outcome: RunOutcome::Jam, usage, final_config: cfg });
+            }
+            1 => cfg.apply(&succ[0])?,
+            n => {
+                return Err(StError::Machine(format!(
+                    "machine '{}' is not deterministic: {n} successors in state {}",
+                    tm.name, cfg.state
+                )))
+            }
+        }
+    }
+}
+
+/// Execute one randomized run, resolving each nondeterministic step by a
+/// uniform choice over the successor set (the `Pr(γ →_T γ′) = 1/|Next|`
+/// semantics of Section 2).
+pub fn run_sampled<R: Rng>(
+    tm: &Tm,
+    input: Vec<Sym>,
+    max_steps: u64,
+    rng: &mut R,
+) -> Result<RunResult, StError> {
+    let input_len = input.len();
+    let mut cfg = Config::initial(tm, input);
+    loop {
+        if tm.is_final(cfg.state) {
+            let outcome =
+                if tm.is_accepting(cfg.state) { RunOutcome::Accept } else { RunOutcome::Reject };
+            let usage = cfg.usage(tm, input_len);
+            return Ok(RunResult { outcome, usage, final_config: cfg });
+        }
+        if cfg.steps >= max_steps {
+            let usage = cfg.usage(tm, input_len);
+            return Ok(RunResult { outcome: RunOutcome::StepLimit, usage, final_config: cfg });
+        }
+        let succ = tm.successors(cfg.state, &cfg.reads());
+        if succ.is_empty() {
+            let usage = cfg.usage(tm, input_len);
+            return Ok(RunResult { outcome: RunOutcome::Jam, usage, final_config: cfg });
+        }
+        let pick = rng.gen_range(0..succ.len());
+        cfg.apply(&succ[pick])?;
+    }
+}
+
+/// Enumerate **all** runs of a (small) nondeterministic machine, calling
+/// `visit` with each halted run's result and its probability under the
+/// uniform-choice semantics. Runs hitting `max_steps` are reported with
+/// [`RunOutcome::StepLimit`].
+pub fn enumerate_runs(
+    tm: &Tm,
+    input: Vec<Sym>,
+    max_steps: u64,
+    visit: &mut dyn FnMut(&RunResult, f64),
+) -> Result<(), StError> {
+    let input_len = input.len();
+    let cfg = Config::initial(tm, input);
+    let mut stack: Vec<(Config, f64)> = vec![(cfg, 1.0)];
+    while let Some((cfg, p)) = stack.pop() {
+        if tm.is_final(cfg.state) {
+            let outcome =
+                if tm.is_accepting(cfg.state) { RunOutcome::Accept } else { RunOutcome::Reject };
+            let usage = cfg.usage(tm, input_len);
+            visit(&RunResult { outcome, usage, final_config: cfg }, p);
+            continue;
+        }
+        if cfg.steps >= max_steps {
+            let usage = cfg.usage(tm, input_len);
+            visit(&RunResult { outcome: RunOutcome::StepLimit, usage, final_config: cfg }, p);
+            continue;
+        }
+        let succ = tm.successors(cfg.state, &cfg.reads());
+        if succ.is_empty() {
+            let usage = cfg.usage(tm, input_len);
+            visit(&RunResult { outcome: RunOutcome::Jam, usage, final_config: cfg }, p);
+            continue;
+        }
+        let share = p / succ.len() as f64;
+        for t in succ {
+            let mut next = cfg.clone();
+            next.apply(&t)?;
+            stack.push((next, share));
+        }
+    }
+    Ok(())
+}
+
+/// The NST acceptance condition (Definition 2): does **some** run of the
+/// nondeterministic machine accept? Implemented as a DFS over the run
+/// tree with a step cutoff; returns an error if the cutoff was reached on
+/// an unresolved branch while no accepting run was found (the answer
+/// would be indeterminate).
+pub fn accepts_nondeterministically(
+    tm: &Tm,
+    input: Vec<Sym>,
+    max_steps: u64,
+) -> Result<bool, StError> {
+    let cfg = Config::initial(tm, input);
+    let mut stack = vec![cfg];
+    let mut truncated = false;
+    while let Some(cfg) = stack.pop() {
+        if tm.is_final(cfg.state) {
+            if tm.is_accepting(cfg.state) {
+                return Ok(true);
+            }
+            continue;
+        }
+        if cfg.steps >= max_steps {
+            truncated = true;
+            continue;
+        }
+        for t in tm.successors(cfg.state, &cfg.reads()) {
+            let mut next = cfg.clone();
+            next.apply(&t)?;
+            stack.push(next);
+        }
+    }
+    if truncated {
+        return Err(StError::Machine(
+            "nondeterministic search hit the step cutoff with no accepting run found".into(),
+        ));
+    }
+    Ok(false)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::library;
+
+    #[test]
+    fn nst_acceptance_of_the_guess_machine() {
+        // The guess-bit machine has an accepting run iff the input starts
+        // with '0' or '1' (one of the two guesses matches).
+        let tm = library::guess_bit_machine();
+        assert!(accepts_nondeterministically(&tm, library::encode("0"), 100).unwrap());
+        assert!(accepts_nondeterministically(&tm, library::encode("1"), 100).unwrap());
+        assert!(!accepts_nondeterministically(&tm, library::encode("#"), 100).unwrap());
+    }
+
+    #[test]
+    fn nst_acceptance_matches_deterministic_acceptance() {
+        let tm = library::strings_equal_machine();
+        for (w, expect) in [("01#01", true), ("01#00", false), ("#", true)] {
+            assert_eq!(
+                accepts_nondeterministically(&tm, library::encode(w), 1 << 16).unwrap(),
+                expect,
+                "{w}"
+            );
+        }
+    }
+
+    #[test]
+    fn nst_search_reports_indeterminate_cutoffs() {
+        let tm = library::diverging_machine();
+        assert!(accepts_nondeterministically(&tm, library::encode("0"), 10).is_err());
+    }
+
+    #[test]
+    fn nst_acceptance_of_randomized_machines_is_existential() {
+        // Proposition 5: RST ⊆ NST — the coin-prefixed machine accepts
+        // nondeterministically exactly the yes-instances (some run, the
+        // heads run, accepts).
+        let tm = library::randomized_strings_equal_machine();
+        assert!(accepts_nondeterministically(&tm, library::encode("010#010"), 1 << 16).unwrap());
+        assert!(!accepts_nondeterministically(&tm, library::encode("010#011"), 1 << 16).unwrap());
+    }
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn parity_machine_accepts_even_number_of_ones() {
+        let tm = library::parity_machine();
+        // Alphabet: 1 = '0', 2 = '1'.
+        let r = run_deterministic(&tm, vec![2, 1, 2], 1000).unwrap();
+        assert!(r.accepted(), "two ones = even");
+        let r = run_deterministic(&tm, vec![2, 1, 1], 1000).unwrap();
+        assert!(!r.accepted(), "one one = odd");
+        let r = run_deterministic(&tm, vec![], 1000).unwrap();
+        assert!(r.accepted(), "zero ones = even");
+    }
+
+    #[test]
+    fn parity_machine_uses_one_scan_and_constant_space() {
+        let tm = library::parity_machine();
+        let input: Vec<Sym> = (0..200).map(|i| 1 + (i % 2) as Sym).collect();
+        let r = run_deterministic(&tm, input, 100_000).unwrap();
+        assert_eq!(r.usage.scans(), 1, "single forward scan");
+        assert!(r.usage.internal_space <= 1);
+    }
+
+    #[test]
+    fn coin_flip_machine_has_probability_one_half() {
+        let tm = library::coin_flip_machine();
+        let mut p_acc = 0.0;
+        enumerate_runs(&tm, vec![1], 100, &mut |r, p| {
+            if r.accepted() {
+                p_acc += p;
+            }
+        })
+        .unwrap();
+        assert!((p_acc - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sampled_runs_match_enumeration_statistically() {
+        let tm = library::coin_flip_machine();
+        let mut rng = StdRng::seed_from_u64(7);
+        let trials = 2000;
+        let mut acc = 0;
+        for _ in 0..trials {
+            if run_sampled(&tm, vec![1], 100, &mut rng).unwrap().accepted() {
+                acc += 1;
+            }
+        }
+        let p = acc as f64 / trials as f64;
+        assert!((p - 0.5).abs() < 0.05, "sampled acceptance {p}");
+    }
+
+    #[test]
+    fn jam_is_rejection() {
+        let tm = library::parity_machine();
+        // Symbol 3 ('#') has no transition from the scanning state of the
+        // parity machine; the machine jams.
+        let r = run_deterministic(&tm, vec![3], 100).unwrap();
+        assert_eq!(r.outcome, RunOutcome::Jam);
+        assert!(!r.accepted());
+    }
+
+    #[test]
+    fn step_limit_reported() {
+        let tm = library::diverging_machine();
+        let r = run_deterministic(&tm, vec![1, 1, 1], 10).unwrap();
+        assert_eq!(r.outcome, RunOutcome::StepLimit);
+    }
+}

@@ -1,0 +1,250 @@
+//! One-sided Turing machine tapes with blank fill.
+//!
+//! Unlike the record-level tapes of `st-extmem`, a [`TmTape`] operates at
+//! symbol granularity and materializes blanks: the head may move right
+//! past the written region onto `□` cells and write there, as Definition
+//! 23 allows. Reversal accounting (`rev(ρ, i)`) counts direction changes
+//! of actual movements; space accounting counts *visited* cells, the
+//! `space(ρ, i)` of Definition 1.
+
+use crate::{Sym, BLANK};
+use st_core::StError;
+
+/// A one-sided TM tape: cells numbered 1, 2, 3, … in the paper (0-based
+/// here), blank-filled, with a single head.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct TmTape {
+    cells: Vec<Sym>,
+    head: usize,
+    /// +1, -1, or 0 when the head has not moved yet.
+    last_dir: i8,
+    reversals: u64,
+    /// Highest visited cell index + 1 (`space(ρ, i)`).
+    visited: usize,
+}
+
+impl TmTape {
+    /// A blank tape, head on cell 0.
+    #[must_use]
+    pub fn new() -> Self {
+        TmTape { cells: Vec::new(), head: 0, last_dir: 0, reversals: 0, visited: 1 }
+    }
+
+    /// A tape holding `content`, head on cell 0.
+    #[must_use]
+    pub fn with_content(content: Vec<Sym>) -> Self {
+        TmTape { cells: content, head: 0, last_dir: 0, reversals: 0, visited: 1 }
+    }
+
+    /// The symbol under the head (`□` when on an unwritten cell).
+    #[must_use]
+    pub fn read(&self) -> Sym {
+        self.cells.get(self.head).copied().unwrap_or(BLANK)
+    }
+
+    /// Overwrite the symbol under the head, materializing blanks up to the
+    /// head if needed.
+    pub fn write(&mut self, s: Sym) {
+        if self.head >= self.cells.len() {
+            self.cells.resize(self.head + 1, BLANK);
+        }
+        self.cells[self.head] = s;
+    }
+
+    /// Move the head: `-1` left, `0` stay, `+1` right. Moving left off
+    /// cell 0 is an error (one-sided tapes, Definition 23).
+    pub fn shift(&mut self, dir: i8) -> Result<(), StError> {
+        match dir {
+            0 => Ok(()),
+            1 => {
+                if self.last_dir == -1 {
+                    self.reversals += 1;
+                }
+                self.last_dir = 1;
+                self.head += 1;
+                self.visited = self.visited.max(self.head + 1);
+                Ok(())
+            }
+            -1 => {
+                if self.head == 0 {
+                    return Err(StError::Machine("head fell off the left tape end".into()));
+                }
+                if self.last_dir == 1 {
+                    self.reversals += 1;
+                }
+                self.last_dir = -1;
+                self.head -= 1;
+                Ok(())
+            }
+            _ => Err(StError::Machine(format!("invalid head direction {dir}"))),
+        }
+    }
+
+    /// Current head position.
+    #[must_use]
+    pub fn head(&self) -> usize {
+        self.head
+    }
+
+    /// Direction changes so far — `rev(ρ, i)`.
+    #[must_use]
+    pub fn reversals(&self) -> u64 {
+        self.reversals
+    }
+
+    /// Number of visited cells — `space(ρ, i)`.
+    #[must_use]
+    pub fn space(&self) -> usize {
+        self.visited
+    }
+
+    /// The written region (trailing blanks trimmed).
+    #[must_use]
+    pub fn content(&self) -> &[Sym] {
+        let mut end = self.cells.len();
+        while end > 0 && self.cells[end - 1] == BLANK {
+            end -= 1;
+        }
+        &self.cells[..end]
+    }
+}
+
+impl Default for TmTape {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reads_blank_beyond_content() {
+        let t = TmTape::with_content(vec![1, 2]);
+        assert_eq!(t.read(), 1);
+        let mut t2 = t.clone();
+        t2.shift(1).unwrap();
+        t2.shift(1).unwrap();
+        assert_eq!(t2.read(), BLANK);
+    }
+
+    #[test]
+    fn writing_past_end_materializes_blanks() {
+        let mut t = TmTape::new();
+        t.shift(1).unwrap();
+        t.shift(1).unwrap();
+        t.write(7);
+        assert_eq!(t.content(), &[0, 0, 7]);
+    }
+
+    #[test]
+    fn reversal_accounting_counts_direction_changes_only() {
+        let mut t = TmTape::with_content(vec![1, 2, 3]);
+        t.shift(1).unwrap();
+        t.shift(1).unwrap();
+        assert_eq!(t.reversals(), 0);
+        t.shift(-1).unwrap();
+        assert_eq!(t.reversals(), 1);
+        t.shift(-1).unwrap();
+        assert_eq!(t.reversals(), 1);
+        t.shift(0).unwrap(); // staying is not a movement
+        t.shift(1).unwrap();
+        assert_eq!(t.reversals(), 2);
+    }
+
+    #[test]
+    fn first_move_left_is_not_a_reversal() {
+        let mut t = TmTape::with_content(vec![1, 2]);
+        t.shift(1).unwrap();
+        assert_eq!(t.reversals(), 0);
+        let mut t2 = TmTape::with_content(vec![1, 2]);
+        t2.shift(1).unwrap();
+        t2.shift(-1).unwrap();
+        assert_eq!(t2.reversals(), 1);
+    }
+
+    #[test]
+    fn space_counts_visited_cells() {
+        let mut t = TmTape::new();
+        assert_eq!(t.space(), 1);
+        for _ in 0..5 {
+            t.shift(1).unwrap();
+        }
+        assert_eq!(t.space(), 6);
+        for _ in 0..3 {
+            t.shift(-1).unwrap();
+        }
+        assert_eq!(t.space(), 6, "moving back does not un-visit cells");
+    }
+
+    #[test]
+    fn left_off_end_is_an_error() {
+        let mut t = TmTape::new();
+        assert!(t.shift(-1).is_err());
+    }
+
+    #[test]
+    fn content_trims_trailing_blanks() {
+        let mut t = TmTape::with_content(vec![1, 0, 2]);
+        assert_eq!(t.content(), &[1, 0, 2]);
+        t.shift(1).unwrap();
+        t.shift(1).unwrap();
+        t.write(0);
+        assert_eq!(t.content(), &[1]);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(128))]
+
+        #[test]
+        fn random_walks_keep_accounting_consistent(
+            content in proptest::collection::vec(0u8..4, 0..16),
+            walk in proptest::collection::vec(-1i8..=1, 0..80),
+        ) {
+            let mut t = TmTape::with_content(content);
+            let mut expected_revs = 0u64;
+            let mut last_dir = 0i8;
+            let mut max_pos = 0usize;
+            let mut pos = 0usize;
+            for d in walk {
+                if d == -1 && pos == 0 {
+                    prop_assert!(t.shift(-1).is_err());
+                    continue;
+                }
+                t.shift(d).unwrap();
+                if d != 0 {
+                    if last_dir != 0 && last_dir != d {
+                        expected_revs += 1;
+                    }
+                    last_dir = d;
+                    pos = (pos as i64 + i64::from(d)) as usize;
+                    max_pos = max_pos.max(pos);
+                }
+                prop_assert_eq!(t.head(), pos);
+            }
+            prop_assert_eq!(t.reversals(), expected_revs);
+            prop_assert_eq!(t.space(), max_pos + 1);
+        }
+
+        #[test]
+        fn write_then_read_round_trips(pos in 0usize..30, sym in 1u8..8) {
+            let mut t = TmTape::new();
+            for _ in 0..pos {
+                t.shift(1).unwrap();
+            }
+            t.write(sym);
+            prop_assert_eq!(t.read(), sym);
+            // Walking away and back reads the same symbol.
+            t.shift(1).unwrap();
+            t.shift(-1).unwrap();
+            prop_assert_eq!(t.read(), sym);
+        }
+    }
+}

@@ -1,0 +1,52 @@
+//! Figure 2, executed: one NLM transition writing `w = a⟨x⟩⟨y⟩⟨z⟩⟨c⟩`
+//! behind every head.
+//!
+//! ```text
+//! cargo run --example figure2
+//! ```
+
+use st_lab::lm::library::script_machine;
+use st_lab::lm::machine::Movement;
+use st_lab::lm::run::LmConfig;
+use st_lab::lm::Tok;
+
+fn render(toks: &[Tok]) -> String {
+    toks.iter()
+        .map(|t| match t {
+            Tok::Input { pos, val } => format!("v{pos}={val}"),
+            Tok::Choice(c) => format!("c{c}"),
+            Tok::State(a) => format!("a{a}"),
+            Tok::Open => "⟨".into(),
+            Tok::Close => "⟩".into(),
+        })
+        .collect()
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // The figure's transition shape:
+    //   (a, x₄, y₂, z₃, c) → (b, (−1,false), (1,true), (1,false))
+    let fig = script_machine(
+        "figure2",
+        3,
+        5,
+        vec![vec![
+            Movement { head_direction: -1, move_: false }, // list 1 turns
+            Movement { head_direction: 1, move_: true },   // list 2 steps right
+            Movement { head_direction: 1, move_: false },  // list 3 keeps facing right
+        ]],
+    );
+    let mut cfg = LmConfig::initial(&fig, &[1, 2, 3, 4, 5]);
+    println!("before:");
+    for (i, list) in cfg.lists.iter().enumerate() {
+        let cells: Vec<String> = list.iter().map(|c| render(&c.toks)).collect();
+        println!("  list {}: {:?}  head @ {}", i + 1, cells, cfg.heads[i]);
+    }
+    cfg.step(&fig, 0)?;
+    println!("\nafter the transition (w written behind every head):");
+    for (i, list) in cfg.lists.iter().enumerate() {
+        let cells: Vec<String> = list.iter().map(|c| render(&c.toks)).collect();
+        println!("  list {}: {:?}  head @ {}", i + 1, cells, cfg.heads[i]);
+    }
+    println!("\nreversals so far: {:?}", cfg.reversals());
+    Ok(())
+}

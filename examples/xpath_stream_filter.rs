@@ -1,0 +1,40 @@
+//! Theorem 13 in action: filter an XML document stream with the exact
+//! Figure 1 XPath query, then decide SET-EQUALITY with the two-run
+//! reduction.
+//!
+//! ```text
+//! cargo run --example xpath_stream_filter
+//! ```
+
+use st_lab::problems::Instance;
+use st_lab::query::xml::{instance_document, parse};
+use st_lab::query::xpath::{figure1_query, set_equality_via_two_filter_runs, DocContext};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // X = {01, 10, 11}, Y = {10, 11, 00}.
+    let inst = Instance::parse("01#10#11#10#11#00#")?;
+    let doc_text = instance_document(&inst);
+    println!("document:\n  {doc_text}\n");
+
+    let doc = parse(&doc_text)?;
+    let ctx = DocContext::new(&doc);
+    let q = figure1_query();
+    let selected = ctx.select(&q);
+    println!("Figure 1 query selects {} item(s) — the set X − Y:", selected.len());
+    for node in &selected {
+        println!("  <item> with string {:?}", node.string_value());
+    }
+    println!("\nfilter verdict (≥1 node matches): {}", ctx.filter(&q));
+
+    // The proof's reduction: two filter runs decide set equality.
+    let equal = set_equality_via_two_filter_runs(&inst)?;
+    println!("two-run reduction says X = Y: {equal}");
+
+    let yes = Instance::parse("01#10#10#01#")?;
+    println!(
+        "on the equal instance {:?}: X = Y per the reduction: {}",
+        yes.encode(),
+        set_equality_via_two_filter_runs(&yes)?
+    );
+    Ok(())
+}

@@ -1,0 +1,20 @@
+//! # st-lab — umbrella crate
+//!
+//! Re-exports the whole laboratory. See the individual crates:
+//! [`st_core`], [`st_extmem`], [`st_tm`], [`st_lm`], [`st_problems`],
+//! [`st_algo`], [`st_query`].
+
+#![forbid(unsafe_code)]
+
+pub use st_algo as algo;
+pub use st_core as core;
+pub use st_extmem as extmem;
+pub use st_lm as lm;
+pub use st_problems as problems;
+pub use st_query as query;
+pub use st_tm as tm;
+
+/// One-stop prelude for examples and integration tests.
+pub mod prelude {
+    pub use st_core::prelude::*;
+}

@@ -1,0 +1,19 @@
+//! Integration: every experiment of the EXPERIMENTS.md index reproduces
+//! its claim. This is the repository's end-to-end regression gate.
+
+#[test]
+fn every_experiment_reproduces_its_claim() {
+    let failed = st_bench::exp_model::failed_experiments();
+    assert!(failed.is_empty(), "experiments not reproduced: {failed:?}");
+}
+
+#[test]
+fn experiment_registry_is_complete() {
+    let ids: Vec<&str> = st_bench::all_experiments().iter().map(|(id, _, _)| *id).collect();
+    for expect in
+        ["e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14", "e15", "e16", "e17", "e18", "f2"]
+    {
+        assert!(ids.contains(&expect), "missing experiment {expect}");
+    }
+    assert_eq!(ids.len(), 19);
+}
