@@ -135,13 +135,20 @@ mod tests {
     #[test]
     fn usage_accumulates_across_runs() {
         let mut rng = StdRng::seed_from_u64(3);
-        let (_, usage) =
-            amplify_no_false_negatives(3, || Ok(coin_decider(1.0, &mut rng))).unwrap();
-        assert_eq!(usage.total_reversals(), 3, "three full runs, one reversal each");
+        let (_, usage) = amplify_no_false_negatives(3, || Ok(coin_decider(1.0, &mut rng))).unwrap();
+        assert_eq!(
+            usage.total_reversals(),
+            3,
+            "three full runs, one reversal each"
+        );
         let (acc, usage) =
             amplify_no_false_positives(5, || Ok(coin_decider(1.0, &mut rng))).unwrap();
         assert!(acc);
-        assert_eq!(usage.total_reversals(), 1, "short-circuits after the first accept");
+        assert_eq!(
+            usage.total_reversals(),
+            1,
+            "short-circuits after the first accept"
+        );
     }
 
     #[test]

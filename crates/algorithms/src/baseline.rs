@@ -92,6 +92,9 @@ mod tests {
         let (_, u_small) = one_pass_multiset_equality(&small).unwrap();
         let (_, u_large) = one_pass_multiset_equality(&large).unwrap();
         let ratio = u_large.internal_space as f64 / u_small.internal_space as f64;
-        assert!(ratio > 4.0, "memory should scale ~8x with m, got {ratio:.2}x");
+        assert!(
+            ratio > 4.0,
+            "memory should scale ~8x with m, got {ratio:.2}x"
+        );
     }
 }

@@ -235,6 +235,9 @@ mod tests {
                 false_alarms += 1;
             }
         }
-        assert!(false_alarms < trials / 4, "large moduli should mostly avoid collisions");
+        assert!(
+            false_alarms < trials / 4,
+            "large moduli should mostly avoid collisions"
+        );
     }
 }

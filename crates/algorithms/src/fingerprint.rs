@@ -63,7 +63,9 @@ pub fn tape_encoding(inst: &Instance) -> Vec<u8> {
 
 /// Sample a uniform prime `≤ k` by rejection; `None` after `tries`
 /// failures (probability `e^{-Ω(tries/ln k)}` — negligible at the default).
-fn sample_prime<R: Rng>(k: u64, tries: u32, rng: &mut R) -> Option<u64> {
+/// Shared with the resilient layer, which samples fresh verification
+/// primes per attempt.
+pub(crate) fn sample_prime<R: Rng>(k: u64, tries: u32, rng: &mut R) -> Option<u64> {
     for _ in 0..tries {
         let c = rng.gen_range(2..=k.max(2));
         if is_prime(c) {
@@ -120,10 +122,18 @@ pub fn decide_multiset_equality<R: Rng>(
 
     // ---- Randomness (internal memory only). --------------------------
     let params = if m == 0 {
-        FingerprintParams { k: 2, p1: 2, p2: 7, x: 1 }
+        FingerprintParams {
+            k: 2,
+            p1: 2,
+            p2: 7,
+            x: 1,
+        }
     } else {
         let k = theorem8a_k(m, n_max.max(1))?;
-        debug_assert_eq!(k, m * m * m * n_max.max(1) * dot_log2(m * m * m * n_max.max(1)));
+        debug_assert_eq!(
+            k,
+            m * m * m * n_max.max(1) * dot_log2(m * m * m * n_max.max(1))
+        );
         // p₁, p₂, x, e, pow2, S, S′ — seven registers of O(log k) bits.
         meter.charge_static(7 * bits_for(6 * k));
         let p1 = match sample_prime(k, 4096, rng) {
@@ -132,7 +142,12 @@ pub fn decide_multiset_equality<R: Rng>(
             None => {
                 return Ok(FingerprintRun {
                     accepted: true,
-                    params: FingerprintParams { k, p1: 0, p2: 0, x: 0 },
+                    params: FingerprintParams {
+                        k,
+                        p1: 0,
+                        p2: 0,
+                        x: 0,
+                    },
                     usage: machine.usage(),
                 })
             }
@@ -205,7 +220,11 @@ pub fn decide_multiset_equality<R: Rng>(
     }
 
     let accepted = sum_first == sum_second;
-    Ok(FingerprintRun { accepted, params, usage: machine.usage() })
+    Ok(FingerprintRun {
+        accepted,
+        params,
+        usage: machine.usage(),
+    })
 }
 
 /// Empirical error estimation: run the decider `trials` times on `inst`
@@ -263,12 +282,19 @@ pub fn decide_sum_only<R: Rng>(inst: &Instance, rng: &mut R) -> Result<bool, StE
     if m == 0 {
         return Ok(true);
     }
-    let n_max = inst.xs.iter().chain(inst.ys.iter()).map(st_problems::BitStr::len).max().unwrap_or(1);
+    let n_max = inst
+        .xs
+        .iter()
+        .chain(inst.ys.iter())
+        .map(st_problems::BitStr::len)
+        .max()
+        .unwrap_or(1);
     let k = theorem8a_k(m, n_max.max(1) as u64)?;
     let p1 = sample_prime(k, 4096, rng).unwrap_or(2);
     let residue = |v: &st_problems::BitStr| -> u64 {
         // MSB-first Horner evaluation of the value modulo p₁.
-        v.iter().fold(0u64, |e, b| add_mod(mul_mod(e, 2, p1), u64::from(b), p1))
+        v.iter()
+            .fold(0u64, |e, b| add_mod(mul_mod(e, 2, p1), u64::from(b), p1))
     };
     let sum = |vs: &[st_problems::BitStr]| vs.iter().fold(0u64, |a, v| add_mod(a, residue(v), p1));
     Ok(sum(&inst.xs) == sum(&inst.ys))
@@ -283,7 +309,10 @@ pub fn check_theorem8a_bounds(run: &FingerprintRun) -> Vec<st_core::Violation> {
         .check(
             &Bound::Const(2),
             // Seven O(log k) registers + three counters: generous constant.
-            &Bound::Log { mul: 64.0, add: 64.0 },
+            &Bound::Log {
+                mul: 64.0,
+                add: 64.0,
+            },
             TapeCount::Exactly(1),
         )
         .violations
@@ -347,8 +376,14 @@ mod tests {
             points.push((run.usage.input_len, run.usage.internal_space as f64));
         }
         let (slope, _, r2) = st_core::math::log_fit(&points);
-        assert!(r2 > 0.8, "internal memory not log-shaped: r²={r2}, {points:?}");
-        assert!(slope < 80.0, "internal memory slope {slope} too steep for O(log N)");
+        assert!(
+            r2 > 0.8,
+            "internal memory not log-shaped: r²={r2}, {points:?}"
+        );
+        assert!(
+            slope < 80.0,
+            "internal memory slope {slope} too steep for O(log N)"
+        );
     }
 
     #[test]
@@ -400,7 +435,10 @@ mod tests {
         // separating MULTISET from SET equality.
         let inst = Instance::parse("01#01#10#01#10#10#").unwrap();
         let freq = acceptance_frequency(&inst, 300, &mut rng).unwrap();
-        assert!(freq <= 0.5, "multiplicity difference accepted with frequency {freq}");
+        assert!(
+            freq <= 0.5,
+            "multiplicity difference accepted with frequency {freq}"
+        );
     }
 }
 

@@ -17,7 +17,13 @@
 //! * [`sorting`] — Corollary 10: sorting and the CHECK-SORT-via-sorting
 //!   reduction;
 //! * [`baseline`] — the internal-memory-hungry one-pass hash baseline
-//!   that anchors the separation table (Corollary 9 experiment).
+//!   that anchors the separation table (Corollary 9 experiment);
+//! * [`resilient`] — the fault-aware variants: fingerprint-verified merge
+//!   sort and MULTISET-EQUALITY/CHECK-SORT deciders that run over tapes
+//!   with an `st-extmem` fault plan attached, retry under a
+//!   [`st_core::RetryBudget`] with every retry charged in reversals, and
+//!   answer with a [`st_core::Verdict`] — a verified value or an explicit
+//!   `Unverified`, never a silently wrong answer.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -27,7 +33,9 @@ pub mod baseline;
 pub mod disjoint;
 pub mod fingerprint;
 pub mod nst;
+pub mod resilient;
 pub mod sortcheck;
 pub mod sorting;
 
 pub use fingerprint::{FingerprintParams, FingerprintRun};
+pub use resilient::{ResilientRun, VERIFY_ROUNDS};

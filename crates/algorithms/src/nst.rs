@@ -70,7 +70,13 @@ pub fn verify_multiset_certificate(
             pi.len()
         )));
     }
-    let n_max = inst.xs.iter().chain(inst.ys.iter()).map(BitStr::len).max().unwrap_or(0);
+    let n_max = inst
+        .xs
+        .iter()
+        .chain(inst.ys.iter())
+        .map(BitStr::len)
+        .max()
+        .unwrap_or(0);
     let copies = m * n_max + m;
     let cells_per_copy = 3 * m;
 
@@ -98,8 +104,11 @@ pub fn verify_multiset_certificate(
         } else {
             None
         };
-        let inj_check: Option<usize> =
-            if c > m * n_max { Some(c - m * n_max - 1) } else { None }; // i 0-based
+        let inj_check: Option<usize> = if c > m * n_max {
+            Some(c - m * n_max - 1)
+        } else {
+            None
+        }; // i 0-based
 
         let mut held_pi: Option<usize> = None;
         let mut held_bit: Option<Option<u8>> = None;
@@ -142,10 +151,9 @@ pub fn verify_multiset_certificate(
         // Section 3: the second list.
         for (j, y) in inst.ys.iter().enumerate() {
             if let (Some((_, b)), Some(target)) = (bit_check, held_pi) {
-                if j == target
-                    && held_bit != Some(bit_at(y, b)) {
-                        ok = false; // the checked bit differs
-                    }
+                if j == target && held_bit != Some(bit_at(y, b)) {
+                    ok = false; // the checked bit differs
+                }
             }
             if check_sorted && c == 1 {
                 if let Some(p) = &prev_y {
@@ -177,9 +185,13 @@ pub fn verify_multiset_certificate(
             }
             // Compare tape1[p] with tape2[p − 3m] for p ≥ 3m.
             for p in (0..total).rev() {
-                let ca = a.read_bwd().expect("cell written in forward sweep");
+                let ca = a.read_bwd().ok_or_else(|| {
+                    StError::Machine("backward sweep ran past the cells written forward".into())
+                })?;
                 if p >= cells_per_copy {
-                    let cb = b.read_bwd().expect("offset cell exists");
+                    let cb = b.read_bwd().ok_or_else(|| {
+                        StError::Machine("offset copy ended before the backward sweep".into())
+                    })?;
                     if ca != cb {
                         ok = false;
                     }
@@ -211,7 +223,11 @@ pub fn verify_multiset_certificate(
         }
     }
 
-    Ok(VerifierRun { accepted: ok, usage: machine.usage(), copies })
+    Ok(VerifierRun {
+        accepted: ok,
+        usage: machine.usage(),
+        copies,
+    })
 }
 
 /// The NST acceptance condition: does *some* certificate make the
@@ -280,7 +296,11 @@ mod tests {
     fn wrong_certificate_rejects() {
         let i = inst("00#01#10#10#01#00#");
         let id = vec![0usize, 1, 2];
-        assert!(!verify_multiset_certificate(&i, &id, false).unwrap().accepted);
+        assert!(
+            !verify_multiset_certificate(&i, &id, false)
+                .unwrap()
+                .accepted
+        );
     }
 
     #[test]
@@ -288,9 +308,21 @@ mod tests {
         let i = inst("0#0#0#0#");
         // All-same values: any *permutation* works, but a non-injective
         // map must be caught by the injectivity copies.
-        assert!(verify_multiset_certificate(&i, &[0, 1], false).unwrap().accepted);
-        assert!(!verify_multiset_certificate(&i, &[0, 0], false).unwrap().accepted);
-        assert!(!verify_multiset_certificate(&i, &[0, 5], false).unwrap().accepted);
+        assert!(
+            verify_multiset_certificate(&i, &[0, 1], false)
+                .unwrap()
+                .accepted
+        );
+        assert!(
+            !verify_multiset_certificate(&i, &[0, 0], false)
+                .unwrap()
+                .accepted
+        );
+        assert!(
+            !verify_multiset_certificate(&i, &[0, 5], false)
+                .unwrap()
+                .accepted
+        );
     }
 
     #[test]
@@ -346,7 +378,11 @@ mod tests {
         // v = "0", v' = "00": every defined bit position matches but the
         // lengths differ.
         let i = inst("0#00#");
-        assert!(!verify_multiset_certificate(&i, &[0], false).unwrap().accepted);
+        assert!(
+            !verify_multiset_certificate(&i, &[0], false)
+                .unwrap()
+                .accepted
+        );
     }
 
     #[test]
@@ -358,9 +394,17 @@ mod tests {
         let i = fam.yes_instance(&mut rng);
         // x_i = y_{φ(i)}: the correct certificate is φ itself (0-based).
         let pi = phi(4);
-        assert!(verify_multiset_certificate(&i, &pi, false).unwrap().accepted);
+        assert!(
+            verify_multiset_certificate(&i, &pi, false)
+                .unwrap()
+                .accepted
+        );
         // And, φ being an involution, so is its inverse.
-        assert!(verify_multiset_certificate(&i, &inverse(&pi), false).unwrap().accepted);
+        assert!(
+            verify_multiset_certificate(&i, &inverse(&pi), false)
+                .unwrap()
+                .accepted
+        );
     }
 
     #[test]

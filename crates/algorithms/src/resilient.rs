@@ -1,0 +1,561 @@
+//! Fault-resilient, budget-accounted upper-bound algorithms.
+//!
+//! The algorithms in [`sortcheck`](crate::sortcheck) assume the medium is
+//! perfect: a bit silently flipped by a scratch tape would propagate into
+//! a wrong verdict. This module re-runs the same reversal-bounded
+//! machinery over tapes with a [`FaultPlan`] attached (see
+//! `st-extmem::fault`) and wraps every answer in the verify-or-retry
+//! protocol of [`st_core::verdict`]:
+//!
+//! 1. the **master tapes** (the paper's given input) stay fault-free —
+//!    the fault model corrupts the machine's *working storage*, not the
+//!    problem instance;
+//! 2. every attempt ends in a **verification pass**: a sortedness scan of
+//!    the working tape plus a Theorem 8(a)-style multiset fingerprint
+//!    comparing the working tape against its master, with fresh random
+//!    primes per attempt (`VERIFY_ROUNDS`-fold, so a corrupted tape
+//!    survives verification only with probability `≤ 2^-VERIFY_ROUNDS`);
+//! 3. a failed verification **retries on the same machine**, so every
+//!    re-copy, re-sort and re-scan is charged into the one
+//!    [`ResourceUsage`] record — resilience is priced in reversals, the
+//!    paper's scarce resource;
+//! 4. when the [`RetryBudget`] runs out the algorithm returns an explicit
+//!    [`Verdict::Unverified`] — never a panic, never a silently wrong
+//!    answer.
+//!
+//! The deciders add a fourth ingredient: an **oracle cross-check** on the
+//! fault-free masters. A fingerprint *mismatch* between the two master
+//! tapes proves the multisets differ (the test has no false negatives),
+//! so a verdict is only emitted when the faulty-tape computation and the
+//! clean-tape fingerprint agree. A `Verified(false)` is therefore exact;
+//! a `Verified(true)` carries the fingerprint's one-sided error
+//! `≤ 2^-VERIFY_ROUNDS` — the same co-RST error model the paper's
+//! randomized algorithms live in.
+
+use crate::fingerprint::sample_prime;
+use rand::Rng;
+use st_core::math::{add_mod, mul_mod, next_prime, pow_mod};
+use st_core::theorems::theorem8a_k;
+use st_core::{ResourceUsage, RetryBudget, StError, Verdict};
+use st_extmem::meter::{bits_for, MemoryMeter};
+use st_extmem::scan::{copy_tape, tapes_equal};
+use st_extmem::sort::merge_sort;
+use st_extmem::{FaultPlan, FaultStats, Tape, TapeMachine};
+use st_problems::{BitStr, Instance};
+
+/// Independent fingerprint rounds per verification. Each round samples a
+/// fresh prime pair, so corruption slips through all rounds only with
+/// probability `≤ 2^-VERIFY_ROUNDS`.
+pub const VERIFY_ROUNDS: u32 = 3;
+
+/// Outcome of a resilient run: the verdict, how many attempts it took,
+/// and the *cumulative* resource bill across all attempts.
+#[derive(Debug, Clone)]
+pub struct ResilientRun<T> {
+    /// The verified value, or an explicit refusal.
+    pub verdict: Verdict<T>,
+    /// Attempts consumed (1 = verified first try).
+    pub attempts: u32,
+    /// Reversal/space accounting summed over every attempt, including
+    /// the verification scans — retries are never free.
+    pub usage: ResourceUsage,
+    /// Injection counters reported by the fault layer.
+    pub faults: FaultStats,
+}
+
+/// One sampled verification fingerprint: residue prime `p₁ ≤ k`, sum
+/// prime `p₂ ∈ (3k, 6k]`, evaluation point `x ∈ {1,…,p₂−1}`.
+#[derive(Debug, Clone, Copy)]
+struct VerifyParams {
+    p1: u64,
+    p2: u64,
+    x: u64,
+}
+
+/// Sample fresh verification parameters; `None` on (vanishingly rare)
+/// prime-sampling failure, which callers treat as an inconclusive round.
+fn sample_verify_params<R: Rng>(
+    m: u64,
+    n_max: u64,
+    rng: &mut R,
+) -> Result<Option<VerifyParams>, StError> {
+    if m == 0 {
+        return Ok(Some(VerifyParams { p1: 2, p2: 7, x: 1 }));
+    }
+    let k = theorem8a_k(m, n_max.max(1))?;
+    let Some(p1) = sample_prime(k, 4096, rng) else {
+        return Ok(None);
+    };
+    let p2 = next_prime(3 * k);
+    let x = rng.gen_range(1..p2);
+    Ok(Some(VerifyParams { p1, p2, x }))
+}
+
+/// The order-insensitive multiset fingerprint `Σ x^{vᵢ mod p₁} mod p₂`
+/// of a whole tape, in one forward scan (≤ 1 reversal for the rewind).
+fn tape_fingerprint(tape: &mut Tape<BitStr>, fp: VerifyParams, meter: &MemoryMeter) -> u64 {
+    tape.rewind();
+    // Registers: residue, running sum, one record buffer.
+    let _buf = meter.charge(1 + 2 * bits_for(fp.p2));
+    let mut sum = 0u64;
+    while let Some(v) = tape.read_fwd() {
+        let e = v.iter().fold(0u64, |e, b| {
+            add_mod(mul_mod(e, 2, fp.p1), u64::from(b), fp.p1)
+        });
+        sum = add_mod(sum, pow_mod(fp.x, e, fp.p2), fp.p2);
+    }
+    sum
+}
+
+/// One forward scan checking ascending order; ≤ 1 reversal (rewind).
+fn sorted_scan(tape: &mut Tape<BitStr>, meter: &MemoryMeter) -> bool {
+    tape.rewind();
+    let _buf = meter.charge(2);
+    let mut prev: Option<BitStr> = None;
+    while let Some(x) = tape.read_fwd() {
+        if let Some(p) = &prev {
+            if *p > x {
+                return false;
+            }
+        }
+        prev = Some(x);
+    }
+    true
+}
+
+/// `VERIFY_ROUNDS` independent fingerprint comparisons of two tapes;
+/// `true` iff every conclusive round matched. Reading a faulty tape here
+/// is deliberate: corruption injected *during* verification still changes
+/// the fingerprint the check sees.
+fn fingerprints_match<R: Rng>(
+    machine: &mut TapeMachine<BitStr>,
+    a_idx: usize,
+    b_idx: usize,
+    m: u64,
+    n_max: u64,
+    rng: &mut R,
+) -> Result<bool, StError> {
+    let meter = machine.meter().clone();
+    for _ in 0..VERIFY_ROUNDS {
+        let Some(fp) = sample_verify_params(m, n_max, rng)? else {
+            continue;
+        };
+        let (a, b) = machine.pair_mut(a_idx, b_idx);
+        if tape_fingerprint(a, fp, &meter) != tape_fingerprint(b, fp, &meter) {
+            return Ok(false);
+        }
+    }
+    Ok(true)
+}
+
+/// Resilient external merge sort over a faulty medium.
+///
+/// Tape 0 holds the (fault-free) master copy of `items`; the working and
+/// scratch tapes take faults from `plan`. Each attempt copies the master
+/// onto the working tape, merge-sorts it there, then verifies sortedness
+/// and multiset equality against the master. The returned snapshot is
+/// taken only after verification passes.
+///
+/// ```
+/// use rand::SeedableRng;
+/// use st_algo::resilient::resilient_sort;
+/// use st_core::RetryBudget;
+/// use st_extmem::FaultPlan;
+/// use st_problems::BitStr;
+///
+/// let items: Vec<BitStr> =
+///     (0..8).rev().map(|v| BitStr::from_value(v, 4).unwrap()).collect();
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let run = resilient_sort(
+///     &items,
+///     items.len(),
+///     &FaultPlan::new(7),     // no fault rates set: clean medium
+///     RetryBudget::default(),
+///     &mut rng,
+/// )?;
+/// assert_eq!(run.attempts, 1, "clean media verify on the first attempt");
+/// assert!(run.verdict.is_verified());
+/// # Ok::<(), st_core::StError>(())
+/// ```
+pub fn resilient_sort<R: Rng>(
+    items: &[BitStr],
+    input_len: usize,
+    plan: &FaultPlan,
+    budget: RetryBudget,
+    rng: &mut R,
+) -> Result<ResilientRun<Vec<BitStr>>, StError> {
+    let mut machine: TapeMachine<BitStr> = TapeMachine::with_input(items.to_vec(), input_len);
+    let work = machine.add_tape("working");
+    let s1 = machine.add_tape("scratch1");
+    let s2 = machine.add_tape("scratch2");
+    machine.enable_faults_except(plan, &[0]);
+    let meter = machine.meter().clone();
+    let m = items.len() as u64;
+    let n_max = items.iter().map(BitStr::len).max().unwrap_or(0) as u64;
+
+    let mut last_reason = String::from("never attempted");
+    for attempt in 1..=budget.max_attempts {
+        {
+            let (master, w) = machine.pair_mut(0, work);
+            copy_tape(master, w, &meter)?;
+        }
+        merge_sort(&mut machine, work, s1, s2)?;
+        if !sorted_scan(machine.tape_mut(work), &meter) {
+            last_reason = "working tape not sorted after merge sort".into();
+            continue;
+        }
+        if !fingerprints_match(&mut machine, 0, work, m, n_max, rng)? {
+            last_reason = "working tape fingerprint differs from master".into();
+            continue;
+        }
+        return Ok(ResilientRun {
+            verdict: Verdict::Verified(machine.tape(work).snapshot()),
+            attempts: attempt,
+            usage: machine.usage(),
+            faults: machine.fault_stats(),
+        });
+    }
+    Ok(ResilientRun {
+        verdict: Verdict::Unverified {
+            attempts: budget.max_attempts,
+            reason: last_reason,
+        },
+        attempts: budget.max_attempts,
+        usage: machine.usage(),
+        faults: machine.fault_stats(),
+    })
+}
+
+/// The shared machine of the resilient deciders: masters on tapes 0–1
+/// (fault-free), working copies on 2–3, merge scratch on 4–5 (faulted).
+fn decider_machine(inst: &Instance, plan: &FaultPlan) -> TapeMachine<BitStr> {
+    let mut m = TapeMachine::with_input(inst.xs.clone(), inst.size());
+    m.add_tape_with("second", inst.ys.clone());
+    m.add_tape("work-first");
+    m.add_tape("work-second");
+    m.add_tape("scratch1");
+    m.add_tape("scratch2");
+    m.enable_faults_except(plan, &[0, 1]);
+    m
+}
+
+/// One attempt of the sort-based equality pipeline on faulty tapes;
+/// `Ok(None)` means verification detected corruption (retry), otherwise
+/// the candidate verdict of the cell-wise comparison.
+fn equality_attempt<R: Rng>(
+    machine: &mut TapeMachine<BitStr>,
+    m: u64,
+    n_max: u64,
+    rng: &mut R,
+    last_reason: &mut String,
+) -> Result<Option<bool>, StError> {
+    let meter = machine.meter().clone();
+    for (master, work) in [(0usize, 2usize), (1, 3)] {
+        {
+            let (src, dst) = machine.pair_mut(master, work);
+            copy_tape(src, dst, &meter)?;
+        }
+        merge_sort(machine, work, 4, 5)?;
+        if !sorted_scan(machine.tape_mut(work), &meter) {
+            *last_reason = format!("working copy of tape {master} not sorted after merge sort");
+            return Ok(None);
+        }
+        if !fingerprints_match(machine, master, work, m, n_max, rng)? {
+            *last_reason = format!("working copy of tape {master} fingerprint differs from master");
+            return Ok(None);
+        }
+    }
+    let (a, b) = machine.pair_mut(2, 3);
+    Ok(Some(tapes_equal(a, b, &meter)))
+}
+
+/// The oracle cross-check on the fault-free masters: `false` is **exact**
+/// (a fingerprint mismatch proves inequality); `true` is correct up to
+/// the one-sided error `≤ 2^-VERIFY_ROUNDS`.
+fn masters_agree<R: Rng>(
+    machine: &mut TapeMachine<BitStr>,
+    m: u64,
+    n_max: u64,
+    rng: &mut R,
+) -> Result<bool, StError> {
+    fingerprints_match(machine, 0, 1, m, n_max, rng)
+}
+
+/// Decide MULTISET-EQUALITY resiliently: the Corollary 7 sort-and-compare
+/// pipeline runs on faulty working tapes; a verdict is emitted only when
+/// it agrees with the fingerprint oracle on the fault-free masters.
+pub fn decide_multiset_equality_resilient<R: Rng>(
+    inst: &Instance,
+    plan: &FaultPlan,
+    budget: RetryBudget,
+    rng: &mut R,
+) -> Result<ResilientRun<bool>, StError> {
+    let mut machine = decider_machine(inst, plan);
+    let m = inst.m() as u64;
+    let n_max = inst
+        .xs
+        .iter()
+        .chain(inst.ys.iter())
+        .map(BitStr::len)
+        .max()
+        .unwrap_or(0) as u64;
+
+    let mut last_reason = String::from("never attempted");
+    for attempt in 1..=budget.max_attempts {
+        let Some(candidate) = equality_attempt(&mut machine, m, n_max, rng, &mut last_reason)?
+        else {
+            continue;
+        };
+        let oracle = masters_agree(&mut machine, m, n_max, rng)?;
+        if candidate == oracle {
+            return Ok(ResilientRun {
+                verdict: Verdict::Verified(candidate),
+                attempts: attempt,
+                usage: machine.usage(),
+                faults: machine.fault_stats(),
+            });
+        }
+        last_reason = format!(
+            "sorted comparison said {candidate} but the master fingerprint oracle said {oracle}"
+        );
+    }
+    Ok(ResilientRun {
+        verdict: Verdict::Unverified {
+            attempts: budget.max_attempts,
+            reason: last_reason,
+        },
+        attempts: budget.max_attempts,
+        usage: machine.usage(),
+        faults: machine.fault_stats(),
+    })
+}
+
+/// Decide CHECK-SORT resiliently. The sortedness side-condition is read
+/// off the fault-free master of the second list (exact, one scan); a
+/// violation short-circuits to an exact `Verified(false)`. The multiset
+/// half then runs the resilient equality pipeline.
+pub fn decide_check_sort_resilient<R: Rng>(
+    inst: &Instance,
+    plan: &FaultPlan,
+    budget: RetryBudget,
+    rng: &mut R,
+) -> Result<ResilientRun<bool>, StError> {
+    {
+        // Probe the side-condition on a clean throwaway machine so a
+        // rejected instance is not billed for the equality pipeline.
+        let mut probe = decider_machine(inst, plan);
+        let meter = probe.meter().clone();
+        if !sorted_scan(probe.tape_mut(1), &meter) {
+            return Ok(ResilientRun {
+                verdict: Verdict::Verified(false),
+                attempts: 1,
+                usage: probe.usage(),
+                faults: probe.fault_stats(),
+            });
+        }
+    }
+    decide_multiset_equality_resilient(inst, plan, budget, rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use st_problems::{generate, predicates};
+
+    fn values(count: u64, bits: usize, seed: u64) -> Vec<BitStr> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..count)
+            .map(|_| {
+                BitStr::from_value(u128::from(rng.gen_range(0..(1u64 << bits))), bits).unwrap()
+            })
+            .collect()
+    }
+
+    fn reference_sorted(items: &[BitStr]) -> Vec<BitStr> {
+        let mut v = items.to_vec();
+        v.sort();
+        v
+    }
+
+    #[test]
+    fn clean_medium_verifies_first_attempt() {
+        let items = values(64, 8, 1);
+        let mut rng = StdRng::seed_from_u64(2);
+        let run = resilient_sort(
+            &items,
+            items.len(),
+            &FaultPlan::new(3),
+            RetryBudget::default(),
+            &mut rng,
+        )
+        .unwrap();
+        assert_eq!(run.attempts, 1);
+        assert_eq!(run.verdict, Verdict::Verified(reference_sorted(&items)));
+        assert_eq!(run.faults.total_injected(), 0);
+    }
+
+    #[test]
+    fn verified_output_is_always_correctly_sorted() {
+        // Across a band of fault rates up to well past the acceptance
+        // criterion's 1e-3/cell: every Verified verdict must be the true
+        // sorted sequence; Unverified is the only other legal outcome.
+        let items = values(48, 8, 10);
+        let expect = reference_sorted(&items);
+        for (i, rate) in [1e-4, 1e-3, 5e-3, 2e-2, 0.1].into_iter().enumerate() {
+            for seed in 0..6u64 {
+                let plan = FaultPlan::uniform(1000 * i as u64 + seed, rate);
+                let mut rng = StdRng::seed_from_u64(seed);
+                let run = resilient_sort(&items, items.len(), &plan, RetryBudget::new(4), &mut rng)
+                    .unwrap();
+                if let Verdict::Verified(v) = &run.verdict {
+                    assert_eq!(
+                        v, &expect,
+                        "wrong verified output at rate {rate}, seed {seed}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn retries_are_charged_into_the_usage_record() {
+        let items = values(64, 8, 20);
+        // Clean baseline: one attempt's worth of reversals.
+        let mut rng = StdRng::seed_from_u64(21);
+        let clean = resilient_sort(
+            &items,
+            items.len(),
+            &FaultPlan::new(5),
+            RetryBudget::default(),
+            &mut rng,
+        )
+        .unwrap();
+        assert_eq!(clean.attempts, 1);
+        // Aggressive bit-flips: detection forces at least one retry, and
+        // every retry's re-copy/re-sort/re-scan shows up as reversals.
+        let mut rng = StdRng::seed_from_u64(21);
+        let faulty = resilient_sort(
+            &items,
+            items.len(),
+            &FaultPlan::uniform(5, 0.05),
+            RetryBudget::new(5),
+            &mut rng,
+        )
+        .unwrap();
+        assert!(
+            faulty.attempts > 1,
+            "rate 0.05 must trip verification at least once"
+        );
+        assert!(
+            faulty.usage.total_reversals() > clean.usage.total_reversals(),
+            "retries must cost reversals: {} vs clean {}",
+            faulty.usage.total_reversals(),
+            clean.usage.total_reversals()
+        );
+        assert!(faulty.faults.total_injected() > 0);
+    }
+
+    #[test]
+    fn budget_exhaustion_is_an_explicit_unverified() {
+        let items = values(48, 8, 30);
+        // A brutal medium: half of all reads corrupted.
+        let plan = FaultPlan::uniform(9, 0.5);
+        let mut rng = StdRng::seed_from_u64(31);
+        let run =
+            resilient_sort(&items, items.len(), &plan, RetryBudget::new(3), &mut rng).unwrap();
+        match &run.verdict {
+            Verdict::Unverified { attempts, reason } => {
+                assert_eq!(*attempts, 3);
+                assert!(!reason.is_empty());
+            }
+            Verdict::Verified(v) => {
+                assert_eq!(
+                    v,
+                    &reference_sorted(&items),
+                    "a verified answer must still be right"
+                );
+            }
+        }
+        assert_eq!(run.attempts, 3);
+    }
+
+    #[test]
+    fn resilient_multiset_decider_is_never_wrong() {
+        let mut gen_rng = StdRng::seed_from_u64(40);
+        for rate in [0.0, 1e-3, 1e-2, 0.05] {
+            for round in 0..4u64 {
+                for inst in [
+                    generate::yes_multiset(10, 6, &mut gen_rng),
+                    generate::no_multiset_one_bit(10, 6, &mut gen_rng),
+                    generate::random_instance(8, 4, &mut gen_rng),
+                ] {
+                    let truth = predicates::is_multiset_equal(&inst);
+                    let plan = FaultPlan::uniform(round, rate);
+                    let mut rng = StdRng::seed_from_u64(round + 100);
+                    let run = decide_multiset_equality_resilient(
+                        &inst,
+                        &plan,
+                        RetryBudget::new(4),
+                        &mut rng,
+                    )
+                    .unwrap();
+                    if let Verdict::Verified(got) = run.verdict {
+                        assert_eq!(got, truth, "wrong verdict at rate {rate}, round {round}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn resilient_check_sort_matches_reference() {
+        let mut gen_rng = StdRng::seed_from_u64(50);
+        for rate in [0.0, 1e-3, 1e-2] {
+            for round in 0..4u64 {
+                for inst in [
+                    generate::yes_checksort(8, 5, &mut gen_rng),
+                    generate::no_checksort_sorted_but_wrong(8, 5, &mut gen_rng),
+                    generate::random_instance(6, 4, &mut gen_rng),
+                ] {
+                    let truth = predicates::is_check_sorted(&inst);
+                    let plan = FaultPlan::uniform(round + 7, rate);
+                    let mut rng = StdRng::seed_from_u64(round + 200);
+                    let run =
+                        decide_check_sort_resilient(&inst, &plan, RetryBudget::new(4), &mut rng)
+                            .unwrap();
+                    if let Verdict::Verified(got) = run.verdict {
+                        assert_eq!(got, truth, "wrong verdict at rate {rate}, round {round}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn unsorted_second_list_short_circuits_exactly() {
+        // Same multiset on both sides, second list descending: a
+        // CHECK-SORT no-instance by the side-condition alone.
+        let asc: Vec<BitStr> = (0..8).map(|v| BitStr::from_value(v, 4).unwrap()).collect();
+        let desc: Vec<BitStr> = asc.iter().rev().cloned().collect();
+        let inst = Instance::new(asc, desc).unwrap();
+        assert!(!predicates::is_check_sorted(&inst));
+        let plan = FaultPlan::uniform(1, 0.3);
+        let mut rng = StdRng::seed_from_u64(61);
+        let run = decide_check_sort_resilient(&inst, &plan, RetryBudget::new(2), &mut rng).unwrap();
+        assert_eq!(run.verdict, Verdict::Verified(false));
+        assert_eq!(run.attempts, 1, "side-condition violation needs no retries");
+    }
+
+    #[test]
+    fn empty_instance_is_verified_equal() {
+        let inst = Instance::parse("").unwrap();
+        let plan = FaultPlan::uniform(2, 0.1);
+        let mut rng = StdRng::seed_from_u64(70);
+        let run =
+            decide_multiset_equality_resilient(&inst, &plan, RetryBudget::default(), &mut rng)
+                .unwrap();
+        assert_eq!(run.verdict, Verdict::Verified(true));
+    }
+}

@@ -49,7 +49,10 @@ pub fn decide_multiset_equality(inst: &Instance) -> Result<DeciderRun, StError> 
     let meter = m.meter().clone();
     let (a, b) = m.pair_mut(0, 1);
     let equal = st_extmem::scan::tapes_equal(a, b, &meter);
-    Ok(DeciderRun { accepted: equal, usage: m.usage() })
+    Ok(DeciderRun {
+        accepted: equal,
+        usage: m.usage(),
+    })
 }
 
 /// Decide CHECK-SORT deterministically: sort the first list, then one
@@ -62,7 +65,10 @@ pub fn decide_check_sort(inst: &Instance) -> Result<DeciderRun, StError> {
     let (b, a) = m.pair_mut(1, 0);
     // compare_sorted checks `a` (here: the second list) for sortedness.
     let (equal, second_sorted) = compare_sorted(b, a, &meter);
-    Ok(DeciderRun { accepted: equal && second_sorted, usage: m.usage() })
+    Ok(DeciderRun {
+        accepted: equal && second_sorted,
+        usage: m.usage(),
+    })
 }
 
 /// Decide SET-EQUALITY deterministically: sort both lists, then compare
@@ -103,7 +109,10 @@ pub fn decide_set_equality(inst: &Instance) -> Result<DeciderRun, StError> {
     if equal && (cur_a.is_some() || cur_b.is_some()) {
         equal = false;
     }
-    Ok(DeciderRun { accepted: equal, usage: m.usage() })
+    Ok(DeciderRun {
+        accepted: equal,
+        usage: m.usage(),
+    })
 }
 
 #[cfg(test)]
@@ -159,9 +168,9 @@ mod tests {
     fn set_decider_matches_reference() {
         for word in [
             "",
-            "0#0#1#0#1#1#",     // sets equal, multisets not
-            "0#1#1#0#",         // equal
-            "0#1#1#1#",         // {0,1} vs {1}
+            "0#0#1#0#1#1#", // sets equal, multisets not
+            "0#1#1#0#",     // equal
+            "0#1#1#1#",     // {0,1} vs {1}
             "00#01#10#00#01#11#",
             "0#0#0#0#",
         ] {
@@ -193,7 +202,10 @@ mod tests {
                     decide_check_sort(&i).unwrap().accepted,
                     predicates::is_check_sorted(&i)
                 );
-                assert_eq!(decide_set_equality(&i).unwrap().accepted, predicates::is_set_equal(&i));
+                assert_eq!(
+                    decide_set_equality(&i).unwrap().accepted,
+                    predicates::is_set_equal(&i)
+                );
             }
         }
     }
@@ -233,23 +245,25 @@ mod proptests {
     use st_problems::predicates;
 
     fn arb_word(max_m: usize, max_n: usize) -> impl Strategy<Value = Instance> {
-        proptest::collection::vec(
-            proptest::collection::vec(0u8..2, 0..=max_n),
-            0..=2 * max_m,
-        )
-        .prop_map(|mut blocks| {
-            if blocks.len() % 2 == 1 {
-                blocks.pop();
-            }
-            let m = blocks.len() / 2;
-            let to_bs = |bits: &Vec<u8>| {
-                BitStr::parse(&bits.iter().map(|b| char::from(b'0' + b)).collect::<String>())
+        proptest::collection::vec(proptest::collection::vec(0u8..2, 0..=max_n), 0..=2 * max_m)
+            .prop_map(|mut blocks| {
+                if blocks.len() % 2 == 1 {
+                    blocks.pop();
+                }
+                let m = blocks.len() / 2;
+                let to_bs = |bits: &Vec<u8>| {
+                    BitStr::parse(
+                        &bits
+                            .iter()
+                            .map(|b| char::from(b'0' + b))
+                            .collect::<String>(),
+                    )
                     .unwrap()
-            };
-            let xs = blocks[..m].iter().map(to_bs).collect();
-            let ys = blocks[m..].iter().map(to_bs).collect();
-            Instance::new(xs, ys).unwrap()
-        })
+                };
+                let xs = blocks[..m].iter().map(to_bs).collect();
+                let ys = blocks[m..].iter().map(to_bs).collect();
+                Instance::new(xs, ys).unwrap()
+            })
     }
 
     proptest! {

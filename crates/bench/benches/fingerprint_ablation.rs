@@ -12,14 +12,18 @@ use st_problems::{BitStr, Instance};
 use std::time::Duration;
 
 fn config() -> Criterion {
-    Criterion::default().sample_size(10).measurement_time(Duration::from_secs(1)).warm_up_time(Duration::from_millis(200))
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(1))
+        .warm_up_time(Duration::from_millis(200))
 }
 
 /// An adversarial no-instance the sum-only test cannot see: the second
 /// list redistributes value mass (a+1 and b−1), preserving Σvᵢ exactly.
 fn sum_preserving_no_instance(m: usize, n: usize) -> Instance {
-    let xs: Vec<BitStr> =
-        (0..m).map(|i| BitStr::from_value((2 * i + 2) as u128, n).unwrap()).collect();
+    let xs: Vec<BitStr> = (0..m)
+        .map(|i| BitStr::from_value((2 * i + 2) as u128, n).unwrap())
+        .collect();
     let mut ys = xs.clone();
     ys[0] = BitStr::from_value(3, n).unwrap(); // 2 → 3
     ys[1] = BitStr::from_value(3, n).unwrap(); // 4 → 3

@@ -9,7 +9,10 @@ use st_problems::generate;
 use std::time::Duration;
 
 fn config() -> Criterion {
-    Criterion::default().sample_size(10).measurement_time(Duration::from_secs(1)).warm_up_time(Duration::from_millis(200))
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(1))
+        .warm_up_time(Duration::from_millis(200))
 }
 
 fn bench_verifier(c: &mut Criterion) {
@@ -19,7 +22,11 @@ fn bench_verifier(c: &mut Criterion) {
         let inst = generate::yes_multiset(m, 8, &mut rng);
         let id: Vec<usize> = (0..m).collect();
         group.bench_with_input(BenchmarkId::from_parameter(m), &inst, |b, inst| {
-            b.iter(|| verify_multiset_certificate(inst, &id, false).unwrap().accepted);
+            b.iter(|| {
+                verify_multiset_certificate(inst, &id, false)
+                    .unwrap()
+                    .accepted
+            });
         });
     }
     group.finish();

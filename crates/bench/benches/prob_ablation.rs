@@ -7,7 +7,10 @@ use st_tm::prob::{estimate_acceptance, exact_acceptance};
 use std::time::Duration;
 
 fn config() -> Criterion {
-    Criterion::default().sample_size(10).measurement_time(Duration::from_secs(1)).warm_up_time(Duration::from_millis(200))
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(1))
+        .warm_up_time(Duration::from_millis(200))
 }
 
 fn bench_probability(c: &mut Criterion) {
@@ -15,10 +18,18 @@ fn bench_probability(c: &mut Criterion) {
     let input = tmlib::encode("010101#010101");
     let mut group = c.benchmark_group("prob_ablation");
     group.bench_function("exact_enumeration", |b| {
-        b.iter(|| exact_acceptance(&tm, input.clone(), 1 << 20).unwrap().accept)
+        b.iter(|| {
+            exact_acceptance(&tm, input.clone(), 1 << 20)
+                .unwrap()
+                .accept
+        })
     });
     group.bench_function("monte_carlo_500", |b| {
-        b.iter(|| estimate_acceptance(&tm, &input, 500, 1 << 20, 42, 4).unwrap().p_hat)
+        b.iter(|| {
+            estimate_acceptance(&tm, &input, 500, 1 << 20, 42, 4)
+                .unwrap()
+                .p_hat
+        })
     });
     group.finish();
 }

@@ -8,7 +8,10 @@ use st_tm::run::run_deterministic;
 use std::time::Duration;
 
 fn config() -> Criterion {
-    Criterion::default().sample_size(10).measurement_time(Duration::from_secs(1)).warm_up_time(Duration::from_millis(200))
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(1))
+        .warm_up_time(Duration::from_millis(200))
 }
 
 fn bench_simulation(c: &mut Criterion) {
@@ -17,12 +20,18 @@ fn bench_simulation(c: &mut Criterion) {
     let mut group = c.benchmark_group("lemma16_simulation");
     group.bench_function("tm_direct", |b| {
         let word = tm_input_word(&values, 8);
-        b.iter(|| run_deterministic(&tm, word.clone(), 1 << 20).unwrap().accepted());
+        b.iter(|| {
+            run_deterministic(&tm, word.clone(), 1 << 20)
+                .unwrap()
+                .accepted()
+        });
     });
     group.bench_function("nlm_simulated", |b| {
         b.iter(|| {
             let sim = simulate_tm(&tm, 2, 8, 1, 1 << 20).unwrap();
-            run_with_choices(&sim.nlm, &values, &vec![0; 1 << 13], 1 << 13).unwrap().accepted()
+            run_with_choices(&sim.nlm, &values, &vec![0; 1 << 13], 1 << 13)
+                .unwrap()
+                .accepted()
         });
     });
     group.finish();

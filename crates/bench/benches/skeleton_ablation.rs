@@ -9,7 +9,10 @@ use std::collections::HashSet;
 use std::time::Duration;
 
 fn config() -> Criterion {
-    Criterion::default().sample_size(10).measurement_time(Duration::from_secs(1)).warm_up_time(Duration::from_millis(200))
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(1))
+        .warm_up_time(Duration::from_millis(200))
 }
 
 fn bench_skeletons(c: &mut Criterion) {
@@ -22,13 +25,17 @@ fn bench_skeletons(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("extract", passes), &run, |b, run| {
             b.iter(|| skeleton_of(run));
         });
-        group.bench_with_input(BenchmarkId::new("extract_and_hash", passes), &run, |b, run| {
-            b.iter(|| {
-                let mut set = HashSet::new();
-                set.insert(skeleton_of(run));
-                set.len()
-            });
-        });
+        group.bench_with_input(
+            BenchmarkId::new("extract_and_hash", passes),
+            &run,
+            |b, run| {
+                b.iter(|| {
+                    let mut set = HashSet::new();
+                    set.insert(skeleton_of(run));
+                    set.len()
+                });
+            },
+        );
     }
     group.finish();
 }

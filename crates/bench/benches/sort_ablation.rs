@@ -10,7 +10,10 @@ use st_extmem::TapeMachine;
 use std::time::Duration;
 
 fn config() -> Criterion {
-    Criterion::default().sample_size(10).measurement_time(Duration::from_secs(1)).warm_up_time(Duration::from_millis(200))
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(1))
+        .warm_up_time(Duration::from_millis(200))
 }
 
 fn bench_multiway(c: &mut Criterion) {

@@ -11,7 +11,10 @@ use st_problems::generate;
 use std::time::Duration;
 
 fn config() -> Criterion {
-    Criterion::default().sample_size(10).measurement_time(Duration::from_secs(1)).warm_up_time(Duration::from_millis(200))
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(1))
+        .warm_up_time(Duration::from_millis(200))
 }
 
 fn bench_sort(c: &mut Criterion) {
@@ -34,8 +37,12 @@ fn bench_deciders(c: &mut Criterion) {
     group.bench_function("multiset_eq", |b| {
         b.iter(|| sortcheck::decide_multiset_equality(&inst).unwrap())
     });
-    group.bench_function("set_eq", |b| b.iter(|| sortcheck::decide_set_equality(&inst).unwrap()));
-    group.bench_function("check_sort", |b| b.iter(|| sortcheck::decide_check_sort(&cs).unwrap()));
+    group.bench_function("set_eq", |b| {
+        b.iter(|| sortcheck::decide_set_equality(&inst).unwrap())
+    });
+    group.bench_function("check_sort", |b| {
+        b.iter(|| sortcheck::decide_check_sort(&cs).unwrap())
+    });
     group.bench_function("check_sort_via_sorting", |b| {
         b.iter(|| check_sort_via_sorting(&cs).unwrap())
     });

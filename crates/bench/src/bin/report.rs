@@ -1,15 +1,17 @@
 //! The experiment report generator.
 //!
 //! ```text
-//! cargo run -p st-bench --bin report            # every experiment
-//! cargo run -p st-bench --bin report e3 e9      # a selection
-//! cargo run -p st-bench --bin report --list     # the registry
+//! cargo run -p st-bench --bin report                # every experiment
+//! cargo run -p st-bench --bin report e3 e9          # a selection
+//! cargo run -p st-bench --bin report --list         # the registry
+//! cargo run -p st-bench --bin report --out FILE     # also save as text
 //! ```
 
 use st_bench::all_experiments;
+use st_bench::report::save_text;
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
     let registry = all_experiments();
     if args.iter().any(|a| a == "--list") {
         for (id, title, _) in &registry {
@@ -17,6 +19,18 @@ fn main() {
         }
         return;
     }
+    let out_path = match args.iter().position(|a| a == "--out") {
+        Some(i) => {
+            if i + 1 >= args.len() {
+                eprintln!("--out requires a file path");
+                std::process::exit(2);
+            }
+            let path = args.remove(i + 1);
+            args.remove(i);
+            Some(std::path::PathBuf::from(path))
+        }
+        None => None,
+    };
     let selected: Vec<_> = if args.is_empty() {
         registry
     } else {
@@ -30,12 +44,21 @@ fn main() {
         std::process::exit(2);
     }
     let mut failures = 0usize;
+    let mut reports = Vec::new();
     for (_, _, run) in selected {
         let report = run();
         println!("{report}");
         if !report.reproduced() {
             failures += 1;
         }
+        reports.push(report);
+    }
+    if let Some(path) = out_path {
+        if let Err(e) = save_text(&path, &reports) {
+            eprintln!("{e}");
+            std::process::exit(1);
+        }
+        eprintln!("saved {} report(s) to {}", reports.len(), path.display());
     }
     if failures > 0 {
         eprintln!("{failures} experiment(s) NOT reproduced");

@@ -20,11 +20,23 @@ pub fn e1_adversary() -> Report {
         "Any (r,t)-bounded NLM accepting all CHECK-φ yes-instances must accept a \
          no-instance; the pipeline (fix skeleton → uncompared pair → Lemma 34 splice) \
          constructs it",
-        &["machine", "m", "n", "uncompared i₀", "fooling input is no-instance", "machine accepts it", "scans"],
+        &[
+            "machine",
+            "m",
+            "n",
+            "uncompared i₀",
+            "fooling input is no-instance",
+            "machine accepts it",
+            "scans",
+        ],
     );
     let mut all_ok = true;
     let mut rng = StdRng::seed_from_u64(11);
-    for (name, m, n) in [("always-accept", 4usize, 10u32), ("one-scan-matcher", 8, 12), ("one-scan-matcher", 16, 16)] {
+    for (name, m, n) in [
+        ("always-accept", 4usize, 10u32),
+        ("one-scan-matcher", 8, 12),
+        ("one-scan-matcher", 16, 16),
+    ] {
         let fam = WordFamily::new(m, n).expect("family");
         let nlm = if name == "always-accept" {
             library::always_accept_machine(2, 2 * m)
@@ -60,7 +72,13 @@ pub fn e11_sortedness() -> Report {
         "e11",
         "Remark 20: sortedness of the bit-reversal permutation",
         "sortedness(φ_m) ≤ 2√m − 1 while every permutation has sortedness ≥ √m",
-        &["m", "sortedness(φ_m)", "2√m − 1", "⌈√m⌉ floor", "within band"],
+        &[
+            "m",
+            "sortedness(φ_m)",
+            "2√m − 1",
+            "⌈√m⌉ floor",
+            "within band",
+        ],
     );
     let mut all_ok = true;
     for logm in 2..=14u32 {
@@ -78,7 +96,10 @@ pub fn e11_sortedness() -> Report {
             ok.to_string(),
         ]);
     }
-    r.verdict(all_ok, "φ_m sits in the [√m, 2√m−1] band at every power of two up to 2^14");
+    r.verdict(
+        all_ok,
+        "φ_m sits in the [√m, 2√m−1] band at every power of two up to 2^14",
+    );
     r
 }
 
@@ -89,7 +110,13 @@ pub fn e12_skeletons() -> Report {
         "Lemma 32: skeleton counting",
         "The number of distinct skeletons of runs is ≤ (m+k+3)^{12m(t+1)^{2r+2}+24(t+1)^r}; \
          pigeonholing inputs onto skeletons is what powers Lemma 21",
-        &["machine", "m (inputs)", "inputs sampled", "distinct skeletons", "log₂ bound"],
+        &[
+            "machine",
+            "m (inputs)",
+            "inputs sampled",
+            "distinct skeletons",
+            "log₂ bound",
+        ],
     );
     let mut rng = StdRng::seed_from_u64(12);
     let mut all_ok = true;
@@ -113,7 +140,8 @@ pub fn e12_skeletons() -> Report {
         // Machine parameters for the bound: m inputs = 2mk, k states ≈
         // script length + 2, t = 2, r = observed scans.
         let k_states = (2 * mk * (passes + 2) + 4) as u64;
-        let bound_log2 = lemma32_skeleton_bound_log2(2 * mk as u64, k_states, 2, (2 * passes) as u32);
+        let bound_log2 =
+            lemma32_skeleton_bound_log2(2 * mk as u64, k_states, 2, (2 * passes) as u32);
         let within = (skels.len() as f64).log2() <= bound_log2;
         all_ok &= within;
         r.row(vec![
@@ -143,7 +171,15 @@ pub fn e13_merge_lemma() -> Report {
         "Lemma 38: compared φ-pairs vs the merge-lemma budget",
         "In any run, at most t^{2r}·sortedness(φ) indices i have (i, m+φ(i)) compared; \
          with m above the budget some pair always escapes — the adversary's foothold",
-        &["m", "permutation", "sortedness", "scans", "φ-pairs compared", "budget", "pair escapes"],
+        &[
+            "m",
+            "permutation",
+            "sortedness",
+            "scans",
+            "φ-pairs compared",
+            "budget",
+            "pair escapes",
+        ],
     );
     let mut all_ok = true;
     for m in [8usize, 16, 64] {
@@ -202,12 +238,15 @@ pub fn e13_merge_lemma() -> Report {
             (m > compared).to_string(),
         ]);
     }
-    r.verdict(all_ok, format!(
-        "monotone permutations let one scan compare ~all pairs; the bit-reversal φ \
+    r.verdict(
+        all_ok,
+        format!(
+            "monotone permutations let one scan compare ~all pairs; the bit-reversal φ \
          caps any single alignment near 2√m — minimal m for a guaranteed gap at \
          (t=2, r=1) is {}",
-        minimal_m_for_gap(2, 1)
-    ));
+            minimal_m_for_gap(2, 1)
+        ),
+    );
     r
 }
 
@@ -218,7 +257,14 @@ pub fn f2_figure2() -> Report {
         "Figure 2: one NLM transition, reproduced",
         "A transition (a, x₄, y₂, z₃, c) → (b, (−1,false), (1,true), (1,false)) writes \
          w = a⟨x₄⟩⟨y₂⟩⟨z₃⟩⟨c⟩ behind every head, exactly as drawn",
-        &["list", "cells before", "cells after", "head before", "head after", "w written"],
+        &[
+            "list",
+            "cells before",
+            "cells after",
+            "head before",
+            "head after",
+            "w written",
+        ],
     );
     // A 3-list machine with 5 input cells; drive heads to (x4, y2, z3)
     // first (scripted), then fire the figure's transition.
@@ -232,9 +278,18 @@ pub fn f2_figure2() -> Report {
         t,
         m,
         vec![vec![
-            Movement { head_direction: -1, move_: false },
-            Movement { head_direction: 1, move_: true },
-            Movement { head_direction: 1, move_: false },
+            Movement {
+                head_direction: -1,
+                move_: false,
+            },
+            Movement {
+                head_direction: 1,
+                move_: true,
+            },
+            Movement {
+                head_direction: 1,
+                move_: false,
+            },
         ]],
     );
     // Pre-seed a configuration resembling the figure: we use the initial
@@ -274,6 +329,9 @@ pub fn f2_figure2() -> Report {
         && w.iter().any(|t| matches!(t, st_lm::Tok::Choice(_)))
         && w.iter().any(|t| matches!(t, st_lm::Tok::Input { .. }));
     all_ok &= shape_ok;
-    r.verdict(all_ok, "w = a⟨x⟩⟨y⟩⟨z⟩⟨c⟩ written behind every head, heads placed per Definition 24");
+    r.verdict(
+        all_ok,
+        "w = a⟨x⟩⟨y⟩⟨z⟩⟨c⟩ written behind every head, heads placed per Definition 24",
+    );
     r
 }

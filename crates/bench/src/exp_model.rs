@@ -9,8 +9,8 @@ use st_core::theorems::{lemma3_run_length_log2, theorem8a_k};
 use st_lm::run::{run_sampled, run_with_choices};
 use st_lm::simulate::{simulate_tm, tm_input_word};
 use st_problems::checkphi::CheckPhi;
-use st_problems::short::reduce_to_short;
 use st_problems::predicates;
+use st_problems::short::reduce_to_short;
 use st_tm::library as tmlib;
 use st_tm::prob::exact_acceptance;
 use st_tm::run::run_deterministic;
@@ -23,7 +23,13 @@ pub fn e10_simulation() -> Report {
         "Lemma 16: TM → NLM simulation",
         "Every (r,s,t)-bounded TM is simulated by an (r,t)-bounded NLM with identical \
          acceptance behaviour (probabilities for randomized machines)",
-        &["machine", "inputs", "agreements", "NLM rev ≤ TM rev", "NLM states"],
+        &[
+            "machine",
+            "inputs",
+            "agreements",
+            "NLM rev ≤ TM rev",
+            "NLM states",
+        ],
     );
     let mut all_ok = true;
 
@@ -66,7 +72,10 @@ pub fn e10_simulation() -> Report {
     let trials = 1200u64;
     let mut acc = 0u64;
     for _ in 0..trials {
-        if run_sampled(&sim.nlm, &[0b101, 0b101], &mut rng, 1 << 13).expect("run").accepted() {
+        if run_sampled(&sim.nlm, &[0b101, 0b101], &mut rng, 1 << 13)
+            .expect("run")
+            .accepted()
+        {
             acc += 1;
         }
     }
@@ -124,7 +133,10 @@ pub fn e14_collisions() -> Report {
     // Monotone-ish decay and small at the largest m.
     let ok = rates.last().copied().unwrap_or(1.0) < 0.02
         && rates.first().copied().unwrap_or(0.0) >= rates.last().copied().unwrap_or(0.0);
-    r.verdict(ok, "collision rate decays with m and is far below the 1/m envelope at m = 32");
+    r.verdict(
+        ok,
+        "collision rate decays with m and is far below the 1/m envelope at m = 32",
+    );
     r
 }
 
@@ -134,18 +146,37 @@ pub fn e15_run_length() -> Report {
         "e15",
         "Lemma 3: run length of (r,s,t)-bounded machines",
         "Every run of an (r,s,t)-bounded TM has length ≤ N·2^{O(r·(t+s))}",
-        &["machine", "N", "r (scans)", "s", "steps", "log₂ bound (c=4)"],
+        &[
+            "machine",
+            "N",
+            "r (scans)",
+            "s",
+            "steps",
+            "log₂ bound (c=4)",
+        ],
     );
     let mut all_ok = true;
     let cases: Vec<(&str, st_tm::Tm, Vec<st_tm::Sym>)> = vec![
-        ("parity", tmlib::parity_machine(), tmlib::encode(&"01".repeat(64))),
-        ("copy", tmlib::copy_machine(), tmlib::encode(&"10".repeat(50))),
+        (
+            "parity",
+            tmlib::parity_machine(),
+            tmlib::encode(&"01".repeat(64)),
+        ),
+        (
+            "copy",
+            tmlib::copy_machine(),
+            tmlib::encode(&"10".repeat(50)),
+        ),
         (
             "strings-equal",
             tmlib::strings_equal_machine(),
             tmlib::encode(&format!("{0}#{0}", "0110".repeat(8))),
         ),
-        ("ping-pong-8", tmlib::ping_pong_machine(8), tmlib::encode(&"1".repeat(64))),
+        (
+            "ping-pong-8",
+            tmlib::ping_pong_machine(8),
+            tmlib::encode(&"1".repeat(64)),
+        ),
     ];
     for (name, tm, input) in cases {
         let n = input.len();
@@ -169,7 +200,10 @@ pub fn e15_run_length() -> Report {
             format!("{bound_log2:.1}"),
         ]);
     }
-    r.verdict(all_ok, "measured run lengths sit far below the Lemma 3 ceiling");
+    r.verdict(
+        all_ok,
+        "measured run lengths sit far below the Lemma 3 ceiling",
+    );
     r
 }
 
@@ -180,7 +214,15 @@ pub fn e16_short_reduction() -> Report {
         "Corollary 7 (SHORT) / Appendix E: the reduction f",
         "f maps CHECK-φ to SHORT-(MULTI)SET-EQ / SHORT-CHECK-SORT: yes ⟺ yes, strings of \
          length O(log m′), linear blow-up",
-        &["m", "n", "m′", "string len", "4·log₂ m′", "blow-up", "yes/no preserved"],
+        &[
+            "m",
+            "n",
+            "m′",
+            "string len",
+            "4·log₂ m′",
+            "blow-up",
+            "yes/no preserved",
+        ],
     );
     let mut rng = StdRng::seed_from_u64(42);
     let mut all_ok = true;
@@ -210,7 +252,10 @@ pub fn e16_short_reduction() -> Report {
             preserved.to_string(),
         ]);
     }
-    r.verdict(all_ok, "reduction preserves answers, produces short strings, linear blow-up");
+    r.verdict(
+        all_ok,
+        "reduction preserves answers, produces short strings, linear blow-up",
+    );
     r
 }
 
@@ -225,7 +270,14 @@ pub fn e17_disk_economics() -> Report {
         "Pricing the measured runs on device models shows why the paper counts \
          reversals: at 10 ms seeks the 2-scan fingerprint beats the Θ(log N)-scan \
          decider by orders of magnitude at equal streamed volume",
-        &["algorithm", "scans", "HDD (2006)", "NVMe", "tape library", "seek-bound on HDD"],
+        &[
+            "algorithm",
+            "scans",
+            "HDD (2006)",
+            "NVMe",
+            "tape library",
+            "seek-bound on HDD",
+        ],
     );
     let mut rng = rand::rngs::StdRng::seed_from_u64(51);
     let inst = st_problems::generate::yes_multiset(512, 24, &mut rng);
@@ -235,9 +287,19 @@ pub fn e17_disk_economics() -> Report {
     let nvme = DiskModel::nvme();
     let tape = DiskModel::tape_library();
     let mut rows = Vec::new();
-    for (name, usage) in [("fingerprint (Thm 8a)", &fp.usage), ("merge-sort decider (Cor 7)", &det.usage)] {
+    for (name, usage) in [
+        ("fingerprint (Thm 8a)", &fp.usage),
+        ("merge-sort decider (Cor 7)", &det.usage),
+    ] {
         let c = hdd.price(usage);
-        rows.push((name, usage.scans(), c.total(), nvme.price(usage).total(), tape.price(usage).total(), c.seek_bound()));
+        rows.push((
+            name,
+            usage.scans(),
+            c.total(),
+            nvme.price(usage).total(),
+            tape.price(usage).total(),
+            c.seek_bound(),
+        ));
     }
     for (name, scans, h, n, t, sb) in &rows {
         r.row(vec![
@@ -286,9 +348,24 @@ pub fn e18_structural_bounds() -> Report {
 
     // Lemma 30/31 across machines.
     for (name, nlm, inputs, k) in [
-        ("sweep-right", library::sweep_right_machine(2, 16), (0..16u64).collect::<Vec<_>>(), 18u64),
-        ("zigzag×3", library::zigzag_machine(2, 8, 3), (0..8u64).collect(), 140),
-        ("matcher m=8", library::one_scan_matcher(8, (0..8).collect()), (0..16u64).map(|i| 100 + i % 8).collect(), 20),
+        (
+            "sweep-right",
+            library::sweep_right_machine(2, 16),
+            (0..16u64).collect::<Vec<_>>(),
+            18u64,
+        ),
+        (
+            "zigzag×3",
+            library::zigzag_machine(2, 8, 3),
+            (0..8u64).collect(),
+            140,
+        ),
+        (
+            "matcher m=8",
+            library::one_scan_matcher(8, (0..8).collect()),
+            (0..16u64).map(|i| 100 + i % 8).collect(),
+            20,
+        ),
     ] {
         let obs = observe_run(&nlm, &inputs, &vec![0; 1 << 14], 1 << 14).expect("observe");
         let violations = obs.check(inputs.len() as u64, k, 2);
@@ -297,12 +374,18 @@ pub fn e18_structural_bounds() -> Report {
         r.row(vec![
             name.into(),
             "Lemma 30/31 (list len, cell size, run len)".into(),
-            format!("len {}, cell {}, run {}", obs.max_total_list_len, obs.max_cell_size, obs.run_len),
+            format!(
+                "len {}, cell {}, run {}",
+                obs.max_total_list_len, obs.max_cell_size, obs.run_len
+            ),
             "per formulas".into(),
             ok.to_string(),
         ]);
     }
-    r.verdict(all_ok, "derandomization target met; all structural maxima inside the formulas");
+    r.verdict(
+        all_ok,
+        "derandomization target met; all structural maxima inside the formulas",
+    );
     r
 }
 

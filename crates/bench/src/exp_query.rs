@@ -18,7 +18,13 @@ pub fn e7_relalg() -> Report {
         "Theorem 11: relational algebra on streams",
         "(a) every fixed query evaluates within c_Q scans-and-sorts → Θ(log N) reversals; \
          (b) Q′ = (R₁−R₂) ∪ (R₂−R₁) decides SET-EQUALITY, so o(log N) scans are impossible",
-        &["m", "N", "Q′ reversals", "Q′ empty ⟺ set-equal", "internal bits"],
+        &[
+            "m",
+            "N",
+            "Q′ reversals",
+            "Q′ empty ⟺ set-equal",
+            "internal bits",
+        ],
     );
     let mut rng = StdRng::seed_from_u64(21);
     let mut all_ok = true;
@@ -44,7 +50,10 @@ pub fn e7_relalg() -> Report {
     }
     let (slope, _, r2) = log_fit(&pts);
     all_ok &= r2 > 0.9;
-    r.verdict(all_ok, format!("Q′ decides set equality; reversals ≈ {slope:.1}·log₂N (r² = {r2:.3})"));
+    r.verdict(
+        all_ok,
+        format!("Q′ decides set equality; reversals ≈ {slope:.1}·log₂N (r² = {r2:.3})"),
+    );
     r
 }
 
@@ -56,7 +65,13 @@ pub fn e8_xquery() -> Report {
         "Theorem 12: the XQuery query",
         "The every/some query returns <result><true/></result> ⟺ the encoded sets are \
          equal, so evaluating it is at least as hard as SET-EQUALITY",
-        &["m", "n", "instance kind", "query output", "matches predicate"],
+        &[
+            "m",
+            "n",
+            "instance kind",
+            "query output",
+            "matches predicate",
+        ],
     );
     let mut rng = StdRng::seed_from_u64(22);
     let mut all_ok = true;
@@ -70,7 +85,11 @@ pub fn e8_xquery() -> Report {
             let got = out.contains("<true>");
             let want = predicates::is_set_equal(&inst);
             all_ok &= got == want;
-            let short = if got { "<result><true/></result>" } else { "<result/>" };
+            let short = if got {
+                "<result><true/></result>"
+            } else {
+                "<result/>"
+            };
             r.row(vec![
                 m.to_string(),
                 n.to_string(),
@@ -80,7 +99,10 @@ pub fn e8_xquery() -> Report {
             ]);
         }
     }
-    r.verdict(all_ok, "query output ⟺ SET-EQUALITY on every tested instance");
+    r.verdict(
+        all_ok,
+        "query output ⟺ SET-EQUALITY on every tested instance",
+    );
     r
 }
 
@@ -92,7 +114,13 @@ pub fn e9_xpath() -> Report {
         "Theorem 13 / Figure 1: the XPath filter",
         "The Figure-1 query selects X−Y, so filtering decides X ⊆ Y; two filter runs \
          decide SET-EQUALITY (the reduction in Theorem 13's proof)",
-        &["m", "n", "|X−Y| selected", "filter = (X ⊄ Y)", "2-run = set-equal"],
+        &[
+            "m",
+            "n",
+            "|X−Y| selected",
+            "filter = (X ⊄ Y)",
+            "2-run = set-equal",
+        ],
     );
     let mut rng = StdRng::seed_from_u64(23);
     let mut all_ok = true;
@@ -123,6 +151,9 @@ pub fn e9_xpath() -> Report {
             ]);
         }
     }
-    r.verdict(all_ok, "selection = X−Y exactly; the two-run reduction decides set equality");
+    r.verdict(
+        all_ok,
+        "selection = X−Y exactly; the two-run reduction decides set equality",
+    );
     r
 }

@@ -19,7 +19,14 @@ pub fn e2_sort_deciders() -> Report {
         "Corollary 7: deterministic deciders at Θ(log N) scans",
         "SET-EQ / MULTISET-EQ / CHECK-SORT are decidable deterministically with O(log N) \
          head reversals and constant record buffers (paper: ST(O(log N), O(1), 2))",
-        &["m", "N", "multiset scans", "checksort scans", "set-eq scans", "internal bits"],
+        &[
+            "m",
+            "N",
+            "multiset scans",
+            "checksort scans",
+            "set-eq scans",
+            "internal bits",
+        ],
     );
     let mut rng = StdRng::seed_from_u64(1);
     let mut pts = Vec::new();
@@ -55,7 +62,15 @@ pub fn e3_fingerprint() -> Report {
         "Theorem 8(a): fingerprinting multiset equality",
         "MULTISET-EQUALITY ∈ co-RST(2, O(log N), 1): 2 scans, 1 tape, O(log N) internal \
          bits, no false negatives, false positives ≤ 1/2",
-        &["m", "N", "scans", "tapes", "internal bits", "yes-acceptance", "no-acceptance (≤0.5)"],
+        &[
+            "m",
+            "N",
+            "scans",
+            "tapes",
+            "internal bits",
+            "yes-acceptance",
+            "no-acceptance (≤0.5)",
+        ],
     );
     let mut rng = StdRng::seed_from_u64(2);
     let mut all_ok = true;
@@ -97,7 +112,15 @@ pub fn e4_nst() -> Report {
         "Theorem 8(b): the NST(3, O(log N), 2) verifier",
         "(MULTI)SET-EQUALITY and CHECK-SORT have nondeterministic 3-scan / 2-tape \
          verifiers (the write-ℓ-copies construction); ∃certificate ⟺ yes-instance",
-        &["m", "n", "copies ℓ", "scans", "tapes", "∃cert = truth (multiset)", "∃cert = truth (checksort)"],
+        &[
+            "m",
+            "n",
+            "copies ℓ",
+            "scans",
+            "tapes",
+            "∃cert = truth (multiset)",
+            "∃cert = truth (checksort)",
+        ],
     );
     let mut rng = StdRng::seed_from_u64(3);
     let mut all_ok = true;
@@ -123,7 +146,10 @@ pub fn e4_nst() -> Report {
             ok_cs.to_string(),
         ]);
     }
-    r.verdict(all_ok, "3 scans, 2 tapes, certificate existence ⟺ ground truth");
+    r.verdict(
+        all_ok,
+        "3 scans, 2 tapes, certificate existence ⟺ ground truth",
+    );
     r
 }
 
@@ -192,7 +218,13 @@ pub fn e6_sorting() -> Report {
         "Corollary 10: sorting at Θ(log N) scans; CHECK-SORT reduces to sorting",
         "The sorting upper bound matches the CHECK-SORT lower bound, so sorting ∉ \
          LasVegas-RST(o(log N), O(⁴√N/log N), O(1)); reduction verified correct",
-        &["m", "N", "sort reversals", "12·log₂N bound", "reduction correct"],
+        &[
+            "m",
+            "N",
+            "sort reversals",
+            "12·log₂N bound",
+            "reduction correct",
+        ],
     );
     let mut rng = StdRng::seed_from_u64(5);
     let mut all_ok = true;
@@ -216,6 +248,9 @@ pub fn e6_sorting() -> Report {
         ]);
     }
     let (slope, _, r2) = log_fit(&pts);
-    r.verdict(all_ok, format!("reversals ≈ {slope:.2}·log₂N (r² = {r2:.4}), within the 12·log₂N budget"));
+    r.verdict(
+        all_ok,
+        format!("reversals ≈ {slope:.2}·log₂N (r² = {r2:.4}), within the 12·log₂N budget"),
+    );
     r
 }

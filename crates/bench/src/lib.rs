@@ -11,6 +11,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod exp_fault;
 pub mod exp_lowerbound;
 pub mod exp_model;
 pub mod exp_query;
@@ -26,24 +27,106 @@ pub type Experiment = (&'static str, &'static str, fn() -> Report);
 #[must_use]
 pub fn all_experiments() -> Vec<Experiment> {
     vec![
-        ("e1", "Theorem 6 / Lemma 21: the fooling-input adversary", exp_lowerbound::e1_adversary as fn() -> Report),
-        ("e2", "Corollary 7: deterministic deciders at Θ(log N) scans", exp_upper::e2_sort_deciders),
-        ("e3", "Theorem 8(a): fingerprinting in co-RST(2, O(log N), 1)", exp_upper::e3_fingerprint),
-        ("e4", "Theorem 8(b): the NST(3, O(log N), 2) verifier", exp_upper::e4_nst),
-        ("e5", "Corollary 9: the separation table", exp_upper::e5_separation),
-        ("e6", "Corollary 10: sorting and CHECK-SORT via sorting", exp_upper::e6_sorting),
-        ("e7", "Theorem 11: relational algebra on streams", exp_query::e7_relalg),
+        (
+            "e1",
+            "Theorem 6 / Lemma 21: the fooling-input adversary",
+            exp_lowerbound::e1_adversary as fn() -> Report,
+        ),
+        (
+            "e2",
+            "Corollary 7: deterministic deciders at Θ(log N) scans",
+            exp_upper::e2_sort_deciders,
+        ),
+        (
+            "e3",
+            "Theorem 8(a): fingerprinting in co-RST(2, O(log N), 1)",
+            exp_upper::e3_fingerprint,
+        ),
+        (
+            "e4",
+            "Theorem 8(b): the NST(3, O(log N), 2) verifier",
+            exp_upper::e4_nst,
+        ),
+        (
+            "e5",
+            "Corollary 9: the separation table",
+            exp_upper::e5_separation,
+        ),
+        (
+            "e6",
+            "Corollary 10: sorting and CHECK-SORT via sorting",
+            exp_upper::e6_sorting,
+        ),
+        (
+            "e7",
+            "Theorem 11: relational algebra on streams",
+            exp_query::e7_relalg,
+        ),
         ("e8", "Theorem 12: the XQuery query", exp_query::e8_xquery),
-        ("e9", "Theorem 13 / Figure 1: the XPath filter", exp_query::e9_xpath),
-        ("e10", "Lemma 16: TM → NLM simulation", exp_model::e10_simulation),
-        ("e11", "Remark 20: sortedness of the bit-reversal permutation", exp_lowerbound::e11_sortedness),
-        ("e12", "Lemma 32: skeleton counting", exp_lowerbound::e12_skeletons),
-        ("e13", "Lemma 38: compared φ-pairs vs the merge-lemma budget", exp_lowerbound::e13_merge_lemma),
-        ("e14", "Claim 1: residue-fingerprint collision probability", exp_model::e14_collisions),
-        ("e15", "Lemma 3: run length of (r,s,t)-bounded machines", exp_model::e15_run_length),
-        ("e16", "Corollary 7 (SHORT) / Appendix E: the reduction f", exp_model::e16_short_reduction),
-        ("e17", "Extension: disk economics of the scan/seek trade-off", exp_model::e17_disk_economics),
-        ("e18", "Lemmas 26/30/31: derandomization and structural bounds", exp_model::e18_structural_bounds),
-        ("f2", "Figure 2: one NLM transition, reproduced", exp_lowerbound::f2_figure2),
+        (
+            "e9",
+            "Theorem 13 / Figure 1: the XPath filter",
+            exp_query::e9_xpath,
+        ),
+        (
+            "e10",
+            "Lemma 16: TM → NLM simulation",
+            exp_model::e10_simulation,
+        ),
+        (
+            "e11",
+            "Remark 20: sortedness of the bit-reversal permutation",
+            exp_lowerbound::e11_sortedness,
+        ),
+        (
+            "e12",
+            "Lemma 32: skeleton counting",
+            exp_lowerbound::e12_skeletons,
+        ),
+        (
+            "e13",
+            "Lemma 38: compared φ-pairs vs the merge-lemma budget",
+            exp_lowerbound::e13_merge_lemma,
+        ),
+        (
+            "e14",
+            "Claim 1: residue-fingerprint collision probability",
+            exp_model::e14_collisions,
+        ),
+        (
+            "e15",
+            "Lemma 3: run length of (r,s,t)-bounded machines",
+            exp_model::e15_run_length,
+        ),
+        (
+            "e16",
+            "Corollary 7 (SHORT) / Appendix E: the reduction f",
+            exp_model::e16_short_reduction,
+        ),
+        (
+            "e17",
+            "Extension: disk economics of the scan/seek trade-off",
+            exp_model::e17_disk_economics,
+        ),
+        (
+            "e18",
+            "Lemmas 26/30/31: derandomization and structural bounds",
+            exp_model::e18_structural_bounds,
+        ),
+        (
+            "e19",
+            "Fault injection: resilient sort across fault rates",
+            exp_fault::e19_fault_sweep,
+        ),
+        (
+            "e20",
+            "Retry budgets vs the OR-amplification bound",
+            exp_fault::e20_retry_budget,
+        ),
+        (
+            "f2",
+            "Figure 2: one NLM transition, reproduced",
+            exp_lowerbound::f2_figure2,
+        ),
     ]
 }

@@ -1,7 +1,9 @@
 //! Report rendering: aligned text tables per experiment.
 
 use serde::Serialize;
+use st_core::StError;
 use std::fmt;
+use std::io::Write;
 
 /// One experiment's regenerated table.
 #[derive(Debug, Clone, Serialize)]
@@ -36,7 +38,12 @@ impl Report {
 
     /// Append a row (must match the column count).
     pub fn row(&mut self, cells: Vec<String>) {
-        assert_eq!(cells.len(), self.columns.len(), "row arity mismatch in {}", self.id);
+        assert_eq!(
+            cells.len(),
+            self.columns.len(),
+            "row arity mismatch in {}",
+            self.id
+        );
         self.rows.push(cells);
     }
 
@@ -51,6 +58,21 @@ impl Report {
     pub fn reproduced(&self) -> bool {
         self.verdict.starts_with("REPRODUCED")
     }
+}
+
+/// Render `reports` to a writer, one table per report, in registry order.
+pub fn write_text<W: Write>(mut w: W, reports: &[Report]) -> Result<(), StError> {
+    for report in reports {
+        writeln!(w, "{report}").map_err(|e| StError::Io(format!("report write: {e}")))?;
+    }
+    Ok(())
+}
+
+/// Render `reports` to a text file (the `--out` flag of the report bin).
+pub fn save_text(path: &std::path::Path, reports: &[Report]) -> Result<(), StError> {
+    let f = std::fs::File::create(path)
+        .map_err(|e| StError::Io(format!("create {}: {e}", path.display())))?;
+    write_text(std::io::BufWriter::new(f), reports)
 }
 
 impl fmt::Display for Report {
@@ -110,5 +132,29 @@ mod tests {
         r.verdict(false, "slope off");
         assert!(!r.reproduced());
         assert!(r.to_string().contains("NOT REPRODUCED"));
+    }
+
+    #[test]
+    fn write_text_concatenates_reports() {
+        let mut a = Report::new("e1", "first", "c", &["x"]);
+        a.verdict(true, "ok");
+        let mut b = Report::new("e2", "second", "c", &["x"]);
+        b.verdict(true, "ok");
+        let mut buf = Vec::new();
+        write_text(&mut buf, &[a, b]).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains("[E1] first"));
+        assert!(text.contains("[E2] second"));
+    }
+
+    #[test]
+    fn save_text_reports_io_errors_cleanly() {
+        let r = Report::new("e0", "demo", "c", &["a"]);
+        let err = save_text(std::path::Path::new("/nonexistent/dir/report.txt"), &[r]).unwrap_err();
+        assert!(
+            matches!(err, StError::Io(_)),
+            "expected StError::Io, got {err:?}"
+        );
+        assert!(err.to_string().contains("create"));
     }
 }

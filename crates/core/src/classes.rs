@@ -80,31 +80,56 @@ impl ClassSpec {
     /// `ST(r, s, t)`.
     #[must_use]
     pub fn st(r: Bound, s: Bound, t: TapeCount) -> Self {
-        ClassSpec { mode: MachineMode::Deterministic, r, s, t }
+        ClassSpec {
+            mode: MachineMode::Deterministic,
+            r,
+            s,
+            t,
+        }
     }
 
     /// `RST(r, s, t)` — no false positives.
     #[must_use]
     pub fn rst(r: Bound, s: Bound, t: TapeCount) -> Self {
-        ClassSpec { mode: MachineMode::Randomized(ErrorSide::NoFalsePositives), r, s, t }
+        ClassSpec {
+            mode: MachineMode::Randomized(ErrorSide::NoFalsePositives),
+            r,
+            s,
+            t,
+        }
     }
 
     /// `co-RST(r, s, t)` — no false negatives.
     #[must_use]
     pub fn co_rst(r: Bound, s: Bound, t: TapeCount) -> Self {
-        ClassSpec { mode: MachineMode::Randomized(ErrorSide::NoFalseNegatives), r, s, t }
+        ClassSpec {
+            mode: MachineMode::Randomized(ErrorSide::NoFalseNegatives),
+            r,
+            s,
+            t,
+        }
     }
 
     /// `NST(r, s, t)`.
     #[must_use]
     pub fn nst(r: Bound, s: Bound, t: TapeCount) -> Self {
-        ClassSpec { mode: MachineMode::Nondeterministic, r, s, t }
+        ClassSpec {
+            mode: MachineMode::Nondeterministic,
+            r,
+            s,
+            t,
+        }
     }
 
     /// `LasVegas-RST(r, s, t)`.
     #[must_use]
     pub fn las_vegas_rst(r: Bound, s: Bound, t: TapeCount) -> Self {
-        ClassSpec { mode: MachineMode::LasVegas, r, s, t }
+        ClassSpec {
+            mode: MachineMode::LasVegas,
+            r,
+            s,
+            t,
+        }
     }
 
     /// The class of Theorem 8(a): `co-RST(2, O(log N), 1)`.
@@ -112,13 +137,27 @@ impl ClassSpec {
     pub fn theorem8a() -> Self {
         // The multiplier absorbs the constant number of O(log k) registers
         // (k = m³·n·loġ(m³n) is polynomial in N, so log k = O(log N)).
-        ClassSpec::co_rst(Bound::Const(2), Bound::Log { mul: 64.0, add: 64.0 }, TapeCount::Exactly(1))
+        ClassSpec::co_rst(
+            Bound::Const(2),
+            Bound::Log {
+                mul: 64.0,
+                add: 64.0,
+            },
+            TapeCount::Exactly(1),
+        )
     }
 
     /// The class of Theorem 8(b): `NST(3, O(log N), 2)`.
     #[must_use]
     pub fn theorem8b() -> Self {
-        ClassSpec::nst(Bound::Const(3), Bound::Log { mul: 64.0, add: 64.0 }, TapeCount::Exactly(2))
+        ClassSpec::nst(
+            Bound::Const(3),
+            Bound::Log {
+                mul: 64.0,
+                add: 64.0,
+            },
+            TapeCount::Exactly(2),
+        )
     }
 
     /// The upper-bound class of Corollary 7: `ST(O(log N), O(1), 2)`.
@@ -127,7 +166,14 @@ impl ClassSpec {
     /// sort (`≈ 8` scans per doubling pass in our 2-tape implementation).
     #[must_use]
     pub fn corollary7_upper() -> Self {
-        ClassSpec::st(Bound::Log { mul: 16.0, add: 32.0 }, Bound::Const(64), TapeCount::Exactly(2))
+        ClassSpec::st(
+            Bound::Log {
+                mul: 16.0,
+                add: 32.0,
+            },
+            Bound::Const(64),
+            TapeCount::Exactly(2),
+        )
     }
 
     /// The excluded class of Theorem 6:
@@ -184,14 +230,23 @@ mod tests {
         let rst = ErrorSide::NoFalsePositives;
         assert!(rst.admits(0.5, 0.0));
         assert!(rst.admits(1.0, 0.0));
-        assert!(!rst.admits(0.4, 0.0), "yes-instances must be accepted w.p. >= 1/2");
+        assert!(
+            !rst.admits(0.4, 0.0),
+            "yes-instances must be accepted w.p. >= 1/2"
+        );
         assert!(!rst.admits(1.0, 0.01), "no false positives allowed");
         // co-RST: no false negatives.
         let co = ErrorSide::NoFalseNegatives;
         assert!(co.admits(1.0, 0.5));
         assert!(co.admits(1.0, 0.0));
-        assert!(!co.admits(0.99, 0.0), "yes-instances must always be accepted");
-        assert!(!co.admits(1.0, 0.6), "no-instances must be rejected w.p. >= 1/2");
+        assert!(
+            !co.admits(0.99, 0.0),
+            "yes-instances must always be accepted"
+        );
+        assert!(
+            !co.admits(1.0, 0.6),
+            "no-instances must be rejected w.p. >= 1/2"
+        );
     }
 
     #[test]

@@ -34,19 +34,37 @@ pub enum StError {
     /// A theorem's parameter preconditions do not hold for the requested
     /// configuration (e.g. Lemma 21 requires `m ≥ 2^4·(t+1)^{4r} + 1`).
     Precondition(String),
+    /// A file-system operation failed (dataset I/O, report export). The
+    /// payload is the rendered `std::io::Error` plus context: `io::Error`
+    /// itself is neither `Clone` nor `PartialEq`, which this enum promises.
+    Io(String),
+}
+
+impl From<std::io::Error> for StError {
+    fn from(e: std::io::Error) -> Self {
+        StError::Io(e.to_string())
+    }
 }
 
 impl fmt::Display for StError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             StError::InvalidInstance(msg) => write!(f, "invalid instance: {msg}"),
-            StError::ResourceExceeded { what, limit, observed } => {
-                write!(f, "resource exceeded: {what} (limit {limit}, observed {observed})")
+            StError::ResourceExceeded {
+                what,
+                limit,
+                observed,
+            } => {
+                write!(
+                    f,
+                    "resource exceeded: {what} (limit {limit}, observed {observed})"
+                )
             }
             StError::Machine(msg) => write!(f, "machine error: {msg}"),
             StError::Query(msg) => write!(f, "query error: {msg}"),
             StError::Xml(msg) => write!(f, "xml error: {msg}"),
             StError::Precondition(msg) => write!(f, "precondition violated: {msg}"),
+            StError::Io(msg) => write!(f, "io error: {msg}"),
         }
     }
 }
@@ -61,8 +79,15 @@ mod tests {
     fn display_formats_are_stable() {
         let e = StError::InvalidInstance("bad symbol 'x'".into());
         assert_eq!(e.to_string(), "invalid instance: bad symbol 'x'");
-        let e = StError::ResourceExceeded { what: "head reversals".into(), limit: 4, observed: 9 };
-        assert_eq!(e.to_string(), "resource exceeded: head reversals (limit 4, observed 9)");
+        let e = StError::ResourceExceeded {
+            what: "head reversals".into(),
+            limit: 4,
+            observed: 9,
+        };
+        assert_eq!(
+            e.to_string(),
+            "resource exceeded: head reversals (limit 4, observed 9)"
+        );
         let e = StError::Precondition("m must be a power of two".into());
         assert!(e.to_string().contains("power of two"));
     }
@@ -71,5 +96,13 @@ mod tests {
     fn error_is_std_error() {
         fn takes_err(_: &dyn std::error::Error) {}
         takes_err(&StError::Machine("x".into()));
+    }
+
+    #[test]
+    fn io_errors_convert_with_context() {
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "no such dataset");
+        let e: StError = io.into();
+        assert!(matches!(&e, StError::Io(msg) if msg.contains("no such dataset")));
+        assert!(e.to_string().starts_with("io error:"));
     }
 }

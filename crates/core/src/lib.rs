@@ -16,7 +16,10 @@
 //!   Lemma 21/22 preconditions, Lemma 32 skeleton-count bound);
 //! * [`math`] — shared integer/number-theory helpers (ceil-log2, integer
 //!   roots, deterministic Miller–Rabin for `u64`, log-linear regression
-//!   used by the experiment harness to verify Θ(log N) shapes).
+//!   used by the experiment harness to verify Θ(log N) shapes);
+//! * [`verdict`] — the [`Verdict`]/[`RetryBudget`] vocabulary of the
+//!   resilient algorithms: a fault-aware run either verifies its answer
+//!   or reports an explicit `Unverified` once its retry budget is spent.
 //!
 //! Everything downstream (the tape substrate, the TM and list-machine
 //! simulators, the algorithms, the query engines and the benchmark
@@ -31,11 +34,13 @@ pub mod error;
 pub mod math;
 pub mod theorems;
 pub mod usage;
+pub mod verdict;
 
 pub use bounds::{Bound, TapeCount};
 pub use classes::{ClassSpec, ErrorSide, MachineMode};
 pub use error::StError;
 pub use usage::{BoundCheck, ResourceUsage, Violation};
+pub use verdict::{RetryBudget, Verdict};
 
 /// Convenient glob-import surface: `use st_core::prelude::*;`.
 pub mod prelude {
@@ -43,4 +48,5 @@ pub mod prelude {
     pub use crate::classes::{ClassSpec, ErrorSide, MachineMode};
     pub use crate::error::StError;
     pub use crate::usage::{BoundCheck, ResourceUsage, Violation};
+    pub use crate::verdict::{RetryBudget, Verdict};
 }

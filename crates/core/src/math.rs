@@ -172,7 +172,11 @@ pub fn linear_fit(points: &[(f64, f64)]) -> (f64, f64, f64) {
     let mean_y = sy / n;
     let ss_tot: f64 = points.iter().map(|p| (p.1 - mean_y).powi(2)).sum();
     let ss_res: f64 = points.iter().map(|p| (p.1 - (a * p.0 + b)).powi(2)).sum();
-    let r2 = if ss_tot < f64::EPSILON { 1.0 } else { 1.0 - ss_res / ss_tot };
+    let r2 = if ss_tot < f64::EPSILON {
+        1.0
+    } else {
+        1.0 - ss_res / ss_tot
+    };
     (a, b, r2)
 }
 
@@ -181,8 +185,10 @@ pub fn linear_fit(points: &[(f64, f64)]) -> (f64, f64, f64) {
 /// logarithmic growth shape.
 #[must_use]
 pub fn log_fit(points: &[(usize, f64)]) -> (f64, f64, f64) {
-    let xs: Vec<(f64, f64)> =
-        points.iter().map(|&(n, y)| ((n.max(2) as f64).log2(), y)).collect();
+    let xs: Vec<(f64, f64)> = points
+        .iter()
+        .map(|&(n, y)| ((n.max(2) as f64).log2(), y))
+        .collect();
     linear_fit(&xs)
 }
 
@@ -201,7 +207,10 @@ pub fn wilson_interval(successes: u64, trials: u64) -> (f64, f64) {
     let denom = 1.0 + z2 / n;
     let center = p + z2 / (2.0 * n);
     let margin = z * (p * (1.0 - p) / n + z2 / (4.0 * n * n)).sqrt();
-    (((center - margin) / denom).max(0.0), ((center + margin) / denom).min(1.0))
+    (
+        ((center - margin) / denom).max(0.0),
+        ((center + margin) / denom).min(1.0),
+    )
 }
 
 #[cfg(test)]
@@ -249,9 +258,11 @@ mod tests {
 
     #[test]
     fn primality_small_table() {
-        let primes: Vec<u64> =
-            (0..60u64).filter(|&n| is_prime(n)).collect();
-        assert_eq!(primes, vec![2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59]);
+        let primes: Vec<u64> = (0..60u64).filter(|&n| is_prime(n)).collect();
+        assert_eq!(
+            primes,
+            vec![2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59]
+        );
     }
 
     #[test]
@@ -267,7 +278,10 @@ mod tests {
     fn next_prime_respects_bertrand() {
         for n in [1u64, 2, 10, 100, 1000, 1 << 20] {
             let p = next_prime(n);
-            assert!(p > n && p <= 2 * n.max(1) + 2, "Bertrand violated at {n}: {p}");
+            assert!(
+                p > n && p <= 2 * n.max(1) + 2,
+                "Bertrand violated at {n}: {p}"
+            );
             assert!(is_prime(p));
         }
     }
@@ -284,8 +298,9 @@ mod tests {
     #[test]
     fn log_fit_detects_logarithmic_growth() {
         // y = 4·log2(N) + 7 exactly.
-        let pts: Vec<(usize, f64)> =
-            (4..=20).map(|k| (1usize << k, 4.0 * k as f64 + 7.0)).collect();
+        let pts: Vec<(usize, f64)> = (4..=20)
+            .map(|k| (1usize << k, 4.0 * k as f64 + 7.0))
+            .collect();
         let (a, b, r2) = log_fit(&pts);
         assert!((a - 4.0).abs() < 1e-9, "slope {a}");
         assert!((b - 7.0).abs() < 1e-6);

@@ -26,7 +26,10 @@ pub fn lemma3_run_length_log2(n: usize, r: u64, s: u64, t: u64, c: f64) -> f64 {
 #[must_use]
 pub fn lemma16_state_bound(m: u64, n: u64, r: u64, s: u64, t: u64, d: f64) -> (f64, f64) {
     let log_input = f64::from(ceil_log2(m.saturating_mul(n + 1).max(2)));
-    (d * (t * t) as f64 * r as f64 * s as f64, 3.0 * t as f64 * log_input)
+    (
+        d * (t * t) as f64 * r as f64 * s as f64,
+        3.0 * t as f64 * log_input,
+    )
 }
 
 /// Lemma 32: the number of skeletons of runs of an `(r,t)`-bounded NLM with
@@ -148,7 +151,8 @@ pub fn lemma22_choose_m(
         let sv = s(nn);
         let eq3 = (m as f64) >= 16.0 * ((t + 1) as f64).powi(4 * rv as i32) + 1.0;
         let eq4 = (n as f64)
-            >= 1.0 + d * (t * t) as f64 * rv as f64 * sv as f64
+            >= 1.0
+                + d * (t * t) as f64 * rv as f64 * sv as f64
                 + 3.0 * t as f64 * f64::from(ceil_log2(nn as u64));
         if eq3 && eq4 {
             return Some(m);
@@ -226,13 +230,7 @@ mod tests {
         // r(N) = log N: Equation (3) requires m ≥ 16·(t+1)^{4 log N}+1
         // which outgrows every m — no choice exists. (This mirrors why the
         // lower bound does not apply at r = Θ(log N).)
-        let m = lemma22_choose_m(
-            |n| u64::from(ceil_log2(n as u64)),
-            |_| 4,
-            2,
-            1.0,
-            24,
-        );
+        let m = lemma22_choose_m(|n| u64::from(ceil_log2(n as u64)), |_| 4, 2, 1.0, 24);
         assert_eq!(m, None);
     }
 }

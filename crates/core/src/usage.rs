@@ -69,9 +69,14 @@ impl ResourceUsage {
     /// algorithm is composed of phases measured separately.
     pub fn absorb(&mut self, other: &ResourceUsage) {
         if other.reversals_per_tape.len() > self.reversals_per_tape.len() {
-            self.reversals_per_tape.resize(other.reversals_per_tape.len(), 0);
+            self.reversals_per_tape
+                .resize(other.reversals_per_tape.len(), 0);
         }
-        for (a, b) in self.reversals_per_tape.iter_mut().zip(&other.reversals_per_tape) {
+        for (a, b) in self
+            .reversals_per_tape
+            .iter_mut()
+            .zip(&other.reversals_per_tape)
+        {
             *a += *b;
         }
         self.external_tapes = self.external_tapes.max(other.external_tapes);
@@ -91,7 +96,10 @@ impl ResourceUsage {
         let r_limit = r.eval(self.input_len);
         let s_limit = s.eval(self.input_len);
         if self.scans() > r_limit {
-            violations.push(Violation::Scans { limit: r_limit, observed: self.scans() });
+            violations.push(Violation::Scans {
+                limit: r_limit,
+                observed: self.scans(),
+            });
         }
         if self.internal_space > s_limit {
             violations.push(Violation::InternalSpace {
@@ -100,9 +108,15 @@ impl ResourceUsage {
             });
         }
         if !t.admits(self.external_tapes) {
-            violations.push(Violation::Tapes { spec: t, observed: self.external_tapes });
+            violations.push(Violation::Tapes {
+                spec: t,
+                observed: self.external_tapes,
+            });
         }
-        BoundCheck { usage: self.clone(), violations }
+        BoundCheck {
+            usage: self.clone(),
+            violations,
+        }
     }
 }
 

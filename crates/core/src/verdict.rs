@@ -1,0 +1,176 @@
+//! Verdicts and retry budgets for resilient computations.
+//!
+//! A randomized ST-algorithm already trades correctness for resources:
+//! the paper's classes bound the probability of a wrong answer. Fault
+//! injection (see `st-extmem::fault`) adds a second adversary — the
+//! medium itself — and a resilient algorithm responds by *verifying* its
+//! result and *retrying* on detected corruption. Two rules keep that
+//! honest:
+//!
+//! 1. every retry is a real re-scan, charged into the run's
+//!    [`ResourceUsage`](crate::ResourceUsage) so `(r,s,t)`-boundedness
+//!    checks see the true cost; and
+//! 2. when the [`RetryBudget`] is exhausted the algorithm must say so —
+//!    an explicit [`Verdict::Unverified`], never a panic and never a
+//!    silently wrong answer.
+//!
+//! `Verdict` is deliberately *not* a `Result`: an exhausted budget is a
+//! legitimate, expected outcome of running over faulty media, not an
+//! error in the program.
+
+use std::fmt;
+
+/// The outcome of a resilient computation: a verified value, or an
+/// explicit refusal to claim one.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Verdict<T> {
+    /// The computation completed and passed its verification scan.
+    Verified(T),
+    /// Verification kept failing until the retry budget ran out. The
+    /// caller learns how hard the algorithm tried and why it gave up —
+    /// and must not treat any partial output as an answer.
+    Unverified {
+        /// Attempts consumed (equals the budget's `max_attempts`).
+        attempts: u32,
+        /// Human-readable description of the last detected corruption.
+        reason: String,
+    },
+}
+
+impl<T> Verdict<T> {
+    /// `true` iff the computation produced a verified value.
+    #[must_use]
+    pub fn is_verified(&self) -> bool {
+        matches!(self, Verdict::Verified(_))
+    }
+
+    /// The verified value, if any.
+    #[must_use]
+    pub fn verified(&self) -> Option<&T> {
+        match self {
+            Verdict::Verified(v) => Some(v),
+            Verdict::Unverified { .. } => None,
+        }
+    }
+
+    /// Consume the verdict, yielding the verified value if any.
+    #[must_use]
+    pub fn into_verified(self) -> Option<T> {
+        match self {
+            Verdict::Verified(v) => Some(v),
+            Verdict::Unverified { .. } => None,
+        }
+    }
+
+    /// Map the verified value, preserving an `Unverified` outcome.
+    #[must_use]
+    pub fn map<U, F: FnOnce(T) -> U>(self, f: F) -> Verdict<U> {
+        match self {
+            Verdict::Verified(v) => Verdict::Verified(f(v)),
+            Verdict::Unverified { attempts, reason } => Verdict::Unverified { attempts, reason },
+        }
+    }
+}
+
+impl<T: fmt::Debug> fmt::Display for Verdict<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Verdict::Verified(v) => write!(f, "verified({v:?})"),
+            Verdict::Unverified { attempts, reason } => {
+                write!(f, "unverified after {attempts} attempts: {reason}")
+            }
+        }
+    }
+}
+
+/// How many end-to-end attempts a resilient algorithm may spend before
+/// returning [`Verdict::Unverified`].
+///
+/// An *attempt* is one full compute-plus-verify pass; its reversals and
+/// internal space are charged to the shared usage record whether it
+/// verifies or not.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryBudget {
+    /// Maximum end-to-end attempts (≥ 1).
+    pub max_attempts: u32,
+}
+
+impl RetryBudget {
+    /// A budget of `max_attempts` attempts; clamped up to 1 so every
+    /// algorithm gets at least its initial attempt.
+    #[must_use]
+    pub fn new(max_attempts: u32) -> Self {
+        RetryBudget {
+            max_attempts: max_attempts.max(1),
+        }
+    }
+
+    /// A single attempt: detection only, no retries.
+    #[must_use]
+    pub fn none() -> Self {
+        RetryBudget { max_attempts: 1 }
+    }
+}
+
+impl Default for RetryBudget {
+    /// Three attempts: the initial run plus two retries.
+    fn default() -> Self {
+        RetryBudget { max_attempts: 3 }
+    }
+}
+
+impl fmt::Display for RetryBudget {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "≤{} attempts", self.max_attempts)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn verified_accessors() {
+        let v: Verdict<u32> = Verdict::Verified(7);
+        assert!(v.is_verified());
+        assert_eq!(v.verified(), Some(&7));
+        assert_eq!(v.clone().into_verified(), Some(7));
+        assert_eq!(v.map(|x| x + 1), Verdict::Verified(8));
+    }
+
+    #[test]
+    fn unverified_accessors() {
+        let v: Verdict<u32> = Verdict::Unverified {
+            attempts: 3,
+            reason: "checksum".into(),
+        };
+        assert!(!v.is_verified());
+        assert_eq!(v.verified(), None);
+        assert_eq!(
+            v.clone().map(|x| x + 1),
+            Verdict::Unverified {
+                attempts: 3,
+                reason: "checksum".into()
+            }
+        );
+        assert_eq!(v.into_verified(), None);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Verdict::Verified(1u8).to_string(), "verified(1)");
+        let u: Verdict<u8> = Verdict::Unverified {
+            attempts: 2,
+            reason: "torn".into(),
+        };
+        assert_eq!(u.to_string(), "unverified after 2 attempts: torn");
+        assert_eq!(RetryBudget::default().to_string(), "≤3 attempts");
+    }
+
+    #[test]
+    fn budget_clamps_to_one() {
+        assert_eq!(RetryBudget::new(0).max_attempts, 1);
+        assert_eq!(RetryBudget::none().max_attempts, 1);
+        assert_eq!(RetryBudget::new(9).max_attempts, 9);
+    }
+}

@@ -35,7 +35,10 @@ impl DiskModel {
     /// (≈ 100 MB/s sequential).
     #[must_use]
     pub fn hdd_2006() -> Self {
-        DiskModel { seek: Duration::from_millis(10), transfer_per_cell: Duration::from_nanos(10) }
+        DiskModel {
+            seek: Duration::from_millis(10),
+            transfer_per_cell: Duration::from_nanos(10),
+        }
     }
 
     /// A modern NVMe SSD: ~100 µs access, ~0.3 ns per cell (≈ 3 GB/s).
@@ -50,7 +53,10 @@ impl DiskModel {
     /// A tape robot: seconds per reposition, fast streaming.
     #[must_use]
     pub fn tape_library() -> Self {
-        DiskModel { seek: Duration::from_secs(5), transfer_per_cell: Duration::from_nanos(4) }
+        DiskModel {
+            seek: Duration::from_secs(5),
+            transfer_per_cell: Duration::from_nanos(4),
+        }
     }
 
     /// Price a measured run. Every reversal is one seek; every external

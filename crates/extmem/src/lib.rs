@@ -17,7 +17,11 @@
 //!   Corollary 7, Corollary 10 and Theorem 11): a 3-tape balanced merge
 //!   with `Θ(log N)` reversals, plus a k-tape variant for ablation;
 //! * [`scan`] — scan combinators (copy, parallel compare, distribute)
-//!   with per-combinator reversal costs documented and tested.
+//!   with per-combinator reversal costs documented and tested;
+//! * [`fault`] — opt-in, seed-deterministic fault injection (bit rot,
+//!   transient reads, stuck/torn writes) under the same tapes, so the
+//!   resilient upper-bound algorithms of `st-algo` can be attacked and
+//!   measured without touching the reversal accounting.
 //!
 //! ## Fidelity note (documented substitution)
 //!
@@ -33,12 +37,14 @@
 #![warn(missing_docs)]
 
 pub mod disk;
+pub mod fault;
 pub mod machine;
 pub mod meter;
 pub mod scan;
 pub mod sort;
 pub mod tape;
 
+pub use fault::{Corrupt, FaultPlan, FaultStats};
 pub use machine::TapeMachine;
 pub use meter::{MemoryCharge, MemoryMeter};
 pub use tape::{Dir, Tape};

@@ -6,6 +6,7 @@
 //! borrows (`pair_mut`, `trio_mut`) because merge phases drive several
 //! heads simultaneously.
 
+use crate::fault::{Corrupt, FaultPlan, FaultStats};
 use crate::meter::MemoryMeter;
 use crate::tape::Tape;
 use st_core::{ResourceUsage, StError};
@@ -35,7 +36,11 @@ impl<S: Clone> TapeMachine<S> {
     /// An empty machine (no tapes yet).
     #[must_use]
     pub fn new(input_len: usize) -> Self {
-        TapeMachine { tapes: Vec::new(), meter: MemoryMeter::new(), input_len }
+        TapeMachine {
+            tapes: Vec::new(),
+            meter: MemoryMeter::new(),
+            input_len,
+        }
     }
 
     /// Append a fresh empty tape; returns its index.
@@ -87,7 +92,10 @@ impl<S: Clone> TapeMachine<S> {
         j: usize,
         k: usize,
     ) -> (&mut Tape<S>, &mut Tape<S>, &mut Tape<S>) {
-        assert!(i != j && j != k && i != k, "trio_mut requires distinct tapes");
+        assert!(
+            i != j && j != k && i != k,
+            "trio_mut requires distinct tapes"
+        );
         // Sort indices, split twice, then map back.
         let mut order = [(i, 0usize), (j, 1), (k, 2)];
         order.sort_unstable();
@@ -128,6 +136,44 @@ impl<S: Clone> TapeMachine<S> {
             steps: self.tapes.iter().map(Tape::moves).sum(),
             external_cells: self.tapes.iter().map(|t| t.len() as u64).sum(),
         }
+    }
+
+    /// Attach `plan` to tape `i` using the cell type's [`Corrupt`] impl.
+    /// Faults are opt-in per tape; every other tape keeps clean semantics.
+    pub fn enable_faults(&mut self, i: usize, plan: &FaultPlan)
+    where
+        S: Corrupt,
+    {
+        self.tapes[i].enable_faults(plan);
+    }
+
+    /// Attach `plan` to tape `i` with an explicit corruption function.
+    pub fn enable_faults_with(&mut self, i: usize, plan: &FaultPlan, corrupt: fn(&S, u64) -> S) {
+        self.tapes[i].enable_faults_with(plan, corrupt);
+    }
+
+    /// Attach `plan` to every tape **except** the listed ones — the
+    /// resilience idiom: the input/master tape is the paper's given input
+    /// (assumed intact), while working and scratch tapes take faults.
+    pub fn enable_faults_except(&mut self, plan: &FaultPlan, protected: &[usize])
+    where
+        S: Corrupt,
+    {
+        for i in 0..self.tapes.len() {
+            if !protected.contains(&i) {
+                self.tapes[i].enable_faults(plan);
+            }
+        }
+    }
+
+    /// Injection counters summed over all tapes (zero if no tape has a
+    /// plan attached).
+    #[must_use]
+    pub fn fault_stats(&self) -> FaultStats {
+        self.tapes
+            .iter()
+            .filter_map(Tape::fault_stats)
+            .fold(FaultStats::default(), |acc, s| acc.merged(&s))
     }
 
     /// Enforce a tape budget up front: error if the machine already has

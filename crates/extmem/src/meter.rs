@@ -44,7 +44,10 @@ impl MemoryMeter {
         if g.current > g.high {
             g.high = g.current;
         }
-        MemoryCharge { meter: self.clone(), bits }
+        MemoryCharge {
+            meter: self.clone(),
+            bits,
+        }
     }
 
     /// Charge `bits` permanently (no guard; models state that lives for

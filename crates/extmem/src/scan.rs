@@ -160,7 +160,10 @@ pub fn merge_runs<S: Clone + Ord>(
                 _ => break,
             };
             if take_first {
-                out.write_fwd(a.take().expect("buffered record"))?;
+                let rec = a.take().ok_or_else(|| {
+                    StError::Machine("merge selected an empty first buffer".into())
+                })?;
+                out.write_fwd(rec)?;
                 left1 -= 1;
                 if left1 > 0 {
                     a = in1.read_fwd();
@@ -169,7 +172,10 @@ pub fn merge_runs<S: Clone + Ord>(
                     }
                 }
             } else {
-                out.write_fwd(b.take().expect("buffered record"))?;
+                let rec = b.take().ok_or_else(|| {
+                    StError::Machine("merge selected an empty second buffer".into())
+                })?;
+                out.write_fwd(rec)?;
                 left2 -= 1;
                 if left2 > 0 {
                     b = in2.read_fwd();
@@ -216,10 +222,26 @@ mod tests {
     #[test]
     fn tapes_equal_detects_equality_and_mismatch() {
         let meter = MemoryMeter::new();
-        assert!(tapes_equal(&mut tape(&[1, 2, 3]), &mut tape(&[1, 2, 3]), &meter));
-        assert!(!tapes_equal(&mut tape(&[1, 2, 3]), &mut tape(&[1, 2, 4]), &meter));
-        assert!(!tapes_equal(&mut tape(&[1, 2]), &mut tape(&[1, 2, 3]), &meter));
-        assert!(!tapes_equal(&mut tape(&[1, 2, 3]), &mut tape(&[1, 2]), &meter));
+        assert!(tapes_equal(
+            &mut tape(&[1, 2, 3]),
+            &mut tape(&[1, 2, 3]),
+            &meter
+        ));
+        assert!(!tapes_equal(
+            &mut tape(&[1, 2, 3]),
+            &mut tape(&[1, 2, 4]),
+            &meter
+        ));
+        assert!(!tapes_equal(
+            &mut tape(&[1, 2]),
+            &mut tape(&[1, 2, 3]),
+            &meter
+        ));
+        assert!(!tapes_equal(
+            &mut tape(&[1, 2, 3]),
+            &mut tape(&[1, 2]),
+            &meter
+        ));
         assert!(tapes_equal(&mut tape(&[]), &mut tape(&[]), &meter));
     }
 

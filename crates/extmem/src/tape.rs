@@ -12,6 +12,7 @@
 //! `seek` that overshoots — matching the paper's observation that a random
 //! access costs at most two reversals).
 
+use crate::fault::{Corrupt, FaultPlan, FaultStats, ReadFault, TapeFaults, WriteFault};
 use st_core::StError;
 
 /// A head-movement direction.
@@ -32,20 +33,37 @@ pub struct Tape<S> {
     last_move: Option<Dir>,
     reversals: u64,
     moves: u64,
+    faults: Option<TapeFaults<S>>,
 }
 
 impl<S: Clone> Tape<S> {
     /// An empty tape with a diagnostic name.
     #[must_use]
     pub fn new(name: impl Into<String>) -> Self {
-        Tape { name: name.into(), cells: Vec::new(), head: 0, last_move: None, reversals: 0, moves: 0 }
+        Tape {
+            name: name.into(),
+            cells: Vec::new(),
+            head: 0,
+            last_move: None,
+            reversals: 0,
+            moves: 0,
+            faults: None,
+        }
     }
 
     /// A tape pre-loaded with `items`, head at cell 0 (the paper's input
     /// tape in the initial configuration).
     #[must_use]
     pub fn from_items(name: impl Into<String>, items: Vec<S>) -> Self {
-        Tape { name: name.into(), cells: items, head: 0, last_move: None, reversals: 0, moves: 0 }
+        Tape {
+            name: name.into(),
+            cells: items,
+            head: 0,
+            last_move: None,
+            reversals: 0,
+            moves: 0,
+            faults: None,
+        }
     }
 
     /// The tape's diagnostic name.
@@ -109,33 +127,79 @@ impl<S: Clone> Tape<S> {
         self.moves += distance;
     }
 
-    /// The symbol under the head, if any (None = blank).
+    /// The symbol under the head, if any (None = blank). `peek` is a
+    /// diagnostic view and bypasses the fault layer: algorithmic reads go
+    /// through [`Tape::read_fwd`]/[`Tape::read_bwd`].
     #[must_use]
     pub fn peek(&self) -> Option<&S> {
         self.cells.get(self.head)
     }
 
+    /// Read the cell under the head through the fault layer (if enabled),
+    /// without moving. Persistent faults are stored back into the cell.
+    fn read_cell(&mut self) -> Option<S> {
+        let pos = self.head;
+        if pos >= self.cells.len() {
+            return None;
+        }
+        let fault = match self.faults.as_mut() {
+            None => None,
+            Some(f) => match f.decide_read() {
+                ReadFault::Clean => None,
+                other => Some((other, f.corrupt)),
+            },
+        };
+        match fault {
+            None => self.cells.get(pos).cloned(),
+            Some((ReadFault::Persistent(e), corrupt)) => {
+                let bad = corrupt(&self.cells[pos], e);
+                self.cells[pos] = bad.clone();
+                Some(bad)
+            }
+            Some((ReadFault::Transient(e), corrupt)) => Some(corrupt(&self.cells[pos], e)),
+            Some((ReadFault::Clean, _)) => unreachable!("Clean filtered above"),
+        }
+    }
+
     /// Overwrite the cell under the head. Writing on blank directly past
     /// the end extends the tape; writing further into the blank region is
-    /// an error (a real head cannot skip cells).
+    /// an error (a real head cannot skip cells). With a fault plan
+    /// attached, the write may be silently dropped (stuck) or land
+    /// corrupted (torn) — tape length changes exactly as in the clean
+    /// semantics either way.
     pub fn write(&mut self, s: S) -> Result<(), StError> {
         use std::cmp::Ordering::*;
-        match self.head.cmp(&self.cells.len()) {
-            Less => {
-                self.cells[self.head] = s;
-                Ok(())
+        let is_append = match self.head.cmp(&self.cells.len()) {
+            Less => false,
+            Equal => true,
+            Greater => {
+                return Err(StError::Machine(format!(
+                    "tape '{}': write at {} beyond end-of-data {}",
+                    self.name,
+                    self.head,
+                    self.cells.len()
+                )))
             }
-            Equal => {
-                self.cells.push(s);
-                Ok(())
-            }
-            Greater => Err(StError::Machine(format!(
-                "tape '{}': write at {} beyond end-of-data {}",
-                self.name,
-                self.head,
-                self.cells.len()
-            ))),
+        };
+        let fault = match self.faults.as_mut() {
+            None => None,
+            Some(f) => match f.decide_write(is_append) {
+                WriteFault::Clean => None,
+                other => Some((other, f.corrupt)),
+            },
+        };
+        let stored = match fault {
+            None => s,
+            Some((WriteFault::Stuck, _)) => return Ok(()),
+            Some((WriteFault::Torn(e), corrupt)) => corrupt(&s, e),
+            Some((WriteFault::Clean, _)) => unreachable!("Clean filtered above"),
+        };
+        if is_append {
+            self.cells.push(stored);
+        } else {
+            self.cells[self.head] = stored;
         }
+        Ok(())
     }
 
     /// Move the head one cell right.
@@ -147,7 +211,10 @@ impl<S: Clone> Tape<S> {
     /// Move the head one cell left. Errors at cell 0 (one-sided tape).
     pub fn move_left(&mut self) -> Result<(), StError> {
         if self.head == 0 {
-            return Err(StError::Machine(format!("tape '{}': head fell off the left end", self.name)));
+            return Err(StError::Machine(format!(
+                "tape '{}': head fell off the left end",
+                self.name
+            )));
         }
         self.note_move(Dir::Left, 1);
         self.head -= 1;
@@ -157,7 +224,7 @@ impl<S: Clone> Tape<S> {
     /// Read the symbol under the head and advance right; `None` once the
     /// head reaches blank (the scan idiom: `while let Some(x) = t.read_fwd()`).
     pub fn read_fwd(&mut self) -> Option<S> {
-        let s = self.cells.get(self.head).cloned()?;
+        let s = self.read_cell()?;
         self.move_right();
         Some(s)
     }
@@ -167,7 +234,7 @@ impl<S: Clone> Tape<S> {
     /// (subsequent calls return the same cell; use [`Tape::at_start`] to
     /// terminate backward scans).
     pub fn read_bwd(&mut self) -> Option<S> {
-        let s = self.cells.get(self.head).cloned()?;
+        let s = self.read_cell()?;
         if self.head > 0 {
             self.note_move(Dir::Left, 1);
             self.head -= 1;
@@ -253,6 +320,40 @@ impl<S: Clone> Tape<S> {
     pub fn data(&self) -> &[S] {
         &self.cells
     }
+
+    /// Attach a fault plan using the cell type's own [`Corrupt`] impl.
+    /// Subsequent `read_fwd`/`read_bwd`/`write` calls roll the plan's
+    /// dice on this tape's private, name-seeded fault stream.
+    pub fn enable_faults(&mut self, plan: &FaultPlan)
+    where
+        S: Corrupt,
+    {
+        self.enable_faults_with(plan, S::corrupted);
+    }
+
+    /// Attach a fault plan with an explicit corruption function (for cell
+    /// types without a [`Corrupt`] impl).
+    pub fn enable_faults_with(&mut self, plan: &FaultPlan, corrupt: fn(&S, u64) -> S) {
+        self.faults = Some(TapeFaults::new(plan, &self.name, corrupt));
+    }
+
+    /// Detach the fault layer; the tape keeps any corruption already
+    /// stored in its cells.
+    pub fn disable_faults(&mut self) {
+        self.faults = None;
+    }
+
+    /// `true` iff a fault plan is attached.
+    #[must_use]
+    pub fn faults_enabled(&self) -> bool {
+        self.faults.is_some()
+    }
+
+    /// Injection counters, if a fault plan is attached.
+    #[must_use]
+    pub fn fault_stats(&self) -> Option<FaultStats> {
+        self.faults.as_ref().map(|f| f.stats)
+    }
 }
 
 #[cfg(test)]
@@ -275,7 +376,11 @@ mod tests {
             seen.push(x);
         }
         assert_eq!(seen, vec![1, 2, 3, 4]);
-        assert_eq!(t.reversals(), 0, "a single forward scan must cost 0 reversals");
+        assert_eq!(
+            t.reversals(),
+            0,
+            "a single forward scan must cost 0 reversals"
+        );
         assert_eq!(t.scan_equivalent(), 1);
     }
 
@@ -304,7 +409,11 @@ mod tests {
         t.rewind();
         assert_eq!(t.reversals(), 1, "rewind at start is free");
         while t.read_fwd().is_some() {}
-        assert_eq!(t.reversals(), 2, "turning forward after the rewind is the second reversal");
+        assert_eq!(
+            t.reversals(),
+            2,
+            "turning forward after the rewind is the second reversal"
+        );
     }
 
     #[test]
@@ -363,6 +472,112 @@ mod tests {
         assert_eq!(t.read_bwd(), Some(5));
         assert_eq!(t.read_bwd(), Some(5));
         assert!(t.at_start());
+    }
+
+    #[test]
+    fn noop_fault_plan_changes_nothing() {
+        let items: Vec<u8> = (0..50).collect();
+        let mut clean = Tape::from_items("t", items.clone());
+        let mut faulty = Tape::from_items("t", items);
+        faulty.enable_faults(&FaultPlan::new(7));
+        loop {
+            let (a, b) = (clean.read_fwd(), faulty.read_fwd());
+            assert_eq!(a, b);
+            if a.is_none() {
+                break;
+            }
+        }
+        assert_eq!(clean.snapshot(), faulty.snapshot());
+        let stats = faulty.fault_stats().unwrap();
+        assert_eq!(stats.total_injected(), 0);
+        assert_eq!(stats.reads, 50, "blank read past the end rolls no dice");
+    }
+
+    #[test]
+    fn bit_flip_faults_are_persistent() {
+        let mut t = Tape::from_items("t", vec![0u64; 400]);
+        t.enable_faults(&FaultPlan::new(3).with_bit_flip(0.2));
+        let mut corrupted_reads = 0;
+        while let Some(x) = t.read_fwd() {
+            if x != 0 {
+                corrupted_reads += 1;
+            }
+        }
+        let stats = t.fault_stats().unwrap();
+        assert_eq!(
+            stats.bit_flips, corrupted_reads,
+            "every flip must be visible in the read"
+        );
+        assert!(
+            stats.bit_flips > 0,
+            "rate 0.2 over 400 reads: a flip is (deterministically) due"
+        );
+        let dirty = t.snapshot().iter().filter(|&&x| x != 0).count() as u64;
+        assert_eq!(
+            dirty, stats.bit_flips,
+            "persistent faults must be stored back"
+        );
+    }
+
+    #[test]
+    fn transient_faults_leave_cells_untouched() {
+        let mut t = Tape::from_items("t", vec![0u32; 400]);
+        t.enable_faults(&FaultPlan::new(11).with_transient_read(0.3));
+        let mut corrupted_reads = 0;
+        while let Some(x) = t.read_fwd() {
+            if x != 0 {
+                corrupted_reads += 1;
+            }
+        }
+        assert!(corrupted_reads > 0);
+        assert!(
+            t.snapshot().iter().all(|&x| x == 0),
+            "transient faults must not be stored"
+        );
+    }
+
+    #[test]
+    fn stuck_writes_keep_old_values_and_lengths() {
+        let mut t = Tape::from_items("t", vec![9u8; 20]);
+        t.enable_faults(&FaultPlan::new(5).with_stuck_write(1.0));
+        for _ in 0..20 {
+            t.write_fwd(1).unwrap();
+        }
+        assert_eq!(
+            t.snapshot(),
+            vec![9u8; 20],
+            "stuck overwrites keep the old value"
+        );
+        // Appends degrade to torn writes: the tape still grows.
+        t.write_fwd(1).unwrap();
+        assert_eq!(
+            t.len(),
+            21,
+            "append under stuck-write fault must still extend the tape"
+        );
+        let stats = t.fault_stats().unwrap();
+        assert_eq!(stats.stuck_writes, 20);
+        assert_eq!(stats.torn_writes, 1);
+    }
+
+    #[test]
+    fn faults_never_change_reversal_accounting() {
+        let plan = FaultPlan::uniform(13, 0.5);
+        let items: Vec<u16> = (0..100).collect();
+        let mut clean = Tape::from_items("t", items.clone());
+        let mut faulty = Tape::from_items("t", items);
+        faulty.enable_faults(&plan);
+        for t in [&mut clean, &mut faulty] {
+            while t.read_fwd().is_some() {}
+            t.rewind();
+            for i in 0..50 {
+                t.write_fwd(i).unwrap();
+            }
+            t.rewind();
+        }
+        assert_eq!(clean.reversals(), faulty.reversals());
+        assert_eq!(clean.moves(), faulty.moves());
+        assert!(faulty.fault_stats().unwrap().total_injected() > 0);
     }
 }
 
@@ -446,6 +661,38 @@ mod proptests {
                 last_rev = t.reversals();
             }
             prop_assert_eq!(t.reversals(), last_rev);
+        }
+
+        #[test]
+        fn identical_fault_seeds_give_identical_corrupted_runs(
+            seed in 0u64..1000,
+            init in proptest::collection::vec(any::<u8>(), 1..20),
+            ops in proptest::collection::vec(arb_op(), 0..60),
+        ) {
+            let plan = FaultPlan::uniform(seed, 0.25);
+            let replay = |init: Vec<u8>, ops: &[Op]| {
+                let mut t = Tape::from_items("p", init);
+                t.enable_faults(&plan);
+                for op in ops {
+                    match op {
+                        Op::ReadFwd => { let _ = t.read_fwd(); }
+                        Op::ReadBwd => { let _ = t.read_bwd(); }
+                        Op::WriteFwd(x) => { t.write_fwd(*x).unwrap(); }
+                        Op::Rewind => t.rewind(),
+                        Op::SeekEnd => t.seek_end(),
+                        Op::MoveLeft => { let _ = t.move_left(); }
+                        Op::MoveRight => {
+                            if t.head() < t.len() { t.move_right(); }
+                        }
+                    }
+                }
+                (t.snapshot(), t.fault_stats().unwrap(), t.reversals())
+            };
+            let a = replay(init.clone(), &ops);
+            let b = replay(init, &ops);
+            prop_assert_eq!(a.0, b.0, "same seed must corrupt identically");
+            prop_assert_eq!(a.1, b.1);
+            prop_assert_eq!(a.2, b.2);
         }
 
         #[test]

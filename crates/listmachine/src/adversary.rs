@@ -44,7 +44,9 @@ impl WordFamily {
     /// Validate and build.
     pub fn new(m: usize, n: u32) -> Result<Self, StError> {
         if !m.is_power_of_two() {
-            return Err(StError::Precondition(format!("m = {m} must be a power of 2")));
+            return Err(StError::Precondition(format!(
+                "m = {m} must be a power of 2"
+            )));
         }
         let logm = m.trailing_zeros();
         if n < logm || n > 63 {
@@ -65,7 +67,11 @@ impl WordFamily {
     pub fn sample_interval<R: Rng>(&self, j: usize, rng: &mut R) -> Val {
         let low_bits = self.n - self.log_m();
         let prefix = (j as Val) << low_bits;
-        let suffix: Val = if low_bits == 0 { 0 } else { rng.gen_range(0..(1u64 << low_bits)) };
+        let suffix: Val = if low_bits == 0 {
+            0
+        } else {
+            rng.gen_range(0..(1u64 << low_bits))
+        };
         prefix | suffix
     }
 
@@ -103,8 +109,14 @@ impl WordFamily {
             )));
         }
         let bs = |v: Val| st_problems::BitStr::from_value(u128::from(v), self.n as usize);
-        let xs = input[..self.m].iter().map(|&v| bs(v)).collect::<Result<Vec<_>, _>>()?;
-        let ys = input[self.m..].iter().map(|&v| bs(v)).collect::<Result<Vec<_>, _>>()?;
+        let xs = input[..self.m]
+            .iter()
+            .map(|&v| bs(v))
+            .collect::<Result<Vec<_>, _>>()?;
+        let ys = input[self.m..]
+            .iter()
+            .map(|&v| bs(v))
+            .collect::<Result<Vec<_>, _>>()?;
         st_problems::Instance::new(xs, ys)
     }
 
@@ -255,10 +267,21 @@ pub fn find_fooling_input<R: Rng>(
     let mut u = v.clone();
     u[m + phi_i0] = w[m + phi_i0];
     debug_assert!(!fam.holds(&u), "the splice must be a no-instance");
-    debug_assert!(fam.in_space(&u), "the splice must stay in the instance space");
+    debug_assert!(
+        fam.in_space(&u),
+        "the splice must stay in the instance space"
+    );
     let run_u = run_with_choices(nlm, &u, &zeros, max_steps)?;
 
-    Ok(FoolingResult { i0, v, w, u, run_u, skeleton, group_size })
+    Ok(FoolingResult {
+        i0,
+        v,
+        w,
+        u,
+        run_u,
+        skeleton,
+        group_size,
+    })
 }
 
 /// Lemma 34's statement in isolation: splice two inputs at positions
@@ -284,7 +307,10 @@ pub fn minimal_m_for_gap(t: u64, r: u32) -> usize {
             return m;
         }
         m *= 2;
-        assert!(m < 1 << 40, "no feasible m below 2^40 — parameters out of range");
+        assert!(
+            m < 1 << 40,
+            "no feasible m below 2^40 — parameters out of range"
+        );
     }
 }
 
@@ -326,7 +352,10 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(101);
         let res = find_fooling_input(&nlm, &fam, &mut rng, 16).unwrap();
         assert!(res.run_u.accepted(), "the fooling input must be accepted");
-        assert!(!fam.holds(&res.u), "the fooling input must be a no-instance");
+        assert!(
+            !fam.holds(&res.u),
+            "the fooling input must be a no-instance"
+        );
         assert!(fam.in_space(&res.u));
     }
 

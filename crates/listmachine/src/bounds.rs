@@ -11,7 +11,9 @@
 use crate::machine::Nlm;
 use crate::run::{LmConfig, LmOutcome};
 use crate::{Choice, Val};
-use st_core::theorems::{lemma30_cell_size_bound, lemma30_list_length_bound, lemma31_run_length_bound};
+use st_core::theorems::{
+    lemma30_cell_size_bound, lemma30_list_length_bound, lemma31_run_length_bound,
+};
 use st_core::StError;
 
 /// Structural maxima observed in one run.
@@ -41,15 +43,24 @@ impl BoundsObservation {
         // change*; a run with r reversals is covered by i = r + 1.
         let len_bound = lemma30_list_length_bound(m.max(1), t, r + 1) + t as f64; // + t initial cells
         if self.max_total_list_len as f64 > len_bound {
-            out.push(format!("Lemma 30(a): list length {} > {len_bound}", self.max_total_list_len));
+            out.push(format!(
+                "Lemma 30(a): list length {} > {len_bound}",
+                self.max_total_list_len
+            ));
         }
         let cell_bound = lemma30_cell_size_bound(t, r + 1);
         if self.max_cell_size as f64 > cell_bound {
-            out.push(format!("Lemma 30(b): cell size {} > {cell_bound}", self.max_cell_size));
+            out.push(format!(
+                "Lemma 30(b): cell size {} > {cell_bound}",
+                self.max_cell_size
+            ));
         }
         let run_bound = lemma31_run_length_bound(m.max(1), k, t, r);
         if self.run_len as f64 > run_bound {
-            out.push(format!("Lemma 31: run length {} > {run_bound}", self.run_len));
+            out.push(format!(
+                "Lemma 31: run length {} > {run_bound}",
+                self.run_len
+            ));
         }
         out
     }
@@ -66,8 +77,12 @@ pub fn observe_run(
     let mut cfg = LmConfig::initial(nlm, input);
     let measure = |cfg: &LmConfig| -> (usize, usize) {
         let total: usize = cfg.lists.iter().map(Vec::len).sum();
-        let cell: usize =
-            cfg.lists.iter().flat_map(|l| l.iter().map(|c| c.toks.len())).max().unwrap_or(0);
+        let cell: usize = cfg
+            .lists
+            .iter()
+            .flat_map(|l| l.iter().map(|c| c.toks.len()))
+            .max()
+            .unwrap_or(0);
         (total, cell)
     };
     let (mut max_len, mut max_cell) = measure(&cfg);
@@ -75,13 +90,16 @@ pub fn observe_run(
     let mut outcome = LmOutcome::StepLimit;
     while steps < max_steps {
         if (nlm.is_final)(cfg.state) {
-            outcome =
-                if (nlm.is_accepting)(cfg.state) { LmOutcome::Accept } else { LmOutcome::Reject };
+            outcome = if (nlm.is_accepting)(cfg.state) {
+                LmOutcome::Accept
+            } else {
+                LmOutcome::Reject
+            };
             break;
         }
-        let c = *choices.get(steps).ok_or_else(|| {
-            StError::Machine("observe_run exhausted its choice sequence".into())
-        })?;
+        let c = *choices
+            .get(steps)
+            .ok_or_else(|| StError::Machine("observe_run exhausted its choice sequence".into()))?;
         cfg.step(nlm, c)?;
         let (l, s) = measure(&cfg);
         max_len = max_len.max(l);
@@ -89,7 +107,11 @@ pub fn observe_run(
         steps += 1;
     }
     if (nlm.is_final)(cfg.state) && outcome == LmOutcome::StepLimit {
-        outcome = if (nlm.is_accepting)(cfg.state) { LmOutcome::Accept } else { LmOutcome::Reject };
+        outcome = if (nlm.is_accepting)(cfg.state) {
+            LmOutcome::Accept
+        } else {
+            LmOutcome::Reject
+        };
     }
     Ok(BoundsObservation {
         max_total_list_len: max_len,
@@ -145,7 +167,10 @@ mod tests {
             assert!(obs.max_cell_size >= prev, "cell size should not shrink");
             prev = obs.max_cell_size;
         }
-        assert!(prev > 10, "repeated turns must compound cell content ({prev})");
+        assert!(
+            prev > 10,
+            "repeated turns must compound cell content ({prev})"
+        );
     }
 
     #[test]

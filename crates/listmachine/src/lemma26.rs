@@ -47,18 +47,26 @@ pub fn find_good_choice_sequence<R: Rng>(
     rng: &mut R,
 ) -> Result<GoodSequence, StError> {
     if inputs.is_empty() {
-        return Err(StError::Precondition("Lemma 26 needs a nonempty input set J".into()));
+        return Err(StError::Precondition(
+            "Lemma 26 needs a nonempty input set J".into(),
+        ));
     }
     let mut best: Option<GoodSequence> = None;
     for _ in 0..candidates.max(1) {
-        let c: Vec<Choice> = (0..seq_len).map(|_| rng.gen_range(0..nlm.num_choices)).collect();
+        let c: Vec<Choice> = (0..seq_len)
+            .map(|_| rng.gen_range(0..nlm.num_choices))
+            .collect();
         let mut acc = 0usize;
         for v in inputs {
             if run_with_choices(nlm, v, &c, seq_len)?.accepted() {
                 acc += 1;
             }
         }
-        let cand = GoodSequence { choices: c, accepted: acc, total: inputs.len() };
+        let cand = GoodSequence {
+            choices: c,
+            accepted: acc,
+            total: inputs.len(),
+        };
         let better = best.as_ref().is_none_or(|b| cand.accepted > b.accepted);
         if better {
             let done = cand.meets_lemma26();
@@ -104,7 +112,12 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(2);
         let inputs: Vec<Vec<u64>> = (0..12).map(|_| fam.sample_yes(&mut rng)).collect();
         let good = find_good_choice_sequence(&nlm, &inputs, 1 << 10, 64, &mut rng).unwrap();
-        assert!(good.meets_lemma26(), "accepted {}/{}", good.accepted, good.total);
+        assert!(
+            good.meets_lemma26(),
+            "accepted {}/{}",
+            good.accepted,
+            good.total
+        );
     }
 
     #[test]

@@ -27,7 +27,12 @@ fn accepting_pred(s: LmState) -> bool {
 /// A deterministic machine that executes `script` (one movement vector
 /// per step) and then accepts. States are script indices.
 #[must_use]
-pub fn script_machine(name: impl Into<String>, t: usize, m: usize, script: Vec<Vec<Movement>>) -> Nlm {
+pub fn script_machine(
+    name: impl Into<String>,
+    t: usize,
+    m: usize,
+    script: Vec<Vec<Movement>>,
+) -> Nlm {
     let len = script.len() as LmState;
     Nlm {
         name: name.into(),
@@ -66,7 +71,12 @@ pub fn sweep_right_machine(t: usize, m: usize) -> Nlm {
 /// unchanged direction — nothing fires, nothing is written) and accepts.
 #[must_use]
 pub fn countdown_machine(k: usize) -> Nlm {
-    script_machine(format!("countdown-{k}"), 1, 1, vec![vec![Movement::STAY_R]; k])
+    script_machine(
+        format!("countdown-{k}"),
+        1,
+        1,
+        vec![vec![Movement::STAY_R]; k],
+    )
 }
 
 /// Head 1 zigzags over its list: an initial rightward sweep, then
@@ -450,7 +460,10 @@ mod tests {
         xs[0] = 999; // (0, m+0): x_0 is never co-visible with y cells
         let input: Vec<Val> = xs.into_iter().chain(ys).collect();
         let run = run_with_choices(&nlm, &input, &[0; 8192], 8192).unwrap();
-        assert!(run.accepted(), "no-instance accepted: the lower bound in action");
+        assert!(
+            run.accepted(),
+            "no-instance accepted: the lower bound in action"
+        );
     }
 
     #[test]
@@ -464,7 +477,12 @@ mod tests {
             let nlm = multi_pass_matcher(m, phi.clone(), passes);
             let run = crate::run::run_with_choices(&nlm, &input, &[0; 1 << 14], 1 << 14).unwrap();
             assert!(run.accepted(), "passes = {passes}");
-            assert_eq!(run.scans(), 2 * passes as u64, "passes = {passes}: {:?}", run.reversals);
+            assert_eq!(
+                run.scans(),
+                2 * passes as u64,
+                "passes = {passes}: {:?}",
+                run.reversals
+            );
         }
     }
 
@@ -516,6 +534,9 @@ mod tests {
         let s3 = crate::skeleton::skeleton_of(&r3);
         let c1 = crate::skeleton::compared_pairs(&s1).len();
         let c3 = crate::skeleton::compared_pairs(&s3).len();
-        assert!(c3 >= c1, "more passes should not compare fewer pairs ({c1} vs {c3})");
+        assert!(
+            c3 >= c1,
+            "more passes should not compare fewer pairs ({c1} vs {c3})"
+        );
     }
 }

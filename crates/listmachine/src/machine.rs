@@ -20,13 +20,25 @@ pub struct Movement {
 
 impl Movement {
     /// `(+1, true)` — move right.
-    pub const RIGHT: Movement = Movement { head_direction: 1, move_: true };
+    pub const RIGHT: Movement = Movement {
+        head_direction: 1,
+        move_: true,
+    };
     /// `(−1, true)` — move left.
-    pub const LEFT: Movement = Movement { head_direction: -1, move_: true };
+    pub const LEFT: Movement = Movement {
+        head_direction: -1,
+        move_: true,
+    };
     /// `(+1, false)` — stay, facing right.
-    pub const STAY_R: Movement = Movement { head_direction: 1, move_: false };
+    pub const STAY_R: Movement = Movement {
+        head_direction: 1,
+        move_: false,
+    };
     /// `(−1, false)` — stay, facing left.
-    pub const STAY_L: Movement = Movement { head_direction: -1, move_: false };
+    pub const STAY_L: Movement = Movement {
+        head_direction: -1,
+        move_: false,
+    };
 }
 
 /// The transition function of Definition 14.

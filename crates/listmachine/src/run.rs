@@ -63,7 +63,10 @@ impl LmConfig {
     pub fn initial(nlm: &Nlm, input: &[Val]) -> Self {
         let mut next_cell_id = 0u64;
         let mut fresh = |toks: Vec<Tok>| {
-            let c = Cell { id: next_cell_id, toks };
+            let c = Cell {
+                id: next_cell_id,
+                toks,
+            };
             next_cell_id += 1;
             c
         };
@@ -146,8 +149,11 @@ impl LmConfig {
                 }
             })
             .collect();
-        let f: Vec<bool> =
-            eprime.iter().enumerate().map(|(i, e)| e.move_ || e.head_direction != self.dirs[i]).collect();
+        let f: Vec<bool> = eprime
+            .iter()
+            .enumerate()
+            .map(|(i, e)| e.move_ || e.head_direction != self.dirs[i])
+            .collect();
 
         if f.iter().all(|&x| !x) {
             // Only the state changes.
@@ -156,9 +162,8 @@ impl LmConfig {
         }
 
         // y := a ⟨x₁⟩ … ⟨x_t⟩ ⟨c⟩
-        let mut y = Vec::with_capacity(
-            1 + head_cells.iter().map(|h| h.len() + 2).sum::<usize>() + 3,
-        );
+        let mut y =
+            Vec::with_capacity(1 + head_cells.iter().map(|h| h.len() + 2).sum::<usize>() + 3);
         y.push(Tok::State(self.state));
         for h in &head_cells {
             y.push(Tok::Open);
@@ -173,7 +178,10 @@ impl LmConfig {
         for i in 0..t {
             let p = self.heads[i];
             let e = eprime[i];
-            let y_cell = Cell { id: self.next_cell_id, toks: y.clone() };
+            let y_cell = Cell {
+                id: self.next_cell_id,
+                toks: y.clone(),
+            };
             self.next_cell_id += 1;
             if e.move_ {
                 // Overwrite the current cell with y, then step off it.
@@ -294,8 +302,11 @@ pub fn run_with_choices(
     let mut outcome = LmOutcome::StepLimit;
     for step_idx in 0..max_steps {
         if (nlm.is_final)(cfg.state) {
-            outcome =
-                if (nlm.is_accepting)(cfg.state) { LmOutcome::Accept } else { LmOutcome::Reject };
+            outcome = if (nlm.is_accepting)(cfg.state) {
+                LmOutcome::Accept
+            } else {
+                LmOutcome::Reject
+            };
             break;
         }
         let c = *choices.get(step_idx).ok_or_else(|| {
@@ -310,10 +321,21 @@ pub fn run_with_choices(
         views.push(cfg.local_view());
     }
     if (nlm.is_final)(cfg.state) && outcome == LmOutcome::StepLimit {
-        outcome = if (nlm.is_accepting)(cfg.state) { LmOutcome::Accept } else { LmOutcome::Reject };
+        outcome = if (nlm.is_accepting)(cfg.state) {
+            LmOutcome::Accept
+        } else {
+            LmOutcome::Reject
+        };
     }
     let reversals = cfg.reversals().to_vec();
-    Ok(LmRun { outcome, views, moves, choices: used, reversals, final_config: cfg })
+    Ok(LmRun {
+        outcome,
+        views,
+        moves,
+        choices: used,
+        reversals,
+        final_config: cfg,
+    })
 }
 
 /// Run `nlm` on `input` with uniformly random choices (the randomized
@@ -331,8 +353,11 @@ pub fn run_sampled<R: Rng>(
     let mut outcome = LmOutcome::StepLimit;
     for _ in 0..max_steps {
         if (nlm.is_final)(cfg.state) {
-            outcome =
-                if (nlm.is_accepting)(cfg.state) { LmOutcome::Accept } else { LmOutcome::Reject };
+            outcome = if (nlm.is_accepting)(cfg.state) {
+                LmOutcome::Accept
+            } else {
+                LmOutcome::Reject
+            };
             break;
         }
         let c = rng.gen_range(0..nlm.num_choices);
@@ -342,10 +367,21 @@ pub fn run_sampled<R: Rng>(
         views.push(cfg.local_view());
     }
     if (nlm.is_final)(cfg.state) && outcome == LmOutcome::StepLimit {
-        outcome = if (nlm.is_accepting)(cfg.state) { LmOutcome::Accept } else { LmOutcome::Reject };
+        outcome = if (nlm.is_accepting)(cfg.state) {
+            LmOutcome::Accept
+        } else {
+            LmOutcome::Reject
+        };
     }
     let reversals = cfg.reversals().to_vec();
-    Ok(LmRun { outcome, views, moves, choices: used, reversals, final_config: cfg })
+    Ok(LmRun {
+        outcome,
+        views,
+        moves,
+        choices: used,
+        reversals,
+        final_config: cfg,
+    })
 }
 
 /// Exact outcome probabilities by enumerating the choice tree (the
@@ -475,7 +511,9 @@ mod tests {
         cfg.step(&nlm, 0).unwrap();
         // List 1: head moved off cell 0, which was overwritten with y.
         assert!(cfg.lists[0][0].toks.contains(&Tok::State(0)));
-        assert!(cfg.lists[0][0].toks.contains(&Tok::Input { pos: 0, val: 7 }));
+        assert!(cfg.lists[0][0]
+            .toks
+            .contains(&Tok::Input { pos: 0, val: 7 }));
         assert!(cfg.lists[0][0].toks.contains(&Tok::Choice(0)));
         // List 2: head stays (d=+1, move=false did not fire? it moved
         // RIGHT? sweep machine keeps list-2 head still) — y inserted

@@ -99,13 +99,21 @@ impl SimCore {
     /// Decode a cell's meaning for external tape `j`.
     fn decode(&self, j: usize, cell: &[Tok]) -> Result<BlockMeaning, String> {
         match cell {
-            [Tok::Open, Tok::Close] => Ok(BlockMeaning { lo: 0, hi: HI_INF, syms: BTreeMap::new() }),
+            [Tok::Open, Tok::Close] => Ok(BlockMeaning {
+                lo: 0,
+                hi: HI_INF,
+                syms: BTreeMap::new(),
+            }),
             [Tok::Open, Tok::Input { pos, val }, Tok::Close] => {
                 if j != 0 {
                     return Err(format!("input cell decoded on tape {j}"));
                 }
                 let lo = pos * (self.n + 1);
-                let hi = if *pos + 1 == self.m { HI_INF } else { lo + self.n };
+                let hi = if *pos + 1 == self.m {
+                    HI_INF
+                } else {
+                    lo + self.n
+                };
                 let mut syms = BTreeMap::new();
                 for b in 0..self.n {
                     // MSB first; SYM_0 = 1, SYM_1 = 2 (st-tm convention).
@@ -159,7 +167,9 @@ pub fn simulate_tm(
     max_tm_steps: u64,
 ) -> Result<TmSimulation, StError> {
     if tm.external_tapes == 0 {
-        return Err(StError::Machine("TM must have at least one external tape".into()));
+        return Err(StError::Machine(
+            "TM must have at least one external tape".into(),
+        ));
     }
     let t = tm.external_tapes;
     let start_abs = AbsState {
@@ -167,7 +177,12 @@ pub fn simulate_tm(
         q: 0,
         internal: vec![TmTape::new(); tm.internal_tapes],
         ext: (0..t)
-            .map(|_| ExtHead { pos: 0, dir: 1, lo: Some(0), hi: None })
+            .map(|_| ExtHead {
+                pos: 0,
+                dir: 1,
+                lo: Some(0),
+                hi: None,
+            })
             .collect(),
         halted: None,
     };
@@ -183,16 +198,26 @@ pub fn simulate_tm(
 
     let c_final = Rc::clone(&core);
     let is_final = move |s: LmState| -> bool {
-        c_final.borrow().states.get(s as usize).is_none_or(|a| a.halted.is_some())
+        c_final
+            .borrow()
+            .states
+            .get(s as usize)
+            .is_none_or(|a| a.halted.is_some())
     };
     let c_acc = Rc::clone(&core);
     let is_accepting = move |s: LmState| -> bool {
-        c_acc.borrow().states.get(s as usize).and_then(|a| a.halted).unwrap_or(false)
+        c_acc
+            .borrow()
+            .states
+            .get(s as usize)
+            .and_then(|a| a.halted)
+            .unwrap_or(false)
     };
     let c_delta = Rc::clone(&core);
-    let delta = move |state: LmState, heads: &[&[Tok]], choice: Choice| -> (LmState, Vec<Movement>) {
-        step_simulation(&c_delta, state, heads, choice)
-    };
+    let delta =
+        move |state: LmState, heads: &[&[Tok]], choice: Choice| -> (LmState, Vec<Movement>) {
+            step_simulation(&c_delta, state, heads, choice)
+        };
 
     let nlm = Nlm {
         name: format!("lemma16({})", tm.name),
@@ -222,10 +247,21 @@ fn step_simulation(
 
     let fail = |core: &mut SimCore, msg: String, dirs: Vec<i8>| -> (LmState, Vec<Movement>) {
         core.error = Some(msg);
-        let halt = AbsState { halted: Some(false), ..core.states[0].clone() };
+        let halt = AbsState {
+            halted: Some(false),
+            ..core.states[0].clone()
+        };
         core.states.push(halt);
         let id = (core.states.len() - 1) as LmState;
-        (id, dirs.iter().map(|&d| Movement { head_direction: d, move_: false }).collect())
+        (
+            id,
+            dirs.iter()
+                .map(|&d| Movement {
+                    head_direction: d,
+                    move_: false,
+                })
+                .collect(),
+        )
     };
     let dirs: Vec<i8> = abs.ext.iter().map(|e| e.dir).collect();
 
@@ -241,15 +277,17 @@ fn step_simulation(
         if abs.ext[j].pos < lo || abs.ext[j].pos > hi {
             return fail(
                 core,
-                format!("tape {j}: head {} outside block [{lo},{hi}]", abs.ext[j].pos),
+                format!(
+                    "tape {j}: head {} outside block [{lo},{hi}]",
+                    abs.ext[j].pos
+                ),
                 dirs,
             );
         }
         if lo > hi {
             return fail(core, format!("tape {j}: empty block [{lo},{hi}]"), dirs);
         }
-        let syms: BTreeMap<usize, Sym> =
-            mng.syms.range(lo..=hi).map(|(&k, &v)| (k, v)).collect();
+        let syms: BTreeMap<usize, Sym> = mng.syms.range(lo..=hi).map(|(&k, &v)| (k, v)).collect();
         blocks.push(BlockMeaning { lo, hi, syms });
     }
 
@@ -269,10 +307,16 @@ fn step_simulation(
 
     let event = loop {
         if core.tm.is_final(q) {
-            break Event::Halted { accepted: core.tm.is_accepting(q) };
+            break Event::Halted {
+                accepted: core.tm.is_accepting(q),
+            };
         }
         if tm_steps >= core.max_tm_steps {
-            return fail(core, "TM step budget exceeded inside one NLM step".into(), dirs);
+            return fail(
+                core,
+                "TM step budget exceeded inside one NLM step".into(),
+                dirs,
+            );
         }
         // Read symbols under all heads.
         let mut syms: Vec<Sym> = Vec::with_capacity(t + internal.len());
@@ -307,13 +351,23 @@ fn step_simulation(
             if d == -1 && ext_pos[j] == 0 {
                 return fail(core, format!("tape {j}: TM head fell off left end"), dirs);
             }
-            let target = if d == 1 { ext_pos[j] + 1 } else { ext_pos[j] - 1 };
+            let target = if d == 1 {
+                ext_pos[j] + 1
+            } else {
+                ext_pos[j] - 1
+            };
             if target < blocks[j].lo || target > blocks[j].hi {
                 ext_pos[j] = target;
-                evt = Some(Event::Crossed { tape: j, new_dir: d });
+                evt = Some(Event::Crossed {
+                    tape: j,
+                    new_dir: d,
+                });
             } else if d != ext_dir[j] {
                 ext_pos[j] = target;
-                evt = Some(Event::Reversed { tape: j, new_dir: d });
+                evt = Some(Event::Reversed {
+                    tape: j,
+                    new_dir: d,
+                });
             } else {
                 ext_pos[j] = target;
             }
@@ -321,10 +375,9 @@ fn step_simulation(
         }
         for (k, tape) in internal.iter_mut().enumerate() {
             let d = tr.moves[t + k].dir();
-            if d != 0
-                && tape.shift(d).is_err() {
-                    return fail(core, "internal head fell off left end".into(), dirs);
-                }
+            if d != 0 && tape.shift(d).is_err() {
+                return fail(core, "internal head fell off left end".into(), dirs);
+            }
         }
         if let Some(e) = evt {
             break e;
@@ -345,10 +398,18 @@ fn step_simulation(
     y.push(Tok::Close);
 
     let mut movements: Vec<Movement> = (0..t)
-        .map(|j| Movement { head_direction: abs.ext[j].dir, move_: false })
+        .map(|j| Movement {
+            head_direction: abs.ext[j].dir,
+            move_: false,
+        })
         .collect();
     let mut new_ext: Vec<ExtHead> = (0..t)
-        .map(|j| ExtHead { pos: ext_pos[j], dir: ext_dir[j], lo: Some(blocks[j].lo), hi: Some(blocks[j].hi) })
+        .map(|j| ExtHead {
+            pos: ext_pos[j],
+            dir: ext_dir[j],
+            lo: Some(blocks[j].lo),
+            hi: Some(blocks[j].hi),
+        })
         .collect();
     let mut meanings: Vec<BlockMeaning> = Vec::with_capacity(t);
     let mut write_y = true;
@@ -383,9 +444,18 @@ fn step_simulation(
                         lo: if new_dir == 1 { Some(ext_pos[j]) } else { None },
                         hi: if new_dir == 1 { None } else { Some(ext_pos[j]) },
                     };
-                    movements[j] = Movement { head_direction: new_dir, move_: true };
+                    movements[j] = Movement {
+                        head_direction: new_dir,
+                        move_: true,
+                    };
                 } else {
-                    split_behind(&blocks[j], ext_dir[j], ext_pos[j], &mut meanings, &mut new_ext[j]);
+                    split_behind(
+                        &blocks[j],
+                        ext_dir[j],
+                        ext_pos[j],
+                        &mut meanings,
+                        &mut new_ext[j],
+                    );
                 }
             }
         }
@@ -400,13 +470,30 @@ fn step_simulation(
                     };
                     let hi = hi.min(blocks[j].hi);
                     let lo = lo.max(blocks[j].lo);
-                    let syms = blocks[j].syms.range(lo..=hi).map(|(&k, &v)| (k, v)).collect();
+                    let syms = blocks[j]
+                        .syms
+                        .range(lo..=hi)
+                        .map(|(&k, &v)| (k, v))
+                        .collect();
                     meanings.push(BlockMeaning { lo, hi, syms });
-                    new_ext[j] =
-                        ExtHead { pos: ext_pos[j], dir: new_dir, lo: Some(lo), hi: Some(hi) };
-                    movements[j] = Movement { head_direction: new_dir, move_: false };
+                    new_ext[j] = ExtHead {
+                        pos: ext_pos[j],
+                        dir: new_dir,
+                        lo: Some(lo),
+                        hi: Some(hi),
+                    };
+                    movements[j] = Movement {
+                        head_direction: new_dir,
+                        move_: false,
+                    };
                 } else {
-                    split_behind(&blocks[j], ext_dir[j], ext_pos[j], &mut meanings, &mut new_ext[j]);
+                    split_behind(
+                        &blocks[j],
+                        ext_dir[j],
+                        ext_pos[j],
+                        &mut meanings,
+                        &mut new_ext[j],
+                    );
                 }
             }
         }
@@ -415,7 +502,13 @@ fn step_simulation(
     if write_y {
         core.memo.insert(y, meanings);
     }
-    let next = AbsState { step: abs.step + 1, q, internal, ext: new_ext, halted: None };
+    let next = AbsState {
+        step: abs.step + 1,
+        q,
+        internal,
+        ext: new_ext,
+        halted: None,
+    };
     let id = core.intern(next);
     (id, movements)
 }
@@ -435,21 +528,47 @@ fn split_behind(
         let syms = if pos <= block.lo {
             BTreeMap::new()
         } else {
-            block.syms.range(block.lo..=pos - 1).map(|(&k, &v)| (k, v)).collect()
+            block
+                .syms
+                .range(block.lo..=pos - 1)
+                .map(|(&k, &v)| (k, v))
+                .collect()
         };
         let hi_b = if pos <= block.lo { block.lo } else { pos - 1 };
-        meanings.push(BlockMeaning { lo: block.lo, hi: hi_b, syms });
-        *ext = ExtHead { pos, dir, lo: Some(pos), hi: Some(block.hi) };
+        meanings.push(BlockMeaning {
+            lo: block.lo,
+            hi: hi_b,
+            syms,
+        });
+        *ext = ExtHead {
+            pos,
+            dir,
+            lo: Some(pos),
+            hi: Some(block.hi),
+        };
     } else {
         // Behind = [pos+1, hi], kept = [lo, pos].
         let syms = if pos >= block.hi {
             BTreeMap::new()
         } else {
-            block.syms.range(pos + 1..=block.hi).map(|(&k, &v)| (k, v)).collect()
+            block
+                .syms
+                .range(pos + 1..=block.hi)
+                .map(|(&k, &v)| (k, v))
+                .collect()
         };
         let lo_b = if pos >= block.hi { block.hi } else { pos + 1 };
-        meanings.push(BlockMeaning { lo: lo_b, hi: block.hi, syms });
-        *ext = ExtHead { pos, dir, lo: Some(block.lo), hi: Some(pos) };
+        meanings.push(BlockMeaning {
+            lo: lo_b,
+            hi: block.hi,
+            syms,
+        });
+        *ext = ExtHead {
+            pos,
+            dir,
+            lo: Some(block.lo),
+            hi: Some(pos),
+        };
     }
 }
 
@@ -584,8 +703,8 @@ mod tests {
         let tm = tmlib::strings_equal_machine();
         let n = 6usize;
         let sim = simulate_tm(&tm, 2, n, 1, 1 << 20).unwrap();
-        let _ = run_with_choices(&sim.nlm, &[0b101010, 0b101010], &vec![0; 1 << 14], 1 << 14)
-            .unwrap();
+        let _ =
+            run_with_choices(&sim.nlm, &[0b101010, 0b101010], &vec![0; 1 << 14], 1 << 14).unwrap();
         let states = sim.states_materialized() as f64;
         // Equation (2) with d generous: log₂|A| ≤ d·t²·r·s + 3t·log(m(n+1)).
         let (log_main, additive) =

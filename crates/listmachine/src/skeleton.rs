@@ -95,7 +95,10 @@ pub fn skeleton_of(run: &LmRun) -> Skeleton {
             entries.push(None);
         }
     }
-    Skeleton { entries, moves: run.moves.clone() }
+    Skeleton {
+        entries,
+        moves: run.moves.clone(),
+    }
 }
 
 /// Input positions occurring in a view's index strings.
@@ -146,7 +149,10 @@ pub fn substitute_values(view: &LocalView, values: &[crate::Val]) -> LocalView {
             .map(|cell| {
                 cell.iter()
                     .map(|t| match *t {
-                        Tok::Input { pos, .. } => Tok::Input { pos, val: values[pos] },
+                        Tok::Input { pos, .. } => Tok::Input {
+                            pos,
+                            val: values[pos],
+                        },
                         other => other,
                     })
                     .collect()
@@ -181,7 +187,13 @@ mod tests {
         ];
         assert_eq!(
             ind_string(&toks),
-            vec![SkelTok::Open, SkelTok::Ind(3), SkelTok::Close, SkelTok::Wild, SkelTok::State(7)]
+            vec![
+                SkelTok::Open,
+                SkelTok::Ind(3),
+                SkelTok::Close,
+                SkelTok::Wild,
+                SkelTok::State(7)
+            ]
         );
     }
 
@@ -227,8 +239,10 @@ mod tests {
         let run = run_with_choices(&nlm, &input, &[0; 1024], 1024).unwrap();
         assert!(run.accepted());
         let pairs = compared_pairs(&skeleton_of(&run));
-        let expect: std::collections::BTreeSet<(usize, usize)> =
-            (1..m).map(|i| (i, 2 * m - i)).chain(std::iter::once((0, 2 * m - 1))).collect();
+        let expect: std::collections::BTreeSet<(usize, usize)> = (1..m)
+            .map(|i| (i, 2 * m - i))
+            .chain(std::iter::once((0, 2 * m - 1)))
+            .collect();
         assert_eq!(pairs, expect);
     }
 
@@ -255,8 +269,14 @@ mod tests {
         assert!(run.accepted());
         let hits_id = phi_pairs_compared(&skeleton_of(&run), &identity);
 
-        assert!(hits_rev >= m - 1, "reversal alignment should hit ~all pairs, got {hits_rev}");
-        assert!(hits_id <= 1, "identity alignment should hit ≤1 pair, got {hits_id}");
+        assert!(
+            hits_rev >= m - 1,
+            "reversal alignment should hit ~all pairs, got {hits_rev}"
+        );
+        assert!(
+            hits_id <= 1,
+            "identity alignment should hit ≤1 pair, got {hits_id}"
+        );
     }
 
     #[test]

@@ -48,7 +48,9 @@ impl BitStr {
     /// `value ≥ 2ⁿ`.
     pub fn from_value(value: u128, n: usize) -> Result<Self, StError> {
         if n < 128 && value >> n != 0 {
-            return Err(StError::InvalidInstance(format!("value {value} does not fit in {n} bits")));
+            return Err(StError::InvalidInstance(format!(
+                "value {value} does not fit in {n} bits"
+            )));
         }
         let bits = (0..n).rev().map(|i| ((value >> i) & 1) as u8).collect();
         Ok(BitStr { bits })
@@ -62,7 +64,10 @@ impl BitStr {
                 self.bits.len()
             )));
         }
-        Ok(self.bits.iter().fold(0u128, |acc, &b| (acc << 1) | u128::from(b)))
+        Ok(self
+            .bits
+            .iter()
+            .fold(0u128, |acc, &b| (acc << 1) | u128::from(b)))
     }
 
     /// Length in bits.
@@ -105,7 +110,9 @@ impl BitStr {
     /// The slice `[from, to)` as a new bitstring.
     #[must_use]
     pub fn slice(&self, from: usize, to: usize) -> BitStr {
-        BitStr { bits: self.bits[from..to].to_vec() }
+        BitStr {
+            bits: self.bits[from..to].to_vec(),
+        }
     }
 
     /// Left-pad with zeros to length `n` (the Appendix E block padding).
@@ -133,6 +140,22 @@ impl fmt::Display for BitStr {
             write!(f, "{b}")?;
         }
         Ok(())
+    }
+}
+
+impl st_extmem::Corrupt for BitStr {
+    /// Fault-injection damage: flip the bit selected by the entropy. The
+    /// empty string (no bit to flip) grows a spurious `1` — still a value
+    /// different from the original, as the `Corrupt` contract requires.
+    fn corrupted(&self, entropy: u64) -> Self {
+        let mut c = self.clone();
+        if c.bits.is_empty() {
+            c.bits.push(1);
+        } else {
+            let i = (entropy as usize) % c.bits.len();
+            c.bits[i] ^= 1;
+        }
+        c
     }
 }
 
@@ -198,6 +221,20 @@ mod tests {
         assert!(v.has_prefix(&BitStr::empty()));
         assert!(!v.has_prefix(&BitStr::parse("10").unwrap()));
         assert!(!v.has_prefix(&BitStr::parse("11011").unwrap()));
+    }
+
+    #[test]
+    fn corrupted_values_always_differ() {
+        use st_extmem::Corrupt;
+        let v = BitStr::parse("0110").unwrap();
+        for entropy in 0..32u64 {
+            let c = v.corrupted(entropy);
+            assert_ne!(c, v, "entropy {entropy} produced an identical value");
+            assert_eq!(c.len(), v.len(), "bit-flip corruption preserves length");
+        }
+        let empty = BitStr::empty();
+        let c = empty.corrupted(7);
+        assert_ne!(c, empty);
     }
 
     #[test]

@@ -32,7 +32,9 @@ impl CheckPhi {
     /// Validate and build the family.
     pub fn new(m: usize, n: usize) -> Result<Self, StError> {
         if !m.is_power_of_two() {
-            return Err(StError::Precondition(format!("m = {m} must be a power of 2")));
+            return Err(StError::Precondition(format!(
+                "m = {m} must be a power of 2"
+            )));
         }
         let logm = m.trailing_zeros() as usize;
         if n < logm {
@@ -63,7 +65,8 @@ impl CheckPhi {
     /// Sample a uniform element of `I_j` (1-based `j`).
     pub fn sample_interval<R: Rng>(&self, j: usize, rng: &mut R) -> BitStr {
         assert!((1..=self.m).contains(&j), "interval index out of range");
-        let prefix = BitStr::from_value((j - 1) as u128, self.log_m()).expect("fits by construction");
+        let prefix =
+            BitStr::from_value((j - 1) as u128, self.log_m()).expect("fits by construction");
         let mut suffix = String::with_capacity(self.n - self.log_m());
         for _ in 0..self.n - self.log_m() {
             suffix.push(if rng.gen::<bool>() { '1' } else { '0' });
@@ -79,8 +82,15 @@ impl CheckPhi {
             return false;
         }
         let ph = phi(self.m);
-        inst.xs.iter().enumerate().all(|(i, v)| self.interval_of(v) == ph[i] + 1)
-            && inst.ys.iter().enumerate().all(|(j, v)| self.interval_of(v) == j + 1)
+        inst.xs
+            .iter()
+            .enumerate()
+            .all(|(i, v)| self.interval_of(v) == ph[i] + 1)
+            && inst
+                .ys
+                .iter()
+                .enumerate()
+                .all(|(j, v)| self.interval_of(v) == j + 1)
     }
 
     /// The CHECK-φ predicate: `(v₁,…,v_m) = (v′_{φ(1)},…,v′_{φ(m)})`.
@@ -181,7 +191,10 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(3);
         for _ in 0..50 {
             let inst = f.no_instance(&mut rng).unwrap();
-            assert!(f.in_instance_space(&inst), "perturbation must stay in the space");
+            assert!(
+                f.in_instance_space(&inst),
+                "perturbation must stay in the space"
+            );
             assert!(!f.holds(&inst));
         }
     }
@@ -201,7 +214,11 @@ mod tests {
         let f = CheckPhi::new(16, 8).unwrap();
         let mut rng = StdRng::seed_from_u64(5);
         for k in 0..100 {
-            let inst = if k % 2 == 0 { f.yes_instance(&mut rng) } else { f.no_instance(&mut rng).unwrap() };
+            let inst = if k % 2 == 0 {
+                f.yes_instance(&mut rng)
+            } else {
+                f.no_instance(&mut rng).unwrap()
+            };
             let truth = f.holds(&inst);
             assert_eq!(is_set_equal(&inst), truth, "set-eq diverges");
             assert_eq!(is_multiset_equal(&inst), truth, "multiset-eq diverges");

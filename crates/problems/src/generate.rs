@@ -12,7 +12,9 @@ use rand::Rng;
 
 /// Sample a uniform bitstring of length `n`.
 pub fn random_bitstr<R: Rng>(n: usize, rng: &mut R) -> BitStr {
-    let s: String = (0..n).map(|_| if rng.gen::<bool>() { '1' } else { '0' }).collect();
+    let s: String = (0..n)
+        .map(|_| if rng.gen::<bool>() { '1' } else { '0' })
+        .collect();
     BitStr::parse(&s).expect("generated 0/1 string")
 }
 
@@ -40,7 +42,10 @@ pub fn yes_multiset<R: Rng>(m: usize, n: usize, rng: &mut R) -> Instance {
 /// a multiset yes-instance). Sampling rejects duplicates; needs
 /// `2ⁿ ≥ 2m`.
 pub fn yes_set_distinct<R: Rng>(m: usize, n: usize, rng: &mut R) -> Instance {
-    assert!(n >= 64 || (1u128 << n) >= 2 * m as u128, "value space too small for distinct sampling");
+    assert!(
+        n >= 64 || (1u128 << n) >= 2 * m as u128,
+        "value space too small for distinct sampling"
+    );
     let mut seen = std::collections::BTreeSet::new();
     let mut xs = Vec::with_capacity(m);
     while xs.len() < m {
@@ -125,7 +130,10 @@ mod tests {
             assert!(!is_multiset_equal(&no_multiset_one_bit(10, 8, &mut rng)));
             let inst = no_checksort_sorted_but_wrong(10, 8, &mut rng);
             assert!(!is_check_sorted(&inst));
-            assert!(inst.ys.windows(2).all(|w| w[0] <= w[1]), "second list must stay sorted");
+            assert!(
+                inst.ys.windows(2).all(|w| w[0] <= w[1]),
+                "second list must stay sorted"
+            );
         }
     }
 

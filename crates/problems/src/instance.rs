@@ -72,10 +72,15 @@ impl Instance {
     /// empty).
     pub fn parse(word: &str) -> Result<Self, StError> {
         if word.is_empty() {
-            return Ok(Instance { xs: Vec::new(), ys: Vec::new() });
+            return Ok(Instance {
+                xs: Vec::new(),
+                ys: Vec::new(),
+            });
         }
         if !word.ends_with('#') {
-            return Err(StError::InvalidInstance("input word must end with '#'".into()));
+            return Err(StError::InvalidInstance(
+                "input word must end with '#'".into(),
+            ));
         }
         let blocks: Vec<&str> = word[..word.len() - 1].split('#').collect();
         if !blocks.len().is_multiple_of(2) {
@@ -85,8 +90,14 @@ impl Instance {
             )));
         }
         let m = blocks.len() / 2;
-        let xs = blocks[..m].iter().map(|b| BitStr::parse(b)).collect::<Result<Vec<_>, _>>()?;
-        let ys = blocks[m..].iter().map(|b| BitStr::parse(b)).collect::<Result<Vec<_>, _>>()?;
+        let xs = blocks[..m]
+            .iter()
+            .map(|b| BitStr::parse(b))
+            .collect::<Result<Vec<_>, _>>()?;
+        let ys = blocks[m..]
+            .iter()
+            .map(|b| BitStr::parse(b))
+            .collect::<Result<Vec<_>, _>>()?;
         Ok(Instance { xs, ys })
     }
 

@@ -17,7 +17,7 @@ pub fn write_dataset<W: Write>(
     header: Option<&str>,
     instances: &[Instance],
 ) -> Result<(), StError> {
-    let io_err = |e: std::io::Error| StError::InvalidInstance(format!("dataset write: {e}"));
+    let io_err = |e: std::io::Error| StError::Io(format!("dataset write: {e}"));
     if let Some(h) = header {
         for line in h.lines() {
             writeln!(w, "% {line}").map_err(io_err)?;
@@ -34,15 +34,13 @@ pub fn write_dataset<W: Write>(
 pub fn read_dataset<R: Read>(r: R) -> Result<Vec<Instance>, StError> {
     let mut out = Vec::new();
     for (lineno, line) in BufReader::new(r).lines().enumerate() {
-        let line =
-            line.map_err(|e| StError::InvalidInstance(format!("dataset read: {e}")))?;
+        let line = line.map_err(|e| StError::Io(format!("dataset read: {e}")))?;
         let trimmed = line.trim();
         if trimmed.is_empty() || trimmed.starts_with('%') {
             continue;
         }
-        let inst = Instance::parse(trimmed).map_err(|e| {
-            StError::InvalidInstance(format!("line {}: {e}", lineno + 1))
-        })?;
+        let inst = Instance::parse(trimmed)
+            .map_err(|e| StError::InvalidInstance(format!("line {}: {e}", lineno + 1)))?;
         out.push(inst);
     }
     Ok(out)
@@ -55,14 +53,14 @@ pub fn save_dataset(
     instances: &[Instance],
 ) -> Result<(), StError> {
     let f = std::fs::File::create(path)
-        .map_err(|e| StError::InvalidInstance(format!("create {}: {e}", path.display())))?;
+        .map_err(|e| StError::Io(format!("create {}: {e}", path.display())))?;
     write_dataset(std::io::BufWriter::new(f), header, instances)
 }
 
 /// Read a dataset from a file path.
 pub fn load_dataset(path: &std::path::Path) -> Result<Vec<Instance>, StError> {
     let f = std::fs::File::open(path)
-        .map_err(|e| StError::InvalidInstance(format!("open {}: {e}", path.display())))?;
+        .map_err(|e| StError::Io(format!("open {}: {e}", path.display())))?;
     read_dataset(f)
 }
 
@@ -124,6 +122,10 @@ mod tests {
     #[test]
     fn missing_file_is_a_clean_error() {
         let err = load_dataset(std::path::Path::new("/nonexistent/nope.txt")).unwrap_err();
+        assert!(
+            matches!(err, StError::Io(_)),
+            "expected StError::Io, got {err:?}"
+        );
         assert!(err.to_string().contains("open"));
     }
 
@@ -135,6 +137,9 @@ mod tests {
         let mut buf = Vec::new();
         write_dataset(&mut buf, None, &[empty]).unwrap();
         let back = read_dataset(buf.as_slice()).unwrap();
-        assert!(back.is_empty(), "empty words are not representable line-wise — documented");
+        assert!(
+            back.is_empty(),
+            "empty words are not representable line-wise — documented"
+        );
     }
 }

@@ -48,7 +48,10 @@ pub fn sortedness(perm: &[usize]) -> usize {
 /// If `m` is not a power of two.
 #[must_use]
 pub fn phi(m: usize) -> Vec<usize> {
-    assert!(m.is_power_of_two(), "phi_m requires m to be a power of 2, got {m}");
+    assert!(
+        m.is_power_of_two(),
+        "phi_m requires m to be a power of 2, got {m}"
+    );
     let bits = m.trailing_zeros();
     (0..m).map(|i| bitrev(i, bits)).collect()
 }
@@ -142,7 +145,10 @@ mod tests {
             let m = 1usize << logm;
             let s = sortedness(&phi(m));
             let bound = 2.0 * (m as f64).sqrt() - 1.0;
-            assert!((s as f64) <= bound + 1e-9, "m = {m}: sortedness {s} > 2√m−1 = {bound}");
+            assert!(
+                (s as f64) <= bound + 1e-9,
+                "m = {m}: sortedness {s} > 2√m−1 = {bound}"
+            );
         }
     }
 

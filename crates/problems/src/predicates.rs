@@ -73,8 +73,14 @@ mod tests {
     #[test]
     fn checksort_accepts_exactly_the_sorted_copy() {
         assert!(is_check_sorted(&inst("10#01#11#01#10#11#")));
-        assert!(!is_check_sorted(&inst("10#01#11#01#11#10#")), "unsorted second list");
-        assert!(!is_check_sorted(&inst("10#01#11#00#10#11#")), "wrong element");
+        assert!(
+            !is_check_sorted(&inst("10#01#11#01#11#10#")),
+            "unsorted second list"
+        );
+        assert!(
+            !is_check_sorted(&inst("10#01#11#00#10#11#")),
+            "wrong element"
+        );
     }
 
     #[test]
@@ -124,12 +130,21 @@ mod proptests {
 
     fn arb_instance(max_m: usize, max_n: usize) -> impl Strategy<Value = Instance> {
         proptest::collection::vec(
-            (proptest::collection::vec(0u8..2, 0..=max_n), proptest::collection::vec(0u8..2, 0..=max_n)),
+            (
+                proptest::collection::vec(0u8..2, 0..=max_n),
+                proptest::collection::vec(0u8..2, 0..=max_n),
+            ),
             0..=max_m,
         )
         .prop_map(|pairs| {
             let to_bs = |bits: Vec<u8>| {
-                BitStr::parse(&bits.iter().map(|b| char::from(b'0' + b)).collect::<String>()).unwrap()
+                BitStr::parse(
+                    &bits
+                        .iter()
+                        .map(|b| char::from(b'0' + b))
+                        .collect::<String>(),
+                )
+                .unwrap()
             };
             let xs = pairs.iter().map(|(a, _)| to_bs(a.clone())).collect();
             let ys = pairs.iter().map(|(_, b)| to_bs(b.clone())).collect();

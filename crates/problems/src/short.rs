@@ -125,7 +125,10 @@ mod tests {
             let red = reduce_to_short(&fam, &inst).unwrap();
             assert!(is_multiset_equal(&red.instance));
             assert!(is_set_equal(&red.instance));
-            assert!(is_check_sorted(&red.instance), "second list must come out sorted");
+            assert!(
+                is_check_sorted(&red.instance),
+                "second list must come out sorted"
+            );
         }
     }
 

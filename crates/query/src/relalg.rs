@@ -61,7 +61,10 @@ impl Relation {
     /// Total size in attribute symbols (the stream length contribution).
     #[must_use]
     pub fn stream_size(&self) -> usize {
-        self.tuples.iter().map(|t| t.iter().map(String::len).sum::<usize>() + t.len()).sum()
+        self.tuples
+            .iter()
+            .map(|t| t.iter().map(String::len).sum::<usize>() + t.len())
+            .sum()
     }
 }
 
@@ -115,8 +118,14 @@ impl fmt::Display for RaExpr {
 #[must_use]
 pub fn sym_diff_query(r1: &str, r2: &str) -> RaExpr {
     RaExpr::Union(
-        Box::new(RaExpr::Diff(Box::new(RaExpr::Rel(r1.into())), Box::new(RaExpr::Rel(r2.into())))),
-        Box::new(RaExpr::Diff(Box::new(RaExpr::Rel(r2.into())), Box::new(RaExpr::Rel(r1.into())))),
+        Box::new(RaExpr::Diff(
+            Box::new(RaExpr::Rel(r1.into())),
+            Box::new(RaExpr::Rel(r2.into())),
+        )),
+        Box::new(RaExpr::Diff(
+            Box::new(RaExpr::Rel(r2.into())),
+            Box::new(RaExpr::Rel(r1.into())),
+        )),
     )
 }
 
@@ -136,7 +145,13 @@ impl Ctx {
         let aux = machine.add_tape("aux");
         let s1 = machine.add_tape("scratch1");
         let s2 = machine.add_tape("scratch2");
-        Ctx { machine, data, aux, s1, s2 }
+        Ctx {
+            machine,
+            data,
+            aux,
+            s1,
+            s2,
+        }
     }
 
     /// Load tuples onto a fresh region of tape `idx` (overwriting).
@@ -260,7 +275,10 @@ fn eval_pair(
 
 fn require_same_arity(a: &Relation, b: &Relation) -> Result<(), StError> {
     if a.arity != b.arity {
-        return Err(StError::Query(format!("arity mismatch: {} vs {}", a.arity, b.arity)));
+        return Err(StError::Query(format!(
+            "arity mismatch: {} vs {}",
+            a.arity, b.arity
+        )));
     }
     Ok(())
 }
@@ -273,7 +291,9 @@ fn check_pred_arity(pred: &Pred, arity: usize) -> Result<(), StError> {
     if ok {
         Ok(())
     } else {
-        Err(StError::Query(format!("predicate {pred:?} out of range for arity {arity}")))
+        Err(StError::Query(format!(
+            "predicate {pred:?} out of range for arity {arity}"
+        )))
     }
 }
 
@@ -457,9 +477,10 @@ fn product(ctx: &mut Ctx, ra: &Relation, rb: &Relation) -> Result<Relation, StEr
 /// the tape evaluator is tested against.
 pub fn evaluate_reference(expr: &RaExpr, db: &Database) -> Result<Relation, StError> {
     match expr {
-        RaExpr::Rel(name) => {
-            db.get(name).cloned().ok_or_else(|| StError::Query(format!("unknown relation '{name}'")))
-        }
+        RaExpr::Rel(name) => db
+            .get(name)
+            .cloned()
+            .ok_or_else(|| StError::Query(format!("unknown relation '{name}'"))),
         RaExpr::Union(a, b) => {
             let (x, y) = (evaluate_reference(a, db)?, evaluate_reference(b, db)?);
             require_same_arity(&x, &y)?;
@@ -470,14 +491,21 @@ pub fn evaluate_reference(expr: &RaExpr, db: &Database) -> Result<Relation, StEr
         RaExpr::Diff(a, b) => {
             let (x, y) = (evaluate_reference(a, db)?, evaluate_reference(b, db)?);
             require_same_arity(&x, &y)?;
-            let keep: Vec<Tuple> =
-                x.tuples.into_iter().filter(|t| !y.tuples.contains(t)).collect();
+            let keep: Vec<Tuple> = x
+                .tuples
+                .into_iter()
+                .filter(|t| !y.tuples.contains(t))
+                .collect();
             Relation::new(x.arity, keep)
         }
         RaExpr::Intersect(a, b) => {
             let (x, y) = (evaluate_reference(a, db)?, evaluate_reference(b, db)?);
             require_same_arity(&x, &y)?;
-            let keep: Vec<Tuple> = x.tuples.into_iter().filter(|t| y.tuples.contains(t)).collect();
+            let keep: Vec<Tuple> = x
+                .tuples
+                .into_iter()
+                .filter(|t| y.tuples.contains(t))
+                .collect();
             Relation::new(x.arity, keep)
         }
         RaExpr::Select(p, e) => {
@@ -560,8 +588,14 @@ mod tests {
     fn union_diff_intersect_match_reference() {
         let db = db2(&["a", "b", "c"], &["b", "c", "d"]);
         for expr in [
-            RaExpr::Union(Box::new(RaExpr::Rel("R1".into())), Box::new(RaExpr::Rel("R2".into()))),
-            RaExpr::Diff(Box::new(RaExpr::Rel("R1".into())), Box::new(RaExpr::Rel("R2".into()))),
+            RaExpr::Union(
+                Box::new(RaExpr::Rel("R1".into())),
+                Box::new(RaExpr::Rel("R2".into())),
+            ),
+            RaExpr::Diff(
+                Box::new(RaExpr::Rel("R1".into())),
+                Box::new(RaExpr::Rel("R2".into())),
+            ),
             RaExpr::Intersect(
                 Box::new(RaExpr::Rel("R1".into())),
                 Box::new(RaExpr::Rel("R2".into())),
@@ -608,7 +642,10 @@ mod tests {
             )),
         );
         let (got, _) = evaluate(&q, &db).unwrap();
-        assert_eq!(got, Relation::new(1, vec![vec!["1".into()], vec!["3".into()]]).unwrap());
+        assert_eq!(
+            got,
+            Relation::new(1, vec![vec!["1".into()], vec!["3".into()]]).unwrap()
+        );
     }
 
     #[test]
@@ -616,8 +653,11 @@ mod tests {
         let mut db = Database::new();
         db.insert(
             "S".into(),
-            Relation::new(2, vec![vec!["a".into(), "a".into()], vec!["a".into(), "b".into()]])
-                .unwrap(),
+            Relation::new(
+                2,
+                vec![vec!["a".into(), "a".into()], vec!["a".into(), "b".into()]],
+            )
+            .unwrap(),
         );
         let q = RaExpr::Select(Pred::AttrEqAttr(0, 1), Box::new(RaExpr::Rel("S".into())));
         let (got, _) = evaluate(&q, &db).unwrap();
@@ -627,7 +667,10 @@ mod tests {
     #[test]
     fn product_matches_reference() {
         let db = db2(&["a", "b", "c"], &["x", "y"]);
-        let q = RaExpr::Product(Box::new(RaExpr::Rel("R1".into())), Box::new(RaExpr::Rel("R2".into())));
+        let q = RaExpr::Product(
+            Box::new(RaExpr::Rel("R1".into())),
+            Box::new(RaExpr::Rel("R2".into())),
+        );
         let (got, _) = evaluate(&q, &db).unwrap();
         let want = evaluate_reference(&q, &db).unwrap();
         assert_eq!(got, want);
@@ -638,7 +681,10 @@ mod tests {
     #[test]
     fn product_with_empty_operand() {
         let db = db2(&[], &["x", "y"]);
-        let q = RaExpr::Product(Box::new(RaExpr::Rel("R1".into())), Box::new(RaExpr::Rel("R2".into())));
+        let q = RaExpr::Product(
+            Box::new(RaExpr::Rel("R1".into())),
+            Box::new(RaExpr::Rel("R2".into())),
+        );
         let (got, _) = evaluate(&q, &db).unwrap();
         assert!(got.is_empty());
     }
@@ -648,9 +694,14 @@ mod tests {
         let db = db2(&["a"], &["b"]);
         assert!(evaluate(&RaExpr::Rel("nope".into()), &db).is_err());
         let mut db2m = db.clone();
-        db2m.insert("W".into(), Relation::new(2, vec![vec!["a".into(), "b".into()]]).unwrap());
-        let bad =
-            RaExpr::Union(Box::new(RaExpr::Rel("R1".into())), Box::new(RaExpr::Rel("W".into())));
+        db2m.insert(
+            "W".into(),
+            Relation::new(2, vec![vec!["a".into(), "b".into()]]).unwrap(),
+        );
+        let bad = RaExpr::Union(
+            Box::new(RaExpr::Rel("R1".into())),
+            Box::new(RaExpr::Rel("W".into())),
+        );
         assert!(evaluate(&bad, &db2m).is_err(), "arity mismatch must error");
         let bad = RaExpr::Project(vec![5], Box::new(RaExpr::Rel("R1".into())));
         assert!(evaluate(&bad, &db2m).is_err());

@@ -55,8 +55,10 @@ impl<'a> P<'a> {
     fn ident(&mut self) -> Result<String, StError> {
         self.ws();
         let rest = &self.src[self.pos..];
-        let len =
-            rest.chars().take_while(|&c| c.is_ascii_alphanumeric() || c == '_').count();
+        let len = rest
+            .chars()
+            .take_while(|&c| c.is_ascii_alphanumeric() || c == '_')
+            .count();
         if len == 0 {
             return Err(self.err("expected an identifier"));
         }
@@ -133,7 +135,9 @@ impl<'a> P<'a> {
             } else {
                 self.expect("\"")?;
                 let rest = &self.src[self.pos..];
-                let end = rest.find('"').ok_or_else(|| self.err("unterminated string"))?;
+                let end = rest
+                    .find('"')
+                    .ok_or_else(|| self.err("unterminated string"))?;
                 let val = rest[..end].to_string();
                 self.pos += end + 1;
                 Pred::AttrEqConst(i, val)
@@ -183,7 +187,10 @@ mod tests {
 
     #[test]
     fn sym_diff_text_parses_to_the_builtin() {
-        assert_eq!(parse_relalg(SYM_DIFF_TEXT).unwrap(), sym_diff_query("R1", "R2"));
+        assert_eq!(
+            parse_relalg(SYM_DIFF_TEXT).unwrap(),
+            sym_diff_query("R1", "R2")
+        );
     }
 
     #[test]

@@ -66,7 +66,9 @@ pub fn tokenize(doc: &str) -> Result<Vec<XmlEvent>, StError> {
 
 fn validate_name(name: &str) -> Result<String, StError> {
     if name.is_empty()
-        || !name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '-')
+        || !name
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '-')
     {
         return Err(StError::Xml(format!("invalid tag name {name:?}")));
     }
@@ -110,13 +112,21 @@ impl Node {
     /// A leaf element with text content.
     #[must_use]
     pub fn leaf(name: impl Into<String>, text: impl Into<String>) -> Node {
-        Node { name: name.into(), text: text.into(), children: Vec::new() }
+        Node {
+            name: name.into(),
+            text: text.into(),
+            children: Vec::new(),
+        }
     }
 
     /// An element with children.
     #[must_use]
     pub fn elem(name: impl Into<String>, children: Vec<Node>) -> Node {
-        Node { name: name.into(), text: String::new(), children }
+        Node {
+            name: name.into(),
+            text: String::new(),
+            children,
+        }
     }
 
     /// The *string value*: this node's text plus all descendants' text,
@@ -138,9 +148,11 @@ pub fn build_dom(events: &[XmlEvent]) -> Result<Node, StError> {
     let mut root: Option<Node> = None;
     for e in events {
         match e {
-            XmlEvent::Start(n) => {
-                stack.push(Node { name: n.clone(), text: String::new(), children: Vec::new() })
-            }
+            XmlEvent::Start(n) => stack.push(Node {
+                name: n.clone(),
+                text: String::new(),
+                children: Vec::new(),
+            }),
             XmlEvent::Text(t) => {
                 let top = stack
                     .last_mut()
@@ -148,7 +160,9 @@ pub fn build_dom(events: &[XmlEvent]) -> Result<Node, StError> {
                 top.text.push_str(t);
             }
             XmlEvent::End(n) => {
-                let node = stack.pop().ok_or_else(|| StError::Xml("unmatched end tag".into()))?;
+                let node = stack
+                    .pop()
+                    .ok_or_else(|| StError::Xml("unmatched end tag".into()))?;
                 if &node.name != n {
                     return Err(StError::Xml(format!(
                         "mismatched tags: <{}> closed by </{n}>",
@@ -236,7 +250,10 @@ mod tests {
     #[test]
     fn malformed_documents_error() {
         assert!(tokenize("<a").is_err());
-        assert!(tokenize("<a b=c>x</a>").is_err(), "attributes are outside the fragment");
+        assert!(
+            tokenize("<a b=c>x</a>").is_err(),
+            "attributes are outside the fragment"
+        );
         assert!(parse("<a><b></a></b>").is_err(), "crossing tags");
         assert!(parse("<a>x</a><b></b>").is_err(), "two roots");
         assert!(parse("").is_err());
@@ -285,8 +302,11 @@ mod proptests {
     use proptest::prelude::*;
 
     fn arb_node(depth: u32) -> BoxedStrategy<Node> {
-        let leaf = ("[a-z][a-z0-9]{0,5}", "[a-zA-Z0-9 ]{0,6}")
-            .prop_map(|(n, t)| Node { name: n, text: t.trim().to_string(), children: vec![] });
+        let leaf = ("[a-z][a-z0-9]{0,5}", "[a-zA-Z0-9 ]{0,6}").prop_map(|(n, t)| Node {
+            name: n,
+            text: t.trim().to_string(),
+            children: vec![],
+        });
         if depth == 0 {
             leaf.boxed()
         } else {
@@ -294,7 +314,11 @@ mod proptests {
                 "[a-z][a-z0-9]{0,5}",
                 proptest::collection::vec(arb_node(depth - 1), 0..3),
             )
-                .prop_map(|(n, children)| Node { name: n, text: String::new(), children })
+                .prop_map(|(n, children)| Node {
+                    name: n,
+                    text: String::new(),
+                    children,
+                })
                 .boxed()
         }
     }

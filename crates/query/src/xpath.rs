@@ -74,7 +74,11 @@ impl Path {
         Path {
             steps: steps
                 .iter()
-                .map(|(a, n)| Step { axis: *a, name: (*n).to_string(), predicate: None })
+                .map(|(a, n)| Step {
+                    axis: *a,
+                    name: (*n).to_string(),
+                    predicate: None,
+                })
                 .collect(),
         }
     }
@@ -142,7 +146,9 @@ impl<'a> DocContext<'a> {
             .into_iter()
             .filter(|id| self.node(id).name == step.name)
             .filter(|id| {
-                step.predicate.as_ref().is_none_or(|p| self.predicate_holds(id, p))
+                step.predicate
+                    .as_ref()
+                    .is_none_or(|p| self.predicate_holds(id, p))
             })
             .collect()
     }
@@ -167,9 +173,13 @@ impl<'a> DocContext<'a> {
         // node's string-value.
         let left = self.eval_path(ctx, &pred.left);
         let right = self.eval_path(ctx, &pred.right);
-        let rvals: BTreeSet<String> =
-            right.iter().map(|id| self.node(id).string_value()).collect();
-        let holds = left.iter().any(|id| rvals.contains(&self.node(id).string_value()));
+        let rvals: BTreeSet<String> = right
+            .iter()
+            .map(|id| self.node(id).string_value())
+            .collect();
+        let holds = left
+            .iter()
+            .any(|id| rvals.contains(&self.node(id).string_value()));
         holds != pred.negated
     }
 
@@ -197,14 +207,19 @@ impl<'a> DocContext<'a> {
             for id in initial {
                 let n = self.node(&id);
                 if n.name == first.name
-                    && first.predicate.as_ref().is_none_or(|p| self.predicate_holds(&id, p))
+                    && first
+                        .predicate
+                        .as_ref()
+                        .is_none_or(|p| self.predicate_holds(&id, p))
                 {
                     set.insert(id);
                 }
             }
             current = set.into_iter().collect();
         }
-        let rest = Path { steps: path.steps[1..].to_vec() };
+        let rest = Path {
+            steps: path.steps[1..].to_vec(),
+        };
         let mut out: BTreeSet<NodeId> = BTreeSet::new();
         for id in current {
             for sel in self.eval_path(&id, &rest) {
@@ -227,7 +242,11 @@ impl<'a> DocContext<'a> {
 pub fn figure1_query() -> Path {
     Path {
         steps: vec![
-            Step { axis: Axis::Descendant, name: "set1".into(), predicate: None },
+            Step {
+                axis: Axis::Descendant,
+                name: "set1".into(),
+                predicate: None,
+            },
             Step {
                 axis: Axis::Child,
                 name: "item".into(),
@@ -351,18 +370,38 @@ mod tests {
         let ctx = DocContext::new(&d);
         let q = Path {
             steps: vec![
-                Step { axis: Axis::Descendant, name: "item".into(), predicate: None },
-                Step { axis: Axis::Ancestor, name: "item".into(), predicate: None },
+                Step {
+                    axis: Axis::Descendant,
+                    name: "item".into(),
+                    predicate: None,
+                },
+                Step {
+                    axis: Axis::Ancestor,
+                    name: "item".into(),
+                    predicate: None,
+                },
             ],
         };
         assert!(ctx.select(&q).is_empty());
         let q = Path {
             steps: vec![
-                Step { axis: Axis::Descendant, name: "item".into(), predicate: None },
-                Step { axis: Axis::Ancestor, name: "instance".into(), predicate: None },
+                Step {
+                    axis: Axis::Descendant,
+                    name: "item".into(),
+                    predicate: None,
+                },
+                Step {
+                    axis: Axis::Ancestor,
+                    name: "instance".into(),
+                    predicate: None,
+                },
             ],
         };
-        assert_eq!(ctx.select(&q).len(), 1, "both items share the one instance ancestor");
+        assert_eq!(
+            ctx.select(&q).len(),
+            1,
+            "both items share the one instance ancestor"
+        );
     }
 
     #[test]
@@ -373,7 +412,11 @@ mod tests {
         let ctx = DocContext::new(&d);
         let q = Path {
             steps: vec![
-                Step { axis: Axis::Descendant, name: "set1".into(), predicate: None },
+                Step {
+                    axis: Axis::Descendant,
+                    name: "set1".into(),
+                    predicate: None,
+                },
                 Step {
                     axis: Axis::Child,
                     name: "item".into(),

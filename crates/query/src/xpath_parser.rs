@@ -110,11 +110,19 @@ impl<'a> Parser<'a> {
             self.expect("=")?;
             let right = self.path()?;
             self.expect("]")?;
-            Some(Predicate { negated, left, right })
+            Some(Predicate {
+                negated,
+                left,
+                right,
+            })
         } else {
             None
         };
-        Ok(Step { axis, name, predicate })
+        Ok(Step {
+            axis,
+            name,
+            predicate,
+        })
     }
 
     fn path(&mut self) -> Result<Path, StError> {
@@ -187,12 +195,21 @@ mod tests {
 
     #[test]
     fn errors_are_informative() {
-        assert!(parse_xpath("parent::a").is_err(), "axis outside the fragment");
+        assert!(
+            parse_xpath("parent::a").is_err(),
+            "axis outside the fragment"
+        );
         assert!(parse_xpath("child:a").is_err(), "missing ::");
-        assert!(parse_xpath("child::a[child::b]").is_err(), "predicate needs =");
+        assert!(
+            parse_xpath("child::a[child::b]").is_err(),
+            "predicate needs ="
+        );
         assert!(parse_xpath("child::a extra").is_err(), "trailing garbage");
         assert!(parse_xpath("").is_err());
-        assert!(parse_xpath("child::a[not child::b = child::c").is_err(), "unclosed predicate");
+        assert!(
+            parse_xpath("child::a[not child::b = child::c").is_err(),
+            "unclosed predicate"
+        );
     }
 
     #[test]
@@ -203,7 +220,10 @@ mod tests {
         let doc = parse_xml(&instance_document(&inst)).unwrap();
         let ctx = DocContext::new(&doc);
         let parsed = parse_xpath(FIGURE1_TEXT).unwrap();
-        assert_eq!(ctx.select(&parsed).len(), ctx.select(&figure1_query()).len());
+        assert_eq!(
+            ctx.select(&parsed).len(),
+            ctx.select(&figure1_query()).len()
+        );
     }
 
     #[test]

@@ -108,7 +108,11 @@ pub enum XqExpr {
 
 /// Evaluate a condition against `root` under variable `bindings`
 /// (variable → string value).
-fn eval_cond(cond: &Cond, root: &Node, bindings: &mut BTreeMap<String, String>) -> Result<bool, StError> {
+fn eval_cond(
+    cond: &Cond,
+    root: &Node,
+    bindings: &mut BTreeMap<String, String>,
+) -> Result<bool, StError> {
     match cond {
         Cond::VarEq(a, b) => {
             let va = bindings
@@ -120,7 +124,11 @@ fn eval_cond(cond: &Cond, root: &Node, bindings: &mut BTreeMap<String, String>) 
             Ok(va == vb)
         }
         Cond::And(x, y) => Ok(eval_cond(x, root, bindings)? && eval_cond(y, root, bindings)?),
-        Cond::Every { var, path, satisfies } => {
+        Cond::Every {
+            var,
+            path,
+            satisfies,
+        } => {
             for n in path.select(root) {
                 bindings.insert(var.clone(), n.string_value());
                 let ok = eval_cond(satisfies, root, bindings)?;
@@ -131,7 +139,11 @@ fn eval_cond(cond: &Cond, root: &Node, bindings: &mut BTreeMap<String, String>) 
             }
             Ok(true)
         }
-        Cond::Some_ { var, path, satisfies } => {
+        Cond::Some_ {
+            var,
+            path,
+            satisfies,
+        } => {
             for n in path.select(root) {
                 bindings.insert(var.clone(), n.string_value());
                 let ok = eval_cond(satisfies, root, bindings)?;
@@ -202,7 +214,10 @@ pub fn theorem12_query() -> XqExpr {
         name: "result".into(),
         children: vec![XqExpr::If {
             cond: Cond::And(Box::new(forward), Box::new(backward)),
-            then: Box::new(XqExpr::Element { name: "true".into(), children: vec![] }),
+            then: Box::new(XqExpr::Element {
+                name: "true".into(),
+                children: vec![],
+            }),
             els: Box::new(XqExpr::Empty),
         }],
     }
@@ -224,7 +239,10 @@ mod tests {
     #[test]
     fn theorem12_query_on_equal_sets() {
         let inst = Instance::parse("01#10#10#01#").unwrap();
-        assert_eq!(run_theorem12(&inst).unwrap(), "<result><true/></result>".replace("<true/>", "<true></true>"));
+        assert_eq!(
+            run_theorem12(&inst).unwrap(),
+            "<result><true/></result>".replace("<true/>", "<true></true>")
+        );
     }
 
     #[test]
@@ -301,7 +319,10 @@ mod tests {
         };
         let wrap = |c: Cond| XqExpr::If {
             cond: c,
-            then: Box::new(XqExpr::Element { name: "t".into(), children: vec![] }),
+            then: Box::new(XqExpr::Element {
+                name: "t".into(),
+                children: vec![],
+            }),
             els: Box::new(XqExpr::Empty),
         };
         assert_eq!(evaluate(&wrap(every), &doc).unwrap().len(), 1);

@@ -131,9 +131,17 @@ impl<'a> P<'a> {
         }
         let body = Box::new(self.cond()?);
         Ok(if every {
-            Cond::Every { var, path, satisfies: body }
+            Cond::Every {
+                var,
+                path,
+                satisfies: body,
+            }
         } else {
-            Cond::Some_ { var, path, satisfies: body }
+            Cond::Some_ {
+                var,
+                path,
+                satisfies: body,
+            }
         })
     }
 
@@ -160,7 +168,9 @@ impl<'a> P<'a> {
                 return Ok(XqExpr::Empty);
             }
             self.pos = save;
-            return Err(self.err("unexpected '(' — only the empty sequence () is an expression here"));
+            return Err(
+                self.err("unexpected '(' — only the empty sequence () is an expression here")
+            );
         }
         if self.peek_str("<") {
             return self.element();
@@ -187,7 +197,10 @@ impl<'a> P<'a> {
         self.expect("<")?;
         let name = self.ident()?;
         if self.eat("/>") {
-            return Ok(XqExpr::Element { name, children: Vec::new() });
+            return Ok(XqExpr::Element {
+                name,
+                children: Vec::new(),
+            });
         }
         self.expect(">")?;
         let mut children = Vec::new();
@@ -258,11 +271,17 @@ mod tests {
     fn element_constructors() {
         assert_eq!(
             parse_xquery("<r></r>").unwrap(),
-            XqExpr::Element { name: "r".into(), children: vec![] }
+            XqExpr::Element {
+                name: "r".into(),
+                children: vec![]
+            }
         );
         assert_eq!(
             parse_xquery("<r/>").unwrap(),
-            XqExpr::Element { name: "r".into(), children: vec![] }
+            XqExpr::Element {
+                name: "r".into(),
+                children: vec![]
+            }
         );
         let nested = parse_xquery("<a><b/><c/></a>").unwrap();
         match nested {
@@ -282,33 +301,49 @@ mod tests {
 
     #[test]
     fn conjunctions_are_left_associative() {
-        let q = parse_xquery("<r>if ($a = $b and $c = $d and $e = $f) then <t/> else ()</r>")
-            .unwrap();
-        let XqExpr::Element { children, .. } = q else { panic!() };
-        let XqExpr::If { cond, .. } = &children[0] else { panic!() };
+        let q =
+            parse_xquery("<r>if ($a = $b and $c = $d and $e = $f) then <t/> else ()</r>").unwrap();
+        let XqExpr::Element { children, .. } = q else {
+            panic!()
+        };
+        let XqExpr::If { cond, .. } = &children[0] else {
+            panic!()
+        };
         // ((a=b and c=d) and e=f)
-        let Cond::And(l, _) = cond else { panic!("top is not And") };
+        let Cond::And(l, _) = cond else {
+            panic!("top is not And")
+        };
         assert!(matches!(**l, Cond::And(_, _)));
     }
 
     #[test]
     fn parse_errors() {
         assert!(parse_xquery("<a></b>").is_err(), "mismatched tags");
-        assert!(parse_xquery("if ($x = $y) then <t/>").is_err(), "missing else");
+        assert!(
+            parse_xquery("if ($x = $y) then <t/>").is_err(),
+            "missing else"
+        );
         assert!(parse_xquery("<r>every $x in satisfies $x = $x</r>").is_err());
-        assert!(parse_xquery("$x = $y").is_err(), "bare condition is not an expression");
+        assert!(
+            parse_xquery("$x = $y").is_err(),
+            "bare condition is not an expression"
+        );
         assert!(parse_xquery("<r/><r/>").is_err(), "trailing input");
     }
 
     #[test]
     fn quantifier_paths_parse() {
-        let q = parse_xquery(
-            "<r>if (some $v in /a/b/c satisfies $v = $v) then <t/> else ()</r>",
-        )
-        .unwrap();
-        let XqExpr::Element { children, .. } = q else { panic!() };
-        let XqExpr::If { cond, .. } = &children[0] else { panic!() };
-        let Cond::Some_ { path, .. } = cond else { panic!("not Some_") };
+        let q = parse_xquery("<r>if (some $v in /a/b/c satisfies $v = $v) then <t/> else ()</r>")
+            .unwrap();
+        let XqExpr::Element { children, .. } = q else {
+            panic!()
+        };
+        let XqExpr::If { cond, .. } = &children[0] else {
+            panic!()
+        };
+        let Cond::Some_ { path, .. } = cond else {
+            panic!("not Some_")
+        };
         assert_eq!(path.0, vec!["a".to_string(), "b".into(), "c".into()]);
     }
 }

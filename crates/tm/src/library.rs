@@ -50,13 +50,19 @@ pub fn parity_machine() -> Tm {
     let r0 = || vec![Move::R, Move::N];
     let keep = || vec![Wr::Keep, Wr::Keep];
     // even (start) state 0
-    b.rule(0, vec![Pat::Is(SYM_0), Pat::Any], 0, keep(), r0()).unwrap();
-    b.rule(0, vec![Pat::Is(SYM_1), Pat::Any], odd, keep(), r0()).unwrap();
-    b.rule(0, vec![Pat::Is(0), Pat::Any], acc, keep(), n()).unwrap();
+    b.rule(0, vec![Pat::Is(SYM_0), Pat::Any], 0, keep(), r0())
+        .unwrap();
+    b.rule(0, vec![Pat::Is(SYM_1), Pat::Any], odd, keep(), r0())
+        .unwrap();
+    b.rule(0, vec![Pat::Is(0), Pat::Any], acc, keep(), n())
+        .unwrap();
     // odd
-    b.rule(odd, vec![Pat::Is(SYM_0), Pat::Any], odd, keep(), r0()).unwrap();
-    b.rule(odd, vec![Pat::Is(SYM_1), Pat::Any], 0, keep(), r0()).unwrap();
-    b.rule(odd, vec![Pat::Is(0), Pat::Any], rej, keep(), n()).unwrap();
+    b.rule(odd, vec![Pat::Is(SYM_0), Pat::Any], odd, keep(), r0())
+        .unwrap();
+    b.rule(odd, vec![Pat::Is(SYM_1), Pat::Any], 0, keep(), r0())
+        .unwrap();
+    b.rule(odd, vec![Pat::Is(0), Pat::Any], rej, keep(), n())
+        .unwrap();
     b.build()
 }
 
@@ -72,8 +78,10 @@ pub fn coin_flip_machine() -> Tm {
     b.finalize(rej, false);
     // Two exact transitions on every symbol we care about; use a rule pair
     // with Any so the machine works on all inputs.
-    b.rule(0, vec![Pat::Any], acc, vec![Wr::Keep], vec![Move::N]).unwrap();
-    b.rule(0, vec![Pat::Any], rej, vec![Wr::Keep], vec![Move::N]).unwrap();
+    b.rule(0, vec![Pat::Any], acc, vec![Wr::Keep], vec![Move::N])
+        .unwrap();
+    b.rule(0, vec![Pat::Any], rej, vec![Wr::Keep], vec![Move::N])
+        .unwrap();
     b.build()
 }
 
@@ -83,7 +91,8 @@ pub fn coin_flip_machine() -> Tm {
 #[must_use]
 pub fn diverging_machine() -> Tm {
     let mut b = TmBuilder::new("diverging", 1, 0);
-    b.rule(0, vec![Pat::Any], 0, vec![Wr::Keep], vec![Move::R]).unwrap();
+    b.rule(0, vec![Pat::Any], 0, vec![Wr::Keep], vec![Move::R])
+        .unwrap();
     b.build()
 }
 
@@ -97,7 +106,8 @@ pub fn ping_pong_machine(cycles: u16) -> Tm {
     let acc = b.state();
     b.finalize(acc, true);
     if cycles == 0 {
-        b.rule(0, vec![Pat::Any], acc, vec![Wr::Keep], vec![Move::N]).unwrap();
+        b.rule(0, vec![Pat::Any], acc, vec![Wr::Keep], vec![Move::N])
+            .unwrap();
         return b.build();
     }
     // State 0 marks cell 0 and enters the first rightward sweep.
@@ -107,16 +117,55 @@ pub fn ping_pong_machine(cycles: u16) -> Tm {
         right.push(b.state());
         left.push(b.state());
     }
-    b.rule(0, vec![Pat::Any], right[0], vec![Wr::Put(MARK)], vec![Move::R]).unwrap();
+    b.rule(
+        0,
+        vec![Pat::Any],
+        right[0],
+        vec![Wr::Put(MARK)],
+        vec![Move::R],
+    )
+    .unwrap();
     for j in 0..cycles as usize {
         // Sweep right until blank…
-        b.rule(right[j], vec![Pat::Not(0)], right[j], vec![Wr::Keep], vec![Move::R]).unwrap();
+        b.rule(
+            right[j],
+            vec![Pat::Not(0)],
+            right[j],
+            vec![Wr::Keep],
+            vec![Move::R],
+        )
+        .unwrap();
         // …then turn (reversal #2j+1) and sweep left until the marker…
-        b.rule(right[j], vec![Pat::Is(0)], left[j], vec![Wr::Keep], vec![Move::L]).unwrap();
-        b.rule(left[j], vec![Pat::Not(MARK)], left[j], vec![Wr::Keep], vec![Move::L]).unwrap();
+        b.rule(
+            right[j],
+            vec![Pat::Is(0)],
+            left[j],
+            vec![Wr::Keep],
+            vec![Move::L],
+        )
+        .unwrap();
+        b.rule(
+            left[j],
+            vec![Pat::Not(MARK)],
+            left[j],
+            vec![Wr::Keep],
+            vec![Move::L],
+        )
+        .unwrap();
         // …then turn again (reversal #2j+2).
-        let next: State = if j + 1 < cycles as usize { right[j + 1] } else { acc };
-        b.rule(left[j], vec![Pat::Is(MARK)], next, vec![Wr::Keep], vec![Move::R]).unwrap();
+        let next: State = if j + 1 < cycles as usize {
+            right[j + 1]
+        } else {
+            acc
+        };
+        b.rule(
+            left[j],
+            vec![Pat::Is(MARK)],
+            next,
+            vec![Wr::Keep],
+            vec![Move::R],
+        )
+        .unwrap();
     }
     b.build()
 }
@@ -131,21 +180,47 @@ pub fn copy_machine() -> Tm {
     b.finalize(acc, true);
     for x in [SYM_0, SYM_1, SYM_HASH] {
         // Write the symbol on tape 1 and advance tape 1…
-        b.rule(0, vec![Pat::Is(x), Pat::Any], step2, vec![Wr::Keep, Wr::Put(x)], vec![Move::N, Move::R])
-            .unwrap();
+        b.rule(
+            0,
+            vec![Pat::Is(x), Pat::Any],
+            step2,
+            vec![Wr::Keep, Wr::Put(x)],
+            vec![Move::N, Move::R],
+        )
+        .unwrap();
     }
     // …then advance tape 0.
-    b.rule(step2, vec![Pat::Any, Pat::Any], 0, vec![Wr::Keep, Wr::Keep], vec![Move::R, Move::N])
-        .unwrap();
-    b.rule(0, vec![Pat::Is(0), Pat::Any], acc, vec![Wr::Keep, Wr::Keep], vec![Move::N, Move::N])
-        .unwrap();
+    b.rule(
+        step2,
+        vec![Pat::Any, Pat::Any],
+        0,
+        vec![Wr::Keep, Wr::Keep],
+        vec![Move::R, Move::N],
+    )
+    .unwrap();
+    b.rule(
+        0,
+        vec![Pat::Is(0), Pat::Any],
+        acc,
+        vec![Wr::Keep, Wr::Keep],
+        vec![Move::N, Move::N],
+    )
+    .unwrap();
     b.build()
 }
 
 /// Internal: build the string-equality machine, optionally prefixed by a
 /// fair coin flip (tails → immediate reject).
 fn strings_equal_inner(with_coin: bool) -> Tm {
-    let mut b = TmBuilder::new(if with_coin { "rand-strings-equal" } else { "strings-equal" }, 2, 0);
+    let mut b = TmBuilder::new(
+        if with_coin {
+            "rand-strings-equal"
+        } else {
+            "strings-equal"
+        },
+        2,
+        0,
+    );
     let acc = b.state();
     let rej = b.state();
     b.finalize(acc, true);
@@ -163,44 +238,73 @@ fn strings_equal_inner(with_coin: bool) -> Tm {
     let l1 = || vec![Move::N, Move::L];
 
     if with_coin {
-        b.rule(0, vec![Pat::Any, Pat::Any], mark, keep(), n()).unwrap();
-        b.rule(0, vec![Pat::Any, Pat::Any], rej, keep(), n()).unwrap();
+        b.rule(0, vec![Pat::Any, Pat::Any], mark, keep(), n())
+            .unwrap();
+        b.rule(0, vec![Pat::Any, Pat::Any], rej, keep(), n())
+            .unwrap();
     } else {
-        b.rule(0, vec![Pat::Any, Pat::Any], mark, keep(), n()).unwrap();
-    }
-    // Mark the left end of tape 1.
-    b.rule(mark, vec![Pat::Any, Pat::Any], copy_a, vec![Wr::Keep, Wr::Put(MARK)], r1()).unwrap();
-    // Copy v (bits before the first '#') onto tape 1.
-    for x in [SYM_0, SYM_1] {
-        b.rule(copy_a, vec![Pat::Is(x), Pat::Any], copy_b, vec![Wr::Keep, Wr::Put(x)], r1())
+        b.rule(0, vec![Pat::Any, Pat::Any], mark, keep(), n())
             .unwrap();
     }
-    b.rule(copy_b, vec![Pat::Any, Pat::Any], copy_a, keep(), r0()).unwrap();
+    // Mark the left end of tape 1.
+    b.rule(
+        mark,
+        vec![Pat::Any, Pat::Any],
+        copy_a,
+        vec![Wr::Keep, Wr::Put(MARK)],
+        r1(),
+    )
+    .unwrap();
+    // Copy v (bits before the first '#') onto tape 1.
+    for x in [SYM_0, SYM_1] {
+        b.rule(
+            copy_a,
+            vec![Pat::Is(x), Pat::Any],
+            copy_b,
+            vec![Wr::Keep, Wr::Put(x)],
+            r1(),
+        )
+        .unwrap();
+    }
+    b.rule(copy_b, vec![Pat::Any, Pat::Any], copy_a, keep(), r0())
+        .unwrap();
     // On '#': advance past it and start rewinding tape 1.
-    b.rule(copy_a, vec![Pat::Is(SYM_HASH), Pat::Any], rew, keep(), r0()).unwrap();
+    b.rule(copy_a, vec![Pat::Is(SYM_HASH), Pat::Any], rew, keep(), r0())
+        .unwrap();
     // Malformed input (blank before '#'): reject.
-    b.rule(copy_a, vec![Pat::Is(0), Pat::Any], rej, keep(), n()).unwrap();
+    b.rule(copy_a, vec![Pat::Is(0), Pat::Any], rej, keep(), n())
+        .unwrap();
     // Rewind tape 1 to the marker, then step right onto v's first symbol.
-    b.rule(rew, vec![Pat::Any, Pat::Not(MARK)], rew, keep(), l1()).unwrap();
-    b.rule(rew, vec![Pat::Any, Pat::Is(MARK)], cmp_a, keep(), r1()).unwrap();
+    b.rule(rew, vec![Pat::Any, Pat::Not(MARK)], rew, keep(), l1())
+        .unwrap();
+    b.rule(rew, vec![Pat::Any, Pat::Is(MARK)], cmp_a, keep(), r1())
+        .unwrap();
     // Compare w (after '#') with the copy of v.
     for x in [SYM_0, SYM_1] {
-        b.rule(cmp_a, vec![Pat::Is(x), Pat::Is(x)], cmp_b, keep(), r0()).unwrap();
+        b.rule(cmp_a, vec![Pat::Is(x), Pat::Is(x)], cmp_b, keep(), r0())
+            .unwrap();
         // Mismatched bit:
         let other = if x == SYM_0 { SYM_1 } else { SYM_0 };
-        b.rule(cmp_a, vec![Pat::Is(x), Pat::Is(other)], rej, keep(), n()).unwrap();
+        b.rule(cmp_a, vec![Pat::Is(x), Pat::Is(other)], rej, keep(), n())
+            .unwrap();
         // Length mismatches:
-        b.rule(cmp_a, vec![Pat::Is(x), Pat::Is(0)], rej, keep(), n()).unwrap();
-        b.rule(cmp_a, vec![Pat::Is(0), Pat::Is(x)], rej, keep(), n()).unwrap();
+        b.rule(cmp_a, vec![Pat::Is(x), Pat::Is(0)], rej, keep(), n())
+            .unwrap();
+        b.rule(cmp_a, vec![Pat::Is(0), Pat::Is(x)], rej, keep(), n())
+            .unwrap();
     }
-    b.rule(cmp_b, vec![Pat::Any, Pat::Any], cmp_a, keep(), r1()).unwrap();
+    b.rule(cmp_b, vec![Pat::Any, Pat::Any], cmp_a, keep(), r1())
+        .unwrap();
     // w runs into a '#' while v still has bits: lengths differ.
     for x in [SYM_0, SYM_1] {
-        b.rule(cmp_a, vec![Pat::Is(SYM_HASH), Pat::Is(x)], rej, keep(), n()).unwrap();
+        b.rule(cmp_a, vec![Pat::Is(SYM_HASH), Pat::Is(x)], rej, keep(), n())
+            .unwrap();
     }
     // Both exhausted (tape 0 on trailing '#' or blank, tape 1 on blank).
-    b.rule(cmp_a, vec![Pat::Is(SYM_HASH), Pat::Is(0)], acc, keep(), n()).unwrap();
-    b.rule(cmp_a, vec![Pat::Is(0), Pat::Is(0)], acc, keep(), n()).unwrap();
+    b.rule(cmp_a, vec![Pat::Is(SYM_HASH), Pat::Is(0)], acc, keep(), n())
+        .unwrap();
+    b.rule(cmp_a, vec![Pat::Is(0), Pat::Is(0)], acc, keep(), n())
+        .unwrap();
     b.build()
 }
 
@@ -234,12 +338,30 @@ pub fn guess_bit_machine() -> Tm {
     b.finalize(rej, false);
     let g0 = b.state();
     let g1 = b.state();
-    b.rule(0, vec![Pat::Any], g0, vec![Wr::Keep], vec![Move::N]).unwrap();
-    b.rule(0, vec![Pat::Any], g1, vec![Wr::Keep], vec![Move::N]).unwrap();
-    b.rule(g0, vec![Pat::Is(SYM_0)], acc, vec![Wr::Keep], vec![Move::N]).unwrap();
-    b.rule(g0, vec![Pat::Not(SYM_0)], rej, vec![Wr::Keep], vec![Move::N]).unwrap();
-    b.rule(g1, vec![Pat::Is(SYM_1)], acc, vec![Wr::Keep], vec![Move::N]).unwrap();
-    b.rule(g1, vec![Pat::Not(SYM_1)], rej, vec![Wr::Keep], vec![Move::N]).unwrap();
+    b.rule(0, vec![Pat::Any], g0, vec![Wr::Keep], vec![Move::N])
+        .unwrap();
+    b.rule(0, vec![Pat::Any], g1, vec![Wr::Keep], vec![Move::N])
+        .unwrap();
+    b.rule(g0, vec![Pat::Is(SYM_0)], acc, vec![Wr::Keep], vec![Move::N])
+        .unwrap();
+    b.rule(
+        g0,
+        vec![Pat::Not(SYM_0)],
+        rej,
+        vec![Wr::Keep],
+        vec![Move::N],
+    )
+    .unwrap();
+    b.rule(g1, vec![Pat::Is(SYM_1)], acc, vec![Wr::Keep], vec![Move::N])
+        .unwrap();
+    b.rule(
+        g1,
+        vec![Pat::Not(SYM_1)],
+        rej,
+        vec![Wr::Keep],
+        vec![Move::N],
+    )
+    .unwrap();
     b.build()
 }
 
@@ -264,7 +386,10 @@ mod tests {
         let tm = copy_machine();
         let r = run_deterministic(&tm, encode("0110#1"), 10_000).unwrap();
         assert!(r.accepted());
-        assert_eq!(r.final_config.tapes[1].content(), encode("0110#1").as_slice());
+        assert_eq!(
+            r.final_config.tapes[1].content(),
+            encode("0110#1").as_slice()
+        );
         // One scan per tape.
         assert_eq!(r.usage.scans(), 1);
     }
@@ -309,7 +434,10 @@ mod tests {
             }
         })
         .unwrap();
-        assert!((p_yes - 0.5).abs() < 1e-12, "yes-instance accepted w.p. {p_yes}");
+        assert!(
+            (p_yes - 0.5).abs() < 1e-12,
+            "yes-instance accepted w.p. {p_yes}"
+        );
         let mut p_no = 0.0;
         enumerate_runs(&tm, encode("010#011"), 100_000, &mut |r, p| {
             if r.accepted() {

@@ -188,7 +188,11 @@ impl Tm {
         for ((q, syms), ts) in &self.exact {
             let ts2: Vec<Transition> = ts
                 .iter()
-                .map(|t| Transition { next: shift(t.next), writes: t.writes.clone(), moves: t.moves.clone() })
+                .map(|t| Transition {
+                    next: shift(t.next),
+                    writes: t.writes.clone(),
+                    moves: t.moves.clone(),
+                })
                 .collect();
             exact.insert((shift(*q), syms.clone()), ts2);
         }
@@ -220,7 +224,8 @@ impl Tm {
             writes: vec![Wr::Keep; k],
             moves: vec![Move::N; k],
         });
-        let mut final_states: BTreeSet<State> = self.final_states.iter().map(|&q| shift(q)).collect();
+        let mut final_states: BTreeSet<State> =
+            self.final_states.iter().map(|&q| shift(q)).collect();
         final_states.insert(reject);
         let accepting_states: BTreeSet<State> =
             self.accepting_states.iter().map(|&q| shift(q)).collect();
@@ -339,13 +344,19 @@ impl TmBuilder {
     ) -> Result<&mut Self, StError> {
         self.check_shape(writes.len(), &moves)?;
         if self.tm.final_states.contains(&state) {
-            return Err(StError::Machine(format!("state {state} is final; no outgoing transitions")));
+            return Err(StError::Machine(format!(
+                "state {state} is final; no outgoing transitions"
+            )));
         }
         self.tm
             .exact
             .entry((state, syms))
             .or_default()
-            .push(Transition { next, writes, moves });
+            .push(Transition {
+                next,
+                writes,
+                moves,
+            });
         Ok(self)
     }
 
@@ -363,9 +374,17 @@ impl TmBuilder {
             return Err(StError::Machine("pattern arity mismatch".into()));
         }
         if self.tm.final_states.contains(&state) {
-            return Err(StError::Machine(format!("state {state} is final; no outgoing transitions")));
+            return Err(StError::Machine(format!(
+                "state {state} is final; no outgoing transitions"
+            )));
         }
-        self.tm.rules.push(Rule { state, pats, next, writes, moves });
+        self.tm.rules.push(Rule {
+            state,
+            pats,
+            next,
+            writes,
+            moves,
+        });
         Ok(self)
     }
 
@@ -405,13 +424,17 @@ mod tests {
         let mut b = tiny();
         let acc = b.state();
         b.finalize(acc, true);
-        b.exact(0, vec![1, 0], acc, vec![1, 0], vec![Move::R, Move::N]).unwrap();
+        b.exact(0, vec![1, 0], acc, vec![1, 0], vec![Move::R, Move::N])
+            .unwrap();
         let tm = b.build();
         let succ = tm.successors(0, &[1, 0]);
         assert_eq!(succ.len(), 1);
         assert_eq!(succ[0].next, acc);
         assert!(tm.successors(0, &[2, 0]).is_empty());
-        assert!(tm.successors(acc, &[1, 0]).is_empty(), "final states have no successors");
+        assert!(
+            tm.successors(acc, &[1, 0]).is_empty(),
+            "final states have no successors"
+        );
     }
 
     #[test]
@@ -419,28 +442,40 @@ mod tests {
         let mut b = tiny();
         let q = b.state();
         // From state 0, on any non-blank symbol, keep it and move right.
-        b.rule(0, vec![Pat::Not(0), Pat::Any], q, vec![Wr::Keep, Wr::Keep], vec![Move::R, Move::N])
-            .unwrap();
+        b.rule(
+            0,
+            vec![Pat::Not(0), Pat::Any],
+            q,
+            vec![Wr::Keep, Wr::Keep],
+            vec![Move::R, Move::N],
+        )
+        .unwrap();
         let tm = b.build();
         let s = tm.successors(0, &[7, 3]);
         assert_eq!(s.len(), 1);
         assert_eq!(s[0].writes, vec![7, 3], "Keep preserves read symbols");
-        assert!(tm.successors(0, &[0, 3]).is_empty(), "Not(0) must reject blank");
+        assert!(
+            tm.successors(0, &[0, 3]).is_empty(),
+            "Not(0) must reject blank"
+        );
     }
 
     #[test]
     fn nondeterminism_detection() {
         let mut b = tiny();
         let q = b.state();
-        b.exact(0, vec![1, 0], q, vec![1, 0], vec![Move::R, Move::N]).unwrap();
-        b.exact(0, vec![1, 0], q, vec![2, 0], vec![Move::R, Move::N]).unwrap();
+        b.exact(0, vec![1, 0], q, vec![1, 0], vec![Move::R, Move::N])
+            .unwrap();
+        b.exact(0, vec![1, 0], q, vec![2, 0], vec![Move::R, Move::N])
+            .unwrap();
         let tm = b.build();
         assert!(!tm.is_syntactically_deterministic());
         assert_eq!(tm.successors(0, &[1, 0]).len(), 2);
 
         let mut b = tiny();
         let q = b.state();
-        b.exact(0, vec![1, 0], q, vec![1, 0], vec![Move::R, Move::N]).unwrap();
+        b.exact(0, vec![1, 0], q, vec![1, 0], vec![Move::R, Move::N])
+            .unwrap();
         let tm = b.build();
         assert!(tm.is_syntactically_deterministic());
     }
@@ -449,10 +484,22 @@ mod tests {
     fn duplicate_rule_instantiations_are_deduplicated() {
         let mut b = tiny();
         let q = b.state();
-        b.rule(0, vec![Pat::Any, Pat::Any], q, vec![Wr::Keep, Wr::Keep], vec![Move::R, Move::N])
-            .unwrap();
-        b.rule(0, vec![Pat::Is(1), Pat::Any], q, vec![Wr::Keep, Wr::Keep], vec![Move::R, Move::N])
-            .unwrap();
+        b.rule(
+            0,
+            vec![Pat::Any, Pat::Any],
+            q,
+            vec![Wr::Keep, Wr::Keep],
+            vec![Move::R, Move::N],
+        )
+        .unwrap();
+        b.rule(
+            0,
+            vec![Pat::Is(1), Pat::Any],
+            q,
+            vec![Wr::Keep, Wr::Keep],
+            vec![Move::R, Move::N],
+        )
+        .unwrap();
         let tm = b.build();
         // Both rules match (1, 0) and instantiate identically → one successor.
         assert_eq!(tm.successors(0, &[1, 0]).len(), 1);
@@ -479,9 +526,15 @@ mod tests {
     fn coin_prefix_composes() {
         use crate::library;
         use crate::prob::exact_acceptance;
-        let rtm = library::parity_machine().with_coin_prefix().with_coin_prefix();
+        let rtm = library::parity_machine()
+            .with_coin_prefix()
+            .with_coin_prefix();
         let p = exact_acceptance(&rtm, library::encode("11"), 10_000).unwrap();
-        assert!((p.accept - 0.25).abs() < 1e-12, "two coins → ¼, got {}", p.accept);
+        assert!(
+            (p.accept - 0.25).abs() < 1e-12,
+            "two coins → ¼, got {}",
+            p.accept
+        );
     }
 
     #[test]
@@ -489,9 +542,17 @@ mod tests {
         let mut b = tiny();
         let f = b.state();
         b.finalize(f, false);
-        assert!(b.exact(f, vec![0, 0], 0, vec![0, 0], vec![Move::N, Move::N]).is_err());
         assert!(b
-            .rule(f, vec![Pat::Any, Pat::Any], 0, vec![Wr::Keep, Wr::Keep], vec![Move::N, Move::N])
+            .exact(f, vec![0, 0], 0, vec![0, 0], vec![Move::N, Move::N])
+            .is_err());
+        assert!(b
+            .rule(
+                f,
+                vec![Pat::Any, Pat::Any],
+                0,
+                vec![Wr::Keep, Wr::Keep],
+                vec![Move::N, Move::N]
+            )
             .is_err());
     }
 }

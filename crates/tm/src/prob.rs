@@ -42,7 +42,11 @@ pub fn exact_acceptance(
         RunOutcome::Reject | RunOutcome::Jam => rej += p,
         RunOutcome::StepLimit => unres += p,
     })?;
-    Ok(AcceptanceProbability { accept: acc, reject: rej, unresolved: unres })
+    Ok(AcceptanceProbability {
+        accept: acc,
+        reject: rej,
+        unresolved: unres,
+    })
 }
 
 /// A Monte-Carlo acceptance estimate with a 95% Wilson interval.
@@ -90,7 +94,10 @@ pub fn estimate_acceptance(
                 Ok(acc)
             }));
         }
-        handles.into_iter().map(|h| h.join().expect("sampler thread panicked")).collect()
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("sampler thread panicked"))
+            .collect()
     })
     .expect("crossbeam scope failed");
 
@@ -98,8 +105,17 @@ pub fn estimate_acceptance(
     for c in counts {
         accepted += c?;
     }
-    let p_hat = if trials == 0 { 0.0 } else { accepted as f64 / trials as f64 };
-    Ok(AcceptanceEstimate { accepted, trials, p_hat, interval: wilson_interval(accepted, trials) })
+    let p_hat = if trials == 0 {
+        0.0
+    } else {
+        accepted as f64 / trials as f64
+    };
+    Ok(AcceptanceEstimate {
+        accepted,
+        trials,
+        p_hat,
+        interval: wilson_interval(accepted, trials),
+    })
 }
 
 #[cfg(test)]
@@ -137,7 +153,9 @@ mod tests {
     fn estimate_matches_exact_within_interval() {
         let tm = library::randomized_strings_equal_machine();
         let input = library::encode("0110#0110");
-        let exact = exact_acceptance(&tm, input.clone(), 100_000).unwrap().accept;
+        let exact = exact_acceptance(&tm, input.clone(), 100_000)
+            .unwrap()
+            .accept;
         let est = estimate_acceptance(&tm, &input, 4000, 100_000, 42, 4).unwrap();
         assert!(
             est.interval.0 <= exact && exact <= est.interval.1,

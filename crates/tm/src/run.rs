@@ -33,7 +33,11 @@ impl Config {
         for _ in 1..tm.tapes() {
             tapes.push(TmTape::new());
         }
-        Config { state: 0, tapes, steps: 0 }
+        Config {
+            state: 0,
+            tapes,
+            steps: 0,
+        }
     }
 
     /// Symbols under all heads.
@@ -112,20 +116,35 @@ pub fn run_deterministic(tm: &Tm, input: Vec<Sym>, max_steps: u64) -> Result<Run
     let mut cfg = Config::initial(tm, input);
     loop {
         if tm.is_final(cfg.state) {
-            let outcome =
-                if tm.is_accepting(cfg.state) { RunOutcome::Accept } else { RunOutcome::Reject };
+            let outcome = if tm.is_accepting(cfg.state) {
+                RunOutcome::Accept
+            } else {
+                RunOutcome::Reject
+            };
             let usage = cfg.usage(tm, input_len);
-            return Ok(RunResult { outcome, usage, final_config: cfg });
+            return Ok(RunResult {
+                outcome,
+                usage,
+                final_config: cfg,
+            });
         }
         if cfg.steps >= max_steps {
             let usage = cfg.usage(tm, input_len);
-            return Ok(RunResult { outcome: RunOutcome::StepLimit, usage, final_config: cfg });
+            return Ok(RunResult {
+                outcome: RunOutcome::StepLimit,
+                usage,
+                final_config: cfg,
+            });
         }
         let succ = tm.successors(cfg.state, &cfg.reads());
         match succ.len() {
             0 => {
                 let usage = cfg.usage(tm, input_len);
-                return Ok(RunResult { outcome: RunOutcome::Jam, usage, final_config: cfg });
+                return Ok(RunResult {
+                    outcome: RunOutcome::Jam,
+                    usage,
+                    final_config: cfg,
+                });
             }
             1 => cfg.apply(&succ[0])?,
             n => {
@@ -151,19 +170,34 @@ pub fn run_sampled<R: Rng>(
     let mut cfg = Config::initial(tm, input);
     loop {
         if tm.is_final(cfg.state) {
-            let outcome =
-                if tm.is_accepting(cfg.state) { RunOutcome::Accept } else { RunOutcome::Reject };
+            let outcome = if tm.is_accepting(cfg.state) {
+                RunOutcome::Accept
+            } else {
+                RunOutcome::Reject
+            };
             let usage = cfg.usage(tm, input_len);
-            return Ok(RunResult { outcome, usage, final_config: cfg });
+            return Ok(RunResult {
+                outcome,
+                usage,
+                final_config: cfg,
+            });
         }
         if cfg.steps >= max_steps {
             let usage = cfg.usage(tm, input_len);
-            return Ok(RunResult { outcome: RunOutcome::StepLimit, usage, final_config: cfg });
+            return Ok(RunResult {
+                outcome: RunOutcome::StepLimit,
+                usage,
+                final_config: cfg,
+            });
         }
         let succ = tm.successors(cfg.state, &cfg.reads());
         if succ.is_empty() {
             let usage = cfg.usage(tm, input_len);
-            return Ok(RunResult { outcome: RunOutcome::Jam, usage, final_config: cfg });
+            return Ok(RunResult {
+                outcome: RunOutcome::Jam,
+                usage,
+                final_config: cfg,
+            });
         }
         let pick = rng.gen_range(0..succ.len());
         cfg.apply(&succ[pick])?;
@@ -185,21 +219,45 @@ pub fn enumerate_runs(
     let mut stack: Vec<(Config, f64)> = vec![(cfg, 1.0)];
     while let Some((cfg, p)) = stack.pop() {
         if tm.is_final(cfg.state) {
-            let outcome =
-                if tm.is_accepting(cfg.state) { RunOutcome::Accept } else { RunOutcome::Reject };
+            let outcome = if tm.is_accepting(cfg.state) {
+                RunOutcome::Accept
+            } else {
+                RunOutcome::Reject
+            };
             let usage = cfg.usage(tm, input_len);
-            visit(&RunResult { outcome, usage, final_config: cfg }, p);
+            visit(
+                &RunResult {
+                    outcome,
+                    usage,
+                    final_config: cfg,
+                },
+                p,
+            );
             continue;
         }
         if cfg.steps >= max_steps {
             let usage = cfg.usage(tm, input_len);
-            visit(&RunResult { outcome: RunOutcome::StepLimit, usage, final_config: cfg }, p);
+            visit(
+                &RunResult {
+                    outcome: RunOutcome::StepLimit,
+                    usage,
+                    final_config: cfg,
+                },
+                p,
+            );
             continue;
         }
         let succ = tm.successors(cfg.state, &cfg.reads());
         if succ.is_empty() {
             let usage = cfg.usage(tm, input_len);
-            visit(&RunResult { outcome: RunOutcome::Jam, usage, final_config: cfg }, p);
+            visit(
+                &RunResult {
+                    outcome: RunOutcome::Jam,
+                    usage,
+                    final_config: cfg,
+                },
+                p,
+            );
             continue;
         }
         let share = p / succ.len() as f64;

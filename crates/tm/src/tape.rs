@@ -27,13 +27,25 @@ impl TmTape {
     /// A blank tape, head on cell 0.
     #[must_use]
     pub fn new() -> Self {
-        TmTape { cells: Vec::new(), head: 0, last_dir: 0, reversals: 0, visited: 1 }
+        TmTape {
+            cells: Vec::new(),
+            head: 0,
+            last_dir: 0,
+            reversals: 0,
+            visited: 1,
+        }
     }
 
     /// A tape holding `content`, head on cell 0.
     #[must_use]
     pub fn with_content(content: Vec<Sym>) -> Self {
-        TmTape { cells: content, head: 0, last_dir: 0, reversals: 0, visited: 1 }
+        TmTape {
+            cells: content,
+            head: 0,
+            last_dir: 0,
+            reversals: 0,
+            visited: 1,
+        }
     }
 
     /// The symbol under the head (`□` when on an unwritten cell).

@@ -29,9 +29,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let rtm = det.with_coin_prefix();
     let yes = encode("0101#0101");
     let p = exact_acceptance(&rtm, yes.clone(), 1 << 20)?;
-    println!("coin(strings-equal) on a yes-instance: Pr[accept] = {:.3}", p.accept);
+    println!(
+        "coin(strings-equal) on a yes-instance: Pr[accept] = {:.3}",
+        p.accept
+    );
     let p_no = exact_acceptance(&rtm, encode("0101#0100"), 1 << 20)?;
-    println!("…and on a no-instance:                Pr[accept] = {:.3}", p_no.accept);
+    println!(
+        "…and on a no-instance:                Pr[accept] = {:.3}",
+        p_no.accept
+    );
 
     // --- 2. OR-amplify the completeness. --------------------------------
     let mut rng = StdRng::seed_from_u64(9);

@@ -13,7 +13,10 @@ use st_lab::problems::generate;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("external merge sort (3 tapes): reversals vs N\n");
-    println!("{:>8} {:>12} {:>14} {:>12}", "m", "N", "reversals", "12·log₂N");
+    println!(
+        "{:>8} {:>12} {:>14} {:>12}",
+        "m", "N", "reversals", "12·log₂N"
+    );
     for logm in 4..=14 {
         let m = 1usize << logm;
         let items: Vec<u64> = (0..m as u64).rev().collect();
@@ -31,8 +34,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("\nCHECK-SORT via sorting (the Corollary 10 reduction):");
     let mut rng = StdRng::seed_from_u64(1);
     for (label, inst) in [
-        ("sorted copy (yes)", generate::yes_checksort(256, 12, &mut rng)),
-        ("sorted but wrong (no)", generate::no_checksort_sorted_but_wrong(256, 12, &mut rng)),
+        (
+            "sorted copy (yes)",
+            generate::yes_checksort(256, 12, &mut rng),
+        ),
+        (
+            "sorted but wrong (no)",
+            generate::no_checksort_sorted_but_wrong(256, 12, &mut rng),
+        ),
     ] {
         let (verdict, usage) = check_sort_via_sorting(&inst)?;
         println!(

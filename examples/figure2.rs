@@ -30,9 +30,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         3,
         5,
         vec![vec![
-            Movement { head_direction: -1, move_: false }, // list 1 turns
-            Movement { head_direction: 1, move_: true },   // list 2 steps right
-            Movement { head_direction: 1, move_: false },  // list 3 keeps facing right
+            Movement {
+                head_direction: -1,
+                move_: false,
+            }, // list 1 turns
+            Movement {
+                head_direction: 1,
+                move_: true,
+            }, // list 2 steps right
+            Movement {
+                head_direction: 1,
+                move_: false,
+            }, // list 3 keeps facing right
         ]],
     );
     let mut cfg = LmConfig::initial(&fig, &[1, 2, 3, 4, 5]);

@@ -25,7 +25,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let res = find_fooling_input(&nlm, &fam, &mut rng, 24)?;
 
     println!("\npinned skeleton group size: {}", res.group_size);
-    println!("uncompared index i₀ = {} (pair ({}, {}) never co-visible)", res.i0, res.i0, m + phi(m)[res.i0]);
+    println!(
+        "uncompared index i₀ = {} (pair ({}, {}) never co-visible)",
+        res.i0,
+        res.i0,
+        m + phi(m)[res.i0]
+    );
     println!("\naccepted yes-instance v: {:?}", res.v);
     println!("accepted yes-instance w: {:?}", res.w);
     println!("spliced input u        : {:?}", res.u);

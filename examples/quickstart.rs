@@ -22,25 +22,46 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // --- Theorem 8(a): the randomized fingerprint, co-RST(2, O(log N), 1).
     let run = fingerprint::decide_multiset_equality(&inst, &mut rng)?;
     println!("\nfingerprint (Theorem 8a):");
-    println!("  verdict:  {}", if run.accepted { "equal" } else { "NOT equal" });
+    println!(
+        "  verdict:  {}",
+        if run.accepted { "equal" } else { "NOT equal" }
+    );
     println!("  scans:    {} (budget: 2)", run.usage.scans());
-    println!("  internal: {} bits (budget: O(log N))", run.usage.internal_space);
-    println!("  sampled:  p1 = {}, p2 = {}, x = {}", run.params.p1, run.params.p2, run.params.x);
+    println!(
+        "  internal: {} bits (budget: O(log N))",
+        run.usage.internal_space
+    );
+    println!(
+        "  sampled:  p1 = {}, p2 = {}, x = {}",
+        run.params.p1, run.params.p2, run.params.x
+    );
     let class = ClassSpec::theorem8a();
-    println!("  class {class}: within bounds = {}", class.check_usage(&run.usage).within_bounds());
+    println!(
+        "  class {class}: within bounds = {}",
+        class.check_usage(&run.usage).within_bounds()
+    );
 
     // --- Corollary 7: the deterministic sort-based decider, Θ(log N) scans.
     let det = sortcheck::decide_multiset_equality(&inst)?;
     println!("\nmerge-sort decider (Corollary 7):");
-    println!("  verdict:  {}", if det.accepted { "equal" } else { "NOT equal" });
+    println!(
+        "  verdict:  {}",
+        if det.accepted { "equal" } else { "NOT equal" }
+    );
     println!("  scans:    {} (Θ(log N))", det.usage.scans());
     println!("  internal: {} bits", det.usage.internal_space);
     let st = ClassSpec::st(
-        Bound::Log { mul: 16.0, add: 32.0 },
+        Bound::Log {
+            mul: 16.0,
+            add: 32.0,
+        },
         Bound::Const(512),
         TapeCount::Exactly(4),
     );
-    println!("  class {st}: within bounds = {}", st.check_usage(&det.usage).within_bounds());
+    println!(
+        "  class {st}: within bounds = {}",
+        st.check_usage(&det.usage).within_bounds()
+    );
 
     // --- And that gap is the paper: below Θ(log N) scans, a machine with
     // no false positives and sublinear memory cannot exist (Theorem 6).

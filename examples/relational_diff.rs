@@ -14,14 +14,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "R1".into(),
         Relation::new(
             1,
-            ["alice", "bob", "carol", "dave"].iter().map(|s| vec![(*s).to_string()]).collect(),
+            ["alice", "bob", "carol", "dave"]
+                .iter()
+                .map(|s| vec![(*s).to_string()])
+                .collect(),
         )?,
     );
     db.insert(
         "R2".into(),
         Relation::new(
             1,
-            ["bob", "carol", "dave", "erin"].iter().map(|s| vec![(*s).to_string()]).collect(),
+            ["bob", "carol", "dave", "erin"]
+                .iter()
+                .map(|s| vec![(*s).to_string()])
+                .collect(),
         )?,
     );
 

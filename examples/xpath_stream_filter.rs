@@ -20,7 +20,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let ctx = DocContext::new(&doc);
     let q = figure1_query();
     let selected = ctx.select(&q);
-    println!("Figure 1 query selects {} item(s) — the set X − Y:", selected.len());
+    println!(
+        "Figure 1 query selects {} item(s) — the set X − Y:",
+        selected.len()
+    );
     for node in &selected {
         println!("  <item> with string {:?}", node.string_value());
     }

@@ -45,7 +45,9 @@ fn cmd_generate(args: &[String]) -> Result<(), String> {
     let kind = args.first().ok_or("missing kind")?;
     let m = parse_num(args, 1, "m")?;
     let n = parse_num(args, 2, "n")?;
-    let seed = args.get(3).map_or(Ok(0u64), |s| s.parse().map_err(|_| "bad seed".to_string()))?;
+    let seed = args
+        .get(3)
+        .map_or(Ok(0u64), |s| s.parse().map_err(|_| "bad seed".to_string()))?;
     let mut rng = StdRng::seed_from_u64(seed);
     let inst = match kind.as_str() {
         "yes-multiset" => generate::yes_multiset(m, n, &mut rng),
@@ -77,8 +79,8 @@ fn cmd_solve(args: &[String]) -> Result<(), String> {
         ("multiset", "nst") => {
             let acc = nst::exists_certificate(&inst, false).map_err(|e| e.to_string())?;
             let id: Vec<usize> = (0..inst.m()).collect();
-            let r = nst::verify_multiset_certificate(&inst, &id, false)
-                .map_err(|e| e.to_string())?;
+            let r =
+                nst::verify_multiset_certificate(&inst, &id, false).map_err(|e| e.to_string())?;
             (acc, r.usage)
         }
         ("set", "sort") => {
@@ -112,7 +114,9 @@ fn cmd_fool(args: &[String]) -> Result<(), String> {
     use st_lab::problems::perm::phi;
     let m = parse_num(args, 0, "m")?;
     let n = parse_num(args, 1, "n")? as u32;
-    let seed = args.get(2).map_or(Ok(0u64), |s| s.parse().map_err(|_| "bad seed".to_string()))?;
+    let seed = args
+        .get(2)
+        .map_or(Ok(0u64), |s| s.parse().map_err(|_| "bad seed".to_string()))?;
     let fam = WordFamily::new(m, n).map_err(|e| e.to_string())?;
     let nlm = one_scan_matcher(m, phi(m));
     let mut rng = StdRng::seed_from_u64(seed);

@@ -15,7 +15,12 @@ fn fingerprint_witnesses_theorem8a_class() {
         let inst = generate::yes_multiset(1 << logm, 14, &mut rng);
         let run = fingerprint::decide_multiset_equality(&inst, &mut rng).unwrap();
         let check = spec.check_usage(&run.usage);
-        assert!(check.within_bounds(), "N={}: {:?}", inst.size(), check.violations);
+        assert!(
+            check.within_bounds(),
+            "N={}: {:?}",
+            inst.size(),
+            check.violations
+        );
     }
 }
 
@@ -38,7 +43,10 @@ fn sort_decider_witnesses_a_log_scan_class() {
     // scan budget is the Corollary 7 shape.
     let mut rng = StdRng::seed_from_u64(102);
     let spec = ClassSpec::st(
-        Bound::Log { mul: 16.0, add: 32.0 },
+        Bound::Log {
+            mul: 16.0,
+            add: 32.0,
+        },
         Bound::Const(512),
         TapeCount::Exactly(4),
     );
@@ -46,7 +54,12 @@ fn sort_decider_witnesses_a_log_scan_class() {
         let inst = generate::yes_multiset(1 << logm, 12, &mut rng);
         let run = sortcheck::decide_multiset_equality(&inst).unwrap();
         let check = spec.check_usage(&run.usage);
-        assert!(check.within_bounds(), "N={}: {:?}", inst.size(), check.violations);
+        assert!(
+            check.within_bounds(),
+            "N={}: {:?}",
+            inst.size(),
+            check.violations
+        );
     }
 }
 
@@ -58,7 +71,10 @@ fn error_side_semantics_match_measured_frequencies() {
     let p_yes = fingerprint::acceptance_frequency(&yes, 150, &mut rng).unwrap();
     let p_no = fingerprint::acceptance_frequency(&no, 300, &mut rng).unwrap();
     // The fingerprint decider is the co-RST side: never a false negative.
-    assert!(ErrorSide::NoFalseNegatives.admits(p_yes, p_no), "p_yes={p_yes}, p_no={p_no}");
+    assert!(
+        ErrorSide::NoFalseNegatives.admits(p_yes, p_no),
+        "p_yes={p_yes}, p_no={p_no}"
+    );
     // And it is NOT an RST-side machine (it does make false positives on
     // *some* instance; admitting would require p_no == 0 — tolerate the
     // rare sample where no false positive occurred).

@@ -16,7 +16,12 @@ use st_lab::tm::run::run_deterministic;
 #[test]
 fn tm_nlm_and_algorithms_agree_on_string_equality() {
     let tm = tmlib::strings_equal_machine();
-    for (a, b) in [(0b1010u64, 0b1010u64), (0b1010, 0b1011), (0, 0), (0b1111, 0b0000)] {
+    for (a, b) in [
+        (0b1010u64, 0b1010u64),
+        (0b1010, 0b1011),
+        (0, 0),
+        (0b1111, 0b0000),
+    ] {
         let n = 4usize;
         // TM verdict.
         let tm_run = run_deterministic(&tm, tm_input_word(&[a, b], n), 1 << 20).unwrap();
@@ -52,13 +57,20 @@ fn all_deciders_agree_with_reference_semantics() {
         ] {
             let truth = predicates::is_multiset_equal(&inst);
             // Deterministic sort-based decider.
-            assert_eq!(sortcheck::decide_multiset_equality(&inst).unwrap().accepted, truth);
+            assert_eq!(
+                sortcheck::decide_multiset_equality(&inst).unwrap().accepted,
+                truth
+            );
             // NST exhaustive certificate search.
             assert_eq!(nst::exists_certificate(&inst, false).unwrap(), truth);
             // Fingerprint: completeness always; soundness only one-sided,
             // so we can only assert the yes-direction.
             if truth {
-                assert!(fingerprint::decide_multiset_equality(&inst, &mut rng).unwrap().accepted);
+                assert!(
+                    fingerprint::decide_multiset_equality(&inst, &mut rng)
+                        .unwrap()
+                        .accepted
+                );
             }
         }
     }
@@ -74,6 +86,10 @@ fn fingerprint_completeness_is_never_violated() {
         let m = 1 + (rand::Rng::gen_range(&mut rng, 0..12usize));
         let n = 1 + (rand::Rng::gen_range(&mut rng, 0..10usize));
         let inst = generate::yes_multiset(m, n, &mut rng);
-        assert!(fingerprint::decide_multiset_equality(&inst, &mut rng).unwrap().accepted);
+        assert!(
+            fingerprint::decide_multiset_equality(&inst, &mut rng)
+                .unwrap()
+                .accepted
+        );
     }
 }

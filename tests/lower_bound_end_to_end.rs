@@ -33,7 +33,10 @@ fn fooling_input_fools_only_the_bounded_scan_machine() {
 
     let det = sortcheck::decide_multiset_equality(&inst).unwrap();
     assert!(!det.accepted, "Corollary 7 decider rejects");
-    assert!(det.usage.scans() > res.run_u.scans(), "…at a higher scan price");
+    assert!(
+        det.usage.scans() > res.run_u.scans(),
+        "…at a higher scan price"
+    );
 
     let cs = sortcheck::decide_check_sort(&inst).unwrap();
     assert!(!cs.accepted);
@@ -42,7 +45,10 @@ fn fooling_input_fools_only_the_bounded_scan_machine() {
     // beyond the exhaustive-search guard, and on the CHECK-φ instance
     // space no certificate can exist for a no-instance).
     let cert = nst::verify_multiset_certificate(&inst, &phi(m), false).unwrap();
-    assert!(!cert.accepted, "the φ certificate must fail on a no-instance");
+    assert!(
+        !cert.accepted,
+        "the φ certificate must fail on a no-instance"
+    );
 
     // The query layer agrees (Theorems 11 and 12 reductions).
     let (q, _) = evaluate(&sym_diff_query("R1", "R2"), &instance_database(&inst)).unwrap();

@@ -19,7 +19,8 @@ fn three_query_systems_agree_on_set_equality() {
         ] {
             let truth = predicates::is_set_equal(&inst);
             // Theorem 11: relational algebra.
-            let (res, _) = evaluate(&sym_diff_query("R1", "R2"), &instance_database(&inst)).unwrap();
+            let (res, _) =
+                evaluate(&sym_diff_query("R1", "R2"), &instance_database(&inst)).unwrap();
             assert_eq!(res.is_empty(), truth, "relalg on {}", inst.encode());
             // Theorem 12: XQuery.
             let xq = run_theorem12(&inst).unwrap().contains("<true>");

@@ -16,7 +16,13 @@ fn arb_instance(max_m: usize, max_n: usize) -> impl Strategy<Value = Instance> {
     )
     .prop_map(|pairs| {
         let to_bs = |bits: &[u8]| {
-            BitStr::parse(&bits.iter().map(|b| char::from(b'0' + b)).collect::<String>()).unwrap()
+            BitStr::parse(
+                &bits
+                    .iter()
+                    .map(|b| char::from(b'0' + b))
+                    .collect::<String>(),
+            )
+            .unwrap()
         };
         let xs = pairs.iter().map(|(a, _)| to_bs(a)).collect();
         let ys = pairs.iter().map(|(_, b)| to_bs(b)).collect();
