@@ -42,6 +42,7 @@ use st_extmem::scan::{copy_tape, tapes_equal};
 use st_extmem::sort::merge_sort;
 use st_extmem::{FaultPlan, FaultStats, Tape, TapeMachine};
 use st_problems::{BitStr, Instance};
+use st_trace::TraceEvent;
 
 /// Independent fingerprint rounds per verification. Each round samples a
 /// fresh prime pair, so corruption slips through all rounds only with
@@ -193,6 +194,7 @@ pub fn resilient_sort<R: Rng>(
     let m = items.len() as u64;
     let n_max = items.iter().map(BitStr::len).max().unwrap_or(0) as u64;
 
+    let tracer = machine.tracer().clone();
     let mut last_reason = String::from("never attempted");
     for attempt in 1..=budget.max_attempts {
         {
@@ -202,10 +204,18 @@ pub fn resilient_sort<R: Rng>(
         merge_sort(&mut machine, work, s1, s2)?;
         if !sorted_scan(machine.tape_mut(work), &meter) {
             last_reason = "working tape not sorted after merge sort".into();
+            tracer.emit(|| TraceEvent::Retry {
+                attempt: u64::from(attempt),
+                reason: last_reason.clone(),
+            });
             continue;
         }
         if !fingerprints_match(&mut machine, 0, work, m, n_max, rng)? {
             last_reason = "working tape fingerprint differs from master".into();
+            tracer.emit(|| TraceEvent::Retry {
+                attempt: u64::from(attempt),
+                reason: last_reason.clone(),
+            });
             continue;
         }
         return Ok(ResilientRun {
@@ -300,10 +310,15 @@ pub fn decide_multiset_equality_resilient<R: Rng>(
         .max()
         .unwrap_or(0) as u64;
 
+    let tracer = machine.tracer().clone();
     let mut last_reason = String::from("never attempted");
     for attempt in 1..=budget.max_attempts {
         let Some(candidate) = equality_attempt(&mut machine, m, n_max, rng, &mut last_reason)?
         else {
+            tracer.emit(|| TraceEvent::Retry {
+                attempt: u64::from(attempt),
+                reason: last_reason.clone(),
+            });
             continue;
         };
         let oracle = masters_agree(&mut machine, m, n_max, rng)?;
@@ -318,6 +333,10 @@ pub fn decide_multiset_equality_resilient<R: Rng>(
         last_reason = format!(
             "sorted comparison said {candidate} but the master fingerprint oracle said {oracle}"
         );
+        tracer.emit(|| TraceEvent::Retry {
+            attempt: u64::from(attempt),
+            reason: last_reason.clone(),
+        });
     }
     Ok(ResilientRun {
         verdict: Verdict::Unverified {

@@ -1,14 +1,35 @@
 //! The experiment report generator.
 //!
 //! ```text
-//! cargo run -p st-bench --bin report                # every experiment
-//! cargo run -p st-bench --bin report e3 e9          # a selection
-//! cargo run -p st-bench --bin report --list         # the registry
-//! cargo run -p st-bench --bin report --out FILE     # also save as text
+//! cargo run -p st-bench --bin report                    # every experiment
+//! cargo run -p st-bench --bin report e3 e9              # a selection
+//! cargo run -p st-bench --bin report --list             # the registry
+//! cargo run -p st-bench --bin report --out FILE         # also save as text
+//! cargo run -p st-bench --bin report --trace-dir DIR    # JSONL trace per experiment
 //! ```
+//!
+//! Always writes `BENCH_report.json` (experiment id → metrics) next to
+//! the text report (or into the current directory without `--out`).
+//!
+//! With `--trace-dir DIR` every experiment runs under a JSONL-file
+//! tracer; afterwards each trace is read back and audited — the replayed
+//! `ResourceUsage` must match every checkpoint the substrates claimed.
+//! An audit mismatch is a hard failure, like a NOT-REPRODUCED verdict.
 
 use st_bench::all_experiments;
-use st_bench::report::save_text;
+use st_bench::report::{save_json, save_text};
+
+/// Remove a `--flag VALUE` pair from `args`, returning the value.
+fn take_flag(args: &mut Vec<String>, flag: &str) -> Option<std::path::PathBuf> {
+    let i = args.iter().position(|a| a == flag)?;
+    if i + 1 >= args.len() {
+        eprintln!("{flag} requires a path");
+        std::process::exit(2);
+    }
+    let path = args.remove(i + 1);
+    args.remove(i);
+    Some(std::path::PathBuf::from(path))
+}
 
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
@@ -19,18 +40,14 @@ fn main() {
         }
         return;
     }
-    let out_path = match args.iter().position(|a| a == "--out") {
-        Some(i) => {
-            if i + 1 >= args.len() {
-                eprintln!("--out requires a file path");
-                std::process::exit(2);
-            }
-            let path = args.remove(i + 1);
-            args.remove(i);
-            Some(std::path::PathBuf::from(path))
+    let out_path = take_flag(&mut args, "--out");
+    let trace_dir = take_flag(&mut args, "--trace-dir");
+    if let Some(dir) = &trace_dir {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("create {}: {e}", dir.display());
+            std::process::exit(1);
         }
-        None => None,
-    };
+    }
     let selected: Vec<_> = if args.is_empty() {
         registry
     } else {
@@ -44,24 +61,77 @@ fn main() {
         std::process::exit(2);
     }
     let mut failures = 0usize;
+    let mut audit_failures = 0usize;
     let mut reports = Vec::new();
-    for (_, _, run) in selected {
-        let report = run();
+    for (id, _, run) in selected {
+        let report = match &trace_dir {
+            Some(dir) => {
+                let path = dir.join(format!("{id}.jsonl"));
+                let tracer = match st_trace::Tracer::jsonl(&path) {
+                    Ok(t) => t,
+                    Err(e) => {
+                        eprintln!("{e}");
+                        std::process::exit(1);
+                    }
+                };
+                let report = st_trace::scoped(tracer.clone(), run);
+                tracer.flush();
+                match st_trace::read_jsonl(&path) {
+                    Ok(events) => {
+                        let audit = st_trace::audit(&events);
+                        if !audit.ok() {
+                            eprintln!("[{id}] trace audit FAILED: {audit}");
+                            audit_failures += 1;
+                        } else {
+                            eprintln!("[{id}] trace: {} event(s), {audit}", events.len());
+                        }
+                    }
+                    Err(e) => {
+                        eprintln!("[{id}] trace unreadable: {e}");
+                        audit_failures += 1;
+                    }
+                }
+                report
+            }
+            None => run(),
+        };
         println!("{report}");
         if !report.reproduced() {
             failures += 1;
         }
         reports.push(report);
     }
+    let json_path = out_path
+        .as_deref()
+        .and_then(std::path::Path::parent)
+        .filter(|d| !d.as_os_str().is_empty())
+        .map_or_else(
+            || std::path::PathBuf::from("BENCH_report.json"),
+            |d| d.join("BENCH_report.json"),
+        );
+    if let Err(e) = save_json(&json_path, &reports) {
+        eprintln!("{e}");
+        std::process::exit(1);
+    }
+    eprintln!(
+        "saved {} report(s) to {}",
+        reports.len(),
+        json_path.display()
+    );
     if let Some(path) = out_path {
         if let Err(e) = save_text(&path, &reports) {
             eprintln!("{e}");
             std::process::exit(1);
         }
-        eprintln!("saved {} report(s) to {}", reports.len(), path.display());
+        eprintln!("saved text report to {}", path.display());
+    }
+    if audit_failures > 0 {
+        eprintln!("{audit_failures} experiment trace(s) failed the replay audit");
     }
     if failures > 0 {
         eprintln!("{failures} experiment(s) NOT reproduced");
+    }
+    if failures > 0 || audit_failures > 0 {
         std::process::exit(1);
     }
 }

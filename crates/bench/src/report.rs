@@ -60,6 +60,58 @@ impl Report {
     }
 }
 
+/// Render `reports` as the `BENCH_report.json` document: one JSON object
+/// mapping experiment id → metrics (title, claim, verdict, reproduced
+/// flag, and the full data table), so the experiment trajectory is
+/// machine-diffable across commits.
+#[must_use]
+pub fn to_json(reports: &[Report]) -> String {
+    use st_trace::json::quote;
+    let str_arr = |out: &mut String, items: &[String]| {
+        out.push('[');
+        for (i, s) in items.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&quote(s));
+        }
+        out.push(']');
+    };
+    let mut out = String::from("{");
+    for (i, r) in reports.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&quote(&r.id));
+        out.push_str(":{\"title\":");
+        out.push_str(&quote(&r.title));
+        out.push_str(",\"claim\":");
+        out.push_str(&quote(&r.claim));
+        out.push_str(",\"reproduced\":");
+        out.push_str(if r.reproduced() { "true" } else { "false" });
+        out.push_str(",\"verdict\":");
+        out.push_str(&quote(&r.verdict));
+        out.push_str(",\"columns\":");
+        str_arr(&mut out, &r.columns);
+        out.push_str(",\"rows\":[");
+        for (j, row) in r.rows.iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            str_arr(&mut out, row);
+        }
+        out.push_str("]}");
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Write the [`to_json`] document to `path`.
+pub fn save_json(path: &std::path::Path, reports: &[Report]) -> Result<(), StError> {
+    std::fs::write(path, to_json(reports))
+        .map_err(|e| StError::Io(format!("write {}: {e}", path.display())))
+}
+
 /// Render `reports` to a writer, one table per report, in registry order.
 pub fn write_text<W: Write>(mut w: W, reports: &[Report]) -> Result<(), StError> {
     for report in reports {
@@ -145,6 +197,35 @@ mod tests {
         let text = String::from_utf8(buf).unwrap();
         assert!(text.contains("[E1] first"));
         assert!(text.contains("[E2] second"));
+    }
+
+    #[test]
+    fn json_document_maps_id_to_metrics() {
+        let mut r = Report::new("e3", "sort \"fast\"", "x grows", &["N", "scans"]);
+        r.row(vec!["16".into(), "4".into()]);
+        r.verdict(true, "log shape");
+        let doc = to_json(&[r]);
+        // Keys and escaping survive; the verdict flag is a real boolean.
+        assert!(
+            doc.starts_with("{\"e3\":{\"title\":\"sort \\\"fast\\\"\""),
+            "{doc}"
+        );
+        assert!(doc.contains("\"reproduced\":true"));
+        assert!(doc.contains("\"columns\":[\"N\",\"scans\"]"));
+        assert!(doc.contains("\"rows\":[[\"16\",\"4\"]]"));
+        assert!(doc.ends_with("}\n"));
+    }
+
+    #[test]
+    fn json_document_handles_many_reports_and_failures() {
+        let mut a = Report::new("e1", "first", "c", &["x"]);
+        a.verdict(true, "ok");
+        let mut b = Report::new("e2", "second", "c", &["x"]);
+        b.verdict(false, "slope off");
+        let doc = to_json(&[a, b]);
+        assert!(doc.contains("\"e1\":{"));
+        assert!(doc.contains("\"e2\":{"));
+        assert!(doc.contains("\"reproduced\":false"));
     }
 
     #[test]

@@ -65,8 +65,9 @@ impl ResourceUsage {
     }
 
     /// Merge another usage record into this one (summing reversals
-    /// per-tape, taking the max of space high-water marks). Used when an
-    /// algorithm is composed of phases measured separately.
+    /// per-tape, steps, and external cells; taking the max of space
+    /// high-water marks). Used when an algorithm is composed of phases
+    /// measured separately.
     pub fn absorb(&mut self, other: &ResourceUsage) {
         if other.reversals_per_tape.len() > self.reversals_per_tape.len() {
             self.reversals_per_tape
@@ -82,7 +83,7 @@ impl ResourceUsage {
         self.external_tapes = self.external_tapes.max(other.external_tapes);
         self.internal_space = self.internal_space.max(other.internal_space);
         self.steps += other.steps;
-        self.external_cells = self.external_cells.max(other.external_cells);
+        self.external_cells += other.external_cells;
         if self.input_len == 0 {
             self.input_len = other.input_len;
         }
@@ -249,6 +250,22 @@ mod tests {
         assert_eq!(a.reversals_per_tape, vec![4, 6, 5]);
         assert_eq!(a.internal_space, 5);
         assert_eq!(a.external_tapes, 3);
+    }
+
+    #[test]
+    fn absorb_sums_external_cells_and_steps() {
+        // Cells written in phase 1 do not vanish when phase 2 runs:
+        // sequential phases must SUM their external footprints, exactly
+        // like steps (regression: absorb used to take the max).
+        let mut a = usage(100, &[1], 5);
+        a.steps = 10;
+        a.external_cells = 100;
+        let mut b = usage(100, &[1], 3);
+        b.steps = 7;
+        b.external_cells = 40;
+        a.absorb(&b);
+        assert_eq!(a.steps, 17);
+        assert_eq!(a.external_cells, 140);
     }
 
     #[test]

@@ -332,7 +332,7 @@ mod tests {
                 assert_ne!(v.corrupted(e), v);
             }
         }
-        assert_ne!(true.corrupted(0), true);
+        assert!(!true.corrupted(0));
     }
 
     #[test]

@@ -10,6 +10,7 @@ use crate::fault::{Corrupt, FaultPlan, FaultStats};
 use crate::meter::MemoryMeter;
 use crate::tape::Tape;
 use st_core::{ResourceUsage, StError};
+use st_trace::{TraceEvent, Tracer};
 
 /// A machine context: `t` external tapes and an internal-memory meter.
 #[derive(Debug, Clone)]
@@ -17,6 +18,7 @@ pub struct TapeMachine<S> {
     tapes: Vec<Tape<S>>,
     meter: MemoryMeter,
     input_len: usize,
+    tracer: Tracer,
 }
 
 impl<S: Clone> TapeMachine<S> {
@@ -24,35 +26,64 @@ impl<S: Clone> TapeMachine<S> {
     /// `input_len` is the Definition-1 input size `N` — for symbol-level
     /// algorithms it equals `input.len()`, for record-level algorithms the
     /// caller passes the underlying symbol count.
+    ///
+    /// The machine picks up the thread's [`st_trace::current`] tracer, so
+    /// wrapping the run in [`st_trace::scoped`] traces it without any
+    /// signature changes; outside a scope the tracer is disabled and the
+    /// machine behaves exactly as before.
     #[must_use]
     pub fn with_input(input: Vec<S>, input_len: usize) -> Self {
-        TapeMachine {
-            tapes: vec![Tape::from_items("input", input)],
-            meter: MemoryMeter::new(),
+        Self::with_input_traced(input, input_len, st_trace::current())
+    }
+
+    /// [`TapeMachine::with_input`] with an explicit tracer.
+    #[must_use]
+    pub fn with_input_traced(input: Vec<S>, input_len: usize, tracer: Tracer) -> Self {
+        let mut m = Self::new_traced(input_len, tracer);
+        m.push_tape(Tape::from_items("input", input));
+        m
+    }
+
+    /// An empty machine (no tapes yet); picks up the thread's
+    /// [`st_trace::current`] tracer like [`TapeMachine::with_input`].
+    #[must_use]
+    pub fn new(input_len: usize) -> Self {
+        Self::new_traced(input_len, st_trace::current())
+    }
+
+    /// [`TapeMachine::new`] with an explicit tracer.
+    #[must_use]
+    pub fn new_traced(input_len: usize, tracer: Tracer) -> Self {
+        tracer.emit(|| TraceEvent::RunBegin {
+            substrate: "tape".to_string(),
             input_len,
+        });
+        TapeMachine {
+            tapes: Vec::new(),
+            meter: MemoryMeter::with_tracer(tracer.clone()),
+            input_len,
+            tracer,
         }
     }
 
-    /// An empty machine (no tapes yet).
-    #[must_use]
-    pub fn new(input_len: usize) -> Self {
-        TapeMachine {
-            tapes: Vec::new(),
-            meter: MemoryMeter::new(),
-            input_len,
-        }
+    fn push_tape(&mut self, mut tape: Tape<S>) -> usize {
+        let id = self.tapes.len();
+        tape.set_tracer(self.tracer.clone(), id);
+        let name = tape.name().to_string();
+        self.tracer
+            .emit(|| TraceEvent::TapeRegistered { tape: id, name });
+        self.tapes.push(tape);
+        id
     }
 
     /// Append a fresh empty tape; returns its index.
     pub fn add_tape(&mut self, name: impl Into<String>) -> usize {
-        self.tapes.push(Tape::new(name));
-        self.tapes.len() - 1
+        self.push_tape(Tape::new(name))
     }
 
     /// Append a pre-loaded tape; returns its index.
     pub fn add_tape_with(&mut self, name: impl Into<String>, items: Vec<S>) -> usize {
-        self.tapes.push(Tape::from_items(name, items));
-        self.tapes.len() - 1
+        self.push_tape(Tape::from_items(name, items))
     }
 
     /// Number of tapes.
@@ -124,18 +155,44 @@ impl<S: Clone> TapeMachine<S> {
         self.input_len
     }
 
+    /// The machine's tracer (disabled unless it was constructed inside a
+    /// [`st_trace::scoped`] scope or via a `_traced` constructor).
+    #[must_use]
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
+    }
+
     /// Gather the run's resource usage: per-tape reversal counts, tape
     /// count, internal-memory high-water mark, and external cells used.
+    ///
+    /// When a tracer is attached this also emits a checkpoint — the
+    /// cumulative [`TraceEvent::HeadMoves`] and [`TraceEvent::TapeExtent`]
+    /// of every tape followed by a [`TraceEvent::RunUsage`] carrying this
+    /// record — so a replay audit can compare the machine's accounting
+    /// against the event stream at this exact instant.
     #[must_use]
     pub fn usage(&self) -> ResourceUsage {
-        ResourceUsage {
+        let usage = ResourceUsage {
             input_len: self.input_len,
             reversals_per_tape: self.tapes.iter().map(Tape::reversals).collect(),
             external_tapes: self.tapes.len(),
             internal_space: self.meter.high_water_bits(),
             steps: self.tapes.iter().map(Tape::moves).sum(),
             external_cells: self.tapes.iter().map(|t| t.len() as u64).sum(),
+        };
+        if self.tracer.is_enabled() {
+            for (i, t) in self.tapes.iter().enumerate() {
+                let total = t.moves();
+                self.tracer
+                    .emit(|| TraceEvent::HeadMoves { tape: i, total });
+                let cells = t.len() as u64;
+                self.tracer
+                    .emit(|| TraceEvent::TapeExtent { tape: i, cells });
+            }
+            let claimed = usage.clone();
+            self.tracer.emit(|| TraceEvent::RunUsage { usage: claimed });
         }
+        usage
     }
 
     /// Attach `plan` to tape `i` using the cell type's [`Corrupt`] impl.
@@ -261,5 +318,32 @@ mod tests {
         let m: TapeMachine<u8> = TapeMachine::new(10);
         let _c = m.meter().charge(77);
         assert_eq!(m.usage().internal_space, 77);
+    }
+
+    #[test]
+    fn traced_run_replays_to_the_machine_usage() {
+        let (tracer, buf) = st_trace::Tracer::in_memory();
+        let mut m: TapeMachine<u8> = TapeMachine::with_input_traced(vec![1, 2, 3], 3, tracer);
+        m.add_tape("scratch");
+        while m.tape_mut(0).read_fwd().is_some() {}
+        m.tape_mut(0).rewind();
+        m.tape_mut(1).write_fwd(9).unwrap();
+        let _c = m.meter().charge(12);
+        let usage = m.usage();
+        assert_eq!(st_trace::replay(&buf.snapshot()), usage);
+        let report = st_trace::audit(&buf.snapshot());
+        assert!(report.ok(), "{report}");
+        assert_eq!(report.checks(), 1);
+    }
+
+    #[test]
+    fn scoped_tracer_is_picked_up_by_plain_constructors() {
+        let (tracer, buf) = st_trace::Tracer::in_memory();
+        let usage = st_trace::scoped(tracer, || {
+            let mut m: TapeMachine<u8> = TapeMachine::with_input(vec![5, 6], 2);
+            while m.tape_mut(0).read_fwd().is_some() {}
+            m.usage()
+        });
+        assert_eq!(st_trace::replay(&buf.snapshot()), usage);
     }
 }

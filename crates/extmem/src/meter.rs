@@ -13,12 +13,14 @@
 //! exactly their live range.
 
 use parking_lot::Mutex;
+use st_trace::{TraceEvent, Tracer};
 use std::sync::Arc;
 
 #[derive(Debug, Default)]
 struct Inner {
     current: u64,
     high: u64,
+    tracer: Tracer,
 }
 
 /// A shareable internal-memory meter (cheap to clone; all clones feed the
@@ -35,6 +37,20 @@ impl MemoryMeter {
         Self::default()
     }
 
+    /// A fresh meter that mirrors every charge, release, and peak
+    /// observation into `tracer`, so [`st_trace::replay`] can re-derive
+    /// the high-water mark from the traffic alone.
+    #[must_use]
+    pub fn with_tracer(tracer: Tracer) -> Self {
+        MemoryMeter {
+            inner: Arc::new(Mutex::new(Inner {
+                current: 0,
+                high: 0,
+                tracer,
+            })),
+        }
+    }
+
     /// Charge `bits` of internal memory for the lifetime of the returned
     /// guard.
     #[must_use]
@@ -44,6 +60,7 @@ impl MemoryMeter {
         if g.current > g.high {
             g.high = g.current;
         }
+        g.tracer.emit(|| TraceEvent::MemCharge { bits });
         MemoryCharge {
             meter: self.clone(),
             bits,
@@ -58,6 +75,7 @@ impl MemoryMeter {
         if g.current > g.high {
             g.high = g.current;
         }
+        g.tracer.emit(|| TraceEvent::MemCharge { bits });
     }
 
     /// Record that at some instant `bits` were live, without changing the
@@ -68,6 +86,7 @@ impl MemoryMeter {
         if peak > g.high {
             g.high = peak;
         }
+        g.tracer.emit(|| TraceEvent::MemPeak { bits });
     }
 
     /// Currently-live bits.
@@ -86,6 +105,7 @@ impl MemoryMeter {
         let mut g = self.inner.lock();
         debug_assert!(g.current >= bits, "meter release exceeds charge");
         g.current = g.current.saturating_sub(bits);
+        g.tracer.emit(|| TraceEvent::MemRelease { bits });
     }
 }
 
@@ -169,6 +189,28 @@ mod tests {
         m.note_peak(100);
         assert_eq!(m.current_bits(), 8);
         assert_eq!(m.high_water_bits(), 108);
+    }
+
+    #[test]
+    fn traced_high_water_matches_the_meter() {
+        let (tracer, buf) = Tracer::in_memory();
+        let m = MemoryMeter::with_tracer(tracer);
+        {
+            let _a = m.charge(100);
+            let _b = m.charge(50);
+        }
+        m.charge_static(30);
+        m.note_peak(200);
+        let replayed = st_trace::replay(&buf.snapshot());
+        assert_eq!(replayed.internal_space, m.high_water_bits());
+        assert_eq!(m.high_water_bits(), 230);
+    }
+
+    #[test]
+    fn untraced_meter_emits_nothing_and_still_meters() {
+        let m = MemoryMeter::new();
+        let _a = m.charge(10);
+        assert_eq!(m.high_water_bits(), 10);
     }
 
     #[test]

@@ -8,6 +8,7 @@
 use crate::meter::{bits_for, MemoryMeter};
 use crate::tape::Tape;
 use st_core::StError;
+use st_trace::TraceEvent;
 
 /// Copy all of `src` onto `dst` (overwriting `dst` from its start).
 ///
@@ -18,12 +19,19 @@ pub fn copy_tape<S: Clone>(
     dst: &mut Tape<S>,
     meter: &MemoryMeter,
 ) -> Result<(), StError> {
+    let tracer = src.tracer().clone();
+    tracer.emit(|| TraceEvent::ScanStart {
+        op: "copy_tape".to_string(),
+    });
     src.rewind();
     dst.reset_for_overwrite();
     let _buf = meter.charge(1);
     while let Some(x) = src.read_fwd() {
         dst.write_fwd(x)?;
     }
+    tracer.emit(|| TraceEvent::ScanEnd {
+        op: "copy_tape".to_string(),
+    });
     Ok(())
 }
 
@@ -37,16 +45,24 @@ pub fn tapes_equal<S: Clone + PartialEq>(
     b: &mut Tape<S>,
     meter: &MemoryMeter,
 ) -> bool {
+    let tracer = a.tracer().clone();
+    tracer.emit(|| TraceEvent::ScanStart {
+        op: "tapes_equal".to_string(),
+    });
     a.rewind();
     b.rewind();
     let _buf = meter.charge(2);
-    loop {
+    let equal = loop {
         match (a.read_fwd(), b.read_fwd()) {
-            (None, None) => return true,
+            (None, None) => break true,
             (Some(x), Some(y)) if x == y => {}
-            _ => return false,
+            _ => break false,
         }
-    }
+    };
+    tracer.emit(|| TraceEvent::ScanEnd {
+        op: "tapes_equal".to_string(),
+    });
+    equal
 }
 
 /// Check in one parallel forward scan that `a` is sorted and equal to `b`
@@ -60,6 +76,10 @@ pub fn compare_sorted<S: Clone + Ord>(
     b: &mut Tape<S>,
     meter: &MemoryMeter,
 ) -> (bool, bool) {
+    let tracer = a.tracer().clone();
+    tracer.emit(|| TraceEvent::ScanStart {
+        op: "compare_sorted".to_string(),
+    });
     a.rewind();
     b.rewind();
     let _buf = meter.charge(3);
@@ -86,6 +106,9 @@ pub fn compare_sorted<S: Clone + Ord>(
             }
         }
     }
+    tracer.emit(|| TraceEvent::ScanEnd {
+        op: "compare_sorted".to_string(),
+    });
     (equal, sorted)
 }
 
@@ -103,6 +126,10 @@ pub fn distribute_runs<S: Clone>(
     meter: &MemoryMeter,
 ) -> Result<(), StError> {
     assert!(run_len > 0, "run length must be positive");
+    let tracer = src.tracer().clone();
+    tracer.emit(|| TraceEvent::ScanStart {
+        op: "distribute_runs".to_string(),
+    });
     src.rewind();
     out1.reset_for_overwrite();
     out2.reset_for_overwrite();
@@ -121,6 +148,9 @@ pub fn distribute_runs<S: Clone>(
             to_first = !to_first;
         }
     }
+    tracer.emit(|| TraceEvent::ScanEnd {
+        op: "distribute_runs".to_string(),
+    });
     Ok(())
 }
 
@@ -139,6 +169,10 @@ pub fn merge_runs<S: Clone + Ord>(
     meter: &MemoryMeter,
 ) -> Result<(), StError> {
     assert!(run_len > 0, "run length must be positive");
+    let tracer = in1.tracer().clone();
+    tracer.emit(|| TraceEvent::ScanStart {
+        op: "merge_runs".to_string(),
+    });
     in1.rewind();
     in2.rewind();
     out.reset_for_overwrite();
@@ -193,6 +227,9 @@ pub fn merge_runs<S: Clone + Ord>(
             b = in2.read_fwd();
         }
         if a.is_none() && b.is_none() {
+            tracer.emit(|| TraceEvent::ScanEnd {
+                op: "merge_runs".to_string(),
+            });
             return Ok(());
         }
         left1 = if a.is_some() { run_len } else { 0 };

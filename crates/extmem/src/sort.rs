@@ -18,6 +18,7 @@ use crate::machine::TapeMachine;
 use crate::meter::{bits_for, MemoryMeter};
 use crate::scan::{distribute_runs, merge_runs};
 use st_core::{ResourceUsage, StError};
+use st_trace::TraceEvent;
 
 /// Sort the contents of tape `data_idx` of `machine` in place, using tapes
 /// `scratch1_idx` and `scratch2_idx` as the merge scratch space.
@@ -37,8 +38,12 @@ pub fn merge_sort<S: Clone + Ord>(
     if m <= 1 {
         return Ok(());
     }
+    let tracer = machine.tracer().clone();
     let mut run_len = 1usize;
     while run_len < m {
+        tracer.emit(|| TraceEvent::PhaseBegin {
+            name: format!("merge pass run_len={run_len}"),
+        });
         {
             let (data, s1, s2) = machine.trio_mut(data_idx, scratch1_idx, scratch2_idx);
             distribute_runs(data, s1, s2, run_len, &meter)?;
@@ -47,6 +52,9 @@ pub fn merge_sort<S: Clone + Ord>(
             let (s1, s2, data) = machine.trio_mut(scratch1_idx, scratch2_idx, data_idx);
             merge_runs(s1, s2, data, run_len, &meter)?;
         }
+        tracer.emit(|| TraceEvent::PhaseEnd {
+            name: format!("merge pass run_len={run_len}"),
+        });
         run_len *= 2;
     }
     Ok(())
@@ -98,10 +106,17 @@ pub fn multiway_merge_sort<S: Clone + Ord>(
     if m <= 1 {
         return Ok(());
     }
+    let tracer = machine.tracer().clone();
     let mut run_len = 1usize;
     while run_len < m {
+        tracer.emit(|| TraceEvent::PhaseBegin {
+            name: format!("{k}-way pass run_len={run_len}"),
+        });
         distribute_k(machine, data_idx, scratch_idxs, run_len, &meter)?;
         merge_k(machine, scratch_idxs, data_idx, run_len, &meter)?;
+        tracer.emit(|| TraceEvent::PhaseEnd {
+            name: format!("{k}-way pass run_len={run_len}"),
+        });
         run_len = run_len.saturating_mul(k);
     }
     Ok(())

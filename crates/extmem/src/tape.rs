@@ -14,6 +14,7 @@
 
 use crate::fault::{Corrupt, FaultPlan, FaultStats, ReadFault, TapeFaults, WriteFault};
 use st_core::StError;
+use st_trace::{FaultKind, TraceEvent, Tracer};
 
 /// A head-movement direction.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -34,6 +35,8 @@ pub struct Tape<S> {
     reversals: u64,
     moves: u64,
     faults: Option<TapeFaults<S>>,
+    tracer: Tracer,
+    trace_id: usize,
 }
 
 impl<S: Clone> Tape<S> {
@@ -48,6 +51,8 @@ impl<S: Clone> Tape<S> {
             reversals: 0,
             moves: 0,
             faults: None,
+            tracer: Tracer::disabled(),
+            trace_id: 0,
         }
     }
 
@@ -63,7 +68,23 @@ impl<S: Clone> Tape<S> {
             reversals: 0,
             moves: 0,
             faults: None,
+            tracer: Tracer::disabled(),
+            trace_id: 0,
         }
+    }
+
+    /// Attach a tracer; reversals and injected faults on this tape are
+    /// emitted as events carrying tape index `id`.
+    pub fn set_tracer(&mut self, tracer: Tracer, id: usize) {
+        self.tracer = tracer;
+        self.trace_id = id;
+    }
+
+    /// The tape's tracer (disabled unless [`Tape::set_tracer`] was
+    /// called — e.g. by [`crate::TapeMachine`]).
+    #[must_use]
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
     }
 
     /// The tape's diagnostic name.
@@ -121,6 +142,8 @@ impl<S: Clone> Tape<S> {
         if let Some(prev) = self.last_move {
             if prev != dir {
                 self.reversals += 1;
+                let (tape, total) = (self.trace_id, self.reversals);
+                self.tracer.emit(|| TraceEvent::Reversal { tape, total });
             }
         }
         self.last_move = Some(dir);
@@ -149,6 +172,16 @@ impl<S: Clone> Tape<S> {
                 other => Some((other, f.corrupt)),
             },
         };
+        if fault.is_some() {
+            let (tape, kind) = (
+                self.trace_id,
+                match fault {
+                    Some((ReadFault::Persistent(_), _)) => FaultKind::BitFlip,
+                    _ => FaultKind::TransientRead,
+                },
+            );
+            self.tracer.emit(|| TraceEvent::Fault { tape, kind });
+        }
         match fault {
             None => self.cells.get(pos).cloned(),
             Some((ReadFault::Persistent(e), corrupt)) => {
@@ -188,6 +221,16 @@ impl<S: Clone> Tape<S> {
                 other => Some((other, f.corrupt)),
             },
         };
+        if fault.is_some() {
+            let (tape, kind) = (
+                self.trace_id,
+                match fault {
+                    Some((WriteFault::Stuck, _)) => FaultKind::StuckWrite,
+                    _ => FaultKind::TornWrite,
+                },
+            );
+            self.tracer.emit(|| TraceEvent::Fault { tape, kind });
+        }
         let stored = match fault {
             None => s,
             Some((WriteFault::Stuck, _)) => return Ok(()),

@@ -19,6 +19,7 @@ use crate::machine::{Movement, Nlm};
 use crate::{Choice, LmState, Tok, Val};
 use rand::Rng;
 use st_core::{ResourceUsage, StError};
+use st_trace::{TraceEvent, Tracer};
 
 /// A list cell: an identity tag plus its content string.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -286,6 +287,78 @@ impl LmRun {
     }
 }
 
+/// Steps between `StepBatch` trace events (see `st_trace`).
+const STEP_BATCH: u64 = 1024;
+
+/// Trace context for one NLM run: emits the `st_trace` event stream that
+/// replays to exactly [`LmRun::usage`]. NLMs have no internal memory, so
+/// no memory events are emitted (replay's high-water mark stays 0).
+struct LmTraceCtx {
+    tracer: Tracer,
+    last_revs: Vec<u64>,
+    flushed_steps: u64,
+}
+
+impl LmTraceCtx {
+    fn begin(nlm: &Nlm, input_len: usize) -> Self {
+        let tracer = st_trace::current();
+        if tracer.is_enabled() {
+            tracer.emit(|| TraceEvent::RunBegin {
+                substrate: "listmachine".into(),
+                input_len,
+            });
+            for i in 0..nlm.t {
+                tracer.emit(|| TraceEvent::TapeRegistered {
+                    tape: i,
+                    name: format!("list{i}"),
+                });
+            }
+        }
+        LmTraceCtx {
+            tracer,
+            last_revs: vec![0; nlm.t],
+            flushed_steps: 0,
+        }
+    }
+
+    fn after_step(&mut self, cfg: &LmConfig, steps_so_far: u64) {
+        if !self.tracer.is_enabled() {
+            return;
+        }
+        for (i, &total) in cfg.reversals().iter().enumerate() {
+            if total != self.last_revs[i] {
+                self.last_revs[i] = total;
+                self.tracer.emit(|| TraceEvent::Reversal { tape: i, total });
+            }
+        }
+        if steps_so_far - self.flushed_steps >= STEP_BATCH {
+            let steps = steps_so_far - self.flushed_steps;
+            self.flushed_steps = steps_so_far;
+            self.tracer.emit(|| TraceEvent::StepBatch { steps });
+        }
+    }
+
+    fn finish(&mut self, run: &LmRun, input_len: usize) {
+        if !self.tracer.is_enabled() {
+            return;
+        }
+        let steps = run.moves.len() as u64;
+        if steps > self.flushed_steps {
+            let remaining = steps - self.flushed_steps;
+            self.flushed_steps = steps;
+            self.tracer
+                .emit(|| TraceEvent::StepBatch { steps: remaining });
+        }
+        for (i, list) in run.final_config.lists.iter().enumerate() {
+            let cells = list.len() as u64;
+            self.tracer
+                .emit(|| TraceEvent::TapeExtent { tape: i, cells });
+        }
+        let usage = run.usage(input_len);
+        self.tracer.emit(|| TraceEvent::RunUsage { usage });
+    }
+}
+
 /// Run `nlm` on `input`, drawing choices from the fixed sequence
 /// `choices` (the `ρ_M(v, c)` of Definition 15). Errors if the machine
 /// consumes more choices than provided.
@@ -296,6 +369,7 @@ pub fn run_with_choices(
     max_steps: usize,
 ) -> Result<LmRun, StError> {
     let mut cfg = LmConfig::initial(nlm, input);
+    let mut trace = LmTraceCtx::begin(nlm, input.len());
     let mut views = vec![cfg.local_view()];
     let mut moves = Vec::new();
     let mut used = Vec::new();
@@ -319,6 +393,7 @@ pub fn run_with_choices(
         used.push(c);
         moves.push(mv);
         views.push(cfg.local_view());
+        trace.after_step(&cfg, moves.len() as u64);
     }
     if (nlm.is_final)(cfg.state) && outcome == LmOutcome::StepLimit {
         outcome = if (nlm.is_accepting)(cfg.state) {
@@ -328,14 +403,16 @@ pub fn run_with_choices(
         };
     }
     let reversals = cfg.reversals().to_vec();
-    Ok(LmRun {
+    let run = LmRun {
         outcome,
         views,
         moves,
         choices: used,
         reversals,
         final_config: cfg,
-    })
+    };
+    trace.finish(&run, input.len());
+    Ok(run)
 }
 
 /// Run `nlm` on `input` with uniformly random choices (the randomized
@@ -347,6 +424,7 @@ pub fn run_sampled<R: Rng>(
     max_steps: usize,
 ) -> Result<LmRun, StError> {
     let mut cfg = LmConfig::initial(nlm, input);
+    let mut trace = LmTraceCtx::begin(nlm, input.len());
     let mut views = vec![cfg.local_view()];
     let mut moves = Vec::new();
     let mut used = Vec::new();
@@ -365,6 +443,7 @@ pub fn run_sampled<R: Rng>(
         used.push(c);
         moves.push(mv);
         views.push(cfg.local_view());
+        trace.after_step(&cfg, moves.len() as u64);
     }
     if (nlm.is_final)(cfg.state) && outcome == LmOutcome::StepLimit {
         outcome = if (nlm.is_accepting)(cfg.state) {
@@ -374,14 +453,16 @@ pub fn run_sampled<R: Rng>(
         };
     }
     let reversals = cfg.reversals().to_vec();
-    Ok(LmRun {
+    let run = LmRun {
         outcome,
         views,
         moves,
         choices: used,
         reversals,
         final_config: cfg,
-    })
+    };
+    trace.finish(&run, input.len());
+    Ok(run)
 }
 
 /// Exact outcome probabilities by enumerating the choice tree (the
@@ -563,6 +644,22 @@ mod tests {
         let nlm = library::sweep_right_machine(1, 5);
         let run = run_with_choices(&nlm, &[1, 2, 3, 4, 5], &[0; 3], 3).unwrap();
         assert_eq!(run.outcome, LmOutcome::StepLimit);
+    }
+
+    #[test]
+    fn traced_lm_run_replays_to_the_reported_usage() {
+        let nlm = library::zigzag_machine(1, 4, 2);
+        let input: Vec<Val> = vec![5, 6, 7, 8];
+        let (tracer, buf) = st_trace::Tracer::in_memory();
+        let run = st_trace::scoped(tracer, || {
+            run_with_choices(&nlm, &input, &[0; 1 << 12], 1 << 12).unwrap()
+        });
+        assert!(run.accepted());
+        let events = buf.snapshot();
+        assert_eq!(st_trace::replay(&events), run.usage(input.len()));
+        let report = st_trace::audit(&events);
+        assert!(report.ok(), "{report}");
+        assert_eq!(report.checks(), 1);
     }
 
     #[test]

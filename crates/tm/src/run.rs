@@ -12,6 +12,7 @@ use crate::tape::TmTape;
 use crate::{State, Sym};
 use rand::Rng;
 use st_core::{ResourceUsage, StError};
+use st_trace::{TraceEvent, Tracer};
 
 /// A machine configuration.
 #[derive(Debug, Clone)]
@@ -75,6 +76,88 @@ impl Config {
     }
 }
 
+/// Steps per [`TraceEvent::StepBatch`] flush: long runs trace in
+/// constant-size batches instead of one event per step.
+const STEP_BATCH: u64 = 1024;
+
+/// Per-run trace state for the single-run executors. Holds the thread's
+/// scoped tracer plus the last emitted cumulative reversal count per
+/// external tape, so only direction changes produce events. All methods
+/// are no-ops when the tracer is disabled.
+struct TraceCtx {
+    tracer: Tracer,
+    last_revs: Vec<u64>,
+    flushed_steps: u64,
+}
+
+impl TraceCtx {
+    fn begin(tm: &Tm, input_len: usize) -> Self {
+        let tracer = st_trace::current();
+        if tracer.is_enabled() {
+            tracer.emit(|| TraceEvent::RunBegin {
+                substrate: "tm".to_string(),
+                input_len,
+            });
+            for i in 0..tm.external_tapes {
+                tracer.emit(|| TraceEvent::TapeRegistered {
+                    tape: i,
+                    name: format!("ext{i}"),
+                });
+            }
+        }
+        TraceCtx {
+            last_revs: vec![0; tm.external_tapes],
+            flushed_steps: 0,
+            tracer,
+        }
+    }
+
+    fn sync_reversals(&mut self, cfg: &Config) {
+        for (i, tape) in cfg.tapes[..self.last_revs.len()].iter().enumerate() {
+            let total = tape.reversals();
+            if total != self.last_revs[i] {
+                self.last_revs[i] = total;
+                self.tracer.emit(|| TraceEvent::Reversal { tape: i, total });
+            }
+        }
+    }
+
+    fn after_step(&mut self, cfg: &Config) {
+        if !self.tracer.is_enabled() {
+            return;
+        }
+        self.sync_reversals(cfg);
+        if cfg.steps - self.flushed_steps >= STEP_BATCH {
+            let steps = cfg.steps - self.flushed_steps;
+            self.flushed_steps = cfg.steps;
+            self.tracer.emit(|| TraceEvent::StepBatch { steps });
+        }
+    }
+
+    fn finish(&mut self, cfg: &Config, usage: &ResourceUsage) {
+        if !self.tracer.is_enabled() {
+            return;
+        }
+        self.sync_reversals(cfg);
+        let steps = cfg.steps - self.flushed_steps;
+        if steps > 0 {
+            self.flushed_steps = cfg.steps;
+            self.tracer.emit(|| TraceEvent::StepBatch { steps });
+        }
+        // The TM substrate has no incremental meter; one peak observation
+        // carries the internal-tape space sum into the replay.
+        let bits = usage.internal_space;
+        self.tracer.emit(|| TraceEvent::MemPeak { bits });
+        for i in 0..self.last_revs.len() {
+            let cells = cfg.tapes[i].space() as u64;
+            self.tracer
+                .emit(|| TraceEvent::TapeExtent { tape: i, cells });
+        }
+        let claimed = usage.clone();
+        self.tracer.emit(|| TraceEvent::RunUsage { usage: claimed });
+    }
+}
+
 /// How a run ended.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum RunOutcome {
@@ -114,6 +197,7 @@ impl RunResult {
 pub fn run_deterministic(tm: &Tm, input: Vec<Sym>, max_steps: u64) -> Result<RunResult, StError> {
     let input_len = input.len();
     let mut cfg = Config::initial(tm, input);
+    let mut trace = TraceCtx::begin(tm, input_len);
     loop {
         if tm.is_final(cfg.state) {
             let outcome = if tm.is_accepting(cfg.state) {
@@ -122,6 +206,7 @@ pub fn run_deterministic(tm: &Tm, input: Vec<Sym>, max_steps: u64) -> Result<Run
                 RunOutcome::Reject
             };
             let usage = cfg.usage(tm, input_len);
+            trace.finish(&cfg, &usage);
             return Ok(RunResult {
                 outcome,
                 usage,
@@ -130,6 +215,7 @@ pub fn run_deterministic(tm: &Tm, input: Vec<Sym>, max_steps: u64) -> Result<Run
         }
         if cfg.steps >= max_steps {
             let usage = cfg.usage(tm, input_len);
+            trace.finish(&cfg, &usage);
             return Ok(RunResult {
                 outcome: RunOutcome::StepLimit,
                 usage,
@@ -140,13 +226,17 @@ pub fn run_deterministic(tm: &Tm, input: Vec<Sym>, max_steps: u64) -> Result<Run
         match succ.len() {
             0 => {
                 let usage = cfg.usage(tm, input_len);
+                trace.finish(&cfg, &usage);
                 return Ok(RunResult {
                     outcome: RunOutcome::Jam,
                     usage,
                     final_config: cfg,
                 });
             }
-            1 => cfg.apply(&succ[0])?,
+            1 => {
+                cfg.apply(&succ[0])?;
+                trace.after_step(&cfg);
+            }
             n => {
                 return Err(StError::Machine(format!(
                     "machine '{}' is not deterministic: {n} successors in state {}",
@@ -168,6 +258,7 @@ pub fn run_sampled<R: Rng>(
 ) -> Result<RunResult, StError> {
     let input_len = input.len();
     let mut cfg = Config::initial(tm, input);
+    let mut trace = TraceCtx::begin(tm, input_len);
     loop {
         if tm.is_final(cfg.state) {
             let outcome = if tm.is_accepting(cfg.state) {
@@ -176,6 +267,7 @@ pub fn run_sampled<R: Rng>(
                 RunOutcome::Reject
             };
             let usage = cfg.usage(tm, input_len);
+            trace.finish(&cfg, &usage);
             return Ok(RunResult {
                 outcome,
                 usage,
@@ -184,6 +276,7 @@ pub fn run_sampled<R: Rng>(
         }
         if cfg.steps >= max_steps {
             let usage = cfg.usage(tm, input_len);
+            trace.finish(&cfg, &usage);
             return Ok(RunResult {
                 outcome: RunOutcome::StepLimit,
                 usage,
@@ -193,6 +286,7 @@ pub fn run_sampled<R: Rng>(
         let succ = tm.successors(cfg.state, &cfg.reads());
         if succ.is_empty() {
             let usage = cfg.usage(tm, input_len);
+            trace.finish(&cfg, &usage);
             return Ok(RunResult {
                 outcome: RunOutcome::Jam,
                 usage,
@@ -201,6 +295,7 @@ pub fn run_sampled<R: Rng>(
         }
         let pick = rng.gen_range(0..succ.len());
         cfg.apply(&succ[pick])?;
+        trace.after_step(&cfg);
     }
 }
 
@@ -352,6 +447,20 @@ mod tests {
     }
     use rand::rngs::StdRng;
     use rand::SeedableRng;
+
+    #[test]
+    fn traced_deterministic_run_replays_to_the_reported_usage() {
+        let tm = library::strings_equal_machine();
+        let (tracer, buf) = st_trace::Tracer::in_memory();
+        let result = st_trace::scoped(tracer, || {
+            run_deterministic(&tm, library::encode("0110#0110"), 1 << 16).unwrap()
+        });
+        let events = buf.snapshot();
+        assert_eq!(st_trace::replay(&events), result.usage);
+        let report = st_trace::audit(&events);
+        assert!(report.ok(), "{report}");
+        assert_eq!(report.checks(), 1);
+    }
 
     #[test]
     fn parity_machine_accepts_even_number_of_ones() {

@@ -1,0 +1,132 @@
+//! Summarize a JSONL trace file: per-segment metrics and the replay
+//! audit verdict.
+//!
+//! ```text
+//! trace-inspect target/traces/e1_sort_merge.jsonl
+//! trace-inspect --audit-only target/traces/*.jsonl
+//! ```
+//!
+//! Exits nonzero if any file fails to parse or any replay audit finds a
+//! checkpoint where the substrate's claimed usage differs from the
+//! usage re-derived from the event stream.
+
+use st_trace::replay::audit;
+use st_trace::{read_jsonl, FaultKind};
+use std::path::Path;
+use std::process::ExitCode;
+
+const KINDS: [FaultKind; 4] = [
+    FaultKind::BitFlip,
+    FaultKind::TransientRead,
+    FaultKind::StuckWrite,
+    FaultKind::TornWrite,
+];
+
+fn inspect(path: &Path, audit_only: bool) -> Result<bool, String> {
+    let events = read_jsonl(path).map_err(|e| e.to_string())?;
+    let report = audit(&events);
+    println!(
+        "{}: {} event(s), audit: {report}",
+        path.display(),
+        events.len()
+    );
+    if audit_only {
+        return Ok(report.ok());
+    }
+    for (i, seg) in report.segments.iter().enumerate() {
+        let m = &seg.metrics;
+        let u = m.usage();
+        println!(
+            "  segment {i} [{}]: N={}, scans={}, internal={} bits, steps={}, ext-cells={}",
+            if seg.substrate.is_empty() {
+                "preamble"
+            } else {
+                &seg.substrate
+            },
+            u.input_len,
+            u.scans(),
+            u.internal_space,
+            u.steps,
+            u.external_cells,
+        );
+        for (t, tape) in m.tapes().iter().enumerate() {
+            println!(
+                "    tape {t} ({}): {} reversal(s), {} move(s), {} cell(s)",
+                if tape.name.is_empty() {
+                    "?"
+                } else {
+                    &tape.name
+                },
+                tape.reversals,
+                tape.head_moves,
+                tape.cells,
+            );
+        }
+        for p in m.phases() {
+            println!(
+                "    phase '{}': begun {}, ended {}",
+                p.name, p.begun, p.ended
+            );
+        }
+        for s in m.scans() {
+            println!(
+                "    scan '{}': started {}, ended {}",
+                s.op, s.started, s.ended
+            );
+        }
+        if m.total_faults() > 0 {
+            let per_kind: Vec<String> = KINDS
+                .iter()
+                .filter(|k| m.fault_totals()[k.index()] > 0)
+                .map(|k| format!("{} {}", m.fault_totals()[k.index()], k.as_str()))
+                .collect();
+            println!("    faults: {}", per_kind.join(", "));
+        }
+        if m.retries() > 0 {
+            for (reason, n) in m.retry_reasons() {
+                println!("    retries x{n}: {reason}");
+            }
+        }
+        for check in seg.checks.iter().filter(|c| !c.matches()) {
+            println!("    MISMATCH:");
+            println!("      claimed:  {}", check.claimed);
+            println!("      replayed: {}", check.replayed);
+        }
+    }
+    Ok(report.ok())
+}
+
+fn main() -> ExitCode {
+    let mut audit_only = false;
+    let mut paths = Vec::new();
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--audit-only" => audit_only = true,
+            "--help" | "-h" => {
+                println!("usage: trace-inspect [--audit-only] TRACE.jsonl...");
+                println!("Summarize st-trace JSONL files and verify the replay audit.");
+                return ExitCode::SUCCESS;
+            }
+            _ => paths.push(arg),
+        }
+    }
+    if paths.is_empty() {
+        eprintln!("usage: trace-inspect [--audit-only] TRACE.jsonl...");
+        return ExitCode::from(2);
+    }
+    let mut all_ok = true;
+    for p in &paths {
+        match inspect(Path::new(p), audit_only) {
+            Ok(ok) => all_ok &= ok,
+            Err(e) => {
+                eprintln!("{p}: {e}");
+                all_ok = false;
+            }
+        }
+    }
+    if all_ok {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

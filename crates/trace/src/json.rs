@@ -1,0 +1,393 @@
+//! Minimal hand-rolled JSON: exactly the subset the trace wire format
+//! needs, with zero dependencies.
+//!
+//! The container has no `serde_json`; the offline dependency set stubs
+//! `serde` down to marker traits. Traces still want a line format any
+//! external tool can read, so this module emits and parses flat JSON
+//! objects whose values are strings, unsigned integers, booleans, or
+//! arrays of unsigned integers — the full vocabulary of
+//! [`crate::TraceEvent`] and of the `BENCH_report.json` emitted by
+//! `st-bench`.
+
+use st_core::StError;
+
+/// Escape `s` into `out` as JSON string *content* (no surrounding
+/// quotes).
+pub fn escape_into(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+/// `s` as a quoted, escaped JSON string.
+#[must_use]
+pub fn quote(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    escape_into(&mut out, s);
+    out.push('"');
+    out
+}
+
+/// Builder for one flat JSON object on a single line.
+#[derive(Debug, Default)]
+pub struct ObjWriter {
+    buf: String,
+    any: bool,
+}
+
+impl ObjWriter {
+    /// Start an object.
+    #[must_use]
+    pub fn new() -> Self {
+        ObjWriter {
+            buf: String::from("{"),
+            any: false,
+        }
+    }
+
+    fn key(&mut self, k: &str) {
+        if self.any {
+            self.buf.push(',');
+        }
+        self.any = true;
+        self.buf.push('"');
+        escape_into(&mut self.buf, k);
+        self.buf.push_str("\":");
+    }
+
+    /// Append a string field.
+    pub fn str_field(&mut self, k: &str, v: &str) {
+        self.key(k);
+        self.buf.push('"');
+        escape_into(&mut self.buf, v);
+        self.buf.push('"');
+    }
+
+    /// Append an unsigned-integer field.
+    pub fn num_field(&mut self, k: &str, v: u64) {
+        self.key(k);
+        self.buf.push_str(&v.to_string());
+    }
+
+    /// Append a boolean field.
+    pub fn bool_field(&mut self, k: &str, v: bool) {
+        self.key(k);
+        self.buf.push_str(if v { "true" } else { "false" });
+    }
+
+    /// Append an array-of-unsigned-integers field.
+    pub fn arr_field(&mut self, k: &str, vs: &[u64]) {
+        self.key(k);
+        self.buf.push('[');
+        for (i, v) in vs.iter().enumerate() {
+            if i > 0 {
+                self.buf.push(',');
+            }
+            self.buf.push_str(&v.to_string());
+        }
+        self.buf.push(']');
+    }
+
+    /// Close the object and return the line.
+    #[must_use]
+    pub fn finish(mut self) -> String {
+        self.buf.push('}');
+        self.buf
+    }
+}
+
+/// A parsed value: the wire subset only.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonVal {
+    /// An unsigned integer.
+    Num(u64),
+    /// A string.
+    Str(String),
+    /// A boolean.
+    Bool(bool),
+    /// An array of unsigned integers.
+    Arr(Vec<u64>),
+}
+
+/// A parsed flat object (insertion-ordered key/value pairs).
+#[derive(Debug, Clone, Default)]
+pub struct JsonObj {
+    fields: Vec<(String, JsonVal)>,
+}
+
+impl JsonObj {
+    fn get(&self, key: &str) -> Option<&JsonVal> {
+        self.fields.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
+    /// Fetch a required string field.
+    pub fn str(&self, key: &str) -> Result<&str, StError> {
+        match self.get(key) {
+            Some(JsonVal::Str(s)) => Ok(s),
+            _ => Err(StError::Machine(format!("missing string field '{key}'"))),
+        }
+    }
+
+    /// Fetch a required unsigned-integer field.
+    pub fn num(&self, key: &str) -> Result<u64, StError> {
+        match self.get(key) {
+            Some(JsonVal::Num(n)) => Ok(*n),
+            _ => Err(StError::Machine(format!("missing numeric field '{key}'"))),
+        }
+    }
+
+    /// Fetch a required array-of-integers field.
+    pub fn arr(&self, key: &str) -> Result<&[u64], StError> {
+        match self.get(key) {
+            Some(JsonVal::Arr(a)) => Ok(a),
+            _ => Err(StError::Machine(format!("missing array field '{key}'"))),
+        }
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, what: &str) -> StError {
+        StError::Machine(format!("json parse at byte {}: {what}", self.pos))
+    }
+
+    fn skip_ws(&mut self) {
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| matches!(b, b' ' | b'\t' | b'\n' | b'\r'))
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), StError> {
+        self.skip_ws();
+        if self.bytes.get(self.pos) == Some(&b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected '{}'", b as char)))
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn string(&mut self) -> Result<String, StError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let b = *self
+                .bytes
+                .get(self.pos)
+                .ok_or_else(|| self.err("unterminated string"))?;
+            self.pos += 1;
+            match b {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let e = *self
+                        .bytes
+                        .get(self.pos)
+                        .ok_or_else(|| self.err("dangling escape"))?;
+                    self.pos += 1;
+                    match e {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b't' => out.push('\t'),
+                        b'r' => out.push('\r'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .ok_or_else(|| self.err("short \\u escape"))?;
+                            self.pos += 4;
+                            let code = u32::from_str_radix(
+                                std::str::from_utf8(hex)
+                                    .map_err(|_| self.err("non-utf8 \\u escape"))?,
+                                16,
+                            )
+                            .map_err(|_| self.err("bad \\u escape"))?;
+                            out.push(
+                                char::from_u32(code)
+                                    .ok_or_else(|| self.err("invalid \\u code point"))?,
+                            );
+                        }
+                        _ => return Err(self.err("unknown escape")),
+                    }
+                }
+                b => {
+                    // Re-assemble multi-byte UTF-8 sequences.
+                    if b < 0x80 {
+                        out.push(b as char);
+                    } else {
+                        let start = self.pos - 1;
+                        let mut end = self.pos;
+                        while self.bytes.get(end).is_some_and(|&x| x & 0xC0 == 0x80) {
+                            end += 1;
+                        }
+                        let chunk = std::str::from_utf8(&self.bytes[start..end])
+                            .map_err(|_| self.err("invalid utf-8 in string"))?;
+                        out.push_str(chunk);
+                        self.pos = end;
+                    }
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<u64, StError> {
+        self.skip_ws();
+        let start = self.pos;
+        while self.bytes.get(self.pos).is_some_and(u8::is_ascii_digit) {
+            self.pos += 1;
+        }
+        if start == self.pos {
+            return Err(self.err("expected digits"));
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .expect("digits are ascii")
+            .parse()
+            .map_err(|_| self.err("number overflows u64"))
+    }
+
+    fn value(&mut self) -> Result<JsonVal, StError> {
+        match self.peek().ok_or_else(|| self.err("expected value"))? {
+            b'"' => Ok(JsonVal::Str(self.string()?)),
+            b'[' => {
+                self.expect(b'[')?;
+                let mut items = Vec::new();
+                if self.peek() == Some(b']') {
+                    self.pos += 1;
+                    return Ok(JsonVal::Arr(items));
+                }
+                loop {
+                    items.push(self.number()?);
+                    match self.peek() {
+                        Some(b',') => self.pos += 1,
+                        Some(b']') => {
+                            self.pos += 1;
+                            return Ok(JsonVal::Arr(items));
+                        }
+                        _ => return Err(self.err("expected ',' or ']'")),
+                    }
+                }
+            }
+            b't' if self.bytes[self.pos..].starts_with(b"true") => {
+                self.pos += 4;
+                Ok(JsonVal::Bool(true))
+            }
+            b'f' if self.bytes[self.pos..].starts_with(b"false") => {
+                self.pos += 5;
+                Ok(JsonVal::Bool(false))
+            }
+            b if b.is_ascii_digit() => Ok(JsonVal::Num(self.number()?)),
+            _ => Err(self.err("unsupported value")),
+        }
+    }
+}
+
+/// Parse one flat JSON object line (the inverse of [`ObjWriter`]).
+pub fn parse_object(line: &str) -> Result<JsonObj, StError> {
+    let mut p = Parser {
+        bytes: line.as_bytes(),
+        pos: 0,
+    };
+    p.expect(b'{')?;
+    let mut obj = JsonObj::default();
+    if p.peek() == Some(b'}') {
+        return Ok(obj);
+    }
+    loop {
+        let key = p.string()?;
+        p.expect(b':')?;
+        let val = p.value()?;
+        obj.fields.push((key, val));
+        match p.peek() {
+            Some(b',') => p.pos += 1,
+            Some(b'}') => return Ok(obj),
+            _ => return Err(p.err("expected ',' or '}'")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn writer_and_parser_roundtrip() {
+        let mut w = ObjWriter::new();
+        w.str_field("name", "scratch \"1\"\nλ");
+        w.num_field("tape", 3);
+        w.arr_field("revs", &[1, 2, 3]);
+        w.arr_field("empty", &[]);
+        w.bool_field("ok", true);
+        let line = w.finish();
+        let obj = parse_object(&line).unwrap();
+        assert_eq!(obj.str("name").unwrap(), "scratch \"1\"\nλ");
+        assert_eq!(obj.num("tape").unwrap(), 3);
+        assert_eq!(obj.arr("revs").unwrap(), &[1, 2, 3]);
+        assert_eq!(obj.arr("empty").unwrap(), &[] as &[u64]);
+    }
+
+    #[test]
+    fn control_characters_are_escaped() {
+        let line = {
+            let mut w = ObjWriter::new();
+            w.str_field("s", "a\u{01}b");
+            w.finish()
+        };
+        assert!(line.contains("\\u0001"), "line: {line}");
+        let obj = parse_object(&line).unwrap();
+        assert_eq!(obj.str("s").unwrap(), "a\u{01}b");
+    }
+
+    #[test]
+    fn missing_fields_report_their_key() {
+        let obj = parse_object(r#"{"a":1}"#).unwrap();
+        let err = obj.str("b").unwrap_err().to_string();
+        assert!(err.contains('b'), "{err}");
+    }
+
+    #[test]
+    fn malformed_lines_are_errors_not_panics() {
+        for bad in [
+            "",
+            "{",
+            "{\"a\"",
+            "{\"a\":}",
+            "{\"a\":-1}",
+            "{\"a\":1.5}",
+            "{\"a\":[1,]}",
+            "{\"a\":\"unterminated}",
+        ] {
+            assert!(parse_object(bad).is_err(), "should reject: {bad}");
+        }
+    }
+
+    #[test]
+    fn whitespace_is_tolerated() {
+        let obj = parse_object(" { \"a\" : 1 , \"b\" : [ ] } ").unwrap();
+        assert_eq!(obj.num("a").unwrap(), 1);
+    }
+}

@@ -1,0 +1,600 @@
+//! Trace replay: re-derive a run's [`ResourceUsage`] from its events
+//! alone, and audit it against the substrate's own accounting.
+//!
+//! The [`Aggregator`] folds an event stream into metrics the same way
+//! each substrate's meter does — cumulative events ([`TraceEvent::Reversal`],
+//! [`TraceEvent::HeadMoves`], [`TraceEvent::TapeExtent`]) keep their last
+//! value per tape, delta events ([`TraceEvent::StepBatch`] and the memory
+//! events) are folded. Because the memory fold recomputes the high-water
+//! mark from raw charge/release/peak deltas, the aggregator acts as a
+//! genuinely independent second auditor: it never sees the substrate's
+//! `high_water` value, only the traffic.
+//!
+//! [`audit`] splits a trace at [`TraceEvent::RunBegin`] markers into run
+//! segments and, at every [`TraceEvent::RunUsage`] checkpoint, compares
+//! the substrate's claimed usage against the replayed one bit-for-bit.
+
+use crate::event::TraceEvent;
+use st_core::ResourceUsage;
+use std::fmt;
+
+/// Per-tape counters folded from a trace.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TapeStats {
+    /// Diagnostic name from [`TraceEvent::TapeRegistered`].
+    pub name: String,
+    /// Last cumulative reversal total seen for this tape.
+    pub reversals: u64,
+    /// Last cumulative head-movement total seen for this tape.
+    pub head_moves: u64,
+    /// Last reported cell extent of this tape.
+    pub cells: u64,
+    /// Injected faults on this tape, indexed by [`FaultKind::index`].
+    pub faults: [u64; 4],
+}
+
+/// Begin/end counters for one named phase.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PhaseStats {
+    /// Phase label.
+    pub name: String,
+    /// `PhaseBegin` events seen.
+    pub begun: u64,
+    /// `PhaseEnd` events seen.
+    pub ended: u64,
+}
+
+/// Start/end counters for one scan combinator.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ScanStats {
+    /// Combinator name.
+    pub op: String,
+    /// `ScanStart` events seen.
+    pub started: u64,
+    /// `ScanEnd` events seen.
+    pub ended: u64,
+}
+
+/// Streaming fold of a trace into per-phase/per-tape metrics and a
+/// re-derived usage record.
+#[derive(Debug, Clone, Default)]
+pub struct Aggregator {
+    substrate: String,
+    input_len: usize,
+    runs: u64,
+    events: u64,
+    tapes: Vec<TapeStats>,
+    mem_current: u64,
+    mem_high: u64,
+    batched_steps: u64,
+    phases: Vec<PhaseStats>,
+    scans: Vec<ScanStats>,
+    retries: u64,
+    retry_reasons: Vec<(String, u64)>,
+    fault_totals: [u64; 4],
+    checkpoints: u64,
+}
+
+impl Aggregator {
+    /// An empty aggregator.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn tape_mut(&mut self, tape: usize) -> &mut TapeStats {
+        if tape >= self.tapes.len() {
+            self.tapes.resize_with(tape + 1, TapeStats::default);
+        }
+        &mut self.tapes[tape]
+    }
+
+    /// Fold one event in.
+    pub fn push(&mut self, ev: &TraceEvent) {
+        self.events += 1;
+        match ev {
+            TraceEvent::RunBegin {
+                substrate,
+                input_len,
+            } => {
+                self.substrate = substrate.clone();
+                self.input_len = *input_len;
+                self.runs += 1;
+            }
+            TraceEvent::TapeRegistered { tape, name } => {
+                self.tape_mut(*tape).name = name.clone();
+            }
+            TraceEvent::PhaseBegin { name } => {
+                match self.phases.iter_mut().find(|p| &p.name == name) {
+                    Some(p) => p.begun += 1,
+                    None => self.phases.push(PhaseStats {
+                        name: name.clone(),
+                        begun: 1,
+                        ended: 0,
+                    }),
+                }
+            }
+            TraceEvent::PhaseEnd { name } => {
+                match self.phases.iter_mut().find(|p| &p.name == name) {
+                    Some(p) => p.ended += 1,
+                    None => self.phases.push(PhaseStats {
+                        name: name.clone(),
+                        begun: 0,
+                        ended: 1,
+                    }),
+                }
+            }
+            TraceEvent::ScanStart { op } => match self.scans.iter_mut().find(|s| &s.op == op) {
+                Some(s) => s.started += 1,
+                None => self.scans.push(ScanStats {
+                    op: op.clone(),
+                    started: 1,
+                    ended: 0,
+                }),
+            },
+            TraceEvent::ScanEnd { op } => match self.scans.iter_mut().find(|s| &s.op == op) {
+                Some(s) => s.ended += 1,
+                None => self.scans.push(ScanStats {
+                    op: op.clone(),
+                    started: 0,
+                    ended: 1,
+                }),
+            },
+            TraceEvent::Reversal { tape, total } => {
+                self.tape_mut(*tape).reversals = *total;
+            }
+            TraceEvent::HeadMoves { tape, total } => {
+                self.tape_mut(*tape).head_moves = *total;
+            }
+            TraceEvent::StepBatch { steps } => {
+                self.batched_steps += steps;
+            }
+            TraceEvent::MemCharge { bits } => {
+                self.mem_current += bits;
+                self.mem_high = self.mem_high.max(self.mem_current);
+            }
+            TraceEvent::MemRelease { bits } => {
+                self.mem_current = self.mem_current.saturating_sub(*bits);
+            }
+            TraceEvent::MemPeak { bits } => {
+                self.mem_high = self.mem_high.max(self.mem_current + bits);
+            }
+            TraceEvent::Fault { tape, kind } => {
+                self.fault_totals[kind.index()] += 1;
+                self.tape_mut(*tape).faults[kind.index()] += 1;
+            }
+            TraceEvent::Retry { reason, .. } => {
+                self.retries += 1;
+                match self.retry_reasons.iter_mut().find(|(r, _)| r == reason) {
+                    Some((_, n)) => *n += 1,
+                    None => self.retry_reasons.push((reason.clone(), 1)),
+                }
+            }
+            TraceEvent::TapeExtent { tape, cells } => {
+                self.tape_mut(*tape).cells = *cells;
+            }
+            TraceEvent::RunUsage { .. } => {
+                self.checkpoints += 1;
+            }
+        }
+    }
+
+    /// The usage record the folded events imply, derived without ever
+    /// reading a [`TraceEvent::RunUsage`] checkpoint.
+    #[must_use]
+    pub fn usage(&self) -> ResourceUsage {
+        ResourceUsage {
+            input_len: self.input_len,
+            reversals_per_tape: self.tapes.iter().map(|t| t.reversals).collect(),
+            external_tapes: self.tapes.len(),
+            internal_space: self.mem_high,
+            steps: self.batched_steps + self.tapes.iter().map(|t| t.head_moves).sum::<u64>(),
+            external_cells: self.tapes.iter().map(|t| t.cells).sum(),
+        }
+    }
+
+    /// Substrate name from the segment's `RunBegin` (empty if none seen).
+    #[must_use]
+    pub fn substrate(&self) -> &str {
+        &self.substrate
+    }
+
+    /// `RunBegin` markers folded so far.
+    #[must_use]
+    pub fn runs(&self) -> u64 {
+        self.runs
+    }
+
+    /// Total events folded.
+    #[must_use]
+    pub fn events(&self) -> u64 {
+        self.events
+    }
+
+    /// Per-tape counters, indexed by tape id.
+    #[must_use]
+    pub fn tapes(&self) -> &[TapeStats] {
+        &self.tapes
+    }
+
+    /// Begin/end counters per named phase, in first-seen order.
+    #[must_use]
+    pub fn phases(&self) -> &[PhaseStats] {
+        &self.phases
+    }
+
+    /// Start/end counters per scan combinator, in first-seen order.
+    #[must_use]
+    pub fn scans(&self) -> &[ScanStats] {
+        &self.scans
+    }
+
+    /// Total retry events.
+    #[must_use]
+    pub fn retries(&self) -> u64 {
+        self.retries
+    }
+
+    /// Retry counts per distinct reason, in first-seen order.
+    #[must_use]
+    pub fn retry_reasons(&self) -> &[(String, u64)] {
+        &self.retry_reasons
+    }
+
+    /// Injected-fault totals, indexed by [`FaultKind::index`].
+    #[must_use]
+    pub fn fault_totals(&self) -> [u64; 4] {
+        self.fault_totals
+    }
+
+    /// Total faults of every kind.
+    #[must_use]
+    pub fn total_faults(&self) -> u64 {
+        self.fault_totals.iter().sum()
+    }
+
+    /// `RunUsage` checkpoints folded so far.
+    #[must_use]
+    pub fn checkpoints(&self) -> u64 {
+        self.checkpoints
+    }
+}
+
+/// Re-derive the usage of a single-run trace by folding every event.
+///
+/// For traces holding several runs (several `RunBegin` markers) use
+/// [`audit`], which replays each segment separately.
+#[must_use]
+pub fn replay(events: &[TraceEvent]) -> ResourceUsage {
+    let mut agg = Aggregator::new();
+    for ev in events {
+        agg.push(ev);
+    }
+    agg.usage()
+}
+
+/// One checkpoint comparison: what the substrate claimed vs. what replay
+/// re-derived at the same instant.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CheckResult {
+    /// The substrate's own accounting (from [`TraceEvent::RunUsage`]).
+    pub claimed: ResourceUsage,
+    /// The usage re-derived from the event stream.
+    pub replayed: ResourceUsage,
+}
+
+impl CheckResult {
+    /// `true` iff claimed and replayed agree bit-for-bit.
+    #[must_use]
+    pub fn matches(&self) -> bool {
+        self.claimed == self.replayed
+    }
+}
+
+/// The audit of one run segment (one `RunBegin` to the next).
+#[derive(Debug, Clone)]
+pub struct SegmentAudit {
+    /// Substrate that produced the segment.
+    pub substrate: String,
+    /// Checkpoint comparisons, in trace order.
+    pub checks: Vec<CheckResult>,
+    /// Final folded metrics of the segment.
+    pub metrics: Aggregator,
+}
+
+impl SegmentAudit {
+    /// `true` iff every checkpoint in the segment matched.
+    #[must_use]
+    pub fn ok(&self) -> bool {
+        self.checks.iter().all(CheckResult::matches)
+    }
+}
+
+/// Replay audit of a whole trace, segmented at `RunBegin` markers.
+#[derive(Debug, Clone, Default)]
+pub struct AuditReport {
+    /// One audit per run segment, in trace order. Events before the
+    /// first `RunBegin` form a preamble segment only if they contain a
+    /// checkpoint or any countable activity.
+    pub segments: Vec<SegmentAudit>,
+}
+
+impl AuditReport {
+    /// `true` iff every checkpoint in every segment matched.
+    #[must_use]
+    pub fn ok(&self) -> bool {
+        self.segments.iter().all(SegmentAudit::ok)
+    }
+
+    /// Total checkpoint comparisons across all segments.
+    #[must_use]
+    pub fn checks(&self) -> usize {
+        self.segments.iter().map(|s| s.checks.len()).sum()
+    }
+
+    /// Every failed comparison, as `(segment index, check)` pairs.
+    #[must_use]
+    pub fn mismatches(&self) -> Vec<(usize, &CheckResult)> {
+        self.segments
+            .iter()
+            .enumerate()
+            .flat_map(|(i, s)| {
+                s.checks
+                    .iter()
+                    .filter(|c| !c.matches())
+                    .map(move |c| (i, c))
+            })
+            .collect()
+    }
+}
+
+impl fmt::Display for AuditReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} segment(s), {} checkpoint(s), {}",
+            self.segments.len(),
+            self.checks(),
+            if self.ok() {
+                "all match".to_string()
+            } else {
+                format!("{} MISMATCH(ES)", self.mismatches().len())
+            }
+        )
+    }
+}
+
+/// Split `events` into run segments at each [`TraceEvent::RunBegin`] and
+/// replay every segment, comparing each [`TraceEvent::RunUsage`]
+/// checkpoint against the re-derived usage at that instant.
+#[must_use]
+pub fn audit(events: &[TraceEvent]) -> AuditReport {
+    let mut report = AuditReport::default();
+    let mut agg = Aggregator::new();
+    let mut checks: Vec<CheckResult> = Vec::new();
+
+    let close =
+        |agg: &mut Aggregator, checks: &mut Vec<CheckResult>, segments: &mut Vec<SegmentAudit>| {
+            // Drop an empty preamble (no events at all before the first run).
+            if agg.events() > 0 {
+                segments.push(SegmentAudit {
+                    substrate: agg.substrate().to_string(),
+                    checks: std::mem::take(checks),
+                    metrics: std::mem::replace(agg, Aggregator::new()),
+                });
+            }
+        };
+
+    for ev in events {
+        match ev {
+            TraceEvent::RunBegin { .. } => {
+                close(&mut agg, &mut checks, &mut report.segments);
+                agg.push(ev);
+            }
+            TraceEvent::RunUsage { usage } => {
+                agg.push(ev);
+                checks.push(CheckResult {
+                    claimed: usage.clone(),
+                    replayed: agg.usage(),
+                });
+            }
+            other => agg.push(other),
+        }
+    }
+    close(&mut agg, &mut checks, &mut report.segments);
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::FaultKind;
+
+    fn claim(agg: &Aggregator) -> TraceEvent {
+        TraceEvent::RunUsage { usage: agg.usage() }
+    }
+
+    #[test]
+    fn replay_derives_usage_from_raw_events() {
+        let events = vec![
+            TraceEvent::RunBegin {
+                substrate: "tape".into(),
+                input_len: 16,
+            },
+            TraceEvent::TapeRegistered {
+                tape: 0,
+                name: "input".into(),
+            },
+            TraceEvent::TapeRegistered {
+                tape: 1,
+                name: "work".into(),
+            },
+            TraceEvent::MemCharge { bits: 100 },
+            TraceEvent::MemCharge { bits: 50 },
+            TraceEvent::MemRelease { bits: 120 },
+            TraceEvent::MemPeak { bits: 200 },
+            TraceEvent::Reversal { tape: 0, total: 1 },
+            TraceEvent::Reversal { tape: 0, total: 2 },
+            TraceEvent::Reversal { tape: 1, total: 5 },
+            TraceEvent::HeadMoves { tape: 0, total: 40 },
+            TraceEvent::HeadMoves { tape: 1, total: 60 },
+            TraceEvent::StepBatch { steps: 7 },
+            TraceEvent::TapeExtent { tape: 0, cells: 16 },
+            TraceEvent::TapeExtent { tape: 1, cells: 16 },
+        ];
+        let u = replay(&events);
+        assert_eq!(u.input_len, 16);
+        assert_eq!(u.reversals_per_tape, vec![2, 5]);
+        assert_eq!(u.external_tapes, 2);
+        // charge 100+50 = 150 high; release to 30; peak 30+200 = 230.
+        assert_eq!(u.internal_space, 230);
+        assert_eq!(u.steps, 40 + 60 + 7);
+        assert_eq!(u.external_cells, 32);
+    }
+
+    #[test]
+    fn cumulative_events_keep_last_value_not_sum() {
+        let events = vec![
+            TraceEvent::HeadMoves { tape: 0, total: 10 },
+            TraceEvent::HeadMoves { tape: 0, total: 25 },
+            TraceEvent::TapeExtent { tape: 0, cells: 4 },
+            TraceEvent::TapeExtent { tape: 0, cells: 9 },
+        ];
+        let u = replay(&events);
+        assert_eq!(u.steps, 25);
+        assert_eq!(u.external_cells, 9);
+    }
+
+    #[test]
+    fn audit_segments_at_run_begin_and_checks_each_checkpoint() {
+        let mut agg = Aggregator::new();
+        let mut events = Vec::new();
+        let emit = |agg: &mut Aggregator, events: &mut Vec<TraceEvent>, ev: TraceEvent| {
+            agg.push(&ev);
+            events.push(ev);
+        };
+        // Segment 1: a tape run with a matching checkpoint.
+        emit(
+            &mut agg,
+            &mut events,
+            TraceEvent::RunBegin {
+                substrate: "tape".into(),
+                input_len: 8,
+            },
+        );
+        emit(
+            &mut agg,
+            &mut events,
+            TraceEvent::TapeRegistered {
+                tape: 0,
+                name: "t0".into(),
+            },
+        );
+        emit(
+            &mut agg,
+            &mut events,
+            TraceEvent::Reversal { tape: 0, total: 3 },
+        );
+        events.push(claim(&agg));
+        // Segment 2: fresh run; counters must reset.
+        agg = Aggregator::new();
+        emit(
+            &mut agg,
+            &mut events,
+            TraceEvent::RunBegin {
+                substrate: "tm".into(),
+                input_len: 4,
+            },
+        );
+        emit(&mut agg, &mut events, TraceEvent::StepBatch { steps: 11 });
+        events.push(claim(&agg));
+
+        let report = audit(&events);
+        assert_eq!(report.segments.len(), 2);
+        assert_eq!(report.checks(), 2);
+        assert!(report.ok(), "{report}");
+        assert_eq!(report.segments[0].substrate, "tape");
+        assert_eq!(report.segments[1].substrate, "tm");
+        assert_eq!(report.segments[1].checks[0].replayed.steps, 11);
+    }
+
+    #[test]
+    fn audit_flags_a_lying_checkpoint() {
+        let events = vec![
+            TraceEvent::RunBegin {
+                substrate: "tape".into(),
+                input_len: 8,
+            },
+            TraceEvent::Reversal { tape: 0, total: 3 },
+            TraceEvent::RunUsage {
+                usage: ResourceUsage {
+                    input_len: 8,
+                    reversals_per_tape: vec![2], // lies: trace says 3
+                    external_tapes: 1,
+                    internal_space: 0,
+                    steps: 0,
+                    external_cells: 0,
+                },
+            },
+        ];
+        let report = audit(&events);
+        assert!(!report.ok());
+        assert_eq!(report.mismatches().len(), 1);
+        assert!(report.to_string().contains("MISMATCH"));
+    }
+
+    #[test]
+    fn aggregator_tracks_phases_scans_retries_and_faults() {
+        let mut agg = Aggregator::new();
+        for ev in [
+            TraceEvent::PhaseBegin {
+                name: "merge".into(),
+            },
+            TraceEvent::PhaseEnd {
+                name: "merge".into(),
+            },
+            TraceEvent::PhaseBegin {
+                name: "merge".into(),
+            },
+            TraceEvent::ScanStart {
+                op: "copy_tape".into(),
+            },
+            TraceEvent::ScanEnd {
+                op: "copy_tape".into(),
+            },
+            TraceEvent::Retry {
+                attempt: 1,
+                reason: "mismatch".into(),
+            },
+            TraceEvent::Retry {
+                attempt: 2,
+                reason: "mismatch".into(),
+            },
+            TraceEvent::Fault {
+                tape: 1,
+                kind: FaultKind::BitFlip,
+            },
+            TraceEvent::Fault {
+                tape: 1,
+                kind: FaultKind::TornWrite,
+            },
+        ] {
+            agg.push(&ev);
+        }
+        assert_eq!(agg.phases().len(), 1);
+        assert_eq!(agg.phases()[0].begun, 2);
+        assert_eq!(agg.phases()[0].ended, 1);
+        assert_eq!(agg.scans()[0].started, 1);
+        assert_eq!(agg.retries(), 2);
+        assert_eq!(agg.retry_reasons(), &[("mismatch".to_string(), 2)]);
+        assert_eq!(agg.total_faults(), 2);
+        assert_eq!(agg.tapes()[1].faults[FaultKind::BitFlip.index()], 1);
+    }
+
+    #[test]
+    fn empty_trace_audits_clean() {
+        let report = audit(&[]);
+        assert!(report.ok());
+        assert_eq!(report.segments.len(), 0);
+    }
+}

@@ -1,0 +1,256 @@
+//! Concrete sinks: full in-memory, bounded ring, JSONL file, and the
+//! streaming aggregator.
+//!
+//! | sink | retention | cost/event | use |
+//! |------|-----------|-----------|-----|
+//! | [`MemorySink`] | everything | push | tests, replay audits |
+//! | [`RingSink`] | last `cap` | push + pop | flight recorder on long runs |
+//! | [`JsonlSink`] | file | format + buffered write | experiment dumps, `trace-inspect` |
+//! | [`AggregateSink`] | metrics only | counter folds | live metrics without storage |
+
+use crate::event::TraceEvent;
+use crate::replay::Aggregator;
+use crate::tracer::Sink;
+use parking_lot::Mutex;
+use st_core::StError;
+use std::collections::VecDeque;
+use std::io::Write;
+use std::sync::Arc;
+
+/// Shared read handle to the events captured by a [`MemorySink`] or
+/// [`RingSink`].
+#[derive(Debug, Clone)]
+pub struct TraceBuffer {
+    events: Arc<Mutex<VecDeque<TraceEvent>>>,
+}
+
+impl TraceBuffer {
+    /// Copy out the captured events in emission order.
+    #[must_use]
+    pub fn snapshot(&self) -> Vec<TraceEvent> {
+        self.events.lock().iter().cloned().collect()
+    }
+
+    /// Number of events currently held.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.events.lock().len()
+    }
+
+    /// `true` iff nothing was captured (or everything rotated out).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.events.lock().is_empty()
+    }
+}
+
+/// Retains every event in memory.
+#[derive(Debug, Default)]
+pub struct MemorySink {
+    events: Arc<Mutex<VecDeque<TraceEvent>>>,
+}
+
+impl MemorySink {
+    /// An empty sink.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A read handle usable after the sink moves into a tracer.
+    #[must_use]
+    pub fn buffer(&self) -> TraceBuffer {
+        TraceBuffer {
+            events: Arc::clone(&self.events),
+        }
+    }
+}
+
+impl Sink for MemorySink {
+    fn record(&mut self, ev: TraceEvent) {
+        self.events.lock().push_back(ev);
+    }
+}
+
+/// Retains only the most recent `capacity` events.
+#[derive(Debug)]
+pub struct RingSink {
+    events: Arc<Mutex<VecDeque<TraceEvent>>>,
+    capacity: usize,
+}
+
+impl RingSink {
+    /// A ring holding at most `capacity` events (capacity 0 keeps none).
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        RingSink {
+            events: Arc::new(Mutex::new(VecDeque::with_capacity(capacity.min(1024)))),
+            capacity,
+        }
+    }
+
+    /// A read handle usable after the sink moves into a tracer.
+    #[must_use]
+    pub fn buffer(&self) -> TraceBuffer {
+        TraceBuffer {
+            events: Arc::clone(&self.events),
+        }
+    }
+}
+
+impl Sink for RingSink {
+    fn record(&mut self, ev: TraceEvent) {
+        let mut g = self.events.lock();
+        if self.capacity == 0 {
+            return;
+        }
+        if g.len() == self.capacity {
+            g.pop_front();
+        }
+        g.push_back(ev);
+    }
+}
+
+/// Streams events to a file, one JSON line each.
+#[derive(Debug)]
+pub struct JsonlSink {
+    writer: std::io::BufWriter<std::fs::File>,
+}
+
+impl JsonlSink {
+    /// Create (truncate) `path` and stream events into it.
+    pub fn create(path: &std::path::Path) -> Result<Self, StError> {
+        let file = std::fs::File::create(path)
+            .map_err(|e| StError::Io(format!("create trace {}: {e}", path.display())))?;
+        Ok(JsonlSink {
+            writer: std::io::BufWriter::new(file),
+        })
+    }
+}
+
+impl Sink for JsonlSink {
+    fn record(&mut self, ev: TraceEvent) {
+        // A full disk mid-trace must not abort the traced computation;
+        // the audit will catch the truncated file.
+        let _ = writeln!(self.writer, "{}", ev.to_json_line());
+    }
+
+    fn flush(&mut self) {
+        let _ = self.writer.flush();
+    }
+}
+
+impl Drop for JsonlSink {
+    fn drop(&mut self) {
+        let _ = self.writer.flush();
+    }
+}
+
+/// Folds events into per-phase/per-tape metrics without retaining them.
+#[derive(Debug, Default)]
+pub struct AggregateSink {
+    agg: Arc<Mutex<Aggregator>>,
+}
+
+impl AggregateSink {
+    /// A fresh streaming aggregator.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A read handle usable after the sink moves into a tracer.
+    #[must_use]
+    pub fn handle(&self) -> AggregateHandle {
+        AggregateHandle {
+            agg: Arc::clone(&self.agg),
+        }
+    }
+}
+
+impl Sink for AggregateSink {
+    fn record(&mut self, ev: TraceEvent) {
+        self.agg.lock().push(&ev);
+    }
+}
+
+/// Shared read handle to a live [`AggregateSink`].
+#[derive(Debug, Clone)]
+pub struct AggregateHandle {
+    agg: Arc<Mutex<Aggregator>>,
+}
+
+impl AggregateHandle {
+    /// A snapshot of the aggregator's current state.
+    #[must_use]
+    pub fn snapshot(&self) -> Aggregator {
+        self.agg.lock().clone()
+    }
+
+    /// The usage record the events replayed so far imply.
+    #[must_use]
+    pub fn usage(&self) -> st_core::ResourceUsage {
+        self.agg.lock().usage()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn step(n: u64) -> TraceEvent {
+        TraceEvent::StepBatch { steps: n }
+    }
+
+    #[test]
+    fn memory_sink_keeps_everything_in_order() {
+        let mut s = MemorySink::new();
+        let buf = s.buffer();
+        for i in 0..5 {
+            s.record(step(i));
+        }
+        let got = buf.snapshot();
+        assert_eq!(got.len(), 5);
+        assert_eq!(got[0], step(0));
+        assert_eq!(got[4], step(4));
+    }
+
+    #[test]
+    fn ring_sink_rotates_out_the_oldest() {
+        let mut s = RingSink::new(3);
+        let buf = s.buffer();
+        for i in 0..10 {
+            s.record(step(i));
+        }
+        assert_eq!(buf.snapshot(), vec![step(7), step(8), step(9)]);
+        let mut empty = RingSink::new(0);
+        let ebuf = empty.buffer();
+        empty.record(step(1));
+        assert!(ebuf.is_empty());
+    }
+
+    #[test]
+    fn aggregate_sink_folds_without_retaining() {
+        let mut s = AggregateSink::new();
+        let h = s.handle();
+        s.record(step(10));
+        s.record(step(5));
+        assert_eq!(h.usage().steps, 15);
+    }
+
+    #[test]
+    fn jsonl_sink_writes_parseable_lines() {
+        let path = std::env::temp_dir().join("st_trace_sink_test.jsonl");
+        {
+            let mut s = JsonlSink::create(&path).unwrap();
+            s.record(step(3));
+            s.record(TraceEvent::Reversal { tape: 1, total: 2 });
+        }
+        let events = crate::event::read_jsonl(&path).unwrap();
+        assert_eq!(
+            events,
+            vec![step(3), TraceEvent::Reversal { tape: 1, total: 2 }]
+        );
+        let _ = std::fs::remove_file(&path);
+    }
+}

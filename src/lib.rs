@@ -2,7 +2,7 @@
 //!
 //! Re-exports the whole laboratory. See the individual crates:
 //! [`st_core`], [`st_extmem`], [`st_tm`], [`st_lm`], [`st_problems`],
-//! [`st_algo`], [`st_query`].
+//! [`st_algo`], [`st_query`], [`st_trace`].
 
 #![forbid(unsafe_code)]
 
@@ -13,6 +13,7 @@ pub use st_lm as lm;
 pub use st_problems as problems;
 pub use st_query as query;
 pub use st_tm as tm;
+pub use st_trace as trace;
 
 /// One-stop prelude for examples and integration tests.
 pub mod prelude {
