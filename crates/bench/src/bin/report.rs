@@ -6,100 +6,109 @@
 //! cargo run -p st-bench --bin report --list             # the registry
 //! cargo run -p st-bench --bin report --out FILE         # also save as text
 //! cargo run -p st-bench --bin report --trace-dir DIR    # JSONL trace per experiment
+//! cargo run -p st-bench --bin report --jobs 4           # parallel runner
 //! ```
 //!
 //! Always writes `BENCH_report.json` (experiment id → metrics) next to
 //! the text report (or into the current directory without `--out`).
 //!
-//! With `--trace-dir DIR` every experiment runs under a JSONL-file
-//! tracer; afterwards each trace is read back and audited — the replayed
-//! `ResourceUsage` must match every checkpoint the substrates claimed.
-//! An audit mismatch is a hard failure, like a NOT-REPRODUCED verdict.
+//! Experiments run on the work-stealing pool of [`st_bench::runner`]
+//! (`--jobs N`; default: available parallelism). Output is emitted in
+//! registry order whatever the pool does, so every artifact is
+//! byte-identical to a `--jobs 1` run. A panicking experiment becomes a
+//! `NOT REPRODUCED` verdict instead of aborting the report.
+//!
+//! With `--trace-dir DIR` every experiment runs under its own JSONL
+//! tracer; after the pool joins, each trace is read back and audited —
+//! the replayed `ResourceUsage` must match every checkpoint the
+//! substrates claimed. An audit mismatch is a hard failure, like a
+//! NOT-REPRODUCED verdict. Unknown experiment ids (`report e3 e99`) are
+//! an error, not a silent filter.
 
 use st_bench::all_experiments;
 use st_bench::report::{save_json, save_text};
+use st_bench::runner::{run_experiments, select_experiments, RunOptions};
 
-/// Remove a `--flag VALUE` pair from `args`, returning the value.
-fn take_flag(args: &mut Vec<String>, flag: &str) -> Option<std::path::PathBuf> {
-    let i = args.iter().position(|a| a == flag)?;
-    if i + 1 >= args.len() {
-        eprintln!("{flag} requires a path");
-        std::process::exit(2);
+/// Remove a `--flag VALUE` pair from `args`, returning the value. A
+/// missing value — end of args, or a following token that is itself a
+/// flag (`report --out --trace-dir d` must not eat `--trace-dir` as the
+/// out path) — is an error.
+fn take_flag(args: &mut Vec<String>, flag: &str) -> Result<Option<String>, String> {
+    let Some(i) = args.iter().position(|a| a == flag) else {
+        return Ok(None);
+    };
+    match args.get(i + 1) {
+        None => Err(format!("{flag} requires a value")),
+        Some(v) if v.starts_with("--") => {
+            Err(format!("{flag} requires a value, but found the flag {v}"))
+        }
+        Some(_) => {
+            let value = args.remove(i + 1);
+            args.remove(i);
+            Ok(Some(value))
+        }
     }
-    let path = args.remove(i + 1);
-    args.remove(i);
-    Some(std::path::PathBuf::from(path))
+}
+
+/// [`take_flag`] for path-valued flags.
+fn take_path_flag(
+    args: &mut Vec<String>,
+    flag: &str,
+) -> Result<Option<std::path::PathBuf>, String> {
+    Ok(take_flag(args, flag)?.map(std::path::PathBuf::from))
+}
+
+/// Parse `--jobs N` (0 or absent = available parallelism).
+fn take_jobs_flag(args: &mut Vec<String>) -> Result<usize, String> {
+    match take_flag(args, "--jobs")? {
+        None => Ok(0),
+        Some(v) => v
+            .parse::<usize>()
+            .map_err(|_| format!("--jobs requires a non-negative integer, got `{v}`")),
+    }
+}
+
+fn usage_error(msg: &str) -> ! {
+    eprintln!("{msg}");
+    std::process::exit(2);
 }
 
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let registry = all_experiments();
     if args.iter().any(|a| a == "--list") {
-        for (id, title, _) in &registry {
-            println!("{id:>4}  {title}");
+        for e in &registry {
+            println!("{:>4}  {}", e.id, e.title);
         }
         return;
     }
-    let out_path = take_flag(&mut args, "--out");
-    let trace_dir = take_flag(&mut args, "--trace-dir");
-    if let Some(dir) = &trace_dir {
-        if let Err(e) = std::fs::create_dir_all(dir) {
-            eprintln!("create {}: {e}", dir.display());
+    let out_path = take_path_flag(&mut args, "--out").unwrap_or_else(|e| usage_error(&e));
+    let trace_dir = take_path_flag(&mut args, "--trace-dir").unwrap_or_else(|e| usage_error(&e));
+    let jobs = take_jobs_flag(&mut args).unwrap_or_else(|e| usage_error(&e));
+    if let Some(stray) = args.iter().find(|a| a.starts_with("--")) {
+        usage_error(&format!("unknown flag {stray}"));
+    }
+    let selected = select_experiments(registry, &args).unwrap_or_else(|e| usage_error(&e));
+    let opts = RunOptions { jobs, trace_dir };
+    let outcome = match run_experiments(&selected, &opts) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("{e}");
             std::process::exit(1);
         }
-    }
-    let selected: Vec<_> = if args.is_empty() {
-        registry
-    } else {
-        registry
-            .into_iter()
-            .filter(|(id, _, _)| args.iter().any(|a| a.eq_ignore_ascii_case(id)))
-            .collect()
     };
-    if selected.is_empty() {
-        eprintln!("no matching experiments; try --list");
-        std::process::exit(2);
-    }
-    let mut failures = 0usize;
-    let mut audit_failures = 0usize;
-    let mut reports = Vec::new();
-    for (id, _, run) in selected {
-        let report = match &trace_dir {
-            Some(dir) => {
-                let path = dir.join(format!("{id}.jsonl"));
-                let tracer = match st_trace::Tracer::jsonl(&path) {
-                    Ok(t) => t,
-                    Err(e) => {
-                        eprintln!("{e}");
-                        std::process::exit(1);
-                    }
-                };
-                let report = st_trace::scoped(tracer.clone(), run);
-                tracer.flush();
-                match st_trace::read_jsonl(&path) {
-                    Ok(events) => {
-                        let audit = st_trace::audit(&events);
-                        if !audit.ok() {
-                            eprintln!("[{id}] trace audit FAILED: {audit}");
-                            audit_failures += 1;
-                        } else {
-                            eprintln!("[{id}] trace: {} event(s), {audit}", events.len());
-                        }
-                    }
-                    Err(e) => {
-                        eprintln!("[{id}] trace unreadable: {e}");
-                        audit_failures += 1;
-                    }
-                }
-                report
-            }
-            None => run(),
-        };
-        println!("{report}");
-        if !report.reproduced() {
-            failures += 1;
+    for audit in &outcome.audits {
+        if audit.ok {
+            eprintln!(
+                "[{}] trace: {} event(s), {}",
+                audit.id, audit.events, audit.summary
+            );
+        } else {
+            eprintln!("[{}] trace audit FAILED: {}", audit.id, audit.summary);
         }
-        reports.push(report);
+    }
+    for report in &outcome.reports {
+        println!("{report}");
     }
     let json_path = out_path
         .as_deref()
@@ -109,22 +118,24 @@ fn main() {
             || std::path::PathBuf::from("BENCH_report.json"),
             |d| d.join("BENCH_report.json"),
         );
-    if let Err(e) = save_json(&json_path, &reports) {
+    if let Err(e) = save_json(&json_path, &outcome.reports) {
         eprintln!("{e}");
         std::process::exit(1);
     }
     eprintln!(
         "saved {} report(s) to {}",
-        reports.len(),
+        outcome.reports.len(),
         json_path.display()
     );
     if let Some(path) = out_path {
-        if let Err(e) = save_text(&path, &reports) {
+        if let Err(e) = save_text(&path, &outcome.reports) {
             eprintln!("{e}");
             std::process::exit(1);
         }
         eprintln!("saved text report to {}", path.display());
     }
+    let audit_failures = outcome.audit_failures();
+    let failures = outcome.failures();
     if audit_failures > 0 {
         eprintln!("{audit_failures} experiment trace(s) failed the replay audit");
     }
@@ -133,5 +144,61 @@ fn main() {
     }
     if failures > 0 || audit_failures > 0 {
         std::process::exit(1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| (*s).to_string()).collect()
+    }
+
+    #[test]
+    fn take_flag_extracts_the_pair_and_leaves_the_rest() {
+        let mut a = args(&["e3", "--out", "report.txt", "e9"]);
+        let got = take_flag(&mut a, "--out").unwrap();
+        assert_eq!(got.as_deref(), Some("report.txt"));
+        assert_eq!(a, args(&["e3", "e9"]));
+    }
+
+    #[test]
+    fn take_flag_absent_is_none_and_untouched() {
+        let mut a = args(&["e3"]);
+        assert_eq!(take_flag(&mut a, "--out").unwrap(), None);
+        assert_eq!(a, args(&["e3"]));
+    }
+
+    #[test]
+    fn take_flag_rejects_a_flag_as_value() {
+        // `report --out --trace-dir d` must not treat `--trace-dir` as
+        // the out path.
+        let mut a = args(&["--out", "--trace-dir", "d"]);
+        let err = take_flag(&mut a, "--out").unwrap_err();
+        assert!(err.contains("--trace-dir"), "{err}");
+        assert_eq!(
+            a,
+            args(&["--out", "--trace-dir", "d"]),
+            "args untouched on error"
+        );
+    }
+
+    #[test]
+    fn take_flag_rejects_a_trailing_flag_without_value() {
+        let mut a = args(&["e1", "--out"]);
+        let err = take_flag(&mut a, "--out").unwrap_err();
+        assert!(err.contains("requires a value"), "{err}");
+    }
+
+    #[test]
+    fn jobs_flag_parses_or_defaults_to_auto() {
+        let mut a = args(&["--jobs", "4", "e1"]);
+        assert_eq!(take_jobs_flag(&mut a).unwrap(), 4);
+        assert_eq!(a, args(&["e1"]));
+        let mut b = args(&["e1"]);
+        assert_eq!(take_jobs_flag(&mut b).unwrap(), 0);
+        let mut c = args(&["--jobs", "many"]);
+        assert!(take_jobs_flag(&mut c).is_err());
     }
 }

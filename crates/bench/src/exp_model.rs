@@ -395,12 +395,12 @@ pub fn e18_structural_bounds() -> Report {
 pub fn failed_experiments() -> Vec<String> {
     crate::all_experiments()
         .into_iter()
-        .filter_map(|(id, _, f)| {
-            let rep = f();
+        .filter_map(|e| {
+            let rep = (e.run)();
             if rep.reproduced() {
                 None
             } else {
-                Some(id.to_string())
+                Some(e.id.to_string())
             }
         })
         .collect()

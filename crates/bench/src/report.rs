@@ -53,10 +53,23 @@ impl Report {
         self.verdict = format!("{mark} — {}", detail.into());
     }
 
-    /// Did the experiment reproduce the claim?
+    /// Did the experiment reproduce the claim? A report whose verdict was
+    /// never set is an explicit failure, never a silent pass.
     #[must_use]
     pub fn reproduced(&self) -> bool {
-        self.verdict.starts_with("REPRODUCED")
+        !self.verdict.is_empty() && self.verdict.starts_with("REPRODUCED")
+    }
+
+    /// The verdict line as rendered: an unset verdict reads as an
+    /// explicit `NOT REPRODUCED — verdict never set` instead of an empty
+    /// line with no explanation.
+    #[must_use]
+    pub fn verdict_line(&self) -> &str {
+        if self.verdict.is_empty() {
+            "NOT REPRODUCED — verdict never set"
+        } else {
+            &self.verdict
+        }
     }
 }
 
@@ -90,7 +103,7 @@ pub fn to_json(reports: &[Report]) -> String {
         out.push_str(",\"reproduced\":");
         out.push_str(if r.reproduced() { "true" } else { "false" });
         out.push_str(",\"verdict\":");
-        out.push_str(&quote(&r.verdict));
+        out.push_str(&quote(r.verdict_line()));
         out.push_str(",\"columns\":");
         str_arr(&mut out, &r.columns);
         out.push_str(",\"rows\":[");
@@ -150,7 +163,7 @@ impl fmt::Display for Report {
         for row in &self.rows {
             line(f, row)?;
         }
-        writeln!(f, "   {}", self.verdict)
+        writeln!(f, "   {}", self.verdict_line())
     }
 }
 
@@ -184,6 +197,21 @@ mod tests {
         r.verdict(false, "slope off");
         assert!(!r.reproduced());
         assert!(r.to_string().contains("NOT REPRODUCED"));
+    }
+
+    #[test]
+    fn unset_verdict_is_an_explicit_not_reproduced() {
+        let r = Report::new("e0", "demo", "c", &["a"]);
+        assert!(!r.reproduced(), "no verdict must never count as a pass");
+        assert_eq!(r.verdict_line(), "NOT REPRODUCED — verdict never set");
+        assert!(
+            r.to_string().contains("NOT REPRODUCED — verdict never set"),
+            "{r}"
+        );
+        assert!(
+            to_json(&[r]).contains("NOT REPRODUCED — verdict never set"),
+            "the JSON document must carry the explicit verdict too"
+        );
     }
 
     #[test]

@@ -337,6 +337,16 @@ mod tests {
     }
 
     #[test]
+    fn machine_state_is_send_for_worker_threads() {
+        // One experiment = one TapeMachine owned by one worker thread of
+        // the parallel harness: the whole machine (tapes, meter, tracer)
+        // must be Send so it can be built and dropped on that worker.
+        fn assert_send<T: Send>() {}
+        assert_send::<TapeMachine<u8>>();
+        assert_send::<Tape<u8>>();
+    }
+
+    #[test]
     fn scoped_tracer_is_picked_up_by_plain_constructors() {
         let (tracer, buf) = st_trace::Tracer::in_memory();
         let usage = st_trace::scoped(tracer, || {

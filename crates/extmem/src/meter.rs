@@ -214,6 +214,30 @@ mod tests {
     }
 
     #[test]
+    fn meter_is_sound_across_threads() {
+        // Workers of the parallel harness may share a meter through
+        // clones: MemoryMeter must be Send + Sync (Arc<parking_lot::
+        // Mutex<…>> with a Send tracer inside), and concurrent charges
+        // must keep the high-water mark consistent.
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<MemoryMeter>();
+
+        let m = MemoryMeter::new();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let m = m.clone();
+                s.spawn(move || {
+                    for _ in 0..50 {
+                        m.charge_static(1);
+                    }
+                });
+            }
+        });
+        assert_eq!(m.current_bits(), 200);
+        assert_eq!(m.high_water_bits(), 200);
+    }
+
+    #[test]
     fn bits_for_is_ceil_log2_plus_one_semantics() {
         assert_eq!(bits_for(0), 1);
         assert_eq!(bits_for(1), 1);

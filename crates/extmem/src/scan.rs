@@ -8,7 +8,24 @@
 use crate::meter::{bits_for, MemoryMeter};
 use crate::tape::Tape;
 use st_core::StError;
-use st_trace::TraceEvent;
+use st_trace::{TraceEvent, Tracer};
+
+/// The tracer a combinator's `ScanStart`/`ScanEnd` events go to: the
+/// thread's ambient [`st_trace::scoped`] tracer when one is installed,
+/// else the first enabled tracer among the tapes being driven. Emitting
+/// only on the *source* tape's tracer loses the events whenever the
+/// destination belongs to a different tracer scope (e.g. a cross-machine
+/// `copy_tape` whose source machine is untraced).
+fn scan_tracer(tapes: &[&Tracer]) -> Tracer {
+    let ambient = st_trace::current();
+    if ambient.is_enabled() {
+        return ambient;
+    }
+    tapes
+        .iter()
+        .find(|t| t.is_enabled())
+        .map_or_else(Tracer::disabled, |t| (*t).clone())
+}
 
 /// Copy all of `src` onto `dst` (overwriting `dst` from its start).
 ///
@@ -19,7 +36,7 @@ pub fn copy_tape<S: Clone>(
     dst: &mut Tape<S>,
     meter: &MemoryMeter,
 ) -> Result<(), StError> {
-    let tracer = src.tracer().clone();
+    let tracer = scan_tracer(&[src.tracer(), dst.tracer()]);
     tracer.emit(|| TraceEvent::ScanStart {
         op: "copy_tape".to_string(),
     });
@@ -45,7 +62,7 @@ pub fn tapes_equal<S: Clone + PartialEq>(
     b: &mut Tape<S>,
     meter: &MemoryMeter,
 ) -> bool {
-    let tracer = a.tracer().clone();
+    let tracer = scan_tracer(&[a.tracer(), b.tracer()]);
     tracer.emit(|| TraceEvent::ScanStart {
         op: "tapes_equal".to_string(),
     });
@@ -76,7 +93,7 @@ pub fn compare_sorted<S: Clone + Ord>(
     b: &mut Tape<S>,
     meter: &MemoryMeter,
 ) -> (bool, bool) {
-    let tracer = a.tracer().clone();
+    let tracer = scan_tracer(&[a.tracer(), b.tracer()]);
     tracer.emit(|| TraceEvent::ScanStart {
         op: "compare_sorted".to_string(),
     });
@@ -126,7 +143,7 @@ pub fn distribute_runs<S: Clone>(
     meter: &MemoryMeter,
 ) -> Result<(), StError> {
     assert!(run_len > 0, "run length must be positive");
-    let tracer = src.tracer().clone();
+    let tracer = scan_tracer(&[src.tracer(), out1.tracer(), out2.tracer()]);
     tracer.emit(|| TraceEvent::ScanStart {
         op: "distribute_runs".to_string(),
     });
@@ -169,7 +186,7 @@ pub fn merge_runs<S: Clone + Ord>(
     meter: &MemoryMeter,
 ) -> Result<(), StError> {
     assert!(run_len > 0, "run length must be positive");
-    let tracer = in1.tracer().clone();
+    let tracer = scan_tracer(&[in1.tracer(), in2.tracer(), out.tracer()]);
     tracer.emit(|| TraceEvent::ScanStart {
         op: "merge_runs".to_string(),
     });
@@ -334,6 +351,52 @@ mod tests {
         let mut out: Tape<i32> = Tape::new("out");
         merge_runs(&mut i1, &mut i2, &mut out, 4, &meter).unwrap();
         assert_eq!(out.snapshot(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn cross_machine_copy_traces_via_the_ambient_scope() {
+        // Regression: neither tape carries an enabled tracer (they belong
+        // to no traced machine), so emitting only on the source tape's
+        // tracer would lose both scan events. The ambient scoped tracer
+        // must receive them.
+        let (tracer, buf) = st_trace::Tracer::in_memory();
+        st_trace::scoped(tracer, || {
+            let meter = MemoryMeter::new();
+            let mut src = tape(&[3, 1, 2]);
+            let mut dst: Tape<i32> = Tape::new("dst");
+            copy_tape(&mut src, &mut dst, &meter).unwrap();
+            assert_eq!(dst.snapshot(), vec![3, 1, 2]);
+        });
+        let events = buf.snapshot();
+        let starts = events
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::ScanStart { op } if op == "copy_tape"))
+            .count();
+        let ends = events
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::ScanEnd { op } if op == "copy_tape"))
+            .count();
+        assert_eq!((starts, ends), (1, 1), "events: {events:?}");
+    }
+
+    #[test]
+    fn explicitly_traced_tapes_still_emit_outside_any_scope() {
+        // The fallback path: no ambient scope, but the destination tape
+        // carries a tracer (e.g. its machine was built `_traced`). The
+        // old code looked only at the source and dropped the events.
+        let (tracer, buf) = st_trace::Tracer::in_memory();
+        let meter = MemoryMeter::new();
+        let mut src = tape(&[1, 2]);
+        let mut dst: Tape<i32> = Tape::new("dst");
+        dst.set_tracer(tracer, 1);
+        copy_tape(&mut src, &mut dst, &meter).unwrap();
+        let events = buf.snapshot();
+        assert!(
+            events
+                .iter()
+                .any(|e| matches!(e, TraceEvent::ScanStart { op } if op == "copy_tape")),
+            "events: {events:?}"
+        );
     }
 
     #[test]

@@ -140,6 +140,29 @@ mod tests {
     }
 
     #[test]
+    fn tracer_handles_cross_threads_soundly() {
+        // The parallel report runner hands each worker its own tracer
+        // handle: Tracer must be Send + Sync (Arc over a parking_lot
+        // mutex over a Send sink), and concurrent emissions must all
+        // reach the sink.
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Tracer>();
+
+        let (t, buf) = Tracer::in_memory();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let t = t.clone();
+                s.spawn(move || {
+                    for _ in 0..100 {
+                        t.emit(|| TraceEvent::StepBatch { steps: 1 });
+                    }
+                });
+            }
+        });
+        assert_eq!(buf.len(), 400);
+    }
+
+    #[test]
     fn debug_formats_enabledness_not_contents() {
         assert_eq!(format!("{:?}", Tracer::disabled()), "Tracer(disabled)");
         let (t, _buf) = Tracer::in_memory();
