@@ -132,8 +132,8 @@ pub fn select_experiments(
 /// While any runner is executing, replace the process panic hook with a
 /// no-op so a deliberately-panicking experiment does not spray a
 /// backtrace across the report. Depth-counted and restored on drop, so
-/// nested/concurrent runners compose.
-struct PanicHookSilencer;
+/// nested/concurrent runners compose. Obtain one via [`hush_panics`].
+pub struct PanicHookSilencer;
 
 type PanicHook = Box<dyn Fn(&std::panic::PanicHookInfo<'_>) + Send + Sync + 'static>;
 
@@ -169,8 +169,18 @@ impl Drop for PanicHookSilencer {
     }
 }
 
+/// Silence the process panic hook until the returned guard drops. Used by
+/// the experiment runner and by other harnesses (the conformance fuzzer)
+/// that convert caught panics into explicit verdicts and do not want each
+/// one spraying a backtrace.
+#[must_use]
+pub fn hush_panics() -> PanicHookSilencer {
+    PanicHookSilencer::install()
+}
+
 /// Render a `catch_unwind` payload as a message.
-fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+#[must_use]
+pub fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
         (*s).to_string()
     } else if let Some(s) = payload.downcast_ref::<String>() {
@@ -221,6 +231,68 @@ fn audit_one(id: &str, dir: &Path) -> TraceAudit {
     }
 }
 
+/// Generic work-stealing fan-out: `jobs` scoped worker threads claim
+/// indices `0..work` from a shared atomic counter in `schedule` order and
+/// run `f` on each; the results come back **in index order** regardless
+/// of which worker finished when. `schedule` permutes the *claim* order
+/// only (pass `None` for first-to-last); it never affects the output
+/// order. This is the pool under [`run_experiments`] and under the
+/// conformance fuzzer's iteration blocks.
+///
+/// # Panics
+///
+/// Propagates a panic from `f` when the scope joins; callers that must
+/// survive panics wrap `f` in `catch_unwind` themselves.
+pub fn pool_map<T, F>(work: usize, jobs: usize, schedule: Option<&[usize]>, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    if work == 0 {
+        return Vec::new();
+    }
+    let identity: Vec<usize>;
+    let schedule = match schedule {
+        Some(s) => {
+            assert_eq!(s.len(), work, "schedule must cover the work list");
+            s
+        }
+        None => {
+            identity = (0..work).collect();
+            &identity
+        }
+    };
+    let jobs = jobs.clamp(1, work);
+    let next = AtomicUsize::new(0);
+    let (tx, rx) = mpsc::channel::<(usize, T)>();
+    std::thread::scope(|scope| {
+        for _ in 0..jobs {
+            let tx = tx.clone();
+            let next = &next;
+            let f = &f;
+            scope.spawn(move || loop {
+                let claim = next.fetch_add(1, Ordering::Relaxed);
+                let Some(&i) = schedule.get(claim) else { break };
+                if tx.send((i, f(i))).is_err() {
+                    break;
+                }
+            });
+        }
+    });
+    drop(tx);
+    // Collect out-of-order completions back into index order. Every index
+    // is claimed exactly once and the scope joins every worker, so each
+    // slot fills exactly once.
+    let mut slots: Vec<Option<T>> = (0..work).map(|_| None).collect();
+    for (i, value) in rx {
+        slots[i] = Some(value);
+    }
+    slots
+        .into_iter()
+        .map(|s| s.expect("worker pool lost a work item"))
+        .collect()
+}
+
 /// Execute `selected` across a worker pool (see the module docs for the
 /// scheduling and determinism contract). Fails only on harness errors —
 /// an unwritable trace directory or an unreadable trace file is reported
@@ -242,38 +314,13 @@ pub fn run_experiments(selected: &[Experiment], opts: &RunOptions) -> Result<Run
 
     let jobs = opts.effective_jobs(selected.len());
     let _quiet = PanicHookSilencer::install();
-    let next = AtomicUsize::new(0);
-    let (tx, rx) = mpsc::channel::<(usize, Result<Report, StError>)>();
-
-    std::thread::scope(|scope| {
-        for _ in 0..jobs {
-            let tx = tx.clone();
-            let next = &next;
-            let schedule = &schedule;
-            let trace_dir = opts.trace_dir.as_deref();
-            scope.spawn(move || loop {
-                let claim = next.fetch_add(1, Ordering::Relaxed);
-                let Some(&i) = schedule.get(claim) else { break };
-                let outcome = run_one(&selected[i], trace_dir);
-                if tx.send((i, outcome)).is_err() {
-                    break;
-                }
-            });
-        }
+    let trace_dir = opts.trace_dir.as_deref();
+    let outcomes = pool_map(selected.len(), jobs, Some(&schedule), |i| {
+        run_one(&selected[i], trace_dir)
     });
-    drop(tx);
-
-    // Collect out-of-order completions back into registry order.
-    let mut slots: Vec<Option<Result<Report, StError>>> =
-        (0..selected.len()).map(|_| None).collect();
-    for (i, outcome) in rx {
-        slots[i] = Some(outcome);
-    }
     let mut reports = Vec::with_capacity(selected.len());
-    for (exp, slot) in selected.iter().zip(slots) {
-        let report = slot
-            .ok_or_else(|| StError::Machine(format!("worker pool lost experiment {}", exp.id)))??;
-        reports.push(report);
+    for outcome in outcomes {
+        reports.push(outcome?);
     }
 
     // Audit every per-experiment trace after the join, in registry order.
@@ -398,6 +445,16 @@ mod tests {
         .unwrap();
         let ids: Vec<&str> = outcome.reports.iter().map(|r| r.id.as_str()).collect();
         assert_eq!(ids, ["a", "b", "c"]);
+    }
+
+    #[test]
+    fn pool_map_returns_results_in_index_order_for_any_schedule() {
+        let squares = pool_map(10, 4, None, |i| i * i);
+        assert_eq!(squares, (0..10).map(|i| i * i).collect::<Vec<_>>());
+        let reversed: Vec<usize> = (0..10).rev().collect();
+        let again = pool_map(10, 3, Some(&reversed), |i| i * i);
+        assert_eq!(again, squares);
+        assert!(pool_map(0, 4, None, |i| i).is_empty());
     }
 
     #[test]

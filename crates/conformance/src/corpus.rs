@@ -1,0 +1,289 @@
+//! Self-contained repro files and their replay.
+//!
+//! Every disagreement the engine finds is persisted as a `*.repro` file
+//! carrying everything needed to re-run it: the oracle id, the generator
+//! family that produced it, the case seed, and the (minimized) word.
+//! The format is line-oriented `key = value` with the word escaped into
+//! printable ASCII, so fixtures survive editors, diffs, and `git` across
+//! platforms. `tests/conformance_corpus.rs` replays the checked-in
+//! `corpus/` directory on every test run.
+
+use crate::oracle::{self, Agreement};
+use crate::shrink::still_disagrees;
+use st_core::StError;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// One persisted repro.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Repro {
+    /// Oracle id (must resolve via [`oracle::oracle_by_id`]).
+    pub oracle: String,
+    /// Generator family id that produced the word (informational).
+    pub generator: String,
+    /// The case seed both deciders ran under.
+    pub seed: u64,
+    /// The word itself (possibly already minimized).
+    pub word: String,
+}
+
+/// Escape `word` into printable ASCII: backslash, quotes, and anything
+/// outside the graphic range become `\u{…}` / short escapes.
+#[must_use]
+pub fn escape_word(word: &str) -> String {
+    let mut out = String::with_capacity(word.len() + 2);
+    for c in word.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if c.is_ascii_graphic() || c == ' ' => out.push(c),
+            c => out.push_str(&format!("\\u{{{:x}}}", c as u32)),
+        }
+    }
+    out
+}
+
+/// Inverse of [`escape_word`].
+pub fn unescape_word(escaped: &str) -> Result<String, StError> {
+    let mut out = String::with_capacity(escaped.len());
+    let mut chars = escaped.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next() {
+            Some('\\') => out.push('\\'),
+            Some('"') => out.push('"'),
+            Some('n') => out.push('\n'),
+            Some('t') => out.push('\t'),
+            Some('r') => out.push('\r'),
+            Some('u') => {
+                if chars.next() != Some('{') {
+                    return Err(StError::InvalidInstance("bad \\u escape".into()));
+                }
+                let hex: String = chars.by_ref().take_while(|&c| c != '}').collect();
+                let code = u32::from_str_radix(&hex, 16)
+                    .map_err(|_| StError::InvalidInstance(format!("bad \\u digits: {hex:?}")))?;
+                out.push(
+                    char::from_u32(code)
+                        .ok_or_else(|| StError::InvalidInstance(format!("bad scalar {code:#x}")))?,
+                );
+            }
+            other => return Err(StError::InvalidInstance(format!("bad escape \\{other:?}"))),
+        }
+    }
+    Ok(out)
+}
+
+impl Repro {
+    /// Render the repro file contents.
+    #[must_use]
+    pub fn render(&self) -> String {
+        format!(
+            "# st-conformance repro — replay via tests/conformance_corpus.rs\n\
+             oracle = {}\n\
+             generator = {}\n\
+             seed = {}\n\
+             word = \"{}\"\n",
+            self.oracle,
+            self.generator,
+            self.seed,
+            escape_word(&self.word)
+        )
+    }
+
+    /// Parse repro file contents.
+    pub fn parse(text: &str) -> Result<Self, StError> {
+        let mut oracle = None;
+        let mut generator = None;
+        let mut seed = None;
+        let mut word = None;
+        for line in text.lines() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let Some((key, value)) = line.split_once('=') else {
+                return Err(StError::InvalidInstance(format!(
+                    "repro line has no '=': {line:?}"
+                )));
+            };
+            let (key, value) = (key.trim(), value.trim());
+            match key {
+                "oracle" => oracle = Some(value.to_string()),
+                "generator" => generator = Some(value.to_string()),
+                "seed" => {
+                    seed =
+                        Some(value.parse::<u64>().map_err(|_| {
+                            StError::InvalidInstance(format!("bad seed: {value:?}"))
+                        })?);
+                }
+                "word" => {
+                    let inner = value
+                        .strip_prefix('"')
+                        .and_then(|v| v.strip_suffix('"'))
+                        .ok_or_else(|| {
+                            StError::InvalidInstance("word must be double-quoted".into())
+                        })?;
+                    word = Some(unescape_word(inner)?);
+                }
+                other => {
+                    return Err(StError::InvalidInstance(format!(
+                        "unknown repro key {other:?}"
+                    )))
+                }
+            }
+        }
+        let missing = |what: &str| StError::InvalidInstance(format!("repro missing {what}"));
+        Ok(Repro {
+            oracle: oracle.ok_or_else(|| missing("oracle"))?,
+            generator: generator.ok_or_else(|| missing("generator"))?,
+            seed: seed.ok_or_else(|| missing("seed"))?,
+            word: word.ok_or_else(|| missing("word"))?,
+        })
+    }
+}
+
+/// Write `repro` under `dir` as `<stem>.repro`, creating `dir` if
+/// needed. Returns the path written.
+pub fn write_repro(dir: &Path, stem: &str, repro: &Repro) -> Result<PathBuf, StError> {
+    fs::create_dir_all(dir)?;
+    let path = dir.join(format!("{stem}.repro"));
+    fs::write(&path, repro.render())?;
+    Ok(path)
+}
+
+/// Read one repro file.
+pub fn read_repro(path: &Path) -> Result<Repro, StError> {
+    Repro::parse(&fs::read_to_string(path)?)
+}
+
+/// Outcome of replaying one repro file.
+#[derive(Debug, Clone)]
+pub struct ReplayOutcome {
+    /// The file replayed.
+    pub path: PathBuf,
+    /// Oracle id.
+    pub oracle: String,
+    /// `true` when the oracle no longer disagrees on the stored word
+    /// (the fixture passes as a regression test).
+    pub ok: bool,
+    /// Human summary of what the comparator said.
+    pub summary: String,
+}
+
+/// Replay every `*.repro` file under `dir` (sorted by file name for
+/// deterministic output). A fixture passes when the oracle pair agrees
+/// or abstains on the stored word; a resurfaced disagreement fails it.
+pub fn replay_dir(dir: &Path) -> Result<Vec<ReplayOutcome>, StError> {
+    let mut paths: Vec<PathBuf> = fs::read_dir(dir)?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|x| x == "repro"))
+        .collect();
+    paths.sort();
+    let mut outcomes = Vec::with_capacity(paths.len());
+    for path in paths {
+        let repro = read_repro(&path)
+            .map_err(|e| StError::InvalidInstance(format!("{}: {e}", path.display())))?;
+        let Some(oracle) = oracle::oracle_by_id(&repro.oracle) else {
+            return Err(StError::InvalidInstance(format!(
+                "{}: unknown oracle {:?}",
+                path.display(),
+                repro.oracle
+            )));
+        };
+        let disagrees = still_disagrees(&oracle, &repro.word, repro.seed);
+        let summary = if disagrees {
+            match crate::oracle::compare(&oracle, &repro.word, repro.seed).agreement {
+                Agreement::Disagree { detail } => detail,
+                _ => "decider panicked".to_string(),
+            }
+        } else {
+            "agrees".to_string()
+        };
+        outcomes.push(ReplayOutcome {
+            path,
+            oracle: repro.oracle,
+            ok: !disagrees,
+            summary,
+        });
+    }
+    Ok(outcomes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escape_round_trips_junk_words() {
+        for word in [
+            "01#10#",
+            "",
+            "a\u{00a0}b\u{3000}λ",
+            "quote\"back\\slash",
+            "line\nbreak\ttab",
+        ] {
+            assert_eq!(unescape_word(&escape_word(word)).unwrap(), word);
+        }
+    }
+
+    #[test]
+    fn repro_files_round_trip() {
+        let repro = Repro {
+            oracle: "fingerprint-vs-sort".into(),
+            generator: "junk-word".into(),
+            seed: 42,
+            word: "01#\u{00a0}λ#".into(),
+        };
+        assert_eq!(Repro::parse(&repro.render()).unwrap(), repro);
+    }
+
+    #[test]
+    fn parse_rejects_malformed_files() {
+        assert!(Repro::parse("oracle = x\n").is_err());
+        assert!(Repro::parse("oracle = x\ngenerator = g\nseed = nope\nword = \"\"\n").is_err());
+        assert!(Repro::parse("oracle = x\ngenerator = g\nseed = 1\nword = unquoted\n").is_err());
+        assert!(Repro::parse("mystery = 3\n").is_err());
+    }
+
+    #[test]
+    fn replay_flags_resurfaced_disagreements_and_passes_agreeing_fixtures() {
+        let dir =
+            std::env::temp_dir().join(format!("st-conformance-corpus-test-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        // An agreeing fixture for a real oracle.
+        write_repro(
+            &dir,
+            "ok",
+            &Repro {
+                oracle: "sort-vs-set-predicate".into(),
+                generator: "yes-set-distinct".into(),
+                seed: 9,
+                word: "001#010#010#001#".into(),
+            },
+        )
+        .unwrap();
+        let outcomes = replay_dir(&dir).unwrap();
+        assert_eq!(outcomes.len(), 1);
+        assert!(outcomes[0].ok, "{}", outcomes[0].summary);
+        // Unknown oracle ids are hard errors, not silent skips.
+        write_repro(
+            &dir,
+            "zz-unknown",
+            &Repro {
+                oracle: "no-such-oracle".into(),
+                generator: "junk-word".into(),
+                seed: 0,
+                word: String::new(),
+            },
+        )
+        .unwrap();
+        assert!(replay_dir(&dir).is_err());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

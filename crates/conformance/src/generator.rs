@@ -1,0 +1,211 @@
+//! Biased instance families over `st-problems::generate`.
+//!
+//! A fuzzer that only draws uniform instances almost never hits the
+//! interesting region: uniform pairs are no-instances with overwhelming
+//! probability, so the yes-path and the adversarially-close near-miss
+//! path of every decider would go unexercised. Each family here biases
+//! toward one regime; the engine round-robins through all of them.
+
+use crate::prng;
+use rand::Rng;
+use st_problems::generate;
+
+/// One instance family. The discriminants are stable ids — they appear
+/// in repro files, so renaming one invalidates the corpus.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Generator {
+    /// MULTISET-EQ yes-instance: second list is a shuffle of the first.
+    YesMultiset,
+    /// MULTISET-EQ near-miss no-instance: one bit of one record flipped.
+    NoMultisetOneBit,
+    /// SET-EQ yes-instance with distinct values (also a multiset yes).
+    YesSetDistinct,
+    /// SET-EQ near-miss no-instance: distinct values, one bit flipped.
+    NoSetOneBit,
+    /// CHECK-SORT yes-instance: second list = sorted first.
+    YesCheckSort,
+    /// CHECK-SORT hard no-instance: second list sorted but wrong.
+    NoCheckSortSorted,
+    /// Uniformly random instance (almost surely a no-instance).
+    RandomInstance,
+    /// Ragged instance: record lengths vary, `m` may be 0.
+    RaggedInstance,
+    /// Arbitrary text over an XML-ish alphabet (including multi-byte
+    /// whitespace) — only the totality oracles apply.
+    JunkWord,
+}
+
+impl Generator {
+    /// Stable id used in repro files and reports.
+    #[must_use]
+    pub fn id(self) -> &'static str {
+        match self {
+            Generator::YesMultiset => "yes-multiset",
+            Generator::NoMultisetOneBit => "no-multiset-one-bit",
+            Generator::YesSetDistinct => "yes-set-distinct",
+            Generator::NoSetOneBit => "no-set-one-bit",
+            Generator::YesCheckSort => "yes-checksort",
+            Generator::NoCheckSortSorted => "no-checksort-sorted",
+            Generator::RandomInstance => "random-instance",
+            Generator::RaggedInstance => "ragged-instance",
+            Generator::JunkWord => "junk-word",
+        }
+    }
+
+    /// Inverse of [`Generator::id`] (for corpus replay).
+    #[must_use]
+    pub fn from_id(id: &str) -> Option<Self> {
+        all_generators().into_iter().find(|g| g.id() == id)
+    }
+}
+
+/// Every family, in report order.
+#[must_use]
+pub fn all_generators() -> Vec<Generator> {
+    vec![
+        Generator::YesMultiset,
+        Generator::NoMultisetOneBit,
+        Generator::YesSetDistinct,
+        Generator::NoSetOneBit,
+        Generator::YesCheckSort,
+        Generator::NoCheckSortSorted,
+        Generator::RandomInstance,
+        Generator::RaggedInstance,
+        Generator::JunkWord,
+    ]
+}
+
+/// Produce family `gen`'s word for `(master seed, iteration)`. Pure:
+/// the word depends only on the arguments, never on thread scheduling.
+#[must_use]
+pub fn generate_word(gen: Generator, master: u64, iteration: u64) -> String {
+    let mut rng = prng::derive_rng(master, gen.id(), iteration);
+    // Sizes stay small on purpose: every oracle (including the TM → NLM
+    // simulation) runs on every word, and shrinking wants short words.
+    let m = rng.gen_range(1..=6usize);
+    let n = rng.gen_range(1..=5usize);
+    match gen {
+        Generator::YesMultiset => generate::yes_multiset(m, n, &mut rng).encode(),
+        Generator::NoMultisetOneBit => generate::no_multiset_one_bit(m, n, &mut rng).encode(),
+        Generator::YesSetDistinct => {
+            // Distinct sampling needs 2ⁿ ≥ 2m.
+            let n = n.max(3);
+            let m = m.min(4);
+            generate::yes_set_distinct(m, n, &mut rng).encode()
+        }
+        Generator::NoSetOneBit => {
+            let n = n.max(3);
+            let m = m.min(4);
+            let mut inst = generate::yes_set_distinct(m, n, &mut rng);
+            // Flipping one bit of a distinct-valued yes-instance always
+            // breaks set equality: the flipped value's original is still
+            // in the first list but no longer in the second.
+            let j = rng.gen_range(0..m);
+            let bit = rng.gen_range(0..n);
+            inst.ys[j].flip_bit(bit);
+            inst.encode()
+        }
+        Generator::YesCheckSort => generate::yes_checksort(m, n, &mut rng).encode(),
+        Generator::NoCheckSortSorted => {
+            generate::no_checksort_sorted_but_wrong(m, n, &mut rng).encode()
+        }
+        Generator::RandomInstance => generate::random_instance(m, n, &mut rng).encode(),
+        Generator::RaggedInstance => {
+            let m = rng.gen_range(0..=5usize);
+            let mut word = String::new();
+            for _ in 0..2 * m {
+                let len = rng.gen_range(0..=5usize);
+                for _ in 0..len {
+                    word.push(if rng.gen::<bool>() { '1' } else { '0' });
+                }
+                word.push('#');
+            }
+            word
+        }
+        Generator::JunkWord => {
+            // XML-ish fragments, paper-alphabet runs, query keywords, and
+            // multi-byte whitespace — the inputs hand-rolled parsers
+            // historically slice mid-char on.
+            const ALPHABET: &[char] = &[
+                '0', '1', '#', '<', '>', '/', '=', '[', ']', '(', ')', ':', '$', 'a', 'b', 'r',
+                's', 'x', ' ', '\u{00a0}', '\u{2003}', '\u{3000}', 'λ',
+            ];
+            let len = rng.gen_range(0..=24usize);
+            (0..len)
+                .map(|_| ALPHABET[rng.gen_range(0..ALPHABET.len())])
+                .collect()
+        }
+    }
+}
+
+/// The engine's per-iteration family choice: round-robin, so every
+/// family gets equal coverage whatever the iteration count.
+#[must_use]
+pub fn family_for_iteration(iteration: u64) -> Generator {
+    let all = all_generators();
+    all[(iteration % all.len() as u64) as usize]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use st_problems::{predicates, Instance};
+
+    #[test]
+    fn ids_round_trip_and_are_unique() {
+        let all = all_generators();
+        for g in &all {
+            assert_eq!(Generator::from_id(g.id()), Some(*g));
+        }
+        let mut ids: Vec<&str> = all.iter().map(|g| g.id()).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), all.len());
+    }
+
+    #[test]
+    fn words_are_pure_functions_of_seed_and_iteration() {
+        for g in all_generators() {
+            assert_eq!(generate_word(g, 5, 9), generate_word(g, 5, 9));
+            // A single iteration may coincide across seeds (short words);
+            // a whole run of them may not.
+            let run = |master: u64| -> Vec<String> {
+                (0..10).map(|i| generate_word(g, master, i)).collect()
+            };
+            assert_ne!(run(5), run(6), "{} ignored the master seed", g.id());
+        }
+    }
+
+    #[test]
+    fn biased_families_land_in_their_regime() {
+        for i in 0..40 {
+            let yes = Instance::parse(&generate_word(Generator::YesMultiset, 0, i)).unwrap();
+            assert!(predicates::is_multiset_equal(&yes));
+            let no = Instance::parse(&generate_word(Generator::NoMultisetOneBit, 0, i)).unwrap();
+            assert!(!predicates::is_multiset_equal(&no));
+            let yes = Instance::parse(&generate_word(Generator::YesSetDistinct, 0, i)).unwrap();
+            assert!(predicates::is_set_equal(&yes));
+            let no = Instance::parse(&generate_word(Generator::NoSetOneBit, 0, i)).unwrap();
+            assert!(!predicates::is_set_equal(&no));
+            let yes = Instance::parse(&generate_word(Generator::YesCheckSort, 0, i)).unwrap();
+            assert!(predicates::is_check_sorted(&yes));
+            let no = Instance::parse(&generate_word(Generator::NoCheckSortSorted, 0, i)).unwrap();
+            assert!(!predicates::is_check_sorted(&no));
+        }
+    }
+
+    #[test]
+    fn ragged_and_junk_words_exist_and_junk_is_sometimes_unparseable() {
+        let mut unparseable = 0;
+        for i in 0..60 {
+            let w = generate_word(Generator::JunkWord, 0, i);
+            if Instance::parse(&w).is_err() {
+                unparseable += 1;
+            }
+            // Ragged words always parse (possibly to the empty instance).
+            let r = generate_word(Generator::RaggedInstance, 0, i);
+            Instance::parse(&r).unwrap();
+        }
+        assert!(unparseable > 10, "junk generator lost its bite");
+    }
+}

@@ -1,0 +1,42 @@
+//! # st-conformance — differential fuzzing across the paper's models
+//!
+//! The paper's argument rests on independently defined machines computing
+//! the *same* predicate: the TM → NLM simulation (Lemma 16), the
+//! randomized/deterministic deciders of Theorem 8 and Corollary 7, and
+//! the query-language reductions of Theorems 11–13. Each of those
+//! agreements is an **oracle**: a pair of deciders that must answer
+//! identically on every instance (up to the declared one-sided error).
+//!
+//! This crate turns every such pair into a continuously exercised check:
+//!
+//! * [`generator`] — biased instance families (yes / no / near-miss for
+//!   SET-EQ, MULTISET-EQ, CHECK-SORT, random and ragged instances, and
+//!   junk words for parser totality) drawn from a splittable PRNG
+//!   ([`prng`]), so iteration `i` of a run is a pure function of
+//!   `(master seed, i)` — independent of thread scheduling.
+//! * [`oracle`] — the registry pairing two independent deciders per
+//!   entry, with a verdict comparator aware of one-sided error: a false
+//!   *positive* from the Theorem 8(a) fingerprint within its ½ bound is
+//!   not a failure (it is re-tried under amplification), a false
+//!   *negative* always is.
+//! * [`shrink`] — a greedy per-record minimizer for any disagreeing
+//!   word.
+//! * [`corpus`] — self-contained repro files (oracle id, generator,
+//!   seed, minimized word) persisted under `corpus/` and replayed as
+//!   regression fixtures by `tests/conformance_corpus.rs`.
+//! * [`engine`] — the deterministic fuzz loop on `st-bench`'s
+//!   work-stealing pool; every disagreement ships with a JSONL
+//!   `st-trace` of both runs.
+//!
+//! Run it with `cargo run -p st-conformance --bin fuzz -- --iters 1000
+//! --jobs 4 --seed 0`; output is byte-identical across `--jobs`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod corpus;
+pub mod engine;
+pub mod generator;
+pub mod oracle;
+pub mod prng;
+pub mod shrink;

@@ -1,0 +1,73 @@
+//! The splittable seed tree.
+//!
+//! Every random draw in a fuzz run descends from one master seed through
+//! pure mixing — no global RNG, no draw-order coupling between
+//! iterations. Iteration `i`'s generator stream and each oracle's
+//! decider stream get *independent* seeds, so adding an oracle or
+//! reordering the pool's thread assignment can never perturb another
+//! stream. This is what makes `--jobs 1` and `--jobs 4` byte-identical.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// One splitmix64 step — the standard 64-bit finalizer, also used by the
+/// offline `StdRng` seeding path, so the whole tree is a pure function
+/// of its root.
+#[must_use]
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Hash a label into a stream tag (FNV-1a, stable across platforms).
+#[must_use]
+fn stream_tag(label: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in label.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Derive the seed for stream `label`, element `index`, under `master`.
+/// Pure and collision-mixed: distinct `(label, index)` pairs get
+/// independent-looking seeds.
+#[must_use]
+pub fn derive_seed(master: u64, label: &str, index: u64) -> u64 {
+    splitmix64(splitmix64(master ^ stream_tag(label)) ^ index)
+}
+
+/// A ready-to-use RNG for stream `label`, element `index`.
+#[must_use]
+pub fn derive_rng(master: u64, label: &str, index: u64) -> StdRng {
+    StdRng::seed_from_u64(derive_seed(master, label, index))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::RngCore;
+
+    #[test]
+    fn derivation_is_pure_and_label_sensitive() {
+        assert_eq!(derive_seed(7, "iter", 3), derive_seed(7, "iter", 3));
+        assert_ne!(derive_seed(7, "iter", 3), derive_seed(7, "iter", 4));
+        assert_ne!(derive_seed(7, "iter", 3), derive_seed(7, "left", 3));
+        assert_ne!(derive_seed(7, "iter", 3), derive_seed(8, "iter", 3));
+    }
+
+    #[test]
+    fn derived_rngs_are_decoupled_from_draw_order() {
+        let mut a = derive_rng(1, "x", 0);
+        let first = a.next_u64();
+        // Draining another stream cannot perturb a fresh derivation.
+        let mut b = derive_rng(1, "y", 0);
+        for _ in 0..100 {
+            b.next_u64();
+        }
+        assert_eq!(derive_rng(1, "x", 0).next_u64(), first);
+    }
+}

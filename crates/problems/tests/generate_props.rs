@@ -1,0 +1,74 @@
+//! Property tests for the instance generators: every `yes_*` family
+//! must satisfy its problem predicate, every `no_*` family must violate
+//! it, for *all* small shapes and seeds — not just the handful of
+//! hand-picked sizes the unit tests use. The conformance fuzzer draws
+//! from these generators, so a biased family that leaks out of its
+//! regime would silently turn differential disagreements into noise.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use st_problems::{generate, predicates, Instance};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    #[test]
+    fn yes_multiset_satisfies_predicate(m in 1usize..=8, n in 1usize..=8, seed in 0u64..1 << 32) {
+        let inst = generate::yes_multiset(m, n, &mut StdRng::seed_from_u64(seed));
+        prop_assert!(predicates::is_multiset_equal(&inst));
+        prop_assert_eq!(inst.m(), m);
+        prop_assert!(inst.uniform_length(n));
+    }
+
+    #[test]
+    fn no_multiset_one_bit_violates_predicate(m in 1usize..=8, n in 1usize..=8, seed in 0u64..1 << 32) {
+        let inst = generate::no_multiset_one_bit(m, n, &mut StdRng::seed_from_u64(seed));
+        prop_assert!(!predicates::is_multiset_equal(&inst));
+        // A multiset no-instance is a fortiori a set no-instance only
+        // when values are distinct; the one-bit family does not promise
+        // that, so only the multiset predicate is asserted.
+        prop_assert_eq!(inst.m(), m);
+    }
+
+    #[test]
+    fn yes_set_distinct_satisfies_both_set_and_multiset(m in 1usize..=8, n in 0usize..=8, seed in 0u64..1 << 32) {
+        // Distinct sampling needs 2ⁿ ≥ 2m.
+        let n = n.max(4);
+        let inst = generate::yes_set_distinct(m, n, &mut StdRng::seed_from_u64(seed));
+        prop_assert!(predicates::is_set_equal(&inst));
+        prop_assert!(predicates::is_multiset_equal(&inst));
+        let distinct: std::collections::BTreeSet<_> = inst.xs.iter().collect();
+        prop_assert_eq!(distinct.len(), m);
+    }
+
+    #[test]
+    fn yes_checksort_satisfies_predicate(m in 1usize..=8, n in 1usize..=8, seed in 0u64..1 << 32) {
+        let inst = generate::yes_checksort(m, n, &mut StdRng::seed_from_u64(seed));
+        prop_assert!(predicates::is_check_sorted(&inst));
+    }
+
+    #[test]
+    fn no_checksort_stays_sorted_but_violates(m in 1usize..=8, n in 1usize..=8, seed in 0u64..1 << 32) {
+        let inst =
+            generate::no_checksort_sorted_but_wrong(m, n, &mut StdRng::seed_from_u64(seed));
+        prop_assert!(!predicates::is_check_sorted(&inst));
+        prop_assert!(
+            inst.ys.windows(2).all(|w| w[0] <= w[1]),
+            "the hard no-family must keep the second list sorted"
+        );
+    }
+
+    #[test]
+    fn random_instances_have_the_requested_shape(m in 0usize..=8, n in 0usize..=8, seed in 0u64..1 << 32) {
+        let inst = generate::random_instance(m, n, &mut StdRng::seed_from_u64(seed));
+        prop_assert_eq!(inst.m(), m);
+        prop_assert!(inst.uniform_length(n));
+    }
+
+    #[test]
+    fn generated_instances_round_trip_through_encoding(m in 1usize..=8, n in 1usize..=8, seed in 0u64..1 << 32) {
+        let inst = generate::yes_multiset(m, n, &mut StdRng::seed_from_u64(seed));
+        prop_assert_eq!(Instance::parse(&inst.encode()).unwrap(), inst);
+    }
+}

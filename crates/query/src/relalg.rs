@@ -100,16 +100,37 @@ pub enum RaExpr {
     Product(Box<RaExpr>, Box<RaExpr>),
 }
 
+impl fmt::Display for Pred {
+    /// Prints in [`crate::relalg_parser`] surface syntax.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Pred::AttrEqConst(i, c) => write!(f, "#{i} = \"{c}\""),
+            Pred::AttrEqAttr(i, j) => write!(f, "#{i} = #{j}"),
+        }
+    }
+}
+
 impl fmt::Display for RaExpr {
+    /// Prints in [`crate::relalg_parser`] surface syntax, fully
+    /// parenthesized, so `parse_relalg(e.to_string()) == e`.
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             RaExpr::Rel(n) => write!(f, "{n}"),
-            RaExpr::Union(a, b) => write!(f, "({a} ∪ {b})"),
-            RaExpr::Diff(a, b) => write!(f, "({a} − {b})"),
-            RaExpr::Intersect(a, b) => write!(f, "({a} ∩ {b})"),
-            RaExpr::Select(p, e) => write!(f, "σ[{p:?}]({e})"),
-            RaExpr::Project(cols, e) => write!(f, "π{cols:?}({e})"),
-            RaExpr::Product(a, b) => write!(f, "({a} × {b})"),
+            RaExpr::Union(a, b) => write!(f, "({a} union {b})"),
+            RaExpr::Diff(a, b) => write!(f, "({a} - {b})"),
+            RaExpr::Intersect(a, b) => write!(f, "({a} intersect {b})"),
+            RaExpr::Select(p, e) => write!(f, "sigma[{p}]({e})"),
+            RaExpr::Project(cols, e) => {
+                write!(f, "pi[")?;
+                for (k, c) in cols.iter().enumerate() {
+                    if k > 0 {
+                        write!(f, ",")?;
+                    }
+                    write!(f, "{c}")?;
+                }
+                write!(f, "]({e})")
+            }
+            RaExpr::Product(a, b) => write!(f, "({a} x {b})"),
         }
     }
 }

@@ -26,6 +26,7 @@
 use crate::xml::Node;
 use st_core::StError;
 use std::collections::BTreeSet;
+use std::fmt;
 
 /// An XPath axis of the fragment.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -81,6 +82,48 @@ impl Path {
                 })
                 .collect(),
         }
+    }
+}
+
+impl fmt::Display for Axis {
+    /// Prints the [`crate::xpath_parser`] axis keyword.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Axis::Child => "child",
+            Axis::Descendant => "descendant",
+            Axis::Ancestor => "ancestor",
+        })
+    }
+}
+
+impl fmt::Display for Step {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}::{}", self.axis, self.name)?;
+        if let Some(p) = &self.predicate {
+            write!(f, "{p}")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for Predicate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let not = if self.negated { "not " } else { "" };
+        write!(f, "[{not}{} = {}]", self.left, self.right)
+    }
+}
+
+impl fmt::Display for Path {
+    /// Prints in [`crate::xpath_parser`] surface syntax, so
+    /// `parse_xpath(p.to_string()) == p`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, s) in self.steps.iter().enumerate() {
+            if i > 0 {
+                write!(f, "/")?;
+            }
+            write!(f, "{s}")?;
+        }
+        Ok(())
     }
 }
 

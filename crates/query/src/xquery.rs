@@ -20,6 +20,7 @@
 use crate::xml::Node;
 use st_core::StError;
 use std::collections::BTreeMap;
+use std::fmt;
 
 /// An absolute child path `/a/b/c` (the only path form the query needs).
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -104,6 +105,65 @@ pub enum XqExpr {
     },
     /// The empty sequence `()`.
     Empty,
+}
+
+impl fmt::Display for AbsPath {
+    /// Prints `/a/b/c` — the [`crate::xquery_parser`] abspath syntax.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for part in &self.0 {
+            write!(f, "/{part}")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for Cond {
+    /// Prints in [`crate::xquery_parser`] surface syntax. Conjunctions
+    /// *and quantifiers* are parenthesized: a quantifier body extends as
+    /// far right as it can, so a bare `every … satisfies c` to the left
+    /// of `and` would swallow the conjunction into its body on re-parse.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Cond::Every {
+                var,
+                path,
+                satisfies,
+            } => write!(f, "(every ${var} in {path} satisfies {satisfies})"),
+            Cond::Some_ {
+                var,
+                path,
+                satisfies,
+            } => write!(f, "(some ${var} in {path} satisfies {satisfies})"),
+            Cond::VarEq(a, b) => write!(f, "${a} = ${b}"),
+            Cond::And(l, r) => write!(f, "({l} and {r})"),
+        }
+    }
+}
+
+impl fmt::Display for XqExpr {
+    /// Prints in [`crate::xquery_parser`] surface syntax, so
+    /// `parse_xquery(e.to_string()) == e`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            XqExpr::Element { name, children } => {
+                if children.is_empty() {
+                    return write!(f, "<{name}/>");
+                }
+                write!(f, "<{name}>")?;
+                for (i, c) in children.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " ")?;
+                    }
+                    write!(f, "{c}")?;
+                }
+                write!(f, "</{name}>")
+            }
+            XqExpr::If { cond, then, els } => {
+                write!(f, "if {cond} then {then} else {els}")
+            }
+            XqExpr::Empty => write!(f, "()"),
+        }
+    }
 }
 
 /// Evaluate a condition against `root` under variable `bindings`

@@ -28,8 +28,15 @@ impl<'a> P<'a> {
     }
 
     fn ws(&mut self) {
-        while self.src[self.pos..].starts_with(|c: char| c.is_whitespace()) {
-            self.pos += 1;
+        // Advance by full chars: whitespace like U+3000 is multi-byte,
+        // and a byte-sized step would leave `pos` mid-char and panic
+        // the next slice.
+        while let Some(c) = self.src[self.pos..]
+            .chars()
+            .next()
+            .filter(|c| c.is_whitespace())
+        {
+            self.pos += c.len_utf8();
         }
     }
 

@@ -1,0 +1,40 @@
+//! Replays the checked-in `corpus/` directory: every `*.repro` fixture
+//! is a past (or representative) differential-fuzzing case, and each
+//! must now agree or abstain — a resurfaced disagreement fails the
+//! build. New disagreements found by `cargo run -p st-conformance --bin
+//! fuzz` land here minimized, with a comment explaining the history.
+
+use st_conformance::corpus::replay_dir;
+use st_conformance::oracle::all_oracles;
+use std::collections::BTreeSet;
+use std::path::Path;
+
+#[test]
+fn corpus_fixtures_replay_clean() {
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("corpus");
+    let outcomes = replay_dir(&dir).expect("corpus/ must exist and parse");
+    assert!(!outcomes.is_empty(), "corpus/ holds no fixtures");
+    for o in &outcomes {
+        assert!(
+            o.ok,
+            "{} ({}) resurfaced a disagreement: {}",
+            o.path.display(),
+            o.oracle,
+            o.summary
+        );
+    }
+}
+
+#[test]
+fn corpus_covers_every_registered_oracle() {
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("corpus");
+    let outcomes = replay_dir(&dir).expect("corpus/ must exist and parse");
+    let covered: BTreeSet<&str> = outcomes.iter().map(|o| o.oracle.as_str()).collect();
+    for oracle in all_oracles() {
+        assert!(
+            covered.contains(oracle.id),
+            "no corpus fixture exercises oracle {:?}",
+            oracle.id
+        );
+    }
+}
