@@ -23,7 +23,12 @@
 //!   with an `st-extmem` fault plan attached, retry under a
 //!   [`st_core::RetryBudget`] with every retry charged in reversals, and
 //!   answer with a [`st_core::Verdict`] — a verified value or an explicit
-//!   `Unverified`, never a silently wrong answer.
+//!   `Unverified`, never a silently wrong answer;
+//! * [`durable_sort`] — the crash-recoverable variant: merge sort over
+//!   the `st-extmem::durable` write-ahead journal, checkpointing the
+//!   data tape at every pass boundary so a run killed mid-pass resumes
+//!   from the last commit with byte-identical output and every recovered
+//!   replay charged into the summed usage.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -31,11 +36,13 @@
 pub mod amplify;
 pub mod baseline;
 pub mod disjoint;
+pub mod durable_sort;
 pub mod fingerprint;
 pub mod nst;
 pub mod resilient;
 pub mod sortcheck;
 pub mod sorting;
 
+pub use durable_sort::{durable_sort, sort_with_crashes, DurableSortRun};
 pub use fingerprint::{FingerprintParams, FingerprintRun};
 pub use resilient::{ResilientRun, VERIFY_ROUNDS};

@@ -11,6 +11,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod exp_durable;
 pub mod exp_fault;
 pub mod exp_lowerbound;
 pub mod exp_model;
@@ -167,6 +168,18 @@ pub fn all_experiments() -> Vec<Experiment> {
             "Retry budgets vs the OR-amplification bound",
             70,
             exp_fault::e20_retry_budget,
+        ),
+        e(
+            "e21",
+            "Durable sort under a crash storm vs fault-free",
+            15,
+            exp_durable::e21_crash_storm,
+        ),
+        e(
+            "e22",
+            "Recovery overhead vs crash count",
+            15,
+            exp_durable::e22_recovery_overhead,
         ),
         e(
             "f2",

@@ -119,10 +119,35 @@ pub fn to_json(reports: &[Report]) -> String {
     out
 }
 
-/// Write the [`to_json`] document to `path`.
+/// Write `bytes` to `path` atomically: the content lands in a hidden
+/// `.tmp` sibling first and is moved over `path` with `rename`, so a
+/// crash mid-write can tear only the temporary — readers of `path` see
+/// either the previous artifact or the complete new one, never a torn
+/// file.
+pub fn atomic_write(path: &std::path::Path, bytes: &[u8]) -> Result<(), StError> {
+    let file_name = path
+        .file_name()
+        .ok_or_else(|| StError::Io(format!("create {}: path has no file name", path.display())))?;
+    let mut tmp_name = std::ffi::OsString::from(".");
+    tmp_name.push(file_name);
+    tmp_name.push(".tmp");
+    let tmp = path.with_file_name(tmp_name);
+    std::fs::write(&tmp, bytes)
+        .map_err(|e| StError::Io(format!("create {}: {e}", tmp.display())))?;
+    std::fs::rename(&tmp, path).map_err(|e| {
+        let _ = std::fs::remove_file(&tmp);
+        StError::Io(format!(
+            "rename {} -> {}: {e}",
+            tmp.display(),
+            path.display()
+        ))
+    })
+}
+
+/// Write the [`to_json`] document to `path` (atomically; see
+/// [`atomic_write`]).
 pub fn save_json(path: &std::path::Path, reports: &[Report]) -> Result<(), StError> {
-    std::fs::write(path, to_json(reports))
-        .map_err(|e| StError::Io(format!("write {}: {e}", path.display())))
+    atomic_write(path, to_json(reports).as_bytes())
 }
 
 /// Render `reports` to a writer, one table per report, in registry order.
@@ -133,11 +158,12 @@ pub fn write_text<W: Write>(mut w: W, reports: &[Report]) -> Result<(), StError>
     Ok(())
 }
 
-/// Render `reports` to a text file (the `--out` flag of the report bin).
+/// Render `reports` to a text file (the `--out` flag of the report bin;
+/// atomic, see [`atomic_write`]).
 pub fn save_text(path: &std::path::Path, reports: &[Report]) -> Result<(), StError> {
-    let f = std::fs::File::create(path)
-        .map_err(|e| StError::Io(format!("create {}: {e}", path.display())))?;
-    write_text(std::io::BufWriter::new(f), reports)
+    let mut buf = Vec::new();
+    write_text(&mut buf, reports)?;
+    atomic_write(path, &buf)
 }
 
 impl fmt::Display for Report {
@@ -265,5 +291,34 @@ mod tests {
             "expected StError::Io, got {err:?}"
         );
         assert!(err.to_string().contains("create"));
+    }
+
+    #[test]
+    fn saves_are_atomic_and_leave_no_temp_file() {
+        let dir = std::env::temp_dir().join(format!("st_bench_atomic_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("out.txt");
+
+        // A previous artifact must survive untouched until the rename.
+        std::fs::write(&path, "previous contents").unwrap();
+        let mut r = Report::new("e1", "first", "c", &["x"]);
+        r.verdict(true, "ok");
+        save_text(&path, std::slice::from_ref(&r)).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains("[E1] first"));
+
+        save_json(&dir.join("out.json"), &[r]).unwrap();
+        assert!(std::fs::read_to_string(dir.join("out.json"))
+            .unwrap()
+            .contains("\"e1\""));
+
+        // No .tmp siblings left behind by either save.
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_name().to_string_lossy().ends_with(".tmp"))
+            .collect();
+        assert!(leftovers.is_empty(), "{leftovers:?}");
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

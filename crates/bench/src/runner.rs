@@ -209,16 +209,22 @@ fn run_one(exp: &Experiment, trace_dir: Option<&Path>) -> Result<Report, StError
     })
 }
 
-/// Read back and replay-audit one experiment's JSONL trace.
+/// Read back and replay-audit one experiment's JSONL trace. A torn final
+/// line (a run killed mid-write) drops that line with a warning in the
+/// summary instead of failing the whole audit.
 fn audit_one(id: &str, dir: &Path) -> TraceAudit {
     let path = dir.join(format!("{id}.jsonl"));
-    match st_trace::read_jsonl(&path) {
-        Ok(events) => {
+    match st_trace::read_jsonl_lossy(&path) {
+        Ok((events, warning)) => {
             let audit = st_trace::audit(&events);
+            let mut summary = audit.to_string();
+            if let Some(w) = warning {
+                summary.push_str(&format!(" [warning: {w}]"));
+            }
             TraceAudit {
                 id: id.to_string(),
                 events: events.len(),
-                summary: audit.to_string(),
+                summary,
                 ok: audit.ok(),
             }
         }
@@ -490,6 +496,23 @@ mod tests {
         assert!(outcome.audits.iter().all(|a| a.ok), "{outcome:?}");
         assert!(outcome.audits.iter().all(|a| a.events > 0), "{outcome:?}");
         assert_eq!(outcome.audit_failures(), 0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn audit_tolerates_a_torn_final_trace_line() {
+        let dir = std::env::temp_dir().join(format!("st_runner_torn_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let whole = st_trace::TraceEvent::StepBatch { steps: 4 }.to_json_line();
+        std::fs::write(dir.join("torn.jsonl"), format!("{whole}\n{{\"ev\":\"st")).unwrap();
+        let audit = audit_one("torn", &dir);
+        assert!(audit.ok, "{}", audit.summary);
+        assert_eq!(audit.events, 1);
+        assert!(
+            audit.summary.contains("truncated final line"),
+            "{}",
+            audit.summary
+        );
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -96,46 +96,45 @@ impl Repro {
         )
     }
 
-    /// Parse repro file contents.
+    /// Parse repro file contents. Accepts CRLF line endings and a
+    /// missing or present trailing newline; a malformed line is reported
+    /// with its 1-based line number.
     pub fn parse(text: &str) -> Result<Self, StError> {
         let mut oracle = None;
         let mut generator = None;
         let mut seed = None;
         let mut word = None;
-        for line in text.lines() {
+        // `str::lines` already strips a trailing `\r`, so CRLF fixtures
+        // (a Windows editor touched the corpus) parse identically.
+        for (lineno, line) in text.lines().enumerate() {
+            let lineno = lineno + 1;
+            let at = |msg: String| StError::InvalidInstance(format!("line {lineno}: {msg}"));
             let line = line.trim();
             if line.is_empty() || line.starts_with('#') {
                 continue;
             }
             let Some((key, value)) = line.split_once('=') else {
-                return Err(StError::InvalidInstance(format!(
-                    "repro line has no '=': {line:?}"
-                )));
+                return Err(at(format!("repro line has no '=': {line:?}")));
             };
             let (key, value) = (key.trim(), value.trim());
             match key {
                 "oracle" => oracle = Some(value.to_string()),
                 "generator" => generator = Some(value.to_string()),
                 "seed" => {
-                    seed =
-                        Some(value.parse::<u64>().map_err(|_| {
-                            StError::InvalidInstance(format!("bad seed: {value:?}"))
-                        })?);
+                    seed = Some(
+                        value
+                            .parse::<u64>()
+                            .map_err(|_| at(format!("bad seed: {value:?}")))?,
+                    );
                 }
                 "word" => {
                     let inner = value
                         .strip_prefix('"')
                         .and_then(|v| v.strip_suffix('"'))
-                        .ok_or_else(|| {
-                            StError::InvalidInstance("word must be double-quoted".into())
-                        })?;
-                    word = Some(unescape_word(inner)?);
+                        .ok_or_else(|| at("word must be double-quoted".into()))?;
+                    word = Some(unescape_word(inner).map_err(|e| at(e.to_string()))?);
                 }
-                other => {
-                    return Err(StError::InvalidInstance(format!(
-                        "unknown repro key {other:?}"
-                    )))
-                }
+                other => return Err(at(format!("unknown repro key {other:?}"))),
             }
         }
         let missing = |what: &str| StError::InvalidInstance(format!("repro missing {what}"));
@@ -157,9 +156,13 @@ pub fn write_repro(dir: &Path, stem: &str, repro: &Repro) -> Result<PathBuf, StE
     Ok(path)
 }
 
-/// Read one repro file.
+/// Read one repro file. Every failure — unreadable file or malformed
+/// contents — is reported with the file name (and, for parse errors,
+/// the offending line number).
 pub fn read_repro(path: &Path) -> Result<Repro, StError> {
-    Repro::parse(&fs::read_to_string(path)?)
+    let text =
+        fs::read_to_string(path).map_err(|e| StError::Io(format!("{}: {e}", path.display())))?;
+    Repro::parse(&text).map_err(|e| StError::InvalidInstance(format!("{}: {e}", path.display())))
 }
 
 /// Outcome of replaying one repro file.
@@ -187,8 +190,8 @@ pub fn replay_dir(dir: &Path) -> Result<Vec<ReplayOutcome>, StError> {
     paths.sort();
     let mut outcomes = Vec::with_capacity(paths.len());
     for path in paths {
-        let repro = read_repro(&path)
-            .map_err(|e| StError::InvalidInstance(format!("{}: {e}", path.display())))?;
+        // read_repro already prefixes failures with the file name.
+        let repro = read_repro(&path)?;
         let Some(oracle) = oracle::oracle_by_id(&repro.oracle) else {
             return Err(StError::InvalidInstance(format!(
                 "{}: unknown oracle {:?}",
@@ -249,6 +252,45 @@ mod tests {
         assert!(Repro::parse("oracle = x\ngenerator = g\nseed = nope\nword = \"\"\n").is_err());
         assert!(Repro::parse("oracle = x\ngenerator = g\nseed = 1\nword = unquoted\n").is_err());
         assert!(Repro::parse("mystery = 3\n").is_err());
+    }
+
+    #[test]
+    fn parse_errors_carry_the_line_number() {
+        let err = Repro::parse("oracle = x\nno equals here\n").unwrap_err();
+        assert!(err.to_string().contains("line 2:"), "{err}");
+        let err = Repro::parse("# comment\n\noracle = x\nseed = nope\n").unwrap_err();
+        assert!(err.to_string().contains("line 4:"), "{err}");
+        let err = Repro::parse("word = \"bad \\u{zz} escape\"\n").unwrap_err();
+        assert!(err.to_string().contains("line 1:"), "{err}");
+    }
+
+    #[test]
+    fn parse_accepts_crlf_and_any_trailing_newline_state() {
+        let repro = Repro {
+            oracle: "fingerprint-vs-sort".into(),
+            generator: "junk-word".into(),
+            seed: 7,
+            word: "01#10#".into(),
+        };
+        let unix = repro.render();
+        let crlf = unix.replace('\n', "\r\n");
+        assert_eq!(Repro::parse(&crlf).unwrap(), repro);
+        assert_eq!(Repro::parse(unix.trim_end()).unwrap(), repro);
+    }
+
+    #[test]
+    fn read_repro_names_the_file_in_errors() {
+        let dir = std::env::temp_dir().join(format!("st-corpus-diag-{}", std::process::id()));
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("broken.repro");
+        fs::write(&path, "oracle x\n").unwrap();
+        let err = read_repro(&path).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("broken.repro"), "{msg}");
+        assert!(msg.contains("line 1:"), "{msg}");
+        let missing = read_repro(&dir.join("absent.repro")).unwrap_err();
+        assert!(missing.to_string().contains("absent.repro"), "{missing}");
+        fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -496,6 +496,70 @@ pub(crate) fn resilient_multiset(word: &str, seed: u64) -> Result<Option<bool>, 
     })
 }
 
+/// A private journal path per call: concurrent fuzz workers must never
+/// share a file.
+fn crash_oracle_journal() -> std::path::PathBuf {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+    let dir = std::env::temp_dir().join(format!("st_conformance_durable_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).ok();
+    dir.join(format!("oracle_{n}.wal"))
+}
+
+/// Keys injective on bitstrings up to length 16: `len << 32 | value`, so
+/// multiset equality of keys is exactly string multiset equality
+/// (leading zeros survive via the length tag). `None` on longer strings.
+fn record_keys(side: &[st_problems::BitStr]) -> Option<Vec<u64>> {
+    side.iter()
+        .map(|b| {
+            if b.len() > 16 {
+                return None;
+            }
+            let v = b.to_value().ok()? as u64;
+            Some(((b.len() as u64) << 32) | v)
+        })
+        .collect()
+}
+
+/// MULTISET-EQ via the crash-recoverable durable sort, swept over a
+/// crash at **every** journal byte offset: each side is sorted once
+/// uninterrupted, then once per offset with a kill at exactly that byte;
+/// any recovered output differing from the uninterrupted one is a
+/// conformance violation (returned as an error, which the comparator
+/// flags). The sweep re-runs the sort once per journal byte, so the
+/// decider abstains on instances with more than 4 records per side.
+pub(crate) fn crash_swept_multiset(word: &str, _seed: u64) -> Result<Option<bool>, StError> {
+    let Some(inst) = parse_inst(word) else {
+        return Ok(None);
+    };
+    if inst.xs.len() > 4 || inst.ys.len() > 4 {
+        return Ok(None);
+    }
+    let (Some(xs), Some(ys)) = (record_keys(&inst.xs), record_keys(&inst.ys)) else {
+        return Ok(None);
+    };
+    let mut sides = Vec::with_capacity(2);
+    for keys in [xs, ys] {
+        let len = keys.len().max(1);
+        let path = crash_oracle_journal();
+        let baseline = st_algo::durable_sort(&path, keys.clone(), len)?;
+        std::fs::remove_file(&path).ok();
+        for k in 0..baseline.journal_bytes {
+            let path = crash_oracle_journal();
+            let run = st_algo::sort_with_crashes(&path, keys.clone(), len, &[k])?;
+            std::fs::remove_file(&path).ok();
+            if run.sorted != baseline.sorted {
+                return Err(StError::Machine(format!(
+                    "durable sort crashed at journal byte {k} recovered to a different output"
+                )));
+            }
+        }
+        sides.push(baseline.sorted);
+    }
+    Ok(Some(sides[0] == sides[1]))
+}
+
 /// Totality probe: every parser must *return* on arbitrary text (errors
 /// are fine, panics are not — a panic is caught by the engine and
 /// reported as a disagreement), and a well-formed XML word must survive
@@ -618,6 +682,16 @@ pub fn all_oracles() -> Vec<Oracle> {
                 ceiling: resilient_fp_ceiling,
             },
             left_run: resilient_multiset,
+            right_run: sort_multiset,
+        },
+        Oracle {
+            id: "crash-recovery-vs-sort",
+            title: "crash-at-every-offset recovered durable sort vs the fault-free decider",
+            guards: "durable layer (PR 5): recovery is byte-identical at every crash point",
+            left: "durable_sort swept over every journal byte offset",
+            right: "sortcheck::decide_multiset_equality",
+            model: ErrorModel::Exact,
+            left_run: crash_swept_multiset,
             right_run: sort_multiset,
         },
         Oracle {

@@ -38,6 +38,12 @@ pub enum StError {
     /// payload is the rendered `std::io::Error` plus context: `io::Error`
     /// itself is neither `Clone` nor `PartialEq`, which this enum promises.
     Io(String),
+    /// The fault layer killed the process *simulation* at a planned crash
+    /// point (see `st-extmem::durable`): the journal was cut at exactly
+    /// the planned byte and the in-process run must stop as if the
+    /// machine lost power. Recovery reopens the journal and resumes from
+    /// the last committed recovery point.
+    Crashed(String),
 }
 
 impl From<std::io::Error> for StError {
@@ -65,6 +71,7 @@ impl fmt::Display for StError {
             StError::Xml(msg) => write!(f, "xml error: {msg}"),
             StError::Precondition(msg) => write!(f, "precondition violated: {msg}"),
             StError::Io(msg) => write!(f, "io error: {msg}"),
+            StError::Crashed(msg) => write!(f, "simulated crash: {msg}"),
         }
     }
 }
@@ -96,6 +103,12 @@ mod tests {
     fn error_is_std_error() {
         fn takes_err(_: &dyn std::error::Error) {}
         takes_err(&StError::Machine("x".into()));
+    }
+
+    #[test]
+    fn crashed_formats_with_its_marker() {
+        let e = StError::Crashed("after byte 17 of sort.wal".into());
+        assert_eq!(e.to_string(), "simulated crash: after byte 17 of sort.wal");
     }
 
     #[test]

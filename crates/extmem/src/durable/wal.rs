@@ -1,0 +1,412 @@
+//! The write-ahead journal: commit records as atomic recovery points.
+//!
+//! A [`Wal`] is an append-only file of [frames](crate::durable::frame).
+//! The protocol is write-ahead: a durable tape journals every mutation
+//! *before* applying it in memory, and marks scan boundaries with a
+//! commit frame. The journal's invariants:
+//!
+//! 1. **Append-only between opens.** Frames are only ever added at the
+//!    tail; recovery is the only operation that shortens the file.
+//! 2. **Commit = recovery point.** On [`Wal::open`], everything after
+//!    the last whole commit frame — torn frames (CRC/length failures)
+//!    *and* whole-but-uncommitted record frames — is truncated away.
+//!    State reconstruction replays only committed frames, so a crash
+//!    between commits rewinds to the previous scan boundary, never to a
+//!    half-applied scan.
+//! 3. **Reset scopes a replay.** A `Reset` frame drops all earlier
+//!    records from the reconstruction (the tape was cleared for
+//!    overwrite); a checkpoint is therefore `Reset · Record* · Commit`.
+//!
+//! Crash injection lives here too, because "the k-th journaled byte" is
+//! the natural deterministic coordinate for power loss: a write that
+//! would carry the file past the planned offset persists *exactly* the
+//! prefix up to that byte, emits [`TraceEvent::CrashInjected`], and
+//! returns [`StError::Crashed`]. The torn tail this leaves behind is
+//! real — the next [`Wal::open`] must do real recovery work on it.
+
+use super::frame::{decode_frames, encode_frame, Frame, FrameTag};
+use st_core::StError;
+use st_trace::TraceEvent;
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+/// What [`Wal::open`] reconstructed from the journal.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Recovery {
+    /// Committed record payloads, in order, respecting `Reset` scoping
+    /// (records before the last committed `Reset` are dropped).
+    pub records: Vec<Vec<u8>>,
+    /// Metadata payload of the last commit frame (`None` on a journal
+    /// with no commit yet).
+    pub last_commit: Option<Vec<u8>>,
+    /// Journal bytes that survived recovery (the committed prefix).
+    pub committed_bytes: u64,
+    /// Torn/uncommitted trailing bytes truncated away.
+    pub discarded_bytes: u64,
+}
+
+impl Recovery {
+    /// `true` iff the journal had nothing committed (fresh or fully
+    /// rolled back).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.last_commit.is_none()
+    }
+}
+
+/// An append-only, checksummed write-ahead journal with deterministic
+/// crash injection.
+#[derive(Debug)]
+pub struct Wal {
+    path: PathBuf,
+    file: File,
+    /// Bytes durably in the file (and, absent a crash, on "disk").
+    len: u64,
+    /// Length of the prefix ending at the last commit frame.
+    committed_len: u64,
+    /// Planned crash point: kill after this absolute journal byte.
+    crash_at: Option<u64>,
+    /// Set once the crash fired; every later write refuses.
+    crashed: bool,
+}
+
+impl Wal {
+    /// Create a fresh journal at `path` (truncating any previous file).
+    pub fn create(path: &Path, crash_at: Option<u64>) -> Result<Self, StError> {
+        let file = OpenOptions::new()
+            .create(true)
+            .write(true)
+            .truncate(true)
+            .open(path)
+            .map_err(|e| StError::Io(format!("create journal {}: {e}", path.display())))?;
+        Ok(Wal {
+            path: path.to_path_buf(),
+            file,
+            len: 0,
+            committed_len: 0,
+            crash_at,
+            crashed: false,
+        })
+    }
+
+    /// Open an existing journal, roll back to the last commit, and
+    /// return the handle plus what survived.
+    ///
+    /// Emits [`TraceEvent::Recovery`] through the ambient tracer
+    /// whenever a journal with history is reopened.
+    pub fn open(path: &Path, crash_at: Option<u64>) -> Result<(Self, Recovery), StError> {
+        let mut file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .open(path)
+            .map_err(|e| StError::Io(format!("open journal {}: {e}", path.display())))?;
+        let mut buf = Vec::new();
+        file.read_to_end(&mut buf)
+            .map_err(|e| StError::Io(format!("read journal {}: {e}", path.display())))?;
+
+        let (frames, valid_len) = decode_frames(&buf);
+        // Recovery point: the end of the last whole commit frame.
+        let mut committed_len = 0usize;
+        let mut committed_frames = 0usize;
+        let mut pos = 0usize;
+        for (i, frame) in frames.iter().enumerate() {
+            pos += super::frame::HEADER_LEN + frame.payload.len();
+            if frame.tag == FrameTag::Commit {
+                committed_len = pos;
+                committed_frames = i + 1;
+            }
+        }
+        debug_assert!(committed_len <= valid_len);
+
+        let recovery = Recovery {
+            records: replay_committed(&frames[..committed_frames]),
+            last_commit: frames[..committed_frames]
+                .iter()
+                .rev()
+                .find(|f| f.tag == FrameTag::Commit)
+                .map(|f| f.payload.clone()),
+            committed_bytes: committed_len as u64,
+            discarded_bytes: (buf.len() - committed_len) as u64,
+        };
+
+        if committed_len < buf.len() {
+            file.set_len(committed_len as u64)
+                .map_err(|e| StError::Io(format!("truncate journal {}: {e}", path.display())))?;
+        }
+        file.seek(SeekFrom::Start(committed_len as u64))
+            .map_err(|e| StError::Io(format!("seek journal {}: {e}", path.display())))?;
+
+        st_trace::current().emit(|| TraceEvent::Recovery {
+            committed: recovery.committed_bytes,
+            discarded: recovery.discarded_bytes,
+        });
+
+        Ok((
+            Wal {
+                path: path.to_path_buf(),
+                file,
+                len: committed_len as u64,
+                committed_len: committed_len as u64,
+                crash_at,
+                crashed: false,
+            },
+            recovery,
+        ))
+    }
+
+    /// The journal file path.
+    #[must_use]
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Total journal bytes written (committed or not).
+    #[must_use]
+    pub fn len(&self) -> u64 {
+        self.len
+    }
+
+    /// `true` iff no frame was ever journaled (or all were rolled back).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Length of the committed prefix — the recovery point.
+    #[must_use]
+    pub fn committed_len(&self) -> u64 {
+        self.committed_len
+    }
+
+    /// `true` once the planned crash fired; the handle is then poisoned.
+    #[must_use]
+    pub fn has_crashed(&self) -> bool {
+        self.crashed
+    }
+
+    /// Journal one record payload (write-ahead: call this *before*
+    /// applying the mutation in memory).
+    pub fn append_record(&mut self, payload: &[u8]) -> Result<(), StError> {
+        self.append(FrameTag::Record, payload)
+    }
+
+    /// Journal a reset marker: the tape was cleared for overwrite and
+    /// records before this point no longer describe its state.
+    pub fn append_reset(&mut self) -> Result<(), StError> {
+        self.append(FrameTag::Reset, &[])
+    }
+
+    /// Journal a commit frame, making everything before it a recovery
+    /// point. `meta` is caller metadata returned verbatim on recovery
+    /// (e.g. the merge pass the checkpoint belongs to).
+    pub fn commit(&mut self, meta: &[u8]) -> Result<(), StError> {
+        self.append(FrameTag::Commit, meta)?;
+        self.committed_len = self.len;
+        Ok(())
+    }
+
+    fn append(&mut self, tag: FrameTag, payload: &[u8]) -> Result<(), StError> {
+        if self.crashed {
+            return Err(StError::Crashed(format!(
+                "journal {} already crashed",
+                self.path.display()
+            )));
+        }
+        let mut bytes = Vec::with_capacity(super::frame::HEADER_LEN + payload.len());
+        encode_frame(tag, payload, &mut bytes)?;
+
+        // Does this write carry the file past the planned crash point?
+        if let Some(k) = self.crash_at {
+            let end = self.len + bytes.len() as u64;
+            if end > k {
+                // Persist exactly the prefix up to byte k, then die. The
+                // saturating_sub guards k below the current length
+                // (possible when a resumed run reuses an absolute offset
+                // already consumed by an earlier incarnation).
+                let keep = usize::try_from(k.saturating_sub(self.len)).unwrap_or(usize::MAX);
+                let keep = keep.min(bytes.len());
+                self.write_all(&bytes[..keep])?;
+                self.len += keep as u64;
+                self.crashed = true;
+                st_trace::current().emit(|| TraceEvent::CrashInjected { at_byte: k });
+                return Err(StError::Crashed(format!(
+                    "after byte {k} of {}",
+                    self.path.display()
+                )));
+            }
+        }
+
+        self.write_all(&bytes)?;
+        self.len += bytes.len() as u64;
+        Ok(())
+    }
+
+    fn write_all(&mut self, bytes: &[u8]) -> Result<(), StError> {
+        self.file
+            .write_all(bytes)
+            .map_err(|e| StError::Io(format!("write journal {}: {e}", self.path.display())))?;
+        self.file
+            .flush()
+            .map_err(|e| StError::Io(format!("flush journal {}: {e}", self.path.display())))
+    }
+}
+
+/// Replay committed frames into the record payloads they imply: records
+/// accumulate, a `Reset` clears, commits are transparent.
+fn replay_committed(frames: &[Frame]) -> Vec<Vec<u8>> {
+    let mut records: Vec<Vec<u8>> = Vec::new();
+    for frame in frames {
+        match frame.tag {
+            FrameTag::Record => records.push(frame.payload.clone()),
+            FrameTag::Reset => records.clear(),
+            FrameTag::Commit => {}
+        }
+    }
+    records
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("st_wal_tests_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    #[test]
+    fn records_survive_a_commit_and_reopen() {
+        let path = tmp("basic.wal");
+        let mut wal = Wal::create(&path, None).unwrap();
+        wal.append_record(b"alpha").unwrap();
+        wal.append_record(b"beta").unwrap();
+        wal.commit(b"cp1").unwrap();
+        drop(wal);
+
+        let (wal, rec) = Wal::open(&path, None).unwrap();
+        assert_eq!(rec.records, vec![b"alpha".to_vec(), b"beta".to_vec()]);
+        assert_eq!(rec.last_commit.as_deref(), Some(&b"cp1"[..]));
+        assert_eq!(rec.discarded_bytes, 0);
+        assert_eq!(wal.len(), rec.committed_bytes);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn uncommitted_tail_is_rolled_back_on_open() {
+        let path = tmp("rollback.wal");
+        let mut wal = Wal::create(&path, None).unwrap();
+        wal.append_record(b"kept").unwrap();
+        wal.commit(b"cp").unwrap();
+        let committed = wal.len();
+        wal.append_record(b"lost-1").unwrap();
+        wal.append_record(b"lost-2").unwrap();
+        let full = wal.len();
+        drop(wal);
+
+        let (wal, rec) = Wal::open(&path, None).unwrap();
+        assert_eq!(rec.records, vec![b"kept".to_vec()]);
+        assert_eq!(rec.committed_bytes, committed);
+        assert_eq!(rec.discarded_bytes, full - committed);
+        assert_eq!(wal.len(), committed);
+        assert_eq!(std::fs::metadata(&path).unwrap().len(), committed);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn reset_scopes_the_replay_to_the_latest_checkpoint() {
+        let path = tmp("reset.wal");
+        let mut wal = Wal::create(&path, None).unwrap();
+        wal.append_record(b"old").unwrap();
+        wal.commit(b"cp1").unwrap();
+        wal.append_reset().unwrap();
+        wal.append_record(b"new").unwrap();
+        wal.commit(b"cp2").unwrap();
+        drop(wal);
+
+        let (_, rec) = Wal::open(&path, None).unwrap();
+        assert_eq!(rec.records, vec![b"new".to_vec()]);
+        assert_eq!(rec.last_commit.as_deref(), Some(&b"cp2"[..]));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn crash_cuts_the_file_at_exactly_the_planned_byte() {
+        let path = tmp("crash.wal");
+        let mut wal = Wal::create(&path, None).unwrap();
+        wal.append_record(b"payload-zero").unwrap();
+        wal.commit(b"").unwrap();
+        let committed = wal.len();
+        drop(wal);
+
+        // Crash 3 bytes into whatever comes after the commit.
+        let k = committed + 3;
+        let (mut wal, _) = Wal::open(&path, Some(k)).unwrap();
+        let err = wal.append_record(b"doomed").unwrap_err();
+        assert!(matches!(err, StError::Crashed(_)), "got {err}");
+        assert!(wal.has_crashed());
+        assert_eq!(std::fs::metadata(&path).unwrap().len(), k);
+        // The poisoned handle refuses further writes.
+        assert!(matches!(
+            wal.append_record(b"more"),
+            Err(StError::Crashed(_))
+        ));
+        drop(wal);
+
+        // Reopen: the torn 3 bytes are discarded, the commit survives.
+        let (_, rec) = Wal::open(&path, None).unwrap();
+        assert_eq!(rec.records, vec![b"payload-zero".to_vec()]);
+        assert_eq!(rec.committed_bytes, committed);
+        assert_eq!(rec.discarded_bytes, 3);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn crash_point_already_behind_the_cursor_fires_immediately() {
+        let path = tmp("crash_behind.wal");
+        let mut wal = Wal::create(&path, None).unwrap();
+        wal.append_record(b"x").unwrap();
+        wal.commit(b"").unwrap();
+        let committed = wal.len();
+        drop(wal);
+
+        // k below the committed length: the next write must crash without
+        // extending the file at all (saturating_sub keeps 0 new bytes).
+        let (mut wal, _) = Wal::open(&path, Some(committed.saturating_sub(1))).unwrap();
+        assert!(matches!(wal.append_record(b"y"), Err(StError::Crashed(_))));
+        assert_eq!(std::fs::metadata(&path).unwrap().len(), committed);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn crash_point_beyond_the_run_never_fires() {
+        let path = tmp("crash_far.wal");
+        let mut wal = Wal::create(&path, Some(1 << 40)).unwrap();
+        wal.append_record(b"fine").unwrap();
+        wal.commit(b"").unwrap();
+        assert!(!wal.has_crashed());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn recovery_emits_a_trace_event() {
+        let path = tmp("traced.wal");
+        let mut wal = Wal::create(&path, None).unwrap();
+        wal.append_record(b"r").unwrap();
+        wal.commit(b"").unwrap();
+        wal.append_record(b"torn").unwrap();
+        drop(wal);
+
+        let (tracer, buf) = st_trace::Tracer::in_memory();
+        st_trace::scoped(tracer, || {
+            let (_, rec) = Wal::open(&path, None).unwrap();
+            assert!(rec.discarded_bytes > 0);
+        });
+        let events = buf.snapshot();
+        assert!(events
+            .iter()
+            .any(|e| matches!(e, TraceEvent::Recovery { discarded, .. } if *discarded > 0)));
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -95,6 +95,12 @@ pub struct FaultPlan {
     /// Per-write probability that a corrupted value is stored instead of
     /// the written one.
     pub torn_write: f64,
+    /// Deterministic crash point for durable substrates: kill the run
+    /// after this absolute journaled byte (see `durable::wal`). Unlike
+    /// the probabilistic rates above, this is an exact coordinate — the
+    /// journal persists precisely the prefix up to the byte and the run
+    /// fails with `StError::Crashed`. `None` disables crash injection.
+    pub crash_journal_byte: Option<u64>,
 }
 
 impl FaultPlan {
@@ -107,6 +113,7 @@ impl FaultPlan {
             transient_read: 0.0,
             stuck_write: 0.0,
             torn_write: 0.0,
+            crash_journal_byte: None,
         }
     }
 
@@ -119,6 +126,7 @@ impl FaultPlan {
             transient_read: rate,
             stuck_write: rate,
             torn_write: rate,
+            crash_journal_byte: None,
         }
     }
 
@@ -150,13 +158,22 @@ impl FaultPlan {
         self
     }
 
-    /// `true` iff every rate is zero (attaching this plan changes nothing).
+    /// Plant a deterministic crash after the `k`-th journaled byte.
+    #[must_use]
+    pub fn with_crash_after(mut self, k: u64) -> Self {
+        self.crash_journal_byte = Some(k);
+        self
+    }
+
+    /// `true` iff every rate is zero and no crash point is planted
+    /// (attaching this plan changes nothing).
     #[must_use]
     pub fn is_noop(&self) -> bool {
         self.bit_flip == 0.0
             && self.transient_read == 0.0
             && self.stuck_write == 0.0
             && self.torn_write == 0.0
+            && self.crash_journal_byte.is_none()
     }
 
     /// The fault-stream seed for a tape named `tape_name`: the plan seed
@@ -353,6 +370,14 @@ mod tests {
         assert!(!p.is_noop());
         assert!(FaultPlan::new(7).is_noop());
         assert!(!FaultPlan::uniform(7, 0.1).is_noop());
+    }
+
+    #[test]
+    fn crash_point_makes_a_plan_non_noop() {
+        let p = FaultPlan::new(3).with_crash_after(128);
+        assert_eq!(p.crash_journal_byte, Some(128));
+        assert!(!p.is_noop());
+        assert!(p.bit_flip == 0.0 && p.torn_write == 0.0);
     }
 
     #[test]

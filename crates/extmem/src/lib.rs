@@ -21,7 +21,11 @@
 //! * [`fault`] — opt-in, seed-deterministic fault injection (bit rot,
 //!   transient reads, stuck/torn writes) under the same tapes, so the
 //!   resilient upper-bound algorithms of `st-algo` can be attacked and
-//!   measured without touching the reversal accounting.
+//!   measured without touching the reversal accounting;
+//! * [`durable`] — file-backed tapes with checksummed block frames and a
+//!   write-ahead journal whose commit records are atomic recovery points,
+//!   plus deterministic crash injection ("kill after the k-th journaled
+//!   byte") — the first layer where state outlives the process.
 //!
 //! ## Fidelity note (documented substitution)
 //!
@@ -37,6 +41,7 @@
 #![warn(missing_docs)]
 
 pub mod disk;
+pub mod durable;
 pub mod fault;
 pub mod machine;
 pub mod meter;
@@ -44,6 +49,7 @@ pub mod scan;
 pub mod sort;
 pub mod tape;
 
+pub use durable::{DurableRecord, DurableTape, Recovery, Wal};
 pub use fault::{Corrupt, FaultPlan, FaultStats};
 pub use machine::TapeMachine;
 pub use meter::{MemoryCharge, MemoryMeter};

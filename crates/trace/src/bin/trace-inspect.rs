@@ -11,7 +11,7 @@
 //! usage re-derived from the event stream.
 
 use st_trace::replay::audit;
-use st_trace::{read_jsonl, FaultKind};
+use st_trace::{read_jsonl_lossy, FaultKind};
 use std::path::Path;
 use std::process::ExitCode;
 
@@ -23,7 +23,12 @@ const KINDS: [FaultKind; 4] = [
 ];
 
 fn inspect(path: &Path, audit_only: bool) -> Result<bool, String> {
-    let events = read_jsonl(path).map_err(|e| e.to_string())?;
+    // A run killed mid-write can tear the final line; drop it with a
+    // warning instead of refusing the whole file.
+    let (events, warning) = read_jsonl_lossy(path).map_err(|e| e.to_string())?;
+    if let Some(w) = warning {
+        eprintln!("warning: {w}");
+    }
     let report = audit(&events);
     println!(
         "{}: {} event(s), audit: {report}",
@@ -86,6 +91,15 @@ fn inspect(path: &Path, audit_only: bool) -> Result<bool, String> {
             for (reason, n) in m.retry_reasons() {
                 println!("    retries x{n}: {reason}");
             }
+        }
+        if m.crashes() > 0 || m.recoveries() > 0 {
+            println!(
+                "    crashes: {}, recoveries: {} ({} byte(s) committed, {} torn byte(s) discarded)",
+                m.crashes(),
+                m.recoveries(),
+                m.recovered_bytes(),
+                m.discarded_bytes(),
+            );
         }
         for check in seg.checks.iter().filter(|c| !c.matches()) {
             println!("    MISMATCH:");

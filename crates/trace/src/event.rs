@@ -174,6 +174,21 @@ pub enum TraceEvent {
         /// The substrate-reported usage.
         usage: ResourceUsage,
     },
+    /// The fault layer cut the write-ahead journal at a planned byte
+    /// offset — the in-process stand-in for losing power mid-write.
+    CrashInjected {
+        /// Absolute journal byte offset the cut landed after.
+        at_byte: u64,
+    },
+    /// A durable substrate reopened its journal and rolled back to the
+    /// last commit record.
+    Recovery {
+        /// Journal bytes that survived (up to and including the last
+        /// commit frame).
+        committed: u64,
+        /// Torn trailing bytes discarded by the rollback.
+        discarded: u64,
+    },
 }
 
 impl TraceEvent {
@@ -261,6 +276,18 @@ impl TraceEvent {
                 w.num_field("steps", usage.steps);
                 w.num_field("cells", usage.external_cells);
             }
+            TraceEvent::CrashInjected { at_byte } => {
+                w.str_field("ev", "crash");
+                w.num_field("at_byte", *at_byte);
+            }
+            TraceEvent::Recovery {
+                committed,
+                discarded,
+            } => {
+                w.str_field("ev", "recovery");
+                w.num_field("committed", *committed);
+                w.num_field("discarded", *discarded);
+            }
         }
         w.finish()
     }
@@ -334,6 +361,13 @@ impl TraceEvent {
                     external_cells: obj.num("cells")?,
                 },
             },
+            "crash" => TraceEvent::CrashInjected {
+                at_byte: obj.num("at_byte")?,
+            },
+            "recovery" => TraceEvent::Recovery {
+                committed: obj.num("committed")?,
+                discarded: obj.num("discarded")?,
+            },
             other => {
                 return Err(StError::Machine(format!(
                     "unknown trace event kind '{other}'"
@@ -358,6 +392,50 @@ pub fn read_jsonl(path: &std::path::Path) -> Result<Vec<TraceEvent>, StError> {
             })?);
     }
     Ok(events)
+}
+
+/// Read a JSONL trace file, tolerating a torn *final* line.
+///
+/// A process killed mid-write (the crash-injection harness, or a real
+/// crash) leaves a trace whose last line is a partial JSON object. That
+/// artifact is still worth inspecting, so this reader parses every whole
+/// line and, if only the final non-empty line fails, returns the events
+/// plus a warning instead of an error. A malformed line *before* the end
+/// still errors — that is corruption, not truncation.
+pub fn read_jsonl_lossy(
+    path: &std::path::Path,
+) -> Result<(Vec<TraceEvent>, Option<String>), StError> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| StError::Io(format!("read {}: {e}", path.display())))?;
+    let lines: Vec<(usize, &str)> = text
+        .lines()
+        .enumerate()
+        .filter(|(_, l)| !l.trim().is_empty())
+        .collect();
+    let mut events = Vec::new();
+    for (i, (lineno, line)) in lines.iter().enumerate() {
+        match TraceEvent::from_json_line(line) {
+            Ok(ev) => events.push(ev),
+            Err(e) if i + 1 == lines.len() => {
+                return Ok((
+                    events,
+                    Some(format!(
+                        "{}:{}: truncated final line dropped ({e})",
+                        path.display(),
+                        lineno + 1
+                    )),
+                ));
+            }
+            Err(e) => {
+                return Err(StError::Machine(format!(
+                    "{}:{}: {e}",
+                    path.display(),
+                    lineno + 1
+                )))
+            }
+        }
+    }
+    Ok((events, None))
 }
 
 #[cfg(test)]
@@ -410,6 +488,11 @@ mod tests {
             reason: "fingerprint differs\tfrom master".into(),
         });
         roundtrip(TraceEvent::TapeExtent { tape: 0, cells: 48 });
+        roundtrip(TraceEvent::CrashInjected { at_byte: 7777 });
+        roundtrip(TraceEvent::Recovery {
+            committed: 1024,
+            discarded: 13,
+        });
         roundtrip(TraceEvent::RunUsage {
             usage: ResourceUsage {
                 input_len: 10,
@@ -443,5 +526,36 @@ mod tests {
     #[test]
     fn missing_field_is_an_error() {
         assert!(TraceEvent::from_json_line(r#"{"ev":"reversal","tape":1}"#).is_err());
+    }
+
+    #[test]
+    fn lossy_reader_tolerates_only_a_torn_final_line() {
+        let dir = std::env::temp_dir().join(format!("st_trace_lossy_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+
+        // Torn final line: events before it survive, a warning names it.
+        let torn = dir.join("torn.jsonl");
+        let good = TraceEvent::StepBatch { steps: 5 }.to_json_line();
+        std::fs::write(&torn, format!("{good}\n{good}\n{{\"ev\":\"step_ba")).unwrap();
+        let (events, warning) = read_jsonl_lossy(&torn).unwrap();
+        assert_eq!(events.len(), 2);
+        let warning = warning.expect("torn tail must warn");
+        assert!(warning.contains("torn.jsonl:3"), "warning was: {warning}");
+        // The strict reader still refuses the same file.
+        assert!(read_jsonl(&torn).is_err());
+
+        // A clean file yields no warning.
+        let clean = dir.join("clean.jsonl");
+        std::fs::write(&clean, format!("{good}\n")).unwrap();
+        let (events, warning) = read_jsonl_lossy(&clean).unwrap();
+        assert_eq!(events.len(), 1);
+        assert!(warning.is_none());
+
+        // Corruption in the *middle* is still a hard error.
+        let mid = dir.join("mid.jsonl");
+        std::fs::write(&mid, format!("{good}\nnot json\n{good}\n")).unwrap();
+        assert!(read_jsonl_lossy(&mid).is_err());
+
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

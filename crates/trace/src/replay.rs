@@ -73,6 +73,10 @@ pub struct Aggregator {
     retry_reasons: Vec<(String, u64)>,
     fault_totals: [u64; 4],
     checkpoints: u64,
+    crashes: u64,
+    recoveries: u64,
+    recovered_bytes: u64,
+    discarded_bytes: u64,
 }
 
 impl Aggregator {
@@ -176,6 +180,17 @@ impl Aggregator {
             TraceEvent::RunUsage { .. } => {
                 self.checkpoints += 1;
             }
+            TraceEvent::CrashInjected { .. } => {
+                self.crashes += 1;
+            }
+            TraceEvent::Recovery {
+                committed,
+                discarded,
+            } => {
+                self.recoveries += 1;
+                self.recovered_bytes = *committed;
+                self.discarded_bytes += discarded;
+            }
         }
     }
 
@@ -257,6 +272,30 @@ impl Aggregator {
     #[must_use]
     pub fn checkpoints(&self) -> u64 {
         self.checkpoints
+    }
+
+    /// Injected crash points ([`TraceEvent::CrashInjected`]) folded.
+    #[must_use]
+    pub fn crashes(&self) -> u64 {
+        self.crashes
+    }
+
+    /// Journal recoveries ([`TraceEvent::Recovery`]) folded.
+    #[must_use]
+    pub fn recoveries(&self) -> u64 {
+        self.recoveries
+    }
+
+    /// Committed journal bytes reported by the most recent recovery.
+    #[must_use]
+    pub fn recovered_bytes(&self) -> u64 {
+        self.recovered_bytes
+    }
+
+    /// Torn trailing bytes discarded across every recovery folded.
+    #[must_use]
+    pub fn discarded_bytes(&self) -> u64 {
+        self.discarded_bytes
     }
 }
 
@@ -589,6 +628,31 @@ mod tests {
         assert_eq!(agg.retry_reasons(), &[("mismatch".to_string(), 2)]);
         assert_eq!(agg.total_faults(), 2);
         assert_eq!(agg.tapes()[1].faults[FaultKind::BitFlip.index()], 1);
+    }
+
+    #[test]
+    fn aggregator_counts_crashes_and_recoveries() {
+        let mut agg = Aggregator::new();
+        for ev in [
+            TraceEvent::CrashInjected { at_byte: 40 },
+            TraceEvent::Recovery {
+                committed: 32,
+                discarded: 8,
+            },
+            TraceEvent::CrashInjected { at_byte: 90 },
+            TraceEvent::Recovery {
+                committed: 80,
+                discarded: 10,
+            },
+        ] {
+            agg.push(&ev);
+        }
+        assert_eq!(agg.crashes(), 2);
+        assert_eq!(agg.recoveries(), 2);
+        assert_eq!(agg.recovered_bytes(), 80);
+        assert_eq!(agg.discarded_bytes(), 18);
+        // Crash bookkeeping must not leak into the resource accounting.
+        assert_eq!(agg.usage(), ResourceUsage::default());
     }
 
     #[test]

@@ -112,19 +112,50 @@ impl Sink for RingSink {
 }
 
 /// Streams events to a file, one JSON line each.
+///
+/// The stream lands in a hidden `.tmp` sibling first and is moved onto
+/// the requested path on the first [`flush`](Sink::flush) (or on drop).
+/// `rename` keeps the open descriptor valid on POSIX, so writing simply
+/// continues through the same file after the move — the visible path
+/// therefore never holds a torn artifact from a run that died before
+/// its first flush; a crash later can at worst truncate the *final*
+/// line, which [`crate::event::read_jsonl_lossy`] tolerates.
 #[derive(Debug)]
 pub struct JsonlSink {
     writer: std::io::BufWriter<std::fs::File>,
+    /// `Some((tmp, final))` until the rename happened.
+    pending: Option<(std::path::PathBuf, std::path::PathBuf)>,
 }
 
 impl JsonlSink {
-    /// Create (truncate) `path` and stream events into it.
+    /// Stream events into `path` (atomically published; see type docs).
     pub fn create(path: &std::path::Path) -> Result<Self, StError> {
-        let file = std::fs::File::create(path)
-            .map_err(|e| StError::Io(format!("create trace {}: {e}", path.display())))?;
+        let file_name = path.file_name().ok_or_else(|| {
+            StError::Io(format!(
+                "create trace {}: path has no file name",
+                path.display()
+            ))
+        })?;
+        let mut tmp_name = std::ffi::OsString::from(".");
+        tmp_name.push(file_name);
+        tmp_name.push(".tmp");
+        let tmp = path.with_file_name(tmp_name);
+        let file = std::fs::File::create(&tmp)
+            .map_err(|e| StError::Io(format!("create trace {}: {e}", tmp.display())))?;
         Ok(JsonlSink {
             writer: std::io::BufWriter::new(file),
+            pending: Some((tmp, path.to_path_buf())),
         })
+    }
+
+    /// Move the `.tmp` file onto the final path (first call wins; a
+    /// failed rename is retried on the next flush).
+    fn publish(&mut self) {
+        if let Some((tmp, path)) = self.pending.take() {
+            if std::fs::rename(&tmp, &path).is_err() {
+                self.pending = Some((tmp, path));
+            }
+        }
     }
 }
 
@@ -137,12 +168,14 @@ impl Sink for JsonlSink {
 
     fn flush(&mut self) {
         let _ = self.writer.flush();
+        self.publish();
     }
 }
 
 impl Drop for JsonlSink {
     fn drop(&mut self) {
         let _ = self.writer.flush();
+        self.publish();
     }
 }
 
@@ -252,5 +285,30 @@ mod tests {
             vec![step(3), TraceEvent::Reversal { tape: 1, total: 2 }]
         );
         let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn jsonl_sink_publishes_on_first_flush_not_before() {
+        let dir = std::env::temp_dir().join(format!("st_trace_atomic_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("trace.jsonl");
+
+        let mut s = JsonlSink::create(&path).unwrap();
+        s.record(step(1));
+        // Before any flush: only the hidden temporary exists.
+        assert!(!path.exists(), "final path must not exist pre-flush");
+        s.flush();
+        assert!(path.exists(), "flush must publish the file");
+        // Writing continues through the renamed descriptor.
+        s.record(step(2));
+        drop(s);
+        let events = crate::event::read_jsonl(&path).unwrap();
+        assert_eq!(events, vec![step(1), step(2)]);
+        // No .tmp leftover.
+        assert!(std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .all(|e| !e.file_name().to_string_lossy().ends_with(".tmp")));
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -1,0 +1,117 @@
+//! Integration: durable tapes, crash injection, and mid-run recovery.
+//!
+//! The contract under test is the durable layer's acceptance criterion:
+//! kill the journaled merge sort at **every** byte offset of its
+//! write-ahead journal and the recovered run must produce output
+//! byte-identical to the uninterrupted one — and the trace emitted
+//! across all incarnations must replay to exactly the measured
+//! (absorbed) resource usage.
+
+use st_algo::{durable_sort, sort_with_crashes};
+use st_core::ResourceUsage;
+use std::path::PathBuf;
+
+fn tmp_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("st_crash_recovery_{name}_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn workload(m: i64) -> Vec<i64> {
+    (0..m).map(|i| (i * 37 + 5) % m).collect()
+}
+
+#[test]
+fn crash_at_every_journal_byte_recovers_byte_identically() {
+    let dir = tmp_dir("sweep");
+    let m = 24usize;
+    let items = workload(m as i64);
+    let mut expect = items.clone();
+    expect.sort();
+
+    let baseline = durable_sort(&dir.join("base.wal"), items.clone(), m).unwrap();
+    assert_eq!(baseline.sorted, expect, "the uninterrupted run must sort");
+    assert!(baseline.journal_bytes > 0);
+
+    // Exhaustive: one run per journal byte, killed at exactly that byte.
+    let path = dir.join("crash.wal");
+    for k in 0..baseline.journal_bytes {
+        let run = sort_with_crashes(&path, items.clone(), m, &[k]).unwrap();
+        assert_eq!(
+            run.sorted, baseline.sorted,
+            "crash at journal byte {k} recovered to a different output"
+        );
+        assert_eq!(run.crashes, 1, "the planned crash at byte {k} must fire");
+        assert_eq!(run.recoveries, 1);
+        assert_eq!(run.incarnations, 2);
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn recovered_run_trace_replays_to_the_measured_usage() {
+    let dir = tmp_dir("replay");
+    let m = 32usize;
+    let items = workload(m as i64);
+
+    let probe = durable_sort(&dir.join("probe.wal"), items.clone(), m).unwrap();
+    let storm = [probe.journal_bytes / 4, probe.journal_bytes / 2];
+
+    let (tracer, buf) = st_trace::Tracer::in_memory();
+    let run = st_trace::scoped(tracer, || {
+        sort_with_crashes(&dir.join("storm.wal"), items.clone(), m, &storm).unwrap()
+    });
+    let mut expect = items;
+    expect.sort();
+    assert_eq!(run.sorted, expect);
+    assert_eq!(run.crashes, 2);
+
+    // Every incarnation's claimed usage must survive the replay audit,
+    // and the absorbed per-segment replays must equal the run's summed
+    // bill — recovered replays are charged, not forgotten.
+    let events = buf.snapshot();
+    let report = st_trace::audit(&events);
+    assert!(report.ok(), "{report}");
+    let mut replayed = ResourceUsage::default();
+    for seg in &report.segments {
+        replayed.absorb(&seg.metrics.usage());
+    }
+    assert_eq!(
+        replayed, run.usage,
+        "replayed usage must equal the measured (absorbed) usage"
+    );
+
+    // The crash/recovery counters fold into the aggregate too.
+    let mut agg = st_trace::Aggregator::new();
+    for ev in &events {
+        agg.push(ev);
+    }
+    assert_eq!(agg.crashes(), run.crashes);
+    assert_eq!(agg.recoveries(), run.recoveries);
+    assert!(
+        agg.discarded_bytes() > 0,
+        "a mid-pass kill leaves torn bytes"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn recovery_smoke_through_the_bench_registry() {
+    // The registry's durable experiments are the user-facing entry point;
+    // they must reproduce under the parallel runner exactly like the CI
+    // smoke (`report e21 e22 --jobs 2`).
+    let selected: Vec<_> = st_bench::all_experiments()
+        .into_iter()
+        .filter(|e| e.id == "e21" || e.id == "e22")
+        .collect();
+    assert_eq!(selected.len(), 2);
+    let outcome = st_bench::runner::run_experiments(
+        &selected,
+        &st_bench::runner::RunOptions {
+            jobs: 2,
+            trace_dir: None,
+        },
+    )
+    .unwrap();
+    assert_eq!(outcome.failures(), 0, "{:?}", outcome.reports);
+}
