@@ -1,0 +1,55 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! Only `crossbeam::scope` (and the scoped `spawn`/`join` it hands
+//! out) is used by the workspace; std's `std::thread::scope` provides
+//! the same guarantees since Rust 1.63, so this is a thin adapter that
+//! preserves crossbeam's closure and return-type shapes.
+
+use std::any::Any;
+
+/// Scoped-thread handle mirroring `crossbeam_utils::thread::Scope`.
+/// The scoped closure receives `&Scope` so spawned threads can spawn
+/// further siblings, exactly like crossbeam.
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let inner = self.inner;
+        inner.spawn(move || f(&Scope { inner }))
+    }
+}
+
+/// Run `f` with a scope in which borrowed-data threads can be spawned;
+/// all threads are joined before `scope` returns. Unlike crossbeam the
+/// error arm is unreachable (std propagates child panics by resuming
+/// them in `join`, and unjoined panics abort the scope), but the
+/// `Result` shape is preserved so call sites compile unchanged.
+pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scoped_threads_borrow_and_join() {
+        let data = vec![1u64, 2, 3, 4];
+        let total: u64 = super::scope(|scope| {
+            let mid = data.len() / 2;
+            let (left, right) = data.split_at(mid);
+            let a = scope.spawn(move |_| left.iter().sum::<u64>());
+            let b = scope.spawn(move |_| right.iter().sum::<u64>());
+            a.join().unwrap() + b.join().unwrap()
+        })
+        .unwrap();
+        assert_eq!(total, 10);
+    }
+}

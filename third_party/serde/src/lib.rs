@@ -1,0 +1,17 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! The workspace derives `Serialize`/`Deserialize` as documentation of
+//! intent but serialises exclusively through its own hand-rolled JSON
+//! writer (`st_trace::json`), so these traits are markers with blanket
+//! impls and the derive macros expand to nothing. Code that *calls*
+//! serde serialisation would not compile against this stub — which is
+//! the desired tripwire for accidentally depending on it offline.
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+pub trait Deserialize<'de>: Sized {}
+impl<'de, T> Deserialize<'de> for T {}

@@ -1,0 +1,16 @@
+//! No-op `Serialize`/`Deserialize` derives for the offline serde stub.
+//! The marker traits in `third_party/serde` carry blanket impls, so a
+//! derive has nothing to generate; `serde(...)` attributes are accepted
+//! and ignored.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
