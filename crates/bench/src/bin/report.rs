@@ -27,7 +27,7 @@
 
 use st_bench::all_experiments;
 use st_bench::report::{save_json, save_text};
-use st_bench::runner::{run_experiments, select_experiments, RunOptions};
+use st_bench::runner::{run_experiments, select_experiments, RunOptions, TimingMode};
 
 /// Remove a `--flag VALUE` pair from `args`, returning the value. A
 /// missing value — end of args, or a following token that is itself a
@@ -89,7 +89,13 @@ fn main() {
         usage_error(&format!("unknown flag {stray}"));
     }
     let selected = select_experiments(registry, &args).unwrap_or_else(|e| usage_error(&e));
-    let opts = RunOptions { jobs, trace_dir };
+    // The CLI wants durations in its artifacts; the determinism gates
+    // compare suppressed-timing runs instead (see TimingMode).
+    let opts = RunOptions {
+        jobs,
+        trace_dir,
+        timing: TimingMode::Measured,
+    };
     let outcome = match run_experiments(&selected, &opts) {
         Ok(o) => o,
         Err(e) => {

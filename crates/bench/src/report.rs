@@ -20,6 +20,15 @@ pub struct Report {
     pub rows: Vec<Vec<String>>,
     /// The verdict line (does the measured shape match the claim?).
     pub verdict: String,
+    /// Coarse wall-clock duration bucket (see [`duration_bucket`]), set
+    /// only when the runner measured timing ([`TimingMode::Measured`]).
+    /// This is the one field **outside** the cross-`--jobs` byte-identity
+    /// contract: a run near a bucket edge may land on either side, so the
+    /// determinism gates compare [`TimingMode::Suppressed`] artifacts.
+    ///
+    /// [`TimingMode::Measured`]: crate::runner::TimingMode::Measured
+    /// [`TimingMode::Suppressed`]: crate::runner::TimingMode::Suppressed
+    pub duration: Option<String>,
 }
 
 impl Report {
@@ -33,6 +42,7 @@ impl Report {
             columns: columns.iter().map(|c| (*c).to_string()).collect(),
             rows: Vec::new(),
             verdict: String::new(),
+            duration: None,
         }
     }
 
@@ -73,12 +83,36 @@ impl Report {
     }
 }
 
-/// Render `reports` as the `BENCH_report.json` document: one JSON object
-/// mapping experiment id → metrics (title, claim, verdict, reproduced
-/// flag, and the full data table), so the experiment trajectory is
-/// machine-diffable across commits.
+/// Bucket a wall-clock duration into a coarse decade label. Decades are
+/// deliberately wide — a measurement has to drift by 10× to change its
+/// label — so repeated runs of the same experiment almost always render
+/// identically, while a real perf regression (an order of magnitude) is
+/// visible in the `BENCH_report.json` diff.
 #[must_use]
-pub fn to_json(reports: &[Report]) -> String {
+pub fn duration_bucket(nanos: u128) -> &'static str {
+    const BUCKETS: [(u128, &str); 8] = [
+        (1_000, "<1µs"),
+        (10_000, "<10µs"),
+        (100_000, "<100µs"),
+        (1_000_000, "<1ms"),
+        (10_000_000, "<10ms"),
+        (100_000_000, "<100ms"),
+        (1_000_000_000, "<1s"),
+        (10_000_000_000, "<10s"),
+    ];
+    for (limit, label) in BUCKETS {
+        if nanos < limit {
+            return label;
+        }
+    }
+    "≥10s"
+}
+
+/// Render one report as its `"id":{…}` JSON member (the body of one
+/// [`to_json`] entry; also what [`merge_json`] splices into an existing
+/// document).
+#[must_use]
+pub fn entry_json(r: &Report) -> String {
     use st_trace::json::quote;
     let str_arr = |out: &mut String, items: &[String]| {
         out.push('[');
@@ -90,33 +124,154 @@ pub fn to_json(reports: &[Report]) -> String {
         }
         out.push(']');
     };
+    let mut out = String::new();
+    out.push_str(&quote(&r.id));
+    out.push_str(":{\"title\":");
+    out.push_str(&quote(&r.title));
+    out.push_str(",\"claim\":");
+    out.push_str(&quote(&r.claim));
+    out.push_str(",\"reproduced\":");
+    out.push_str(if r.reproduced() { "true" } else { "false" });
+    out.push_str(",\"verdict\":");
+    out.push_str(&quote(r.verdict_line()));
+    out.push_str(",\"columns\":");
+    str_arr(&mut out, &r.columns);
+    out.push_str(",\"rows\":[");
+    for (j, row) in r.rows.iter().enumerate() {
+        if j > 0 {
+            out.push(',');
+        }
+        str_arr(&mut out, row);
+    }
+    out.push(']');
+    if let Some(d) = &r.duration {
+        out.push_str(",\"duration\":");
+        out.push_str(&quote(d));
+    }
+    out.push('}');
+    out
+}
+
+/// Render `reports` as the `BENCH_report.json` document: one JSON object
+/// mapping experiment id → metrics (title, claim, verdict, reproduced
+/// flag, and the full data table), so the experiment trajectory is
+/// machine-diffable across commits.
+#[must_use]
+pub fn to_json(reports: &[Report]) -> String {
     let mut out = String::from("{");
     for (i, r) in reports.iter().enumerate() {
         if i > 0 {
             out.push(',');
         }
-        out.push_str(&quote(&r.id));
-        out.push_str(":{\"title\":");
-        out.push_str(&quote(&r.title));
-        out.push_str(",\"claim\":");
-        out.push_str(&quote(&r.claim));
-        out.push_str(",\"reproduced\":");
-        out.push_str(if r.reproduced() { "true" } else { "false" });
-        out.push_str(",\"verdict\":");
-        out.push_str(&quote(r.verdict_line()));
-        out.push_str(",\"columns\":");
-        str_arr(&mut out, &r.columns);
-        out.push_str(",\"rows\":[");
-        for (j, row) in r.rows.iter().enumerate() {
-            if j > 0 {
-                out.push(',');
-            }
-            str_arr(&mut out, row);
-        }
-        out.push_str("]}");
+        out.push_str(&entry_json(r));
     }
     out.push_str("}\n");
     out
+}
+
+/// Split a one-level JSON object document into its raw
+/// `("key-as-quoted", "value")` members, respecting strings (with
+/// escapes) and nested objects/arrays. Only the structure [`to_json`]
+/// emits is accepted; anything else is an error rather than a silent
+/// partial parse.
+fn split_members(doc: &str) -> Result<Vec<(String, String)>, StError> {
+    let bad = |why: &str| StError::Io(format!("merge BENCH json: {why}"));
+    let body = doc
+        .trim()
+        .strip_prefix('{')
+        .and_then(|d| d.strip_suffix('}'))
+        .ok_or_else(|| bad("document is not a JSON object"))?;
+    let mut members = Vec::new();
+    let mut depth = 0usize;
+    let mut in_string = false;
+    let mut escaped = false;
+    let mut start = 0usize;
+    for (at, c) in body.char_indices() {
+        if in_string {
+            if escaped {
+                escaped = false;
+            } else if c == '\\' {
+                escaped = true;
+            } else if c == '"' {
+                in_string = false;
+            }
+            continue;
+        }
+        match c {
+            '"' => in_string = true,
+            '{' | '[' => depth += 1,
+            '}' | ']' => depth = depth.checked_sub(1).ok_or_else(|| bad("unbalanced"))?,
+            ',' if depth == 0 => {
+                members.push(&body[start..at]);
+                start = at + 1;
+            }
+            _ => {}
+        }
+    }
+    if depth != 0 || in_string {
+        return Err(bad("unbalanced"));
+    }
+    if !body.trim().is_empty() {
+        members.push(&body[start..]);
+    }
+    members
+        .into_iter()
+        .map(|m| {
+            let m = m.trim();
+            if !m.starts_with('"') {
+                return Err(bad("member key is not a string"));
+            }
+            // Find the closing quote of the key (keys never contain
+            // escapes in practice, but honour them anyway).
+            let mut esc = false;
+            for (at, c) in m.char_indices().skip(1) {
+                if esc {
+                    esc = false;
+                } else if c == '\\' {
+                    esc = true;
+                } else if c == '"' {
+                    let key = m[..=at].to_string();
+                    let rest = m[at + 1..].trim_start();
+                    let value = rest
+                        .strip_prefix(':')
+                        .ok_or_else(|| bad("member has no ':'"))?;
+                    return Ok((key, value.trim().to_string()));
+                }
+            }
+            Err(bad("unterminated member key"))
+        })
+        .collect()
+}
+
+/// Merge `reports` into an existing [`to_json`] document: members whose
+/// id already appears are replaced **in place** (preserving the
+/// document's entry order), new ids are appended at the end. This is how
+/// auxiliary harnesses (the soak campaign) land their metrics in
+/// `BENCH_report.json` without clobbering the experiment registry's
+/// entries.
+pub fn merge_json(existing: &str, reports: &[Report]) -> Result<String, StError> {
+    use st_trace::json::quote;
+    let mut members = split_members(existing)?;
+    for r in reports {
+        let key = quote(&r.id);
+        let entry = entry_json(r);
+        let value = entry[key.len() + 1..].to_string();
+        match members.iter_mut().find(|(k, _)| *k == key) {
+            Some(slot) => slot.1 = value,
+            None => members.push((key, value)),
+        }
+    }
+    let mut out = String::from("{");
+    for (i, (k, v)) in members.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(k);
+        out.push(':');
+        out.push_str(v);
+    }
+    out.push_str("}\n");
+    Ok(out)
 }
 
 /// Write `bytes` to `path` atomically: the content lands in a hidden
@@ -170,6 +325,9 @@ impl fmt::Display for Report {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "== [{}] {}", self.id.to_uppercase(), self.title)?;
         writeln!(f, "   claim: {}", self.claim)?;
+        if let Some(d) = &self.duration {
+            writeln!(f, "   duration: {d}")?;
+        }
         let mut widths: Vec<usize> = self.columns.iter().map(String::len).collect();
         for row in &self.rows {
             for (w, cell) in widths.iter_mut().zip(row) {
@@ -280,6 +438,77 @@ mod tests {
         assert!(doc.contains("\"e1\":{"));
         assert!(doc.contains("\"e2\":{"));
         assert!(doc.contains("\"reproduced\":false"));
+    }
+
+    #[test]
+    fn duration_buckets_are_coarse_decades() {
+        assert_eq!(duration_bucket(0), "<1µs");
+        assert_eq!(duration_bucket(999), "<1µs");
+        assert_eq!(duration_bucket(1_000), "<10µs");
+        assert_eq!(duration_bucket(250_000), "<1ms");
+        assert_eq!(duration_bucket(5_000_000), "<10ms");
+        assert_eq!(duration_bucket(42_000_000), "<100ms");
+        assert_eq!(duration_bucket(999_999_999), "<1s");
+        assert_eq!(duration_bucket(9_999_999_999), "<10s");
+        assert_eq!(duration_bucket(u128::MAX), "≥10s");
+    }
+
+    #[test]
+    fn duration_renders_after_rows_in_json_and_as_a_text_line() {
+        let mut r = Report::new("e3", "demo", "c", &["x"]);
+        r.row(vec!["1".into()]);
+        r.verdict(true, "ok");
+        // Without a duration, neither rendering mentions it.
+        assert!(!to_json(std::slice::from_ref(&r)).contains("duration"));
+        assert!(!r.to_string().contains("duration"));
+        r.duration = Some(duration_bucket(5_000_000).to_string());
+        let doc = to_json(std::slice::from_ref(&r));
+        assert!(
+            doc.contains("\"rows\":[[\"1\"]],\"duration\":\"<10ms\"}"),
+            "duration must come after rows so existing prefix asserts hold: {doc}"
+        );
+        assert!(r.to_string().contains("   duration: <10ms\n"), "{r}");
+    }
+
+    #[test]
+    fn merge_json_replaces_in_place_and_appends_new_ids() {
+        let mut a = Report::new("e1", "first", "c", &["x"]);
+        a.verdict(true, "ok");
+        let mut b = Report::new("e2", "second \"quoted\"", "c", &["x"]);
+        b.verdict(false, "slope off");
+        let doc = to_json(&[a, b.clone()]);
+
+        // Replacing e2 keeps it in the middle; soak lands at the end.
+        let mut b2 = b.clone();
+        b2.verdict(true, "fixed");
+        let mut soak = Report::new("soak", "campaign", "c", &["stat"]);
+        soak.verdict(true, "clean");
+        let merged = merge_json(&doc, &[b2, soak]).unwrap();
+        let e1 = merged.find("\"e1\"").unwrap();
+        let e2 = merged.find("\"e2\"").unwrap();
+        let sk = merged.find("\"soak\"").unwrap();
+        assert!(e1 < e2 && e2 < sk, "{merged}");
+        assert!(merged.contains("\"verdict\":\"REPRODUCED — fixed\""));
+        assert!(!merged.contains("slope off"));
+        assert!(merged.ends_with("}\n"));
+
+        // Merging is idempotent: a second identical merge is byte-equal.
+        let again = merge_json(&merged, &[]).unwrap();
+        assert_eq!(merged, again);
+
+        // Merging into an empty document works too.
+        let mut only = Report::new("soak", "campaign", "c", &["stat"]);
+        only.verdict(true, "clean");
+        let fresh = merge_json("{}\n", std::slice::from_ref(&only)).unwrap();
+        assert_eq!(fresh, to_json(&[only]));
+    }
+
+    #[test]
+    fn merge_json_rejects_malformed_documents() {
+        for bad in ["", "[]", "{\"a\":1", "{\"a\" 1}", "{x:1}"] {
+            let err = merge_json(bad, &[]).unwrap_err();
+            assert!(matches!(err, StError::Io(_)), "{bad:?} -> {err:?}");
+        }
     }
 
     #[test]

@@ -35,6 +35,27 @@ use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc;
 
+/// Whether the runner stamps wall-clock measurements onto its reports.
+///
+/// Timing is inherently nondeterministic, so it is opt-in: the default is
+/// [`Suppressed`](TimingMode::Suppressed), which keeps every artifact
+/// byte-identical across `--jobs` **by construction** (the determinism
+/// gates compare Suppressed-mode output). Binaries that want durations in
+/// `BENCH_report.json` opt into [`Measured`](TimingMode::Measured), which
+/// records each experiment's duration as a coarse decade bucket
+/// ([`duration_bucket`](crate::report::duration_bucket)) — wide enough
+/// that repeated runs almost always agree, but never guaranteed to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TimingMode {
+    /// Measure each experiment's wall clock and stamp
+    /// `Report.duration` with its decade bucket.
+    Measured,
+    /// Leave `Report.duration` unset (`None`); artifacts depend only on
+    /// the seedable computation.
+    #[default]
+    Suppressed,
+}
+
 /// Options for [`run_experiments`].
 #[derive(Debug, Clone, Default)]
 pub struct RunOptions {
@@ -43,6 +64,9 @@ pub struct RunOptions {
     /// When set, experiment `id` runs under a JSONL tracer writing
     /// `DIR/id.jsonl`, and each file is replay-audited after the join.
     pub trace_dir: Option<PathBuf>,
+    /// Whether reports carry wall-clock duration buckets (default:
+    /// suppressed, keeping artifacts deterministic).
+    pub timing: TimingMode,
 }
 
 impl RunOptions {
@@ -191,22 +215,32 @@ pub fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
 }
 
 /// Run one experiment under its own scoped tracer and unwind boundary.
-fn run_one(exp: &Experiment, trace_dir: Option<&Path>) -> Result<Report, StError> {
+fn run_one(
+    exp: &Experiment,
+    trace_dir: Option<&Path>,
+    timing: TimingMode,
+) -> Result<Report, StError> {
     let tracer = match trace_dir {
         Some(dir) => st_trace::Tracer::jsonl(&dir.join(format!("{}.jsonl", exp.id)))?,
         None => st_trace::Tracer::disabled(),
     };
     let run = exp.run;
+    let started = std::time::Instant::now();
     let result = st_trace::scoped(tracer.clone(), || catch_unwind(AssertUnwindSafe(run)));
+    let elapsed = started.elapsed();
     tracer.flush();
-    Ok(match result {
+    let mut report = match result {
         Ok(report) => report,
         Err(payload) => {
             let mut report = Report::new(exp.id, exp.title, "(experiment panicked)", &[]);
             report.verdict(false, format!("panicked: {}", panic_message(&*payload)));
             report
         }
-    })
+    };
+    if timing == TimingMode::Measured {
+        report.duration = Some(crate::report::duration_bucket(elapsed.as_nanos()).to_string());
+    }
+    Ok(report)
 }
 
 /// Read back and replay-audit one experiment's JSONL trace. A torn final
@@ -322,7 +356,7 @@ pub fn run_experiments(selected: &[Experiment], opts: &RunOptions) -> Result<Run
     let _quiet = PanicHookSilencer::install();
     let trace_dir = opts.trace_dir.as_deref();
     let outcomes = pool_map(selected.len(), jobs, Some(&schedule), |i| {
-        run_one(&selected[i], trace_dir)
+        run_one(&selected[i], trace_dir, opts.timing)
     });
     let mut reports = Vec::with_capacity(selected.len());
     for outcome in outcomes {
@@ -401,6 +435,7 @@ mod tests {
             &RunOptions {
                 jobs: 2,
                 trace_dir: None,
+                timing: TimingMode::default(),
             },
         )
         .unwrap();
@@ -446,6 +481,7 @@ mod tests {
             &RunOptions {
                 jobs: 3,
                 trace_dir: None,
+                timing: TimingMode::default(),
             },
         )
         .unwrap();
@@ -468,14 +504,36 @@ mod tests {
         let opts = RunOptions {
             jobs: 8,
             trace_dir: None,
+            timing: TimingMode::default(),
         };
         assert_eq!(opts.effective_jobs(3), 3);
         assert_eq!(opts.effective_jobs(0), 1);
         let auto = RunOptions {
             jobs: 0,
             trace_dir: None,
+            timing: TimingMode::default(),
         };
         assert!(auto.effective_jobs(64) >= 1);
+    }
+
+    #[test]
+    fn measured_timing_stamps_a_bucket_and_suppressed_leaves_none() {
+        let reg = vec![fake("e1", 1, ok_report)];
+        let suppressed = run_experiments(&reg, &RunOptions::default()).unwrap();
+        assert_eq!(suppressed.reports[0].duration, None);
+        let measured = run_experiments(
+            &reg,
+            &RunOptions {
+                timing: TimingMode::Measured,
+                ..RunOptions::default()
+            },
+        )
+        .unwrap();
+        let bucket = measured.reports[0].duration.as_deref().expect("duration");
+        assert!(
+            bucket.starts_with('<') || bucket.starts_with('≥'),
+            "{bucket}"
+        );
     }
 
     #[test]
@@ -488,6 +546,7 @@ mod tests {
             &RunOptions {
                 jobs: 2,
                 trace_dir: Some(dir.clone()),
+                timing: TimingMode::default(),
             },
         )
         .unwrap();

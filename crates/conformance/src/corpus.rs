@@ -149,11 +149,47 @@ impl Repro {
 
 /// Write `repro` under `dir` as `<stem>.repro`, creating `dir` if
 /// needed. Returns the path written.
+///
+/// Deduplicates on content: if some existing `*.repro` under `dir`
+/// already carries the same `(oracle, word, seed)` triple, that fixture
+/// is returned unchanged and nothing is written — long fuzz and soak
+/// campaigns rediscover the same minimized counterexample over and over,
+/// and the corpus must not accrete copies of it under fresh stems.
+/// (The generator id is informational and deliberately not part of the
+/// identity: two families reaching the same word are the same bug.)
 pub fn write_repro(dir: &Path, stem: &str, repro: &Repro) -> Result<PathBuf, StError> {
     fs::create_dir_all(dir)?;
+    if let Some(existing) = find_duplicate(dir, repro)? {
+        return Ok(existing);
+    }
     let path = dir.join(format!("{stem}.repro"));
     fs::write(&path, repro.render())?;
     Ok(path)
+}
+
+/// Scan `dir` for a fixture whose `(oracle, word, seed)` matches
+/// `repro`'s (sorted by file name so ties resolve deterministically).
+/// Unreadable or malformed fixtures are skipped here — the replay path
+/// reports those loudly; deduplication must not be the thing that trips
+/// over them.
+fn find_duplicate(dir: &Path, repro: &Repro) -> Result<Option<PathBuf>, StError> {
+    let mut paths: Vec<PathBuf> = fs::read_dir(dir)?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|x| x == "repro"))
+        .collect();
+    paths.sort();
+    for path in paths {
+        let Ok(existing) = read_repro(&path) else {
+            continue;
+        };
+        if existing.oracle == repro.oracle
+            && existing.word == repro.word
+            && existing.seed == repro.seed
+        {
+            return Ok(Some(path));
+        }
+    }
+    Ok(None)
 }
 
 /// Read one repro file. Every failure — unreadable file or malformed
@@ -290,6 +326,61 @@ mod tests {
         assert!(msg.contains("line 1:"), "{msg}");
         let missing = read_repro(&dir.join("absent.repro")).unwrap_err();
         assert!(missing.to_string().contains("absent.repro"), "{missing}");
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn write_repro_dedupes_on_oracle_word_seed() {
+        let dir = std::env::temp_dir().join(format!("st-corpus-dedupe-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        let repro = Repro {
+            oracle: "fingerprint-vs-sort".into(),
+            generator: "junk-word".into(),
+            seed: 42,
+            word: "01#10#".into(),
+        };
+        let first = write_repro(&dir, "first", &repro).unwrap();
+
+        // Same triple under a fresh stem (even a different generator id):
+        // no new file, the existing fixture's path comes back.
+        let mut same = repro.clone();
+        same.generator = "zipf-keys".into();
+        let again = write_repro(&dir, "second", &same).unwrap();
+        assert_eq!(again, first);
+        assert!(!dir.join("second.repro").exists());
+
+        // Any differing component is a genuinely new fixture.
+        for (stem, variant) in [
+            (
+                "other-seed",
+                Repro {
+                    seed: 43,
+                    ..repro.clone()
+                },
+            ),
+            (
+                "other-word",
+                Repro {
+                    word: "10#01#".into(),
+                    ..repro.clone()
+                },
+            ),
+            (
+                "other-oracle",
+                Repro {
+                    oracle: "parser-totality".into(),
+                    ..repro.clone()
+                },
+            ),
+        ] {
+            let path = write_repro(&dir, stem, &variant).unwrap();
+            assert_eq!(path, dir.join(format!("{stem}.repro")), "{stem}");
+        }
+        assert_eq!(
+            fs::read_dir(&dir).unwrap().count(),
+            4,
+            "1 original + 3 variants, no duplicate"
+        );
         fs::remove_dir_all(&dir).ok();
     }
 

@@ -7,8 +7,9 @@
 //! toward one regime; the engine round-robins through all of them.
 
 use crate::prng;
+use rand::seq::SliceRandom;
 use rand::Rng;
-use st_problems::generate;
+use st_problems::{generate, BitStr, Instance};
 
 /// One instance family. The discriminants are stable ids — they appear
 /// in repro files, so renaming one invalidates the corpus.
@@ -33,6 +34,27 @@ pub enum Generator {
     /// Arbitrary text over an XML-ish alphabet (including multi-byte
     /// whitespace) — only the totality oracles apply.
     JunkWord,
+    // ---- production-traffic families (the soak harness's staples) ----
+    /// Zipf-skewed keys: values drawn with probability ∝ 1/rank from a
+    /// small universe, second list a shuffle of the first. Real key
+    /// streams are skewed; heavy duplication stresses the multiset and
+    /// fingerprint paths far harder than uniform draws.
+    ZipfKeys,
+    /// Bursty arrivals: the first list is a concatenation of bursts
+    /// (one value repeated), the second a shuffle — long runs of equal
+    /// records, the shape batch ingestion produces.
+    BurstyBatches,
+    /// Duplicated records: a multiset yes-instance with one record
+    /// duplicated in both lists (still yes) or different records
+    /// duplicated per list (a near-miss no).
+    DuplicatedStream,
+    /// Reordered delivery: second list = sorted first list with a few
+    /// adjacent transpositions — "almost sorted" check-sort near-misses.
+    ReorderedStream,
+    /// Truncated delivery: a yes-instance with its tail cut — a whole
+    /// pair (still yes), one list's last record (unparseable), or the
+    /// final record's trailing bits (a near-miss no).
+    TruncatedStream,
 }
 
 impl Generator {
@@ -49,6 +71,11 @@ impl Generator {
             Generator::RandomInstance => "random-instance",
             Generator::RaggedInstance => "ragged-instance",
             Generator::JunkWord => "junk-word",
+            Generator::ZipfKeys => "zipf-keys",
+            Generator::BurstyBatches => "bursty-batches",
+            Generator::DuplicatedStream => "duplicated-stream",
+            Generator::ReorderedStream => "reordered-stream",
+            Generator::TruncatedStream => "truncated-stream",
         }
     }
 
@@ -72,6 +99,11 @@ pub fn all_generators() -> Vec<Generator> {
         Generator::RandomInstance,
         Generator::RaggedInstance,
         Generator::JunkWord,
+        Generator::ZipfKeys,
+        Generator::BurstyBatches,
+        Generator::DuplicatedStream,
+        Generator::ReorderedStream,
+        Generator::TruncatedStream,
     ]
 }
 
@@ -135,7 +167,116 @@ pub fn generate_word(gen: Generator, master: u64, iteration: u64) -> String {
                 .map(|_| ALPHABET[rng.gen_range(0..ALPHABET.len())])
                 .collect()
         }
+        Generator::ZipfKeys => {
+            // Keys with probability ∝ 1/rank over a universe of ≤ 2ⁿ
+            // values; the second list is a shuffle, so the instance is a
+            // heavily-duplicated multiset yes.
+            let n = n.max(2);
+            let universe = (1usize << n).min(8);
+            let mut xs = Vec::with_capacity(m);
+            for _ in 0..m {
+                let rank = zipf_rank(universe, &mut rng);
+                xs.push(BitStr::from_value(rank as u128, n).expect("rank < 2^n"));
+            }
+            let mut ys = xs.clone();
+            ys.shuffle(&mut rng);
+            Instance::new(xs, ys).expect("equal lengths").encode()
+        }
+        Generator::BurstyBatches => {
+            // Bursts of one repeated value, concatenated until m records
+            // accumulate; the second list is a shuffle of the first.
+            let mut xs = Vec::with_capacity(m);
+            while xs.len() < m {
+                let v = generate::random_bitstr(n, &mut rng);
+                let burst = rng.gen_range(1..=m - xs.len());
+                xs.extend(std::iter::repeat_with(|| v.clone()).take(burst));
+            }
+            let mut ys = xs.clone();
+            ys.shuffle(&mut rng);
+            Instance::new(xs, ys).expect("equal lengths").encode()
+        }
+        Generator::DuplicatedStream => {
+            let mut inst = generate::yes_multiset(m, n, &mut rng);
+            let i = rng.gen_range(0..m);
+            let at = rng.gen_range(0..=m);
+            if rng.gen::<bool>() {
+                // Duplicate the same record in both lists: still yes.
+                let (x, y) = (inst.xs[i].clone(), inst.xs[i].clone());
+                inst.xs.insert(at, x);
+                inst.ys.insert(rng.gen_range(0..=m), y);
+            } else {
+                // Duplicate record i in the first list but a *different*
+                // value in the second: the duplicated value's counts
+                // disagree, a near-miss no.
+                let x = inst.xs[i].clone();
+                let j = rng.gen_range(0..m);
+                let mut y = inst.ys[j].clone();
+                if y == x && !y.is_empty() {
+                    y.flip_bit(rng.gen_range(0..y.len()));
+                }
+                inst.xs.insert(at, x);
+                inst.ys.insert(rng.gen_range(0..=m), y);
+            }
+            inst.encode()
+        }
+        Generator::ReorderedStream => {
+            // "Almost sorted" delivery: the second list is the sorted
+            // first list with 1–3 adjacent transpositions — a check-sort
+            // near-miss (still yes when the swapped records are equal)
+            // and always a multiset yes.
+            let m = m.max(2);
+            let mut inst = generate::yes_checksort(m, n, &mut rng);
+            for _ in 0..rng.gen_range(1..=3usize) {
+                let i = rng.gen_range(0..m - 1);
+                inst.ys.swap(i, i + 1);
+            }
+            inst.encode()
+        }
+        Generator::TruncatedStream => {
+            let inst = generate::yes_multiset(m.max(2), n.max(1), &mut rng);
+            match rng.gen_range(0..3usize) {
+                // Drop the final pair from both lists: still yes.
+                0 => {
+                    let mut inst = inst;
+                    inst.xs.pop();
+                    inst.ys.pop();
+                    inst.encode()
+                }
+                // Drop the second list's last record only: an odd block
+                // count, which every parser must reject, not slice.
+                1 => {
+                    let word = inst.encode();
+                    let cut = word[..word.len() - 1].rfind('#').map_or(0, |p| p + 1);
+                    word[..cut].to_string()
+                }
+                // Truncate trailing bits of the last record: parseable,
+                // near-miss no (the shortened value loses its partner).
+                _ => {
+                    let mut word = inst.encode();
+                    let last_len = inst.ys.last().map_or(0, BitStr::len);
+                    if last_len > 0 {
+                        let drop = rng.gen_range(1..=last_len);
+                        word.truncate(word.len() - 1 - drop);
+                        word.push('#');
+                    }
+                    word
+                }
+            }
+        }
     }
+}
+
+/// Draw a rank in `0..universe` with probability ∝ 1/(rank+1).
+fn zipf_rank<R: Rng>(universe: usize, rng: &mut R) -> usize {
+    let total: f64 = (1..=universe).map(|k| 1.0 / k as f64).sum();
+    let mut x = rng.gen::<f64>() * total;
+    for rank in 0..universe {
+        x -= 1.0 / (rank + 1) as f64;
+        if x <= 0.0 {
+            return rank;
+        }
+    }
+    universe - 1
 }
 
 /// The engine's per-iteration family choice: round-robin, so every
@@ -192,6 +333,70 @@ mod tests {
             let no = Instance::parse(&generate_word(Generator::NoCheckSortSorted, 0, i)).unwrap();
             assert!(!predicates::is_check_sorted(&no));
         }
+    }
+
+    #[test]
+    fn traffic_families_land_in_their_regime() {
+        let mut zipf_dupes = 0;
+        let mut dup_yes = 0;
+        let mut dup_no = 0;
+        let mut reorder_no = 0;
+        let mut trunc_yes = 0;
+        let mut trunc_no = 0;
+        let mut trunc_unparseable = 0;
+        for i in 0..60 {
+            // Zipf and bursty streams are multiset yeses with duplicates.
+            let z = Instance::parse(&generate_word(Generator::ZipfKeys, 0, i)).unwrap();
+            assert!(predicates::is_multiset_equal(&z));
+            let mut vals: Vec<_> = z.xs.iter().map(ToString::to_string).collect();
+            let total = vals.len();
+            vals.sort_unstable();
+            vals.dedup();
+            if vals.len() < total {
+                zipf_dupes += 1;
+            }
+            let b = Instance::parse(&generate_word(Generator::BurstyBatches, 0, i)).unwrap();
+            assert!(predicates::is_multiset_equal(&b));
+
+            // Duplicated streams parse and split into yes and no cases.
+            let d = Instance::parse(&generate_word(Generator::DuplicatedStream, 0, i)).unwrap();
+            if predicates::is_multiset_equal(&d) {
+                dup_yes += 1;
+            } else {
+                dup_no += 1;
+            }
+
+            // Reordered streams stay multiset-yes; swaps of unequal
+            // records break check-sort.
+            let r = Instance::parse(&generate_word(Generator::ReorderedStream, 0, i)).unwrap();
+            assert!(predicates::is_multiset_equal(&r));
+            if !predicates::is_check_sorted(&r) {
+                reorder_no += 1;
+            }
+
+            // Truncated streams cover yes, near-miss no, and unparseable.
+            let w = generate_word(Generator::TruncatedStream, 0, i);
+            match Instance::parse(&w) {
+                Ok(t) => {
+                    if predicates::is_multiset_equal(&t) {
+                        trunc_yes += 1;
+                    } else {
+                        trunc_no += 1;
+                    }
+                }
+                Err(_) => trunc_unparseable += 1,
+            }
+        }
+        assert!(
+            zipf_dupes > 20,
+            "zipf skew lost its duplicates: {zipf_dupes}"
+        );
+        assert!(dup_yes > 5 && dup_no > 5, "{dup_yes} yes / {dup_no} no");
+        assert!(reorder_no > 20, "reordering never broke sortedness");
+        assert!(
+            trunc_yes > 5 && trunc_no > 5 && trunc_unparseable > 5,
+            "{trunc_yes} yes / {trunc_no} no / {trunc_unparseable} unparseable"
+        );
     }
 
     #[test]

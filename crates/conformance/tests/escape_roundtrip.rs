@@ -1,0 +1,53 @@
+//! Property: `unescape_word ∘ escape_word` is the identity on every
+//! Unicode string, and escaping always lands in the printable-ASCII
+//! subset repro files are written in.
+//!
+//! The corpus escapes words so fixtures survive editors, diffs, and git
+//! across platforms; the historical failure mode is exotic whitespace —
+//! U+3000 IDEOGRAPHIC SPACE and friends look like plain spaces in most
+//! editors and have been sliced mid-char by hand-rolled parsers before.
+//! The generators here over-weight exactly those characters.
+
+use proptest::prelude::*;
+use st_conformance::corpus::{escape_word, unescape_word};
+
+/// Characters biased toward the corpus's historical trouble: escape
+/// metacharacters, whitespace lookalikes, and arbitrary scalars.
+fn tricky_char() -> BoxedStrategy<char> {
+    prop_oneof![
+        Just('\u{3000}'), // IDEOGRAPHIC SPACE
+        Just('\u{00a0}'), // NO-BREAK SPACE
+        Just('\u{2003}'), // EM SPACE
+        Just('\u{feff}'), // ZERO WIDTH NO-BREAK SPACE / BOM
+        Just('\\'),
+        Just('"'),
+        Just('\n'),
+        Just('\t'),
+        Just('\r'),
+        Just('#'),
+        any::<char>(),
+    ]
+    .boxed()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn escape_then_unescape_is_identity(chars in proptest::collection::vec(tricky_char(), 0..40)) {
+        let word: String = chars.into_iter().collect();
+        let escaped = escape_word(&word);
+        prop_assert!(
+            escaped.chars().all(|c| c.is_ascii_graphic() || c == ' '),
+            "escape left non-printable output: {escaped:?}"
+        );
+        prop_assert_eq!(unescape_word(&escaped).unwrap(), word);
+    }
+
+    #[test]
+    fn unescape_never_panics_on_arbitrary_ascii(chars in proptest::collection::vec(tricky_char(), 0..20)) {
+        // Arbitrary (often invalid) escape input must error, not panic.
+        let input: String = chars.into_iter().collect();
+        let _ = unescape_word(&input);
+    }
+}

@@ -1,0 +1,43 @@
+//! st-soak: budgeted chaos/soak campaigns over the lab's substrates.
+//!
+//! A conformance fuzzer catches logic disagreements; the durable-tape
+//! tests catch crash bugs; the resilient-sort tests catch fault-budget
+//! bugs. What none of them catch is the *interaction* regime production
+//! lives in: skewed, bursty, duplicated traffic hammering the same code
+//! paths for a long time while crashes and media faults fire. The soak
+//! harness runs exactly that — a time- or iteration-budgeted campaign of
+//! mixed scenarios on the st-bench work-stealing pool:
+//!
+//! * **fuzz** — differential-fuzz rounds from `st-conformance`, one
+//!   oracle per iteration over the production-traffic generator
+//!   families;
+//! * **crash-storm** — durable merge sorts on `st-extmem` WAL journals
+//!   with 1–3 random crash offsets; recovery must reproduce the
+//!   crash-free reference byte for byte;
+//! * **fault-storm** — `resilient_sort` under random `FaultPlan` rates
+//!   and retry budgets; write-only storms carry a hard invariant
+//!   (a `Verified` verdict implies a sorted result), read storms chart
+//!   retry exhaustion;
+//! * **concurrent** — several independent sessions interleaving durable
+//!   sorts and oracle comparisons on scoped threads.
+//!
+//! Every iteration's randomness derives from
+//! `(master seed, scenario id, iteration)` through the splittable PRNG
+//! of `st-conformance`, so any failure replays from that triple alone
+//! (`soak --replay SCENARIO:ITERATION --seed S`). Disagreements shrink
+//! through the conformance shrinker and persist into the grows-only
+//! `corpus/` (deduplicated on content). Per-scenario counters fold into
+//! a [`SoakReport`] whose rendering is byte-identical across `--jobs`
+//! values; wall-clock latency histograms are the one opt-in exception
+//! (see [`st_bench::runner::TimingMode`]).
+
+pub mod campaign;
+pub mod scenario;
+pub mod stats;
+
+pub use campaign::{run_campaign, ScenarioSummary, SoakOptions, SoakReport};
+pub use scenario::{
+    all_scenarios, injected_oracle, replay_iteration, run_iteration, scenario_for_iteration,
+    Failure, Injection, IterationOutcome, Scenario, SoakContext,
+};
+pub use stats::{LatencyHistogram, ScenarioStats};

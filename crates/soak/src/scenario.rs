@@ -1,0 +1,649 @@
+//! The four soak scenarios and their seeded, replayable iterations.
+//!
+//! Every iteration's randomness is derived from
+//! `(master seed, scenario label, iteration)` via the conformance
+//! crate's splittable PRNG — no global state, no thread dependence — so
+//! [`replay_iteration`] reproduces any campaign iteration from that
+//! triple alone, in-process or via `soak --replay SCENARIO:ITERATION`.
+
+use crate::stats::ScenarioStats;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use st_algo::durable_sort::sort_with_crashes;
+use st_algo::resilient::resilient_sort;
+use st_conformance::corpus::Repro;
+use st_conformance::oracle::{self, Agreement, ErrorModel, Oracle};
+use st_conformance::shrink::shrink_word;
+use st_conformance::{generator, prng};
+use st_core::{RetryBudget, StError, Verdict};
+use st_extmem::FaultPlan;
+use st_problems::{generate, predicates, BitStr, Instance};
+use st_trace::{Aggregator, Tracer};
+use std::path::{Path, PathBuf};
+
+/// One scenario family of the mixed campaign.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scenario {
+    /// Differential-fuzz round: one oracle, one traffic word.
+    Fuzz,
+    /// Durable sort under a storm of planned WAL crashes; recovery must
+    /// match the crash-free reference exactly.
+    CrashStorm,
+    /// `resilient_sort` under random media-fault rates and budgets.
+    FaultStorm,
+    /// Independent sessions interleaving on scoped threads.
+    Concurrent,
+}
+
+impl Scenario {
+    /// Stable id — appears in reports and `--replay` arguments.
+    #[must_use]
+    pub fn id(self) -> &'static str {
+        match self {
+            Scenario::Fuzz => "fuzz",
+            Scenario::CrashStorm => "crash-storm",
+            Scenario::FaultStorm => "fault-storm",
+            Scenario::Concurrent => "concurrent",
+        }
+    }
+
+    /// Inverse of [`Scenario::id`] (for `--replay`).
+    #[must_use]
+    pub fn from_id(id: &str) -> Option<Self> {
+        all_scenarios().into_iter().find(|s| s.id() == id)
+    }
+}
+
+/// Every scenario, in report order.
+#[must_use]
+pub fn all_scenarios() -> Vec<Scenario> {
+    vec![
+        Scenario::Fuzz,
+        Scenario::CrashStorm,
+        Scenario::FaultStorm,
+        Scenario::Concurrent,
+    ]
+}
+
+/// The campaign's per-iteration scenario choice: round-robin, so every
+/// scenario gets equal coverage whatever the budget allows.
+#[must_use]
+pub fn scenario_for_iteration(iteration: u64) -> Scenario {
+    let all = all_scenarios();
+    all[(iteration % all.len() as u64) as usize]
+}
+
+/// Failure injection knobs (acceptance demos and pipeline self-tests).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Injection {
+    /// Swap the fuzz scenario's oracle pool for a deliberately broken
+    /// off-by-one sort decider, proving the catch → shrink → persist →
+    /// replay pipeline end to end.
+    BrokenSortOracle,
+}
+
+/// Per-campaign context shared by every iteration.
+#[derive(Debug, Clone)]
+pub struct SoakContext {
+    /// Directory for per-iteration WAL journals (unique file names per
+    /// `(scenario, iteration, session)`, removed after each iteration).
+    pub scratch: PathBuf,
+    /// Active failure injection, if any.
+    pub inject: Option<Injection>,
+}
+
+/// A hard failure: a broken invariant, a disagreement, or a harness
+/// error. Each carries enough to replay (`scenario`, `iteration` +
+/// the campaign's master seed).
+#[derive(Debug, Clone)]
+pub struct Failure {
+    /// Scenario that failed.
+    pub scenario: Scenario,
+    /// Iteration it failed at.
+    pub iteration: u64,
+    /// What broke, with both sides where applicable.
+    pub detail: String,
+    /// For conformance disagreements: the shrunk, persistable repro.
+    pub repro: Option<Repro>,
+}
+
+/// Everything one iteration produced.
+#[derive(Debug, Clone)]
+pub struct IterationOutcome {
+    /// Scenario that ran.
+    pub scenario: Scenario,
+    /// The iteration index.
+    pub iteration: u64,
+    /// Deterministic counters.
+    pub stats: ScenarioStats,
+    /// Hard failure, if the iteration broke an invariant.
+    pub failure: Option<Failure>,
+    /// Wall-clock latency of this instance (bucketed by the campaign;
+    /// rendered only under measured timing).
+    pub latency_nanos: u128,
+}
+
+/// Run one campaign iteration. Pure up to wall-clock: `stats` and
+/// `failure` depend only on `(scenario, master, iteration, inject)`.
+#[must_use]
+pub fn run_iteration(
+    scenario: Scenario,
+    master: u64,
+    iteration: u64,
+    ctx: &SoakContext,
+) -> IterationOutcome {
+    let started = std::time::Instant::now();
+    let (stats, failure) = match scenario {
+        Scenario::Fuzz => run_fuzz(master, iteration, ctx.inject),
+        Scenario::CrashStorm => run_crash_storm(master, iteration, &ctx.scratch),
+        Scenario::FaultStorm => run_fault_storm(master, iteration),
+        Scenario::Concurrent => run_concurrent(master, iteration, &ctx.scratch),
+    };
+    let failure = failure.map(|detail_and_repro| Failure {
+        scenario,
+        iteration,
+        detail: detail_and_repro.0,
+        repro: detail_and_repro.1,
+    });
+    IterationOutcome {
+        scenario,
+        iteration,
+        stats,
+        failure,
+        latency_nanos: started.elapsed().as_nanos(),
+    }
+}
+
+/// Replay one iteration from its identifying triple (what
+/// `soak --replay SCENARIO:ITERATION --seed S` runs). The scratch
+/// directory is private to the replay and removed afterwards.
+#[must_use]
+pub fn replay_iteration(
+    scenario: Scenario,
+    master: u64,
+    iteration: u64,
+    inject: Option<Injection>,
+) -> IterationOutcome {
+    let scratch =
+        std::env::temp_dir().join(format!("st-soak-replay-{}-{iteration}", std::process::id()));
+    std::fs::create_dir_all(&scratch).ok();
+    let ctx = SoakContext {
+        scratch: scratch.clone(),
+        inject,
+    };
+    let outcome = run_iteration(scenario, master, iteration, &ctx);
+    std::fs::remove_dir_all(&scratch).ok();
+    outcome
+}
+
+/// A failure's human detail plus the optional persistable repro.
+type ScenarioFailure = (String, Option<Repro>);
+
+// ---------------------------------------------------------------- fuzz
+
+/// Off-by-one sort decider: never compares the smallest record pair.
+/// (The same planted bug the conformance engine's acceptance test uses.)
+fn broken_sort(word: &str, _seed: u64) -> Result<Option<bool>, StError> {
+    let Ok(inst) = Instance::parse(word) else {
+        return Ok(None);
+    };
+    let mut xs = inst.xs.clone();
+    let mut ys = inst.ys.clone();
+    xs.sort();
+    ys.sort();
+    Ok(Some(xs.iter().skip(1).eq(ys.iter().skip(1))))
+}
+
+/// Honest multiset-equality predicate, the broken decider's adversary.
+fn multiset_predicate(word: &str, _seed: u64) -> Result<Option<bool>, StError> {
+    let Ok(inst) = Instance::parse(word) else {
+        return Ok(None);
+    };
+    Ok(Some(predicates::is_multiset_equal(&inst)))
+}
+
+/// The deliberately broken oracle [`Injection::BrokenSortOracle`] swaps
+/// in. Its id never enters the checked-in registry, so injected repro
+/// fixtures must go to a scratch corpus, not `corpus/`.
+#[must_use]
+pub fn injected_oracle() -> Oracle {
+    Oracle {
+        id: "soak-injected-off-by-one",
+        title: "deliberately planted off-by-one (soak failure-injection demo)",
+        guards: "none — proves soak catches, shrinks, persists, and replays failures",
+        left: "broken_sort",
+        right: "predicates::is_multiset_equal",
+        model: ErrorModel::Exact,
+        left_run: broken_sort,
+        right_run: multiset_predicate,
+    }
+}
+
+fn run_fuzz(
+    master: u64,
+    iteration: u64,
+    inject: Option<Injection>,
+) -> (ScenarioStats, Option<ScenarioFailure>) {
+    let pool = match inject {
+        Some(Injection::BrokenSortOracle) => vec![injected_oracle()],
+        None => oracle::all_oracles(),
+    };
+    let pick = prng::derive_seed(master, "soak-fuzz-pick", iteration) as usize % pool.len();
+    let oracle = &pool[pick];
+    let family = generator::family_for_iteration(iteration);
+    let word = generator::generate_word(family, master, iteration);
+    // The same (master, oracle id, iteration) seed convention the
+    // conformance engine uses, so fuzz findings replay under both tools.
+    let seed = prng::derive_seed(master, oracle.id, iteration);
+
+    let mut stats = ScenarioStats {
+        iterations: 1,
+        comparisons: 1,
+        ..ScenarioStats::default()
+    };
+    match oracle::compare(oracle, &word, seed).agreement {
+        Agreement::Agree => {
+            stats.agreements = 1;
+            (stats, None)
+        }
+        Agreement::Abstain { .. } => {
+            stats.abstentions = 1;
+            (stats, None)
+        }
+        Agreement::Disagree { detail } => {
+            stats.disagreements = 1;
+            let shrunk = shrink_word(oracle, &word, seed);
+            let repro = Repro {
+                oracle: oracle.id.to_string(),
+                generator: family.id().to_string(),
+                seed,
+                word: shrunk,
+            };
+            (stats, Some((detail, Some(repro))))
+        }
+    }
+}
+
+// --------------------------------------------------------- crash-storm
+
+/// Records for the durable sorts: production-traffic values when the
+/// iteration's word parses, synthetic ones otherwise.
+fn storm_items(word: &str, rng: &mut StdRng) -> Vec<u64> {
+    if let Ok(inst) = Instance::parse(word) {
+        if inst.m() > 0 {
+            return inst
+                .xs
+                .iter()
+                .chain(&inst.ys)
+                .map(|b| b.to_value().map_or(0, |v| v as u64))
+                .collect();
+        }
+    }
+    let m = rng.gen_range(2..=8usize);
+    (0..m).map(|_| rng.gen::<u64>()).collect()
+}
+
+fn run_crash_storm(
+    master: u64,
+    iteration: u64,
+    scratch: &Path,
+) -> (ScenarioStats, Option<ScenarioFailure>) {
+    let mut stats = ScenarioStats {
+        iterations: 1,
+        ..ScenarioStats::default()
+    };
+    let mut rng = prng::derive_rng(master, "soak-crash-storm", iteration);
+    let word = generator::generate_word(
+        generator::family_for_iteration(iteration),
+        master,
+        iteration,
+    );
+    let items = storm_items(&word, &mut rng);
+    let mut expected = items.clone();
+    expected.sort_unstable();
+
+    let ref_path = scratch.join(format!("crash-{iteration}-ref.wal"));
+    let storm_path = scratch.join(format!("crash-{iteration}.wal"));
+    let cleanup = |a: &Path, b: &Path| {
+        std::fs::remove_file(a).ok();
+        std::fs::remove_file(b).ok();
+    };
+
+    // Crash-free reference run: fixes the expected output and the
+    // journal length the storm draws its crash offsets from.
+    let reference = match sort_with_crashes(&ref_path, items.clone(), items.len(), &[]) {
+        Ok(run) => run,
+        Err(e) => {
+            cleanup(&ref_path, &storm_path);
+            return (
+                stats,
+                Some((format!("reference durable sort errored: {e}"), None)),
+            );
+        }
+    };
+    if reference.sorted != expected {
+        cleanup(&ref_path, &storm_path);
+        return (
+            stats,
+            Some(("crash-free durable sort mis-sorted its input".into(), None)),
+        );
+    }
+
+    // The storm: 1–3 crash points anywhere in the reference journal.
+    let crash_points: Vec<u64> = (0..rng.gen_range(1..=3usize))
+        .map(|_| rng.gen_range(1..=reference.journal_bytes.max(1)))
+        .collect();
+    let (tracer, buffer) = Tracer::in_memory();
+    let storm = st_trace::scoped(tracer.clone(), || {
+        sort_with_crashes(&storm_path, items.clone(), items.len(), &crash_points)
+    });
+    tracer.flush();
+    cleanup(&ref_path, &storm_path);
+    let storm = match storm {
+        Ok(run) => run,
+        Err(e) => {
+            return (
+                stats,
+                Some((format!("storm durable sort errored: {e}"), None)),
+            )
+        }
+    };
+
+    let mut agg = Aggregator::new();
+    for ev in buffer.snapshot() {
+        agg.push(&ev);
+    }
+    stats.crashes_injected = storm.crashes;
+    stats.crash_recoveries = storm.recoveries;
+    stats.wal_discarded_bytes = agg.discarded_bytes();
+
+    if storm.sorted != expected {
+        let detail = format!(
+            "recovery mismatch after {} crash(es) at {:?}: recovered output differs from the crash-free reference",
+            storm.crashes, crash_points
+        );
+        return (stats, Some((detail, None)));
+    }
+    (stats, None)
+}
+
+// --------------------------------------------------------- fault-storm
+
+fn run_fault_storm(master: u64, iteration: u64) -> (ScenarioStats, Option<ScenarioFailure>) {
+    let mut stats = ScenarioStats {
+        iterations: 1,
+        ..ScenarioStats::default()
+    };
+    let mut rng = prng::derive_rng(master, "soak-fault-storm", iteration);
+    let m = rng.gen_range(2..=6usize);
+    let n = rng.gen_range(2..=5usize);
+    let items: Vec<BitStr> = (0..m)
+        .map(|_| generate::random_bitstr(n, &mut rng))
+        .collect();
+
+    // Rates span ~1e-3 .. 5e-2 log-uniformly; the plan seed is its own
+    // derived stream so the fault dice never alias the item dice.
+    let rate = 10f64.powf(-3.0 + 1.7 * rng.gen::<f64>());
+    let plan_seed = prng::derive_seed(master, "soak-fault-plan", iteration);
+    let write_only = rng.gen::<bool>();
+    let plan = if write_only {
+        FaultPlan::new(plan_seed)
+            .with_stuck_write(rate)
+            .with_torn_write(rate)
+    } else {
+        FaultPlan::new(plan_seed)
+            .with_bit_flip(rate)
+            .with_transient_read(rate)
+    };
+    let budget = RetryBudget::new(rng.gen_range(2..=4u32));
+
+    let run = match resilient_sort(&items, items.len(), &plan, budget, &mut rng) {
+        Ok(run) => run,
+        Err(e) => return (stats, Some((format!("resilient sort errored: {e}"), None))),
+    };
+    stats.faults_injected = run.faults.total_injected();
+    match run.verdict {
+        Verdict::Verified(sorted) => {
+            stats.verified_runs = 1;
+            if write_only {
+                // Reads are clean under a write-only plan, so the
+                // verification scan saw the true tape: a Verified result
+                // that is not actually sorted is a hard invariant break.
+                if sorted.windows(2).any(|w| w[0] > w[1]) {
+                    return (
+                        stats,
+                        Some((
+                            "write-fault storm returned Verified but unsorted output".into(),
+                            None,
+                        )),
+                    );
+                }
+                // Multiset drift under Verified is possible within the
+                // fingerprint's proved error bound: chart it, never fail.
+                let mut got = sorted;
+                got.sort();
+                let mut want = items;
+                want.sort();
+                if got != want {
+                    stats.verified_slips = 1;
+                }
+            }
+        }
+        Verdict::Unverified { .. } => stats.retry_exhaustions = 1,
+    }
+    (stats, None)
+}
+
+// ---------------------------------------------------------- concurrent
+
+/// Sessions interleaved per concurrent iteration.
+const SESSIONS: u64 = 3;
+
+fn run_concurrent(
+    master: u64,
+    iteration: u64,
+    scratch: &Path,
+) -> (ScenarioStats, Option<ScenarioFailure>) {
+    let results: Vec<(ScenarioStats, Option<String>)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..SESSIONS)
+            .map(|s| {
+                let seed = prng::derive_seed(master, "soak-session", iteration * SESSIONS + s);
+                let journal = scratch.join(format!("conc-{iteration}-{s}.wal"));
+                scope.spawn(move || run_session(seed, &journal))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| match h.join() {
+                Ok(result) => result,
+                Err(payload) => (
+                    ScenarioStats::default(),
+                    Some(format!(
+                        "session panicked: {}",
+                        st_bench::runner::panic_message(&*payload)
+                    )),
+                ),
+            })
+            .collect()
+    });
+
+    // Fold in session-index order — the only order that is independent
+    // of how the threads actually interleaved.
+    let mut stats = ScenarioStats {
+        iterations: 1,
+        ..ScenarioStats::default()
+    };
+    let mut failure = None;
+    for (s, (session_stats, session_failure)) in results.iter().enumerate() {
+        stats.merge(session_stats);
+        if failure.is_none() {
+            if let Some(detail) = session_failure {
+                failure = Some((format!("session {s}: {detail}"), None));
+            }
+        }
+    }
+    (stats, failure)
+}
+
+/// One session: a durable sort with one planned crash (recovery checked
+/// against the in-memory sort), then one oracle comparison — the two
+/// subsystems a production process exercises side by side.
+fn run_session(seed: u64, journal: &Path) -> (ScenarioStats, Option<String>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut stats = ScenarioStats {
+        sessions: 1,
+        ..ScenarioStats::default()
+    };
+
+    let m = rng.gen_range(2..=6usize);
+    let items: Vec<u64> = (0..m).map(|_| rng.gen::<u64>()).collect();
+    let mut expected = items.clone();
+    expected.sort_unstable();
+    // An offset past the journal's end simply never fires — sessions mix
+    // crashing and crash-free runs without knowing the journal length.
+    let crash_at = rng.gen_range(1..=256u64);
+    let run = sort_with_crashes(journal, items, m, &[crash_at]);
+    std::fs::remove_file(journal).ok();
+    match run {
+        Ok(run) => {
+            stats.crashes_injected += run.crashes;
+            stats.crash_recoveries += run.recoveries;
+            if run.sorted != expected {
+                return (stats, Some("durable sort diverged after recovery".into()));
+            }
+        }
+        Err(e) => return (stats, Some(format!("durable sort errored: {e}"))),
+    }
+
+    let pool = oracle::all_oracles();
+    let oracle = &pool[rng.gen_range(0..pool.len())];
+    let families = generator::all_generators();
+    let family = families[rng.gen_range(0..families.len())];
+    let word = generator::generate_word(family, seed, 0);
+    stats.comparisons += 1;
+    match oracle::compare(oracle, &word, rng.gen::<u64>()).agreement {
+        Agreement::Agree => stats.agreements += 1,
+        Agreement::Abstain { .. } => stats.abstentions += 1,
+        Agreement::Disagree { detail } => {
+            stats.disagreements += 1;
+            return (
+                stats,
+                Some(format!("oracle {} disagreed: {detail}", oracle.id)),
+            );
+        }
+    }
+    (stats, None)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn test_ctx(tag: &str) -> SoakContext {
+        let scratch =
+            std::env::temp_dir().join(format!("st-soak-scenario-{tag}-{}", std::process::id()));
+        std::fs::create_dir_all(&scratch).unwrap();
+        SoakContext {
+            scratch,
+            inject: None,
+        }
+    }
+
+    #[test]
+    fn scenario_ids_round_trip_and_round_robin_covers_all() {
+        for s in all_scenarios() {
+            assert_eq!(Scenario::from_id(s.id()), Some(s));
+        }
+        assert_eq!(Scenario::from_id("no-such"), None);
+        let seen: Vec<Scenario> = (0..4).map(scenario_for_iteration).collect();
+        assert_eq!(seen, all_scenarios());
+    }
+
+    #[test]
+    fn iterations_are_pure_functions_of_the_triple() {
+        let ctx = test_ctx("pure");
+        for scenario in all_scenarios() {
+            for iteration in 0..4 {
+                let a = run_iteration(scenario, 7, iteration, &ctx);
+                let b = run_iteration(scenario, 7, iteration, &ctx);
+                assert_eq!(a.stats, b.stats, "{} i{iteration}", scenario.id());
+                assert_eq!(
+                    a.failure.is_some(),
+                    b.failure.is_some(),
+                    "{} i{iteration}",
+                    scenario.id()
+                );
+                assert!(a.failure.is_none(), "{:?}", a.failure);
+            }
+        }
+        std::fs::remove_dir_all(&ctx.scratch).ok();
+    }
+
+    #[test]
+    fn crash_storm_injects_and_recovers() {
+        let ctx = test_ctx("storm");
+        let mut crashes = 0;
+        let mut recoveries = 0;
+        let mut discarded = 0;
+        for iteration in 0..12 {
+            let o = run_iteration(Scenario::CrashStorm, 3, iteration, &ctx);
+            assert!(o.failure.is_none(), "{:?}", o.failure);
+            crashes += o.stats.crashes_injected;
+            recoveries += o.stats.crash_recoveries;
+            discarded += o.stats.wal_discarded_bytes;
+        }
+        assert!(crashes > 0, "storm never crashed");
+        assert!(recoveries > 0, "storm never recovered");
+        assert!(
+            discarded > 0,
+            "recovery never discarded an uncommitted tail"
+        );
+        // Scratch journals are cleaned up per iteration.
+        assert_eq!(std::fs::read_dir(&ctx.scratch).unwrap().count(), 0);
+        std::fs::remove_dir_all(&ctx.scratch).ok();
+    }
+
+    #[test]
+    fn fault_storm_injects_faults_and_charts_exhaustion() {
+        let mut faults = 0;
+        let mut verified = 0;
+        let mut exhausted = 0;
+        for iteration in 0..24 {
+            let (stats, failure) = run_fault_storm(11, iteration);
+            assert!(failure.is_none(), "{failure:?}");
+            faults += stats.faults_injected;
+            verified += stats.verified_runs;
+            exhausted += stats.retry_exhaustions;
+        }
+        assert!(faults > 0, "no faults injected across 24 storms");
+        assert!(verified > 0, "no storm ever verified");
+        assert_eq!(verified + exhausted, 24);
+    }
+
+    #[test]
+    fn injected_oracle_is_caught_shrunk_and_replayable() {
+        let ctx = SoakContext {
+            inject: Some(Injection::BrokenSortOracle),
+            ..test_ctx("inject")
+        };
+        let master = 0;
+        let caught = (0..200u64).find_map(|iteration| {
+            let o = run_iteration(Scenario::Fuzz, master, iteration, &ctx);
+            o.failure.map(|f| (iteration, f))
+        });
+        let (iteration, failure) = caught.expect("planted bug escaped 200 fuzz iterations");
+        let repro = failure.repro.expect("fuzz failures carry a repro");
+        assert_eq!(repro.oracle, "soak-injected-off-by-one");
+        // The shrunk word still disagrees, and the iteration replays
+        // from (scenario, master, iteration) alone.
+        assert!(st_conformance::shrink::still_disagrees(
+            &injected_oracle(),
+            &repro.word,
+            repro.seed
+        ));
+        let replay = replay_iteration(Scenario::Fuzz, master, iteration, ctx.inject);
+        let replayed = replay.failure.expect("replay lost the failure");
+        assert_eq!(replayed.repro.unwrap().word, repro.word);
+        std::fs::remove_dir_all(&ctx.scratch).ok();
+    }
+}

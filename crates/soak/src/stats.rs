@@ -1,0 +1,185 @@
+//! Deterministic per-scenario counters and coarse latency histograms.
+
+use st_bench::report::duration_bucket;
+
+/// The deterministic counters one scenario accumulates over a campaign.
+/// Everything here is a pure function of `(master seed, iteration)` —
+/// wall-clock latency lives in [`LatencyHistogram`] instead.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ScenarioStats {
+    /// Iterations this scenario ran.
+    pub iterations: u64,
+    /// Oracle comparisons performed.
+    pub comparisons: u64,
+    /// Comparisons where both deciders agreed.
+    pub agreements: u64,
+    /// Comparisons where the oracle pair abstained.
+    pub abstentions: u64,
+    /// Conformance violations found (each also surfaces as a failure).
+    pub disagreements: u64,
+    /// Planned WAL crashes that actually fired.
+    pub crashes_injected: u64,
+    /// Journal recoveries performed after those crashes.
+    pub crash_recoveries: u64,
+    /// WAL bytes discarded during recovery (uncommitted tails).
+    pub wal_discarded_bytes: u64,
+    /// Media faults injected by fault-storm plans.
+    pub faults_injected: u64,
+    /// Resilient runs that ended `Verified`.
+    pub verified_runs: u64,
+    /// `Verified` write-storm runs whose output multiset drifted from
+    /// the input (a fingerprint slip within the proved error bound —
+    /// charted, never a hard failure).
+    pub verified_slips: u64,
+    /// Resilient runs that exhausted their retry budget (`Unverified`).
+    pub retry_exhaustions: u64,
+    /// Concurrent sessions completed.
+    pub sessions: u64,
+}
+
+impl ScenarioStats {
+    /// Fold `other` into `self` (plain component-wise sums, so folding
+    /// is associative and independent of worker interleaving).
+    pub fn merge(&mut self, other: &ScenarioStats) {
+        self.iterations += other.iterations;
+        self.comparisons += other.comparisons;
+        self.agreements += other.agreements;
+        self.abstentions += other.abstentions;
+        self.disagreements += other.disagreements;
+        self.crashes_injected += other.crashes_injected;
+        self.crash_recoveries += other.crash_recoveries;
+        self.wal_discarded_bytes += other.wal_discarded_bytes;
+        self.faults_injected += other.faults_injected;
+        self.verified_runs += other.verified_runs;
+        self.verified_slips += other.verified_slips;
+        self.retry_exhaustions += other.retry_exhaustions;
+        self.sessions += other.sessions;
+    }
+}
+
+/// Bucket thresholds matching [`duration_bucket`]'s decade labels.
+const BUCKET_LIMITS: [u128; 8] = [
+    1_000,
+    10_000,
+    100_000,
+    1_000_000,
+    10_000_000,
+    100_000_000,
+    1_000_000_000,
+    10_000_000_000,
+];
+
+/// Per-instance wall-clock latency histogram over the same coarse decade
+/// buckets `BENCH_report.json` durations use. Percentiles come back as
+/// bucket *labels* (`"<10ms"`), never raw numbers: a bucketed histogram
+/// cannot pretend to sub-decade precision, and the campaign's
+/// determinism contract only ever renders these under
+/// [`TimingMode::Measured`](st_bench::runner::TimingMode).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LatencyHistogram {
+    counts: [u64; BUCKET_LIMITS.len() + 1],
+}
+
+impl LatencyHistogram {
+    /// Record one instance latency.
+    pub fn record(&mut self, nanos: u128) {
+        let idx = BUCKET_LIMITS
+            .iter()
+            .position(|&limit| nanos < limit)
+            .unwrap_or(BUCKET_LIMITS.len());
+        self.counts[idx] += 1;
+    }
+
+    /// Fold another histogram in.
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+    }
+
+    /// Instances recorded.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// The bucket label containing the `p`-th percentile (0 < p ≤ 100),
+    /// or `"-"` for an empty histogram.
+    #[must_use]
+    pub fn percentile(&self, p: f64) -> &'static str {
+        let total = self.total();
+        if total == 0 {
+            return "-";
+        }
+        // Nearest-rank: the smallest bucket whose cumulative count
+        // reaches ⌈p/100 · total⌉.
+        let rank = ((p / 100.0) * total as f64).ceil().max(1.0) as u64;
+        let mut seen = 0;
+        for (idx, &count) in self.counts.iter().enumerate() {
+            seen += count;
+            if seen >= rank {
+                let representative = if idx < BUCKET_LIMITS.len() {
+                    BUCKET_LIMITS[idx] - 1
+                } else {
+                    BUCKET_LIMITS[BUCKET_LIMITS.len() - 1]
+                };
+                return duration_bucket(representative);
+            }
+        }
+        duration_bucket(u128::MAX)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_agree_with_duration_bucket_labels() {
+        let mut h = LatencyHistogram::default();
+        for nanos in [0, 999, 5_000, 250_000, 42_000_000, 11_000_000_000] {
+            h.record(nanos);
+        }
+        assert_eq!(h.total(), 6);
+        assert_eq!(h.percentile(1.0), "<1µs");
+        assert_eq!(h.percentile(100.0), "≥10s");
+    }
+
+    #[test]
+    fn percentiles_use_nearest_rank_over_buckets() {
+        let mut h = LatencyHistogram::default();
+        for _ in 0..99 {
+            h.record(500); // <1µs
+        }
+        h.record(20_000_000_000); // ≥10s straggler
+        assert_eq!(h.percentile(50.0), "<1µs");
+        assert_eq!(h.percentile(99.0), "<1µs");
+        assert_eq!(h.percentile(100.0), "≥10s");
+        assert_eq!(LatencyHistogram::default().percentile(50.0), "-");
+    }
+
+    #[test]
+    fn merge_is_component_wise() {
+        let mut a = LatencyHistogram::default();
+        a.record(500);
+        let mut b = LatencyHistogram::default();
+        b.record(500);
+        b.record(5_000_000);
+        a.merge(&b);
+        assert_eq!(a.total(), 3);
+
+        let mut s = ScenarioStats {
+            iterations: 1,
+            disagreements: 2,
+            ..ScenarioStats::default()
+        };
+        s.merge(&ScenarioStats {
+            iterations: 3,
+            wal_discarded_bytes: 7,
+            ..ScenarioStats::default()
+        });
+        assert_eq!(s.iterations, 4);
+        assert_eq!(s.disagreements, 2);
+        assert_eq!(s.wal_discarded_bytes, 7);
+    }
+}

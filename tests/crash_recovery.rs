@@ -110,6 +110,7 @@ fn recovery_smoke_through_the_bench_registry() {
         &st_bench::runner::RunOptions {
             jobs: 2,
             trace_dir: None,
+            timing: st_bench::runner::TimingMode::default(),
         },
     )
     .unwrap();

@@ -9,7 +9,7 @@
 //! same `run_experiments` entry point the `report` binary uses).
 
 use st_bench::report::{to_json, write_text};
-use st_bench::runner::{run_experiments, select_experiments, RunOptions, RunOutcome};
+use st_bench::runner::{run_experiments, select_experiments, RunOptions, RunOutcome, TimingMode};
 use st_bench::{all_experiments, Experiment, Report};
 use std::path::PathBuf;
 
@@ -22,6 +22,9 @@ fn run(jobs: usize, trace_dir: PathBuf, ids: &[&str]) -> RunOutcome {
         &RunOptions {
             jobs,
             trace_dir: Some(trace_dir),
+            // Suppressed timing is the determinism contract this test
+            // enforces; Measured output is allowed to differ.
+            timing: TimingMode::Suppressed,
         },
     )
     .expect("runner must not fail on harness errors")
@@ -108,6 +111,7 @@ fn panicking_entry_yields_not_reproduced_without_killing_the_run() {
         &RunOptions {
             jobs: 4,
             trace_dir: None,
+            timing: TimingMode::default(),
         },
     )
     .unwrap();

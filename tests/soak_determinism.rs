@@ -1,0 +1,104 @@
+//! Soak campaign contracts that cut across crates: byte-identical
+//! reports whatever `--jobs` is, and the failure pipeline (catch →
+//! shrink → persist → dedupe → replay) proven end to end with a planted
+//! bug.
+
+use st_bench::report::{merge_json, to_json};
+use st_bench::runner::TimingMode;
+use st_conformance::corpus::read_repro;
+use st_conformance::shrink::still_disagrees;
+use st_soak::{injected_oracle, replay_iteration, run_campaign, Injection, SoakOptions};
+use std::path::PathBuf;
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("st-soak-it-{tag}-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+#[test]
+fn soak_reports_are_byte_identical_across_jobs() {
+    // Suppressed timing is the determinism contract: latency histograms
+    // still accumulate internally but render as `-`, so the entire
+    // artifact — text and JSON — must match byte for byte.
+    let opts = |jobs: usize| SoakOptions {
+        iters: 64,
+        jobs,
+        seed: 42,
+        timing: TimingMode::Suppressed,
+        ..SoakOptions::default()
+    };
+    let serial = run_campaign(&opts(1)).unwrap();
+    let wide = run_campaign(&opts(4)).unwrap();
+
+    assert!(serial.clean(), "{:?}", serial.failures);
+    assert_eq!(serial.render(), wide.render());
+    assert_eq!(to_json(&[serial.to_report()]), to_json(&[wide.to_report()]));
+
+    // And merging into an existing BENCH document is deterministic too.
+    let existing =
+        "{\"e0\":{\"title\":\"t\",\"claim\":\"c\",\"columns\":[],\"rows\":[],\"verdict\":\"v\"}}\n";
+    assert_eq!(
+        merge_json(existing, &[serial.to_report()]).unwrap(),
+        merge_json(existing, &[wide.to_report()]).unwrap()
+    );
+}
+
+#[test]
+fn planted_bug_lands_in_corpus_dedupes_and_replays() {
+    let corpus = temp_dir("corpus");
+    let opts = SoakOptions {
+        iters: 400,
+        jobs: 2,
+        seed: 0,
+        corpus_dir: Some(corpus.clone()),
+        inject: Some(Injection::BrokenSortOracle),
+        ..SoakOptions::default()
+    };
+
+    let report = run_campaign(&opts).unwrap();
+    assert!(
+        !report.clean(),
+        "the planted off-by-one oracle escaped 100 fuzz iterations"
+    );
+    assert!(report.disagreements() > 0);
+    assert!(!report.repro_paths.is_empty(), "no repro persisted");
+    let count_after_first = std::fs::read_dir(&corpus).unwrap().count();
+    assert!(count_after_first > 0);
+
+    // Every persisted fixture still disagrees when replayed against the
+    // planted oracle, and the originating iteration replays from
+    // (scenario, master seed, iteration) alone.
+    for path in &report.repro_paths {
+        let repro = read_repro(path).unwrap();
+        assert_eq!(repro.oracle, "soak-injected-off-by-one");
+        assert!(
+            still_disagrees(&injected_oracle(), &repro.word, repro.seed),
+            "shrunk word no longer disagrees: {}",
+            repro.word
+        );
+    }
+    let first = report
+        .failures
+        .iter()
+        .find(|f| f.repro.is_some())
+        .expect("a fuzz failure carries a repro");
+    let replay = replay_iteration(first.scenario, opts.seed, first.iteration, opts.inject);
+    assert_eq!(
+        replay.failure.and_then(|f| f.repro).map(|r| r.word),
+        first.repro.as_ref().map(|r| r.word.clone()),
+        "replay diverged from the campaign"
+    );
+
+    // The corpus grows only: an identical second campaign deduplicates
+    // every fixture it would re-persist.
+    let rerun = run_campaign(&opts).unwrap();
+    assert_eq!(rerun.repro_paths, report.repro_paths);
+    assert_eq!(
+        std::fs::read_dir(&corpus).unwrap().count(),
+        count_after_first
+    );
+
+    std::fs::remove_dir_all(&corpus).ok();
+}

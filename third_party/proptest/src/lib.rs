@@ -149,6 +149,28 @@ impl Arbitrary for bool {
     }
 }
 
+impl Arbitrary for char {
+    /// Any valid Unicode scalar, with half the draws biased into ASCII
+    /// (upstream proptest similarly over-weights the printable range —
+    /// an all-astral stream exercises almost no real parser paths).
+    fn arbitrary(rng: &mut StdRng) -> Self {
+        let code = if rng.gen::<bool>() {
+            rng.gen_range(0u32..=0x7f)
+        } else {
+            // Skip the surrogate gap [D800, E000) by sampling the valid
+            // count and re-offsetting.
+            let valid = 0x11_0000u32 - 0x800;
+            let v = rng.gen_range(0u32..valid);
+            if v < 0xd800 {
+                v
+            } else {
+                v + 0x800
+            }
+        };
+        char::from_u32(code).expect("surrogates excluded by construction")
+    }
+}
+
 /// Strategy produced by [`any`].
 pub struct Any<T>(PhantomData<T>);
 
@@ -288,7 +310,7 @@ fn parse_pattern(pat: &str) -> Vec<(Vec<char>, usize, usize)> {
 }
 
 pub mod collection {
-    use super::{Strategy, StdRng};
+    use super::{StdRng, Strategy};
     use rand::Rng;
     use std::ops::{Range, RangeInclusive};
 
@@ -401,6 +423,23 @@ macro_rules! __proptest_fns {
 mod tests {
     use super::prelude::*;
     use super::{case_rng, collection::vec, seed_for};
+
+    #[test]
+    fn arbitrary_char_is_valid_and_covers_ascii_and_beyond() {
+        let mut rng = case_rng(seed_for("char"), 0);
+        let (mut ascii, mut wide) = (0, 0);
+        for _ in 0..500 {
+            // from_u32 inside arbitrary() already rejects surrogates.
+            let c = <char as super::Arbitrary>::arbitrary(&mut rng);
+            if c.is_ascii() {
+                ascii += 1;
+            } else if (c as u32) > 0xffff {
+                wide += 1;
+            }
+        }
+        assert!(ascii > 100, "ascii bias lost: {ascii}");
+        assert!(wide > 50, "astral plane never sampled: {wide}");
+    }
 
     #[test]
     fn pattern_strategy_matches_shape() {
