@@ -21,12 +21,11 @@
 //! accepts with probability `≤ ⅓ + O(1/m)` — a one-sided error on the
 //! *positive* side, i.e. the `co-RST` error model.
 
+use crate::stepper::{drive_to_verdict, FingerprintStepper, Stepper};
 use rand::Rng;
-use st_core::math::{add_mod, dot_log2, is_prime, mul_mod, next_prime, pow_mod};
+use st_core::math::{add_mod, is_prime, mul_mod};
 use st_core::theorems::theorem8a_k;
 use st_core::{ResourceUsage, StError};
-use st_extmem::meter::bits_for;
-use st_extmem::{Tape, TapeMachine};
 use st_problems::Instance;
 
 /// The sampled randomness and derived moduli of one fingerprint run.
@@ -97,133 +96,20 @@ pub fn decide_multiset_equality<R: Rng>(
     inst: &Instance,
     rng: &mut R,
 ) -> Result<FingerprintRun, StError> {
-    let symbols = tape_encoding(inst);
-    let n_input = symbols.len();
-    let mut machine: TapeMachine<u8> = TapeMachine::with_input(symbols, n_input);
-    let meter = machine.meter().clone();
-    let tape = machine.tape_mut(0);
-
-    // ---- Scan 1 (forward): determine m, n, N. ------------------------
-    // Registers: three counters of ≤ log N bits each.
-    meter.charge_static(3 * bits_for(n_input.max(2) as u64));
-    let mut m2 = 0u64; // number of '#' = 2m
-    let mut n_max = 0u64; // longest value
-    let mut cur = 0u64;
-    while let Some(sym) = tape.read_fwd() {
-        if sym == b'#' {
-            m2 += 1;
-            n_max = n_max.max(cur);
-            cur = 0;
-        } else {
-            cur += 1;
-        }
-    }
-    let m = m2 / 2;
-
-    // ---- Randomness (internal memory only). --------------------------
-    let params = if m == 0 {
-        FingerprintParams {
-            k: 2,
-            p1: 2,
-            p2: 7,
-            x: 1,
-        }
-    } else {
-        let k = theorem8a_k(m, n_max.max(1))?;
-        debug_assert_eq!(
-            k,
-            m * m * m * n_max.max(1) * dot_log2(m * m * m * n_max.max(1))
-        );
-        // p₁, p₂, x, e, pow2, S, S′ — seven registers of O(log k) bits.
-        meter.charge_static(7 * bits_for(6 * k));
-        let p1 = match sample_prime(k, 4096, rng) {
-            Some(p) => p,
-            // Sampling failure must never reject a yes-instance: accept.
-            None => {
-                return Ok(FingerprintRun {
-                    accepted: true,
-                    params: FingerprintParams {
-                        k,
-                        p1: 0,
-                        p2: 0,
-                        x: 0,
-                    },
-                    usage: machine.usage(),
-                })
-            }
-        };
-        let p2 = next_prime(3 * k);
-        debug_assert!(p2 <= 6 * k, "Bertrand: a prime must exist in (3k, 6k]");
-        let x = rng.gen_range(1..p2);
-        FingerprintParams { k, p1, p2, x }
-    };
-
-    // ---- Scan 2 (backward): accumulate Σ x^{eᵢ} per half. -------------
-    // Reading right-to-left we first traverse the second list, then the
-    // first; value bits arrive LSB-first, so vᵢ mod p₁ accumulates with a
-    // running power of two.
-    let tape = machine.tape_mut(0);
-    // Step one cell back onto the final '#'.
-    let mut sum_second = 0u64; // Σ x^{e′ᵢ} mod p₂ over the second list
-    let mut sum_first = 0u64; // Σ x^{eᵢ} mod p₂ over the first list
-    let mut e = 0u64; // current value mod p₁
-    let mut pow2 = 1u64; // 2^j mod p₁ for the next (more significant) bit
-    let mut seen_hashes = 0u64;
-    if !tape.at_start() {
-        tape.move_left()?;
-    }
-    loop {
-        let pos_before = tape.head();
-        let sym = tape.read_bwd();
-        match sym {
-            Some(b'#') => {
-                // Terminator of some value; if this is not the very first
-                // symbol read, the previous accumulated value is complete.
-                if seen_hashes > 0 {
-                    let term = pow_mod(params.x, e, params.p2);
-                    if seen_hashes <= m {
-                        sum_second = add_mod(sum_second, term, params.p2);
-                    } else {
-                        sum_first = add_mod(sum_first, term, params.p2);
-                    }
-                }
-                seen_hashes += 1;
-                e = 0;
-                pow2 = 1;
-            }
-            Some(bit @ (b'0' | b'1')) => {
-                if bit == b'1' {
-                    e = add_mod(e, pow2, params.p1);
-                }
-                pow2 = mul_mod(pow2, 2, params.p1);
-            }
-            Some(other) => {
-                return Err(StError::InvalidInstance(format!(
-                    "unexpected tape symbol {:?}",
-                    other as char
-                )))
-            }
-            None => break,
-        }
-        if pos_before == 0 {
-            break;
-        }
-    }
-    // The leftmost value has no preceding '#'; flush it.
-    if seen_hashes > 0 {
-        let term = pow_mod(params.x, e, params.p2);
-        if seen_hashes <= m {
-            sum_second = add_mod(sum_second, term, params.p2);
-        } else {
-            sum_first = add_mod(sum_first, term, params.p2);
-        }
-    }
-
-    let accepted = sum_first == sum_second;
+    // The batch entry point drives the resumable stepper with an
+    // unlimited budget, so batch and incremental runs are the same code
+    // path and account identically.
+    let mut stepper = FingerprintStepper::new(&mut *rng);
+    let _ = stepper.feed(&tape_encoding(inst))?;
+    stepper.finish()?;
+    let run = drive_to_verdict(&mut stepper)?;
+    let params = stepper
+        .params()
+        .ok_or_else(|| StError::Machine("finished fingerprint run has no parameters".into()))?;
     Ok(FingerprintRun {
-        accepted,
+        accepted: run.accepted,
         params,
-        usage: machine.usage(),
+        usage: run.usage,
     })
 }
 
@@ -317,10 +203,6 @@ pub fn check_theorem8a_bounds(run: &FingerprintRun) -> Vec<st_core::Violation> {
         )
         .violations
 }
-
-// Silence the unused-import warning for Tape, which the doc examples use.
-#[allow(unused)]
-fn _doc_anchor(_t: &Tape<u8>) {}
 
 #[cfg(test)]
 mod tests {

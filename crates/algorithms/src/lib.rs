@@ -28,7 +28,12 @@
 //!   the `st-extmem::durable` write-ahead journal, checkpointing the
 //!   data tape at every pass boundary so a run killed mid-pass resumes
 //!   from the last commit with byte-identical output and every recovered
-//!   replay charged into the summed usage.
+//!   replay charged into the summed usage;
+//! * [`stepper`] — the resumable incremental drivers behind `st-serve`:
+//!   [`stepper::Stepper`] sessions that ingest input bytes via `feed`,
+//!   run under a bounded [`st_extmem::step::StepBudget`], and account
+//!   bit-for-bit like the batch entry points (which now drive these
+//!   steppers with an unlimited budget).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -42,7 +47,12 @@ pub mod nst;
 pub mod resilient;
 pub mod sortcheck;
 pub mod sorting;
+pub mod stepper;
 
 pub use durable_sort::{durable_sort, sort_with_crashes, DurableSortRun};
 pub use fingerprint::{FingerprintParams, FingerprintRun};
 pub use resilient::{ResilientRun, VERIFY_ROUNDS};
+pub use sortcheck::DeciderRun;
+pub use stepper::{
+    drive_to_verdict, FingerprintStepper, SortRoute, SortRouteStepper, StepOutcome, Stepper,
+};

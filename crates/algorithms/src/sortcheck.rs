@@ -14,12 +14,9 @@
 //! documented substitution (DESIGN.md) that preserves the measured
 //! quantity of interest, the `Θ(log N)` scan count.
 
+use crate::stepper::{drive_to_verdict, SortRoute, SortRouteStepper, Stepper};
 use st_core::{ResourceUsage, StError};
-use st_extmem::meter::bits_for;
-use st_extmem::scan::compare_sorted;
-use st_extmem::sort::merge_sort;
-use st_extmem::TapeMachine;
-use st_problems::{BitStr, Instance};
+use st_problems::Instance;
 
 /// A decider verdict plus its resource accounting.
 #[derive(Debug, Clone)]
@@ -30,89 +27,33 @@ pub struct DeciderRun {
     pub usage: ResourceUsage,
 }
 
-/// Build the 4-tape machine: tape 0 = first list, tape 1 = second list,
-/// tapes 2–3 = merge scratch. `N` is the Definition-1 input size.
-fn machine_for(inst: &Instance) -> TapeMachine<BitStr> {
-    let n = inst.size();
-    let mut m = TapeMachine::with_input(inst.xs.clone(), n);
-    m.add_tape_with("second", inst.ys.clone());
-    m.add_tape("scratch1");
-    m.add_tape("scratch2");
-    m
+/// Run one sort route by driving the resumable [`SortRouteStepper`] with
+/// an unlimited budget — the batch deciders and the streaming service
+/// share this single code path, so their accounting is identical by
+/// construction.
+fn run_sort_route(inst: &Instance, route: SortRoute) -> Result<DeciderRun, StError> {
+    let mut stepper = SortRouteStepper::new(route);
+    let _ = stepper.feed(inst.encode().as_bytes())?;
+    stepper.finish()?;
+    drive_to_verdict(&mut stepper)
 }
 
 /// Decide MULTISET-EQUALITY deterministically: sort both lists, compare.
 pub fn decide_multiset_equality(inst: &Instance) -> Result<DeciderRun, StError> {
-    let mut m = machine_for(inst);
-    merge_sort(&mut m, 0, 2, 3)?;
-    merge_sort(&mut m, 1, 2, 3)?;
-    let meter = m.meter().clone();
-    let (a, b) = m.pair_mut(0, 1);
-    let equal = st_extmem::scan::tapes_equal(a, b, &meter);
-    Ok(DeciderRun {
-        accepted: equal,
-        usage: m.usage(),
-    })
+    run_sort_route(inst, SortRoute::Multiset)
 }
 
 /// Decide CHECK-SORT deterministically: sort the first list, then one
 /// parallel scan checks equality with the second list *and* that the
 /// second list is ascending.
 pub fn decide_check_sort(inst: &Instance) -> Result<DeciderRun, StError> {
-    let mut m = machine_for(inst);
-    merge_sort(&mut m, 0, 2, 3)?;
-    let meter = m.meter().clone();
-    let (b, a) = m.pair_mut(1, 0);
-    // compare_sorted checks `a` (here: the second list) for sortedness.
-    let (equal, second_sorted) = compare_sorted(b, a, &meter);
-    Ok(DeciderRun {
-        accepted: equal && second_sorted,
-        usage: m.usage(),
-    })
+    run_sort_route(inst, SortRoute::CheckSort)
 }
 
 /// Decide SET-EQUALITY deterministically: sort both lists, then compare
 /// the deduplicated streams in one parallel scan.
 pub fn decide_set_equality(inst: &Instance) -> Result<DeciderRun, StError> {
-    let mut m = machine_for(inst);
-    merge_sort(&mut m, 0, 2, 3)?;
-    merge_sort(&mut m, 1, 2, 3)?;
-    let meter = m.meter().clone();
-    let (a, b) = m.pair_mut(0, 1);
-    a.rewind();
-    b.rewind();
-    // Two record buffers for the dedup frontier of each stream.
-    let _buf = meter.charge(2 + bits_for(inst.size().max(2) as u64));
-    let mut equal = true;
-    let mut cur_a = a.read_fwd();
-    let mut cur_b = b.read_fwd();
-    while let (Some(x), Some(y)) = (&cur_a, &cur_b) {
-        if x != y {
-            equal = false;
-            break;
-        }
-        let x = x.clone();
-        // Skip duplicates of x on both tapes.
-        loop {
-            cur_a = a.read_fwd();
-            if cur_a.as_ref() != Some(&x) {
-                break;
-            }
-        }
-        loop {
-            cur_b = b.read_fwd();
-            if cur_b.as_ref() != Some(&x) {
-                break;
-            }
-        }
-    }
-    if equal && (cur_a.is_some() || cur_b.is_some()) {
-        equal = false;
-    }
-    Ok(DeciderRun {
-        accepted: equal,
-        usage: m.usage(),
-    })
+    run_sort_route(inst, SortRoute::SetEquality)
 }
 
 #[cfg(test)]
@@ -242,7 +183,7 @@ mod tests {
 mod proptests {
     use super::*;
     use proptest::prelude::*;
-    use st_problems::predicates;
+    use st_problems::{predicates, BitStr};
 
     fn arb_word(max_m: usize, max_n: usize) -> impl Strategy<Value = Instance> {
         proptest::collection::vec(proptest::collection::vec(0u8..2, 0..=max_n), 0..=2 * max_m)

@@ -1,0 +1,178 @@
+//! Incremental == batch, pinned as a property.
+//!
+//! The service-layer promise is that chopping the input stream into
+//! arbitrary chunks and running the decider under arbitrary step budgets
+//! changes *nothing observable*: same verdict, same
+//! [`st_core::ResourceUsage`] record, bit for bit. The batch entry
+//! points drive the same steppers, so these tests are the contract that
+//! keeps that refactor honest.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use st_algo::fingerprint::decide_multiset_equality as batch_fingerprint;
+use st_algo::sortcheck::{self, DeciderRun};
+use st_algo::stepper::{
+    drive_to_verdict, FingerprintStepper, SortRoute, SortRouteStepper, StepOutcome, Stepper,
+};
+use st_core::StError;
+use st_extmem::step::StepBudget;
+use st_problems::{generate, Instance};
+
+/// Split `word` into chunks at the given cut points (derived from a
+/// proptest-chosen seed), covering byte-at-a-time, whole-word and ragged
+/// middles.
+fn chunks_of(word: &[u8], pattern: u64) -> Vec<Vec<u8>> {
+    if word.is_empty() {
+        return vec![Vec::new()];
+    }
+    let mut out = Vec::new();
+    let mut start = 0usize;
+    let mut state = pattern | 1;
+    while start < word.len() {
+        // A deterministic pseudo-random chunk length in 1..=7.
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+        let len = ((state >> 33) % 7 + 1) as usize;
+        let end = (start + len).min(word.len());
+        out.push(word[start..end].to_vec());
+        start = end;
+    }
+    out
+}
+
+/// Drive `stepper` with the given feeding chunks and a fixed step
+/// budget per call.
+fn run_incremental<S: Stepper>(
+    mut stepper: S,
+    chunks: &[Vec<u8>],
+    budget: u64,
+) -> Result<DeciderRun, StError> {
+    for chunk in chunks {
+        assert!(stepper.feed(chunk)?.is_pending());
+    }
+    // Stepping before finish reports NeedInput and consumes nothing.
+    assert!(matches!(
+        stepper.step(&mut StepBudget::new(budget))?,
+        StepOutcome::NeedInput
+    ));
+    stepper.finish()?;
+    loop {
+        match stepper.step(&mut StepBudget::new(budget))? {
+            StepOutcome::Done(v) => return Ok(v),
+            StepOutcome::Yielded => {}
+            StepOutcome::NeedInput => unreachable!("stream already finished"),
+        }
+    }
+}
+
+fn sort_batch(inst: &Instance, route: SortRoute) -> DeciderRun {
+    match route {
+        SortRoute::Multiset => sortcheck::decide_multiset_equality(inst),
+        SortRoute::CheckSort => sortcheck::decide_check_sort(inst),
+        SortRoute::SetEquality => sortcheck::decide_set_equality(inst),
+    }
+    .unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn sort_routes_incremental_equals_batch(
+        seed in 0u64..100_000,
+        m in 0usize..12,
+        n in 0usize..8,
+        chunk_pattern in any::<u64>(),
+        budget in 1u64..64,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let inst = generate::random_instance(m, n, &mut rng);
+        let word = inst.encode();
+        for route in [SortRoute::Multiset, SortRoute::CheckSort, SortRoute::SetEquality] {
+            let batch = sort_batch(&inst, route);
+            let inc = run_incremental(
+                SortRouteStepper::new(route),
+                &chunks_of(word.as_bytes(), chunk_pattern),
+                budget,
+            ).unwrap();
+            prop_assert_eq!(inc.accepted, batch.accepted, "{:?} verdict", route);
+            prop_assert_eq!(&inc.usage, &batch.usage, "{:?} usage", route);
+        }
+    }
+
+    #[test]
+    fn fingerprint_incremental_equals_batch(
+        seed in 0u64..100_000,
+        m in 0usize..12,
+        n in 0usize..10,
+        chunk_pattern in any::<u64>(),
+        budget in 1u64..64,
+    ) {
+        let mut inst_rng = StdRng::seed_from_u64(seed);
+        let inst = generate::random_instance(m, n, &mut inst_rng);
+        let word = inst.encode();
+        // Same decider randomness on both sides: the sampled parameters,
+        // and therefore the verdict, must coincide exactly.
+        let batch = batch_fingerprint(&inst, &mut StdRng::seed_from_u64(seed ^ 0xfeed)).unwrap();
+        let mut stepper = FingerprintStepper::new(StdRng::seed_from_u64(seed ^ 0xfeed));
+        for chunk in chunks_of(word.as_bytes(), chunk_pattern) {
+            prop_assert!(stepper.feed(&chunk).unwrap().is_pending());
+        }
+        stepper.finish().unwrap();
+        let inc = loop {
+            match stepper.step(&mut StepBudget::new(budget)).unwrap() {
+                StepOutcome::Done(v) => break v,
+                StepOutcome::Yielded => {}
+                StepOutcome::NeedInput => unreachable!(),
+            }
+        };
+        prop_assert_eq!(inc.accepted, batch.accepted);
+        prop_assert_eq!(&inc.usage, &batch.usage);
+        prop_assert_eq!(
+            stepper.params().unwrap(),
+            batch.params,
+            "parameter sampling must consume the same randomness"
+        );
+    }
+}
+
+#[test]
+fn byte_at_a_time_with_unit_budget_matches_batch() {
+    let mut rng = StdRng::seed_from_u64(99);
+    let inst = generate::yes_multiset(10, 6, &mut rng);
+    let word = inst.encode();
+    for route in [
+        SortRoute::Multiset,
+        SortRoute::CheckSort,
+        SortRoute::SetEquality,
+    ] {
+        let batch = sort_batch(&inst, route);
+        let ones: Vec<Vec<u8>> = word.as_bytes().iter().map(|b| vec![*b]).collect();
+        let inc = run_incremental(SortRouteStepper::new(route), &ones, 1).unwrap();
+        assert_eq!(inc.accepted, batch.accepted);
+        assert_eq!(inc.usage, batch.usage, "{route:?}");
+    }
+}
+
+#[test]
+fn one_shot_feed_matches_batch_on_the_empty_instance() {
+    let inst = Instance::parse("").unwrap();
+    for route in [
+        SortRoute::Multiset,
+        SortRoute::CheckSort,
+        SortRoute::SetEquality,
+    ] {
+        let batch = sort_batch(&inst, route);
+        let mut stepper = SortRouteStepper::new(route);
+        stepper.finish().unwrap();
+        let inc = drive_to_verdict(&mut stepper).unwrap();
+        assert_eq!(inc.accepted, batch.accepted);
+        assert_eq!(inc.usage, batch.usage);
+    }
+    let batch = batch_fingerprint(&inst, &mut StdRng::seed_from_u64(7)).unwrap();
+    let mut stepper = FingerprintStepper::new(StdRng::seed_from_u64(7));
+    stepper.finish().unwrap();
+    let inc = drive_to_verdict(&mut stepper).unwrap();
+    assert!(inc.accepted && batch.accepted);
+    assert_eq!(inc.usage, batch.usage);
+}

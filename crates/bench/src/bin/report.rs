@@ -26,47 +26,9 @@
 //! an error, not a silent filter.
 
 use st_bench::all_experiments;
+use st_bench::cli::{take_jobs_flag, take_path_flag};
 use st_bench::report::{save_json, save_text};
 use st_bench::runner::{run_experiments, select_experiments, RunOptions, TimingMode};
-
-/// Remove a `--flag VALUE` pair from `args`, returning the value. A
-/// missing value — end of args, or a following token that is itself a
-/// flag (`report --out --trace-dir d` must not eat `--trace-dir` as the
-/// out path) — is an error.
-fn take_flag(args: &mut Vec<String>, flag: &str) -> Result<Option<String>, String> {
-    let Some(i) = args.iter().position(|a| a == flag) else {
-        return Ok(None);
-    };
-    match args.get(i + 1) {
-        None => Err(format!("{flag} requires a value")),
-        Some(v) if v.starts_with("--") => {
-            Err(format!("{flag} requires a value, but found the flag {v}"))
-        }
-        Some(_) => {
-            let value = args.remove(i + 1);
-            args.remove(i);
-            Ok(Some(value))
-        }
-    }
-}
-
-/// [`take_flag`] for path-valued flags.
-fn take_path_flag(
-    args: &mut Vec<String>,
-    flag: &str,
-) -> Result<Option<std::path::PathBuf>, String> {
-    Ok(take_flag(args, flag)?.map(std::path::PathBuf::from))
-}
-
-/// Parse `--jobs N` (0 or absent = available parallelism).
-fn take_jobs_flag(args: &mut Vec<String>) -> Result<usize, String> {
-    match take_flag(args, "--jobs")? {
-        None => Ok(0),
-        Some(v) => v
-            .parse::<usize>()
-            .map_err(|_| format!("--jobs requires a non-negative integer, got `{v}`")),
-    }
-}
 
 fn usage_error(msg: &str) -> ! {
     eprintln!("{msg}");
@@ -150,61 +112,5 @@ fn main() {
     }
     if failures > 0 || audit_failures > 0 {
         std::process::exit(1);
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    fn args(list: &[&str]) -> Vec<String> {
-        list.iter().map(|s| (*s).to_string()).collect()
-    }
-
-    #[test]
-    fn take_flag_extracts_the_pair_and_leaves_the_rest() {
-        let mut a = args(&["e3", "--out", "report.txt", "e9"]);
-        let got = take_flag(&mut a, "--out").unwrap();
-        assert_eq!(got.as_deref(), Some("report.txt"));
-        assert_eq!(a, args(&["e3", "e9"]));
-    }
-
-    #[test]
-    fn take_flag_absent_is_none_and_untouched() {
-        let mut a = args(&["e3"]);
-        assert_eq!(take_flag(&mut a, "--out").unwrap(), None);
-        assert_eq!(a, args(&["e3"]));
-    }
-
-    #[test]
-    fn take_flag_rejects_a_flag_as_value() {
-        // `report --out --trace-dir d` must not treat `--trace-dir` as
-        // the out path.
-        let mut a = args(&["--out", "--trace-dir", "d"]);
-        let err = take_flag(&mut a, "--out").unwrap_err();
-        assert!(err.contains("--trace-dir"), "{err}");
-        assert_eq!(
-            a,
-            args(&["--out", "--trace-dir", "d"]),
-            "args untouched on error"
-        );
-    }
-
-    #[test]
-    fn take_flag_rejects_a_trailing_flag_without_value() {
-        let mut a = args(&["e1", "--out"]);
-        let err = take_flag(&mut a, "--out").unwrap_err();
-        assert!(err.contains("requires a value"), "{err}");
-    }
-
-    #[test]
-    fn jobs_flag_parses_or_defaults_to_auto() {
-        let mut a = args(&["--jobs", "4", "e1"]);
-        assert_eq!(take_jobs_flag(&mut a).unwrap(), 4);
-        assert_eq!(a, args(&["e1"]));
-        let mut b = args(&["e1"]);
-        assert_eq!(take_jobs_flag(&mut b).unwrap(), 0);
-        let mut c = args(&["--jobs", "many"]);
-        assert!(take_jobs_flag(&mut c).is_err());
     }
 }

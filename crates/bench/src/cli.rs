@@ -1,0 +1,139 @@
+//! Shared flag parsing for the workspace binaries.
+//!
+//! `report`, `fuzz`, `soak` and `serve` all speak the same austere
+//! dialect — `--flag VALUE` pairs, bare `--switch`es, positional
+//! operands — and previously each carried its own copy of these
+//! helpers. One copy lives here; the per-binary `usage_error` stays
+//! local because each binary prints its own usage line.
+
+/// Remove a `--flag VALUE` pair from `args`, returning the value. A
+/// missing value — end of args, or a following token that is itself a
+/// flag (`report --out --trace-dir d` must not eat `--trace-dir` as the
+/// out path) — is an error.
+pub fn take_flag(args: &mut Vec<String>, flag: &str) -> Result<Option<String>, String> {
+    let Some(i) = args.iter().position(|a| a == flag) else {
+        return Ok(None);
+    };
+    match args.get(i + 1) {
+        None => Err(format!("{flag} requires a value")),
+        Some(v) if v.starts_with("--") => {
+            Err(format!("{flag} requires a value, but found the flag {v}"))
+        }
+        Some(_) => {
+            let value = args.remove(i + 1);
+            args.remove(i);
+            Ok(Some(value))
+        }
+    }
+}
+
+/// [`take_flag`] for integer-valued flags, with a default when absent.
+pub fn take_u64_flag(args: &mut Vec<String>, flag: &str, default: u64) -> Result<u64, String> {
+    match take_flag(args, flag)? {
+        None => Ok(default),
+        Some(v) => v
+            .parse::<u64>()
+            .map_err(|_| format!("{flag} requires a non-negative integer, got `{v}`")),
+    }
+}
+
+/// [`take_flag`] for path-valued flags.
+pub fn take_path_flag(
+    args: &mut Vec<String>,
+    flag: &str,
+) -> Result<Option<std::path::PathBuf>, String> {
+    Ok(take_flag(args, flag)?.map(std::path::PathBuf::from))
+}
+
+/// Parse `--jobs N` (0 or absent = available parallelism).
+pub fn take_jobs_flag(args: &mut Vec<String>) -> Result<usize, String> {
+    match take_flag(args, "--jobs")? {
+        None => Ok(0),
+        Some(v) => v
+            .parse::<usize>()
+            .map_err(|_| format!("--jobs requires a non-negative integer, got `{v}`")),
+    }
+}
+
+/// Remove a bare `--flag` (no value), returning whether it was present.
+pub fn take_switch(args: &mut Vec<String>, flag: &str) -> bool {
+    if let Some(i) = args.iter().position(|a| a == flag) {
+        args.remove(i);
+        true
+    } else {
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| (*s).to_string()).collect()
+    }
+
+    #[test]
+    fn take_flag_extracts_the_pair_and_leaves_the_rest() {
+        let mut a = args(&["e3", "--out", "report.txt", "e9"]);
+        let got = take_flag(&mut a, "--out").unwrap();
+        assert_eq!(got.as_deref(), Some("report.txt"));
+        assert_eq!(a, args(&["e3", "e9"]));
+    }
+
+    #[test]
+    fn take_flag_absent_is_none_and_untouched() {
+        let mut a = args(&["e3"]);
+        assert_eq!(take_flag(&mut a, "--out").unwrap(), None);
+        assert_eq!(a, args(&["e3"]));
+    }
+
+    #[test]
+    fn take_flag_rejects_a_flag_as_value() {
+        // `report --out --trace-dir d` must not treat `--trace-dir` as
+        // the out path.
+        let mut a = args(&["--out", "--trace-dir", "d"]);
+        let err = take_flag(&mut a, "--out").unwrap_err();
+        assert!(err.contains("--trace-dir"), "{err}");
+        assert_eq!(
+            a,
+            args(&["--out", "--trace-dir", "d"]),
+            "args untouched on error"
+        );
+    }
+
+    #[test]
+    fn take_flag_rejects_a_trailing_flag_without_value() {
+        let mut a = args(&["e1", "--out"]);
+        let err = take_flag(&mut a, "--out").unwrap_err();
+        assert!(err.contains("requires a value"), "{err}");
+    }
+
+    #[test]
+    fn jobs_flag_parses_or_defaults_to_auto() {
+        let mut a = args(&["--jobs", "4", "e1"]);
+        assert_eq!(take_jobs_flag(&mut a).unwrap(), 4);
+        assert_eq!(a, args(&["e1"]));
+        let mut b = args(&["e1"]);
+        assert_eq!(take_jobs_flag(&mut b).unwrap(), 0);
+        let mut c = args(&["--jobs", "many"]);
+        assert!(take_jobs_flag(&mut c).is_err());
+    }
+
+    #[test]
+    fn switches_and_u64_flags_are_removed_from_args() {
+        let mut a = args(&["--inject-broken-oracle", "--iters", "40"]);
+        assert!(take_switch(&mut a, "--inject-broken-oracle"));
+        assert!(!take_switch(&mut a, "--inject-broken-oracle"));
+        assert_eq!(take_u64_flag(&mut a, "--iters", 256).unwrap(), 40);
+        assert!(a.is_empty());
+    }
+
+    #[test]
+    fn path_flags_become_pathbufs() {
+        let mut a = args(&["--trace-dir", "traces/x"]);
+        let p = take_path_flag(&mut a, "--trace-dir").unwrap().unwrap();
+        assert_eq!(p, std::path::PathBuf::from("traces/x"));
+        assert!(a.is_empty());
+    }
+}

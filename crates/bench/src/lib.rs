@@ -11,6 +11,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cli;
 pub mod exp_durable;
 pub mod exp_fault;
 pub mod exp_lowerbound;

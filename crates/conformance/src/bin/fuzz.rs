@@ -12,37 +12,9 @@
 //! status: 0 on a clean run, 1 when any oracle disagreed, 2 on usage
 //! errors.
 
+use st_bench::cli::{take_flag, take_u64_flag};
 use st_conformance::engine::{fuzz, FuzzOptions};
 use st_conformance::oracle::all_oracles;
-
-/// Remove a `--flag VALUE` pair from `args`, returning the value. A
-/// missing value — end of args, or a following token that is itself a
-/// flag — is an error.
-fn take_flag(args: &mut Vec<String>, flag: &str) -> Result<Option<String>, String> {
-    let Some(i) = args.iter().position(|a| a == flag) else {
-        return Ok(None);
-    };
-    match args.get(i + 1) {
-        None => Err(format!("{flag} requires a value")),
-        Some(v) if v.starts_with("--") => {
-            Err(format!("{flag} requires a value, but found the flag {v}"))
-        }
-        Some(_) => {
-            let value = args.remove(i + 1);
-            args.remove(i);
-            Ok(Some(value))
-        }
-    }
-}
-
-fn take_u64_flag(args: &mut Vec<String>, flag: &str, default: u64) -> Result<u64, String> {
-    match take_flag(args, flag)? {
-        None => Ok(default),
-        Some(v) => v
-            .parse::<u64>()
-            .map_err(|_| format!("{flag} requires a non-negative integer, got `{v}`")),
-    }
-}
 
 fn usage_error(msg: &str) -> ! {
     eprintln!("{msg}");

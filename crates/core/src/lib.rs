@@ -19,7 +19,10 @@
 //!   used by the experiment harness to verify Θ(log N) shapes);
 //! * [`verdict`] — the [`Verdict`]/[`RetryBudget`] vocabulary of the
 //!   resilient algorithms: a fault-aware run either verifies its answer
-//!   or reports an explicit `Unverified` once its retry budget is spent.
+//!   or reports an explicit `Unverified` once its retry budget is spent;
+//! * [`bill`] — resource bills and tenant budgets for the serving layer:
+//!   the lower bounds priced as an admission-control currency
+//!   ([`ResourceBill`], [`BillingKey`], [`BudgetLedger`]).
 //!
 //! Everything downstream (the tape substrate, the TM and list-machine
 //! simulators, the algorithms, the query engines and the benchmark
@@ -28,6 +31,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod bill;
 pub mod bounds;
 pub mod classes;
 pub mod error;
@@ -36,6 +40,7 @@ pub mod theorems;
 pub mod usage;
 pub mod verdict;
 
+pub use bill::{BillingKey, BudgetLedger, ResourceBill, SignedBill, TenantBudget};
 pub use bounds::{Bound, TapeCount};
 pub use classes::{ClassSpec, ErrorSide, MachineMode};
 pub use error::StError;
@@ -44,6 +49,7 @@ pub use verdict::{RetryBudget, Verdict};
 
 /// Convenient glob-import surface: `use st_core::prelude::*;`.
 pub mod prelude {
+    pub use crate::bill::{BillingKey, BudgetLedger, ResourceBill, SignedBill, TenantBudget};
     pub use crate::bounds::{Bound, TapeCount};
     pub use crate::classes::{ClassSpec, ErrorSide, MachineMode};
     pub use crate::error::StError;

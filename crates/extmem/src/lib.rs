@@ -18,6 +18,10 @@
 //!   with `Θ(log N)` reversals, plus a k-tape variant for ablation;
 //! * [`scan`] — scan combinators (copy, parallel compare, distribute)
 //!   with per-combinator reversal costs documented and tested;
+//! * [`step`] — bounded-step resumable execution: [`step::StepBudget`]
+//!   and the [`step::SortStepper`] state machine that lets a serving
+//!   layer interleave thousands of in-flight sorts on few threads while
+//!   keeping the batch accounting bit-for-bit;
 //! * [`fault`] — opt-in, seed-deterministic fault injection (bit rot,
 //!   transient reads, stuck/torn writes) under the same tapes, so the
 //!   resilient upper-bound algorithms of `st-algo` can be attacked and
@@ -47,10 +51,12 @@ pub mod machine;
 pub mod meter;
 pub mod scan;
 pub mod sort;
+pub mod step;
 pub mod tape;
 
 pub use durable::{DurableRecord, DurableTape, Recovery, Wal};
 pub use fault::{Corrupt, FaultPlan, FaultStats};
 pub use machine::TapeMachine;
 pub use meter::{MemoryCharge, MemoryMeter};
+pub use step::{SortStepper, StepBudget, StepProgress};
 pub use tape::{Dir, Tape};

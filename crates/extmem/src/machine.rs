@@ -155,6 +155,16 @@ impl<S: Clone> TapeMachine<S> {
         self.input_len
     }
 
+    /// Declare (or correct) the Definition-1 input size `N` after the
+    /// fact. Streaming callers build the machine before the input has
+    /// arrived — `RunBegin` then carries `0` — and call this once the
+    /// stream is finished, emitting a [`TraceEvent::InputSize`] so a
+    /// replay audit sees the same `N` the machine reports.
+    pub fn set_input_len(&mut self, input_len: usize) {
+        self.input_len = input_len;
+        self.tracer.emit(|| TraceEvent::InputSize { input_len });
+    }
+
     /// The machine's tracer (disabled unless it was constructed inside a
     /// [`st_trace::scoped`] scope or via a `_traced` constructor).
     #[must_use]

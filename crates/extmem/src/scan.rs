@@ -16,7 +16,7 @@ use st_trace::{TraceEvent, Tracer};
 /// only on the *source* tape's tracer loses the events whenever the
 /// destination belongs to a different tracer scope (e.g. a cross-machine
 /// `copy_tape` whose source machine is untraced).
-fn scan_tracer(tapes: &[&Tracer]) -> Tracer {
+pub(crate) fn scan_tracer(tapes: &[&Tracer]) -> Tracer {
     let ambient = st_trace::current();
     if ambient.is_enabled() {
         return ambient;

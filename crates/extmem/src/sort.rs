@@ -16,7 +16,7 @@
 
 use crate::machine::TapeMachine;
 use crate::meter::{bits_for, MemoryMeter};
-use crate::scan::{distribute_runs, merge_runs};
+use crate::step::{SortStepper, StepBudget};
 use st_core::{ResourceUsage, StError};
 use st_trace::TraceEvent;
 
@@ -27,36 +27,20 @@ use st_trace::TraceEvent;
 /// three tapes (each pass pays up to a rewind + turn-around on each tape
 /// in both phases), where `m` is the number of records. Internal memory:
 /// a constant number of record buffers and counters.
+///
+/// This is the batch entry point of the resumable
+/// [`SortStepper`](crate::step::SortStepper): it drives the stepper
+/// with an unlimited [`StepBudget`], so a batch sort and an incremental
+/// one perform the identical operation sequence by construction.
 pub fn merge_sort<S: Clone + Ord>(
     machine: &mut TapeMachine<S>,
     data_idx: usize,
     scratch1_idx: usize,
     scratch2_idx: usize,
 ) -> Result<(), StError> {
-    let meter = machine.meter().clone();
-    let m = machine.tape(data_idx).len();
-    if m <= 1 {
-        return Ok(());
-    }
-    let tracer = machine.tracer().clone();
-    let mut run_len = 1usize;
-    while run_len < m {
-        tracer.emit(|| TraceEvent::PhaseBegin {
-            name: format!("merge pass run_len={run_len}"),
-        });
-        {
-            let (data, s1, s2) = machine.trio_mut(data_idx, scratch1_idx, scratch2_idx);
-            distribute_runs(data, s1, s2, run_len, &meter)?;
-        }
-        {
-            let (s1, s2, data) = machine.trio_mut(scratch1_idx, scratch2_idx, data_idx);
-            merge_runs(s1, s2, data, run_len, &meter)?;
-        }
-        tracer.emit(|| TraceEvent::PhaseEnd {
-            name: format!("merge pass run_len={run_len}"),
-        });
-        run_len *= 2;
-    }
+    let mut stepper = SortStepper::new(data_idx, scratch1_idx, scratch2_idx);
+    let mut budget = StepBudget::unlimited();
+    while !stepper.step(machine, &mut budget)?.is_done() {}
     Ok(())
 }
 

@@ -1,0 +1,474 @@
+//! Bounded-step resumable execution over a [`TapeMachine`].
+//!
+//! The serving layer multiplexes many sessions onto few worker threads,
+//! so a long-running tape algorithm must be able to *yield*: run a
+//! bounded batch of head operations, hand the thread back, and resume
+//! later exactly where it stopped. [`StepBudget`] is the batch
+//! allowance and [`SortStepper`] is the reversal-bounded merge sort of
+//! [`crate::sort`] re-expressed as a resumable state machine.
+//!
+//! The stepper is **the** sort implementation — [`crate::sort::merge_sort`]
+//! drives it with an unlimited budget — so batch and incremental runs
+//! perform bit-for-bit the same tape operations, memory charges and
+//! trace events by construction, not by parallel maintenance of two
+//! code paths.
+
+use crate::machine::TapeMachine;
+use crate::meter::{bits_for, MemoryCharge};
+use crate::scan::scan_tracer;
+use st_core::StError;
+use st_trace::{TraceEvent, Tracer};
+
+/// An allowance of micro-operations for one [`SortStepper::step`] call
+/// (one record moved, one scan boundary crossed ≈ one unit).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StepBudget {
+    remaining: u64,
+}
+
+impl StepBudget {
+    /// A budget of `units` micro-operations.
+    #[must_use]
+    pub fn new(units: u64) -> Self {
+        StepBudget { remaining: units }
+    }
+
+    /// An effectively infinite budget (batch mode).
+    #[must_use]
+    pub fn unlimited() -> Self {
+        StepBudget {
+            remaining: u64::MAX,
+        }
+    }
+
+    /// Consume one unit; `false` when the budget is exhausted.
+    pub fn take(&mut self) -> bool {
+        if self.remaining == 0 {
+            return false;
+        }
+        self.remaining -= 1;
+        true
+    }
+
+    /// Units left.
+    #[must_use]
+    pub fn remaining(&self) -> u64 {
+        self.remaining
+    }
+}
+
+/// What a bounded step call achieved.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StepProgress {
+    /// The budget ran out mid-computation; call again to resume.
+    Yielded,
+    /// The computation is complete.
+    Done,
+}
+
+impl StepProgress {
+    /// `true` iff the computation is complete.
+    #[must_use]
+    pub fn is_done(self) -> bool {
+        matches!(self, StepProgress::Done)
+    }
+}
+
+/// One pass of the balanced merge sort is a distribute scan followed by
+/// a merge scan; the stepper holds the scan's loop variables between
+/// yields. The buffered records and the RAII memory charge live here —
+/// *not* on the machine — so several steppers could in principle
+/// time-share one machine's scratch space (they do not today; one
+/// session owns one machine).
+enum Phase<S> {
+    /// Decide whether another pass is needed; open it if so.
+    NextPass,
+    /// Mid-distribute: alternating runs from `data` onto the scratch
+    /// tapes.
+    Distribute {
+        to_first: bool,
+        in_run: usize,
+        charge: Option<MemoryCharge>,
+    },
+    /// Mid-merge: pairing runs from the scratch tapes back onto `data`.
+    Merge {
+        a: Option<S>,
+        b: Option<S>,
+        left1: usize,
+        left2: usize,
+        charge: Option<MemoryCharge>,
+    },
+    /// Sorted; further steps are no-ops.
+    Done,
+}
+
+/// The balanced 3-tape merge sort of [`crate::sort::merge_sort`] as a
+/// resumable state machine: `step` advances by at most
+/// `budget.remaining()` micro-operations and reports whether it
+/// yielded or finished.
+///
+/// ```
+/// use st_extmem::step::{SortStepper, StepBudget, StepProgress};
+/// use st_extmem::TapeMachine;
+///
+/// let mut m = TapeMachine::with_input(vec![3, 1, 2], 3);
+/// let s1 = m.add_tape("scratch1");
+/// let s2 = m.add_tape("scratch2");
+/// let mut stepper = SortStepper::new(0, s1, s2);
+/// let mut yields = 0;
+/// while !stepper.step(&mut m, &mut StepBudget::new(4))?.is_done() {
+///     yields += 1; // the thread is free to serve another session here
+/// }
+/// assert_eq!(m.tape(0).snapshot(), vec![1, 2, 3]);
+/// assert!(yields > 0);
+/// # Ok::<(), st_core::StError>(())
+/// ```
+pub struct SortStepper<S> {
+    data: usize,
+    s1: usize,
+    s2: usize,
+    run_len: usize,
+    m: Option<usize>,
+    phase: Phase<S>,
+}
+
+impl<S: Clone + Ord> SortStepper<S> {
+    /// A stepper that will sort tape `data` of the machine it is
+    /// stepped against, using tapes `s1`/`s2` as merge scratch.
+    #[must_use]
+    pub fn new(data: usize, s1: usize, s2: usize) -> Self {
+        SortStepper {
+            data,
+            s1,
+            s2,
+            run_len: 1,
+            m: None,
+            phase: Phase::NextPass,
+        }
+    }
+
+    /// The tracer scan events go to: ambient scope first, else the
+    /// machine's own — the same resolution [`crate::scan`] combinators
+    /// apply, since every tape of `machine` carries the machine tracer.
+    fn scan_tracer_of(machine: &TapeMachine<S>) -> Tracer {
+        scan_tracer(&[machine.tracer()])
+    }
+
+    /// Advance by at most the budget's allowance of micro-operations.
+    ///
+    /// Returns [`StepProgress::Done`] once the data tape is sorted
+    /// (subsequent calls keep returning `Done` without touching the
+    /// machine). A zero budget yields immediately without progress.
+    pub fn step(
+        &mut self,
+        machine: &mut TapeMachine<S>,
+        budget: &mut StepBudget,
+    ) -> Result<StepProgress, StError> {
+        loop {
+            if matches!(self.phase, Phase::Done) {
+                return Ok(StepProgress::Done);
+            }
+            if !budget.take() {
+                return Ok(StepProgress::Yielded);
+            }
+            self.advance(machine)?;
+        }
+    }
+
+    /// Perform exactly one micro-operation.
+    fn advance(&mut self, machine: &mut TapeMachine<S>) -> Result<(), StError> {
+        match std::mem::replace(&mut self.phase, Phase::Done) {
+            Phase::Done => {}
+            Phase::NextPass => {
+                let m = match self.m {
+                    Some(m) => m,
+                    None => {
+                        let m = machine.tape(self.data).len();
+                        self.m = Some(m);
+                        m
+                    }
+                };
+                if m <= 1 || self.run_len >= m {
+                    self.phase = Phase::Done;
+                    return Ok(());
+                }
+                let run_len = self.run_len;
+                machine.tracer().emit(|| TraceEvent::PhaseBegin {
+                    name: format!("merge pass run_len={run_len}"),
+                });
+                // Open the distribute scan exactly as
+                // `scan::distribute_runs` does.
+                let tracer = Self::scan_tracer_of(machine);
+                tracer.emit(|| TraceEvent::ScanStart {
+                    op: "distribute_runs".to_string(),
+                });
+                let meter = machine.meter().clone();
+                let (data, s1, s2) = machine.trio_mut(self.data, self.s1, self.s2);
+                data.rewind();
+                s1.reset_for_overwrite();
+                s2.reset_for_overwrite();
+                let charge = meter.charge(1 + bits_for(data.len() as u64));
+                self.phase = Phase::Distribute {
+                    to_first: true,
+                    in_run: 0,
+                    charge: Some(charge),
+                };
+            }
+            Phase::Distribute {
+                mut to_first,
+                mut in_run,
+                charge,
+            } => {
+                let (data, s1, s2) = machine.trio_mut(self.data, self.s1, self.s2);
+                match data.read_fwd() {
+                    Some(x) => {
+                        if to_first {
+                            s1.write_fwd(x)?;
+                        } else {
+                            s2.write_fwd(x)?;
+                        }
+                        in_run += 1;
+                        if in_run == self.run_len {
+                            in_run = 0;
+                            to_first = !to_first;
+                        }
+                        self.phase = Phase::Distribute {
+                            to_first,
+                            in_run,
+                            charge,
+                        };
+                    }
+                    None => {
+                        let tracer = Self::scan_tracer_of(machine);
+                        tracer.emit(|| TraceEvent::ScanEnd {
+                            op: "distribute_runs".to_string(),
+                        });
+                        drop(charge);
+                        // Open the merge scan exactly as
+                        // `scan::merge_runs` does.
+                        tracer.emit(|| TraceEvent::ScanStart {
+                            op: "merge_runs".to_string(),
+                        });
+                        let meter = machine.meter().clone();
+                        let run_len = self.run_len;
+                        let (in1, in2, out) = machine.trio_mut(self.s1, self.s2, self.data);
+                        in1.rewind();
+                        in2.rewind();
+                        out.reset_for_overwrite();
+                        let charge = meter.charge(2 + 2 * bits_for(run_len as u64));
+                        let a = in1.read_fwd();
+                        let b = in2.read_fwd();
+                        let left1 = if a.is_some() { run_len } else { 0 };
+                        let left2 = if b.is_some() { run_len } else { 0 };
+                        self.phase = Phase::Merge {
+                            a,
+                            b,
+                            left1,
+                            left2,
+                            charge: Some(charge),
+                        };
+                    }
+                }
+            }
+            Phase::Merge {
+                mut a,
+                mut b,
+                mut left1,
+                mut left2,
+                charge,
+            } => {
+                let run_len = self.run_len;
+                let (in1, in2, out) = machine.trio_mut(self.s1, self.s2, self.data);
+                // The same selection rule as the inner loop of
+                // `scan::merge_runs`; `None` is that loop's `break` —
+                // the boundary between run pairs.
+                let take_first = match (&a, &b) {
+                    (Some(x), Some(y)) if left1 > 0 && left2 > 0 => Some(x <= y),
+                    (Some(_), _) if left1 > 0 => Some(true),
+                    (_, Some(_)) if left2 > 0 => Some(false),
+                    _ => None,
+                };
+                match take_first {
+                    Some(true) => {
+                        let rec = a.take().ok_or_else(|| {
+                            StError::Machine("merge selected an empty first buffer".into())
+                        })?;
+                        out.write_fwd(rec)?;
+                        left1 -= 1;
+                        if left1 > 0 {
+                            a = in1.read_fwd();
+                            if a.is_none() {
+                                left1 = 0;
+                            }
+                        }
+                        self.phase = Phase::Merge {
+                            a,
+                            b,
+                            left1,
+                            left2,
+                            charge,
+                        };
+                    }
+                    Some(false) => {
+                        let rec = b.take().ok_or_else(|| {
+                            StError::Machine("merge selected an empty second buffer".into())
+                        })?;
+                        out.write_fwd(rec)?;
+                        left2 -= 1;
+                        if left2 > 0 {
+                            b = in2.read_fwd();
+                            if b.is_none() {
+                                left2 = 0;
+                            }
+                        }
+                        self.phase = Phase::Merge {
+                            a,
+                            b,
+                            left1,
+                            left2,
+                            charge,
+                        };
+                    }
+                    None => {
+                        // Refill for the next pair of runs, or close the
+                        // pass when both inputs are exhausted.
+                        if a.is_none() {
+                            a = in1.read_fwd();
+                        }
+                        if b.is_none() {
+                            b = in2.read_fwd();
+                        }
+                        if a.is_none() && b.is_none() {
+                            let tracer = Self::scan_tracer_of(machine);
+                            tracer.emit(|| TraceEvent::ScanEnd {
+                                op: "merge_runs".to_string(),
+                            });
+                            drop(charge);
+                            machine.tracer().emit(|| TraceEvent::PhaseEnd {
+                                name: format!("merge pass run_len={run_len}"),
+                            });
+                            self.run_len *= 2;
+                            self.phase = Phase::NextPass;
+                        } else {
+                            left1 = if a.is_some() { run_len } else { 0 };
+                            left2 = if b.is_some() { run_len } else { 0 };
+                            self.phase = Phase::Merge {
+                                a,
+                                b,
+                                left1,
+                                left2,
+                                charge,
+                            };
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn machine_with(items: Vec<i64>) -> TapeMachine<i64> {
+        let n = items.len().max(1);
+        let mut m = TapeMachine::with_input(items, n);
+        m.add_tape("scratch1");
+        m.add_tape("scratch2");
+        m
+    }
+
+    fn run_to_done(
+        machine: &mut TapeMachine<i64>,
+        stepper: &mut SortStepper<i64>,
+        per_call: u64,
+    ) -> u64 {
+        let mut yields = 0;
+        loop {
+            let mut budget = StepBudget::new(per_call);
+            match stepper.step(machine, &mut budget).unwrap() {
+                StepProgress::Done => return yields,
+                StepProgress::Yielded => yields += 1,
+            }
+        }
+    }
+
+    #[test]
+    fn stepper_sorts_and_matches_batch_usage_at_every_granularity() {
+        let items: Vec<i64> = (0..57).map(|i| (i * 7919) % 101).collect();
+        let mut expect = items.clone();
+        expect.sort();
+
+        let mut batch = machine_with(items.clone());
+        crate::sort::merge_sort(&mut batch, 0, 1, 2).unwrap();
+        let batch_usage = batch.usage();
+
+        for per_call in [1u64, 3, 16, 1024] {
+            let mut m = machine_with(items.clone());
+            let mut stepper = SortStepper::new(0, 1, 2);
+            let yields = run_to_done(&mut m, &mut stepper, per_call);
+            assert_eq!(m.tape(0).snapshot(), expect, "budget {per_call}");
+            assert_eq!(m.usage(), batch_usage, "budget {per_call}");
+            if per_call == 1 {
+                assert!(yields > 0, "single-unit budgets must yield");
+            }
+        }
+    }
+
+    #[test]
+    fn stepper_emits_the_same_trace_as_the_batch_sort() {
+        let items: Vec<i64> = (0..23).rev().collect();
+
+        let (batch_tracer, batch_buf) = st_trace::Tracer::in_memory();
+        let mut batch = TapeMachine::with_input_traced(items.clone(), items.len(), batch_tracer);
+        batch.add_tape("scratch1");
+        batch.add_tape("scratch2");
+        crate::sort::merge_sort(&mut batch, 0, 1, 2).unwrap();
+        let _ = batch.usage();
+
+        let (inc_tracer, inc_buf) = st_trace::Tracer::in_memory();
+        let mut inc = TapeMachine::with_input_traced(items, 23, inc_tracer);
+        inc.add_tape("scratch1");
+        inc.add_tape("scratch2");
+        let mut stepper = SortStepper::new(0, 1, 2);
+        run_to_done(&mut inc, &mut stepper, 5);
+        let _ = inc.usage();
+
+        assert_eq!(batch_buf.snapshot(), inc_buf.snapshot());
+        let report = st_trace::audit(&inc_buf.snapshot());
+        assert!(report.ok(), "{report}");
+    }
+
+    #[test]
+    fn zero_budget_yields_without_touching_the_machine() {
+        let mut m = machine_with(vec![2, 1]);
+        let mut stepper = SortStepper::new(0, 1, 2);
+        let mut budget = StepBudget::new(0);
+        assert_eq!(
+            stepper.step(&mut m, &mut budget).unwrap(),
+            StepProgress::Yielded
+        );
+        assert_eq!(m.tape(0).snapshot(), vec![2, 1]);
+        assert_eq!(m.usage().steps, 0);
+    }
+
+    #[test]
+    fn done_is_sticky_and_trivial_inputs_finish_instantly() {
+        for items in [vec![], vec![9]] {
+            let mut m = machine_with(items);
+            let mut stepper = SortStepper::new(0, 1, 2);
+            let mut budget = StepBudget::new(1);
+            assert_eq!(
+                stepper.step(&mut m, &mut budget).unwrap(),
+                StepProgress::Done
+            );
+            // Steps after Done are no-ops.
+            assert_eq!(
+                stepper.step(&mut m, &mut StepBudget::new(10)).unwrap(),
+                StepProgress::Done
+            );
+        }
+    }
+}

@@ -1,0 +1,163 @@
+//! Admission control: the paper's bounds as a price list.
+//!
+//! A tenant asks for a decider on an instance of declared shape
+//! `(m, n)` — `m` values of `n` bits per list, input length
+//! `N = 2m(n+1)` (Definition 1's encoding `v₁#…#v_m#v′₁#…#v′_m#`).
+//! [`reserve`] quotes the *worst-case* price of that run in the model's
+//! own currency:
+//!
+//! - **Sort routes** (Corollary 7): each merge-sort pass costs at most
+//!   `12·⌈log₂ m⌉ + 12` reversals (the bound pinned by the extmem sort
+//!   tests); MULTISET-EQUALITY and SET-EQUALITY sort both lists,
+//!   CHECK-SORT sorts one. A comparison scan adds a constant.
+//! - **Fingerprint** (Theorem 8(a)): one forward and one backward scan
+//!   — a single reversal, reserved as 2 — and `O(log N)` bits (the
+//!   `64·log N + 64` envelope the conformance suite already pins).
+//!
+//! A reservation the tenant's [`TenantBudget`] cannot cover is refused
+//! before any tape moves, and the refusal carries a [`ResourceBill`]
+//! quoting the reservation — the lower bound, made operational.
+
+use crate::session::DeciderKind;
+use st_algo::SortRoute;
+use st_core::math::ceil_log2;
+use st_core::{ResourceBill, TenantBudget};
+use st_extmem::meter::bits_for;
+
+/// Definition 1's input length for `m` values of `n` bits per list:
+/// every value contributes `n` symbols plus its `#` separator, twice.
+#[must_use]
+pub fn declared_input_len(m: u64, n: u64) -> u64 {
+    2 * m * (n + 1)
+}
+
+/// The per-pass reversal ceiling of the external-memory merge sort:
+/// `12·⌈log₂ m⌉ + 12` (the bound the extmem sort tests pin).
+#[must_use]
+pub fn sort_pass_bound(m: u64) -> u64 {
+    12 * u64::from(ceil_log2(m.max(2))) + 12
+}
+
+/// The worst-case reservation for running `kind` on a declared
+/// `(m, n)` instance. Guaranteed to dominate the actual
+/// [`st_core::ResourceUsage`] of the run (tested below).
+#[must_use]
+pub fn reserve(kind: DeciderKind, m: u64, n: u64) -> TenantBudget {
+    let big_n = declared_input_len(m, n).max(2);
+    match kind {
+        DeciderKind::Fingerprint => TenantBudget {
+            reversals: 2,
+            internal_bits: 64 + 64 * bits_for(big_n),
+        },
+        DeciderKind::Sort(route) => {
+            let passes = match route {
+                SortRoute::Multiset | SortRoute::SetEquality => 2,
+                SortRoute::CheckSort => 1,
+            };
+            TenantBudget {
+                reversals: passes * sort_pass_bound(m) + 8,
+                internal_bits: 8 + 4 * bits_for(big_n),
+            }
+        }
+    }
+}
+
+/// The bill attached to an admission refusal: it quotes the reservation
+/// (what the run *would* cost in the worst case), with `accepted: None`
+/// because no verdict was ever computed.
+#[must_use]
+pub fn rejection_bill(
+    tenant: &str,
+    session: u64,
+    kind: DeciderKind,
+    m: u64,
+    n: u64,
+) -> ResourceBill {
+    let reservation = reserve(kind, m, n);
+    ResourceBill {
+        tenant: tenant.to_string(),
+        session,
+        decider: kind.id().to_string(),
+        input_len: declared_input_len(m, n),
+        reversals: reservation.reversals,
+        internal_bits: reservation.internal_bits,
+        external_cells: 0,
+        accepted: None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use st_problems::generate;
+
+    #[test]
+    fn rejection_bills_quote_the_paper_bound() {
+        let bill = rejection_bill("pinch", 3, DeciderKind::Sort(SortRoute::Multiset), 16, 6);
+        assert_eq!(bill.reversals, 2 * (12 * 4 + 12) + 8);
+        assert_eq!(bill.input_len, 2 * 16 * 7);
+        assert_eq!(bill.accepted, None);
+        let fp = rejection_bill("pinch", 4, DeciderKind::Fingerprint, 16, 6);
+        assert_eq!(fp.reversals, 2);
+    }
+
+    #[test]
+    fn reservations_dominate_actual_usage() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for (m, n) in [(2usize, 2usize), (5, 3), (16, 6), (64, 8)] {
+            let inst = generate::yes_multiset(m, n, &mut rng);
+            let checks: [(DeciderKind, st_core::ResourceUsage); 4] = [
+                (
+                    DeciderKind::Sort(SortRoute::Multiset),
+                    st_algo::sortcheck::decide_multiset_equality(&inst)
+                        .unwrap()
+                        .usage,
+                ),
+                (
+                    DeciderKind::Sort(SortRoute::CheckSort),
+                    st_algo::sortcheck::decide_check_sort(&inst).unwrap().usage,
+                ),
+                (
+                    DeciderKind::Sort(SortRoute::SetEquality),
+                    st_algo::sortcheck::decide_set_equality(&inst)
+                        .unwrap()
+                        .usage,
+                ),
+                (
+                    DeciderKind::Fingerprint,
+                    st_algo::fingerprint::decide_multiset_equality(&inst, &mut rng)
+                        .unwrap()
+                        .usage,
+                ),
+            ];
+            for (kind, usage) in checks {
+                let reservation = reserve(kind, m as u64, n as u64);
+                assert!(
+                    usage.total_reversals() <= reservation.reversals,
+                    "{} m={m} n={n}: {} reversals > reserved {}",
+                    kind.id(),
+                    usage.total_reversals(),
+                    reservation.reversals
+                );
+                assert!(
+                    usage.internal_space <= reservation.internal_bits,
+                    "{} m={m} n={n}: {} bits > reserved {}",
+                    kind.id(),
+                    usage.internal_space,
+                    reservation.internal_bits
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn declared_lengths_match_the_encoding() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for (m, n) in [(1usize, 1usize), (4, 3), (9, 5)] {
+            let inst = generate::yes_multiset(m, n, &mut rng);
+            assert_eq!(inst.size() as u64, declared_input_len(m as u64, n as u64));
+        }
+    }
+}

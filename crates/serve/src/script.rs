@@ -1,0 +1,494 @@
+//! The deterministic serving script: tenants, sessions, traffic.
+//!
+//! A script declares tenants (each with a [`TenantBudget`] grant) and a
+//! sequence of sessions. A session names its tenant, a decider, a
+//! declared instance shape `(m, n)`, a feed-chunk size, and a word —
+//! either a literal or a seeded *traffic family*. Families make the
+//! soak and demo traffic realistic without giving up reproducibility:
+//! the word for session `i` is derived from
+//! `derive_rng(master_seed, family_id, i)` alone, so a script plus a
+//! seed is a complete, replayable workload.
+//!
+//! Text format (one declaration per line; `#` starts a comment only at
+//! the start of a line, because words contain `#`):
+//!
+//! ```text
+//! tenant alice reversals=100000 bits=65536
+//! tenant pinch reversals=25 bits=4096
+//! session tenant=alice decider=sort-multiset m=8 n=4 family=zipf chunk=7
+//! session tenant=pinch decider=fingerprint word=01#10#10#01# chunk=3
+//! ```
+
+use crate::session::DeciderKind;
+use rand::seq::SliceRandom;
+use rand::Rng;
+use st_conformance::prng::derive_rng;
+use st_core::TenantBudget;
+use st_problems::{generate, BitStr, Instance};
+
+/// A seeded word generator family.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TrafficFamily {
+    /// Skewed key popularity: values drawn as the min of two uniform
+    /// draws over a small universe (a cheap Zipf-ish triangle), second
+    /// list a shuffle of the first — a yes-instance with hot keys.
+    Zipf,
+    /// Bursts of 1–4 repeats of a random value, second list a shuffle —
+    /// long runs of equal keys, still a yes-instance.
+    Bursty,
+    /// `generate::yes_multiset`: uniform values, shuffled second list.
+    YesShuffle,
+    /// `generate::no_multiset_one_bit`: a yes-instance with exactly one
+    /// bit flipped — the hardest kind of no-instance.
+    NoOneBit,
+}
+
+impl TrafficFamily {
+    /// Stable script id.
+    #[must_use]
+    pub fn id(self) -> &'static str {
+        match self {
+            TrafficFamily::Zipf => "zipf",
+            TrafficFamily::Bursty => "bursty",
+            TrafficFamily::YesShuffle => "yes-shuffle",
+            TrafficFamily::NoOneBit => "no-onebit",
+        }
+    }
+
+    /// Parse a script id.
+    #[must_use]
+    pub fn from_id(s: &str) -> Option<Self> {
+        match s {
+            "zipf" => Some(TrafficFamily::Zipf),
+            "bursty" => Some(TrafficFamily::Bursty),
+            "yes-shuffle" => Some(TrafficFamily::YesShuffle),
+            "no-onebit" => Some(TrafficFamily::NoOneBit),
+            _ => None,
+        }
+    }
+
+    /// Generate the word for session `index` under `master` seed.
+    #[must_use]
+    pub fn generate_word(self, master: u64, index: u64, m: u64, n: u64) -> String {
+        let mut rng = derive_rng(master, self.id(), index);
+        let m_us = m as usize;
+        let n_us = n as usize;
+        let inst = match self {
+            TrafficFamily::Zipf => {
+                let universe = (m / 2 + 1).max(2).min(1u64 << n.min(20));
+                let mut xs = Vec::with_capacity(m_us);
+                for _ in 0..m_us {
+                    let a = rng.gen_range(0..universe);
+                    let b = rng.gen_range(0..universe);
+                    xs.push(BitStr::from_value(u128::from(a.min(b)), n_us).expect("fits"));
+                }
+                let mut ys = xs.clone();
+                ys.shuffle(&mut rng);
+                Instance::new(xs, ys).expect("equal lengths")
+            }
+            TrafficFamily::Bursty => {
+                let mut xs = Vec::with_capacity(m_us);
+                while xs.len() < m_us {
+                    let v = generate::random_bitstr(n_us, &mut rng);
+                    let reps = 1 + rng.gen_range(0..4u32);
+                    for _ in 0..reps {
+                        if xs.len() < m_us {
+                            xs.push(v.clone());
+                        }
+                    }
+                }
+                let mut ys = xs.clone();
+                ys.shuffle(&mut rng);
+                Instance::new(xs, ys).expect("equal lengths")
+            }
+            TrafficFamily::YesShuffle => generate::yes_multiset(m_us, n_us, &mut rng),
+            TrafficFamily::NoOneBit => generate::no_multiset_one_bit(m_us, n_us, &mut rng),
+        };
+        inst.encode()
+    }
+}
+
+/// A session's word: a literal or a seeded family.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WordSpec {
+    /// The exact word to feed.
+    Literal(String),
+    /// Generate from the family's derived RNG.
+    Family(TrafficFamily),
+}
+
+/// One tenant declaration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TenantSpec {
+    /// Tenant name (no whitespace).
+    pub name: String,
+    /// The granted allowance.
+    pub budget: TenantBudget,
+}
+
+/// One session declaration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SessionSpec {
+    /// The paying tenant (must be declared).
+    pub tenant: String,
+    /// The decider to run.
+    pub kind: DeciderKind,
+    /// Declared values per list.
+    pub m: u64,
+    /// Declared bits per value.
+    pub n: u64,
+    /// The word source.
+    pub word: WordSpec,
+    /// Feed-chunk size in bytes (≥ 1).
+    pub chunk: usize,
+}
+
+impl SessionSpec {
+    /// Resolve the concrete word for this spec as session `index` of a
+    /// script running under `master` seed.
+    #[must_use]
+    pub fn resolve_word(&self, master: u64, index: u64) -> String {
+        match &self.word {
+            WordSpec::Literal(w) => w.clone(),
+            WordSpec::Family(f) => f.generate_word(master, index, self.m, self.n),
+        }
+    }
+}
+
+/// A complete workload: tenants plus an ordered session list.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Script {
+    /// Declared tenants, in declaration order.
+    pub tenants: Vec<TenantSpec>,
+    /// Sessions, in submission order. The session id is the index.
+    pub sessions: Vec<SessionSpec>,
+}
+
+fn parse_budget_component(v: &str, what: &str) -> Result<u64, String> {
+    if v == "unlimited" {
+        return Ok(u64::MAX);
+    }
+    v.parse::<u64>()
+        .map_err(|_| format!("{what} must be an integer or `unlimited`, got `{v}`"))
+}
+
+fn render_budget_component(v: u64) -> String {
+    if v == u64::MAX {
+        "unlimited".into()
+    } else {
+        v.to_string()
+    }
+}
+
+impl Script {
+    /// Parse the text format. Validates tenant references, decider ids,
+    /// family ids, chunk sizes, and literal words (which must parse as
+    /// instances — this also derives their `(m, n)` shape).
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let mut script = Script::default();
+        for (lineno, raw) in text.lines().enumerate() {
+            let line = raw.trim();
+            let at = |msg: String| format!("line {}: {msg}", lineno + 1);
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let mut words = line.split_whitespace();
+            match words.next() {
+                Some("tenant") => {
+                    let name = words
+                        .next()
+                        .ok_or_else(|| at("tenant needs a name".into()))?
+                        .to_string();
+                    let mut budget = TenantBudget::default();
+                    for kv in words {
+                        let (k, v) = kv
+                            .split_once('=')
+                            .ok_or_else(|| at(format!("expected key=value, got `{kv}`")))?;
+                        match k {
+                            "reversals" => {
+                                budget.reversals =
+                                    parse_budget_component(v, "reversals").map_err(&at)?;
+                            }
+                            "bits" => {
+                                budget.internal_bits =
+                                    parse_budget_component(v, "bits").map_err(&at)?;
+                            }
+                            _ => return Err(at(format!("unknown tenant key `{k}`"))),
+                        }
+                    }
+                    if script.tenants.iter().any(|t| t.name == name) {
+                        return Err(at(format!("tenant `{name}` declared twice")));
+                    }
+                    script.tenants.push(TenantSpec { name, budget });
+                }
+                Some("session") => {
+                    let mut tenant = None;
+                    let mut kind = None;
+                    let mut m = None;
+                    let mut n = None;
+                    let mut word = None;
+                    let mut chunk = 7usize;
+                    for kv in words {
+                        let (k, v) = kv
+                            .split_once('=')
+                            .ok_or_else(|| at(format!("expected key=value, got `{kv}`")))?;
+                        match k {
+                            "tenant" => tenant = Some(v.to_string()),
+                            "decider" => {
+                                kind = Some(
+                                    DeciderKind::from_id(v)
+                                        .ok_or_else(|| at(format!("unknown decider `{v}`")))?,
+                                );
+                            }
+                            "m" => {
+                                m =
+                                    Some(v.parse::<u64>().map_err(|_| {
+                                        at(format!("m must be an integer, got `{v}`"))
+                                    })?);
+                            }
+                            "n" => {
+                                n =
+                                    Some(v.parse::<u64>().map_err(|_| {
+                                        at(format!("n must be an integer, got `{v}`"))
+                                    })?);
+                            }
+                            "family" => {
+                                word = Some(WordSpec::Family(
+                                    TrafficFamily::from_id(v)
+                                        .ok_or_else(|| at(format!("unknown family `{v}`")))?,
+                                ));
+                            }
+                            "word" => word = Some(WordSpec::Literal(v.to_string())),
+                            "chunk" => {
+                                chunk = v.parse::<usize>().map_err(|_| {
+                                    at(format!("chunk must be an integer, got `{v}`"))
+                                })?;
+                            }
+                            _ => return Err(at(format!("unknown session key `{k}`"))),
+                        }
+                    }
+                    let tenant = tenant.ok_or_else(|| at("session needs tenant=".into()))?;
+                    if !script.tenants.iter().any(|t| t.name == tenant) {
+                        return Err(at(format!("session names undeclared tenant `{tenant}`")));
+                    }
+                    let kind = kind.ok_or_else(|| at("session needs decider=".into()))?;
+                    let word = word.ok_or_else(|| at("session needs word= or family=".into()))?;
+                    if chunk == 0 {
+                        return Err(at("chunk must be ≥ 1".into()));
+                    }
+                    let (m, n) = match &word {
+                        WordSpec::Literal(w) => {
+                            let inst = Instance::parse(w)
+                                .map_err(|e| at(format!("literal word does not parse: {e}")))?;
+                            let widest =
+                                inst.xs.iter().chain(inst.ys.iter()).map(BitStr::len).max();
+                            (inst.m() as u64, widest.unwrap_or(0) as u64)
+                        }
+                        WordSpec::Family(_) => {
+                            let m = m.ok_or_else(|| at("family sessions need m=".into()))?;
+                            let n = n.ok_or_else(|| at("family sessions need n=".into()))?;
+                            if m == 0 || n == 0 {
+                                return Err(at("family sessions need m ≥ 1 and n ≥ 1".into()));
+                            }
+                            (m, n)
+                        }
+                    };
+                    script.sessions.push(SessionSpec {
+                        tenant,
+                        kind,
+                        m,
+                        n,
+                        word,
+                        chunk,
+                    });
+                }
+                Some(other) => return Err(at(format!("unknown declaration `{other}`"))),
+                None => {}
+            }
+        }
+        Ok(script)
+    }
+
+    /// Render back to the text format ([`Script::parse`] of the output
+    /// reproduces the script).
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for t in &self.tenants {
+            out.push_str(&format!(
+                "tenant {} reversals={} bits={}\n",
+                t.name,
+                render_budget_component(t.budget.reversals),
+                render_budget_component(t.budget.internal_bits),
+            ));
+        }
+        for s in &self.sessions {
+            out.push_str(&format!(
+                "session tenant={} decider={}",
+                s.tenant,
+                s.kind.id()
+            ));
+            match &s.word {
+                WordSpec::Literal(w) => out.push_str(&format!(" word={w}")),
+                WordSpec::Family(f) => {
+                    out.push_str(&format!(" m={} n={} family={}", s.m, s.n, f.id()));
+                }
+            }
+            out.push_str(&format!(" chunk={}\n", s.chunk));
+        }
+        out
+    }
+
+    /// A demo workload: three tenants (one generous, one tight, one
+    /// that cannot afford sort routes at all) and `count` sessions
+    /// cycling through every family and decider. The `pinch` tenant's
+    /// sort sessions are always rejected — its 25-reversal grant is
+    /// below the Corollary 7 bound for any `m ≥ 2` — so every demo run
+    /// exercises the admission-rejection path.
+    #[must_use]
+    pub fn demo(count: usize) -> Script {
+        let tenants = vec![
+            TenantSpec {
+                name: "alice".into(),
+                budget: TenantBudget {
+                    reversals: 100_000,
+                    internal_bits: 65_536,
+                },
+            },
+            TenantSpec {
+                name: "bob".into(),
+                budget: TenantBudget {
+                    reversals: 600,
+                    internal_bits: 4_096,
+                },
+            },
+            TenantSpec {
+                name: "pinch".into(),
+                budget: TenantBudget {
+                    reversals: 25,
+                    internal_bits: 4_096,
+                },
+            },
+        ];
+        let families = [
+            TrafficFamily::Zipf,
+            TrafficFamily::Bursty,
+            TrafficFamily::YesShuffle,
+            TrafficFamily::NoOneBit,
+        ];
+        let kinds = DeciderKind::all();
+        let names = ["alice", "bob", "pinch"];
+        let sessions = (0..count)
+            .map(|i| SessionSpec {
+                tenant: names[i % names.len()].into(),
+                kind: kinds[i % kinds.len()],
+                m: 4 + (i as u64 % 5) * 3,
+                n: 3 + (i as u64 % 4),
+                word: WordSpec::Family(families[i % families.len()]),
+                chunk: 1 + i % 9,
+            })
+            .collect();
+        Script { tenants, sessions }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use st_algo::SortRoute;
+    use st_problems::predicates;
+
+    #[test]
+    fn parse_render_round_trips() {
+        let script = Script::demo(13);
+        let rendered = script.render();
+        let reparsed = Script::parse(&rendered).unwrap();
+        assert_eq!(reparsed, script);
+    }
+
+    #[test]
+    fn literal_words_derive_their_shape() {
+        let text = "tenant t reversals=unlimited bits=unlimited\n\
+                    session tenant=t decider=check-sort word=01#10#01#10# chunk=2\n";
+        let script = Script::parse(text).unwrap();
+        assert_eq!(script.sessions[0].m, 2);
+        assert_eq!(script.sessions[0].n, 2);
+        assert_eq!(
+            script.sessions[0].kind,
+            DeciderKind::Sort(SortRoute::CheckSort)
+        );
+        assert_eq!(script.tenants[0].budget, TenantBudget::unlimited());
+    }
+
+    #[test]
+    fn bad_scripts_are_rejected_with_line_numbers() {
+        for (text, needle) in [
+            ("tenant a reversals=lots", "line 1"),
+            (
+                "session tenant=ghost decider=fingerprint m=2 n=2 family=zipf",
+                "undeclared",
+            ),
+            (
+                "tenant a\nsession tenant=a decider=warp m=2 n=2 family=zipf",
+                "unknown decider",
+            ),
+            (
+                "tenant a\nsession tenant=a decider=fingerprint m=2 n=2 family=pareto",
+                "unknown family",
+            ),
+            (
+                "tenant a\nsession tenant=a decider=fingerprint word=01#2#",
+                "does not parse",
+            ),
+            (
+                "tenant a\nsession tenant=a decider=fingerprint m=2 n=2 family=zipf chunk=0",
+                "chunk",
+            ),
+            ("tenant a\ntenant a", "twice"),
+            ("warp 9", "unknown declaration"),
+        ] {
+            let err = Script::parse(text).unwrap_err();
+            assert!(
+                err.contains(needle),
+                "`{text}` → `{err}` (wanted `{needle}`)"
+            );
+        }
+    }
+
+    #[test]
+    fn families_are_deterministic_and_shaped() {
+        for family in [
+            TrafficFamily::Zipf,
+            TrafficFamily::Bursty,
+            TrafficFamily::YesShuffle,
+            TrafficFamily::NoOneBit,
+        ] {
+            let a = family.generate_word(42, 3, 8, 4);
+            let b = family.generate_word(42, 3, 8, 4);
+            assert_eq!(a, b, "{} must be seed-deterministic", family.id());
+            let c = family.generate_word(42, 4, 8, 4);
+            assert_ne!(a, c, "{} must vary with the session index", family.id());
+            let inst = Instance::parse(&a).unwrap();
+            assert_eq!(inst.m(), 8);
+            assert!(inst.uniform_length(4), "{}: {a}", family.id());
+            let equal = predicates::is_multiset_equal(&inst);
+            match family {
+                TrafficFamily::NoOneBit => assert!(!equal),
+                _ => assert!(equal, "{} should be a yes-instance", family.id()),
+            }
+        }
+    }
+
+    #[test]
+    fn the_demo_script_exercises_every_kind_and_family() {
+        let script = Script::demo(24);
+        assert_eq!(script.tenants.len(), 3);
+        for kind in DeciderKind::all() {
+            assert!(script.sessions.iter().any(|s| s.kind == kind));
+        }
+        assert!(script
+            .sessions
+            .iter()
+            .any(|s| s.tenant == "pinch" && matches!(s.kind, DeciderKind::Sort(_))));
+    }
+}

@@ -1,0 +1,264 @@
+//! One resumable decider run, metered and audit-ready.
+//!
+//! A [`Session`] wraps a boxed [`Stepper`] together with an in-memory
+//! [`st_trace`] buffer. Every head move and memory charge the decider
+//! makes lands in the buffer, so when the session completes we can
+//! replay the event log and check — bit for bit — that it aggregates to
+//! the [`ResourceUsage`] the decider claims. Incremental runs therefore
+//! audit exactly like batch runs; the service refuses to bill a session
+//! whose trace disagrees with its verdict.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use st_algo::{DeciderRun, FingerprintStepper, SortRoute, SortRouteStepper, StepOutcome, Stepper};
+use st_core::StError;
+use st_extmem::StepBudget;
+use st_trace::{TraceBuffer, TraceEvent, Tracer};
+use std::task::Poll;
+
+/// Which decider a session runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeciderKind {
+    /// Theorem 8(a): the randomized fingerprint decider for
+    /// MULTISET-EQUALITY in co-RST(2, O(log N), 1).
+    Fingerprint,
+    /// Corollary 7: a deterministic sort-based route.
+    Sort(SortRoute),
+}
+
+impl DeciderKind {
+    /// Stable wire/script id.
+    #[must_use]
+    pub fn id(self) -> &'static str {
+        match self {
+            DeciderKind::Fingerprint => "fingerprint",
+            DeciderKind::Sort(route) => route.id(),
+        }
+    }
+
+    /// Parse a wire/script id.
+    #[must_use]
+    pub fn from_id(s: &str) -> Option<Self> {
+        if s == "fingerprint" {
+            return Some(DeciderKind::Fingerprint);
+        }
+        SortRoute::from_id(s).map(DeciderKind::Sort)
+    }
+
+    /// Every kind, in a stable order (for registries and demos).
+    #[must_use]
+    pub fn all() -> [DeciderKind; 4] {
+        [
+            DeciderKind::Fingerprint,
+            DeciderKind::Sort(SortRoute::Multiset),
+            DeciderKind::Sort(SortRoute::CheckSort),
+            DeciderKind::Sort(SortRoute::SetEquality),
+        ]
+    }
+}
+
+/// The replay-audit outcome for a finished session.
+#[derive(Debug, Clone)]
+pub struct SessionAudit {
+    /// Replayed usage equals the claimed usage AND every checkpoint in
+    /// the event log agrees with the replay.
+    pub ok: bool,
+    /// Number of trace events inspected.
+    pub events: usize,
+    /// Human-readable check summary (one line per audit check).
+    pub detail: String,
+}
+
+/// One streaming decider run: a stepper plus its private trace buffer.
+pub struct Session {
+    /// Caller-chosen session id (unique per service).
+    pub id: u64,
+    kind: DeciderKind,
+    stepper: Box<dyn Stepper + Send>,
+    buffer: TraceBuffer,
+    verdict: Option<DeciderRun>,
+}
+
+impl Session {
+    /// Open a session for `kind`. Randomized deciders draw from a
+    /// `StdRng` seeded with `rng_seed`, so a session is reproducible
+    /// from `(kind, rng_seed, word)` alone.
+    #[must_use]
+    pub fn open(id: u64, kind: DeciderKind, rng_seed: u64) -> Self {
+        let (tracer, buffer) = Tracer::in_memory();
+        let stepper: Box<dyn Stepper + Send> = match kind {
+            DeciderKind::Fingerprint => Box::new(FingerprintStepper::new_traced(
+                StdRng::seed_from_u64(rng_seed),
+                tracer,
+            )),
+            DeciderKind::Sort(route) => Box::new(SortRouteStepper::new_traced(route, tracer)),
+        };
+        Session {
+            id,
+            kind,
+            stepper,
+            buffer,
+            verdict: None,
+        }
+    }
+
+    /// The decider this session runs.
+    #[must_use]
+    pub fn kind(&self) -> DeciderKind {
+        self.kind
+    }
+
+    /// Feed a chunk of the input word. Returns `true` when the verdict
+    /// is already available (the underlying stepper finished early).
+    pub fn feed(&mut self, bytes: &[u8]) -> Result<bool, StError> {
+        match self.stepper.feed(bytes)? {
+            Poll::Ready(run) => {
+                self.verdict = Some(run);
+                Ok(true)
+            }
+            Poll::Pending => Ok(false),
+        }
+    }
+
+    /// Declare end-of-input. After this, [`Session::step`] makes
+    /// progress toward the verdict.
+    pub fn finish(&mut self) -> Result<(), StError> {
+        self.stepper.finish()
+    }
+
+    /// Run up to `budget` head operations. Returns the cached verdict
+    /// once the decider is done; a budget of 0 still reports `Done`
+    /// when the verdict is already cached.
+    pub fn step(&mut self, budget: u64) -> Result<StepOutcome, StError> {
+        if let Some(run) = &self.verdict {
+            return Ok(StepOutcome::Done(run.clone()));
+        }
+        let mut b = StepBudget::new(budget);
+        let outcome = self.stepper.step(&mut b)?;
+        if let StepOutcome::Done(run) = &outcome {
+            self.verdict = Some(run.clone());
+        }
+        Ok(outcome)
+    }
+
+    /// The verdict, if the session has completed.
+    #[must_use]
+    pub fn verdict(&self) -> Option<&DeciderRun> {
+        self.verdict.as_ref()
+    }
+
+    /// Snapshot of every trace event emitted so far.
+    #[must_use]
+    pub fn events(&self) -> Vec<TraceEvent> {
+        self.buffer.snapshot()
+    }
+
+    /// Replay-audit the finished session: the event log must aggregate
+    /// to the claimed [`st_core::ResourceUsage`] and every embedded
+    /// checkpoint must agree. Panics never; a session without a verdict
+    /// audits as not-ok.
+    #[must_use]
+    pub fn audit(&self) -> SessionAudit {
+        let events = self.events();
+        let Some(run) = &self.verdict else {
+            return SessionAudit {
+                ok: false,
+                events: events.len(),
+                detail: "session has no verdict yet".into(),
+            };
+        };
+        let replayed = st_trace::replay(&events);
+        let report = st_trace::audit(&events);
+        let usage_ok = replayed == run.usage;
+        let mut detail = String::new();
+        if !usage_ok {
+            detail.push_str(&format!(
+                "replayed usage disagrees with claimed usage: replay={replayed:?} claim={:?}\n",
+                run.usage
+            ));
+        }
+        detail.push_str(&format!("{report}"));
+        SessionAudit {
+            ok: usage_ok && report.ok(),
+            events: events.len(),
+            detail,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use st_problems::generate;
+
+    fn assert_send<T: Send>() {}
+
+    #[test]
+    fn sessions_are_send() {
+        assert_send::<Session>();
+    }
+
+    #[test]
+    fn decider_ids_round_trip() {
+        for kind in DeciderKind::all() {
+            assert_eq!(DeciderKind::from_id(kind.id()), Some(kind));
+        }
+        assert_eq!(DeciderKind::from_id("telepathy"), None);
+    }
+
+    #[test]
+    fn a_chunked_session_completes_and_audits() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        let inst = generate::yes_multiset(5, 4, &mut rng);
+        let word = inst.encode();
+        let mut session = Session::open(1, DeciderKind::Sort(SortRoute::Multiset), 0);
+        for chunk in word.as_bytes().chunks(3) {
+            assert!(!session.feed(chunk).unwrap());
+        }
+        session.finish().unwrap();
+        loop {
+            match session.step(16).unwrap() {
+                StepOutcome::Done(run) => {
+                    assert!(run.accepted);
+                    break;
+                }
+                StepOutcome::Yielded => {}
+                StepOutcome::NeedInput => panic!("finished session asked for input"),
+            }
+        }
+        let audit = session.audit();
+        assert!(audit.ok, "audit failed:\n{}", audit.detail);
+        assert!(audit.events > 0);
+        // A second step after completion replays the cached verdict.
+        assert!(matches!(session.step(0).unwrap(), StepOutcome::Done(_)));
+    }
+
+    #[test]
+    fn an_unfinished_session_audits_not_ok() {
+        let session = Session::open(2, DeciderKind::Fingerprint, 3);
+        let audit = session.audit();
+        assert!(!audit.ok);
+        assert!(audit.detail.contains("no verdict"));
+    }
+
+    #[test]
+    fn fingerprint_sessions_are_seed_reproducible() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        let inst = generate::no_multiset_one_bit(6, 4, &mut rng);
+        let word = inst.encode();
+        let run = |seed: u64| {
+            let mut s = Session::open(9, DeciderKind::Fingerprint, seed);
+            let _ = s.feed(word.as_bytes()).unwrap();
+            s.finish().unwrap();
+            loop {
+                if let StepOutcome::Done(run) = s.step(64).unwrap() {
+                    return run;
+                }
+            }
+        };
+        let a = run(42);
+        let b = run(42);
+        assert_eq!(a.accepted, b.accepted);
+        assert_eq!(a.usage, b.usage);
+    }
+}

@@ -15,50 +15,12 @@
 //! Exit status: 0 on a clean campaign, 1 when any scenario failed,
 //! 2 on usage errors.
 
+use st_bench::cli::{take_flag, take_switch, take_u64_flag};
 use st_bench::report::merge_json;
 use st_bench::report::{atomic_write, to_json};
 use st_bench::runner::TimingMode;
 use st_soak::{replay_iteration, run_campaign, Injection, Scenario, SoakOptions};
 use std::path::PathBuf;
-
-/// Remove a `--flag VALUE` pair from `args`, returning the value. A
-/// missing value — end of args, or a following token that is itself a
-/// flag — is an error.
-fn take_flag(args: &mut Vec<String>, flag: &str) -> Result<Option<String>, String> {
-    let Some(i) = args.iter().position(|a| a == flag) else {
-        return Ok(None);
-    };
-    match args.get(i + 1) {
-        None => Err(format!("{flag} requires a value")),
-        Some(v) if v.starts_with("--") => {
-            Err(format!("{flag} requires a value, but found the flag {v}"))
-        }
-        Some(_) => {
-            let value = args.remove(i + 1);
-            args.remove(i);
-            Ok(Some(value))
-        }
-    }
-}
-
-fn take_u64_flag(args: &mut Vec<String>, flag: &str, default: u64) -> Result<u64, String> {
-    match take_flag(args, flag)? {
-        None => Ok(default),
-        Some(v) => v
-            .parse::<u64>()
-            .map_err(|_| format!("{flag} requires a non-negative integer, got `{v}`")),
-    }
-}
-
-/// Remove a bare `--flag` (no value), returning whether it was present.
-fn take_switch(args: &mut Vec<String>, flag: &str) -> bool {
-    if let Some(i) = args.iter().position(|a| a == flag) {
-        args.remove(i);
-        true
-    } else {
-        false
-    }
-}
 
 /// Parse a `SCENARIO:ITERATION` replay target.
 fn parse_replay(spec: &str) -> Result<(Scenario, u64), String> {
@@ -68,7 +30,7 @@ fn parse_replay(spec: &str) -> Result<(Scenario, u64), String> {
         ));
     };
     let scenario = Scenario::from_id(id).ok_or_else(|| {
-        format!("unknown scenario `{id}` (try fuzz, crash-storm, fault-storm, concurrent)")
+        format!("unknown scenario `{id}` (try fuzz, crash-storm, fault-storm, concurrent, serve)")
     })?;
     let iteration = iter
         .parse::<u64>()
@@ -179,10 +141,6 @@ fn main() {
 mod tests {
     use super::*;
 
-    fn args(list: &[&str]) -> Vec<String> {
-        list.iter().map(|s| (*s).to_string()).collect()
-    }
-
     #[test]
     fn replay_specs_parse_scenario_and_iteration() {
         assert_eq!(
@@ -193,14 +151,5 @@ mod tests {
         assert!(parse_replay("crash-storm").is_err());
         assert!(parse_replay("warp-storm:3").is_err());
         assert!(parse_replay("fuzz:many").is_err());
-    }
-
-    #[test]
-    fn switches_and_flags_are_removed_from_args() {
-        let mut a = args(&["--inject-broken-oracle", "--iters", "40"]);
-        assert!(take_switch(&mut a, "--inject-broken-oracle"));
-        assert!(!take_switch(&mut a, "--inject-broken-oracle"));
-        assert_eq!(take_u64_flag(&mut a, "--iters", 256).unwrap(), 40);
-        assert!(a.is_empty());
     }
 }

@@ -81,6 +81,10 @@ pub struct ScenarioSummary {
     /// Per-instance wall-clock latency (rendered only under measured
     /// timing).
     pub latency: LatencyHistogram,
+    /// Per-session wall-clock latency for service scenarios (empty for
+    /// scenarios that run no sessions; rendered only under measured
+    /// timing).
+    pub session_latency: LatencyHistogram,
 }
 
 /// Everything a campaign produced.
@@ -138,18 +142,22 @@ impl SoakReport {
                 "wal-discarded-B",
                 "faults",
                 "exhausted",
+                "adm-rej",
                 "p50",
                 "p99",
+                "sess-p99",
             ],
         );
         let mut total = ScenarioStats::default();
         let mut total_latency = LatencyHistogram::default();
+        let mut total_session_latency = LatencyHistogram::default();
         for s in &self.scenarios {
-            r.row(self.stats_row(s.scenario.id(), &s.stats, &s.latency));
+            r.row(self.stats_row(s.scenario.id(), &s.stats, &s.latency, &s.session_latency));
             total.merge(&s.stats);
             total_latency.merge(&s.latency);
+            total_session_latency.merge(&s.session_latency);
         }
-        r.row(self.stats_row("total", &total, &total_latency));
+        r.row(self.stats_row("total", &total, &total_latency, &total_session_latency));
         let ok = self.clean();
         r.verdict(
             ok,
@@ -171,10 +179,16 @@ impl SoakReport {
         r
     }
 
-    fn stats_row(&self, id: &str, s: &ScenarioStats, latency: &LatencyHistogram) -> Vec<String> {
-        let percentile = |p: f64| -> String {
+    fn stats_row(
+        &self,
+        id: &str,
+        s: &ScenarioStats,
+        latency: &LatencyHistogram,
+        session_latency: &LatencyHistogram,
+    ) -> Vec<String> {
+        let percentile = |h: &LatencyHistogram, p: f64| -> String {
             if self.timing == TimingMode::Measured {
-                latency.percentile(p).to_string()
+                h.percentile(p).to_string()
             } else {
                 "-".to_string()
             }
@@ -189,8 +203,10 @@ impl SoakReport {
             s.wal_discarded_bytes.to_string(),
             s.faults_injected.to_string(),
             s.retry_exhaustions.to_string(),
-            percentile(50.0),
-            percentile(99.0),
+            s.admission_rejections.to_string(),
+            percentile(latency, 50.0),
+            percentile(latency, 99.0),
+            percentile(session_latency, 99.0),
         ]
     }
 
@@ -272,6 +288,7 @@ pub fn run_campaign(opts: &SoakOptions) -> Result<SoakReport, StError> {
                     repro: None,
                 }),
                 latency_nanos: 0,
+                session_latency_nanos: Vec::new(),
             })
         }));
         next += block;
@@ -285,6 +302,7 @@ pub fn run_campaign(opts: &SoakOptions) -> Result<SoakReport, StError> {
             scenario,
             stats: ScenarioStats::default(),
             latency: LatencyHistogram::default(),
+            session_latency: LatencyHistogram::default(),
         })
         .collect();
     let mut failures = Vec::new();
@@ -295,6 +313,9 @@ pub fn run_campaign(opts: &SoakOptions) -> Result<SoakReport, StError> {
             .expect("every scenario is pre-registered");
         slot.stats.merge(&outcome.stats);
         slot.latency.record(outcome.latency_nanos);
+        for &nanos in &outcome.session_latency_nanos {
+            slot.session_latency.record(nanos);
+        }
         if let Some(failure) = &outcome.failure {
             failures.push(failure.clone());
         }
@@ -345,12 +366,19 @@ mod tests {
 
     #[test]
     fn campaign_runs_every_scenario_and_stays_clean() {
-        let report = run_campaign(&opts(32, 2)).unwrap();
-        assert_eq!(report.iterations, 32);
+        let report = run_campaign(&opts(40, 2)).unwrap();
+        assert_eq!(report.iterations, 40);
         assert!(report.clean(), "{:?}", report.failures);
         for s in &report.scenarios {
             assert_eq!(s.stats.iterations, 8, "{}", s.scenario.id());
         }
+        let serve = report
+            .scenarios
+            .iter()
+            .find(|s| s.scenario == crate::scenario::Scenario::Serve)
+            .unwrap();
+        assert!(serve.stats.admission_rejections > 0);
+        assert_eq!(serve.session_latency.total(), serve.stats.sessions);
         let rendered = report.to_report();
         assert!(rendered.reproduced(), "{rendered}");
         // Suppressed timing renders no percentiles and no duration.
@@ -388,15 +416,29 @@ mod tests {
     fn measured_timing_renders_percentiles_and_duration() {
         let report = run_campaign(&SoakOptions {
             timing: TimingMode::Measured,
-            ..opts(8, 2)
+            ..opts(10, 2)
         })
         .unwrap();
         let rendered = report.to_report();
         assert!(rendered.duration.is_some());
-        let text = rendered.to_string();
-        assert!(
-            !text.contains("| -"),
-            "measured campaigns chart real percentiles: {text}"
-        );
+        // Iteration percentiles (p50/p99) chart real buckets on every
+        // row; sess-p99 charts only on rows with service sessions (the
+        // serve row and the total) and stays `-` elsewhere.
+        let col = |name: &str| {
+            rendered
+                .columns
+                .iter()
+                .position(|c| c == name)
+                .expect("column exists")
+        };
+        let (p50, p99, sess) = (col("p50"), col("p99"), col("sess-p99"));
+        for row in &rendered.rows {
+            assert_ne!(row[p50], "-", "{row:?}");
+            assert_ne!(row[p99], "-", "{row:?}");
+            match row[0].as_str() {
+                "serve" | "total" => assert_ne!(row[sess], "-", "{row:?}"),
+                _ => assert_eq!(row[sess], "-", "{row:?}"),
+            }
+        }
     }
 }

@@ -19,7 +19,12 @@
 //!   (a `Verified` verdict implies a sorted result), read storms chart
 //!   retry exhaustion;
 //! * **concurrent** — several independent sessions interleaving durable
-//!   sorts and oracle comparisons on scoped threads.
+//!   sorts and oracle comparisons on scoped threads;
+//! * **serve** — scripted `st-serve` runs: streaming decider sessions
+//!   under budget admission, each replay-audited, checked against its
+//!   paper-bound reservation, and differentially compared with the
+//!   reference predicate; over-budget tenants must be refused with a
+//!   signed quote.
 //!
 //! Every iteration's randomness derives from
 //! `(master seed, scenario id, iteration)` through the splittable PRNG

@@ -1,4 +1,4 @@
-//! The four soak scenarios and their seeded, replayable iterations.
+//! The five soak scenarios and their seeded, replayable iterations.
 //!
 //! Every iteration's randomness is derived from
 //! `(master seed, scenario label, iteration)` via the conformance
@@ -33,6 +33,10 @@ pub enum Scenario {
     FaultStorm,
     /// Independent sessions interleaving on scoped threads.
     Concurrent,
+    /// A scripted `st-serve` run: concurrent streaming sessions under
+    /// budget admission; every session must replay-audit, stay within
+    /// its reservation, and agree with the reference predicate.
+    Serve,
 }
 
 impl Scenario {
@@ -44,6 +48,7 @@ impl Scenario {
             Scenario::CrashStorm => "crash-storm",
             Scenario::FaultStorm => "fault-storm",
             Scenario::Concurrent => "concurrent",
+            Scenario::Serve => "serve",
         }
     }
 
@@ -62,6 +67,7 @@ pub fn all_scenarios() -> Vec<Scenario> {
         Scenario::CrashStorm,
         Scenario::FaultStorm,
         Scenario::Concurrent,
+        Scenario::Serve,
     ]
 }
 
@@ -121,6 +127,10 @@ pub struct IterationOutcome {
     /// Wall-clock latency of this instance (bucketed by the campaign;
     /// rendered only under measured timing).
     pub latency_nanos: u128,
+    /// Per-session wall-clock latencies, for scenarios that run whole
+    /// service sessions (empty elsewhere). Folded into the campaign's
+    /// session-latency histogram; rendered only under measured timing.
+    pub session_latency_nanos: Vec<u128>,
 }
 
 /// Run one campaign iteration. Pure up to wall-clock: `stats` and
@@ -133,11 +143,17 @@ pub fn run_iteration(
     ctx: &SoakContext,
 ) -> IterationOutcome {
     let started = std::time::Instant::now();
+    let mut session_latency_nanos = Vec::new();
     let (stats, failure) = match scenario {
         Scenario::Fuzz => run_fuzz(master, iteration, ctx.inject),
         Scenario::CrashStorm => run_crash_storm(master, iteration, &ctx.scratch),
         Scenario::FaultStorm => run_fault_storm(master, iteration),
         Scenario::Concurrent => run_concurrent(master, iteration, &ctx.scratch),
+        Scenario::Serve => {
+            let (stats, failure, latencies) = run_serve(master, iteration);
+            session_latency_nanos = latencies;
+            (stats, failure)
+        }
     };
     let failure = failure.map(|detail_and_repro| Failure {
         scenario,
@@ -151,6 +167,7 @@ pub fn run_iteration(
         stats,
         failure,
         latency_nanos: started.elapsed().as_nanos(),
+        session_latency_nanos,
     }
 }
 
@@ -535,6 +552,138 @@ fn run_session(seed: u64, journal: &Path) -> (ScenarioStats, Option<String>) {
     (stats, None)
 }
 
+// --------------------------------------------------------------- serve
+
+/// Streaming sessions driven per serve iteration.
+const SERVE_SESSIONS: usize = 6;
+
+/// One scripted st-serve run: a generous tenant and a pinched one whose
+/// sort sessions the admission gate must refuse with a signed
+/// paper-bound quote. Every admitted session must finish, replay-audit
+/// bit-for-bit, stay within its reservation, and — the differential
+/// check — agree with the reference predicate on its own word
+/// (one-sided for the fingerprint decider, whose false positives are
+/// within Theorem 8(a)'s proved error bound and charted as
+/// abstentions).
+fn run_serve(master: u64, iteration: u64) -> (ScenarioStats, Option<ScenarioFailure>, Vec<u128>) {
+    use st_core::TenantBudget;
+    use st_serve::{
+        run_script, DeciderKind, Script, ServeOptions, SessionSpec, TenantSpec, TrafficFamily,
+        WordSpec,
+    };
+
+    let mut stats = ScenarioStats {
+        iterations: 1,
+        ..ScenarioStats::default()
+    };
+    let mut rng = prng::derive_rng(master, "soak-serve", iteration);
+    let tenants = vec![
+        TenantSpec {
+            name: "bulk".into(),
+            budget: TenantBudget {
+                reversals: 100_000,
+                internal_bits: 65_536,
+            },
+        },
+        TenantSpec {
+            name: "pinch".into(),
+            // Below the Corollary 7 sort bound for any m ≥ 2, but
+            // enough bits for Theorem 8(a)'s O(log N) fingerprints.
+            budget: TenantBudget {
+                reversals: 25,
+                internal_bits: 65_536,
+            },
+        },
+    ];
+    let kinds = DeciderKind::all();
+    let families = [
+        TrafficFamily::Zipf,
+        TrafficFamily::Bursty,
+        TrafficFamily::YesShuffle,
+        TrafficFamily::NoOneBit,
+    ];
+    let sessions: Vec<SessionSpec> = (0..SERVE_SESSIONS)
+        .map(|i| SessionSpec {
+            tenant: if i % 3 == 2 { "pinch" } else { "bulk" }.into(),
+            kind: kinds[rng.gen_range(0..kinds.len())],
+            m: rng.gen_range(2..=12u64),
+            n: rng.gen_range(2..=6u64),
+            word: WordSpec::Family(families[rng.gen_range(0..families.len())]),
+            chunk: rng.gen_range(1..=9usize),
+        })
+        .collect();
+    let script = Script { tenants, sessions };
+    let opts = ServeOptions {
+        jobs: 1,
+        step_batch: 32,
+        master_seed: prng::derive_seed(master, "soak-serve-words", iteration),
+        ..ServeOptions::default()
+    };
+    let run = match run_script(&script, &opts) {
+        Ok(run) => run,
+        Err(e) => {
+            return (
+                stats,
+                Some((format!("serve script errored: {e}"), None)),
+                Vec::new(),
+            )
+        }
+    };
+    stats.admission_rejections = run.rejected;
+    stats.sessions += run.admitted;
+
+    let mut latencies = Vec::new();
+    let mut failure = None;
+    for result in run.results.iter().filter(|r| r.admitted) {
+        latencies.push(result.latency_nanos);
+        let fail = |detail: String| Some((format!("session {}: {detail}", result.index), None));
+        if let Some(e) = &result.error {
+            failure = failure.or_else(|| fail(format!("errored: {e}")));
+            continue;
+        }
+        if result.audit_ok != Some(true) {
+            failure = failure.or_else(|| fail("trace replay-audit failed".into()));
+            continue;
+        }
+        if result.within_reserve != Some(true) {
+            failure =
+                failure.or_else(|| fail("measured usage exceeded the admission quote".into()));
+            continue;
+        }
+        // Differential check against the reference predicate.
+        let spec = &script.sessions[result.index as usize];
+        let word = spec.resolve_word(opts.master_seed, result.index);
+        let Ok(inst) = Instance::parse(&word) else {
+            failure = failure.or_else(|| fail("resolved word does not parse".into()));
+            continue;
+        };
+        let want = match result.kind {
+            DeciderKind::Fingerprint | DeciderKind::Sort(st_algo::SortRoute::Multiset) => {
+                predicates::is_multiset_equal(&inst)
+            }
+            DeciderKind::Sort(st_algo::SortRoute::CheckSort) => predicates::is_check_sorted(&inst),
+            DeciderKind::Sort(st_algo::SortRoute::SetEquality) => predicates::is_set_equal(&inst),
+        };
+        stats.comparisons += 1;
+        match (result.accepted, result.kind) {
+            (Some(got), _) if got == want => stats.agreements += 1,
+            // Theorem 8(a) is one-sided: a false positive is within the
+            // proved bound; a false negative never is.
+            (Some(true), DeciderKind::Fingerprint) if !want => stats.abstentions += 1,
+            (got, _) => {
+                stats.disagreements += 1;
+                failure = failure.or_else(|| {
+                    fail(format!(
+                        "{} verdict {got:?} disagrees with the reference predicate {want}",
+                        result.kind.id()
+                    ))
+                });
+            }
+        }
+    }
+    (stats, failure, latencies)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -555,8 +704,38 @@ mod tests {
             assert_eq!(Scenario::from_id(s.id()), Some(s));
         }
         assert_eq!(Scenario::from_id("no-such"), None);
-        let seen: Vec<Scenario> = (0..4).map(scenario_for_iteration).collect();
+        let seen: Vec<Scenario> = (0..5).map(scenario_for_iteration).collect();
         assert_eq!(seen, all_scenarios());
+    }
+
+    #[test]
+    fn serve_iterations_admit_reject_and_chart_session_latency() {
+        let ctx = test_ctx("serve");
+        let mut rejections = 0;
+        let mut sessions = 0;
+        let mut comparisons = 0;
+        for iteration in 0..8 {
+            let o = run_iteration(Scenario::Serve, 5, iteration, &ctx);
+            assert!(o.failure.is_none(), "{:?}", o.failure);
+            assert_eq!(
+                o.session_latency_nanos.len() as u64,
+                o.stats.sessions,
+                "one latency sample per admitted session"
+            );
+            rejections += o.stats.admission_rejections;
+            sessions += o.stats.sessions;
+            comparisons += o.stats.comparisons;
+        }
+        assert!(sessions > 0, "no serve session ever ran");
+        assert!(
+            rejections > 0,
+            "the pinched tenant never hit the admission gate"
+        );
+        assert_eq!(
+            comparisons, sessions,
+            "every admitted session is differentially checked"
+        );
+        std::fs::remove_dir_all(&ctx.scratch).ok();
     }
 
     #[test]

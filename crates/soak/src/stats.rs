@@ -35,6 +35,9 @@ pub struct ScenarioStats {
     pub retry_exhaustions: u64,
     /// Concurrent sessions completed.
     pub sessions: u64,
+    /// Serve sessions refused at admission (over-budget tenants billed
+    /// with the paper-bound quote — expected traffic, not a failure).
+    pub admission_rejections: u64,
 }
 
 impl ScenarioStats {
@@ -54,6 +57,7 @@ impl ScenarioStats {
         self.verified_slips += other.verified_slips;
         self.retry_exhaustions += other.retry_exhaustions;
         self.sessions += other.sessions;
+        self.admission_rejections += other.admission_rejections;
     }
 }
 

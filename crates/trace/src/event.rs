@@ -84,6 +84,15 @@ pub enum TraceEvent {
         /// Definition-1 input size `N` (list machines: `m`).
         input_len: usize,
     },
+    /// A late declaration (or correction) of the Definition-1 input
+    /// size `N`. Streaming substrates open their run before the input
+    /// has arrived — `RunBegin` then necessarily carries `0` — and emit
+    /// this once the stream is finished and `N` is known. Replay
+    /// overwrites the segment's `input_len` with the latest value.
+    InputSize {
+        /// Definition-1 input size `N`.
+        input_len: usize,
+    },
     /// An external tape/list joined the machine.
     TapeRegistered {
         /// Tape index within the run.
@@ -205,6 +214,10 @@ impl TraceEvent {
                 w.str_field("substrate", substrate);
                 w.num_field("input_len", *input_len as u64);
             }
+            TraceEvent::InputSize { input_len } => {
+                w.str_field("ev", "input_size");
+                w.num_field("input_len", *input_len as u64);
+            }
             TraceEvent::TapeRegistered { tape, name } => {
                 w.str_field("ev", "tape_reg");
                 w.num_field("tape", *tape as u64);
@@ -300,6 +313,9 @@ impl TraceEvent {
         Ok(match ev {
             "run_begin" => TraceEvent::RunBegin {
                 substrate: obj.str("substrate")?.to_string(),
+                input_len: obj.num("input_len")? as usize,
+            },
+            "input_size" => TraceEvent::InputSize {
                 input_len: obj.num("input_len")? as usize,
             },
             "tape_reg" => TraceEvent::TapeRegistered {
@@ -454,6 +470,7 @@ mod tests {
             substrate: "tape".into(),
             input_len: 48,
         });
+        roundtrip(TraceEvent::InputSize { input_len: 96 });
         roundtrip(TraceEvent::TapeRegistered {
             tape: 2,
             name: "scratch \"quoted\"\n".into(),

@@ -105,6 +105,9 @@ impl Aggregator {
                 self.input_len = *input_len;
                 self.runs += 1;
             }
+            TraceEvent::InputSize { input_len } => {
+                self.input_len = *input_len;
+            }
             TraceEvent::TapeRegistered { tape, name } => {
                 self.tape_mut(*tape).name = name.clone();
             }
@@ -489,6 +492,20 @@ mod tests {
         assert_eq!(u.internal_space, 230);
         assert_eq!(u.steps, 40 + 60 + 7);
         assert_eq!(u.external_cells, 32);
+    }
+
+    #[test]
+    fn late_input_size_overrides_the_run_begin_declaration() {
+        // A streaming run opens before its input exists (RunBegin N=0)
+        // and declares N once the stream finishes.
+        let events = vec![
+            TraceEvent::RunBegin {
+                substrate: "tape".into(),
+                input_len: 0,
+            },
+            TraceEvent::InputSize { input_len: 48 },
+        ];
+        assert_eq!(replay(&events).input_len, 48);
     }
 
     #[test]
