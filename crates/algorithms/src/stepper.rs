@@ -123,7 +123,13 @@ pub struct FingerprintStepper<R: Rng> {
     rng: R,
     params: Option<FingerprintParams>,
     state: FpState,
+    backward_block: usize,
 }
+
+/// Default slice length of the backward block scan: big enough to
+/// amortize per-call overhead, small enough that one slice is a few
+/// cache lines of tape symbols.
+pub const DEFAULT_BACKWARD_BLOCK: usize = 512;
 
 impl<R: Rng> FingerprintStepper<R> {
     /// A stepper drawing randomness from `rng`, tracing to the ambient
@@ -149,7 +155,17 @@ impl<R: Rng> FingerprintStepper<R> {
                 n_max: 0,
                 cur: 0,
             },
+            backward_block: DEFAULT_BACKWARD_BLOCK,
         }
+    }
+
+    /// Override the backward-scan slice length (`1` = the per-cell
+    /// path). Any value yields bit-for-bit the same verdict, usage,
+    /// trace stream, *and* budget consumption — the parity tests pin
+    /// this — so the knob exists for those tests and for benchmarks.
+    pub fn set_backward_block(&mut self, block: usize) {
+        assert!(block > 0, "block length must be positive");
+        self.backward_block = block;
     }
 
     /// The sampled parameters; `None` until [`Stepper::finish`].
@@ -161,8 +177,13 @@ impl<R: Rng> FingerprintStepper<R> {
     fn feed_impl(&mut self, bytes: &[u8]) -> Result<Poll<DeciderRun>, StError> {
         match &mut self.state {
             FpState::Ingest { m2, n_max, cur } => {
-                let tape = self.machine.tape_mut(0);
-                for &sym in bytes {
+                // Validate and count in one pass over the chunk, then
+                // land the whole valid prefix on the tape as one slice
+                // write — the per-cell loop wrote exactly that prefix
+                // before erroring, so accounting is unchanged.
+                let mut bad: Option<u8> = None;
+                let mut valid = bytes.len();
+                for (i, &sym) in bytes.iter().enumerate() {
                     match sym {
                         b'#' => {
                             *m2 += 1;
@@ -171,13 +192,19 @@ impl<R: Rng> FingerprintStepper<R> {
                         }
                         b'0' | b'1' => *cur += 1,
                         other => {
-                            return Err(StError::InvalidInstance(format!(
-                                "unexpected tape symbol {:?}",
-                                other as char
-                            )))
+                            bad = Some(other);
+                            valid = i;
+                            break;
                         }
                     }
-                    tape.write_fwd(sym)?;
+                }
+                let tape = self.machine.tape_mut(0);
+                tape.write_slice_fwd(&bytes[..valid])?;
+                if let Some(other) = bad {
+                    return Err(StError::InvalidInstance(format!(
+                        "unexpected tape symbol {:?}",
+                        other as char
+                    )));
                 }
                 Ok(Poll::Pending)
             }
@@ -322,6 +349,104 @@ impl<R: Rng> FingerprintStepper<R> {
         }
         Ok(())
     }
+
+    /// Backward-scan micro-operations in bulk: read `count` symbols as
+    /// one zero-copy slice and fold them into the residue accumulators
+    /// with **word-parallel** arithmetic — up to 8 bits of a value are
+    /// absorbed per modular multiply (`e += (Σ bitⱼ·2ʲ)·pow2 mod p₁;
+    /// pow2 ·= 2ᵗᵃᵏᵉ`), which distributes over the per-bit recurrence
+    /// exactly, so residues, verdict, usage and budget consumption are
+    /// bit-for-bit those of `count` calls to
+    /// [`advance_backward`](Self::advance_backward).
+    ///
+    /// `count` must not exceed the unread symbols (the caller caps it).
+    fn advance_backward_block(&mut self, count: usize) -> Result<(), StError> {
+        let params = self
+            .params
+            .ok_or_else(|| StError::Machine("backward scan without parameters".into()))?;
+        let FpState::Backward {
+            m,
+            sum_second,
+            sum_first,
+            e,
+            pow2,
+            seen_hashes,
+        } = &mut self.state
+        else {
+            return Ok(());
+        };
+        let flush = |seen: u64, e: u64, sum_second: &mut u64, sum_first: &mut u64, m: u64| {
+            let term = pow_mod(params.x, e, params.p2);
+            if seen <= m {
+                *sum_second = add_mod(*sum_second, term, params.p2);
+            } else {
+                *sum_first = add_mod(*sum_first, term, params.p2);
+            }
+        };
+        let tape = self.machine.tape_mut(0);
+        let head_before = tape.head();
+        let tape_empty = tape.is_empty();
+        let chunk = tape.read_slice_bwd(count);
+        // Scan order is from the head leftward: the slice reversed.
+        // `finished` iff the slice reached cell 0 (or the tape is empty
+        // and the single free `None` read ends the scan).
+        let finished = chunk.len() > head_before || tape_empty;
+        // One vectorizable validation sweep up front keeps the hot bit
+        // loop below branch-free. (Unreachable through the public API:
+        // `feed` already rejects anything outside the tape alphabet.)
+        if let Some(&bad) = chunk.iter().find(|&&b| b != b'#' && b != b'0' && b != b'1') {
+            return Err(StError::InvalidInstance(format!(
+                "unexpected tape symbol {:?}",
+                bad as char
+            )));
+        }
+        let mut idx = chunk.len();
+        while idx > 0 {
+            if chunk[idx - 1] == b'#' {
+                if *seen_hashes > 0 {
+                    flush(*seen_hashes, *e, sum_second, sum_first, *m);
+                }
+                *seen_hashes += 1;
+                *e = 0;
+                *pow2 = 1;
+                idx -= 1;
+            } else {
+                // The maximal run of bit symbols ending at idx, absorbed
+                // 63 backward-read bits per modular step (the most that
+                // keeps v = Σ bitⱼ·2ʲ inside u64). Folding the group
+                // left-to-right puts backward-read bit j (j = 0 at the
+                // run's right end) at weight 2^j, matching the per-cell
+                // accumulation bit for bit.
+                let start = chunk[..idx]
+                    .iter()
+                    .rposition(|&b| b == b'#')
+                    .map_or(0, |p| p + 1);
+                let run = &chunk[start..idx];
+                let mut i = run.len();
+                while i > 0 {
+                    let take = i.min(63);
+                    let mut v = 0u64;
+                    for &b in &run[i - take..i] {
+                        v = (v << 1) | u64::from(b & 1);
+                    }
+                    *e = add_mod(*e, mul_mod(v % params.p1, *pow2, params.p1), params.p1);
+                    *pow2 = mul_mod(*pow2, (1u64 << take) % params.p1, params.p1);
+                    i -= take;
+                }
+                idx = start;
+            }
+        }
+        if finished {
+            // The leftmost value has no preceding '#'; flush it.
+            if *seen_hashes > 0 {
+                flush(*seen_hashes, *e, sum_second, sum_first, *m);
+            }
+            let accepted = *sum_first == *sum_second;
+            let usage = self.machine.usage();
+            self.state = FpState::Done(DeciderRun { accepted, usage });
+        }
+        Ok(())
+    }
 }
 
 impl<R: Rng> Stepper for FingerprintStepper<R> {
@@ -339,10 +464,27 @@ impl<R: Rng> Stepper for FingerprintStepper<R> {
                 FpState::Ingest { .. } => return Ok(StepOutcome::NeedInput),
                 FpState::Done(v) => return Ok(StepOutcome::Done(v.clone())),
                 FpState::Backward { .. } => {
-                    if !budget.take() {
-                        return Ok(StepOutcome::Yielded);
+                    // The zero-copy slice read cannot roll per-cell
+                    // fault dice; faulted tapes take the per-cell path
+                    // so fault semantics stay exact.
+                    if self.backward_block == 1 || self.machine.tape(0).faults_enabled() {
+                        if !budget.take() {
+                            return Ok(StepOutcome::Yielded);
+                        }
+                        self.advance_backward()?;
+                    } else {
+                        // Unread symbols left in the scan: everything at
+                        // or left of the head (plus the single free
+                        // `None` read that ends an empty tape's scan).
+                        let tape = self.machine.tape(0);
+                        let unread = if tape.is_empty() { 1 } else { tape.head() + 1 };
+                        let want = unread.min(self.backward_block) as u64;
+                        let got = budget.take_up_to(want);
+                        if got == 0 {
+                            return Ok(StepOutcome::Yielded);
+                        }
+                        self.advance_backward_block(got as usize)?;
                     }
-                    self.advance_backward()?;
                 }
             }
         }
@@ -800,6 +942,54 @@ mod tests {
         let _ = mid.feed(b"0#0#").unwrap();
         mid.finish().unwrap();
         assert!(mid.feed(b"1").is_err());
+    }
+
+    #[test]
+    fn backward_block_scan_is_bit_for_bit_the_cell_scan() {
+        // The word-parallel block backward scan must be observationally
+        // identical to the per-cell scan: verdict, ResourceUsage, trace
+        // stream, and even the yield points under a tiny budget.
+        let mut rng = StdRng::seed_from_u64(77);
+        let insts = vec![
+            generate::yes_multiset(13, 9, &mut rng),
+            generate::no_multiset_one_bit(13, 9, &mut rng),
+            generate::random_instance(5, 17, &mut rng),
+            st_problems::Instance::parse("").unwrap(),
+            st_problems::Instance::parse("0101#0101#").unwrap(),
+        ];
+        for inst in insts {
+            let word = inst.encode();
+            let mut runs = Vec::new();
+            for block in [1usize, 2, 3, 7, 8, 64, 512] {
+                let (tracer, buf) = Tracer::in_memory();
+                let mut st = FingerprintStepper::new_traced(StdRng::seed_from_u64(1234), tracer);
+                st.set_backward_block(block);
+                let _ = st.feed(word.as_bytes()).unwrap();
+                st.finish().unwrap();
+                let mut yields = 0u64;
+                let verdict = loop {
+                    match st.step(&mut StepBudget::new(5)).unwrap() {
+                        StepOutcome::Done(v) => break v,
+                        StepOutcome::Yielded => yields += 1,
+                        StepOutcome::NeedInput => unreachable!("finished stream"),
+                    }
+                };
+                runs.push((
+                    block,
+                    verdict.accepted,
+                    verdict.usage,
+                    yields,
+                    buf.snapshot(),
+                ));
+            }
+            let (_, accepted0, usage0, yields0, trace0) = &runs[0];
+            for (block, accepted, usage, yields, trace) in &runs[1..] {
+                assert_eq!(accepted, accepted0, "verdict, block={block} word={word}");
+                assert_eq!(usage, usage0, "usage, block={block} word={word}");
+                assert_eq!(yields, yields0, "yield points, block={block} word={word}");
+                assert_eq!(trace, trace0, "trace stream, block={block} word={word}");
+            }
+        }
     }
 
     #[test]

@@ -27,7 +27,7 @@
 
 use st_bench::all_experiments;
 use st_bench::cli::{take_jobs_flag, take_path_flag};
-use st_bench::report::{save_json, save_text};
+use st_bench::report::{atomic_write, merge_json, save_json, save_text};
 use st_bench::runner::{run_experiments, select_experiments, RunOptions, TimingMode};
 
 fn usage_error(msg: &str) -> ! {
@@ -86,7 +86,21 @@ fn main() {
             || std::path::PathBuf::from("BENCH_report.json"),
             |d| d.join("BENCH_report.json"),
         );
-    if let Err(e) = save_json(&json_path, &outcome.reports) {
+    // A subset run (`report e3 e23`) merges into an existing document so
+    // it never clobbers the other registry entries; a full run (or a
+    // missing/corrupt document) rewrites it from scratch.
+    let saved = if args.is_empty() {
+        save_json(&json_path, &outcome.reports)
+    } else {
+        match std::fs::read_to_string(&json_path)
+            .ok()
+            .and_then(|doc| merge_json(&doc, &outcome.reports).ok())
+        {
+            Some(merged) => atomic_write(&json_path, merged.as_bytes()),
+            None => save_json(&json_path, &outcome.reports),
+        }
+    };
+    if let Err(e) = saved {
         eprintln!("{e}");
         std::process::exit(1);
     }

@@ -183,6 +183,12 @@ pub fn all_experiments() -> Vec<Experiment> {
             exp_durable::e22_recovery_overhead,
         ),
         e(
+            "e23",
+            "Out-of-core scale: block substrate at 10⁸ symbols",
+            150,
+            exp_upper::e23_out_of_core,
+        ),
+        e(
             "f2",
             "Figure 2: one NLM transition, reproduced",
             5,

@@ -1,0 +1,683 @@
+//! Block-oriented counterparts of the scan combinators and the merge
+//! sort: same machine, same accounting, slices instead of cells.
+//!
+//! The paper's external-memory model moves data in blocks/pages; the
+//! cell-at-a-time combinators in [`crate::scan`] and the
+//! [`crate::step::SortStepper`] pay per-record call overhead (an
+//! `Option` shuffle, a fault-layer check, a head-movement note) that
+//! dominates wall-clock time long before N reaches the out-of-core
+//! regime the lower bounds are about. The functions here drive the same
+//! [`Tape`]s through the zero-copy slice API
+//! ([`Tape::peek_slice`]/[`Tape::read_slice_fwd`]/
+//! [`Tape::write_slice_fwd`]), charging each sustained sweep **once per
+//! block** the way `StepBatch@1024` batches step events — while keeping
+//! every observable exactly equal to the cell-at-a-time path:
+//!
+//! * **verdicts/content** — each combinator computes the identical
+//!   function (same tie-breaking in merges, same early-exit points in
+//!   compares);
+//! * **`ResourceUsage`** — `moves`, reversal counts, and memory charges
+//!   are bit-for-bit those of the per-cell path (a bulk slice op is one
+//!   sustained sweep, which is how [`Tape`] already accounts `rewind`);
+//! * **trace stream** — the same `ScanStart`/`ScanEnd`/`PhaseBegin`/
+//!   `PhaseEnd`/`Reversal` events in the same order (per-record events
+//!   do not exist on either path; reversals are emitted by the tape
+//!   itself at direction changes).
+//!
+//! Property tests in this module and in `tests/` pin that equivalence.
+//!
+//! **Fault interaction.** The zero-copy read path cannot roll per-cell
+//! fault dice against a borrowed slice, so every entry point falls back
+//! to its per-cell twin when any involved tape has
+//! [`Tape::faults_enabled`] — fault semantics (dice order, injected
+//! corruption) are preserved exactly rather than approximately.
+//!
+//! The merge buffer is an I/O staging buffer of at most `2·block`
+//! records — the block-device transfer buffer of the model, matching
+//! the documented substitution in the crate root (the *metered* internal
+//! memory is still the per-cell path's charge; see `DESIGN.md`).
+
+use crate::machine::TapeMachine;
+use crate::meter::{bits_for, MemoryMeter};
+use crate::scan;
+use crate::sort;
+use crate::tape::Tape;
+use st_core::StError;
+use st_trace::TraceEvent;
+
+/// Default block length, in records. Large enough to amortize per-block
+/// bookkeeping, small enough that a merge staging buffer of `2·block`
+/// records stays cache-friendly.
+pub const DEFAULT_BLOCK: usize = 4096;
+
+/// Block-oriented [`scan::copy_tape`]: identical accounting and trace
+/// stream, `block`-record sweeps instead of cell moves.
+pub fn copy_tape<S: Clone>(
+    src: &mut Tape<S>,
+    dst: &mut Tape<S>,
+    meter: &MemoryMeter,
+    block: usize,
+) -> Result<(), StError> {
+    assert!(block > 0, "block length must be positive");
+    if src.faults_enabled() || dst.faults_enabled() {
+        return scan::copy_tape(src, dst, meter);
+    }
+    let tracer = scan::scan_tracer(&[src.tracer(), dst.tracer()]);
+    tracer.emit(|| TraceEvent::ScanStart {
+        op: "copy_tape".to_string(),
+    });
+    src.rewind();
+    dst.reset_for_overwrite();
+    let _buf = meter.charge(1);
+    loop {
+        let chunk = src.read_slice_fwd(block);
+        if chunk.is_empty() {
+            break;
+        }
+        dst.write_slice_fwd(chunk)?;
+    }
+    tracer.emit(|| TraceEvent::ScanEnd {
+        op: "copy_tape".to_string(),
+    });
+    Ok(())
+}
+
+/// Block-oriented [`scan::tapes_equal`]: same verdict and the same
+/// early-exit head positions (the mismatching cells are consumed, then
+/// the scan stops — exactly where the per-cell loop stops).
+pub fn tapes_equal<S: Clone + PartialEq>(
+    a: &mut Tape<S>,
+    b: &mut Tape<S>,
+    meter: &MemoryMeter,
+    block: usize,
+) -> bool {
+    assert!(block > 0, "block length must be positive");
+    if a.faults_enabled() || b.faults_enabled() {
+        return scan::tapes_equal(a, b, meter);
+    }
+    let tracer = scan::scan_tracer(&[a.tracer(), b.tracer()]);
+    tracer.emit(|| TraceEvent::ScanStart {
+        op: "tapes_equal".to_string(),
+    });
+    a.rewind();
+    b.rewind();
+    let _buf = meter.charge(2);
+    let equal = loop {
+        let ca = a.peek_slice(block);
+        let cb = b.peek_slice(block);
+        let n = ca.len().min(cb.len());
+        let mismatch = ca[..n].iter().zip(&cb[..n]).position(|(x, y)| x != y);
+        if let Some(k) = mismatch {
+            // The per-cell loop reads the k-th pair (consuming both
+            // cells) before breaking.
+            a.advance_fwd(k + 1);
+            b.advance_fwd(k + 1);
+            break false;
+        }
+        a.advance_fwd(n);
+        b.advance_fwd(n);
+        match (a.at_end(), b.at_end()) {
+            (true, true) => break true,
+            (false, false) => continue,
+            // Length mismatch: the longer tape pays one more read, just
+            // like the per-cell `(Some, None)` arm.
+            (true, false) => {
+                b.advance_fwd(1);
+                break false;
+            }
+            (false, true) => {
+                a.advance_fwd(1);
+                break false;
+            }
+        }
+    };
+    tracer.emit(|| TraceEvent::ScanEnd {
+        op: "tapes_equal".to_string(),
+    });
+    equal
+}
+
+/// Block-oriented [`scan::compare_sorted`]: `(equal, a_sorted)` with the
+/// per-cell path's exact accounting (full lockstep scan; only a length
+/// mismatch exits early).
+pub fn compare_sorted<S: Clone + Ord>(
+    a: &mut Tape<S>,
+    b: &mut Tape<S>,
+    meter: &MemoryMeter,
+    block: usize,
+) -> (bool, bool) {
+    assert!(block > 0, "block length must be positive");
+    if a.faults_enabled() || b.faults_enabled() {
+        return scan::compare_sorted(a, b, meter);
+    }
+    let tracer = scan::scan_tracer(&[a.tracer(), b.tracer()]);
+    tracer.emit(|| TraceEvent::ScanStart {
+        op: "compare_sorted".to_string(),
+    });
+    a.rewind();
+    b.rewind();
+    let _buf = meter.charge(3);
+    let mut equal = true;
+    let mut sorted = true;
+    let mut prev: Option<S> = None;
+    loop {
+        let ca = a.peek_slice(block);
+        let cb = b.peek_slice(block);
+        let n = ca.len().min(cb.len());
+        if n > 0 {
+            if equal && ca[..n] != cb[..n] {
+                equal = false;
+            }
+            if sorted {
+                if let Some(p) = &prev {
+                    if p > &ca[0] {
+                        sorted = false;
+                    }
+                }
+                if sorted && ca[..n].windows(2).any(|w| w[0] > w[1]) {
+                    sorted = false;
+                }
+            }
+            prev = Some(ca[n - 1].clone());
+        }
+        a.advance_fwd(n);
+        b.advance_fwd(n);
+        match (a.at_end(), b.at_end()) {
+            (true, true) => break,
+            (false, false) => continue,
+            (true, false) => {
+                b.advance_fwd(1);
+                equal = false;
+                break;
+            }
+            (false, true) => {
+                a.advance_fwd(1);
+                equal = false;
+                break;
+            }
+        }
+    }
+    tracer.emit(|| TraceEvent::ScanEnd {
+        op: "compare_sorted".to_string(),
+    });
+    (equal, sorted)
+}
+
+/// Block-oriented [`scan::distribute_runs`]: whole runs move as zero-copy
+/// slices.
+pub fn distribute_runs<S: Clone>(
+    src: &mut Tape<S>,
+    out1: &mut Tape<S>,
+    out2: &mut Tape<S>,
+    run_len: usize,
+    meter: &MemoryMeter,
+) -> Result<(), StError> {
+    assert!(run_len > 0, "run length must be positive");
+    if src.faults_enabled() || out1.faults_enabled() || out2.faults_enabled() {
+        return scan::distribute_runs(src, out1, out2, run_len, meter);
+    }
+    let tracer = scan::scan_tracer(&[src.tracer(), out1.tracer(), out2.tracer()]);
+    tracer.emit(|| TraceEvent::ScanStart {
+        op: "distribute_runs".to_string(),
+    });
+    src.rewind();
+    out1.reset_for_overwrite();
+    out2.reset_for_overwrite();
+    let _buf = meter.charge(1 + bits_for(src.len() as u64));
+    distribute_blocks(src, out1, out2, run_len)?;
+    tracer.emit(|| TraceEvent::ScanEnd {
+        op: "distribute_runs".to_string(),
+    });
+    Ok(())
+}
+
+/// The distribute inner loop, shared with [`merge_sort`]: `src` is
+/// already rewound, `out1`/`out2` reset.
+fn distribute_blocks<S: Clone>(
+    src: &mut Tape<S>,
+    out1: &mut Tape<S>,
+    out2: &mut Tape<S>,
+    run_len: usize,
+) -> Result<(), StError> {
+    let mut to_first = true;
+    loop {
+        let chunk = src.read_slice_fwd(run_len);
+        if chunk.is_empty() {
+            return Ok(());
+        }
+        if to_first {
+            out1.write_slice_fwd(chunk)?;
+        } else {
+            out2.write_slice_fwd(chunk)?;
+        }
+        to_first = !to_first;
+    }
+}
+
+/// Block-oriented [`scan::merge_runs`]: merges paired runs through
+/// `block`-record staging chunks, with the per-cell path's stable
+/// tie-breaking (`in1` wins ties) and accounting.
+pub fn merge_runs<S: Clone + Ord>(
+    in1: &mut Tape<S>,
+    in2: &mut Tape<S>,
+    out: &mut Tape<S>,
+    run_len: usize,
+    meter: &MemoryMeter,
+    block: usize,
+) -> Result<(), StError> {
+    assert!(run_len > 0, "run length must be positive");
+    assert!(block > 0, "block length must be positive");
+    if in1.faults_enabled() || in2.faults_enabled() || out.faults_enabled() {
+        return scan::merge_runs(in1, in2, out, run_len, meter);
+    }
+    let tracer = scan::scan_tracer(&[in1.tracer(), in2.tracer(), out.tracer()]);
+    tracer.emit(|| TraceEvent::ScanStart {
+        op: "merge_runs".to_string(),
+    });
+    in1.rewind();
+    in2.rewind();
+    out.reset_for_overwrite();
+    let _buf = meter.charge(2 + 2 * bits_for(run_len as u64));
+    merge_blocks(in1, in2, out, run_len, block)?;
+    tracer.emit(|| TraceEvent::ScanEnd {
+        op: "merge_runs".to_string(),
+    });
+    Ok(())
+}
+
+/// The merge inner loop, shared with [`merge_sort`]: inputs are already
+/// rewound, `out` reset. Pairs the `i`-th runs of `in1`/`in2` and merges
+/// each pair through staging chunks of at most `block` records per side.
+///
+/// The per-cell [`scan::merge_runs`] opens by buffering one record from
+/// `in1`, then one from `in2`, before its first write — fixing the order
+/// of the three turn-around `Reversal` events. We replay those two head
+/// movements as *carry* records up front; after them every head only
+/// moves right, so the chunked interleaving below is trace-invisible.
+fn merge_blocks<S: Clone + Ord>(
+    in1: &mut Tape<S>,
+    in2: &mut Tape<S>,
+    out: &mut Tape<S>,
+    run_len: usize,
+    block: usize,
+) -> Result<(), StError> {
+    let (len1, len2) = (in1.len(), in2.len());
+    let mut staging: Vec<S> = Vec::with_capacity(2 * block.min(run_len).max(1));
+    let mut carry1: Option<S> = (len1 > 0).then(|| {
+        let v = in1.peek_slice(1)[0].clone();
+        in1.advance_fwd(1);
+        v
+    });
+    let mut carry2: Option<S> = (len2 > 0).then(|| {
+        let v = in2.peek_slice(1)[0].clone();
+        in2.advance_fwd(1);
+        v
+    });
+    // Logical records of each input consumed (written out) so far. The
+    // carried records are *not* yet consumed even though the heads have
+    // passed them.
+    let (mut done1, mut done2) = (0usize, 0usize);
+    while done1 < len1 || done2 < len2 {
+        // This pair's runs (the carry, if still pending, belongs to the
+        // current run: it is always the next unconsumed record).
+        let mut rem1 = run_len.min(len1 - done1);
+        let mut rem2 = run_len.min(len2 - done2);
+        // Two-pointer merge of the run pair, one staging chunk at a
+        // time. Only the side whose *chunk* ran out stalls; the side
+        // whose *run* ran out is drained below.
+        while rem1 > 0 && rem2 > 0 {
+            let avail1 = rem1 - usize::from(carry1.is_some());
+            let avail2 = rem2 - usize::from(carry2.is_some());
+            let ca = in1.peek_slice(avail1.min(block));
+            let cb = in2.peek_slice(avail2.min(block));
+            staging.clear();
+            let (mut i, mut j) = (0usize, 0usize);
+            let (had1, had2) = (carry1.is_some(), carry2.is_some());
+            // Settle the pending carries first so the hot two-pointer
+            // loop below is carry-free. Runs are not assumed sorted —
+            // every comparison is the per-cell front compare, ties to
+            // in1 (`x <= y`).
+            loop {
+                match (&carry1, &carry2) {
+                    (Some(x), Some(y)) => {
+                        if x <= y {
+                            staging.push(carry1.take().expect("checked"));
+                        } else {
+                            staging.push(carry2.take().expect("checked"));
+                        }
+                    }
+                    (Some(x), None) => {
+                        while j < cb.len() && cb[j] < *x {
+                            staging.push(cb[j].clone());
+                            j += 1;
+                        }
+                        if j < cb.len() {
+                            staging.push(carry1.take().expect("checked"));
+                        } else {
+                            break;
+                        }
+                    }
+                    (None, Some(y)) => {
+                        while i < ca.len() && ca[i] <= *y {
+                            staging.push(ca[i].clone());
+                            i += 1;
+                        }
+                        if i < ca.len() {
+                            staging.push(carry2.take().expect("checked"));
+                        } else {
+                            break;
+                        }
+                    }
+                    (None, None) => break,
+                }
+            }
+            out.write_slice_fwd(&staging)?;
+            // The hot two-pointer interleave streams straight into `out`
+            // with no staging round-trip.
+            let (di, dj) = out.write_merged_runs_fwd(&ca[i..], &cb[j..])?;
+            i += di;
+            j += dj;
+            let took1 = i + usize::from(had1 && carry1.is_none());
+            let took2 = j + usize::from(had2 && carry2.is_none());
+            in1.advance_fwd(i);
+            in2.advance_fwd(j);
+            rem1 -= took1;
+            rem2 -= took2;
+            done1 += took1;
+            done2 += took2;
+        }
+        // Drain whichever run still has records: the pending carry as a
+        // staged single, the rest zero-copy.
+        while rem1 > 0 {
+            if let Some(c) = carry1.take() {
+                staging.clear();
+                staging.push(c);
+                out.write_slice_fwd(&staging)?;
+                rem1 -= 1;
+                done1 += 1;
+                continue;
+            }
+            let ca = in1.peek_slice(rem1.min(block));
+            out.write_slice_fwd(ca)?;
+            let n = ca.len();
+            in1.advance_fwd(n);
+            rem1 -= n;
+            done1 += n;
+        }
+        while rem2 > 0 {
+            if let Some(c) = carry2.take() {
+                staging.clear();
+                staging.push(c);
+                out.write_slice_fwd(&staging)?;
+                rem2 -= 1;
+                done2 += 1;
+                continue;
+            }
+            let cb = in2.peek_slice(rem2.min(block));
+            out.write_slice_fwd(cb)?;
+            let n = cb.len();
+            in2.advance_fwd(n);
+            rem2 -= n;
+            done2 += n;
+        }
+        // Refill the carries for the next pair, in the per-cell order.
+        if carry1.is_none() && done1 < len1 {
+            carry1 = Some(in1.peek_slice(1)[0].clone());
+            in1.advance_fwd(1);
+        }
+        if carry2.is_none() && done2 < len2 {
+            carry2 = Some(in2.peek_slice(1)[0].clone());
+            in2.advance_fwd(1);
+        }
+    }
+    Ok(())
+}
+
+/// Block-oriented [`sort::merge_sort`]: the identical balanced 3-tape
+/// merge sort — same passes, same `PhaseBegin`/`ScanStart`/… event
+/// stream, same memory charges, same `12·⌈log₂ m⌉ + 12` reversal bound —
+/// moving records in `block`-sized sweeps.
+///
+/// Falls back to the cell-at-a-time [`sort::merge_sort`] when any of the
+/// three tapes has faults enabled, preserving fault-dice order exactly.
+pub fn merge_sort<S: Clone + Ord>(
+    machine: &mut TapeMachine<S>,
+    data_idx: usize,
+    scratch1_idx: usize,
+    scratch2_idx: usize,
+    block: usize,
+) -> Result<(), StError> {
+    assert!(block > 0, "block length must be positive");
+    if machine.tape(data_idx).faults_enabled()
+        || machine.tape(scratch1_idx).faults_enabled()
+        || machine.tape(scratch2_idx).faults_enabled()
+    {
+        return sort::merge_sort(machine, data_idx, scratch1_idx, scratch2_idx);
+    }
+    let m = machine.tape(data_idx).len();
+    let meter = machine.meter().clone();
+    let mut run_len = 1usize;
+    while run_len < m {
+        machine.tracer().emit(|| TraceEvent::PhaseBegin {
+            name: format!("merge pass run_len={run_len}"),
+        });
+        // Distribute, opened exactly as `SortStepper`/`scan` do.
+        let tracer = scan::scan_tracer(&[machine.tracer()]);
+        tracer.emit(|| TraceEvent::ScanStart {
+            op: "distribute_runs".to_string(),
+        });
+        let charge = {
+            let (data, s1, s2) = machine.trio_mut(data_idx, scratch1_idx, scratch2_idx);
+            data.rewind();
+            s1.reset_for_overwrite();
+            s2.reset_for_overwrite();
+            let charge = meter.charge(1 + bits_for(data.len() as u64));
+            distribute_blocks(data, s1, s2, run_len)?;
+            charge
+        };
+        tracer.emit(|| TraceEvent::ScanEnd {
+            op: "distribute_runs".to_string(),
+        });
+        // The stepper releases the scan's working memory after ScanEnd.
+        drop(charge);
+        // Merge back.
+        tracer.emit(|| TraceEvent::ScanStart {
+            op: "merge_runs".to_string(),
+        });
+        let charge = {
+            let (in1, in2, out) = machine.trio_mut(scratch1_idx, scratch2_idx, data_idx);
+            in1.rewind();
+            in2.rewind();
+            out.reset_for_overwrite();
+            let charge = meter.charge(2 + 2 * bits_for(run_len as u64));
+            merge_blocks(in1, in2, out, run_len, block)?;
+            charge
+        };
+        tracer.emit(|| TraceEvent::ScanEnd {
+            op: "merge_runs".to_string(),
+        });
+        drop(charge);
+        machine.tracer().emit(|| TraceEvent::PhaseEnd {
+            name: format!("merge pass run_len={run_len}"),
+        });
+        run_len = run_len.saturating_mul(2);
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault::FaultPlan;
+
+    fn tape(items: &[i32]) -> Tape<i32> {
+        Tape::from_items("t", items.to_vec())
+    }
+
+    fn usage_tuple<S: Clone>(t: &Tape<S>) -> (u64, u64, usize, Vec<S>) {
+        (t.reversals(), t.moves(), t.head(), t.snapshot())
+    }
+
+    #[test]
+    fn block_copy_matches_cell_copy_exactly() {
+        for block in [1usize, 3, 64, 4096] {
+            let meter_a = MemoryMeter::new();
+            let meter_b = MemoryMeter::new();
+            let items: Vec<i32> = (0..257).rev().collect();
+            let mut src_a = tape(&items);
+            let mut dst_a: Tape<i32> = Tape::new("d");
+            scan::copy_tape(&mut src_a, &mut dst_a, &meter_a).unwrap();
+            let mut src_b = tape(&items);
+            let mut dst_b: Tape<i32> = Tape::new("d");
+            copy_tape(&mut src_b, &mut dst_b, &meter_b, block).unwrap();
+            assert_eq!(usage_tuple(&src_a), usage_tuple(&src_b), "block={block}");
+            assert_eq!(usage_tuple(&dst_a), usage_tuple(&dst_b), "block={block}");
+            assert_eq!(meter_a.high_water_bits(), meter_b.high_water_bits());
+        }
+    }
+
+    #[test]
+    fn block_equality_matches_cell_equality_on_all_shapes() {
+        let cases: Vec<(Vec<i32>, Vec<i32>)> = vec![
+            (vec![], vec![]),
+            (vec![1], vec![]),
+            (vec![], vec![1]),
+            ((0..100).collect(), (0..100).collect()),
+            ((0..100).collect(), (0..99).collect()),
+            ((0..99).collect(), (0..100).collect()),
+            ((0..100).collect(), {
+                let mut v: Vec<i32> = (0..100).collect();
+                v[37] = -1;
+                v
+            }),
+            (vec![5; 7], vec![5; 7]),
+        ];
+        for (xs, ys) in cases {
+            for block in [1usize, 2, 33, 4096] {
+                let meter = MemoryMeter::new();
+                let (mut a1, mut b1) = (tape(&xs), tape(&ys));
+                let v_cell = scan::tapes_equal(&mut a1, &mut b1, &meter);
+                let (mut a2, mut b2) = (tape(&xs), tape(&ys));
+                let v_block = tapes_equal(&mut a2, &mut b2, &meter, block);
+                assert_eq!(v_cell, v_block, "verdict xs={xs:?} ys={ys:?}");
+                assert_eq!(
+                    usage_tuple(&a1),
+                    usage_tuple(&a2),
+                    "a accounting, block={block} xs={xs:?} ys={ys:?}"
+                );
+                assert_eq!(usage_tuple(&b1), usage_tuple(&b2), "b accounting");
+            }
+        }
+    }
+
+    #[test]
+    fn block_compare_sorted_matches_cell_compare() {
+        let cases: Vec<(Vec<i32>, Vec<i32>)> = vec![
+            (vec![], vec![]),
+            ((0..64).collect(), (0..64).collect()),
+            (vec![2, 1, 3], vec![2, 1, 3]),
+            (vec![1, 2, 3], vec![1, 9, 3]),
+            (vec![1, 2], vec![1, 2, 3]),
+            (vec![1, 2, 3, 4], vec![1, 2]),
+            (vec![3, 3, 3], vec![3, 3, 3]),
+        ];
+        for (xs, ys) in cases {
+            for block in [1usize, 2, 5, 4096] {
+                let meter = MemoryMeter::new();
+                let (mut a1, mut b1) = (tape(&xs), tape(&ys));
+                let v_cell = scan::compare_sorted(&mut a1, &mut b1, &meter);
+                let (mut a2, mut b2) = (tape(&xs), tape(&ys));
+                let v_block = compare_sorted(&mut a2, &mut b2, &meter, block);
+                assert_eq!(v_cell, v_block, "flags xs={xs:?} ys={ys:?} block={block}");
+                assert_eq!(usage_tuple(&a1), usage_tuple(&a2), "a accounting");
+                assert_eq!(usage_tuple(&b1), usage_tuple(&b2), "b accounting");
+            }
+        }
+    }
+
+    #[test]
+    fn block_distribute_and_merge_match_cell_versions() {
+        let items: Vec<i32> = (0..123).map(|i| (i * 37) % 100).collect();
+        for run_len in [1usize, 2, 7, 64, 200] {
+            for block in [1usize, 3, 4096] {
+                let meter = MemoryMeter::new();
+                let mut src1 = tape(&items);
+                let (mut o11, mut o12): (Tape<i32>, Tape<i32>) = (Tape::new("o1"), Tape::new("o2"));
+                scan::distribute_runs(&mut src1, &mut o11, &mut o12, run_len, &meter).unwrap();
+                let mut src2 = tape(&items);
+                let (mut o21, mut o22): (Tape<i32>, Tape<i32>) = (Tape::new("o1"), Tape::new("o2"));
+                distribute_runs(&mut src2, &mut o21, &mut o22, run_len, &meter).unwrap();
+                assert_eq!(usage_tuple(&src1), usage_tuple(&src2));
+                assert_eq!(usage_tuple(&o11), usage_tuple(&o21));
+                assert_eq!(usage_tuple(&o12), usage_tuple(&o22));
+
+                // Merge the distributed runs back (runs of run_len are
+                // sorted only for run_len=1, but merge parity holds for
+                // arbitrary content: it only compares).
+                let mut out1: Tape<i32> = Tape::new("out");
+                scan::merge_runs(&mut o11, &mut o12, &mut out1, run_len, &meter).unwrap();
+                let mut out2: Tape<i32> = Tape::new("out");
+                merge_runs(&mut o21, &mut o22, &mut out2, run_len, &meter, block).unwrap();
+                assert_eq!(
+                    usage_tuple(&out1),
+                    usage_tuple(&out2),
+                    "run_len={run_len} block={block}"
+                );
+                assert_eq!(usage_tuple(&o11), usage_tuple(&o21), "in1 accounting");
+                assert_eq!(usage_tuple(&o12), usage_tuple(&o22), "in2 accounting");
+            }
+        }
+    }
+
+    #[test]
+    fn block_sort_matches_cell_sort_on_usage_and_trace() {
+        for (n, block) in [(0usize, 16usize), (1, 16), (2, 1), (100, 7), (257, 4096)] {
+            let items: Vec<i64> = (0..n as i64).map(|i| (i * 7919) % 512).collect();
+
+            let (tr_cell, buf_cell) = st_trace::Tracer::in_memory();
+            let mut mc = TapeMachine::with_input_traced(items.clone(), n.max(1), tr_cell);
+            let s1 = mc.add_tape("s1");
+            let s2 = mc.add_tape("s2");
+            sort::merge_sort(&mut mc, 0, s1, s2).unwrap();
+            let usage_cell = mc.usage();
+
+            let (tr_blk, buf_blk) = st_trace::Tracer::in_memory();
+            let mut mb = TapeMachine::with_input_traced(items.clone(), n.max(1), tr_blk);
+            let b1 = mb.add_tape("s1");
+            let b2 = mb.add_tape("s2");
+            merge_sort(&mut mb, 0, b1, b2, block).unwrap();
+            let usage_blk = mb.usage();
+
+            let mut expect = items;
+            expect.sort();
+            assert_eq!(mb.tape(0).snapshot(), expect, "n={n} block={block}");
+            assert_eq!(usage_cell, usage_blk, "ResourceUsage n={n} block={block}");
+            assert_eq!(
+                buf_cell.snapshot(),
+                buf_blk.snapshot(),
+                "trace stream n={n} block={block}"
+            );
+        }
+    }
+
+    #[test]
+    fn faulty_tapes_fall_back_to_the_cell_path() {
+        let plan = FaultPlan::uniform(17, 0.3);
+        let items: Vec<i32> = (0..50).collect();
+        let meter = MemoryMeter::new();
+        let mut src_cell = tape(&items);
+        let mut dst_cell: Tape<i32> = Tape::new("d");
+        src_cell.enable_faults(&plan);
+        scan::copy_tape(&mut src_cell, &mut dst_cell, &meter).unwrap();
+        let mut src_blk = tape(&items);
+        let mut dst_blk: Tape<i32> = Tape::new("d");
+        src_blk.enable_faults(&plan);
+        copy_tape(&mut src_blk, &mut dst_blk, &meter, 64).unwrap();
+        assert_eq!(
+            dst_cell.snapshot(),
+            dst_blk.snapshot(),
+            "fault dice must roll identically through the fallback"
+        );
+        assert_eq!(src_cell.fault_stats(), src_blk.fault_stats());
+    }
+}

@@ -63,17 +63,28 @@ impl DiskModel {
     /// cell moved over is sequential transfer (we use head movements,
     /// i.e. `usage.steps`, as the transfer volume when available, else
     /// the cells written).
+    ///
+    /// Counts are full `u64`: a billion-cell run must price a billion
+    /// cells, so the per-unit cost is scaled in 128-bit nanoseconds and
+    /// saturates at `Duration::from_nanos(u64::MAX)` (≈ 584 years)
+    /// instead of wrapping through a `u32` cast.
     #[must_use]
     pub fn price(&self, usage: &ResourceUsage) -> DiskCost {
         let seeks = usage.total_reversals() + usage.external_tapes as u64; // + initial positioning
         let volume = usage.steps.max(usage.external_cells);
         DiskCost {
-            seek_time: self.seek.saturating_mul(seeks as u32),
-            transfer_time: self.transfer_per_cell.saturating_mul(volume as u32),
+            seek_time: scale_duration(self.seek, seeks),
+            transfer_time: scale_duration(self.transfer_per_cell, volume),
             seeks,
             cells: volume,
         }
     }
+}
+
+/// `unit × count` in 128-bit nanoseconds, saturating at `u64::MAX` ns.
+fn scale_duration(unit: Duration, count: u64) -> Duration {
+    let nanos = unit.as_nanos().saturating_mul(u128::from(count));
+    Duration::from_nanos(u64::try_from(nanos).unwrap_or(u64::MAX))
 }
 
 /// The priced breakdown of one run.
@@ -162,6 +173,40 @@ mod tests {
         let cost = tape.price(&usage(20, 1_000_000_000));
         assert!(cost.seek_bound());
         assert!(cost.total() >= Duration::from_secs(100));
+    }
+
+    #[test]
+    fn transfer_cost_is_monotone_across_the_u32_boundary() {
+        // Regression: the old `volume as u32` cast wrapped at 2³² cells,
+        // so a run one cell past the boundary priced cheaper than one at
+        // the boundary. Pin monotonicity and the exact scaled value.
+        let disk = DiskModel::hdd_2006();
+        let at_boundary = disk.price(&usage(0, u64::from(u32::MAX)));
+        let past_boundary = disk.price(&usage(0, u64::from(u32::MAX) + 1));
+        assert!(past_boundary.transfer_time > at_boundary.transfer_time);
+        assert_eq!(
+            past_boundary.transfer_time,
+            Duration::from_nanos(10 * (u64::from(u32::MAX) + 1))
+        );
+        // Monotone further out too: a billion-billion-cell run saturates
+        // rather than wrapping back below the boundary price.
+        let huge = disk.price(&usage(0, u64::MAX));
+        assert!(huge.transfer_time >= past_boundary.transfer_time);
+        assert_eq!(huge.transfer_time, Duration::from_nanos(u64::MAX));
+    }
+
+    #[test]
+    fn seek_cost_is_monotone_across_the_u32_boundary() {
+        // Same regression for the seek leg. At 10 ms a u32::MAX-seek run
+        // still fits u64 nanos, so the boundary must price strictly
+        // higher; 5 s tape seeks overflow u64 nanos entirely and must
+        // saturate rather than wrap.
+        let disk = DiskModel::hdd_2006();
+        let a = disk.price(&usage(u64::from(u32::MAX), 0));
+        let b = disk.price(&usage(u64::from(u32::MAX) + 1, 0));
+        assert!(b.seek_time > a.seek_time);
+        let sat = DiskModel::tape_library().price(&usage(u64::MAX - 1, 0));
+        assert_eq!(sat.seek_time, Duration::from_nanos(u64::MAX));
     }
 
     #[test]

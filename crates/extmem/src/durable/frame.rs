@@ -187,6 +187,16 @@ macro_rules! impl_durable_int {
 }
 impl_durable_int!(u8, u16, u32, u64, i8, i16, i32, i64);
 
+impl DurableRecord for String {
+    fn encode_record(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(self.as_bytes());
+    }
+    fn decode_record(bytes: &[u8]) -> Result<Self, StError> {
+        String::from_utf8(bytes.to_vec())
+            .map_err(|e| StError::Machine(format!("durable record: invalid UTF-8 string: {e}")))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

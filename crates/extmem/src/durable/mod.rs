@@ -25,10 +25,12 @@
 //! `st-algo::durable_sort`; experiments in `st-bench::exp_durable`; the
 //! crash-at-every-offset differential oracle in `st-conformance`.
 
+pub mod codec;
 pub mod frame;
 pub mod tape;
 pub mod wal;
 
+pub use codec::{decode_block, encode_block};
 pub use frame::{crc32, decode_frames, encode_frame, DurableRecord, Frame, FrameTag};
-pub use tape::DurableTape;
+pub use tape::{DurableBlockTape, DurableTape};
 pub use wal::{Recovery, Wal};

@@ -223,9 +223,15 @@ impl Wal {
                 // Persist exactly the prefix up to byte k, then die. The
                 // saturating_sub guards k below the current length
                 // (possible when a resumed run reuses an absolute offset
-                // already consumed by an earlier incarnation).
-                let keep = usize::try_from(k.saturating_sub(self.len)).unwrap_or(usize::MAX);
-                let keep = keep.min(bytes.len());
+                // already consumed by an earlier incarnation). In this
+                // branch `end > k`, so the gap is strictly less than
+                // `bytes.len()` and always fits a `usize` — even a
+                // 32-bit one. `map_or` keeps the clamp lossless instead
+                // of the old `unwrap_or(usize::MAX)` sentinel, which
+                // silently conflated "u64 too wide" with "keep it all".
+                let gap = k.saturating_sub(self.len);
+                debug_assert!(gap < bytes.len() as u64);
+                let keep = usize::try_from(gap).map_or(bytes.len(), |g| g.min(bytes.len()));
                 self.write_all(&bytes[..keep])?;
                 self.len += keep as u64;
                 self.crashed = true;
@@ -291,6 +297,27 @@ mod tests {
         assert_eq!(rec.discarded_bytes, 0);
         assert_eq!(wal.len(), rec.committed_bytes);
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn crash_clamp_persists_exactly_k_bytes_at_the_frame_boundary() {
+        // Pin the recovery-point clamp: killing inside the second frame
+        // must persist exactly `k` bytes — no more (torn tail leaks) and
+        // no less (committed data loss) — including the k == frame-start
+        // boundary where the kept prefix of the dying write is empty.
+        let frame_len = (super::super::frame::HEADER_LEN + 5) as u64;
+        for k in [frame_len, frame_len + 1, 2 * frame_len - 1] {
+            let path = tmp(&format!("clamp_{k}.wal"));
+            let mut wal = Wal::create(&path, Some(k)).unwrap();
+            wal.append_record(b"aaaaa").unwrap();
+            assert_eq!(wal.len(), frame_len);
+            let err = wal.append_record(b"bbbbb").unwrap_err();
+            assert!(matches!(err, StError::Crashed(_)));
+            assert!(wal.has_crashed());
+            assert_eq!(wal.len(), k, "persisted prefix must stop at byte {k}");
+            assert_eq!(std::fs::metadata(&path).unwrap().len(), k);
+            std::fs::remove_file(&path).ok();
+        }
     }
 
     #[test]

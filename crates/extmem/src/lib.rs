@@ -26,6 +26,12 @@
 //!   transient reads, stuck/torn writes) under the same tapes, so the
 //!   resilient upper-bound algorithms of `st-algo` can be attacked and
 //!   measured without touching the reversal accounting;
+//! * [`block`] — block-oriented counterparts of the scan combinators and
+//!   the merge sort: the same tapes and bit-for-bit the same
+//!   verdict/`ResourceUsage`/trace stream, but records move in zero-copy
+//!   slices (`Tape::{peek_slice, read_slice_fwd, write_slice_fwd}`)
+//!   instead of one cell per call — the page-granularity fast path that
+//!   reaches out-of-core N;
 //! * [`durable`] — file-backed tapes with checksummed block frames and a
 //!   write-ahead journal whose commit records are atomic recovery points,
 //!   plus deterministic crash injection ("kill after the k-th journaled
@@ -44,6 +50,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod block;
 pub mod disk;
 pub mod durable;
 pub mod fault;
@@ -54,7 +61,7 @@ pub mod sort;
 pub mod step;
 pub mod tape;
 
-pub use durable::{DurableRecord, DurableTape, Recovery, Wal};
+pub use durable::{DurableBlockTape, DurableRecord, DurableTape, Recovery, Wal};
 pub use fault::{Corrupt, FaultPlan, FaultStats};
 pub use machine::TapeMachine;
 pub use meter::{MemoryCharge, MemoryMeter};

@@ -101,6 +101,11 @@ pub fn multiway_merge_sort<S: Clone + Ord>(
         tracer.emit(|| TraceEvent::PhaseEnd {
             name: format!("{k}-way pass run_len={run_len}"),
         });
+        // Saturating by design: on a 32-bit usize the final pass of a
+        // near-usize::MAX-record sort would overflow `run_len * k`;
+        // saturation pins run_len at usize::MAX ≥ m so the `while
+        // run_len < m` guard still terminates (pinned by the
+        // `run_len_growth_terminates_under_saturation` test).
         run_len = run_len.saturating_mul(k);
     }
     Ok(())
@@ -355,6 +360,30 @@ mod proptests {
             let (_, usage) = sort_with_usage(items, m).unwrap();
             let logm = (m as f64).log2().ceil() as u64;
             prop_assert!(usage.total_reversals() <= 12 * logm + 12);
+        }
+    }
+
+    #[test]
+    fn run_len_growth_terminates_under_saturation() {
+        // The width-narrowing audit for sort.rs:104 / step.rs: the pass
+        // loop grows run_len by `saturating_mul(k)` against `run_len <
+        // m`. Walk the exact growth sequence for worst-case m on both
+        // 32- and 64-bit-shaped bounds and prove it reaches a fixpoint
+        // ≥ m in ≤ ⌈log_k m⌉ + 1 steps — i.e. saturation can never make
+        // the `while run_len < m` loop spin.
+        for m in [usize::MAX, usize::MAX - 1, u32::MAX as usize] {
+            for k in [2usize, 3, 5] {
+                let mut run_len = 1usize;
+                let mut passes = 0u32;
+                while run_len < m {
+                    let next = run_len.saturating_mul(k);
+                    assert!(next > run_len, "growth stalled at {run_len} (k={k})");
+                    run_len = next;
+                    passes += 1;
+                    assert!(passes <= usize::BITS + 1, "pass loop failed to terminate");
+                }
+                assert!(run_len >= m);
+            }
         }
     }
 }

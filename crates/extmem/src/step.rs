@@ -50,6 +50,16 @@ impl StepBudget {
         true
     }
 
+    /// Consume up to `max` units; returns how many were actually taken
+    /// (0 when the budget is exhausted). The block-oriented steppers use
+    /// this to charge a whole slice of micro-operations at once while
+    /// keeping yield points exactly where the per-cell loop would stop.
+    pub fn take_up_to(&mut self, max: u64) -> u64 {
+        let n = self.remaining.min(max);
+        self.remaining -= n;
+        n
+    }
+
     /// Units left.
     #[must_use]
     pub fn remaining(&self) -> u64 {
@@ -347,7 +357,11 @@ impl<S: Clone + Ord> SortStepper<S> {
                             machine.tracer().emit(|| TraceEvent::PhaseEnd {
                                 name: format!("merge pass run_len={run_len}"),
                             });
-                            self.run_len *= 2;
+                            // Saturating like sort.rs: once run_len
+                            // covers the data the NextPass check stops
+                            // the loop, and on 32-bit usize the last
+                            // doubling near usize::MAX must not wrap.
+                            self.run_len = self.run_len.saturating_mul(2);
                             self.phase = Phase::NextPass;
                         } else {
                             left1 = if a.is_some() { run_len } else { 0 };

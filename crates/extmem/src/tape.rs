@@ -293,6 +293,165 @@ impl<S: Clone> Tape<S> {
         Ok(())
     }
 
+    /// Zero-copy block view of up to `max` cells from the head forward.
+    /// Charges nothing and does not move; pair with [`Tape::advance_fwd`]
+    /// to consume what was actually used. Bypasses the fault layer, so
+    /// block-oriented callers must fall back to the per-cell API when
+    /// [`Tape::faults_enabled`] — per-cell fault dice cannot be rolled
+    /// against a borrowed slice.
+    #[must_use]
+    pub fn peek_slice(&self, max: usize) -> &[S] {
+        let lo = self.head.min(self.cells.len());
+        let hi = self.head.saturating_add(max).min(self.cells.len());
+        &self.cells[lo..hi]
+    }
+
+    /// Consume `n` cells previously seen via [`Tape::peek_slice`]: one
+    /// sustained rightward sweep, so the accounting (moves, reversals,
+    /// trace events) is identical to `n` single [`Tape::read_fwd`] calls.
+    ///
+    /// # Panics
+    /// If `n` would carry the head past end-of-data (a real head cannot
+    /// consume blank cells).
+    pub fn advance_fwd(&mut self, n: usize) {
+        assert!(
+            self.head.saturating_add(n) <= self.cells.len(),
+            "tape '{}': advance_fwd({n}) from {} beyond end-of-data {}",
+            self.name,
+            self.head,
+            self.cells.len()
+        );
+        self.note_move(Dir::Right, n as u64);
+        self.head += n;
+    }
+
+    /// Block forward read: [`Tape::peek_slice`] + [`Tape::advance_fwd`]
+    /// over the full returned length in one call.
+    ///
+    /// # Panics
+    /// If the fault layer is enabled (see [`Tape::peek_slice`]).
+    pub fn read_slice_fwd(&mut self, max: usize) -> &[S] {
+        assert!(
+            self.faults.is_none(),
+            "tape '{}': block reads bypass the fault layer; use read_fwd",
+            self.name
+        );
+        let lo = self.head.min(self.cells.len());
+        let hi = self.head.saturating_add(max).min(self.cells.len());
+        self.note_move(Dir::Right, (hi - lo) as u64);
+        self.head = hi;
+        &self.cells[lo..hi]
+    }
+
+    /// Block backward read: up to `max` cells ending at the head,
+    /// returned in **tape order** (iterate `.rev()` for scan order). The
+    /// head and accounting end exactly where `max` single
+    /// [`Tape::read_bwd`] calls would leave them: on cell 0 the last
+    /// read does not move, so a scan that reaches the left end charges
+    /// one move fewer than its cell count. Empty when the head is on
+    /// blank.
+    ///
+    /// # Panics
+    /// If the fault layer is enabled (see [`Tape::peek_slice`]).
+    pub fn read_slice_bwd(&mut self, max: usize) -> &[S] {
+        assert!(
+            self.faults.is_none(),
+            "tape '{}': block reads bypass the fault layer; use read_bwd",
+            self.name
+        );
+        if self.head >= self.cells.len() || max == 0 {
+            return &[];
+        }
+        let take = max.min(self.head + 1);
+        let lo = self.head + 1 - take;
+        let moved = if lo == 0 { take - 1 } else { take };
+        self.note_move(Dir::Left, moved as u64);
+        self.head -= moved;
+        &self.cells[lo..lo + take]
+    }
+
+    /// Block forward write: `items` land from the head rightward in one
+    /// sustained sweep (overwriting, then appending once past the old
+    /// end), with accounting identical to per-item [`Tape::write_fwd`]
+    /// calls. With the fault layer enabled this degrades internally to
+    /// the per-cell path so the fault dice are rolled in the same order.
+    pub fn write_slice_fwd(&mut self, items: &[S]) -> Result<(), StError> {
+        if self.faults.is_some() {
+            for s in items {
+                self.write_fwd(s.clone())?;
+            }
+            return Ok(());
+        }
+        if self.head > self.cells.len() {
+            return Err(StError::Machine(format!(
+                "tape '{}': write at {} beyond end-of-data {}",
+                self.name,
+                self.head,
+                self.cells.len()
+            )));
+        }
+        let overwrite = (self.cells.len() - self.head).min(items.len());
+        self.cells[self.head..self.head + overwrite].clone_from_slice(&items[..overwrite]);
+        self.cells.extend_from_slice(&items[overwrite..]);
+        self.note_move(Dir::Right, items.len() as u64);
+        self.head += items.len();
+        Ok(())
+    }
+
+    /// Two-pointer merge of `a` and `b` written straight onto the tape
+    /// (no staging round-trip), stopping when either slice is exhausted.
+    /// Ties go to `a`. Returns how many records were taken from each
+    /// slice. Accounting is identical to a [`Self::write_slice_fwd`] of
+    /// the same records: one sustained rightward move of `i + j` cells.
+    ///
+    /// Only for the fault-free fast path — callers must fall back to
+    /// per-cell writes under fault injection (the block combinators
+    /// already do, one level up).
+    pub(crate) fn write_merged_runs_fwd(
+        &mut self,
+        a: &[S],
+        b: &[S],
+    ) -> Result<(usize, usize), StError>
+    where
+        S: Ord,
+    {
+        debug_assert!(self.faults.is_none(), "fault-free fast path only");
+        if self.head > self.cells.len() {
+            return Err(StError::Machine(format!(
+                "tape '{}': write at {} beyond end-of-data {}",
+                self.name,
+                self.head,
+                self.cells.len()
+            )));
+        }
+        let (mut i, mut j) = (0usize, 0usize);
+        let mut head = self.head;
+        while head < self.cells.len() && i < a.len() && j < b.len() {
+            self.cells[head] = if a[i] <= b[j] {
+                i += 1;
+                a[i - 1].clone()
+            } else {
+                j += 1;
+                b[j - 1].clone()
+            };
+            head += 1;
+        }
+        if head == self.cells.len() {
+            while i < a.len() && j < b.len() {
+                self.cells.push(if a[i] <= b[j] {
+                    i += 1;
+                    a[i - 1].clone()
+                } else {
+                    j += 1;
+                    b[j - 1].clone()
+                });
+            }
+        }
+        self.note_move(Dir::Right, (i + j) as u64);
+        self.head += i + j;
+        Ok((i, j))
+    }
+
     /// Sweep the head to cell 0 in one sustained leftward move: at most
     /// one reversal regardless of distance.
     pub fn rewind(&mut self) {
@@ -515,6 +674,121 @@ mod tests {
         assert_eq!(t.read_bwd(), Some(5));
         assert_eq!(t.read_bwd(), Some(5));
         assert!(t.at_start());
+    }
+
+    #[test]
+    fn slice_reads_account_exactly_like_cell_reads() {
+        let items: Vec<u32> = (0..1000).collect();
+        let mut cell = Tape::from_items("t", items.clone());
+        let mut block = Tape::from_items("t", items.clone());
+        // Forward: full scan, then turn around.
+        let mut seen_cell = Vec::new();
+        while let Some(x) = cell.read_fwd() {
+            seen_cell.push(x);
+        }
+        let mut seen_block = Vec::new();
+        loop {
+            let chunk = block.read_slice_fwd(64);
+            if chunk.is_empty() {
+                break;
+            }
+            seen_block.extend_from_slice(chunk);
+        }
+        assert_eq!(seen_cell, seen_block);
+        assert_eq!(cell.moves(), block.moves());
+        assert_eq!(cell.reversals(), block.reversals());
+        assert_eq!(cell.head(), block.head());
+
+        // Backward from the last cell down to cell 0 (read_bwd parks
+        // there), in ragged chunk sizes.
+        for t in [&mut cell, &mut block] {
+            t.move_left().unwrap();
+        }
+        let mut seen_cell = Vec::new();
+        loop {
+            let at_start = cell.at_start();
+            seen_cell.push(cell.read_bwd().unwrap());
+            if at_start {
+                break;
+            }
+        }
+        let mut seen_block = Vec::new();
+        for chunk_len in [7usize, 64, 1, 13, usize::MAX] {
+            let chunk = block.read_slice_bwd(chunk_len);
+            seen_block.extend(chunk.iter().rev().cloned());
+        }
+        assert_eq!(seen_cell, seen_block);
+        assert_eq!(cell.moves(), block.moves());
+        assert_eq!(cell.reversals(), block.reversals());
+        assert_eq!(cell.head(), block.head());
+    }
+
+    #[test]
+    fn slice_writes_account_exactly_like_cell_writes() {
+        let mut cell: Tape<u16> = Tape::from_items("t", vec![9; 10]);
+        let mut block: Tape<u16> = Tape::from_items("t", vec![9; 10]);
+        // Overwrite the prefix then extend past the end in one sweep.
+        let items: Vec<u16> = (0..50).collect();
+        for &x in &items {
+            cell.write_fwd(x).unwrap();
+        }
+        block.write_slice_fwd(&items).unwrap();
+        assert_eq!(cell.snapshot(), block.snapshot());
+        assert_eq!(cell.moves(), block.moves());
+        assert_eq!(cell.reversals(), block.reversals());
+        assert_eq!(cell.head(), block.head());
+        // Writing left after a rewind then re-sweeping keeps parity.
+        for t in [&mut cell, &mut block] {
+            t.rewind();
+        }
+        for &x in &items[..5] {
+            cell.write_fwd(x).unwrap();
+        }
+        block.write_slice_fwd(&items[..5]).unwrap();
+        assert_eq!(cell.moves(), block.moves());
+        assert_eq!(cell.reversals(), block.reversals());
+    }
+
+    #[test]
+    fn slice_write_under_faults_matches_cell_writes() {
+        let plan = FaultPlan::uniform(21, 0.4);
+        let mut cell: Tape<u8> = Tape::new("t");
+        let mut block: Tape<u8> = Tape::new("t");
+        cell.enable_faults(&plan);
+        block.enable_faults(&plan);
+        let items: Vec<u8> = (0..100).collect();
+        for &x in &items {
+            cell.write_fwd(x).unwrap();
+        }
+        block.write_slice_fwd(&items).unwrap();
+        assert_eq!(
+            cell.snapshot(),
+            block.snapshot(),
+            "fault dice must be rolled in per-cell order"
+        );
+        assert_eq!(cell.fault_stats(), block.fault_stats());
+        assert_eq!(cell.moves(), block.moves());
+    }
+
+    #[test]
+    fn peek_slice_and_advance_support_early_exit() {
+        let mut t = Tape::from_items("t", vec![1u8, 2, 3, 4, 5]);
+        let view = t.peek_slice(usize::MAX);
+        assert_eq!(view, [1, 2, 3, 4, 5]);
+        assert_eq!(t.moves(), 0, "peek charges nothing");
+        t.advance_fwd(2);
+        assert_eq!(t.moves(), 2);
+        assert_eq!(t.peek_slice(2), [3, 4]);
+        assert_eq!(t.read_slice_fwd(usize::MAX), [3, 4, 5]);
+        assert!(t.at_end());
+        assert_eq!(t.read_slice_fwd(4), &[] as &[u8]);
+    }
+
+    #[test]
+    #[should_panic(expected = "beyond end-of-data")]
+    fn advance_past_end_panics() {
+        let mut t = Tape::from_items("t", vec![1u8]);
+        t.advance_fwd(2);
     }
 
     #[test]

@@ -110,20 +110,39 @@ fn put_u64(out: &mut Vec<u8>, v: u64) {
     out.extend_from_slice(&v.to_le_bytes());
 }
 
-fn put_bytes(out: &mut Vec<u8>, b: &[u8]) {
-    let len = u32::try_from(b.len()).expect("blob over 4 GiB");
+fn put_bytes(out: &mut Vec<u8>, b: &[u8]) -> io::Result<()> {
+    // A blob that cannot fit a frame body must fail the encode, not
+    // panic the server: tenants control feed sizes.
+    if b.len() > MAX_FRAME as usize {
+        return Err(oversize_frame());
+    }
+    let len = u32::try_from(b.len()).map_err(|_| oversize_frame())?;
     out.extend_from_slice(&len.to_le_bytes());
     out.extend_from_slice(b);
+    Ok(())
 }
 
-fn put_str(out: &mut Vec<u8>, s: &str) {
-    put_bytes(out, s.as_bytes());
+fn put_str(out: &mut Vec<u8>, s: &str) -> io::Result<()> {
+    put_bytes(out, s.as_bytes())
 }
 
-fn put_signed_bill(out: &mut Vec<u8>, sb: &SignedBill) {
-    put_str(out, &sb.bill.tenant);
+/// The symmetric encode-side cap: [`read_frame`] refuses bodies over
+/// [`MAX_FRAME`], so producing one would be an unsendable frame.
+fn check_frame_len(out: Vec<u8>) -> io::Result<Vec<u8>> {
+    if out.len() > MAX_FRAME as usize {
+        return Err(oversize_frame());
+    }
+    Ok(out)
+}
+
+fn oversize_frame() -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidInput, "frame body over MAX_FRAME")
+}
+
+fn put_signed_bill(out: &mut Vec<u8>, sb: &SignedBill) -> io::Result<()> {
+    put_str(out, &sb.bill.tenant)?;
     put_u64(out, sb.bill.session);
-    put_str(out, &sb.bill.decider);
+    put_str(out, &sb.bill.decider)?;
     put_u64(out, sb.bill.input_len);
     put_u64(out, sb.bill.reversals);
     put_u64(out, sb.bill.internal_bits);
@@ -134,6 +153,7 @@ fn put_signed_bill(out: &mut Vec<u8>, sb: &SignedBill) {
         Some(true) => 1,
     });
     put_u64(out, sb.mac);
+    Ok(())
 }
 
 /// A cursor over a decoded body.
@@ -215,9 +235,10 @@ impl<'a> Rd<'a> {
 }
 
 impl Request {
-    /// Serialize to a frame body.
-    #[must_use]
-    pub fn encode(&self) -> Vec<u8> {
+    /// Serialize to a frame body. Fails with `InvalidInput` when a blob
+    /// or the finished body would exceed [`MAX_FRAME`] — the same cap
+    /// [`read_frame`] enforces on the receive side.
+    pub fn encode(&self) -> io::Result<Vec<u8>> {
         let mut out = Vec::new();
         match self {
             Request::Open {
@@ -229,15 +250,15 @@ impl Request {
             } => {
                 out.push(1);
                 put_u64(&mut out, *session);
-                put_str(&mut out, tenant);
-                put_str(&mut out, decider);
+                put_str(&mut out, tenant)?;
+                put_str(&mut out, decider)?;
                 put_u64(&mut out, *m);
                 put_u64(&mut out, *n);
             }
             Request::Feed { session, bytes } => {
                 out.push(2);
                 put_u64(&mut out, *session);
-                put_bytes(&mut out, bytes);
+                put_bytes(&mut out, bytes)?;
             }
             Request::Finish { session } => {
                 out.push(3);
@@ -253,7 +274,7 @@ impl Request {
                 put_u64(&mut out, *session);
             }
         }
-        out
+        check_frame_len(out)
     }
 
     /// Decode a frame body.
@@ -285,9 +306,9 @@ impl Request {
 }
 
 impl Response {
-    /// Serialize to a frame body.
-    #[must_use]
-    pub fn encode(&self) -> Vec<u8> {
+    /// Serialize to a frame body. Fails with `InvalidInput` when the
+    /// body would exceed [`MAX_FRAME`] (see [`Request::encode`]).
+    pub fn encode(&self) -> io::Result<Vec<u8>> {
         let mut out = Vec::new();
         match self {
             Response::OpenOk { session } => {
@@ -297,7 +318,7 @@ impl Response {
             Response::OpenRejected { session, bill } => {
                 out.push(65);
                 put_u64(&mut out, *session);
-                put_signed_bill(&mut out, bill);
+                put_signed_bill(&mut out, bill)?;
             }
             Response::Ack { session } => {
                 out.push(66);
@@ -319,15 +340,15 @@ impl Response {
                 out.push(69);
                 put_u64(&mut out, *session);
                 out.push(u8::from(*accepted));
-                put_signed_bill(&mut out, bill);
+                put_signed_bill(&mut out, bill)?;
             }
             Response::Error { session, message } => {
                 out.push(70);
                 put_u64(&mut out, *session);
-                put_str(&mut out, message);
+                put_str(&mut out, message)?;
             }
         }
-        out
+        check_frame_len(out)
     }
 
     /// Decode a frame body.
@@ -447,7 +468,7 @@ mod tests {
             Request::Close { session: 1 },
         ];
         for req in requests {
-            assert_eq!(Request::decode(&req.encode()).unwrap(), req);
+            assert_eq!(Request::decode(&req.encode().unwrap()).unwrap(), req);
         }
     }
 
@@ -473,7 +494,7 @@ mod tests {
             },
         ];
         for resp in responses {
-            assert_eq!(Response::decode(&resp.encode()).unwrap(), resp);
+            assert_eq!(Response::decode(&resp.encode().unwrap()).unwrap(), resp);
         }
     }
 
@@ -485,7 +506,7 @@ mod tests {
             accepted: true,
             bill: sample_bill(Some(true)),
         };
-        let Response::Done { bill, .. } = Response::decode(&resp.encode()).unwrap() else {
+        let Response::Done { bill, .. } = Response::decode(&resp.encode().unwrap()).unwrap() else {
             panic!("wrong variant");
         };
         assert!(key.verify(&bill));
@@ -504,6 +525,38 @@ mod tests {
     }
 
     #[test]
+    fn encode_enforces_max_frame_at_the_exact_boundary() {
+        // Feed body = tag(1) + session(8) + blob length prefix(4) + blob.
+        const OVERHEAD: usize = 1 + 8 + 4;
+        let fits = Request::Feed {
+            session: 9,
+            bytes: vec![b'#'; MAX_FRAME as usize - OVERHEAD],
+        };
+        let body = fits.encode().unwrap();
+        assert_eq!(body.len(), MAX_FRAME as usize);
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &body).unwrap();
+        let echoed = read_frame(&mut Cursor::new(wire)).unwrap().unwrap();
+        assert_eq!(Request::decode(&echoed).unwrap(), fits);
+
+        // One byte over: the encode itself refuses, symmetrically with
+        // the read_frame cap — instead of the old 4 GiB panic path.
+        let over = Request::Feed {
+            session: 9,
+            bytes: vec![b'#'; MAX_FRAME as usize - OVERHEAD + 1],
+        };
+        let err = over.encode().unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidInput);
+
+        // An oversize message string on the response side errors too.
+        let noisy = Response::Error {
+            session: 0,
+            message: "x".repeat(MAX_FRAME as usize + 1),
+        };
+        assert!(noisy.encode().is_err());
+    }
+
+    #[test]
     fn truncated_and_oversized_frames_are_rejected() {
         let mut wire = Vec::new();
         write_frame(&mut wire, b"alpha").unwrap();
@@ -514,7 +567,7 @@ mod tests {
         assert!(read_frame(&mut Cursor::new(huge.to_vec())).is_err());
         assert!(Request::decode(&[1, 0]).is_err());
         assert!(Request::decode(&[99]).is_err());
-        let mut padded = Request::Finish { session: 4 }.encode();
+        let mut padded = Request::Finish { session: 4 }.encode().unwrap();
         padded.push(0);
         assert!(Request::decode(&padded).is_err());
     }

@@ -612,7 +612,7 @@ pub fn handle_stream<RW: Read + Write>(service: &Service, mut rw: RW) -> std::io
                 message: format!("bad frame: {e}"),
             },
         };
-        write_frame(&mut rw, &response.encode())?;
+        write_frame(&mut rw, &response.encode()?)?;
     }
     Ok(())
 }
@@ -831,7 +831,7 @@ mod tests {
             },
         ];
         for r in &requests {
-            write_frame(&mut wire, &r.encode()).unwrap();
+            write_frame(&mut wire, &r.encode().unwrap()).unwrap();
         }
         let mut responses = Vec::new();
         handle_stream(
