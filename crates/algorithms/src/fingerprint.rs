@@ -23,7 +23,7 @@
 
 use crate::stepper::{drive_to_verdict, FingerprintStepper, Stepper};
 use rand::Rng;
-use st_core::math::{add_mod, is_prime, mul_mod};
+use st_core::math::{add_mod, is_prime, mul_mod, next_prime};
 use st_core::theorems::theorem8a_k;
 use st_core::{ResourceUsage, StError};
 use st_problems::Instance;
@@ -41,6 +41,15 @@ pub struct FingerprintParams {
     pub x: u64,
 }
 
+impl FingerprintParams {
+    /// `true` iff prime sampling failed (`p1 == 0`): the run must accept
+    /// unconditionally so a yes-instance is never rejected.
+    #[must_use]
+    pub fn degenerate(&self) -> bool {
+        self.p1 == 0
+    }
+}
+
 /// The outcome of one fingerprint run.
 #[derive(Debug, Clone)]
 pub struct FingerprintRun {
@@ -49,6 +58,11 @@ pub struct FingerprintRun {
     pub accepted: bool,
     /// Sampled parameters.
     pub params: FingerprintParams,
+    /// The two polynomial-fingerprint sums `(Σ x^{eᵢ}, Σ x^{e′ᵢ}) mod p₂`
+    /// (first half, second half). The verdict is `residues.0 ==
+    /// residues.1`; the distributed combiner pins its merged residues
+    /// against these bit for bit.
+    pub residues: (u64, u64),
     /// Tape and internal-memory accounting.
     pub usage: ResourceUsage,
 }
@@ -72,6 +86,44 @@ pub(crate) fn sample_prime<R: Rng>(k: u64, tries: u32, rng: &mut R) -> Option<u6
         }
     }
     None
+}
+
+/// Sample the full Theorem 8(a) parameter tuple for an instance with `m`
+/// value pairs and maximum value length `n_max`, drawing from `rng` in
+/// **exactly** the sequence the decider does (one prime rejection walk,
+/// then one `gen_range` for `x`). This is the single source of truth
+/// shared by the batch decider, the incremental stepper, and the `st-mpc`
+/// sharded decider — same seed in, bit-identical parameters out.
+///
+/// `m == 0` fixes the degenerate-but-valid tuple `{k:2, p1:2, p2:7, x:1}`
+/// without touching `rng`; a prime-sampling failure returns a
+/// [degenerate](FingerprintParams::degenerate) tuple (`p1 == 0`) telling
+/// the caller to accept unconditionally.
+pub fn sample_params<R: Rng>(
+    m: u64,
+    n_max: u64,
+    rng: &mut R,
+) -> Result<FingerprintParams, StError> {
+    if m == 0 {
+        return Ok(FingerprintParams {
+            k: 2,
+            p1: 2,
+            p2: 7,
+            x: 1,
+        });
+    }
+    let k = theorem8a_k(m, n_max.max(1))?;
+    let Some(p1) = sample_prime(k, 4096, rng) else {
+        return Ok(FingerprintParams {
+            k,
+            p1: 0,
+            p2: 0,
+            x: 0,
+        });
+    };
+    let p2 = next_prime(3 * k);
+    let x = rng.gen_range(1..p2);
+    Ok(FingerprintParams { k, p1, p2, x })
 }
 
 /// Run the Theorem 8(a) decider on `inst` with randomness from `rng`.
@@ -106,9 +158,13 @@ pub fn decide_multiset_equality<R: Rng>(
     let params = stepper
         .params()
         .ok_or_else(|| StError::Machine("finished fingerprint run has no parameters".into()))?;
+    let residues = stepper
+        .residues()
+        .ok_or_else(|| StError::Machine("finished fingerprint run has no residues".into()))?;
     Ok(FingerprintRun {
         accepted: run.accepted,
         params,
+        residues,
         usage: run.usage,
     })
 }

@@ -50,7 +50,7 @@ pub mod sorting;
 pub mod stepper;
 
 pub use durable_sort::{durable_sort, sort_with_crashes, DurableSortRun};
-pub use fingerprint::{FingerprintParams, FingerprintRun};
+pub use fingerprint::{sample_params, FingerprintParams, FingerprintRun};
 pub use resilient::{ResilientRun, VERIFY_ROUNDS};
 pub use sortcheck::DeciderRun;
 pub use stepper::{

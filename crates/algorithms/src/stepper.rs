@@ -16,11 +16,10 @@
 //! property tests in `tests/stepper_parity.rs` pin it for the verdict
 //! and the full [`st_core::ResourceUsage`] record.
 
-use crate::fingerprint::{sample_prime, FingerprintParams};
+use crate::fingerprint::{sample_params, FingerprintParams};
 use crate::sortcheck::DeciderRun;
 use rand::Rng;
-use st_core::math::{add_mod, mul_mod, next_prime, pow_mod};
-use st_core::theorems::theorem8a_k;
+use st_core::math::{add_mod, mul_mod, pow_mod};
 use st_core::StError;
 use st_extmem::meter::bits_for;
 use st_extmem::step::{SortStepper, StepBudget, StepProgress};
@@ -122,6 +121,7 @@ pub struct FingerprintStepper<R: Rng> {
     machine: TapeMachine<u8>,
     rng: R,
     params: Option<FingerprintParams>,
+    final_residues: Option<(u64, u64)>,
     state: FpState,
     backward_block: usize,
 }
@@ -150,6 +150,7 @@ impl<R: Rng> FingerprintStepper<R> {
             machine,
             rng,
             params: None,
+            final_residues: None,
             state: FpState::Ingest {
                 m2: 0,
                 n_max: 0,
@@ -172,6 +173,14 @@ impl<R: Rng> FingerprintStepper<R> {
     #[must_use]
     pub fn params(&self) -> Option<FingerprintParams> {
         self.params
+    }
+
+    /// The final fingerprint sums `(sum_first, sum_second) mod p₂`;
+    /// `None` until the verdict is reached. A degenerate run (prime
+    /// sampling failed) reports `(0, 0)`.
+    #[must_use]
+    pub fn residues(&self) -> Option<(u64, u64)> {
+        self.final_residues
     }
 
     fn feed_impl(&mut self, bytes: &[u8]) -> Result<Poll<DeciderRun>, StError> {
@@ -231,42 +240,24 @@ impl<R: Rng> FingerprintStepper<R> {
         meter.charge_static(3 * bits_for(n_input.max(2) as u64));
         let m = m2 / 2;
 
-        // Randomness (internal memory only) — identical to the batch
-        // parameter selection in `crate::fingerprint`.
-        let params = if m == 0 {
-            FingerprintParams {
-                k: 2,
-                p1: 2,
-                p2: 7,
-                x: 1,
-            }
-        } else {
-            let k = theorem8a_k(m, n_max.max(1))?;
+        // Randomness (internal memory only) — `sample_params` is the one
+        // shared parameter-selection sequence (batch, stepper, mpc).
+        let params = sample_params(m, n_max, &mut self.rng)?;
+        if m > 0 {
             // p₁, p₂, x, e, pow2, S, S′ — seven registers of O(log k) bits.
-            meter.charge_static(7 * bits_for(6 * k));
-            let p1 = match sample_prime(k, 4096, &mut self.rng) {
-                Some(p) => p,
-                // Sampling failure must never reject a yes-instance.
-                None => {
-                    self.params = Some(FingerprintParams {
-                        k,
-                        p1: 0,
-                        p2: 0,
-                        x: 0,
-                    });
-                    let usage = self.machine.usage();
-                    self.state = FpState::Done(DeciderRun {
-                        accepted: true,
-                        usage,
-                    });
-                    return Ok(());
-                }
-            };
-            let p2 = next_prime(3 * k);
-            let x = self.rng.gen_range(1..p2);
-            FingerprintParams { k, p1, p2, x }
-        };
+            meter.charge_static(7 * bits_for(6 * params.k));
+        }
         self.params = Some(params);
+        if params.degenerate() {
+            // Sampling failure must never reject a yes-instance.
+            self.final_residues = Some((0, 0));
+            let usage = self.machine.usage();
+            self.state = FpState::Done(DeciderRun {
+                accepted: true,
+                usage,
+            });
+            return Ok(());
+        }
 
         // Turn around onto the final '#': the run's single reversal.
         let tape = self.machine.tape_mut(0);
@@ -344,6 +335,7 @@ impl<R: Rng> FingerprintStepper<R> {
                 flush(*seen_hashes, *e, sum_second, sum_first, *m);
             }
             let accepted = *sum_first == *sum_second;
+            self.final_residues = Some((*sum_first, *sum_second));
             let usage = self.machine.usage();
             self.state = FpState::Done(DeciderRun { accepted, usage });
         }
@@ -442,6 +434,7 @@ impl<R: Rng> FingerprintStepper<R> {
                 flush(*seen_hashes, *e, sum_second, sum_first, *m);
             }
             let accepted = *sum_first == *sum_second;
+            self.final_residues = Some((*sum_first, *sum_second));
             let usage = self.machine.usage();
             self.state = FpState::Done(DeciderRun { accepted, usage });
         }

@@ -1,0 +1,204 @@
+//! Experiments E24–E25: the reversal→round correspondence, measured.
+//!
+//! The Beame–Koutris–Suciu MPC model charges synchronization rounds
+//! and bytes on the wire where the ST model charges head reversals.
+//! `st-mpc` makes the correspondence executable, and these experiments
+//! measure its two signature shapes across worker counts
+//! `p ∈ {1, 2, 4, 8, 16}`:
+//!
+//! * **E24** — the *flat* family: the Theorem 8(a) fingerprint is a
+//!   commutative combine, so MULTISET-EQ costs exactly **1 round** at
+//!   every `p`; the Theorem 11(b) query Q′ is one hash-join shuffle
+//!   plus a gather, so SET-EQ costs exactly **2 rounds** at every `p`.
+//!   Only the byte volume moves. Residues are checked bit-identical to
+//!   the same-seed single-tape decider at every `p`.
+//! * **E25** — the *logarithmic* family: CHECK-SORT climbs a binary
+//!   merge tree, so its round count is exactly `⌈log₂p⌉` — the
+//!   distributed image of the sort deciders' `Θ(log N)` reversals
+//!   (Corollary 7).
+//!
+//! Determinism: instances and seeds are fixed; the MPC engine's
+//! verdicts, communication tallies, and per-worker usage are
+//! byte-identical across `--jobs` by construction, so every table cell
+//! is reproducible.
+
+use crate::report::Report;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use st_mpc::{decide_check_sort, decide_multiset_equality, evaluate_sym_diff, MpcOptions};
+use st_problems::generate;
+
+const WORKER_SWEEP: [usize; 5] = [1, 2, 4, 8, 16];
+
+/// `⌈log₂p⌉` — the merge tree's predicted round count.
+fn ceil_log2(p: usize) -> u64 {
+    u64::from((p.max(1) as u64).next_power_of_two().trailing_zeros())
+}
+
+/// E24 — flat round counts: fingerprint (1) and Q′ (2) at every p.
+pub fn e24_mpc_flat_rounds() -> Report {
+    let mut r = Report::new(
+        "e24",
+        "MPC flat families: fingerprint and Q\u{2032} rounds vs workers",
+        "the commutative fingerprint decides MULTISET-EQ in exactly 1 communication \
+         round and the Q\u{2032} hash-join decides SET-EQ in exactly 2, for every worker \
+         count; only bytes on the wire grow with p, and the combined residues stay \
+         bit-identical to the same-seed single-tape decider",
+        &[
+            "p",
+            "fp rounds",
+            "fp msgs",
+            "fp wire",
+            "residues ok",
+            "q rounds",
+            "q msgs",
+            "q wire",
+            "verdicts ok",
+        ],
+    );
+    let inst_fp = generate::yes_multiset(48, 10, &mut StdRng::seed_from_u64(2401));
+    let inst_fp_no = generate::no_multiset_one_bit(48, 10, &mut StdRng::seed_from_u64(2402));
+    let inst_q = generate::yes_set_distinct(32, 10, &mut StdRng::seed_from_u64(2403));
+    let inst_q_no = generate::no_multiset_one_bit(32, 10, &mut StdRng::seed_from_u64(2404));
+    let seed = 77_2401u64;
+
+    let single_yes =
+        st_algo::fingerprint::decide_multiset_equality(&inst_fp, &mut StdRng::seed_from_u64(seed))
+            .expect("single-tape fingerprint");
+    let single_no = st_algo::fingerprint::decide_multiset_equality(
+        &inst_fp_no,
+        &mut StdRng::seed_from_u64(seed),
+    )
+    .expect("single-tape fingerprint");
+
+    let mut flat_fp = true;
+    let mut flat_q = true;
+    let mut residues_ok = true;
+    let mut verdicts_ok = true;
+    for p in WORKER_SWEEP {
+        let opts = MpcOptions::with_workers(p);
+        let fp_yes = decide_multiset_equality(&inst_fp, &mut StdRng::seed_from_u64(seed), &opts)
+            .expect("mpc fingerprint");
+        let fp_no = decide_multiset_equality(&inst_fp_no, &mut StdRng::seed_from_u64(seed), &opts)
+            .expect("mpc fingerprint");
+        let q_yes = evaluate_sym_diff(&inst_q, &opts).expect("mpc query");
+        let q_no = evaluate_sym_diff(&inst_q_no, &opts).expect("mpc query");
+
+        flat_fp &= fp_yes.run.comm.rounds == 1 && fp_no.run.comm.rounds == 1;
+        flat_q &= q_yes.run.comm.rounds == 2 && q_no.run.comm.rounds == 2;
+        let res_ok = fp_yes.residues == single_yes.residues
+            && fp_no.residues == single_no.residues
+            && fp_yes.params == single_yes.params;
+        residues_ok &= res_ok;
+        let verd_ok = fp_yes.run.accepted == single_yes.accepted
+            && fp_no.run.accepted == single_no.accepted
+            && q_yes.run.accepted
+            && !q_no.run.accepted;
+        verdicts_ok &= verd_ok;
+        r.row(vec![
+            p.to_string(),
+            fp_yes.run.comm.rounds.to_string(),
+            fp_yes.run.comm.messages.to_string(),
+            format!("{} B", fp_yes.run.comm.bytes_on_wire),
+            if res_ok { "yes" } else { "NO" }.to_string(),
+            q_yes.run.comm.rounds.to_string(),
+            q_yes.run.comm.messages.to_string(),
+            format!("{} B", q_yes.run.comm.bytes_on_wire),
+            if verd_ok { "yes" } else { "NO" }.to_string(),
+        ]);
+    }
+    r.verdict(
+        flat_fp && flat_q && residues_ok && verdicts_ok,
+        "fingerprint rounds flat at 1 and Q\u{2032} rounds flat at 2 across \
+         p \u{2208} {1,2,4,8,16}, with residues and verdicts pinned to the \
+         single-tape deciders",
+    );
+    r
+}
+
+/// E25 — logarithmic round counts: the CHECK-SORT merge tree at ⌈log₂p⌉.
+pub fn e25_mpc_sort_rounds() -> Report {
+    let mut r = Report::new(
+        "e25",
+        "MPC logarithmic family: CHECK-SORT merge-tree rounds vs workers",
+        "the distributed CHECK-SORT decider spends exactly \u{2308}log\u{2082}p\u{2309} \
+         communication rounds climbing its binary merge tree — the round-model image \
+         of the sort deciders' \u{0398}(log N) reversals — while verdicts on yes- and \
+         no-instances match the single-tape decider at every p",
+        &[
+            "p",
+            "rounds",
+            "predicted",
+            "msgs",
+            "wire",
+            "yes ok",
+            "no ok",
+        ],
+    );
+    let inst_yes = generate::yes_checksort(64, 10, &mut StdRng::seed_from_u64(2501));
+    let inst_no = generate::no_checksort_sorted_but_wrong(64, 10, &mut StdRng::seed_from_u64(2502));
+    let block = st_extmem::block::DEFAULT_BLOCK;
+    let single_yes =
+        st_algo::sortcheck::decide_check_sort_block(&inst_yes, block).expect("single-tape");
+    let single_no =
+        st_algo::sortcheck::decide_check_sort_block(&inst_no, block).expect("single-tape");
+
+    let mut shape_ok = true;
+    let mut verdicts_ok = true;
+    for p in WORKER_SWEEP {
+        let opts = MpcOptions::with_workers(p);
+        let yes = decide_check_sort(&inst_yes, &opts).expect("mpc check-sort");
+        let no = decide_check_sort(&inst_no, &opts).expect("mpc check-sort");
+        let predicted = ceil_log2(p);
+        shape_ok &= yes.comm.rounds == predicted && no.comm.rounds == predicted;
+        let yes_ok = yes.accepted == single_yes.accepted;
+        let no_ok = no.accepted == single_no.accepted;
+        verdicts_ok &= yes_ok && no_ok;
+        r.row(vec![
+            p.to_string(),
+            yes.comm.rounds.to_string(),
+            predicted.to_string(),
+            yes.comm.messages.to_string(),
+            format!("{} B", yes.comm.bytes_on_wire),
+            if yes_ok { "yes" } else { "NO" }.to_string(),
+            if no_ok { "yes" } else { "NO" }.to_string(),
+        ]);
+    }
+    r.verdict(
+        shape_ok && verdicts_ok,
+        "rounds exactly \u{2308}log\u{2082}p\u{2309} (0 at p=1) with single-tape verdict \
+         parity on yes- and no-instances at every worker count",
+    );
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    use crate::report::entry_json;
+
+    #[test]
+    fn e24_reproduces() {
+        let r = e24_mpc_flat_rounds();
+        assert!(r.reproduced(), "{}", r.verdict_line());
+    }
+
+    #[test]
+    fn e25_reproduces() {
+        let r = e25_mpc_sort_rounds();
+        assert!(r.reproduced(), "{}", r.verdict_line());
+    }
+
+    #[test]
+    fn experiments_are_deterministic_run_to_run() {
+        assert_eq!(
+            entry_json(&e24_mpc_flat_rounds()),
+            entry_json(&e24_mpc_flat_rounds())
+        );
+        assert_eq!(
+            entry_json(&e25_mpc_sort_rounds()),
+            entry_json(&e25_mpc_sort_rounds())
+        );
+    }
+}

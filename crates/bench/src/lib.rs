@@ -16,6 +16,7 @@ pub mod exp_durable;
 pub mod exp_fault;
 pub mod exp_lowerbound;
 pub mod exp_model;
+pub mod exp_mpc;
 pub mod exp_query;
 pub mod exp_upper;
 pub mod report;
@@ -187,6 +188,18 @@ pub fn all_experiments() -> Vec<Experiment> {
             "Out-of-core scale: block substrate at 10⁸ symbols",
             150,
             exp_upper::e23_out_of_core,
+        ),
+        e(
+            "e24",
+            "MPC flat families: fingerprint and Q′ rounds vs workers",
+            30,
+            exp_mpc::e24_mpc_flat_rounds,
+        ),
+        e(
+            "e25",
+            "MPC logarithmic family: CHECK-SORT merge-tree rounds vs workers",
+            30,
+            exp_mpc::e25_mpc_sort_rounds,
         ),
         e(
             "f2",

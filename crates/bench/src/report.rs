@@ -504,6 +504,51 @@ mod tests {
     }
 
     #[test]
+    fn merging_new_experiment_keys_preserves_foreign_entries_bytewise() {
+        // Regression: a subset run (`report e24 e25`) merges brand-new
+        // top-level keys into a BENCH_report.json that already holds
+        // registry entries *and* foreign rows other harnesses own (bt1
+        // from the block-tape bench, the soak campaign). The new keys
+        // must append; every pre-existing member must survive with its
+        // exact bytes — an earlier rewrite path clobbered them.
+        let mut e3 = Report::new("e3", "fingerprint", "c", &["N", "scans"]);
+        e3.row(vec!["64".into(), "2".into()]);
+        e3.verdict(true, "flat");
+        let mut bt1 = Report::new("bt1", "block tape", "c", &["block", "ns"]);
+        bt1.row(vec!["4096".into(), "12".into()]);
+        bt1.verdict(true, "amortized");
+        let mut soak = Report::new("soak", "campaign", "c", &["stat"]);
+        soak.verdict(true, "clean");
+        let doc = to_json(&[e3.clone(), bt1.clone(), soak.clone()]);
+
+        let mut e24 = Report::new("e24", "mpc flat", "c", &["p", "rounds"]);
+        e24.row(vec!["16".into(), "1".into()]);
+        e24.verdict(true, "flat at 1");
+        let mut e25 = Report::new("e25", "mpc log", "c", &["p", "rounds"]);
+        e25.row(vec!["16".into(), "4".into()]);
+        e25.verdict(true, "⌈log₂p⌉");
+        let merged = merge_json(&doc, &[e24.clone(), e25.clone()]).unwrap();
+
+        for old in [&e3, &bt1, &soak] {
+            assert!(
+                merged.contains(&entry_json(old)),
+                "member {} not preserved bytewise:\n{merged}",
+                old.id
+            );
+        }
+        let pos = |id: &str| merged.find(&format!("\"{id}\"")).unwrap();
+        assert!(
+            pos("e3") < pos("bt1")
+                && pos("bt1") < pos("soak")
+                && pos("soak") < pos("e24")
+                && pos("e24") < pos("e25"),
+            "new keys must append after the existing members: {merged}"
+        );
+        // The merged document is itself a valid merge target.
+        assert_eq!(merge_json(&merged, &[]).unwrap(), merged);
+    }
+
+    #[test]
     fn merge_json_rejects_malformed_documents() {
         for bad in ["", "[]", "{\"a\":1", "{\"a\" 1}", "{x:1}"] {
             let err = merge_json(bad, &[]).unwrap_err();

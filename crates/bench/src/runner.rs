@@ -32,8 +32,11 @@ use crate::Experiment;
 use st_core::StError;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::mpsc;
+
+// The pool itself now lives in `st_core::pool` so the MPC layer can use
+// it without a dependency cycle; the runner re-exports it for its
+// historical callers.
+pub use st_core::pool::pool_map;
 
 /// Whether the runner stamps wall-clock measurements onto its reports.
 ///
@@ -271,68 +274,6 @@ fn audit_one(id: &str, dir: &Path) -> TraceAudit {
     }
 }
 
-/// Generic work-stealing fan-out: `jobs` scoped worker threads claim
-/// indices `0..work` from a shared atomic counter in `schedule` order and
-/// run `f` on each; the results come back **in index order** regardless
-/// of which worker finished when. `schedule` permutes the *claim* order
-/// only (pass `None` for first-to-last); it never affects the output
-/// order. This is the pool under [`run_experiments`] and under the
-/// conformance fuzzer's iteration blocks.
-///
-/// # Panics
-///
-/// Propagates a panic from `f` when the scope joins; callers that must
-/// survive panics wrap `f` in `catch_unwind` themselves.
-pub fn pool_map<T, F>(work: usize, jobs: usize, schedule: Option<&[usize]>, f: F) -> Vec<T>
-where
-    T: Send,
-    F: Fn(usize) -> T + Sync,
-{
-    if work == 0 {
-        return Vec::new();
-    }
-    let identity: Vec<usize>;
-    let schedule = match schedule {
-        Some(s) => {
-            assert_eq!(s.len(), work, "schedule must cover the work list");
-            s
-        }
-        None => {
-            identity = (0..work).collect();
-            &identity
-        }
-    };
-    let jobs = jobs.clamp(1, work);
-    let next = AtomicUsize::new(0);
-    let (tx, rx) = mpsc::channel::<(usize, T)>();
-    std::thread::scope(|scope| {
-        for _ in 0..jobs {
-            let tx = tx.clone();
-            let next = &next;
-            let f = &f;
-            scope.spawn(move || loop {
-                let claim = next.fetch_add(1, Ordering::Relaxed);
-                let Some(&i) = schedule.get(claim) else { break };
-                if tx.send((i, f(i))).is_err() {
-                    break;
-                }
-            });
-        }
-    });
-    drop(tx);
-    // Collect out-of-order completions back into index order. Every index
-    // is claimed exactly once and the scope joins every worker, so each
-    // slot fills exactly once.
-    let mut slots: Vec<Option<T>> = (0..work).map(|_| None).collect();
-    for (i, value) in rx {
-        slots[i] = Some(value);
-    }
-    slots
-        .into_iter()
-        .map(|s| s.expect("worker pool lost a work item"))
-        .collect()
-}
-
 /// Execute `selected` across a worker pool (see the module docs for the
 /// scheduling and determinism contract). Fails only on harness errors —
 /// an unwritable trace directory or an unreadable trace file is reported
@@ -487,16 +428,6 @@ mod tests {
         .unwrap();
         let ids: Vec<&str> = outcome.reports.iter().map(|r| r.id.as_str()).collect();
         assert_eq!(ids, ["a", "b", "c"]);
-    }
-
-    #[test]
-    fn pool_map_returns_results_in_index_order_for_any_schedule() {
-        let squares = pool_map(10, 4, None, |i| i * i);
-        assert_eq!(squares, (0..10).map(|i| i * i).collect::<Vec<_>>());
-        let reversed: Vec<usize> = (0..10).rev().collect();
-        let again = pool_map(10, 3, Some(&reversed), |i| i * i);
-        assert_eq!(again, squares);
-        assert!(pool_map(0, 4, None, |i| i).is_empty());
     }
 
     #[test]

@@ -560,6 +560,83 @@ pub(crate) fn crash_swept_multiset(word: &str, _seed: u64) -> Result<Option<bool
     Ok(Some(sides[0] == sides[1]))
 }
 
+/// Worker counts the MPC oracles sweep on every word. Deliberately not
+/// all powers of two: p = 3 and p = 7 exercise uneven shards and a
+/// ragged merge tree.
+const MPC_ORACLE_SWEEP: [usize; 5] = [1, 2, 3, 4, 8];
+
+/// MULTISET-EQ on the simulated cluster, swept over worker counts. For
+/// *every* p the distributed verdict and the combined fingerprint
+/// residues must be bit-identical to the same-seed single-tape decider,
+/// and the gather must take exactly one communication round — any drift
+/// is returned as an error, which the comparator flags as a
+/// disagreement. The surviving verdict is the fingerprint's own, so the
+/// pairing against the deterministic sort decider inherits exactly the
+/// Theorem 8(a) one-sided error model and nothing more: two
+/// independently seeded randomized sides could each be wrong in ways a
+/// comparator cannot attribute, but here the randomness is sampled once
+/// and shared, and the cluster is pinned to it.
+pub(crate) fn mpc_swept_multiset(word: &str, seed: u64) -> Result<Option<bool>, StError> {
+    let Some(inst) = parse_inst(word) else {
+        return Ok(None);
+    };
+    if !is_uniform(&inst) {
+        return Ok(None);
+    }
+    let single =
+        st_algo::fingerprint::decide_multiset_equality(&inst, &mut StdRng::seed_from_u64(seed))?;
+    for p in MPC_ORACLE_SWEEP {
+        let run = st_mpc::decide_multiset_equality(
+            &inst,
+            &mut StdRng::seed_from_u64(seed),
+            &st_mpc::MpcOptions::with_workers(p),
+        )?;
+        if run.run.accepted != single.accepted || run.residues != single.residues {
+            return Err(StError::Machine(format!(
+                "mpc fingerprint at p={p} diverged from the single-tape run: \
+                 verdict {} vs {}, residues {:?} vs {:?}",
+                run.run.accepted, single.accepted, run.residues, single.residues
+            )));
+        }
+        if run.run.comm.rounds != 1 {
+            return Err(StError::Machine(format!(
+                "mpc fingerprint at p={p} took {} rounds, not 1",
+                run.run.comm.rounds
+            )));
+        }
+    }
+    Ok(Some(single.accepted))
+}
+
+/// CHECK-SORT on the simulated cluster, swept over worker counts: every
+/// p must agree with the single-tape block decider and climb its merge
+/// tree in exactly ⌈log₂p⌉ rounds; any drift is an error the comparator
+/// flags. Both sides are deterministic, so the pairing is exact.
+pub(crate) fn mpc_swept_checksort(word: &str, _seed: u64) -> Result<Option<bool>, StError> {
+    let Some(inst) = parse_inst(word) else {
+        return Ok(None);
+    };
+    let reference =
+        st_algo::sortcheck::decide_check_sort_block(&inst, st_extmem::block::DEFAULT_BLOCK)?;
+    for p in MPC_ORACLE_SWEEP {
+        let run = st_mpc::decide_check_sort(&inst, &st_mpc::MpcOptions::with_workers(p))?;
+        if run.accepted != reference.accepted {
+            return Err(StError::Machine(format!(
+                "mpc check-sort at p={p} diverged: {} vs single-tape {}",
+                run.accepted, reference.accepted
+            )));
+        }
+        let predicted = u64::from((p as u64).next_power_of_two().trailing_zeros());
+        if run.comm.rounds != predicted {
+            return Err(StError::Machine(format!(
+                "mpc check-sort at p={p} took {} rounds, expected {predicted}",
+                run.comm.rounds
+            )));
+        }
+    }
+    Ok(Some(reference.accepted))
+}
+
 /// Totality probe: every parser must *return* on arbitrary text (errors
 /// are fine, panics are not — a panic is caught by the engine and
 /// reported as a disagreement), and a well-formed XML word must survive
@@ -693,6 +770,33 @@ pub fn all_oracles() -> Vec<Oracle> {
             model: ErrorModel::Exact,
             left_run: crash_swept_multiset,
             right_run: sort_multiset,
+        },
+        Oracle {
+            id: "mpc-multiset-eq-vs-fingerprint",
+            title: "p-swept MPC fingerprint (residue-pinned) vs deterministic sort decider",
+            guards: "Theorem 8(a) under the reversal→round correspondence (st-mpc)",
+            left:
+                "st_mpc::decide_multiset_equality swept over p, pinned to the single-tape residues",
+            right: "sortcheck::decide_multiset_equality",
+            // The left side's randomness is sampled once and shared
+            // across the sweep, and the sweep errors on any intra-family
+            // drift — so the only tolerated mismatch is the fingerprint's
+            // own one-sided false accept, under its proved ceiling.
+            model: ErrorModel::LeftOneSidedFalsePositive {
+                ceiling: theorem8a_fp_ceiling,
+            },
+            left_run: mpc_swept_multiset,
+            right_run: sort_multiset,
+        },
+        Oracle {
+            id: "mpc-check-sort-vs-sort",
+            title: "p-swept MPC merge-tree CHECK-SORT vs the single-tape sort decider",
+            guards: "Corollary 7 under the reversal→round correspondence (st-mpc)",
+            left: "st_mpc::decide_check_sort swept over p at ⌈log₂p⌉ rounds",
+            right: "sortcheck::decide_check_sort",
+            model: ErrorModel::Exact,
+            left_run: mpc_swept_checksort,
+            right_run: sort_checksort,
         },
         Oracle {
             id: "parser-totality",

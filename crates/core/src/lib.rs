@@ -11,6 +11,11 @@
 //! * [`usage`] — the common resource-usage record every machine substrate
 //!   in the workspace (Turing machines, list machines, tape algorithms)
 //!   reports in, together with the `(r,s,t)`-boundedness check;
+//! * [`comm`] — the communication-cost record of the distributed (MPC)
+//!   evaluation layer: rounds, messages, bytes-on-the-wire, and per-round
+//!   load, the wire-side siblings of the reversal/space budgets;
+//! * [`pool`] — the shared work-stealing `pool_map` primitive under the
+//!   experiment runner, the conformance fuzzer, and the MPC supersteps;
 //! * [`theorems`] — the parameter calculators of the paper's quantitative
 //!   lemmas (Lemma 3 run-length bound, Lemma 16 state-count bound,
 //!   Lemma 21/22 preconditions, Lemma 32 skeleton-count bound);
@@ -34,8 +39,10 @@
 pub mod bill;
 pub mod bounds;
 pub mod classes;
+pub mod comm;
 pub mod error;
 pub mod math;
+pub mod pool;
 pub mod theorems;
 pub mod usage;
 pub mod verdict;
@@ -43,7 +50,9 @@ pub mod verdict;
 pub use bill::{BillingKey, BudgetLedger, ResourceBill, SignedBill, TenantBudget};
 pub use bounds::{Bound, TapeCount};
 pub use classes::{ClassSpec, ErrorSide, MachineMode};
+pub use comm::CommUsage;
 pub use error::StError;
+pub use pool::pool_map;
 pub use usage::{BoundCheck, ResourceUsage, Violation};
 pub use verdict::{RetryBudget, Verdict};
 
@@ -52,7 +61,9 @@ pub mod prelude {
     pub use crate::bill::{BillingKey, BudgetLedger, ResourceBill, SignedBill, TenantBudget};
     pub use crate::bounds::{Bound, TapeCount};
     pub use crate::classes::{ClassSpec, ErrorSide, MachineMode};
+    pub use crate::comm::CommUsage;
     pub use crate::error::StError;
+    pub use crate::pool::pool_map;
     pub use crate::usage::{BoundCheck, ResourceUsage, Violation};
     pub use crate::verdict::{RetryBudget, Verdict};
 }

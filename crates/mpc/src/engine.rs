@@ -1,0 +1,372 @@
+//! The BSP superstep engine: serial plan, parallel execute, serial
+//! exchange.
+//!
+//! A decider on this engine alternates two phases:
+//!
+//! 1. **parallel execute** — [`parallel_step`] fans the per-worker
+//!    closures out over the shared work-stealing pool
+//!    ([`st_core::pool_map`]), each worker mutating only its own state
+//!    (its `TapeMachine`, its accumulators) and returning its outgoing
+//!    messages. Results come back in worker order whatever the pool did,
+//!    so the phase is deterministic for any `jobs` value.
+//! 2. **serial exchange** — [`Exchange::round`] serializes every message
+//!    through the [`wire`](crate::wire) codec in `(sender, send-order)`
+//!    order, charges the [`CommUsage`] meter with the framed byte count,
+//!    and delivers into per-worker inboxes. One `round` call is one
+//!    synchronization barrier of the MPC model, so the round count is a
+//!    property of the *algorithm*, not of scheduling.
+//!
+//! This is the serial-plan/parallel-execute/serial-combine discipline of
+//! the `st-bench` runner and the `st-serve` worker pool, restated at the
+//! cluster level: verdicts, `CommUsage`, and per-worker trace streams
+//! are byte-identical across `--jobs` by construction.
+
+use crate::wire::Envelope;
+use st_core::{pool_map, CommUsage, ResourceUsage, StError};
+use std::sync::Mutex;
+
+/// How a distributed run is shaped: worker count, host threads, block
+/// length of the tape-level scans.
+#[derive(Debug, Clone)]
+pub struct MpcOptions {
+    /// Simulated workers `p` (≥ 1).
+    pub workers: usize,
+    /// Host threads driving the parallel phases; `0` = available
+    /// parallelism. Any value yields byte-identical artifacts.
+    pub jobs: usize,
+    /// Block length for the workers' tape scans (records per slice).
+    pub block_len: usize,
+}
+
+impl Default for MpcOptions {
+    fn default() -> Self {
+        MpcOptions {
+            workers: 4,
+            jobs: 1,
+            block_len: st_extmem::block::DEFAULT_BLOCK,
+        }
+    }
+}
+
+impl MpcOptions {
+    /// A `p`-worker cluster with otherwise default options.
+    #[must_use]
+    pub fn with_workers(workers: usize) -> Self {
+        MpcOptions {
+            workers,
+            ..MpcOptions::default()
+        }
+    }
+
+    /// The effective host-thread count for a phase over `work` items.
+    #[must_use]
+    pub fn effective_jobs(&self, work: usize) -> usize {
+        let requested = if self.jobs == 0 {
+            std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+        } else {
+            self.jobs
+        };
+        requested.clamp(1, work.max(1))
+    }
+}
+
+/// The metered exchange channel of a `p`-worker cluster.
+///
+/// Messages cross in synchronous rounds: the engine collects every
+/// worker's outgoing messages for the round, then [`Exchange::round`]
+/// serializes, meters, and delivers them all at once. Loopback messages
+/// (a worker sending to itself) serialize and meter like any other —
+/// a one-round combine is one round even on a single worker.
+#[derive(Debug)]
+pub struct Exchange {
+    comm: CommUsage,
+    inboxes: Vec<Vec<Envelope>>,
+}
+
+impl Exchange {
+    /// A fresh channel for `workers` workers.
+    #[must_use]
+    pub fn new(workers: usize) -> Self {
+        let workers = workers.max(1);
+        Exchange {
+            comm: CommUsage::new(workers),
+            inboxes: (0..workers).map(|_| Vec::new()).collect(),
+        }
+    }
+
+    /// The worker count `p`.
+    #[must_use]
+    pub fn workers(&self) -> usize {
+        self.inboxes.len()
+    }
+
+    /// Execute one synchronous communication round: `outgoing[w]` is the
+    /// ordered message list worker `w` sends. Every message round-trips
+    /// the wire codec (encode → meter framed bytes → decode → deliver),
+    /// so the meter charges exactly what the codec emits and a message
+    /// the codec cannot carry fails here, not in production-only paths.
+    ///
+    /// A `round` call is a synchronization barrier and counts as one
+    /// round even if no messages flow — supersteps are an algorithmic
+    /// property, not a traffic statistic.
+    pub fn round(&mut self, outgoing: Vec<Vec<Envelope>>) -> Result<(), StError> {
+        let p = self.workers();
+        if outgoing.len() != p {
+            return Err(StError::Machine(format!(
+                "round expects {p} outboxes, got {}",
+                outgoing.len()
+            )));
+        }
+        self.comm.rounds += 1;
+        let mut received = vec![0u64; p];
+        for (w, outbox) in outgoing.into_iter().enumerate() {
+            for env in outbox {
+                if env.from as usize != w {
+                    return Err(StError::Machine(format!(
+                        "worker {w} sent a message claiming from={}",
+                        env.from
+                    )));
+                }
+                let to = env.to as usize;
+                if to >= p {
+                    return Err(StError::Machine(format!("message to worker {to} of {p}")));
+                }
+                let body = env
+                    .encode()
+                    .map_err(|e| StError::Io(format!("encode exchange message: {e}")))?;
+                let wire = 4 + body.len() as u64;
+                self.comm.messages += 1;
+                self.comm.bytes_on_wire += wire;
+                received[to] += wire;
+                let delivered = Envelope::decode(&body)
+                    .map_err(|e| StError::Machine(format!("decode exchange message: {e}")))?;
+                self.inboxes[to].push(delivered);
+            }
+        }
+        let round_load = received.into_iter().max().unwrap_or(0);
+        self.comm.max_load = self.comm.max_load.max(round_load);
+        Ok(())
+    }
+
+    /// Drain worker `w`'s inbox (delivery order: sender index, then send
+    /// order).
+    pub fn take_inbox(&mut self, w: usize) -> Vec<Envelope> {
+        std::mem::take(&mut self.inboxes[w])
+    }
+
+    /// The communication meter so far.
+    #[must_use]
+    pub fn comm(&self) -> &CommUsage {
+        &self.comm
+    }
+
+    /// Consume the channel, returning the final meter.
+    #[must_use]
+    pub fn into_comm(self) -> CommUsage {
+        self.comm
+    }
+}
+
+/// Run one parallel phase: `f(w, &mut state)` for every worker on the
+/// work-stealing pool, states returned in worker order alongside the
+/// phase outputs. The first worker error (in worker order) aborts the
+/// step.
+pub fn parallel_step<W, T>(
+    states: Vec<W>,
+    jobs: usize,
+    f: impl Fn(usize, &mut W) -> Result<T, StError> + Sync,
+) -> Result<(Vec<W>, Vec<T>), StError>
+where
+    W: Send,
+    T: Send,
+{
+    let work = states.len();
+    // Each cell is taken exactly once by the worker claiming its index;
+    // the mutex only satisfies the pool's `Sync` bound.
+    let cells: Vec<Mutex<Option<W>>> = states.into_iter().map(|w| Mutex::new(Some(w))).collect();
+    let outcomes = pool_map(work, jobs, None, |i| {
+        let mut state = cells[i]
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .take()
+            .expect("worker state claimed twice");
+        let out = f(i, &mut state);
+        (state, out)
+    });
+    let mut states = Vec::with_capacity(work);
+    let mut outs = Vec::with_capacity(work);
+    for (state, out) in outcomes {
+        states.push(state);
+        outs.push(out?);
+    }
+    Ok((states, outs))
+}
+
+/// The outcome of one distributed run: the verdict plus both sides of
+/// the accounting — per-worker tape/memory usage and the cluster's
+/// communication meter.
+#[derive(Debug, Clone)]
+pub struct MpcRun {
+    /// The verdict.
+    pub accepted: bool,
+    /// Communication: rounds, messages, framed bytes, per-round load.
+    pub comm: CommUsage,
+    /// Each worker's tape/memory accounting, in worker order.
+    pub per_worker: Vec<ResourceUsage>,
+    /// The per-worker records absorbed into one aggregate (reversals and
+    /// cells summed, space maxed).
+    pub usage: ResourceUsage,
+    /// Each worker's JSONL trace stream, in worker order. Deterministic
+    /// across `jobs`; concatenating gives the cluster trace.
+    pub traces: Vec<String>,
+}
+
+impl MpcRun {
+    /// Assemble a run record from its parts, deriving the aggregate
+    /// usage.
+    #[must_use]
+    pub fn assemble(
+        accepted: bool,
+        comm: CommUsage,
+        per_worker: Vec<ResourceUsage>,
+        traces: Vec<String>,
+    ) -> Self {
+        let mut usage = ResourceUsage::default();
+        for u in &per_worker {
+            usage.absorb(u);
+        }
+        MpcRun {
+            accepted,
+            comm,
+            per_worker,
+            usage,
+            traces,
+        }
+    }
+}
+
+/// Render a trace buffer's events as one JSONL blob (one event per
+/// line, trailing newline when nonempty) — the byte-comparable form the
+/// invariance tests diff across `--jobs`.
+#[must_use]
+pub fn trace_jsonl(events: &[st_trace::TraceEvent]) -> String {
+    let mut out = String::new();
+    for ev in events {
+        out.push_str(&ev.to_json_line());
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wire::Payload;
+
+    fn count_env(from: u32, to: u32, v: u64) -> Envelope {
+        Envelope {
+            from,
+            to,
+            payload: Payload::Count(v),
+        }
+    }
+
+    #[test]
+    fn a_round_is_counted_even_when_silent() {
+        let mut ex = Exchange::new(4);
+        ex.round(vec![Vec::new(); 4]).unwrap();
+        assert_eq!(ex.comm().rounds, 1);
+        assert_eq!(ex.comm().messages, 0);
+        assert_eq!(ex.comm().bytes_on_wire, 0);
+    }
+
+    #[test]
+    fn loopback_messages_are_metered() {
+        let mut ex = Exchange::new(1);
+        ex.round(vec![vec![count_env(0, 0, 9)]]).unwrap();
+        assert_eq!(ex.comm().messages, 1);
+        assert!(ex.comm().bytes_on_wire > 4, "framed bytes charged");
+        assert_eq!(ex.comm().max_load, ex.comm().bytes_on_wire);
+        let inbox = ex.take_inbox(0);
+        assert_eq!(inbox, vec![count_env(0, 0, 9)]);
+    }
+
+    #[test]
+    fn delivery_is_sender_then_send_order() {
+        let mut ex = Exchange::new(3);
+        ex.round(vec![
+            vec![count_env(0, 2, 1), count_env(0, 2, 2)],
+            vec![count_env(1, 2, 3)],
+            Vec::new(),
+        ])
+        .unwrap();
+        let got: Vec<u64> = ex
+            .take_inbox(2)
+            .into_iter()
+            .map(|e| match e.payload {
+                Payload::Count(v) => v,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(got, [1, 2, 3]);
+    }
+
+    #[test]
+    fn forged_sender_and_bad_receiver_are_rejected() {
+        let mut ex = Exchange::new(2);
+        let err = ex.round(vec![vec![count_env(1, 0, 0)], Vec::new()]);
+        assert!(err.is_err(), "forged from field");
+        let err = ex.round(vec![vec![count_env(0, 5, 0)], Vec::new()]);
+        assert!(err.is_err(), "receiver out of range");
+    }
+
+    #[test]
+    fn max_load_tracks_the_busiest_receiver_per_round() {
+        let mut ex = Exchange::new(2);
+        ex.round(vec![
+            vec![count_env(0, 1, 1), count_env(0, 1, 2)],
+            Vec::new(),
+        ])
+        .unwrap();
+        let one_msg = {
+            let mut probe = Exchange::new(2);
+            probe
+                .round(vec![vec![count_env(0, 1, 1)], Vec::new()])
+                .unwrap();
+            probe.comm().bytes_on_wire
+        };
+        assert_eq!(ex.comm().max_load, 2 * one_msg);
+        // A later lighter round does not lower the high-water mark.
+        ex.round(vec![vec![count_env(0, 1, 3)], Vec::new()])
+            .unwrap();
+        assert_eq!(ex.comm().max_load, 2 * one_msg);
+    }
+
+    #[test]
+    fn parallel_step_returns_states_and_outputs_in_worker_order() {
+        let states: Vec<u64> = (0..7).collect();
+        for jobs in [1usize, 4] {
+            let (states, outs) = parallel_step(states.clone(), jobs, |w, s| {
+                *s += 100;
+                Ok::<u64, StError>(w as u64 * 2)
+            })
+            .unwrap();
+            assert_eq!(states, (100..107).collect::<Vec<u64>>());
+            assert_eq!(outs, (0..7).map(|w| w * 2).collect::<Vec<u64>>());
+        }
+    }
+
+    #[test]
+    fn parallel_step_propagates_the_first_error_in_worker_order() {
+        let states: Vec<u64> = (0..4).collect();
+        let err = parallel_step(states, 2, |w, _s| {
+            if w >= 2 {
+                Err(StError::Machine(format!("worker {w} failed")))
+            } else {
+                Ok(())
+            }
+        })
+        .unwrap_err();
+        assert!(err.to_string().contains("worker 2"), "{err}");
+    }
+}

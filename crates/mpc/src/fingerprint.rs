@@ -1,0 +1,335 @@
+//! MULTISET-EQ on the cluster: the one-round commutative fingerprint.
+//!
+//! Theorem 8(a)'s fingerprint is a sum `Σ x^{eᵢ} mod p₂` per half — a
+//! commutative monoid — so it shards perfectly: each worker absorbs its
+//! contiguous chunk of records into partial sums with the *same*
+//! parameters the single-tape decider would sample from the same seed,
+//! and one gather round combines the partials at worker 0. This is the
+//! reversal→round correspondence at its sharpest: the single-tape run
+//! needs 1 reversal (2 scans); the cluster needs exactly **1
+//! communication round, for every worker count** — the distributed flat
+//! line e24 measures.
+//!
+//! Bit-identical parity with [`st_algo::fingerprint`] is pinned by
+//! construction: parameters come from the shared
+//! [`st_algo::sample_params`] (same RNG call sequence), each value's
+//! term `x^{v mod p₁} mod p₂` is position-independent, and modular
+//! addition is commutative — so the combined `(Σ first, Σ second)`
+//! equals the single-tape residues for every `p`, and the property
+//! tests hold it there.
+
+use crate::engine::{parallel_step, Exchange, MpcOptions, MpcRun};
+use crate::partition::range_shard;
+use crate::wire::{Envelope, Payload};
+use rand::Rng;
+use st_algo::fingerprint::sample_params;
+use st_algo::FingerprintParams;
+use st_core::math::{add_mod, mul_mod, pow_mod};
+use st_core::StError;
+use st_extmem::meter::bits_for;
+use st_extmem::TapeMachine;
+use st_problems::{BitStr, Instance};
+use st_trace::Tracer;
+
+/// An [`MpcRun`] plus the fingerprint's parameters and combined
+/// residues.
+#[derive(Debug, Clone)]
+pub struct MpcFingerprintRun {
+    /// The distributed run record.
+    pub run: MpcRun,
+    /// The sampled parameters (same RNG sequence as the single-tape
+    /// decider, so same seed → same tuple).
+    pub params: FingerprintParams,
+    /// The combined `(Σ x^{eᵢ}, Σ x^{e′ᵢ}) mod p₂` — bit-identical to
+    /// [`st_algo::FingerprintRun::residues`] for the same seed.
+    pub residues: (u64, u64),
+}
+
+/// One worker's state: its shard encoded on a single tape, the count of
+/// second-half values in the shard, and its partial sums.
+struct FpWorker {
+    machine: TapeMachine<u8>,
+    word: Vec<u8>,
+    ys_count: u64,
+    sums: (u64, u64),
+}
+
+/// Encode a shard (first-half then second-half values) as the tape word.
+fn shard_word(xs: &[BitStr], ys: &[BitStr]) -> Vec<u8> {
+    let mut out = Vec::new();
+    for v in xs.iter().chain(ys.iter()) {
+        out.extend_from_slice(v.to_string().as_bytes());
+        out.push(b'#');
+    }
+    out
+}
+
+/// The worker-local compute: one forward write scan landing the shard
+/// on the tape, one backward scan folding each value into the partial
+/// sums — the Theorem 8(a) scan structure at shard scale, fully metered
+/// on the worker's machine.
+fn local_partial(w: &mut FpWorker, params: FingerprintParams) -> Result<(), StError> {
+    let tape = w.machine.tape_mut(0);
+    tape.write_slice_fwd(&w.word)?;
+    let n = w.word.len();
+    w.machine.set_input_len(n);
+    let meter = w.machine.meter().clone();
+    // The same registers the single-tape stepper charges: three scan-1
+    // counters, then the seven O(log k) arithmetic registers.
+    meter.charge_static(3 * bits_for(n.max(2) as u64));
+    meter.charge_static(7 * bits_for(6 * params.k));
+
+    let (mut sum_first, mut sum_second) = (0u64, 0u64);
+    let (mut e, mut pow2) = (0u64, 1u64);
+    let mut seen_hashes = 0u64;
+    let flush = |seen: u64, e: u64, sum_first: &mut u64, sum_second: &mut u64| {
+        let term = pow_mod(params.x, e, params.p2);
+        if seen <= w.ys_count {
+            *sum_second = add_mod(*sum_second, term, params.p2);
+        } else {
+            *sum_first = add_mod(*sum_first, term, params.p2);
+        }
+    };
+    let tape = w.machine.tape_mut(0);
+    if !tape.at_start() {
+        tape.move_left()?;
+    }
+    loop {
+        let pos_before = tape.head();
+        let finished;
+        match tape.read_bwd() {
+            Some(b'#') => {
+                if seen_hashes > 0 {
+                    flush(seen_hashes, e, &mut sum_first, &mut sum_second);
+                }
+                seen_hashes += 1;
+                e = 0;
+                pow2 = 1;
+                finished = pos_before == 0;
+            }
+            Some(bit @ (b'0' | b'1')) => {
+                if bit == b'1' {
+                    e = add_mod(e, pow2, params.p1);
+                }
+                pow2 = mul_mod(pow2, 2, params.p1);
+                finished = pos_before == 0;
+            }
+            Some(other) => {
+                return Err(StError::InvalidInstance(format!(
+                    "unexpected tape symbol {:?}",
+                    other as char
+                )))
+            }
+            None => finished = true,
+        }
+        if finished {
+            if seen_hashes > 0 {
+                flush(seen_hashes, e, &mut sum_first, &mut sum_second);
+            }
+            break;
+        }
+    }
+    w.sums = (sum_first, sum_second);
+    Ok(())
+}
+
+/// Decide MULTISET-EQUALITY on a `p`-worker cluster with randomness from
+/// `rng` (consumed exactly as the single-tape decider consumes it).
+///
+/// Communication shape: **1 round, `p` messages** (the residue gather,
+/// worker 0's loopback included), for every `p`.
+pub fn decide_multiset_equality<R: Rng>(
+    inst: &Instance,
+    rng: &mut R,
+    opts: &MpcOptions,
+) -> Result<MpcFingerprintRun, StError> {
+    let p = opts.workers.max(1);
+    // Serial plan: sample parameters exactly as the single-tape decider,
+    // then shard the two lists into contiguous index chunks.
+    let m = inst.m() as u64;
+    let n_max = inst
+        .xs
+        .iter()
+        .chain(inst.ys.iter())
+        .map(BitStr::len)
+        .max()
+        .unwrap_or(0) as u64;
+    let params = sample_params(m, n_max, rng)?;
+
+    let mut workers = Vec::with_capacity(p);
+    let mut buffers = Vec::with_capacity(p);
+    for w in 0..p {
+        let (tracer, buf) = Tracer::in_memory();
+        buffers.push(buf);
+        let xs = range_shard(&inst.xs, w, p);
+        let ys = range_shard(&inst.ys, w, p);
+        let word = shard_word(&xs, &ys);
+        let mut machine = TapeMachine::new_traced(0, tracer);
+        machine.add_tape("input");
+        workers.push(FpWorker {
+            machine,
+            word,
+            ys_count: ys.len() as u64,
+            sums: (0, 0),
+        });
+    }
+
+    // Parallel execute: every worker folds its shard into partial sums.
+    // A degenerate parameter tuple (prime sampling failed) skips the
+    // arithmetic — the verdict must be an unconditional accept — but the
+    // gather round still runs, so the round count stays a constant 1.
+    let jobs = opts.effective_jobs(p);
+    let degenerate = params.degenerate();
+    let (workers, _) = parallel_step(workers, jobs, |_w, state| {
+        if degenerate {
+            return Ok(());
+        }
+        local_partial(state, params)
+    })?;
+
+    // Serial combine: one gather round to worker 0.
+    let mut exchange = Exchange::new(p);
+    let outgoing: Vec<Vec<Envelope>> = workers
+        .iter()
+        .enumerate()
+        .map(|(w, state)| {
+            vec![Envelope {
+                from: w as u32,
+                to: 0,
+                payload: Payload::Residues {
+                    sum_first: state.sums.0,
+                    sum_second: state.sums.1,
+                },
+            }]
+        })
+        .collect();
+    exchange.round(outgoing)?;
+    let (mut sum_first, mut sum_second) = (0u64, 0u64);
+    if !degenerate {
+        for env in exchange.take_inbox(0) {
+            let Payload::Residues {
+                sum_first: a,
+                sum_second: b,
+            } = env.payload
+            else {
+                return Err(StError::Machine("unexpected payload in gather".into()));
+            };
+            sum_first = add_mod(sum_first, a, params.p2);
+            sum_second = add_mod(sum_second, b, params.p2);
+        }
+    }
+    let accepted = degenerate || sum_first == sum_second;
+
+    let per_worker: Vec<_> = workers.iter().map(|s| s.machine.usage()).collect();
+    let traces = buffers
+        .iter()
+        .map(|b| crate::engine::trace_jsonl(&b.snapshot()))
+        .collect();
+    Ok(MpcFingerprintRun {
+        run: MpcRun::assemble(accepted, exchange.into_comm(), per_worker, traces),
+        params,
+        residues: (sum_first, sum_second),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use st_problems::generate;
+
+    #[test]
+    fn one_round_p_messages_for_every_worker_count() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let inst = generate::yes_multiset(12, 8, &mut rng);
+        for p in [1usize, 2, 4, 8, 16] {
+            let run = decide_multiset_equality(
+                &inst,
+                &mut StdRng::seed_from_u64(99),
+                &MpcOptions::with_workers(p),
+            )
+            .unwrap();
+            assert!(run.run.accepted);
+            assert_eq!(run.run.comm.rounds, 1, "p={p}");
+            assert_eq!(run.run.comm.messages, p as u64, "p={p}");
+            assert_eq!(run.run.per_worker.len(), p);
+        }
+    }
+
+    #[test]
+    fn matches_single_tape_verdict_and_residues() {
+        let mut gen_rng = StdRng::seed_from_u64(7);
+        for trial in 0..20 {
+            let inst = if trial % 2 == 0 {
+                generate::yes_multiset(9, 7, &mut gen_rng)
+            } else {
+                generate::no_multiset_one_bit(9, 7, &mut gen_rng)
+            };
+            let seed = 1000 + trial;
+            let single = st_algo::fingerprint::decide_multiset_equality(
+                &inst,
+                &mut StdRng::seed_from_u64(seed),
+            )
+            .unwrap();
+            for p in [1usize, 3, 8] {
+                let dist = decide_multiset_equality(
+                    &inst,
+                    &mut StdRng::seed_from_u64(seed),
+                    &MpcOptions::with_workers(p),
+                )
+                .unwrap();
+                assert_eq!(dist.params, single.params, "p={p} trial={trial}");
+                assert_eq!(dist.residues, single.residues, "p={p} trial={trial}");
+                assert_eq!(dist.run.accepted, single.accepted, "p={p} trial={trial}");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_instance_accepts_in_one_round() {
+        let inst = Instance::parse("").unwrap();
+        let run = decide_multiset_equality(
+            &inst,
+            &mut StdRng::seed_from_u64(1),
+            &MpcOptions::with_workers(4),
+        )
+        .unwrap();
+        assert!(run.run.accepted);
+        assert_eq!(run.run.comm.rounds, 1);
+        assert_eq!(run.residues, (0, 0));
+    }
+
+    #[test]
+    fn every_worker_runs_two_scans_on_a_balanced_shard() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let inst = generate::yes_multiset(16, 8, &mut rng);
+        let run = decide_multiset_equality(
+            &inst,
+            &mut StdRng::seed_from_u64(2),
+            &MpcOptions::with_workers(4),
+        )
+        .unwrap();
+        for (w, usage) in run.run.per_worker.iter().enumerate() {
+            assert_eq!(usage.scans(), 2, "worker {w}: {usage}");
+            assert_eq!(usage.external_tapes, 1, "worker {w}");
+        }
+    }
+
+    #[test]
+    fn artifacts_are_identical_across_jobs() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let inst = generate::no_multiset_one_bit(14, 9, &mut rng);
+        let mut opts = MpcOptions::with_workers(8);
+        opts.jobs = 1;
+        let serial = decide_multiset_equality(&inst, &mut StdRng::seed_from_u64(3), &opts).unwrap();
+        opts.jobs = 4;
+        let parallel =
+            decide_multiset_equality(&inst, &mut StdRng::seed_from_u64(3), &opts).unwrap();
+        assert_eq!(serial.run.accepted, parallel.run.accepted);
+        assert_eq!(serial.run.comm, parallel.run.comm);
+        assert_eq!(serial.run.per_worker, parallel.run.per_worker);
+        assert_eq!(serial.run.traces, parallel.run.traces);
+        assert_eq!(serial.residues, parallel.residues);
+    }
+}

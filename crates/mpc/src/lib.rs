@@ -1,0 +1,47 @@
+//! st-mpc — sharded distributed evaluation of the ST(r,s,t) deciders,
+//! with metered communication.
+//!
+//! The paper's machines read huge sequential tapes; modern clusters
+//! read huge sharded relations. The bridge is the Beame–Koutris–Suciu
+//! MPC model: computation proceeds in *rounds* of unlimited local
+//! compute separated by all-to-all exchanges, and the scarce resources
+//! are the number of rounds and the bytes on the wire — exactly the
+//! role head *reversals* play on the single machine. This crate makes
+//! that correspondence executable:
+//!
+//! * [`engine`] — the simulated cluster: a metered [`Exchange`] whose
+//!   every round is a synchronization barrier charged into
+//!   [`st_core::CommUsage`], and a deterministic parallel step built on
+//!   [`st_core::pool_map`] so `--jobs` never changes an artifact.
+//! * [`partition`] — range (contiguous index chunks) and seeded-hash
+//!   record placement.
+//! * [`wire`] — the length-framed envelope codec every message round
+//!   trips through, so bytes-on-the-wire is a real serialized size.
+//! * [`fingerprint`] — MULTISET-EQ via Theorem 8(a)'s commutative
+//!   fingerprint: **1 round for every worker count**.
+//! * [`checksort`] — CHECK-SORT via local sorts and a binary merge
+//!   tree: **⌈log₂p⌉ rounds**.
+//! * [`query`] — the Theorem 11(b) query Q′ as a hash-join shuffle:
+//!   **2 rounds**.
+//!
+//! Workers are real [`st_extmem::TapeMachine`]s, so every local phase
+//! is metered and traced with the same instruments as the single-tape
+//! deciders, and the distributed verdicts are pinned to the single-tape
+//! ones by the differential test battery in `tests/`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod checksort;
+pub mod engine;
+pub mod fingerprint;
+pub mod partition;
+pub mod query;
+pub mod wire;
+
+pub use checksort::decide_check_sort;
+pub use engine::{parallel_step, Exchange, MpcOptions, MpcRun};
+pub use fingerprint::{decide_multiset_equality, MpcFingerprintRun};
+pub use partition::{hash_partition, range_partition, range_shard};
+pub use query::{evaluate_sym_diff, MpcQueryRun};
+pub use wire::{Envelope, Payload};

@@ -1,0 +1,127 @@
+//! Record partitioners: how an instance's records land on `p` workers.
+//!
+//! Two placements, matching the two decider families:
+//!
+//! * [`range_partition`] — contiguous index chunks. This is the *input
+//!   placement* every decider starts from (the data arrives sharded in
+//!   order, as on a distributed file system), and the one the CHECK-SORT
+//!   merge tree needs: concatenating per-worker runs in worker order
+//!   reconstructs the original index order.
+//! * [`hash_partition`] — a seeded hash of the record's bits. The Q′
+//!   hash-join shuffle routes every copy of a value to the same worker,
+//!   so local symmetric differences compose into the global one.
+//!
+//! Both are pure functions of `(record/index, p, seed)` — no RNG state —
+//! so placement is reproducible across runs, worker counts are explicit,
+//! and the shard-count invariance property tests can sweep `p` freely.
+
+use st_problems::BitStr;
+
+/// The contiguous chunk owner of record `index` among `total` records
+/// split across `p` workers: worker `⌊index·p/total⌋`, the balanced
+/// split with every chunk size in `{⌊total/p⌋, ⌈total/p⌉}`.
+#[must_use]
+pub fn range_partition(index: usize, total: usize, p: usize) -> usize {
+    let p = p.max(1);
+    if total == 0 {
+        return 0;
+    }
+    assert!(index < total, "record index out of range");
+    (index * p) / total
+}
+
+/// The records of one list a worker owns under [`range_partition`].
+#[must_use]
+pub fn range_shard<T: Clone>(items: &[T], worker: usize, p: usize) -> Vec<T> {
+    items
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| range_partition(*i, items.len(), p) == worker)
+        .map(|(_, v)| v.clone())
+        .collect()
+}
+
+/// Seeded FNV-1a over the record's bits (plus its length, so `"0"` and
+/// `"00"` separate), reduced mod `p`. Every occurrence of a value hashes
+/// to the same worker — the hash-join co-location guarantee.
+#[must_use]
+pub fn hash_partition(seed: u64, record: &BitStr, p: usize) -> usize {
+    let p = p.max(1);
+    let mut h = 0xcbf2_9ce4_8422_2325u64 ^ seed;
+    let prime = 0x0000_0100_0000_01b3u64;
+    h = (h ^ record.len() as u64).wrapping_mul(prime);
+    for bit in record.iter() {
+        h = (h ^ u64::from(bit)).wrapping_mul(prime);
+    }
+    (h % p as u64) as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bs(s: &str) -> BitStr {
+        BitStr::parse(s).unwrap()
+    }
+
+    #[test]
+    fn range_partition_is_monotone_and_balanced() {
+        for total in [1usize, 2, 5, 16, 33] {
+            for p in [1usize, 2, 3, 7, 16] {
+                let owners: Vec<usize> = (0..total).map(|i| range_partition(i, total, p)).collect();
+                assert!(owners.windows(2).all(|w| w[0] <= w[1]), "monotone");
+                assert!(owners.iter().all(|&w| w < p), "in range");
+                let mut counts = vec![0usize; p];
+                for &w in &owners {
+                    counts[w] += 1;
+                }
+                let (lo, hi) = (total / p, total.div_ceil(p));
+                assert!(
+                    counts.iter().all(|&c| c == lo || c == hi),
+                    "balanced: {counts:?} for total={total} p={p}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn range_shards_concatenate_to_the_original() {
+        let items: Vec<u32> = (0..23).collect();
+        for p in [1usize, 2, 3, 7, 16] {
+            let mut joined = Vec::new();
+            for w in 0..p {
+                joined.extend(range_shard(&items, w, p));
+            }
+            assert_eq!(joined, items);
+        }
+    }
+
+    #[test]
+    fn hash_partition_is_stable_and_value_consistent() {
+        let v = bs("010011");
+        for p in [1usize, 2, 3, 7, 16] {
+            let w = hash_partition(42, &v, p);
+            assert!(w < p);
+            assert_eq!(
+                hash_partition(42, &v.clone(), p),
+                w,
+                "same value, same worker"
+            );
+        }
+    }
+
+    #[test]
+    fn hash_partition_separates_length_from_value() {
+        // "0" and "00" encode different records; with enough workers the
+        // seeded hash tells them apart for at least one seed.
+        let spread = (0..64u64)
+            .any(|seed| hash_partition(seed, &bs("0"), 16) != hash_partition(seed, &bs("00"), 16));
+        assert!(spread, "length never entered the hash");
+    }
+
+    #[test]
+    fn empty_list_partitions_to_worker_zero() {
+        assert_eq!(range_partition(0, 1, 4), 0);
+        assert!(range_shard(&Vec::<u32>::new(), 0, 4).is_empty());
+    }
+}

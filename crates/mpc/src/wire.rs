@@ -1,0 +1,384 @@
+//! The exchange wire codec: length-framed messages between workers.
+//!
+//! Every message crossing the [`Exchange`](crate::engine::Exchange)
+//! serializes through this codec, and its framed length is what the
+//! communication meter charges — bytes-on-the-wire are codec bytes, not
+//! an abstract record count. The frame discipline is the one the
+//! `st-serve` protocol uses (deliberately re-stated here rather than
+//! imported, to keep the crate graph acyclic): a frame is
+//! `[u32 LE body length][body]`, bodies over [`MAX_FRAME`] are rejected
+//! on both sides before any allocation, a clean EOF at a frame boundary
+//! is `Ok(None)`, and an EOF inside a header or body is an error — a
+//! torn frame must never panic or silently truncate.
+//!
+//! The body is `[from u32][to u32][payload]` where the payload is one of
+//! the [`Payload`] variants, tagged by a leading byte. Integers are
+//! little-endian; records travel as `u32`-length-prefixed ASCII bit
+//! strings (the instance alphabet), so empty values round-trip exactly.
+
+use st_problems::BitStr;
+use std::io::{self, Read, Write};
+
+/// Largest accepted frame body (16 MiB) — a malformed length prefix
+/// must not drive an allocation.
+pub const MAX_FRAME: u32 = 16 * 1024 * 1024;
+
+/// One message on the exchange: sender, receiver, and typed payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Envelope {
+    /// Sending worker index.
+    pub from: u32,
+    /// Receiving worker index.
+    pub to: u32,
+    /// The typed payload.
+    pub payload: Payload,
+}
+
+/// What a worker can say to another worker.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Payload {
+    /// Partial fingerprint sums `(Σ x^{eᵢ}, Σ x^{e′ᵢ}) mod p₂` over the
+    /// sender's shard — the one-round commutative combine of the
+    /// MULTISET-EQ decider.
+    Residues {
+        /// Partial first-half sum.
+        sum_first: u64,
+        /// Partial second-half sum.
+        sum_second: u64,
+    },
+    /// A run of records bound for the receiver's tape `tape` (0 = first
+    /// list, 1 = second list). For the CHECK-SORT merge tree the run is
+    /// sorted and its first/last records are the boundary keys the
+    /// receiver's handoff check reads.
+    Records {
+        /// Destination tape index on the receiving worker.
+        tape: u8,
+        /// The records, in tape order.
+        records: Vec<BitStr>,
+    },
+    /// A scalar count (the gather phase of the Q′ evaluator reports the
+    /// size of each worker's local symmetric difference).
+    Count(u64),
+}
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn oversize_frame() -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidInput, "frame body over MAX_FRAME")
+}
+
+fn put_record(out: &mut Vec<u8>, r: &BitStr) -> io::Result<()> {
+    let text = r.to_string();
+    let len = u32::try_from(text.len()).map_err(|_| oversize_frame())?;
+    put_u32(out, len);
+    out.extend_from_slice(text.as_bytes());
+    Ok(())
+}
+
+/// A cursor over a decoded body; every accessor fails on a truncated
+/// buffer instead of panicking.
+struct Rd<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Rd<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Rd { buf, pos: 0 }
+    }
+
+    fn u8(&mut self) -> Result<u8, String> {
+        let b = *self.buf.get(self.pos).ok_or("truncated frame")?;
+        self.pos += 1;
+        Ok(b)
+    }
+
+    fn u32(&mut self) -> Result<u32, String> {
+        let end = self.pos.checked_add(4).ok_or("truncated frame")?;
+        let bytes = self.buf.get(self.pos..end).ok_or("truncated frame")?;
+        self.pos = end;
+        Ok(u32::from_le_bytes(bytes.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, String> {
+        let end = self.pos.checked_add(8).ok_or("truncated frame")?;
+        let bytes = self.buf.get(self.pos..end).ok_or("truncated frame")?;
+        self.pos = end;
+        Ok(u64::from_le_bytes(bytes.try_into().unwrap()))
+    }
+
+    fn record(&mut self) -> Result<BitStr, String> {
+        let len = self.u32()? as usize;
+        let end = self.pos.checked_add(len).ok_or("truncated frame")?;
+        let data = self.buf.get(self.pos..end).ok_or("truncated frame")?;
+        self.pos = end;
+        let text = std::str::from_utf8(data).map_err(|_| "record is not UTF-8".to_string())?;
+        BitStr::parse(text).map_err(|e| format!("bad record: {e}"))
+    }
+
+    fn done(self) -> Result<(), String> {
+        if self.pos == self.buf.len() {
+            Ok(())
+        } else {
+            Err("trailing bytes in frame".into())
+        }
+    }
+}
+
+impl Envelope {
+    /// Serialize to a frame body. Fails with `InvalidInput` when the
+    /// body would exceed [`MAX_FRAME`] — the same cap [`read_frame`]
+    /// enforces on the receive side.
+    pub fn encode(&self) -> io::Result<Vec<u8>> {
+        let mut out = Vec::new();
+        put_u32(&mut out, self.from);
+        put_u32(&mut out, self.to);
+        match &self.payload {
+            Payload::Residues {
+                sum_first,
+                sum_second,
+            } => {
+                out.push(1);
+                put_u64(&mut out, *sum_first);
+                put_u64(&mut out, *sum_second);
+            }
+            Payload::Records { tape, records } => {
+                out.push(2);
+                out.push(*tape);
+                let count = u32::try_from(records.len()).map_err(|_| oversize_frame())?;
+                put_u32(&mut out, count);
+                for r in records {
+                    put_record(&mut out, r)?;
+                }
+            }
+            Payload::Count(v) => {
+                out.push(3);
+                put_u64(&mut out, *v);
+            }
+        }
+        if out.len() > MAX_FRAME as usize {
+            return Err(oversize_frame());
+        }
+        Ok(out)
+    }
+
+    /// Decode a frame body. Torn or trailing bytes are an error, never a
+    /// panic.
+    pub fn decode(body: &[u8]) -> Result<Self, String> {
+        let mut rd = Rd::new(body);
+        let from = rd.u32()?;
+        let to = rd.u32()?;
+        let payload = match rd.u8()? {
+            1 => Payload::Residues {
+                sum_first: rd.u64()?,
+                sum_second: rd.u64()?,
+            },
+            2 => {
+                let tape = rd.u8()?;
+                let count = rd.u32()? as usize;
+                // The cap bounds the pre-allocation: a lying count in a
+                // torn frame fails on the first missing record instead
+                // of reserving gigabytes.
+                let mut records = Vec::with_capacity(count.min(65_536));
+                for _ in 0..count {
+                    records.push(rd.record()?);
+                }
+                Payload::Records { tape, records }
+            }
+            3 => Payload::Count(rd.u64()?),
+            tag => return Err(format!("unknown payload tag {tag}")),
+        };
+        rd.done()?;
+        Ok(Envelope { from, to, payload })
+    }
+
+    /// The full on-the-wire size of this message: header plus body —
+    /// what the communication meter charges.
+    pub fn wire_len(&self) -> io::Result<u64> {
+        Ok(4 + self.encode()?.len() as u64)
+    }
+}
+
+/// Write one frame: `[u32 LE len][body]`.
+pub fn write_frame<W: Write>(w: &mut W, body: &[u8]) -> io::Result<()> {
+    let len = u32::try_from(body.len())
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidInput, "frame over 4 GiB"))?;
+    if len > MAX_FRAME {
+        return Err(oversize_frame());
+    }
+    w.write_all(&len.to_le_bytes())?;
+    w.write_all(body)
+}
+
+/// Read one frame. `Ok(None)` on a clean EOF at a frame boundary; an
+/// EOF inside the header or body is an `UnexpectedEof` error.
+pub fn read_frame<R: Read>(r: &mut R) -> io::Result<Option<Vec<u8>>> {
+    let mut len_bytes = [0u8; 4];
+    let mut filled = 0;
+    while filled < 4 {
+        let got = r.read(&mut len_bytes[filled..])?;
+        if got == 0 {
+            if filled == 0 {
+                return Ok(None);
+            }
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "EOF inside frame header",
+            ));
+        }
+        filled += got;
+    }
+    let len = u32::from_le_bytes(len_bytes);
+    if len > MAX_FRAME {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "frame over MAX_FRAME",
+        ));
+    }
+    let mut body = vec![0u8; len as usize];
+    r.read_exact(&mut body)?;
+    Ok(Some(body))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    fn bs(s: &str) -> BitStr {
+        BitStr::parse(s).unwrap()
+    }
+
+    #[test]
+    fn envelope_round_trips_every_payload() {
+        let envs = [
+            Envelope {
+                from: 0,
+                to: 0,
+                payload: Payload::Residues {
+                    sum_first: 12,
+                    sum_second: u64::MAX,
+                },
+            },
+            Envelope {
+                from: 3,
+                to: 1,
+                payload: Payload::Records {
+                    tape: 1,
+                    records: vec![bs(""), bs("0101"), bs("1")],
+                },
+            },
+            Envelope {
+                from: 15,
+                to: 0,
+                payload: Payload::Count(7),
+            },
+        ];
+        for env in envs {
+            let body = env.encode().unwrap();
+            assert_eq!(Envelope::decode(&body).unwrap(), env);
+        }
+    }
+
+    #[test]
+    fn frames_round_trip_through_a_stream() {
+        let mut buf = Vec::new();
+        let env = Envelope {
+            from: 2,
+            to: 0,
+            payload: Payload::Records {
+                tape: 0,
+                records: vec![bs("11"), bs("00")],
+            },
+        };
+        let body = env.encode().unwrap();
+        write_frame(&mut buf, &body).unwrap();
+        write_frame(&mut buf, &body).unwrap();
+        let mut cur = Cursor::new(buf);
+        assert_eq!(
+            Envelope::decode(&read_frame(&mut cur).unwrap().unwrap()).unwrap(),
+            env
+        );
+        assert_eq!(
+            Envelope::decode(&read_frame(&mut cur).unwrap().unwrap()).unwrap(),
+            env
+        );
+        assert!(read_frame(&mut cur).unwrap().is_none(), "clean EOF");
+    }
+
+    #[test]
+    fn torn_header_and_torn_body_error_without_panicking() {
+        // Two bytes of a four-byte header.
+        let mut cur = Cursor::new(vec![9u8, 0]);
+        assert!(read_frame(&mut cur).is_err());
+        // Complete header promising more body than exists.
+        let mut framed = Vec::new();
+        write_frame(&mut framed, b"hello").unwrap();
+        framed.truncate(framed.len() - 2);
+        let mut cur = Cursor::new(framed);
+        assert!(read_frame(&mut cur).is_err());
+    }
+
+    #[test]
+    fn oversize_length_prefix_is_rejected_before_allocation() {
+        let mut framed = Vec::new();
+        framed.extend_from_slice(&u32::MAX.to_le_bytes());
+        let mut cur = Cursor::new(framed);
+        let err = read_frame(&mut cur).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn truncated_bodies_error_on_decode() {
+        let env = Envelope {
+            from: 1,
+            to: 0,
+            payload: Payload::Records {
+                tape: 0,
+                records: vec![bs("010101"), bs("111")],
+            },
+        };
+        let body = env.encode().unwrap();
+        for cut in 0..body.len() {
+            assert!(
+                Envelope::decode(&body[..cut]).is_err(),
+                "prefix of {cut} bytes must not decode"
+            );
+        }
+        // Trailing garbage is also an error, not silently ignored.
+        let mut extended = body;
+        extended.push(0);
+        assert!(Envelope::decode(&extended).is_err());
+    }
+
+    #[test]
+    fn non_bit_record_text_is_rejected() {
+        // A hand-built Records body whose record text is not over {0,1}.
+        let mut body = Vec::new();
+        put_u32(&mut body, 0);
+        put_u32(&mut body, 0);
+        body.push(2); // Records
+        body.push(0); // tape
+        put_u32(&mut body, 1); // one record
+        put_u32(&mut body, 3);
+        body.extend_from_slice("0a1".as_bytes());
+        assert!(Envelope::decode(&body).is_err());
+    }
+
+    #[test]
+    fn wire_len_is_header_plus_body() {
+        let env = Envelope {
+            from: 0,
+            to: 1,
+            payload: Payload::Count(0),
+        };
+        let body = env.encode().unwrap();
+        assert_eq!(env.wire_len().unwrap(), 4 + body.len() as u64);
+    }
+}

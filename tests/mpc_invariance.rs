@@ -1,0 +1,82 @@
+//! Integration: the MPC experiments are worker- and jobs-invariant.
+//!
+//! e24/e25 ride the same parallel harness as every other experiment, so
+//! their acceptance gate is the same: `--jobs 1` and `--jobs 4` must
+//! produce **byte-identical** JSON and text artifacts, the verdicts must
+//! be REPRODUCED, and the claimed communication shapes (fingerprint flat
+//! at 1 round, Q′ flat at 2, CHECK-SORT at ⌈log₂p⌉) must be visible in
+//! the rendered tables themselves.
+
+use st_bench::all_experiments;
+use st_bench::report::{to_json, write_text};
+use st_bench::runner::{run_experiments, select_experiments, RunOptions, RunOutcome, TimingMode};
+use std::path::PathBuf;
+
+fn run(jobs: usize, trace_dir: PathBuf) -> RunOutcome {
+    std::fs::remove_dir_all(&trace_dir).ok();
+    let args: Vec<String> = ["e24", "e25"].iter().map(|s| (*s).to_string()).collect();
+    let selected = select_experiments(all_experiments(), &args).expect("known ids");
+    run_experiments(
+        &selected,
+        &RunOptions {
+            jobs,
+            trace_dir: Some(trace_dir),
+            timing: TimingMode::Suppressed,
+        },
+    )
+    .expect("runner must not fail on harness errors")
+}
+
+#[test]
+fn mpc_experiments_are_byte_identical_across_jobs_and_reproduced() {
+    let base = std::env::temp_dir().join("st_mpc_invariance_test");
+    let serial = run(1, base.join("j1"));
+    let parallel = run(4, base.join("j4"));
+
+    let json = to_json(&serial.reports);
+    assert_eq!(
+        json,
+        to_json(&parallel.reports),
+        "e24/e25 JSON must be byte-identical across --jobs values"
+    );
+    let mut serial_text = Vec::new();
+    write_text(&mut serial_text, &serial.reports).unwrap();
+    let mut parallel_text = Vec::new();
+    write_text(&mut parallel_text, &parallel.reports).unwrap();
+    assert_eq!(
+        serial_text, parallel_text,
+        "e24/e25 text must be byte-identical across --jobs values"
+    );
+
+    for outcome in [&serial, &parallel] {
+        assert_eq!(outcome.reports.len(), 2);
+        for r in &outcome.reports {
+            assert!(r.reproduced(), "{} not reproduced: {}", r.id, r.verdict);
+        }
+        for audit in &outcome.audits {
+            assert!(audit.ok, "trace audit failed for {}", audit.id);
+        }
+    }
+
+    // The flat and logarithmic shapes must be in the published rows:
+    // every e24 row reports 1 fingerprint round and 2 query rounds, and
+    // e25's round column equals its predicted ⌈log₂p⌉ column.
+    let e24 = serial.reports.iter().find(|r| r.id == "e24").unwrap();
+    for row in &e24.rows {
+        assert_eq!(row[1], "1", "fingerprint rounds flat: {row:?}");
+        assert_eq!(row[5], "2", "query rounds flat: {row:?}");
+    }
+    let e25 = serial.reports.iter().find(|r| r.id == "e25").unwrap();
+    let mut seen_rounds = Vec::new();
+    for row in &e25.rows {
+        assert_eq!(row[1], row[2], "rounds == predicted ⌈log₂p⌉: {row:?}");
+        seen_rounds.push(row[1].clone());
+    }
+    assert_eq!(
+        seen_rounds,
+        ["0", "1", "2", "3", "4"],
+        "⌈log₂p⌉ over p ∈ {{1,2,4,8,16}}"
+    );
+
+    std::fs::remove_dir_all(&base).ok();
+}
