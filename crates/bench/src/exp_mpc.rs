@@ -1,4 +1,5 @@
-//! Experiments E24–E25: the reversal→round correspondence, measured.
+//! Experiments E24–E27: the reversal→round correspondence, measured —
+//! and kept under network faults.
 //!
 //! The Beame–Koutris–Suciu MPC model charges synchronization rounds
 //! and bytes on the wire where the ST model charges head reversals.
@@ -16,6 +17,17 @@
 //!   merge tree, so its round count is exactly `⌈log₂p⌉` — the
 //!   distributed image of the sort deciders' `Θ(log N)` reversals
 //!   (Corollary 7).
+//! * **E26** — retry overhead vs drop rate: a seeded `NetFaultPlan`
+//!   drops (and corrupts) frames at increasing rates; the ack/retry
+//!   exchange pays for the storm in retransmissions and redundant
+//!   bytes, while every *published* meter — verdict, clean comm
+//!   tallies, per-worker usage, traces — stays bit-identical to the
+//!   fault-free run.
+//! * **E27** — crash-at-every-round sweep: for every decider and every
+//!   round, a worker is killed after that round and recovered by
+//!   deterministic re-execution from its durable journal; the recovered
+//!   run reproduces the fault-free artifacts bit for bit and bills the
+//!   dead incarnation's work to the recovery counters.
 //!
 //! Determinism: instances and seeds are fixed; the MPC engine's
 //! verdicts, communication tallies, and per-worker usage are
@@ -25,7 +37,10 @@
 use crate::report::Report;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use st_mpc::{decide_check_sort, decide_multiset_equality, evaluate_sym_diff, MpcOptions};
+use st_mpc::{
+    decide_check_sort, decide_multiset_equality, evaluate_sym_diff, MpcOptions, MpcRun,
+    NetFaultPlan,
+};
 use st_problems::generate;
 
 const WORKER_SWEEP: [usize; 5] = [1, 2, 4, 8, 16];
@@ -172,6 +187,157 @@ pub fn e25_mpc_sort_rounds() -> Report {
     r
 }
 
+/// The faulted run equals the clean run in every published artifact.
+fn transparent(clean: &MpcRun, faulted: &MpcRun) -> bool {
+    faulted.accepted == clean.accepted
+        && faulted.comm.clean() == clean.comm.clean()
+        && faulted.per_worker == clean.per_worker
+        && faulted.usage == clean.usage
+        && faulted.traces == clean.traces
+}
+
+/// E26 — retry overhead vs drop rate: transparency has a price, and it
+/// is billed entirely to the recovery counters.
+pub fn e26_mpc_retry_overhead() -> Report {
+    let mut r = Report::new(
+        "e26",
+        "MPC under packet loss: retry overhead vs drop rate",
+        "with frames dropped and corrupted at increasing seeded rates, the ack/retry \
+         exchange converges and every published artifact — verdict, clean comm meters, \
+         per-worker usage, traces — is bit-identical to the fault-free run; the storm's \
+         entire cost appears as retransmissions and redundant bytes in the recovery \
+         counters, which grow with the drop rate",
+        &[
+            "drop rate",
+            "rounds",
+            "msgs",
+            "clean wire",
+            "retries",
+            "redundant",
+            "acks",
+            "backoff",
+            "identical",
+        ],
+    );
+    let inst = generate::yes_checksort(64, 10, &mut StdRng::seed_from_u64(2601));
+    let opts = MpcOptions::with_workers(8);
+    let clean = decide_check_sort(&inst, &opts).expect("clean mpc check-sort");
+
+    let mut ok = true;
+    let mut prev_retries = 0u64;
+    let mut monotone = true;
+    for (i, rate) in [0.0, 0.1, 0.25, 0.5].into_iter().enumerate() {
+        let plan = NetFaultPlan::new(2602)
+            .with_drop(rate)
+            .with_corrupt(rate / 2.0);
+        let faulted = decide_check_sort(&inst, &opts.clone().with_fault_plan(plan))
+            .expect("faulted mpc check-sort");
+        let same = transparent(&clean, &faulted);
+        ok &= same;
+        ok &= (rate == 0.0) == (faulted.comm.retries == 0);
+        if i > 0 {
+            monotone &= faulted.comm.retries >= prev_retries;
+        }
+        prev_retries = faulted.comm.retries;
+        r.row(vec![
+            format!("{rate:.2}"),
+            faulted.comm.rounds.to_string(),
+            faulted.comm.messages.to_string(),
+            format!("{} B", faulted.comm.clean().bytes_on_wire),
+            faulted.comm.retries.to_string(),
+            format!("{} B", faulted.comm.redundant_bytes),
+            faulted.comm.acks.to_string(),
+            faulted.comm.backoff_ticks.to_string(),
+            if same { "yes" } else { "NO" }.to_string(),
+        ]);
+    }
+    r.verdict(
+        ok && monotone,
+        "bit-identical artifacts at every drop rate, zero retries only at rate 0, \
+         and retry volume non-decreasing in the drop rate",
+    );
+    r
+}
+
+/// E27 — crash-at-every-round sweep: deterministic re-execution from
+/// the durable journal makes worker death invisible everywhere but the
+/// recovery bill.
+pub fn e27_mpc_crash_sweep() -> Report {
+    let mut r = Report::new(
+        "e27",
+        "MPC worker crashes: kill-at-every-round recovery sweep",
+        "for each decider and each communication round, one worker is killed after \
+         that round and rebuilt by re-executing its journalled inputs; the recovered \
+         run reproduces the fault-free verdict, residues, usage, and traces bit for \
+         bit, while the dead incarnation's reversals and cells are billed to the \
+         recovery counters",
+        &[
+            "decider",
+            "round killed",
+            "worker",
+            "replayed rounds",
+            "lost reversals",
+            "lost cells",
+            "identical",
+        ],
+    );
+    let inst = generate::yes_checksort(64, 10, &mut StdRng::seed_from_u64(2701));
+    let p = 8usize;
+    let opts = MpcOptions::with_workers(p);
+    let fp_seed = 2702u64;
+
+    let clean_cs = decide_check_sort(&inst, &opts).expect("clean check-sort");
+    let clean_q = evaluate_sym_diff(&inst, &opts).expect("clean query");
+    let clean_fp = decide_multiset_equality(&inst, &mut StdRng::seed_from_u64(fp_seed), &opts)
+        .expect("clean fingerprint");
+
+    let mut ok = true;
+    let mut row = |decider: &str, round: u64, clean: &MpcRun, faulted: &MpcRun| -> bool {
+        let worker = (round as usize + 1) % p;
+        let same = transparent(clean, faulted) && faulted.comm.worker_crashes == 1;
+        r.row(vec![
+            decider.to_string(),
+            round.to_string(),
+            worker.to_string(),
+            faulted.comm.recovery_rounds.to_string(),
+            faulted.comm.lost_reversals.to_string(),
+            faulted.comm.lost_cells.to_string(),
+            if same { "yes" } else { "NO" }.to_string(),
+        ]);
+        same
+    };
+    for round in 0..clean_cs.comm.rounds {
+        let plan = NetFaultPlan::new(2703).kill_worker_after((round as usize + 1) % p, round);
+        let faulted = decide_check_sort(&inst, &opts.clone().with_fault_plan(plan))
+            .expect("faulted check-sort");
+        ok &= row("check-sort", round, &clean_cs, &faulted);
+    }
+    for round in 0..clean_q.run.comm.rounds {
+        let plan = NetFaultPlan::new(2703).kill_worker_after((round as usize + 1) % p, round);
+        let faulted =
+            evaluate_sym_diff(&inst, &opts.clone().with_fault_plan(plan)).expect("faulted query");
+        ok &= faulted.symdiff == clean_q.symdiff;
+        ok &= row("query Q\u{2032}", round, &clean_q.run, &faulted.run);
+    }
+    for round in 0..clean_fp.run.comm.rounds {
+        let plan = NetFaultPlan::new(2703).kill_worker_after((round as usize + 1) % p, round);
+        let faulted = decide_multiset_equality(
+            &inst,
+            &mut StdRng::seed_from_u64(fp_seed),
+            &opts.clone().with_fault_plan(plan),
+        )
+        .expect("faulted fingerprint");
+        ok &= faulted.residues == clean_fp.residues;
+        ok &= row("fingerprint", round, &clean_fp.run, &faulted.run);
+    }
+    r.verdict(
+        ok,
+        "every (decider, round) crash recovered to bit-identical artifacts with \
+         exactly one crash billed per run",
+    );
+    r
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -191,6 +357,21 @@ mod tests {
     }
 
     #[test]
+    fn e26_reproduces() {
+        let r = e26_mpc_retry_overhead();
+        assert!(r.reproduced(), "{}", r.verdict_line());
+    }
+
+    #[test]
+    fn e27_reproduces() {
+        let r = e27_mpc_crash_sweep();
+        assert!(r.reproduced(), "{}", r.verdict_line());
+        // One row per (decider, round): 3 for the merge tree at p=8,
+        // 2 for the query shuffle, 1 for the fingerprint.
+        assert_eq!(r.rows.len(), 6, "{r}");
+    }
+
+    #[test]
     fn experiments_are_deterministic_run_to_run() {
         assert_eq!(
             entry_json(&e24_mpc_flat_rounds()),
@@ -199,6 +380,14 @@ mod tests {
         assert_eq!(
             entry_json(&e25_mpc_sort_rounds()),
             entry_json(&e25_mpc_sort_rounds())
+        );
+        assert_eq!(
+            entry_json(&e26_mpc_retry_overhead()),
+            entry_json(&e26_mpc_retry_overhead())
+        );
+        assert_eq!(
+            entry_json(&e27_mpc_crash_sweep()),
+            entry_json(&e27_mpc_crash_sweep())
         );
     }
 }

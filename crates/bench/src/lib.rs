@@ -202,6 +202,18 @@ pub fn all_experiments() -> Vec<Experiment> {
             exp_mpc::e25_mpc_sort_rounds,
         ),
         e(
+            "e26",
+            "MPC under packet loss: retry overhead vs drop rate",
+            30,
+            exp_mpc::e26_mpc_retry_overhead,
+        ),
+        e(
+            "e27",
+            "MPC worker crashes: kill-at-every-round recovery sweep",
+            30,
+            exp_mpc::e27_mpc_crash_sweep,
+        ),
+        e(
             "f2",
             "Figure 2: one NLM transition, reproduced",
             5,

@@ -637,6 +637,50 @@ pub(crate) fn mpc_swept_checksort(word: &str, _seed: u64) -> Result<Option<bool>
     Ok(Some(reference.accepted))
 }
 
+/// CHECK-SORT under a seeded network fault storm vs the fault-free
+/// cluster, swept over worker counts. The storm drops, duplicates,
+/// reorders, corrupts, and delays frames on every link, and (when the
+/// run has any rounds) kills one worker mid-run so recovery replays it
+/// from its durable journal. Fault transparency is the invariant: the
+/// faulted run must reproduce the clean run's verdict, clean
+/// communication meters, per-worker usage, and traces bit for bit —
+/// any drift is an error the comparator flags as a disagreement. Both
+/// sides are deterministic, so the pairing against the single-tape
+/// decider stays exact.
+pub(crate) fn mpc_faulty_checksort(word: &str, seed: u64) -> Result<Option<bool>, StError> {
+    let Some(inst) = parse_inst(word) else {
+        return Ok(None);
+    };
+    let mut verdict = None;
+    for p in MPC_ORACLE_SWEEP {
+        let opts = st_mpc::MpcOptions::with_workers(p);
+        let clean = st_mpc::decide_check_sort(&inst, &opts)?;
+        let mut plan = st_mpc::NetFaultPlan::new(seed)
+            .with_drop(0.2)
+            .with_duplicate(0.2)
+            .with_reorder(0.2)
+            .with_corrupt(0.2)
+            .with_delay(0.2);
+        if p > 1 && clean.comm.rounds > 0 {
+            plan = plan.kill_worker_after(seed as usize % p, seed % clean.comm.rounds);
+        }
+        let faulted = st_mpc::decide_check_sort(&inst, &opts.clone().with_fault_plan(plan))?;
+        if faulted.accepted != clean.accepted
+            || faulted.comm.clean() != clean.comm.clean()
+            || faulted.per_worker != clean.per_worker
+            || faulted.traces != clean.traces
+        {
+            return Err(StError::Machine(format!(
+                "mpc check-sort under the fault storm at p={p} diverged from the \
+                 fault-free run (verdict {} vs {})",
+                faulted.accepted, clean.accepted
+            )));
+        }
+        verdict = Some(faulted.accepted);
+    }
+    Ok(verdict)
+}
+
 /// Totality probe: every parser must *return* on arbitrary text (errors
 /// are fine, panics are not — a panic is caught by the engine and
 /// reported as a disagreement), and a well-formed XML word must survive
@@ -796,6 +840,16 @@ pub fn all_oracles() -> Vec<Oracle> {
             right: "sortcheck::decide_check_sort",
             model: ErrorModel::Exact,
             left_run: mpc_swept_checksort,
+            right_run: sort_checksort,
+        },
+        Oracle {
+            id: "mpc-faulty-vs-clean",
+            title: "p-swept MPC CHECK-SORT under a seeded fault storm vs the clean decider",
+            guards: "fault transparency (st-mpc): recovery is bit-identical in every artifact",
+            left: "st_mpc::decide_check_sort under drop/dup/reorder/corrupt/delay + a kill",
+            right: "sortcheck::decide_check_sort",
+            model: ErrorModel::Exact,
+            left_run: mpc_faulty_checksort,
             right_run: sort_checksort,
         },
         Oracle {

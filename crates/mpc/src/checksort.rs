@@ -22,10 +22,10 @@
 //! the incoming first key and concatenates instead of merging when the
 //! runs do not interleave.
 
-use crate::engine::{parallel_step, Exchange, MpcOptions, MpcRun};
+use crate::engine::{Cluster, MpcOptions, MpcRun, Worker};
 use crate::partition::range_shard;
 use crate::wire::{Envelope, Payload};
-use st_core::StError;
+use st_core::{ResourceUsage, StError};
 use st_extmem::block;
 use st_extmem::TapeMachine;
 use st_problems::{BitStr, Instance};
@@ -39,11 +39,15 @@ const SCRATCH1: usize = 2;
 const SCRATCH2: usize = 3;
 
 /// One worker's state: a 4-tape machine holding its `xs` shard (being
-/// sorted), its `ys` chunk, and two merge scratch tapes, plus the
-/// inbox delivered by the previous exchange round.
+/// sorted), its `ys` chunk, and two merge scratch tapes.
 struct CsWorker {
     machine: TapeMachine<BitStr>,
-    inbox: Vec<Envelope>,
+}
+
+impl Worker for CsWorker {
+    fn usage(&self) -> ResourceUsage {
+        self.machine.usage()
+    }
 }
 
 /// Local phase: sort this worker's shard in place.
@@ -51,13 +55,42 @@ fn local_sort(state: &mut CsWorker, block_len: usize) -> Result<(), StError> {
     block::merge_sort(&mut state.machine, DATA, SCRATCH1, SCRATCH2, block_len)
 }
 
+/// The sender side of merge-tree round `step`: workers at odd multiples
+/// of `step` ship their sorted run and `ys` chunk to the even neighbour
+/// `step` below. Both messages go even when empty, so the message count
+/// stays a pure function of `p`.
+fn send_for_step(w: usize, step: usize, p: usize, state: &CsWorker) -> Vec<Envelope> {
+    let span = step * 2;
+    if step >= p || w % span != step {
+        return Vec::new();
+    }
+    let dst = (w - step) as u32;
+    vec![
+        Envelope {
+            from: w as u32,
+            to: dst,
+            payload: Payload::Records {
+                tape: 0,
+                records: state.machine.tape(DATA).snapshot(),
+            },
+        },
+        Envelope {
+            from: w as u32,
+            to: dst,
+            payload: Payload::Records {
+                tape: 1,
+                records: state.machine.tape(SECOND).snapshot(),
+            },
+        },
+    ]
+}
+
 /// Absorb a partner's sorted run and `ys` chunk (one merge-tree round,
 /// receiver side). The `ys` chunk appends at the end — the receiver's
 /// indices precede the partner's, so concatenation preserves the
 /// original index order. The `xs` run concatenates when the boundary
 /// keys already agree, and otherwise merges through the scratch tapes.
-fn absorb(state: &mut CsWorker, block_len: usize) -> Result<(), StError> {
-    let inbox = std::mem::take(&mut state.inbox);
+fn absorb(state: &mut CsWorker, inbox: Vec<Envelope>, block_len: usize) -> Result<(), StError> {
     if inbox.is_empty() {
         return Ok(());
     }
@@ -122,88 +155,60 @@ fn absorb(state: &mut CsWorker, block_len: usize) -> Result<(), StError> {
 pub fn decide_check_sort(inst: &Instance, opts: &MpcOptions) -> Result<MpcRun, StError> {
     let p = opts.workers.max(1);
     let block_len = opts.block_len;
-    let jobs = opts.effective_jobs(p);
 
     // Serial plan: contiguous index shards of both lists.
-    let mut workers = Vec::with_capacity(p);
-    let mut buffers = Vec::with_capacity(p);
-    for w in 0..p {
+    let shards: Vec<Vec<Envelope>> = (0..p)
+        .map(|w| {
+            crate::wire::shard_envelopes(
+                w,
+                &range_shard(&inst.xs, w, p),
+                &range_shard(&inst.ys, w, p),
+            )
+        })
+        .collect();
+    let input_len = inst.size();
+    let mut cluster = Cluster::new(opts, shards, move |_w, shard| {
+        let (xs, ys) = crate::wire::split_shard(shard).map_err(StError::Machine)?;
         let (tracer, buf) = Tracer::in_memory();
-        buffers.push(buf);
-        let xs = range_shard(&inst.xs, w, p);
-        let ys = range_shard(&inst.ys, w, p);
-        let mut machine = TapeMachine::with_input_traced(xs, inst.size(), tracer);
+        let mut machine = TapeMachine::with_input_traced(xs, input_len, tracer);
         machine.add_tape_with("second", ys);
         machine.add_tape("scratch1");
         machine.add_tape("scratch2");
-        workers.push(CsWorker {
-            machine,
-            inbox: Vec::new(),
-        });
-    }
+        Ok((CsWorker { machine }, buf))
+    })?;
 
-    // Parallel execute: every worker sorts its shard locally.
-    let (mut workers, _) = parallel_step(workers, jobs, |_w, state| local_sort(state, block_len))?;
+    // Parallel execute: every worker sorts its shard locally and stages
+    // the first merge-tree round's messages.
+    cluster.compute(move |w, state, _inbox| {
+        local_sort(state, block_len)?;
+        Ok(send_for_step(w, 1, p, state))
+    })?;
 
-    // Merge tree: ⌈log₂p⌉ exchange rounds, each followed by a parallel
-    // absorb step on the receivers.
-    let mut exchange = Exchange::new(p);
+    // Merge tree: ⌈log₂p⌉ exchange rounds (none at p = 1), each
+    // followed by a parallel absorb step that also stages the next
+    // round's messages.
     let mut step = 1usize;
     while step < p {
         let span = step * 2;
-        let mut outgoing: Vec<Vec<Envelope>> = vec![Vec::new(); p];
-        for (w, outbox) in outgoing.iter_mut().enumerate() {
-            if w % span != step {
-                continue;
-            }
-            let dst = (w - step) as u32;
-            outbox.push(Envelope {
-                from: w as u32,
-                to: dst,
-                payload: Payload::Records {
-                    tape: 0,
-                    records: workers[w].machine.tape(DATA).snapshot(),
-                },
-            });
-            outbox.push(Envelope {
-                from: w as u32,
-                to: dst,
-                payload: Payload::Records {
-                    tape: 1,
-                    records: workers[w].machine.tape(SECOND).snapshot(),
-                },
-            });
-        }
-        exchange.round(outgoing)?;
-        for (w, state) in workers.iter_mut().enumerate() {
-            state.inbox = exchange.take_inbox(w);
-        }
-        let (next, _) = parallel_step(workers, jobs, |_w, state| absorb(state, block_len))?;
-        workers = next;
+        cluster.exchange()?;
+        cluster.compute(move |w, state, inbox| {
+            absorb(state, inbox, block_len)?;
+            Ok(send_for_step(w, span, p, state))
+        })?;
         step = span;
     }
 
     // Serial combine: worker 0 holds sorted(xs) and the reassembled ys;
     // one compare scan gives the Corollary 7 verdict.
     let accepted = {
-        let root = &mut workers[0].machine;
+        let root = &mut cluster.state_mut(0).machine;
         let meter = root.meter().clone();
         let (second, first) = root.pair_mut(SECOND, DATA);
         let (equal, sorted) = block::compare_sorted(second, first, &meter, block_len);
         equal && sorted
     };
 
-    let per_worker: Vec<_> = workers.iter().map(|s| s.machine.usage()).collect();
-    let traces = buffers
-        .iter()
-        .map(|b| crate::engine::trace_jsonl(&b.snapshot()))
-        .collect();
-    Ok(MpcRun::assemble(
-        accepted,
-        exchange.into_comm(),
-        per_worker,
-        traces,
-    ))
+    Ok(cluster.finish(accepted))
 }
 
 #[cfg(test)]

@@ -18,14 +18,14 @@
 //! equals the single-tape residues for every `p`, and the property
 //! tests hold it there.
 
-use crate::engine::{parallel_step, Exchange, MpcOptions, MpcRun};
+use crate::engine::{Cluster, MpcOptions, MpcRun, Worker};
 use crate::partition::range_shard;
 use crate::wire::{Envelope, Payload};
 use rand::Rng;
 use st_algo::fingerprint::sample_params;
 use st_algo::FingerprintParams;
 use st_core::math::{add_mod, mul_mod, pow_mod};
-use st_core::StError;
+use st_core::{ResourceUsage, StError};
 use st_extmem::meter::bits_for;
 use st_extmem::TapeMachine;
 use st_problems::{BitStr, Instance};
@@ -52,6 +52,12 @@ struct FpWorker {
     word: Vec<u8>,
     ys_count: u64,
     sums: (u64, u64),
+}
+
+impl Worker for FpWorker {
+    fn usage(&self) -> ResourceUsage {
+        self.machine.usage()
+    }
 }
 
 /// Encode a shard (first-half then second-half values) as the tape word.
@@ -156,57 +162,60 @@ pub fn decide_multiset_equality<R: Rng>(
         .unwrap_or(0) as u64;
     let params = sample_params(m, n_max, rng)?;
 
-    let mut workers = Vec::with_capacity(p);
-    let mut buffers = Vec::with_capacity(p);
-    for w in 0..p {
-        let (tracer, buf) = Tracer::in_memory();
-        buffers.push(buf);
-        let xs = range_shard(&inst.xs, w, p);
-        let ys = range_shard(&inst.ys, w, p);
-        let word = shard_word(&xs, &ys);
-        let mut machine = TapeMachine::new_traced(0, tracer);
-        machine.add_tape("input");
-        workers.push(FpWorker {
-            machine,
-            word,
-            ys_count: ys.len() as u64,
-            sums: (0, 0),
-        });
-    }
-
-    // Parallel execute: every worker folds its shard into partial sums.
-    // A degenerate parameter tuple (prime sampling failed) skips the
-    // arithmetic — the verdict must be an unconditional accept — but the
-    // gather round still runs, so the round count stays a constant 1.
-    let jobs = opts.effective_jobs(p);
-    let degenerate = params.degenerate();
-    let (workers, _) = parallel_step(workers, jobs, |_w, state| {
-        if degenerate {
-            return Ok(());
-        }
-        local_partial(state, params)
-    })?;
-
-    // Serial combine: one gather round to worker 0.
-    let mut exchange = Exchange::new(p);
-    let outgoing: Vec<Vec<Envelope>> = workers
-        .iter()
-        .enumerate()
-        .map(|(w, state)| {
-            vec![Envelope {
-                from: w as u32,
-                to: 0,
-                payload: Payload::Residues {
-                    sum_first: state.sums.0,
-                    sum_second: state.sums.1,
-                },
-            }]
+    let shards: Vec<Vec<Envelope>> = (0..p)
+        .map(|w| {
+            crate::wire::shard_envelopes(
+                w,
+                &range_shard(&inst.xs, w, p),
+                &range_shard(&inst.ys, w, p),
+            )
         })
         .collect();
-    exchange.round(outgoing)?;
+
+    // The factory rebuilds a worker from its journaled shard — called
+    // once per worker now and again on every crash recovery, so the
+    // construction path and the recovery path cannot drift apart.
+    let mut cluster = Cluster::new(opts, shards, |_w, shard| {
+        let (xs, ys) = crate::wire::split_shard(shard).map_err(StError::Machine)?;
+        let (tracer, buf) = Tracer::in_memory();
+        let mut machine = TapeMachine::new_traced(0, tracer);
+        machine.add_tape("input");
+        Ok((
+            FpWorker {
+                machine,
+                word: shard_word(&xs, &ys),
+                ys_count: ys.len() as u64,
+                sums: (0, 0),
+            },
+            buf,
+        ))
+    })?;
+
+    // Parallel execute: every worker folds its shard into partial sums
+    // and stages its residue message for the gather. A degenerate
+    // parameter tuple (prime sampling failed) skips the arithmetic —
+    // the verdict must be an unconditional accept — but the gather
+    // round still runs, so the round count stays a constant 1.
+    let degenerate = params.degenerate();
+    cluster.compute(move |w, state, _inbox| {
+        if !degenerate {
+            local_partial(state, params)?;
+        }
+        Ok(vec![Envelope {
+            from: w as u32,
+            to: 0,
+            payload: Payload::Residues {
+                sum_first: state.sums.0,
+                sum_second: state.sums.1,
+            },
+        }])
+    })?;
+    cluster.exchange()?;
+
+    // Serial combine at worker 0.
     let (mut sum_first, mut sum_second) = (0u64, 0u64);
     if !degenerate {
-        for env in exchange.take_inbox(0) {
+        for env in cluster.take_inbox(0) {
             let Payload::Residues {
                 sum_first: a,
                 sum_second: b,
@@ -220,13 +229,8 @@ pub fn decide_multiset_equality<R: Rng>(
     }
     let accepted = degenerate || sum_first == sum_second;
 
-    let per_worker: Vec<_> = workers.iter().map(|s| s.machine.usage()).collect();
-    let traces = buffers
-        .iter()
-        .map(|b| crate::engine::trace_jsonl(&b.snapshot()))
-        .collect();
     Ok(MpcFingerprintRun {
-        run: MpcRun::assemble(accepted, exchange.into_comm(), per_worker, traces),
+        run: cluster.finish(accepted),
         params,
         residues: (sum_first, sum_second),
     })

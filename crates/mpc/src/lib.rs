@@ -11,8 +11,17 @@
 //!
 //! * [`engine`] — the simulated cluster: a metered [`Exchange`] whose
 //!   every round is a synchronization barrier charged into
-//!   [`st_core::CommUsage`], and a deterministic parallel step built on
-//!   [`st_core::pool_map`] so `--jobs` never changes an artifact.
+//!   [`st_core::CommUsage`], a deterministic parallel step built on
+//!   [`st_core::pool_map`] so `--jobs` never changes an artifact, and a
+//!   [`Cluster`] lifecycle layer that journals supersteps and rebuilds
+//!   crashed workers from their durable checkpoints.
+//! * [`fault`] — seeded, deterministic network fault plans
+//!   ([`NetFaultPlan`]): per-link drop / duplicate / reorder / corrupt /
+//!   delay rates plus scheduled worker kills, injected between the wire
+//!   codec and the exchange. Under any plan with finite retry budget,
+//!   verdicts, residues, and every [`st_core::ResourceUsage`] stay
+//!   bit-identical to the fault-free run — only the `CommUsage`
+//!   recovery counters differ.
 //! * [`partition`] — range (contiguous index chunks) and seeded-hash
 //!   record placement.
 //! * [`wire`] — the length-framed envelope codec every message round
@@ -34,13 +43,15 @@
 
 pub mod checksort;
 pub mod engine;
+pub mod fault;
 pub mod fingerprint;
 pub mod partition;
 pub mod query;
 pub mod wire;
 
 pub use checksort::decide_check_sort;
-pub use engine::{parallel_step, Exchange, MpcOptions, MpcRun};
+pub use engine::{parallel_step, Cluster, Exchange, MpcOptions, MpcRun, Worker};
+pub use fault::{FaultKind, KillSpec, NetFaultPlan, DEFAULT_RETRY_BUDGET};
 pub use fingerprint::{decide_multiset_equality, MpcFingerprintRun};
 pub use partition::{hash_partition, range_partition, range_shard};
 pub use query::{evaluate_sym_diff, MpcQueryRun};

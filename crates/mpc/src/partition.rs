@@ -19,15 +19,17 @@ use st_problems::BitStr;
 
 /// The contiguous chunk owner of record `index` among `total` records
 /// split across `p` workers: worker `⌊index·p/total⌋`, the balanced
-/// split with every chunk size in `{⌊total/p⌋, ⌈total/p⌉}`.
+/// split with every chunk size in `{⌊total/p⌋, ⌈total/p⌉}`. An index at
+/// or past `total` clamps to the last record's owner instead of
+/// panicking — placement is total, so a caller's off-by-one cannot take
+/// the cluster down.
 #[must_use]
 pub fn range_partition(index: usize, total: usize, p: usize) -> usize {
     let p = p.max(1);
     if total == 0 {
         return 0;
     }
-    assert!(index < total, "record index out of range");
-    (index * p) / total
+    (index.min(total - 1) * p) / total
 }
 
 /// The records of one list a worker owns under [`range_partition`].
@@ -123,5 +125,11 @@ mod tests {
     fn empty_list_partitions_to_worker_zero() {
         assert_eq!(range_partition(0, 1, 4), 0);
         assert!(range_shard(&Vec::<u32>::new(), 0, 4).is_empty());
+    }
+
+    #[test]
+    fn out_of_range_index_clamps_to_the_last_owner() {
+        assert_eq!(range_partition(23, 23, 4), range_partition(22, 23, 4));
+        assert_eq!(range_partition(usize::MAX, 23, 4), 3);
     }
 }

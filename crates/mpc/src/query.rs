@@ -17,10 +17,10 @@
 //! even when empty, so the message count `2p² + p` is a pure function
 //! of `p`; only the byte volume tracks the data.
 
-use crate::engine::{parallel_step, Exchange, MpcOptions, MpcRun};
+use crate::engine::{Cluster, MpcOptions, MpcRun, Worker};
 use crate::partition::{hash_partition, range_shard};
 use crate::wire::{Envelope, Payload};
-use st_core::StError;
+use st_core::{ResourceUsage, StError};
 use st_extmem::block;
 use st_extmem::tape::Tape;
 use st_extmem::TapeMachine;
@@ -46,13 +46,23 @@ pub struct MpcQueryRun {
     pub symdiff: u64,
 }
 
-/// One worker's state: received fragments land on the machine's two
-/// relation tapes; `count` is its local `|Q′_w|` after the local phase.
+/// One worker's state: its initial contiguous shard of both relations
+/// (`xs`/`ys`, what the shuffle routes away), the fragments received
+/// from the shuffle (`r1_in`/`r2_in`), and `count`, its local `|Q′_w|`
+/// after the local phase.
 struct QWorker {
     machine: TapeMachine<BitStr>,
+    xs: Vec<BitStr>,
+    ys: Vec<BitStr>,
     r1_in: Vec<BitStr>,
     r2_in: Vec<BitStr>,
     count: u64,
+}
+
+impl Worker for QWorker {
+    fn usage(&self) -> ResourceUsage {
+        self.machine.usage()
+    }
 }
 
 /// Pop the next value from a sorted tape, consuming any duplicates —
@@ -115,113 +125,108 @@ fn local_symdiff(state: &mut QWorker, block_len: usize) -> Result<(), StError> {
 pub fn evaluate_sym_diff(inst: &Instance, opts: &MpcOptions) -> Result<MpcQueryRun, StError> {
     let p = opts.workers.max(1);
     let block_len = opts.block_len;
-    let jobs = opts.effective_jobs(p);
 
     // Serial plan: each worker starts with its contiguous index shard
     // of both relations.
-    let mut workers = Vec::with_capacity(p);
-    let mut buffers = Vec::with_capacity(p);
-    let mut shards = Vec::with_capacity(p);
-    for w in 0..p {
+    let shards: Vec<Vec<Envelope>> = (0..p)
+        .map(|w| {
+            crate::wire::shard_envelopes(
+                w,
+                &range_shard(&inst.xs, w, p),
+                &range_shard(&inst.ys, w, p),
+            )
+        })
+        .collect();
+    let input_len = inst.size();
+    let mut cluster = Cluster::new(opts, shards, move |_w, shard| {
+        let (xs, ys) = crate::wire::split_shard(shard).map_err(StError::Machine)?;
         let (tracer, buf) = Tracer::in_memory();
-        buffers.push(buf);
-        let mut machine = TapeMachine::new_traced(inst.size(), tracer);
+        let mut machine = TapeMachine::new_traced(input_len, tracer);
         machine.add_tape("r1");
         machine.add_tape("r2");
         machine.add_tape("scratch1");
         machine.add_tape("scratch2");
-        shards.push((range_shard(&inst.xs, w, p), range_shard(&inst.ys, w, p)));
-        workers.push(QWorker {
-            machine,
-            r1_in: Vec::new(),
-            r2_in: Vec::new(),
-            count: 0,
-        });
-    }
+        Ok((
+            QWorker {
+                machine,
+                xs,
+                ys,
+                r1_in: Vec::new(),
+                r2_in: Vec::new(),
+                count: 0,
+            },
+            buf,
+        ))
+    })?;
 
     // Round 1 — the shuffle: route every tuple to the hash owner of its
     // value. Both relation envelopes ship to every destination, empty
     // or not, so the message count is a pure function of p.
-    let mut exchange = Exchange::new(p);
-    let outgoing: Vec<Vec<Envelope>> = shards
-        .iter()
-        .enumerate()
-        .map(|(w, (xs, ys))| {
-            let mut routed: Vec<(Vec<BitStr>, Vec<BitStr>)> = vec![(Vec::new(), Vec::new()); p];
-            for v in xs {
-                routed[hash_partition(SHUFFLE_SEED, v, p)].0.push(v.clone());
-            }
-            for v in ys {
-                routed[hash_partition(SHUFFLE_SEED, v, p)].1.push(v.clone());
-            }
-            routed
-                .into_iter()
-                .enumerate()
-                .flat_map(|(dst, (r1, r2))| {
-                    [
-                        Envelope {
-                            from: w as u32,
-                            to: dst as u32,
-                            payload: Payload::Records {
-                                tape: 0,
-                                records: r1,
-                            },
+    cluster.compute(move |w, state, _inbox| {
+        let mut routed: Vec<(Vec<BitStr>, Vec<BitStr>)> = vec![(Vec::new(), Vec::new()); p];
+        for v in &state.xs {
+            routed[hash_partition(SHUFFLE_SEED, v, p)].0.push(v.clone());
+        }
+        for v in &state.ys {
+            routed[hash_partition(SHUFFLE_SEED, v, p)].1.push(v.clone());
+        }
+        Ok(routed
+            .into_iter()
+            .enumerate()
+            .flat_map(|(dst, (r1, r2))| {
+                [
+                    Envelope {
+                        from: w as u32,
+                        to: dst as u32,
+                        payload: Payload::Records {
+                            tape: 0,
+                            records: r1,
                         },
-                        Envelope {
-                            from: w as u32,
-                            to: dst as u32,
-                            payload: Payload::Records {
-                                tape: 1,
-                                records: r2,
-                            },
+                    },
+                    Envelope {
+                        from: w as u32,
+                        to: dst as u32,
+                        payload: Payload::Records {
+                            tape: 1,
+                            records: r2,
                         },
-                    ]
-                })
-                .collect()
-        })
-        .collect();
-    exchange.round(outgoing)?;
-    for (w, state) in workers.iter_mut().enumerate() {
-        for env in exchange.take_inbox(w) {
+                    },
+                ]
+            })
+            .collect())
+    })?;
+    cluster.exchange()?;
+
+    // Parallel execute: ingest the shuffled fragments, run the local
+    // sort + dedup symmetric-difference count, and stage the gather.
+    cluster.compute(move |w, state, inbox| {
+        for env in inbox {
             match env.payload {
                 Payload::Records { tape: 0, records } => state.r1_in.extend(records),
                 Payload::Records { tape: 1, records } => state.r2_in.extend(records),
                 _ => return Err(StError::Machine("unexpected payload in shuffle".into())),
             }
         }
-    }
+        local_symdiff(state, block_len)?;
+        Ok(vec![Envelope {
+            from: w as u32,
+            to: 0,
+            payload: Payload::Count(state.count),
+        }])
+    })?;
+    cluster.exchange()?;
 
-    // Parallel execute: local sort + dedup symmetric-difference count.
-    let (workers, _) = parallel_step(workers, jobs, |_w, state| local_symdiff(state, block_len))?;
-
-    // Round 2 — gather the counts at worker 0 and combine.
-    let outgoing: Vec<Vec<Envelope>> = workers
-        .iter()
-        .enumerate()
-        .map(|(w, state)| {
-            vec![Envelope {
-                from: w as u32,
-                to: 0,
-                payload: Payload::Count(state.count),
-            }]
-        })
-        .collect();
-    exchange.round(outgoing)?;
+    // Round 2 lands at worker 0: combine the counts serially.
     let mut total = 0u64;
-    for env in exchange.take_inbox(0) {
+    for env in cluster.take_inbox(0) {
         let Payload::Count(c) = env.payload else {
             return Err(StError::Machine("unexpected payload in gather".into()));
         };
         total += c;
     }
 
-    let per_worker: Vec<_> = workers.iter().map(|s| s.machine.usage()).collect();
-    let traces = buffers
-        .iter()
-        .map(|b| crate::engine::trace_jsonl(&b.snapshot()))
-        .collect();
     Ok(MpcQueryRun {
-        run: MpcRun::assemble(total == 0, exchange.into_comm(), per_worker, traces),
+        run: cluster.finish(total == 0),
         symdiff: total,
     })
 }

@@ -16,12 +16,20 @@
 //! little-endian; records travel as `u32`-length-prefixed ASCII bit
 //! strings (the instance alphabet), so empty values round-trip exactly.
 
+use st_extmem::durable::crc32;
 use st_problems::BitStr;
 use std::io::{self, Read, Write};
 
 /// Largest accepted frame body (16 MiB) — a malformed length prefix
 /// must not drive an allocation.
 pub const MAX_FRAME: u32 = 16 * 1024 * 1024;
+
+/// Full per-message wire overhead on the exchange: the `u32` length
+/// prefix plus the [`seal_net`] header (`[seq u32][crc u32]`). The
+/// communication meter charges `NET_HEADER + body.len()` per message —
+/// faulted and fault-free runs alike, so `bytes_on_wire` stays
+/// bit-identical under any fault plan.
+pub const NET_HEADER: u64 = 12;
 
 /// One message on the exchange: sender, receiver, and typed payload.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -103,14 +111,20 @@ impl<'a> Rd<'a> {
         let end = self.pos.checked_add(4).ok_or("truncated frame")?;
         let bytes = self.buf.get(self.pos..end).ok_or("truncated frame")?;
         self.pos = end;
-        Ok(u32::from_le_bytes(bytes.try_into().unwrap()))
+        let arr: [u8; 4] = bytes
+            .try_into()
+            .map_err(|_| "truncated frame".to_string())?;
+        Ok(u32::from_le_bytes(arr))
     }
 
     fn u64(&mut self) -> Result<u64, String> {
         let end = self.pos.checked_add(8).ok_or("truncated frame")?;
         let bytes = self.buf.get(self.pos..end).ok_or("truncated frame")?;
         self.pos = end;
-        Ok(u64::from_le_bytes(bytes.try_into().unwrap()))
+        let arr: [u8; 8] = bytes
+            .try_into()
+            .map_err(|_| "truncated frame".to_string())?;
+        Ok(u64::from_le_bytes(arr))
     }
 
     fn record(&mut self) -> Result<BitStr, String> {
@@ -246,6 +260,99 @@ pub fn read_frame<R: Read>(r: &mut R) -> io::Result<Option<Vec<u8>>> {
     Ok(Some(body))
 }
 
+/// Encode worker `w`'s initial shard — its chunk of the first list
+/// (tape 0) and the second list (tape 1) — as the loopback envelope
+/// pair the [`Cluster`](crate::engine::Cluster) journals as the
+/// worker's durable checkpoint and feeds back through the factory on
+/// crash recovery.
+#[must_use]
+pub fn shard_envelopes(w: usize, xs: &[BitStr], ys: &[BitStr]) -> Vec<Envelope> {
+    let w = w as u32;
+    vec![
+        Envelope {
+            from: w,
+            to: w,
+            payload: Payload::Records {
+                tape: 0,
+                records: xs.to_vec(),
+            },
+        },
+        Envelope {
+            from: w,
+            to: w,
+            payload: Payload::Records {
+                tape: 1,
+                records: ys.to_vec(),
+            },
+        },
+    ]
+}
+
+/// Inverse of [`shard_envelopes`]: split a shard envelope list back
+/// into the tape-0 and tape-1 record lists. Unknown tapes or non-record
+/// payloads are an error — a journal holding them is corrupt.
+pub fn split_shard(envs: &[Envelope]) -> Result<(Vec<BitStr>, Vec<BitStr>), String> {
+    let mut xs = Vec::new();
+    let mut ys = Vec::new();
+    for env in envs {
+        match &env.payload {
+            Payload::Records { tape: 0, records } => xs.extend(records.iter().cloned()),
+            Payload::Records { tape: 1, records } => ys.extend(records.iter().cloned()),
+            Payload::Records { tape, .. } => {
+                return Err(format!("shard envelope names unknown tape {tape}"))
+            }
+            other => return Err(format!("non-record payload in shard: {other:?}")),
+        }
+    }
+    Ok((xs, ys))
+}
+
+/// Seal an envelope body into a checksummed net frame:
+/// `[seq u32 LE][crc32 u32 LE][body]`, where the crc (the WAL's
+/// reflected crc32, reused from [`st_extmem::durable`]) covers the seq
+/// bytes *and* the body — a flip of any single byte anywhere in the
+/// frame, sequence number included, fails verification on receipt.
+#[must_use]
+pub fn seal_net(seq: u32, body: &[u8]) -> Vec<u8> {
+    let seq_bytes = seq.to_le_bytes();
+    let mut summed = Vec::with_capacity(4 + body.len());
+    summed.extend_from_slice(&seq_bytes);
+    summed.extend_from_slice(body);
+    let crc = crc32(&summed);
+    let mut out = Vec::with_capacity(8 + body.len());
+    out.extend_from_slice(&seq_bytes);
+    out.extend_from_slice(&crc.to_le_bytes());
+    out.extend_from_slice(body);
+    out
+}
+
+/// Open a sealed net frame: verify the crc and return `(seq, body)`.
+/// A truncated header or a checksum mismatch is an error — the caller
+/// treats it as a detected corruption and requests retransmission.
+pub fn open_net(frame: &[u8]) -> Result<(u32, &[u8]), String> {
+    if frame.len() < 8 {
+        return Err("net frame shorter than its header".into());
+    }
+    let seq_bytes: [u8; 4] = frame[0..4]
+        .try_into()
+        .map_err(|_| "truncated net header".to_string())?;
+    let crc_bytes: [u8; 4] = frame[4..8]
+        .try_into()
+        .map_err(|_| "truncated net header".to_string())?;
+    let body = &frame[8..];
+    let mut summed = Vec::with_capacity(4 + body.len());
+    summed.extend_from_slice(&seq_bytes);
+    summed.extend_from_slice(body);
+    let expect = u32::from_le_bytes(crc_bytes);
+    let got = crc32(&summed);
+    if got != expect {
+        return Err(format!(
+            "net frame crc mismatch: {got:#010x} != {expect:#010x}"
+        ));
+    }
+    Ok((u32::from_le_bytes(seq_bytes), body))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -369,6 +476,57 @@ mod tests {
         put_u32(&mut body, 3);
         body.extend_from_slice("0a1".as_bytes());
         assert!(Envelope::decode(&body).is_err());
+    }
+
+    #[test]
+    fn sealed_net_frames_round_trip_and_detect_any_single_byte_flip() {
+        let env = Envelope {
+            from: 1,
+            to: 3,
+            payload: Payload::Records {
+                tape: 1,
+                records: vec![bs("0101"), bs(""), bs("1")],
+            },
+        };
+        let body = env.encode().unwrap();
+        let sealed = seal_net(0xdead_beef, &body);
+        assert_eq!(sealed.len() as u64, 8 + body.len() as u64);
+        let (seq, got) = open_net(&sealed).unwrap();
+        assert_eq!(seq, 0xdead_beef);
+        assert_eq!(got, body.as_slice());
+        // Every single-byte corruption — seq field, crc field, body —
+        // must fail verification.
+        for i in 0..sealed.len() {
+            for mask in [0x01u8, 0x80, 0xff] {
+                let mut bad = sealed.clone();
+                bad[i] ^= mask;
+                assert!(open_net(&bad).is_err(), "flip at byte {i} mask {mask:#x}");
+            }
+        }
+        assert!(open_net(&sealed[..7]).is_err(), "short frame");
+    }
+
+    #[test]
+    fn net_header_matches_the_seal_plus_length_prefix() {
+        let body = b"xyz";
+        let sealed = seal_net(7, body);
+        assert_eq!(NET_HEADER, 4 + (sealed.len() - body.len()) as u64);
+    }
+
+    #[test]
+    fn shard_envelopes_split_back_into_their_lists() {
+        let xs = vec![bs("01"), bs("")];
+        let ys = vec![bs("111")];
+        let envs = shard_envelopes(3, &xs, &ys);
+        assert!(envs.iter().all(|e| e.from == 3 && e.to == 3));
+        assert_eq!(split_shard(&envs).unwrap(), (xs, ys));
+        // A gather payload is not a shard.
+        let bad = [Envelope {
+            from: 0,
+            to: 0,
+            payload: Payload::Count(1),
+        }];
+        assert!(split_shard(&bad).is_err());
     }
 
     #[test]

@@ -28,7 +28,8 @@ fn usage_error(msg: &str) -> ! {
     eprintln!("{msg}");
     eprintln!(
         "usage: serve (--script FILE | --demo N) [--print-script] [--seed S] \
-         [--jobs J] [--step-batch B] [--trace-dir DIR] [--listen ADDR]"
+         [--jobs J] [--step-batch B] [--trace-dir DIR] [--listen ADDR] \
+         [--read-timeout SECS]"
     );
     std::process::exit(2);
 }
@@ -49,6 +50,8 @@ fn main() {
         take_u64_flag(&mut args, "--step-batch", 64).unwrap_or_else(|e| usage_error(&e));
     let trace_dir = take_path_flag(&mut args, "--trace-dir").unwrap_or_else(|e| usage_error(&e));
     let listen = take_flag(&mut args, "--listen").unwrap_or_else(|e| usage_error(&e));
+    let read_timeout =
+        take_u64_flag(&mut args, "--read-timeout", 30).unwrap_or_else(|e| usage_error(&e));
     if let Some(stray) = args.first() {
         usage_error(&format!("unexpected argument {stray}"));
     }
@@ -83,6 +86,17 @@ fn main() {
             for stream in listener.incoming() {
                 match stream {
                     Ok(stream) => {
+                        // A stalled peer must not pin a handler thread
+                        // forever: past the deadline the handler answers
+                        // a typed error and closes orderly (0 = no
+                        // timeout).
+                        if read_timeout > 0 {
+                            if let Err(e) = stream.set_read_timeout(Some(
+                                std::time::Duration::from_secs(read_timeout),
+                            )) {
+                                eprintln!("setting read timeout: {e}");
+                            }
+                        }
                         let service = &service;
                         scope.spawn(move || {
                             if let Err(e) = handle_stream(service, stream) {

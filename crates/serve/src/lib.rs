@@ -50,7 +50,9 @@ pub mod service;
 pub mod session;
 
 pub use admission::{declared_input_len, rejection_bill, reserve, sort_pass_bound};
-pub use protocol::{read_frame, write_frame, Request, Response};
+pub use protocol::{read_frame, read_frame_lenient, write_frame, FrameRead, Request, Response};
 pub use script::{Script, SessionSpec, TenantSpec, TrafficFamily, WordSpec};
-pub use service::{handle_stream, run_script, ScriptRun, ServeOptions, Service, SessionResult};
+pub use service::{
+    handle_stream, run_script, ScriptRun, ServeOptions, Service, ServiceLimits, SessionResult,
+};
 pub use session::{DeciderKind, Session, SessionAudit};

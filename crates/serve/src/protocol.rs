@@ -104,6 +104,13 @@ pub enum Response {
         /// Human-readable cause.
         message: String,
     },
+    /// Backpressure: the request was shed without being applied (the
+    /// session's feed buffer is at capacity). The session is unchanged;
+    /// the client should step it forward before feeding more.
+    Throttled {
+        /// Echoed session id.
+        session: u64,
+    },
 }
 
 fn put_u64(out: &mut Vec<u8>, v: u64) {
@@ -347,6 +354,10 @@ impl Response {
                 put_u64(&mut out, *session);
                 put_str(&mut out, message)?;
             }
+            Response::Throttled { session } => {
+                out.push(71);
+                put_u64(&mut out, *session);
+            }
         }
         check_frame_len(out)
     }
@@ -376,6 +387,7 @@ impl Response {
                 session: rd.u64()?,
                 message: rd.str()?,
             },
+            71 => Response::Throttled { session: rd.u64()? },
             tag => return Err(format!("unknown response tag {tag}")),
         };
         rd.done()?;
@@ -424,6 +436,57 @@ pub fn read_frame<R: Read>(r: &mut R) -> io::Result<Option<Vec<u8>>> {
     let mut body = vec![0u8; len as usize];
     r.read_exact(&mut body)?;
     Ok(Some(body))
+}
+
+/// What [`read_frame_lenient`] saw on the wire.
+#[derive(Debug, PartialEq, Eq)]
+pub enum FrameRead {
+    /// Clean EOF at a frame boundary.
+    Eof,
+    /// A complete frame body within the cap.
+    Frame(Vec<u8>),
+    /// A header declaring `len` bytes over [`MAX_FRAME`]; the body was
+    /// drained and discarded so the stream stays framed.
+    Oversize(u32),
+}
+
+/// Like [`read_frame`], but an oversize length prefix drains the
+/// declared body instead of poisoning the transport — the caller can
+/// answer with a typed [`Response::Error`] and keep the connection.
+/// Torn frames (EOF mid-header or mid-body) are still hard errors: once
+/// bytes go missing there is no frame boundary left to recover to.
+pub fn read_frame_lenient<R: Read>(r: &mut R) -> io::Result<FrameRead> {
+    let mut len_bytes = [0u8; 4];
+    let mut filled = 0;
+    while filled < 4 {
+        let got = r.read(&mut len_bytes[filled..])?;
+        if got == 0 {
+            if filled == 0 {
+                return Ok(FrameRead::Eof);
+            }
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "EOF inside frame header",
+            ));
+        }
+        filled += got;
+    }
+    let len = u32::from_le_bytes(len_bytes);
+    if len > MAX_FRAME {
+        // Drain and discard the declared body; the next frame header
+        // follows it.
+        let drained = io::copy(&mut r.take(u64::from(len)), &mut io::sink())?;
+        if drained < u64::from(len) {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "EOF inside oversize frame body",
+            ));
+        }
+        return Ok(FrameRead::Oversize(len));
+    }
+    let mut body = vec![0u8; len as usize];
+    r.read_exact(&mut body)?;
+    Ok(FrameRead::Frame(body))
 }
 
 #[cfg(test)]
@@ -492,10 +555,38 @@ mod tests {
                 session: 0,
                 message: "unknown tenant".into(),
             },
+            Response::Throttled { session: 2 },
         ];
         for resp in responses {
             assert_eq!(Response::decode(&resp.encode().unwrap()).unwrap(), resp);
         }
+    }
+
+    #[test]
+    fn lenient_reader_survives_an_oversize_frame() {
+        let mut wire = Vec::new();
+        // An oversize header followed by its (junk) body, then a valid
+        // frame: the reader must discard the former and return the
+        // latter intact.
+        let huge = MAX_FRAME + 3;
+        wire.extend_from_slice(&huge.to_le_bytes());
+        wire.extend(std::iter::repeat_n(0xAAu8, huge as usize));
+        write_frame(&mut wire, b"still-here").unwrap();
+        let mut cursor = Cursor::new(wire);
+        assert_eq!(
+            read_frame_lenient(&mut cursor).unwrap(),
+            FrameRead::Oversize(huge)
+        );
+        assert_eq!(
+            read_frame_lenient(&mut cursor).unwrap(),
+            FrameRead::Frame(b"still-here".to_vec())
+        );
+        assert_eq!(read_frame_lenient(&mut cursor).unwrap(), FrameRead::Eof);
+        // A torn oversize body is still fatal — no boundary to resync.
+        let mut torn = Vec::new();
+        torn.extend_from_slice(&huge.to_le_bytes());
+        torn.extend_from_slice(&[0u8; 16]);
+        assert!(read_frame_lenient(&mut Cursor::new(torn)).is_err());
     }
 
     #[test]

@@ -27,7 +27,7 @@
 //! [`handle_stream`].
 
 use crate::admission::{declared_input_len, rejection_bill, reserve};
-use crate::protocol::{read_frame, write_frame, Request, Response};
+use crate::protocol::{read_frame_lenient, write_frame, FrameRead, Request, Response, MAX_FRAME};
 use crate::script::Script;
 use crate::session::{DeciderKind, Session};
 use st_algo::StepOutcome;
@@ -430,10 +430,42 @@ pub fn run_script(script: &Script, opts: &ServeOptions) -> Result<ScriptRun, StE
     })
 }
 
+/// Degradation limits for the online [`Service`]: what one session may
+/// cost before the service sheds load instead of falling over. Both
+/// limits are deterministic (byte and head-op counts, never wall
+/// clock), so a throttled conversation replays identically.
+#[derive(Debug, Clone, Copy)]
+pub struct ServiceLimits {
+    /// Extra feed bytes a session may buffer beyond its declared input
+    /// length before `Feed` answers [`Response::Throttled`].
+    pub feed_slack: u64,
+    /// Cumulative `Step` budget (head operations) a session may consume
+    /// before it is expired with a typed error — the per-session
+    /// deadline.
+    pub step_deadline: u64,
+}
+
+impl Default for ServiceLimits {
+    fn default() -> Self {
+        ServiceLimits {
+            feed_slack: 4096,
+            step_deadline: 1 << 32,
+        }
+    }
+}
+
 /// A live session held by the online service.
 struct SessionSlot {
     session: Session,
     tenant: String,
+    /// Raw bytes fed so far, measured against `feed_cap`.
+    fed: u64,
+    /// Backpressure bound: declared input length plus the service's
+    /// feed slack.
+    feed_cap: u64,
+    /// Cumulative step budget granted so far, measured against the
+    /// service deadline.
+    spent_budget: u64,
 }
 
 /// The online request handler: tenants registered up front, sessions
@@ -441,6 +473,7 @@ struct SessionSlot {
 pub struct Service {
     key: BillingKey,
     master_seed: u64,
+    limits: ServiceLimits,
     state: Mutex<ServiceState>,
 }
 
@@ -451,12 +484,19 @@ struct ServiceState {
 }
 
 impl Service {
-    /// A service with no tenants.
+    /// A service with no tenants and default [`ServiceLimits`].
     #[must_use]
     pub fn new(billing_key: u64, master_seed: u64) -> Self {
+        Service::with_limits(billing_key, master_seed, ServiceLimits::default())
+    }
+
+    /// A service with explicit degradation limits.
+    #[must_use]
+    pub fn with_limits(billing_key: u64, master_seed: u64, limits: ServiceLimits) -> Self {
         Service {
             key: BillingKey::new(billing_key),
             master_seed,
+            limits,
             state: Mutex::new(ServiceState {
                 ledgers: HashMap::new(),
                 sessions: HashMap::new(),
@@ -512,14 +552,27 @@ impl Service {
                     Some(SessionSlot {
                         session: Session::open(session, kind, rng_seed),
                         tenant,
+                        fed: 0,
+                        feed_cap: declared_input_len(m, n).saturating_add(self.limits.feed_slack),
+                        spent_budget: 0,
                     }),
                 );
                 Response::OpenOk { session }
             }
             Request::Feed { session, bytes } => {
-                self.with_slot(session, |slot| match slot.session.feed(&bytes) {
-                    Ok(_) => (Response::Ack { session }, true),
-                    Err(e) => (Self::err(session, e.to_string()), false),
+                self.with_slot(session, |slot| {
+                    // Bounded backpressure: a session that feeds far past
+                    // its declared shape is shed, not buffered — the
+                    // chunk is refused and the session stays valid.
+                    let next = slot.fed.saturating_add(bytes.len() as u64);
+                    if next > slot.feed_cap {
+                        return (Response::Throttled { session }, true);
+                    }
+                    slot.fed = next;
+                    match slot.session.feed(&bytes) {
+                        Ok(_) => (Response::Ack { session }, true),
+                        Err(e) => (Self::err(session, e.to_string()), false),
+                    }
                 })
             }
             Request::Finish { session } => {
@@ -529,37 +582,57 @@ impl Service {
                 })
             }
             Request::Step { session, budget } => {
-                self.with_slot(session, |slot| match slot.session.step(budget) {
-                    Ok(StepOutcome::NeedInput) => (Response::NeedInput { session }, true),
-                    Ok(StepOutcome::Yielded) => (Response::Yielded { session }, true),
-                    Ok(StepOutcome::Done(run)) => {
-                        let audit = slot.session.audit();
-                        if !audit.ok {
-                            return (
-                                Self::err(
-                                    session,
-                                    format!("trace audit failed:\n{}", audit.detail),
-                                ),
-                                false,
-                            );
-                        }
-                        let bill = self.key.sign(st_core::ResourceBill::from_usage(
-                            slot.tenant.clone(),
-                            session,
-                            slot.session.kind().id(),
-                            &run.usage,
-                            run.accepted,
-                        ));
-                        (
-                            Response::Done {
+                let deadline = self.limits.step_deadline;
+                self.with_slot(session, |slot| {
+                    // Per-session deadline: a session that has burned its
+                    // cumulative step allowance expires with a typed
+                    // error instead of spinning forever.
+                    slot.spent_budget = slot.spent_budget.saturating_add(budget);
+                    if slot.spent_budget > deadline {
+                        return (
+                            Self::err(
                                 session,
-                                accepted: run.accepted,
-                                bill,
-                            },
+                                format!(
+                                    "session {session} deadline exceeded \
+                                     ({} of {deadline} head-ops granted)",
+                                    slot.spent_budget
+                                ),
+                            ),
                             false,
-                        )
+                        );
                     }
-                    Err(e) => (Self::err(session, e.to_string()), false),
+                    match slot.session.step(budget) {
+                        Ok(StepOutcome::NeedInput) => (Response::NeedInput { session }, true),
+                        Ok(StepOutcome::Yielded) => (Response::Yielded { session }, true),
+                        Ok(StepOutcome::Done(run)) => {
+                            let audit = slot.session.audit();
+                            if !audit.ok {
+                                return (
+                                    Self::err(
+                                        session,
+                                        format!("trace audit failed:\n{}", audit.detail),
+                                    ),
+                                    false,
+                                );
+                            }
+                            let bill = self.key.sign(st_core::ResourceBill::from_usage(
+                                slot.tenant.clone(),
+                                session,
+                                slot.session.kind().id(),
+                                &run.usage,
+                                run.accepted,
+                            ));
+                            (
+                                Response::Done {
+                                    session,
+                                    accepted: run.accepted,
+                                    bill,
+                                },
+                                false,
+                            )
+                        }
+                        Err(e) => (Self::err(session, e.to_string()), false),
+                    }
                 })
             }
             Request::Close { session } => {
@@ -603,18 +676,50 @@ impl Service {
 
 /// Serve one framed connection until EOF. Works over any
 /// `Read + Write` transport — a TCP stream or an in-process cursor.
+///
+/// Degrades instead of dropping: an oversize frame is drained and
+/// answered with a typed [`Response::Error`] (the connection survives),
+/// a malformed body gets a typed error reply, and a read timeout on the
+/// transport (`WouldBlock`/`TimedOut`, as set by a socket read
+/// deadline) closes the connection orderly after a final typed error —
+/// never a silent drop mid-frame.
 pub fn handle_stream<RW: Read + Write>(service: &Service, mut rw: RW) -> std::io::Result<()> {
-    while let Some(body) = read_frame(&mut rw)? {
-        let response = match Request::decode(&body) {
-            Ok(request) => service.handle(request),
-            Err(e) => Response::Error {
+    loop {
+        let read = match read_frame_lenient(&mut rw) {
+            Ok(read) => read,
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                // Idle past the read deadline: tell the peer why the
+                // connection is going away, then close it cleanly.
+                let bye = Response::Error {
+                    session: 0,
+                    message: "read timeout: closing idle connection".into(),
+                };
+                let _ = write_frame(&mut rw, &bye.encode()?);
+                return Ok(());
+            }
+            Err(e) => return Err(e),
+        };
+        let response = match read {
+            FrameRead::Eof => return Ok(()),
+            FrameRead::Oversize(len) => Response::Error {
                 session: 0,
-                message: format!("bad frame: {e}"),
+                message: format!("frame of {len} bytes exceeds the {MAX_FRAME}-byte cap"),
+            },
+            FrameRead::Frame(body) => match Request::decode(&body) {
+                Ok(request) => service.handle(request),
+                Err(e) => Response::Error {
+                    session: 0,
+                    message: format!("bad frame: {e}"),
+                },
             },
         };
         write_frame(&mut rw, &response.encode()?)?;
     }
-    Ok(())
 }
 
 #[cfg(test)]
@@ -785,29 +890,48 @@ mod tests {
         assert!(matches!(resp, Response::Error { .. }));
     }
 
+    /// Reads requests from one buffer, writes responses to another.
+    struct Duplex<'a> {
+        rd: std::io::Cursor<&'a [u8]>,
+        wr: &'a mut Vec<u8>,
+    }
+    impl Read for Duplex<'_> {
+        fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+            self.rd.read(buf)
+        }
+    }
+    impl Write for Duplex<'_> {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            self.wr.write(buf)
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    /// Run raw wire bytes through `handle_stream` and decode every
+    /// response frame.
+    fn converse(service: &Service, wire: &[u8]) -> Vec<Response> {
+        use std::io::Cursor;
+        let mut responses = Vec::new();
+        handle_stream(
+            service,
+            Duplex {
+                rd: Cursor::new(wire),
+                wr: &mut responses,
+            },
+        )
+        .unwrap();
+        let mut cursor = Cursor::new(responses);
+        let mut decoded = Vec::new();
+        while let Some(body) = crate::protocol::read_frame(&mut cursor).unwrap() {
+            decoded.push(Response::decode(&body).unwrap());
+        }
+        decoded
+    }
+
     #[test]
     fn handle_stream_frames_a_whole_conversation() {
-        use std::io::Cursor;
-
-        /// Reads requests from one buffer, writes responses to another.
-        struct Duplex<'a> {
-            rd: Cursor<&'a [u8]>,
-            wr: &'a mut Vec<u8>,
-        }
-        impl Read for Duplex<'_> {
-            fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
-                self.rd.read(buf)
-            }
-        }
-        impl Write for Duplex<'_> {
-            fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
-                self.wr.write(buf)
-            }
-            fn flush(&mut self) -> std::io::Result<()> {
-                Ok(())
-            }
-        }
-
         let service = Service::new(1, 1);
         service.register_tenant("t", TenantBudget::unlimited());
         let word = "1#0#0#1#";
@@ -833,10 +957,120 @@ mod tests {
         for r in &requests {
             write_frame(&mut wire, &r.encode().unwrap()).unwrap();
         }
+        let decoded = converse(&service, &wire);
+        assert_eq!(decoded.len(), requests.len());
+        assert_eq!(decoded[0], Response::OpenOk { session: 5 });
+        assert!(matches!(decoded[3], Response::Done { accepted: true, .. }));
+    }
+
+    #[test]
+    fn malformed_and_oversize_raw_bytes_get_typed_errors_not_a_dropped_connection() {
+        use crate::protocol::MAX_FRAME;
+
+        let service = Service::new(1, 1);
+        service.register_tenant("t", TenantBudget::unlimited());
+
+        let mut wire = Vec::new();
+        // 1. A syntactically valid frame whose body is garbage.
+        write_frame(&mut wire, &[200u8, 1, 2, 3]).unwrap();
+        // 2. An oversize frame: the header declares MAX_FRAME + 1 bytes
+        //    and the body follows in full.
+        let huge = MAX_FRAME + 1;
+        wire.extend_from_slice(&huge.to_le_bytes());
+        wire.extend(std::iter::repeat_n(0u8, huge as usize));
+        // 3. A truncated request body (tag says Open, nothing follows).
+        write_frame(&mut wire, &[1u8]).unwrap();
+        // 4. A perfectly good request — the connection must still be
+        //    alive to serve it.
+        write_frame(
+            &mut wire,
+            &Request::Open {
+                session: 9,
+                tenant: "t".into(),
+                decider: "fingerprint".into(),
+                m: 2,
+                n: 2,
+            }
+            .encode()
+            .unwrap(),
+        )
+        .unwrap();
+
+        let decoded = converse(&service, &wire);
+        assert_eq!(decoded.len(), 4, "every frame answered: {decoded:?}");
+        let Response::Error {
+            session: 0,
+            message,
+        } = &decoded[0]
+        else {
+            panic!("garbage body must get a typed error, got {:?}", decoded[0]);
+        };
+        assert!(message.contains("bad frame"), "{message}");
+        let Response::Error {
+            session: 0,
+            message,
+        } = &decoded[1]
+        else {
+            panic!(
+                "oversize frame must get a typed error, got {:?}",
+                decoded[1]
+            );
+        };
+        assert!(message.contains("exceeds"), "{message}");
+        assert!(matches!(decoded[2], Response::Error { .. }));
+        assert_eq!(decoded[3], Response::OpenOk { session: 9 });
+    }
+
+    #[test]
+    fn a_read_timeout_closes_the_connection_with_a_typed_farewell() {
+        use std::io::Cursor;
+
+        /// A transport whose read times out after the buffered bytes.
+        struct Flaky<'a> {
+            rd: Cursor<&'a [u8]>,
+            wr: &'a mut Vec<u8>,
+        }
+        impl Read for Flaky<'_> {
+            fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+                let got = self.rd.read(buf)?;
+                if got == 0 {
+                    return Err(std::io::Error::new(
+                        std::io::ErrorKind::WouldBlock,
+                        "simulated socket read deadline",
+                    ));
+                }
+                Ok(got)
+            }
+        }
+        impl Write for Flaky<'_> {
+            fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+                self.wr.write(buf)
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+
+        let service = Service::new(1, 1);
+        service.register_tenant("t", TenantBudget::unlimited());
+        let mut wire = Vec::new();
+        write_frame(
+            &mut wire,
+            &Request::Open {
+                session: 3,
+                tenant: "t".into(),
+                decider: "fingerprint".into(),
+                m: 2,
+                n: 2,
+            }
+            .encode()
+            .unwrap(),
+        )
+        .unwrap();
         let mut responses = Vec::new();
         handle_stream(
             &service,
-            Duplex {
+            Flaky {
                 rd: Cursor::new(&wire),
                 wr: &mut responses,
             },
@@ -844,11 +1078,121 @@ mod tests {
         .unwrap();
         let mut cursor = Cursor::new(responses);
         let mut decoded = Vec::new();
-        while let Some(body) = read_frame(&mut cursor).unwrap() {
+        while let Some(body) = crate::protocol::read_frame(&mut cursor).unwrap() {
             decoded.push(Response::decode(&body).unwrap());
         }
-        assert_eq!(decoded.len(), requests.len());
-        assert_eq!(decoded[0], Response::OpenOk { session: 5 });
-        assert!(matches!(decoded[3], Response::Done { accepted: true, .. }));
+        assert_eq!(decoded.len(), 2);
+        assert_eq!(decoded[0], Response::OpenOk { session: 3 });
+        let Response::Error { message, .. } = &decoded[1] else {
+            panic!("expected the timeout farewell, got {:?}", decoded[1]);
+        };
+        assert!(message.contains("read timeout"), "{message}");
+    }
+
+    #[test]
+    fn feeding_far_past_the_declared_shape_is_throttled_not_buffered() {
+        let service = Service::with_limits(
+            1,
+            1,
+            ServiceLimits {
+                feed_slack: 8,
+                step_deadline: 1 << 32,
+            },
+        );
+        service.register_tenant("t", TenantBudget::unlimited());
+        assert_eq!(
+            service.handle(Request::Open {
+                session: 4,
+                tenant: "t".into(),
+                decider: "set-eq".into(),
+                m: 2,
+                n: 1,
+            }),
+            Response::OpenOk { session: 4 }
+        );
+        // Declared shape: m=2, n=1 → a small cap plus 8 bytes of slack.
+        // A massive feed must be shed without touching the session.
+        let resp = service.handle(Request::Feed {
+            session: 4,
+            bytes: vec![b'0'; 4096],
+        });
+        assert_eq!(resp, Response::Throttled { session: 4 });
+        // The session is still usable with a sane feed.
+        assert_eq!(
+            service.handle(Request::Feed {
+                session: 4,
+                bytes: b"1#0#0#1#".to_vec(),
+            }),
+            Response::Ack { session: 4 }
+        );
+        assert_eq!(
+            service.handle(Request::Finish { session: 4 }),
+            Response::Ack { session: 4 }
+        );
+        let done = loop {
+            match service.handle(Request::Step {
+                session: 4,
+                budget: 64,
+            }) {
+                Response::Yielded { .. } => {}
+                other => break other,
+            }
+        };
+        assert!(matches!(done, Response::Done { accepted: true, .. }));
+    }
+
+    #[test]
+    fn a_session_past_its_step_deadline_expires_with_a_typed_error() {
+        let service = Service::with_limits(
+            1,
+            1,
+            ServiceLimits {
+                feed_slack: 4096,
+                step_deadline: 100,
+            },
+        );
+        service.register_tenant("t", TenantBudget::unlimited());
+        assert_eq!(
+            service.handle(Request::Open {
+                session: 6,
+                tenant: "t".into(),
+                decider: "sort-multiset".into(),
+                m: 8,
+                n: 4,
+            }),
+            Response::OpenOk { session: 6 }
+        );
+        let word = TrafficFamily::YesShuffle.generate_word(7, 2, 8, 4);
+        assert_eq!(
+            service.handle(Request::Feed {
+                session: 6,
+                bytes: word.into_bytes(),
+            }),
+            Response::Ack { session: 6 }
+        );
+        assert_eq!(
+            service.handle(Request::Finish { session: 6 }),
+            Response::Ack { session: 6 }
+        );
+        // Burn tiny quanta until the 100-op cumulative deadline trips.
+        let last = loop {
+            match service.handle(Request::Step {
+                session: 6,
+                budget: 30,
+            }) {
+                Response::Yielded { .. } => {}
+                other => break other,
+            }
+        };
+        let Response::Error { message, .. } = &last else {
+            panic!("expected deadline expiry, got {last:?}");
+        };
+        assert!(message.contains("deadline exceeded"), "{message}");
+        // The expired session is retired.
+        let resp = service.handle(Request::Step {
+            session: 6,
+            budget: 1,
+        });
+        assert!(matches!(resp, Response::Error { .. }));
     }
 }

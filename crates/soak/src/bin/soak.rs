@@ -30,7 +30,10 @@ fn parse_replay(spec: &str) -> Result<(Scenario, u64), String> {
         ));
     };
     let scenario = Scenario::from_id(id).ok_or_else(|| {
-        format!("unknown scenario `{id}` (try fuzz, crash-storm, fault-storm, concurrent, serve)")
+        format!(
+            "unknown scenario `{id}` (try fuzz, crash-storm, fault-storm, concurrent, serve, \
+             mpc-chaos)"
+        )
     })?;
     let iteration = iter
         .parse::<u64>()

@@ -143,6 +143,8 @@ impl SoakReport {
                 "faults",
                 "exhausted",
                 "adm-rej",
+                "net-retries",
+                "mpc-crashes",
                 "p50",
                 "p99",
                 "sess-p99",
@@ -204,6 +206,8 @@ impl SoakReport {
             s.faults_injected.to_string(),
             s.retry_exhaustions.to_string(),
             s.admission_rejections.to_string(),
+            s.mpc_retries.to_string(),
+            s.mpc_worker_crashes.to_string(),
             percentile(latency, 50.0),
             percentile(latency, 99.0),
             percentile(session_latency, 99.0),
@@ -366,8 +370,8 @@ mod tests {
 
     #[test]
     fn campaign_runs_every_scenario_and_stays_clean() {
-        let report = run_campaign(&opts(40, 2)).unwrap();
-        assert_eq!(report.iterations, 40);
+        let report = run_campaign(&opts(48, 2)).unwrap();
+        assert_eq!(report.iterations, 48);
         assert!(report.clean(), "{:?}", report.failures);
         for s in &report.scenarios {
             assert_eq!(s.stats.iterations, 8, "{}", s.scenario.id());
@@ -379,6 +383,12 @@ mod tests {
             .unwrap();
         assert!(serve.stats.admission_rejections > 0);
         assert_eq!(serve.session_latency.total(), serve.stats.sessions);
+        let chaos = report
+            .scenarios
+            .iter()
+            .find(|s| s.scenario == crate::scenario::Scenario::MpcChaos)
+            .unwrap();
+        assert!(chaos.stats.mpc_retries > 0, "chaos storms never retried");
         let rendered = report.to_report();
         assert!(rendered.reproduced(), "{rendered}");
         // Suppressed timing renders no percentiles and no duration.

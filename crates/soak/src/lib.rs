@@ -24,7 +24,12 @@
 //!   under budget admission, each replay-audited, checked against its
 //!   paper-bound reservation, and differentially compared with the
 //!   reference predicate; over-budget tenants must be refused with a
-//!   signed quote.
+//!   signed quote;
+//! * **mpc-chaos** — `st-mpc` deciders under seeded network fault
+//!   storms (drops, duplicates, reorders, corruption, delays, worker
+//!   kills): every faulted run must reproduce the fault-free verdicts,
+//!   residues, usage, and traces bit for bit, with the storm's cost
+//!   visible only in the `CommUsage` recovery counters.
 //!
 //! Every iteration's randomness derives from
 //! `(master seed, scenario id, iteration)` through the splittable PRNG

@@ -1,4 +1,4 @@
-//! The five soak scenarios and their seeded, replayable iterations.
+//! The six soak scenarios and their seeded, replayable iterations.
 //!
 //! Every iteration's randomness is derived from
 //! `(master seed, scenario label, iteration)` via the conformance
@@ -37,6 +37,11 @@ pub enum Scenario {
     /// budget admission; every session must replay-audit, stay within
     /// its reservation, and agree with the reference predicate.
     Serve,
+    /// MPC deciders under a seeded network fault storm (drops,
+    /// duplicates, reorders, corruption, delays, worker kills): the
+    /// faulted run must match the fault-free run bit for bit in every
+    /// published artifact, with only the recovery counters differing.
+    MpcChaos,
 }
 
 impl Scenario {
@@ -49,6 +54,7 @@ impl Scenario {
             Scenario::FaultStorm => "fault-storm",
             Scenario::Concurrent => "concurrent",
             Scenario::Serve => "serve",
+            Scenario::MpcChaos => "mpc-chaos",
         }
     }
 
@@ -68,6 +74,7 @@ pub fn all_scenarios() -> Vec<Scenario> {
         Scenario::FaultStorm,
         Scenario::Concurrent,
         Scenario::Serve,
+        Scenario::MpcChaos,
     ]
 }
 
@@ -154,6 +161,7 @@ pub fn run_iteration(
             session_latency_nanos = latencies;
             (stats, failure)
         }
+        Scenario::MpcChaos => run_mpc_chaos(master, iteration),
     };
     let failure = failure.map(|detail_and_repro| Failure {
         scenario,
@@ -684,6 +692,151 @@ fn run_serve(master: u64, iteration: u64) -> (ScenarioStats, Option<ScenarioFail
     (stats, failure, latencies)
 }
 
+// ----------------------------------------------------------- mpc-chaos
+
+/// Worker counts the chaos iterations cycle through.
+const CHAOS_WORKERS: [usize; 5] = [1, 2, 3, 4, 8];
+
+/// One MPC chaos iteration: run a decider clean, then again under a
+/// seeded storm of network faults (plus a worker kill when the clean
+/// run had any rounds to kill in), and demand the fault-transparency
+/// invariant — verdicts, residues, per-worker usage, traces, and the
+/// clean communication meters all bit-identical, with the storm's cost
+/// visible only in the recovery counters.
+fn run_mpc_chaos(master: u64, iteration: u64) -> (ScenarioStats, Option<ScenarioFailure>) {
+    use st_mpc::{
+        decide_check_sort, decide_multiset_equality, evaluate_sym_diff, MpcOptions, MpcRun,
+        NetFaultPlan,
+    };
+
+    let mut stats = ScenarioStats {
+        iterations: 1,
+        ..ScenarioStats::default()
+    };
+    let mut rng = prng::derive_rng(master, "soak-mpc-chaos", iteration);
+    let p = CHAOS_WORKERS[rng.gen_range(0..CHAOS_WORKERS.len())];
+    let m = rng.gen_range(2..=12usize);
+    let n = rng.gen_range(3..=7usize);
+    let inst = match rng.gen_range(0..3u32) {
+        0 => generate::yes_checksort(m, n, &mut rng),
+        1 => generate::yes_multiset(m, n, &mut rng),
+        _ => generate::random_instance(m, n, &mut rng),
+    };
+    let opts = MpcOptions::with_workers(p);
+
+    // Storm rates stay below the level where the attempt-decayed retry
+    // budget could plausibly exhaust; the plan seed is its own stream.
+    let plan_seed = prng::derive_seed(master, "soak-mpc-plan", iteration);
+    let mut rate = |lo: f64| lo + rng.gen::<f64>() * 0.4;
+    let storm = NetFaultPlan::new(plan_seed)
+        .with_drop(rate(0.05))
+        .with_duplicate(rate(0.05))
+        .with_reorder(rate(0.05))
+        .with_corrupt(rate(0.05))
+        .with_delay(rate(0.05));
+    let fp_seed = prng::derive_seed(master, "soak-mpc-fp", iteration);
+
+    // All remaining dice rolled up front so the closures below borrow
+    // nothing mutable.
+    let kill_worker = rng.gen_range(0..p);
+    let kill_round_pick = rng.gen::<u64>();
+    let decider = rng.gen_range(0..3u32);
+
+    // Clean/faulted pairs per decider; `kill` picks a victim round from
+    // the clean run's own round count.
+    let kill = |plan: NetFaultPlan, rounds: u64| {
+        if p > 1 && rounds > 0 {
+            plan.kill_worker_after(kill_worker, kill_round_pick % rounds)
+        } else {
+            plan
+        }
+    };
+    let check = |clean: &MpcRun, faulted: &MpcRun, what: &str| -> Option<ScenarioFailure> {
+        if faulted.accepted != clean.accepted {
+            return Some((format!("{what}: verdict drifted under the storm"), None));
+        }
+        if faulted.comm.clean() != clean.comm.clean() {
+            return Some((format!("{what}: clean comm meters drifted"), None));
+        }
+        if faulted.per_worker != clean.per_worker || faulted.traces != clean.traces {
+            return Some((format!("{what}: per-worker usage or traces drifted"), None));
+        }
+        None
+    };
+    let mut charge = |run: &MpcRun| {
+        stats.mpc_retries += run.comm.retries;
+        stats.mpc_worker_crashes += run.comm.worker_crashes;
+        stats.mpc_redundant_bytes += run.comm.redundant_bytes;
+    };
+
+    let failure = match decider {
+        0 => {
+            let clean = match decide_check_sort(&inst, &opts) {
+                Ok(run) => run,
+                Err(e) => {
+                    return (
+                        stats,
+                        Some((format!("clean check-sort errored: {e}"), None)),
+                    )
+                }
+            };
+            let plan = kill(storm, clean.comm.rounds);
+            match decide_check_sort(&inst, &opts.clone().with_fault_plan(plan)) {
+                Ok(faulted) => {
+                    charge(&faulted);
+                    check(&clean, &faulted, "check-sort")
+                }
+                Err(e) => Some((format!("faulted check-sort errored: {e}"), None)),
+            }
+        }
+        1 => {
+            let run = |o: &MpcOptions| {
+                decide_multiset_equality(&inst, &mut StdRng::seed_from_u64(fp_seed), o)
+            };
+            let clean = match run(&opts) {
+                Ok(run) => run,
+                Err(e) => {
+                    return (
+                        stats,
+                        Some((format!("clean fingerprint errored: {e}"), None)),
+                    )
+                }
+            };
+            let plan = kill(storm, clean.run.comm.rounds);
+            match run(&opts.clone().with_fault_plan(plan)) {
+                Ok(faulted) => {
+                    charge(&faulted.run);
+                    if faulted.residues != clean.residues {
+                        Some(("fingerprint: residues drifted under the storm".into(), None))
+                    } else {
+                        check(&clean.run, &faulted.run, "fingerprint")
+                    }
+                }
+                Err(e) => Some((format!("faulted fingerprint errored: {e}"), None)),
+            }
+        }
+        _ => {
+            let clean = match evaluate_sym_diff(&inst, &opts) {
+                Ok(run) => run,
+                Err(e) => return (stats, Some((format!("clean sym-diff errored: {e}"), None))),
+            };
+            let plan = kill(storm, clean.run.comm.rounds);
+            match evaluate_sym_diff(&inst, &opts.clone().with_fault_plan(plan)) {
+                Ok(faulted) => {
+                    charge(&faulted.run);
+                    if faulted.symdiff != clean.symdiff {
+                        Some(("sym-diff: count drifted under the storm".into(), None))
+                    } else {
+                        check(&clean.run, &faulted.run, "sym-diff")
+                    }
+                }
+                Err(e) => Some((format!("faulted sym-diff errored: {e}"), None)),
+            }
+        }
+    };
+    (stats, failure)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -704,8 +857,25 @@ mod tests {
             assert_eq!(Scenario::from_id(s.id()), Some(s));
         }
         assert_eq!(Scenario::from_id("no-such"), None);
-        let seen: Vec<Scenario> = (0..5).map(scenario_for_iteration).collect();
+        let seen: Vec<Scenario> = (0..6).map(scenario_for_iteration).collect();
         assert_eq!(seen, all_scenarios());
+    }
+
+    #[test]
+    fn mpc_chaos_iterations_retry_and_recover_transparently() {
+        let mut retries = 0;
+        let mut crashes = 0;
+        let mut redundant = 0;
+        for iteration in 0..24 {
+            let (stats, failure) = run_mpc_chaos(13, iteration);
+            assert!(failure.is_none(), "i{iteration}: {failure:?}");
+            retries += stats.mpc_retries;
+            crashes += stats.mpc_worker_crashes;
+            redundant += stats.mpc_redundant_bytes;
+        }
+        assert!(retries > 0, "no storm ever forced a retransmission");
+        assert!(crashes > 0, "no worker was ever killed and recovered");
+        assert!(redundant > 0, "retransmissions were never billed");
     }
 
     #[test]

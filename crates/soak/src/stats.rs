@@ -38,6 +38,12 @@ pub struct ScenarioStats {
     /// Serve sessions refused at admission (over-budget tenants billed
     /// with the paper-bound quote — expected traffic, not a failure).
     pub admission_rejections: u64,
+    /// MPC message retransmissions forced by the chaos fault plan.
+    pub mpc_retries: u64,
+    /// MPC worker crashes recovered by journal replay.
+    pub mpc_worker_crashes: u64,
+    /// Redundant wire bytes spent on MPC retransmissions/duplicates.
+    pub mpc_redundant_bytes: u64,
 }
 
 impl ScenarioStats {
@@ -58,6 +64,9 @@ impl ScenarioStats {
         self.retry_exhaustions += other.retry_exhaustions;
         self.sessions += other.sessions;
         self.admission_rejections += other.admission_rejections;
+        self.mpc_retries += other.mpc_retries;
+        self.mpc_worker_crashes += other.mpc_worker_crashes;
+        self.mpc_redundant_bytes += other.mpc_redundant_bytes;
     }
 }
 

@@ -12,9 +12,10 @@ fn experiment_registry_is_complete() {
     let ids: Vec<&str> = st_bench::all_experiments().iter().map(|e| e.id).collect();
     for expect in [
         "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14",
-        "e15", "e16", "e17", "e18", "e19", "e20", "e21", "e22", "e23", "e24", "e25", "f2",
+        "e15", "e16", "e17", "e18", "e19", "e20", "e21", "e22", "e23", "e24", "e25", "e26", "e27",
+        "f2",
     ] {
         assert!(ids.contains(&expect), "missing experiment {expect}");
     }
-    assert_eq!(ids.len(), 26);
+    assert_eq!(ids.len(), 28);
 }

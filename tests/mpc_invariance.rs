@@ -1,11 +1,12 @@
 //! Integration: the MPC experiments are worker- and jobs-invariant.
 //!
-//! e24/e25 ride the same parallel harness as every other experiment, so
+//! e24–e27 ride the same parallel harness as every other experiment, so
 //! their acceptance gate is the same: `--jobs 1` and `--jobs 4` must
 //! produce **byte-identical** JSON and text artifacts, the verdicts must
 //! be REPRODUCED, and the claimed communication shapes (fingerprint flat
-//! at 1 round, Q′ flat at 2, CHECK-SORT at ⌈log₂p⌉) must be visible in
-//! the rendered tables themselves.
+//! at 1 round, Q′ flat at 2, CHECK-SORT at ⌈log₂p⌉, fault storms and
+//! worker crashes transparent in every published artifact) must be
+//! visible in the rendered tables themselves.
 
 use st_bench::all_experiments;
 use st_bench::report::{to_json, write_text};
@@ -14,7 +15,10 @@ use std::path::PathBuf;
 
 fn run(jobs: usize, trace_dir: PathBuf) -> RunOutcome {
     std::fs::remove_dir_all(&trace_dir).ok();
-    let args: Vec<String> = ["e24", "e25"].iter().map(|s| (*s).to_string()).collect();
+    let args: Vec<String> = ["e24", "e25", "e26", "e27"]
+        .iter()
+        .map(|s| (*s).to_string())
+        .collect();
     let selected = select_experiments(all_experiments(), &args).expect("known ids");
     run_experiments(
         &selected,
@@ -37,7 +41,7 @@ fn mpc_experiments_are_byte_identical_across_jobs_and_reproduced() {
     assert_eq!(
         json,
         to_json(&parallel.reports),
-        "e24/e25 JSON must be byte-identical across --jobs values"
+        "e24–e27 JSON must be byte-identical across --jobs values"
     );
     let mut serial_text = Vec::new();
     write_text(&mut serial_text, &serial.reports).unwrap();
@@ -45,11 +49,11 @@ fn mpc_experiments_are_byte_identical_across_jobs_and_reproduced() {
     write_text(&mut parallel_text, &parallel.reports).unwrap();
     assert_eq!(
         serial_text, parallel_text,
-        "e24/e25 text must be byte-identical across --jobs values"
+        "e24–e27 text must be byte-identical across --jobs values"
     );
 
     for outcome in [&serial, &parallel] {
-        assert_eq!(outcome.reports.len(), 2);
+        assert_eq!(outcome.reports.len(), 4);
         for r in &outcome.reports {
             assert!(r.reproduced(), "{} not reproduced: {}", r.id, r.verdict);
         }
@@ -77,6 +81,26 @@ fn mpc_experiments_are_byte_identical_across_jobs_and_reproduced() {
         ["0", "1", "2", "3", "4"],
         "⌈log₂p⌉ over p ∈ {{1,2,4,8,16}}"
     );
+
+    // e26: every drop rate row must certify bit-identity, with retries
+    // appearing exactly when frames are actually dropped.
+    let e26 = serial.reports.iter().find(|r| r.id == "e26").unwrap();
+    assert_eq!(e26.rows.len(), 4);
+    for (i, row) in e26.rows.iter().enumerate() {
+        assert_eq!(row[8], "yes", "fault transparency broke: {row:?}");
+        let retries: u64 = row[4].parse().expect("retry count");
+        assert_eq!(i == 0, retries == 0, "retries vs rate mismatch: {row:?}");
+    }
+
+    // e27: every (decider, round) crash must recover bit-identically
+    // and replay at least one round.
+    let e27 = serial.reports.iter().find(|r| r.id == "e27").unwrap();
+    assert_eq!(e27.rows.len(), 6, "3 merge rounds + 2 query + 1 gather");
+    for row in &e27.rows {
+        assert_eq!(row[6], "yes", "crash recovery broke: {row:?}");
+        let replayed: u64 = row[3].parse().expect("replayed rounds");
+        assert!(replayed >= 1, "recovery replayed nothing: {row:?}");
+    }
 
     std::fs::remove_dir_all(&base).ok();
 }
